@@ -1,0 +1,54 @@
+// E2: Morris approximate counting — O(log log n) bits.
+//
+// Claim (paper section 2; Morris 1977, revisited by PODS'22 best paper):
+// counting n events in a register of ~log2 log2 n bits, with standard
+// error ~ 1/sqrt(2a) for the Morris-a variant.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "cardinality/morris.h"
+#include "common/bits.h"
+#include "common/numeric.h"
+
+int main() {
+  constexpr int kTrials = 25;
+  std::printf("E2: Morris counter, %d trials per cell\n\n", kTrials);
+  std::printf("%9s | %6s | %14s | %14s | %10s | %12s\n", "n", "a",
+              "rel RMSE", "theory 1/sqrt(2a)", "reg bits", "exact bits");
+
+  for (uint64_t n : {10000ULL, 100000ULL, 1000000ULL}) {
+    for (double a : {16.0, 64.0, 256.0}) {
+      std::vector<double> errors;
+      int max_bits = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        gems::MorrisCounter counter(a, 31 * t + 7);
+        counter.IncrementBy(n);
+        errors.push_back((counter.Count() - static_cast<double>(n)) /
+                         static_cast<double>(n));
+        max_bits = std::max(max_bits, counter.RegisterBits());
+      }
+      std::printf("%9lu | %6.0f | %14.4f | %17.4f | %10d | %12d\n",
+                  (unsigned long)n, a, gems::Rms(errors),
+                  1.0 / std::sqrt(2.0 * a), max_bits,
+                  gems::FloorLog2(n) + 1);
+    }
+  }
+
+  std::printf("\nE2b: ensemble averaging (a = 8, n = 100000)\n");
+  std::printf("%10s | %12s | %14s\n", "replicas", "rel RMSE",
+              "theory x 1/sqrt(r)");
+  const double base_theory = 1.0 / std::sqrt(2.0 * 8.0);
+  for (int replicas : {1, 4, 16, 64}) {
+    std::vector<double> errors;
+    for (int t = 0; t < kTrials; ++t) {
+      gems::MorrisEnsemble ensemble(replicas, 8.0, 100 + t);
+      for (int i = 0; i < 100000; ++i) ensemble.Increment();
+      errors.push_back((ensemble.Count() - 100000.0) / 100000.0);
+    }
+    std::printf("%10d | %12.4f | %14.4f\n", replicas, gems::Rms(errors),
+                base_theory / std::sqrt(static_cast<double>(replicas)));
+  }
+  return 0;
+}

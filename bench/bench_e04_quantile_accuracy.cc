@@ -1,0 +1,174 @@
+// E4: quantile sketch lineage — rank error vs space.
+//
+// Claims (paper section 2): the MRL -> GK -> q-digest -> KLL lineage ends
+// with KLL as the space-optimal randomized sketch (best error-per-byte);
+// GK is deterministic with a hard eps*n guarantee; t-digest trades uniform
+// rank error for extreme-tail accuracy.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "quantiles/gk.h"
+#include "quantiles/kll.h"
+#include "quantiles/mrl.h"
+#include "quantiles/qdigest.h"
+#include "quantiles/req.h"
+#include "quantiles/tdigest.h"
+#include "workload/generators.h"
+#include "workload/metrics.h"
+
+namespace {
+
+constexpr size_t kN = 1000000;
+
+double RankErrorAt(const std::vector<double>& sorted, double value,
+                   double q) {
+  const double n = static_cast<double>(sorted.size());
+  const double lo = static_cast<double>(
+      std::lower_bound(sorted.begin(), sorted.end(), value) -
+      sorted.begin());
+  const double hi = static_cast<double>(
+      std::upper_bound(sorted.begin(), sorted.end(), value) -
+      sorted.begin());
+  const double target = q * n;
+  if (target < lo) return (lo - target) / n;
+  if (target > hi) return (target - hi) / n;
+  return 0.0;
+}
+
+template <typename QuantileFn>
+double MaxError(const std::vector<double>& sorted, QuantileFn fn,
+                bool tails_only = false) {
+  const std::vector<double> mid = {0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99};
+  const std::vector<double> tails = {0.0001, 0.001, 0.999, 0.9999};
+  double worst = 0;
+  for (double q : tails_only ? tails : mid) {
+    worst = std::max(worst, RankErrorAt(sorted, fn(q), q));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4: max rank error (fraction of n = %zu) and summary size\n\n",
+              kN);
+  for (auto dist : {gems::ValueDistribution::kUniform,
+                    gems::ValueDistribution::kLogNormal,
+                    gems::ValueDistribution::kSorted}) {
+    const char* name =
+        dist == gems::ValueDistribution::kUniform
+            ? "uniform"
+            : dist == gems::ValueDistribution::kLogNormal ? "lognormal"
+                                                          : "sorted";
+    auto data = gems::GenerateValues(dist, kN, 11);
+
+    gems::MrlSketch mrl(12, 600);
+    gems::GreenwaldKhanna gk(0.005);
+    gems::KllSketch kll(256, 1);
+    gems::TDigest tdigest(100);
+    // q-digest needs an integer domain: quantize to 2^16 ranks.
+    std::vector<double> sorted_copy = data;
+    std::sort(sorted_copy.begin(), sorted_copy.end());
+    gems::QDigest qdigest(16, 512);
+    for (double v : data) {
+      mrl.Update(v);
+      gk.Update(v);
+      kll.Update(v);
+      tdigest.Update(v);
+      const uint64_t quantized = static_cast<uint64_t>(
+          (std::lower_bound(sorted_copy.begin(), sorted_copy.end(), v) -
+           sorted_copy.begin()) *
+          65535 / static_cast<long>(kN));
+      qdigest.Update(quantized);
+    }
+
+    auto qd_value = [&](double q) {
+      const uint64_t rank = qdigest.Quantile(q);
+      return sorted_copy[std::min<size_t>(
+          kN - 1, static_cast<size_t>(rank) * kN / 65536)];
+    };
+
+    std::printf("-- %s --\n", name);
+    std::printf("%10s | %12s | %12s | %12s\n", "sketch", "max rank err",
+                "tail rank err", "bytes");
+    std::printf("%10s | %12.5f | %12.5f | %12zu\n", "MRL",
+                MaxError(sorted_copy,
+                         [&](double q) { return mrl.Quantile(q); }),
+                MaxError(sorted_copy,
+                         [&](double q) { return mrl.Quantile(q); }, true),
+                mrl.MemoryBytes());
+    std::printf("%10s | %12.5f | %12.5f | %12zu\n", "GK(.005)",
+                MaxError(sorted_copy, [&](double q) { return gk.Quantile(q); }),
+                MaxError(sorted_copy,
+                         [&](double q) { return gk.Quantile(q); }, true),
+                gk.MemoryBytes());
+    std::printf("%10s | %12.5f | %12.5f | %12zu\n", "KLL(256)",
+                MaxError(sorted_copy,
+                         [&](double q) { return kll.Quantile(q); }),
+                MaxError(sorted_copy,
+                         [&](double q) { return kll.Quantile(q); }, true),
+                kll.MemoryBytes());
+    std::printf("%10s | %12.5f | %12.5f | %12zu\n", "q-digest",
+                MaxError(sorted_copy, qd_value),
+                MaxError(sorted_copy, qd_value, true), qdigest.MemoryBytes());
+    std::printf("%10s | %12.5f | %12.5f | %12zu\n", "t-digest",
+                MaxError(sorted_copy,
+                         [&](double q) { return tdigest.Quantile(q); }),
+                MaxError(sorted_copy,
+                         [&](double q) { return tdigest.Quantile(q); },
+                         true),
+                tdigest.MemoryBytes());
+    std::printf("\n");
+  }
+
+  std::printf("E4c: relative-error quantiles (PODS'21): rank error at "
+              "extreme quantiles, lognormal n = %zu\n",
+              kN);
+  {
+    auto data = gems::GenerateValues(gems::ValueDistribution::kLogNormal,
+                                     kN, 17);
+    gems::ReqSketch req(32, 18);
+    gems::KllSketch kll(200, 19);
+    for (double v : data) {
+      req.Update(v);
+      kll.Update(v);
+    }
+    std::vector<double> sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+    std::printf("%8s | %10s | %16s | %16s\n", "q", "(1-q)n",
+                "REQ err (rel)", "KLL err (rel)");
+    for (double q : {0.9, 0.99, 0.999, 0.9999}) {
+      const double tail = (1.0 - q) * static_cast<double>(kN);
+      const double req_err = RankErrorAt(sorted, req.Quantile(q), q) *
+                             static_cast<double>(kN);
+      const double kll_err = RankErrorAt(sorted, kll.Quantile(q), q) *
+                             static_cast<double>(kN);
+      std::printf("%8.4f | %10.0f | %8.0f (%5.3f) | %8.0f (%5.3f)\n", q,
+                  tail, req_err, req_err / std::max(1.0, tail), kll_err,
+                  kll_err / std::max(1.0, tail));
+    }
+    std::printf("(REQ retains %zu values, KLL %zu — relative error is what "
+                "the extra space buys)\n\n",
+                req.NumRetained(), kll.NumRetained());
+  }
+
+  std::printf("E4b: KLL error-per-byte sweep (lognormal, n = %zu)\n", kN);
+  std::printf("%6s | %12s | %10s | %16s\n", "k", "max rank err", "bytes",
+              "err x bytes");
+  auto data = gems::GenerateValues(gems::ValueDistribution::kLogNormal, kN,
+                                   13);
+  std::vector<double> sorted_copy = data;
+  std::sort(sorted_copy.begin(), sorted_copy.end());
+  for (uint32_t k : {32, 64, 128, 256, 512}) {
+    gems::KllSketch kll(k, 2);
+    for (double v : data) kll.Update(v);
+    const double err = MaxError(
+        sorted_copy, [&](double q) { return kll.Quantile(q); });
+    std::printf("%6u | %12.5f | %10zu | %16.2f\n", k, err,
+                kll.MemoryBytes(), err * kll.MemoryBytes());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E5: heavy hitters — SpaceSaving / Misra-Gries / Count-Min+heap.
+//
+// Claims (paper section 2): deterministic counter algorithms (SpaceSaving,
+// Misra-Gries) guarantee perfect recall of phi-heavy items with 1/phi
+// counters; precision improves with capacity; the randomized CM+heap
+// alternative needs comparable space for similar quality.
+
+#include <cstdio>
+#include <vector>
+
+#include "frequency/count_min.h"
+#include "frequency/misra_gries.h"
+#include "frequency/space_saving.h"
+#include "workload/baselines.h"
+#include "workload/generators.h"
+#include "workload/metrics.h"
+
+int main() {
+  constexpr int kStream = 1000000;
+  constexpr double kPhi = 0.001;
+
+  gems::ZipfGenerator zipf(1000000, 1.1, 77);
+  gems::ExactFrequencies exact;
+  std::vector<uint64_t> stream;
+  stream.reserve(kStream);
+  for (int i = 0; i < kStream; ++i) {
+    const uint64_t item = zipf.Next();
+    stream.push_back(item);
+    exact.Update(item);
+  }
+  const auto truth =
+      exact.ItemsAbove(static_cast<int64_t>(kPhi * kStream) + 1);
+  std::printf("E5: phi = %.3f heavy hitters, Zipf(1.1) stream n = %d, "
+              "%zu true heavy items\n\n",
+              kPhi, kStream, truth.size());
+  std::printf("%9s | %22s | %22s | %22s\n", "capacity",
+              "SpaceSaving P/R", "MisraGries P/R", "CM+heap P/R");
+
+  for (size_t capacity : {250, 500, 1000, 2000, 4000}) {
+    gems::SpaceSaving ss(capacity);
+    gems::MisraGries mg(capacity);
+    gems::CountMinHeavyHitters cmh(
+        static_cast<uint32_t>(capacity), 4, capacity, 3);
+    for (uint64_t item : stream) {
+      ss.Update(item);
+      mg.Update(item);
+      cmh.Update(item);
+    }
+    const auto ss_quality =
+        gems::CompareSets(ss.HeavyHitterCandidates(kPhi), truth);
+    const auto mg_quality =
+        gems::CompareSets(mg.HeavyHitterCandidates(kPhi), truth);
+    const auto cm_quality =
+        gems::CompareSets(cmh.HeavyHitters(kPhi), truth);
+    std::printf("%9zu | %9.3f / %9.3f | %9.3f / %9.3f | %9.3f / %9.3f\n",
+                capacity, ss_quality.precision, ss_quality.recall,
+                mg_quality.precision, mg_quality.recall,
+                cm_quality.precision, cm_quality.recall);
+  }
+
+  std::printf("\nE5b: top-10 accuracy at capacity = 1000\n");
+  gems::SpaceSaving ss(1000);
+  for (uint64_t item : stream) ss.Update(item);
+  const auto exact_top = exact.TopK(10);
+  const auto sketch_top = ss.TopK(10);
+  std::printf("%4s | %12s | %12s | %10s | %s\n", "rank", "exact count",
+              "SS estimate", "SS error", "item match");
+  for (size_t i = 0; i < exact_top.size(); ++i) {
+    std::printf("%4zu | %12ld | %12ld | %10ld | %s\n", i + 1,
+                (long)exact_top[i].second, (long)sketch_top[i].count,
+                (long)sketch_top[i].error,
+                exact_top[i].first == sketch_top[i].item ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E6: mergeability — merged accuracy equals single-stream accuracy.
+//
+// Claim (Mergeable Summaries, PODS 2012 test-of-time; paper section 2):
+// partitioning a stream across k nodes and merging the k summaries gives
+// the same error guarantee as one summary over the whole stream. For
+// register sketches (HLL) and linear sketches (Count-Min) the merged state
+// is bit-identical; for KLL/Misra-Gries the guarantee (not the state) is
+// preserved.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "cardinality/hyperloglog.h"
+#include "common/numeric.h"
+#include "distributed/aggregation.h"
+#include "frequency/count_min.h"
+#include "frequency/misra_gries.h"
+#include "quantiles/kll.h"
+#include "workload/baselines.h"
+#include "workload/generators.h"
+
+int main() {
+  constexpr int kShards = 256;
+  constexpr int kTrials = 8;
+  std::printf("E6: error of merged (%d-way) vs single-stream summaries, "
+              "%d trials\n\n",
+              kShards, kTrials);
+
+  // --- HLL on 500k distinct items ---
+  {
+    std::vector<double> streamed_err, merged_err;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto items = gems::DistinctItems(500000, 100 + t);
+      gems::HyperLogLog streamed(12, t);
+      std::vector<gems::HyperLogLog> leaves;
+      for (int s = 0; s < kShards; ++s) leaves.emplace_back(12, t);
+      for (size_t i = 0; i < items.size(); ++i) {
+        streamed.Update(items[i]);
+        leaves[i % kShards].Update(items[i]);
+      }
+      gems::AggregationStats stats;
+      auto merged = gems::AggregateTree(std::move(leaves), 2, &stats);
+      streamed_err.push_back(
+          gems::RelativeError(streamed.Count(), 500000.0));
+      merged_err.push_back(
+          gems::RelativeError(merged.value().Count(), 500000.0));
+      if (t == 0) {
+        std::printf("HLL p=12: tree depth %d, %zu merges, %zu bytes "
+                    "communicated\n",
+                    stats.tree_depth, stats.num_merges,
+                    stats.communication_bytes);
+      }
+    }
+    std::printf("HLL      rel-RMSE: streamed %.4f   merged %.4f   "
+                "ratio %.3f\n\n",
+                gems::Rms(streamed_err), gems::Rms(merged_err),
+                gems::Rms(merged_err) / gems::Rms(streamed_err));
+  }
+
+  // --- Count-Min on Zipf stream (state is exactly equal) ---
+  {
+    gems::ZipfGenerator zipf(100000, 1.2, 5);
+    gems::CountMinSketch streamed(2048, 4, 6);
+    std::vector<gems::CountMinSketch> leaves;
+    for (int s = 0; s < kShards; ++s) leaves.emplace_back(2048, 4, 6);
+    for (int i = 0; i < 500000; ++i) {
+      const uint64_t item = zipf.Next();
+      streamed.Update(item);
+      leaves[i % kShards].Update(item);
+    }
+    auto merged = gems::AggregateTree(std::move(leaves), 4, nullptr);
+    uint64_t diffs = 0;
+    for (uint64_t probe = 0; probe < 10000; ++probe) {
+      if (merged.value().EstimateCount(probe) !=
+          streamed.EstimateCount(probe)) {
+        ++diffs;
+      }
+    }
+    std::printf("Count-Min: merged point queries differing from "
+                "single-stream: %lu / 10000 (expect 0 — linear sketch)\n\n",
+                (unsigned long)diffs);
+  }
+
+  // --- KLL on lognormal values ---
+  {
+    std::vector<double> streamed_err, merged_err;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto data = gems::GenerateValues(
+          gems::ValueDistribution::kLogNormal, 512000, 200 + t);
+      gems::ExactQuantiles exact;
+      gems::KllSketch streamed(200, 300 + t);
+      std::vector<gems::KllSketch> leaves;
+      for (int s = 0; s < kShards; ++s) leaves.emplace_back(200, 400 + s);
+      for (size_t i = 0; i < data.size(); ++i) {
+        streamed.Update(data[i]);
+        leaves[i % kShards].Update(data[i]);
+        exact.Update(data[i]);
+      }
+      auto merged = gems::AggregateTree(std::move(leaves), 2, nullptr);
+      const double n = static_cast<double>(data.size());
+      double s_err = 0, m_err = 0;
+      for (double q : {0.1, 0.5, 0.9}) {
+        s_err = std::max(
+            s_err, std::abs(static_cast<double>(
+                                exact.Rank(streamed.Quantile(q))) -
+                            q * n) /
+                       n);
+        m_err = std::max(
+            m_err, std::abs(static_cast<double>(
+                                exact.Rank(merged.value().Quantile(q))) -
+                            q * n) /
+                       n);
+      }
+      streamed_err.push_back(s_err);
+      merged_err.push_back(m_err);
+    }
+    std::printf("KLL k=200 max-rank-err: streamed %.5f   merged %.5f   "
+                "ratio %.3f\n\n",
+                gems::Mean(streamed_err), gems::Mean(merged_err),
+                gems::Mean(merged_err) / gems::Mean(streamed_err));
+  }
+
+  // --- Misra-Gries guarantee after merging ---
+  {
+    gems::ZipfGenerator zipf(100000, 1.3, 9);
+    gems::ExactFrequencies exact;
+    std::vector<gems::MisraGries> leaves;
+    for (int s = 0; s < kShards; ++s) leaves.emplace_back(200);
+    const int64_t n = 512000;
+    for (int64_t i = 0; i < n; ++i) {
+      const uint64_t item = zipf.Next();
+      exact.Update(item);
+      leaves[i % kShards].Update(item);
+    }
+    auto merged = gems::AggregateTree(std::move(leaves), 2, nullptr);
+    int64_t worst_undercount = 0;
+    int violations = 0;
+    for (const auto& [item, count] : exact.TopK(50)) {
+      const int64_t estimate = merged.value().EstimateCount(item);
+      worst_undercount = std::max(worst_undercount, count - estimate);
+      if (count - estimate > merged.value().ErrorBound()) ++violations;
+    }
+    std::printf("Misra-Gries k=200: worst undercount %ld, claimed bound "
+                "%ld, violations %d (expect 0), N/k = %ld\n",
+                (long)worst_undercount, (long)merged.value().ErrorBound(),
+                violations, (long)(n / 200));
+  }
+  return 0;
+}

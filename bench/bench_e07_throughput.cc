@@ -1,0 +1,229 @@
+// E7: update/query throughput of every sketch (google-benchmark).
+//
+// Claim (paper section 2, "practical side" / DataSketches): production
+// sketches sustain tens of millions of updates per second per core, which
+// is what made them deployable inside stream engines and warehouses.
+
+#include <benchmark/benchmark.h>
+
+#include "cardinality/hllpp.h"
+#include "cardinality/hyperloglog.h"
+#include "cardinality/kmv.h"
+#include "frequency/count_min.h"
+#include "frequency/count_sketch.h"
+#include "frequency/misra_gries.h"
+#include "frequency/space_saving.h"
+#include "membership/blocked_bloom.h"
+#include "membership/bloom.h"
+#include "quantiles/kll.h"
+#include "quantiles/mrl.h"
+#include "quantiles/req.h"
+#include "quantiles/tdigest.h"
+#include "similarity/minhash.h"
+#include "workload/generators.h"
+
+namespace {
+
+std::vector<uint64_t> TestItems() {
+  static const std::vector<uint64_t> items =
+      gems::ZipfGenerator(1 << 20, 1.1, 42).Take(1 << 16);
+  return items;
+}
+
+void BM_HyperLogLogUpdate(benchmark::State& state) {
+  gems::HyperLogLog sketch(static_cast<int>(state.range(0)), 1);
+  const auto items = TestItems();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(items[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HyperLogLogUpdate)->Arg(10)->Arg(14);
+
+void BM_HllPlusPlusUpdate(benchmark::State& state) {
+  gems::HllPlusPlus sketch(12, 1);
+  const auto items = TestItems();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(items[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HllPlusPlusUpdate);
+
+void BM_KmvUpdate(benchmark::State& state) {
+  gems::KmvSketch sketch(1024, 1);
+  const auto items = TestItems();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(items[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KmvUpdate);
+
+void BM_BloomInsert(benchmark::State& state) {
+  gems::BloomFilter filter(1 << 23, static_cast<int>(state.range(0)), 1);
+  const auto items = TestItems();
+  size_t i = 0;
+  for (auto _ : state) {
+    filter.Insert(items[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomInsert)->Arg(4)->Arg(8);
+
+void BM_BloomQuery(benchmark::State& state) {
+  gems::BloomFilter filter(1 << 23, 7, 1);
+  const auto items = TestItems();
+  for (size_t i = 0; i < items.size() / 2; ++i) filter.Insert(items[i]);
+  size_t i = 0;
+  bool sink = false;
+  for (auto _ : state) {
+    sink ^= filter.MayContain(items[i++ & 0xFFFF]);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomQuery);
+
+void BM_BlockedBloomQuery(benchmark::State& state) {
+  gems::BlockedBloomFilter filter(1 << 23, 8, 1);
+  const auto items = TestItems();
+  for (size_t i = 0; i < items.size() / 2; ++i) filter.Insert(items[i]);
+  size_t i = 0;
+  bool sink = false;
+  for (auto _ : state) {
+    sink ^= filter.MayContain(items[i++ & 0xFFFF]);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockedBloomQuery);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  gems::CountMinSketch sketch(4096, static_cast<uint32_t>(state.range(0)),
+                              1);
+  const auto items = TestItems();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(items[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinUpdate)->Arg(4)->Arg(8);
+
+void BM_CountSketchUpdate(benchmark::State& state) {
+  gems::CountSketch sketch(4096, 5, 1);
+  const auto items = TestItems();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(items[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountSketchUpdate);
+
+void BM_SpaceSavingUpdate(benchmark::State& state) {
+  gems::SpaceSaving sketch(static_cast<size_t>(state.range(0)));
+  const auto items = TestItems();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(items[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingUpdate)->Arg(256)->Arg(4096);
+
+void BM_MisraGriesUpdate(benchmark::State& state) {
+  gems::MisraGries sketch(1024);
+  const auto items = TestItems();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(items[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MisraGriesUpdate);
+
+void BM_KllUpdate(benchmark::State& state) {
+  gems::KllSketch sketch(200, 1);
+  const auto values =
+      gems::GenerateValues(gems::ValueDistribution::kGaussian, 1 << 16, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(values[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KllUpdate);
+
+void BM_MrlUpdate(benchmark::State& state) {
+  gems::MrlSketch sketch(10, 500);
+  const auto values =
+      gems::GenerateValues(gems::ValueDistribution::kGaussian, 1 << 16, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(values[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MrlUpdate);
+
+void BM_ReqUpdate(benchmark::State& state) {
+  gems::ReqSketch sketch(32, 1);
+  const auto values =
+      gems::GenerateValues(gems::ValueDistribution::kGaussian, 1 << 16, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(values[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReqUpdate);
+
+void BM_MinHashUpdate(benchmark::State& state) {
+  gems::MinHashSketch sketch(static_cast<uint32_t>(state.range(0)), 1);
+  const auto items = TestItems();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(items[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinHashUpdate)->Arg(64)->Arg(256);
+
+void BM_TDigestUpdate(benchmark::State& state) {
+  gems::TDigest sketch(100);
+  const auto values =
+      gems::GenerateValues(gems::ValueDistribution::kGaussian, 1 << 16, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(values[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TDigestUpdate);
+
+void BM_HyperLogLogMerge(benchmark::State& state) {
+  gems::HyperLogLog a(12, 1), b(12, 1);
+  for (uint64_t item : gems::DistinctItems(100000, 3)) b.Update(item);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Merge(b));
+  }
+}
+BENCHMARK(BM_HyperLogLogMerge);
+
+void BM_HyperLogLogSerialize(benchmark::State& state) {
+  gems::HyperLogLog sketch(12, 1);
+  for (uint64_t item : gems::DistinctItems(100000, 3)) sketch.Update(item);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Serialize());
+  }
+}
+BENCHMARK(BM_HyperLogLogSerialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

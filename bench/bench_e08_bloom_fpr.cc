@@ -1,0 +1,109 @@
+// E8: Bloom filter false-positive rate vs space.
+//
+// Claims (paper sections 2-3): measured FPR follows (1 - e^{-kn/m})^k,
+// minimized at k = (m/n) ln 2; cache-blocked filters trade a slightly
+// higher FPR for one cache line per probe (ablation).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "membership/blocked_bloom.h"
+#include "membership/bloom.h"
+#include "membership/counting_bloom.h"
+#include "workload/generators.h"
+
+namespace {
+
+constexpr uint64_t kItems = 100000;
+constexpr uint64_t kProbes = 1000000;
+
+template <typename Filter>
+double MeasureFpr(const Filter& filter) {
+  uint64_t false_positives = 0;
+  for (uint64_t item : gems::DistinctItems(kProbes, 999)) {
+    if (filter.MayContain(item)) ++false_positives;
+  }
+  return static_cast<double>(false_positives) / kProbes;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: Bloom FPR vs bits/item (n = %lu inserted, %lu probes)\n\n",
+              (unsigned long)kItems, (unsigned long)kProbes);
+  std::printf("%10s | %3s | %12s | %12s | %14s\n", "bits/item", "k",
+              "measured", "theory", "blocked meas.");
+
+  const auto items = gems::DistinctItems(kItems, 5);
+  for (int bits_per_item : {4, 6, 8, 10, 12, 16}) {
+    const uint64_t m = kItems * bits_per_item;
+    const int k = gems::BloomFilter::OptimalNumHashes(bits_per_item);
+    gems::BloomFilter standard(m, k, 7);
+    gems::BlockedBloomFilter blocked(m, k, 7);
+    for (uint64_t item : items) {
+      standard.Insert(item);
+      blocked.Insert(item);
+    }
+    std::printf("%10d | %3d | %12.5f | %12.5f | %14.5f\n", bits_per_item, k,
+                MeasureFpr(standard),
+                gems::BloomFilter::TheoreticalFpr(m, k, kItems),
+                MeasureFpr(blocked));
+  }
+
+  std::printf("\nE8b: FPR vs k at fixed 10 bits/item (optimum at k = 7)\n");
+  std::printf("%3s | %12s | %12s\n", "k", "measured", "theory");
+  for (int k : {2, 4, 7, 10, 14}) {
+    gems::BloomFilter filter(kItems * 10, k, 11);
+    for (uint64_t item : items) filter.Insert(item);
+    std::printf("%3d | %12.5f | %12.5f\n", k, MeasureFpr(filter),
+                gems::BloomFilter::TheoreticalFpr(kItems * 10, k, kItems));
+  }
+
+  std::printf("\nE8c: query latency, standard vs blocked (10 bits/item, "
+              "k = 7/8)\n");
+  {
+    gems::BloomFilter standard(kItems * 10, 7, 13);
+    gems::BlockedBloomFilter blocked(kItems * 10, 8, 13);
+    for (uint64_t item : items) {
+      standard.Insert(item);
+      blocked.Insert(item);
+    }
+    const auto probes = gems::DistinctItems(kProbes, 17);
+    uint64_t sink = 0;
+
+    auto start = std::chrono::steady_clock::now();
+    for (uint64_t item : probes) sink += standard.MayContain(item);
+    const double standard_ns =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - start)
+            .count() /
+        kProbes;
+
+    start = std::chrono::steady_clock::now();
+    for (uint64_t item : probes) sink += blocked.MayContain(item);
+    const double blocked_ns =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - start)
+            .count() /
+        kProbes;
+    benchmark::DoNotOptimize(sink);
+    std::printf("   standard %.1f ns/query, blocked %.1f ns/query "
+                "(%.2fx speedup)\n",
+                standard_ns, blocked_ns, standard_ns / blocked_ns);
+  }
+
+  std::printf("\nE8d: counting Bloom supports deletion (standard cannot)\n");
+  gems::CountingBloomFilter counting(1 << 20, 5, 19);
+  for (uint64_t item : items) counting.Insert(item);
+  uint64_t present_before = 0, present_after = 0;
+  for (uint64_t item : items) present_before += counting.MayContain(item);
+  for (uint64_t item : items) counting.Remove(item);
+  for (uint64_t item : items) present_after += counting.MayContain(item);
+  std::printf("   present before deletion: %lu / %lu, after: %lu\n",
+              (unsigned long)present_before, (unsigned long)kItems,
+              (unsigned long)present_after);
+  return 0;
+}

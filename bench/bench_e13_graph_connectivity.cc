@@ -1,0 +1,97 @@
+// E13: AGM graph sketches — connectivity in near-linear sketch space.
+//
+// Claims (paper section 2, graph sketching; Ahn-Guha-McGregor 2012):
+// per-vertex L0 samplers of the edge-incidence vectors recover a spanning
+// forest w.h.p. via sketch-space Boruvka; success rate grows with sketch
+// copies; deletions are handled (fully dynamic graphs).
+
+#include <cstdio>
+#include <vector>
+
+#include "graph/agm.h"
+#include "graph/connectivity.h"
+
+namespace {
+
+// Fraction of trials in which the sketch reports the exact component
+// count.
+double SuccessRate(uint32_t num_vertices, uint32_t num_components,
+                   int num_copies, int trials) {
+  int correct = 0;
+  for (int t = 0; t < trials; ++t) {
+    gems::AgmSketch::Options options;
+    options.num_copies = num_copies;
+    gems::AgmSketch sketch(num_vertices, 500 + t, options);
+    const auto edges = gems::PlantedComponents(
+        num_vertices, num_components, 1.0, 900 + t);
+    for (const gems::Edge& edge : edges) sketch.AddEdge(edge.u, edge.v);
+    if (sketch.NumComponents() == num_components) ++correct;
+  }
+  return static_cast<double>(correct) / trials;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E13: AGM connectivity success rate vs sketch copies "
+              "(n = 256 vertices, 4 planted components, 10 trials)\n\n");
+  std::printf("%8s | %14s\n", "copies", "success rate");
+  for (int copies : {2, 4, 8, 12, 16}) {
+    std::printf("%8d | %14.2f\n", copies, SuccessRate(256, 4, copies, 10));
+  }
+
+  std::printf("\nE13b: component-count recovery across graph shapes "
+              "(12 copies, 8 trials each)\n");
+  std::printf("%12s | %10s | %14s\n", "vertices", "components",
+              "success rate");
+  for (uint32_t n : {64, 128, 256}) {
+    for (uint32_t c : {1, 4, 16}) {
+      std::printf("%12u | %10u | %14.2f\n", n, c, SuccessRate(n, c, 12, 8));
+    }
+  }
+
+  std::printf("\nE13c: dynamic deletions — bridge removal splits the "
+              "graph\n");
+  {
+    int correct = 0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+      const uint32_t n = 128;
+      gems::AgmSketch sketch(n, 42 + t);
+      // Two halves internally connected, one bridge between them.
+      for (uint32_t i = 0; i + 1 < n / 2; ++i) sketch.AddEdge(i, i + 1);
+      for (uint32_t i = n / 2; i + 1 < n; ++i) sketch.AddEdge(i, i + 1);
+      sketch.AddEdge(n / 2 - 1, n / 2);
+      const size_t before = sketch.NumComponents();
+      sketch.RemoveEdge(n / 2 - 1, n / 2);
+      const size_t after = sketch.NumComponents();
+      if (before == 1 && after == 2) ++correct;
+    }
+    std::printf("   bridge-deletion detected correctly: %d / %d trials\n",
+                correct, trials);
+  }
+
+  std::printf("\nE13d: G(n, p) around the connectivity threshold "
+              "(n = 256, ln n / n ~ 0.0217; sketch vs exact, 6 trials)\n");
+  std::printf("%8s | %16s | %16s\n", "p", "exact components",
+              "sketch matches");
+  for (double p : {0.005, 0.01, 0.02, 0.04, 0.08}) {
+    double mean_components = 0;
+    int matches = 0;
+    const int trials = 6;
+    for (int t = 0; t < trials; ++t) {
+      const auto edges = gems::RandomGraph(256, p, 7000 + t);
+      gems::ExactGraph exact(256);
+      gems::AgmSketch sketch(256, 8000 + t);
+      for (const gems::Edge& edge : edges) {
+        exact.AddEdge(edge.u, edge.v);
+        sketch.AddEdge(edge.u, edge.v);
+      }
+      mean_components += static_cast<double>(exact.NumComponents());
+      if (sketch.NumComponents() == exact.NumComponents()) ++matches;
+    }
+    std::printf("%8.3f | %16.1f | %13d / %d\n", p, mean_components / trials,
+                matches, trials);
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Private telemetry: the paper's "Private Data Analysis" era. Simulates a
+// fleet of clients reporting their default browser home page to a vendor
+// under local differential privacy, two ways:
+//
+//   1. RAPPOR (Google):   Bloom filter + randomized response
+//   2. Private CMS (Apple): Count-Mean Sketch + randomized response
+//
+// The server never sees a raw value, yet recovers the popular ones.
+//
+//   ./build/examples/private_telemetry
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hash/hash.h"
+#include "privacy/private_cms.h"
+#include "privacy/rappor.h"
+
+int main() {
+  using namespace gems;
+
+  const std::vector<std::string> pages = {
+      "news.example.com", "search.example.com", "mail.example.com",
+      "video.example.com", "social.example.com", "wiki.example.com"};
+  const std::vector<double> shares = {0.35, 0.25, 0.15, 0.12, 0.08, 0.05};
+
+  auto page_id = [](const std::string& page) {
+    return Hash64(page, /*seed=*/0);
+  };
+
+  const int kClients = 100000;
+  const double kEpsilon = 3.0;
+
+  // --- RAPPOR ---
+  RapporClient::Options rappor_options;
+  rappor_options.num_bits = 256;
+  rappor_options.num_hashes = 2;
+  rappor_options.epsilon = kEpsilon;
+  RapporAggregator rappor_server(rappor_options);
+
+  // --- Apple CMS ---
+  PrivateCmsClient::Options cms_options;
+  cms_options.width = 1024;
+  cms_options.depth = 16;
+  cms_options.epsilon = kEpsilon;
+  PrivateCmsServer cms_server(cms_options);
+
+  std::vector<int> true_counts(pages.size(), 0);
+  Rng rng(99);
+  for (int client = 0; client < kClients; ++client) {
+    // Draw this client's true value from the popularity distribution.
+    double u = rng.NextDouble();
+    size_t choice = 0;
+    for (; choice + 1 < pages.size(); ++choice) {
+      if (u < shares[choice]) break;
+      u -= shares[choice];
+    }
+    true_counts[choice]++;
+    const uint64_t value = page_id(pages[choice]);
+
+    RapporClient rappor_client(rappor_options, 1000 + client);
+    rappor_server.Absorb(rappor_client.Report(value));
+
+    PrivateCmsClient cms_client(cms_options, 5000000 + client);
+    cms_server.Absorb(cms_client.Encode(value));
+  }
+
+  std::printf("%d clients, epsilon = %.1f per report\n\n", kClients,
+              kEpsilon);
+  std::printf("%-22s %8s %14s %14s\n", "home page", "true", "RAPPOR",
+              "private CMS");
+  for (size_t i = 0; i < pages.size(); ++i) {
+    const uint64_t value = page_id(pages[i]);
+    std::printf("%-22s %8d %14.0f %14.0f\n", pages[i].c_str(),
+                true_counts[i], rappor_server.EstimateFrequency(value),
+                cms_server.EstimateCount(value));
+  }
+
+  // A value nobody reported should decode near zero in both systems.
+  const uint64_t absent = page_id("attacker.example.com");
+  std::printf("%-22s %8d %14.0f %14.0f\n", "attacker.example.com", 0,
+              rappor_server.EstimateFrequency(absent),
+              cms_server.EstimateCount(absent));
+
+  std::printf("\ndictionary decode via RAPPOR (threshold 2%% of fleet):\n");
+  std::vector<uint64_t> dictionary;
+  for (const std::string& page : pages) dictionary.push_back(page_id(page));
+  dictionary.push_back(absent);
+  for (const auto& [value, estimate] :
+       rappor_server.Decode(dictionary, 0.02 * kClients)) {
+    for (const std::string& page : pages) {
+      if (page_id(page) == value) {
+        std::printf("   %-22s ~%.0f clients\n", page.c_str(), estimate);
+      }
+    }
+  }
+  return 0;
+}

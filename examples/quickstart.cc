@@ -1,0 +1,83 @@
+// Quickstart: the five core sketches in ~60 lines.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// Demonstrates distinct counting (HyperLogLog), membership (Bloom filter),
+// frequency estimation (Count-Min), top-k (SpaceSaving), and quantiles
+// (KLL) over one synthetic stream, against exact baselines.
+
+#include <cstdio>
+
+#include "cardinality/hyperloglog.h"
+#include "frequency/count_min.h"
+#include "frequency/space_saving.h"
+#include "membership/bloom.h"
+#include "quantiles/kll.h"
+#include "workload/baselines.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace gems;
+
+  // A skewed stream of 1M events over 100k possible items.
+  ZipfGenerator stream(100000, 1.2, /*seed=*/42);
+  const size_t n = 1000000;
+
+  HyperLogLog distinct(/*precision=*/12);
+  BloomFilter seen(1 << 22, 7);
+  CountMinSketch counts(4096, 4);
+  SpaceSaving top(128);
+  KllSketch latency(200);
+
+  ExactDistinct exact_distinct;
+  ExactFrequencies exact_counts;
+
+  Rng value_rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t item = stream.Next();
+    distinct.Update(item);
+    seen.Insert(item);
+    counts.Update(item);
+    top.Update(item);
+    latency.Update(value_rng.NextExponential() * 10.0);  // Fake latency ms.
+    exact_distinct.Update(item);
+    exact_counts.Update(item);
+  }
+
+  std::printf("stream: %zu events\n\n", n);
+
+  std::printf("-- count distinct (HyperLogLog, 4 KiB) --\n");
+  std::printf("   exact %lu   estimate %.0f   interval %s\n\n",
+              (unsigned long)exact_distinct.Count(), distinct.Count(),
+              distinct.CountEstimate(0.95).ToString().c_str());
+
+  const uint64_t probe = stream.Next();
+  std::printf("-- membership (Bloom filter) --\n");
+  std::printf("   seen item present? %s   fresh key present? %s\n\n",
+              seen.MayContain(probe) ? "yes" : "no",
+              seen.MayContain(0xDEADBEEFULL) ? "yes (false positive)" : "no");
+
+  std::printf("-- frequency (Count-Min, 64 KiB) + top-k (SpaceSaving) --\n");
+  for (const auto& entry : top.TopK(5)) {
+    std::printf("   item %20lu   exact %8ld   count-min %8lu   "
+                "space-saving %8ld (+-%ld)\n",
+                (unsigned long)entry.item,
+                (long)exact_counts.Count(entry.item),
+                (unsigned long)counts.EstimateCount(entry.item), (long)entry.count,
+                (long)entry.error);
+  }
+
+  std::printf("\n-- quantiles (KLL over %lu fake latencies) --\n",
+              (unsigned long)latency.Count());
+  for (double q : {0.5, 0.95, 0.99}) {
+    std::printf("   p%-4.0f %.2f ms\n", q * 100, latency.Quantile(q));
+  }
+
+  // Every sketch serializes and merges -- ship them between machines.
+  const auto bytes = distinct.Serialize();
+  auto restored = HyperLogLog::Deserialize(bytes);
+  std::printf("\nserialized HLL: %zu bytes; restored estimate %.0f\n",
+              bytes.size(), restored.value().Count());
+  return 0;
+}

@@ -1,0 +1,141 @@
+// sketch_tool: a small command-line utility over the library — the
+// "pushing out code" adoption pathway from the paper, in tool form.
+// Reads one value per line from stdin and maintains the chosen sketch.
+//
+//   echo -e "a\nb\na\nc" | ./build/examples/sketch_tool distinct
+//   seq 1 100000 | ./build/examples/sketch_tool quantiles
+//   yes hello | head -50000 | ./build/examples/sketch_tool topk
+//   ./build/examples/sketch_tool selftest      # runs on synthetic data
+//
+// Numeric lines are treated as numbers for `quantiles`; all other modes
+// hash the raw line bytes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+
+#include "cardinality/hllpp.h"
+#include "core/params.h"
+#include "frequency/space_saving.h"
+#include "hash/hash.h"
+#include "membership/bloom.h"
+#include "quantiles/tdigest.h"
+#include "workload/generators.h"
+
+namespace {
+
+int RunDistinct(std::istream& in) {
+  gems::HllPlusPlus sketch(gems::HllPrecisionFor(0.01));
+  uint64_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    sketch.Update(gems::Hash64(line, 0));
+    ++lines;
+  }
+  const gems::Estimate estimate = sketch.CountEstimate(0.95);
+  std::printf("%lu lines, ~%.0f distinct  (95%%: [%.0f, %.0f], %zu bytes "
+              "of state)\n",
+              (unsigned long)lines, estimate.value, estimate.lower,
+              estimate.upper, sketch.MemoryBytes());
+  return 0;
+}
+
+int RunTopK(std::istream& in) {
+  gems::SpaceSaving sketch(1024);
+  std::string line;
+  // SpaceSaving tracks hashes; remember one spelling per tracked hash for
+  // display (best-effort, bounded memory).
+  std::unordered_map<uint64_t, std::string> spellings;
+  while (std::getline(in, line)) {
+    const uint64_t key = gems::Hash64(line, 0);
+    sketch.Update(key);
+    if (spellings.size() < 4096) spellings.emplace(key, line);
+  }
+  std::printf("top 10 of %ld weighted items:\n", (long)sketch.TotalWeight());
+  for (const auto& entry : sketch.TopK(10)) {
+    const auto it = spellings.find(entry.item);
+    std::printf("  %8ld (+-%ld)  %s\n", (long)entry.count, (long)entry.error,
+                it == spellings.end() ? "<unknown>" : it->second.c_str());
+  }
+  return 0;
+}
+
+int RunQuantiles(std::istream& in) {
+  gems::TDigest sketch(200);
+  std::string line;
+  uint64_t skipped = 0;
+  while (std::getline(in, line)) {
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str(), &end);
+    if (end == line.c_str()) {
+      ++skipped;
+      continue;
+    }
+    sketch.Update(value);
+  }
+  if (sketch.Count() == 0) {
+    std::fprintf(stderr, "no numeric input\n");
+    return 1;
+  }
+  std::printf("n = %lu (skipped %lu non-numeric)\n",
+              (unsigned long)sketch.Count(), (unsigned long)skipped);
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    std::printf("  p%-4.0f %.6g\n", q * 100, sketch.Quantile(q));
+  }
+  std::printf("  min %.6g  max %.6g\n", sketch.Min(), sketch.Max());
+  return 0;
+}
+
+int RunMembership(std::istream& in, const std::string& probe) {
+  gems::BloomFilter filter = gems::BloomFilter::ForCapacity(1 << 20, 0.01);
+  uint64_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    filter.Insert(std::string_view(line));
+    ++lines;
+  }
+  std::printf("%lu lines inserted; \"%s\" %s\n", (unsigned long)lines,
+              probe.c_str(),
+              filter.MayContain(std::string_view(probe))
+                  ? "MAY be present"
+                  : "is definitely absent");
+  return 0;
+}
+
+int RunSelfTest() {
+  std::printf("self test on synthetic Zipf stream (500k events):\n");
+  gems::ZipfGenerator zipf(100000, 1.2, 1);
+  gems::HllPlusPlus distinct(14);
+  gems::SpaceSaving top(256);
+  gems::TDigest quantiles(100);
+  for (int i = 0; i < 500000; ++i) {
+    const uint64_t item = zipf.Next();
+    distinct.Update(item);
+    top.Update(item);
+    quantiles.Update(static_cast<double>(item % 1000));
+  }
+  std::printf("  distinct ~%.0f, heaviest item seen %ld times, median "
+              "value %.1f\n",
+              distinct.Count(), (long)top.TopK(1)[0].count,
+              quantiles.Quantile(0.5));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "distinct") return RunDistinct(std::cin);
+  if (mode == "topk") return RunTopK(std::cin);
+  if (mode == "quantiles") return RunQuantiles(std::cin);
+  if (mode == "member") {
+    return RunMembership(std::cin, argc > 2 ? argv[2] : "needle");
+  }
+  if (mode == "selftest") return RunSelfTest();
+  std::fprintf(stderr,
+               "usage: sketch_tool <distinct|topk|quantiles|member "
+               "[probe]|selftest>  (input: one value per line on stdin)\n");
+  return 2;
+}

@@ -1,0 +1,117 @@
+#include "cardinality/hyperloglog.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "core/frame.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+HyperLogLog::HyperLogLog(int precision, uint64_t seed)
+    : precision_(precision), seed_(seed) {
+  GEMS_CHECK(precision >= 4 && precision <= 18);
+  registers_.assign(uint64_t{1} << precision, 0);
+}
+
+double HyperLogLog::Alpha(uint32_t m) {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+void HyperLogLog::Update(uint64_t item) { UpdateHash(Hash64(item, seed_)); }
+
+void HyperLogLog::UpdateHash(uint64_t hash) {
+  const uint32_t index = static_cast<uint32_t>(hash >> (64 - precision_));
+  const int width = 64 - precision_;
+  const int rho = RankOfLeftmostOne(hash, width);
+  if (rho > registers_[index]) {
+    registers_[index] = static_cast<uint8_t>(rho);
+  }
+}
+
+double HyperLogLog::RawCount() const {
+  const double m = static_cast<double>(registers_.size());
+  double harmonic = 0.0;
+  for (uint8_t reg : registers_) {
+    harmonic += std::pow(2.0, -static_cast<double>(reg));
+  }
+  return Alpha(static_cast<uint32_t>(registers_.size())) * m * m / harmonic;
+}
+
+uint32_t HyperLogLog::NumZeroRegisters() const {
+  uint32_t zeros = 0;
+  for (uint8_t reg : registers_) zeros += (reg == 0) ? 1 : 0;
+  return zeros;
+}
+
+double HyperLogLog::Count() const {
+  const double raw = RawCount();
+  const double m = static_cast<double>(registers_.size());
+  if (raw <= 2.5 * m) {
+    const uint32_t zeros = NumZeroRegisters();
+    if (zeros > 0) {
+      // Small-range correction: linear counting over the registers.
+      return m * std::log(m / static_cast<double>(zeros));
+    }
+  }
+  return raw;
+}
+
+Estimate HyperLogLog::CountEstimate(double confidence) const {
+  const double n = Count();
+  const double std_error =
+      1.04 / std::sqrt(static_cast<double>(registers_.size())) * n;
+  return EstimateFromStdError(n, std_error, confidence);
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (precision_ != other.precision_ || seed_ != other.seed_) {
+    return Status::InvalidArgument(
+        "HyperLogLog merge requires equal precision and seed");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> HyperLogLog::Serialize() const {
+  ByteWriter w;
+  WriteFrameHeader(SketchType::kHyperLogLog, &w);
+  w.PutU8(static_cast<uint8_t>(precision_));
+  w.PutU64(seed_);
+  w.PutRaw(registers_.data(), registers_.size());
+  return std::move(w).TakeBytes();
+}
+
+Result<HyperLogLog> HyperLogLog::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Status s = ReadFrameHeader(SketchType::kHyperLogLog, &r);
+  if (!s.ok()) return s;
+  uint8_t precision;
+  uint64_t seed;
+  if (Status sp = r.GetU8(&precision); !sp.ok()) return sp;
+  if (Status ss = r.GetU64(&seed); !ss.ok()) return ss;
+  if (precision < 4 || precision > 18) {
+    return Status::Corruption("invalid HyperLogLog precision");
+  }
+  HyperLogLog hll(precision, seed);
+  if (Status sr = r.GetRaw(hll.registers_.data(), hll.registers_.size());
+      !sr.ok()) {
+    return sr;
+  }
+  return hll;
+}
+
+}  // namespace gems

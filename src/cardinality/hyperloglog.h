@@ -1,0 +1,76 @@
+#ifndef GEMS_CARDINALITY_HYPERLOGLOG_H_
+#define GEMS_CARDINALITY_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/estimate.h"
+
+/// \file
+/// HyperLogLog (Flajolet, Fusy, Gandouet & Meunier 2007): the de-facto
+/// standard distinct counter the paper calls out as one of the two most
+/// widely deployed sketches. Replaces LogLog's geometric mean with a
+/// harmonic mean, reaching standard error 1.04/sqrt(m) with one byte per
+/// register, plus the original small-range (linear counting) correction.
+/// Uses 64-bit hashes throughout, so the 32-bit large-range correction of
+/// the original paper is unnecessary (as observed by Heule et al. 2013).
+
+namespace gems {
+
+/// Dense HyperLogLog with m = 2^precision one-byte registers.
+class HyperLogLog {
+ public:
+  /// `precision` in [4, 18].
+  explicit HyperLogLog(int precision, uint64_t seed = 0);
+
+  HyperLogLog(const HyperLogLog&) = default;
+  HyperLogLog& operator=(const HyperLogLog&) = default;
+  HyperLogLog(HyperLogLog&&) = default;
+  HyperLogLog& operator=(HyperLogLog&&) = default;
+
+  /// Adds an item (idempotent per item).
+  void Update(uint64_t item);
+
+  /// Adds an item by its 64-bit hash (for callers that already hashed, and
+  /// for cross-sketch consistency tests).
+  void UpdateHash(uint64_t hash);
+
+  /// Harmonic-mean estimate with small-range correction.
+  double Count() const;
+
+  /// Raw harmonic-mean estimate with no range correction (exposed for the
+  /// E1 ablation of correction on/off).
+  double RawCount() const;
+
+  /// Count with the 1.04/sqrt(m) normal-approximation interval.
+  Estimate CountEstimate(double confidence = 0.95) const;
+
+  /// Register-wise max; requires equal precision and seed.
+  Status Merge(const HyperLogLog& other);
+
+  int precision() const { return precision_; }
+  uint32_t num_registers() const {
+    return static_cast<uint32_t>(registers_.size());
+  }
+  uint32_t NumZeroRegisters() const;
+  size_t MemoryBytes() const { return registers_.size(); }
+  const std::vector<uint8_t>& registers() const { return registers_; }
+
+  /// The alpha_m bias-correction constant for m registers.
+  static double Alpha(uint32_t m);
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<HyperLogLog> Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  friend class HllPlusPlus;  // Converts sparse representations into dense.
+
+  int precision_;
+  uint64_t seed_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_CARDINALITY_HYPERLOGLOG_H_

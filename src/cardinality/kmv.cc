@@ -1,0 +1,164 @@
+#include "cardinality/kmv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/frame.h"
+#include "hash/hash.h"
+
+namespace gems {
+namespace {
+
+// Converts a 64-bit hash to its unit-interval position.
+inline double UnitOf(uint64_t hash) { return HashToUnit(hash); }
+
+}  // namespace
+
+ThetaResult::ThetaResult(double theta, std::vector<uint64_t> hashes)
+    : theta_(theta), hashes_(std::move(hashes)) {
+  GEMS_CHECK(theta_ > 0.0 && theta_ <= 1.0);
+  std::sort(hashes_.begin(), hashes_.end());
+}
+
+double ThetaResult::Count() const {
+  return static_cast<double>(hashes_.size()) / theta_;
+}
+
+Estimate ThetaResult::CountEstimate(double confidence) const {
+  // Retained count is Binomial(n, theta): std error of n̂ = sqrt(r(1-theta))
+  // / theta with r retained.
+  const double r = static_cast<double>(hashes_.size());
+  const double std_error = std::sqrt(r * (1.0 - theta_)) / theta_;
+  return EstimateFromStdError(Count(), std_error, confidence);
+}
+
+KmvSketch::KmvSketch(uint32_t k, uint64_t seed) : k_(k), seed_(seed) {
+  GEMS_CHECK(k >= 2);
+}
+
+void KmvSketch::Update(uint64_t item) {
+  const uint64_t h = Hash64(item, seed_);
+  if (hashes_.size() < k_) {
+    hashes_.insert(h);
+    return;
+  }
+  const uint64_t largest = *hashes_.rbegin();
+  if (h < largest && !hashes_.contains(h)) {
+    hashes_.insert(h);
+    hashes_.erase(std::prev(hashes_.end()));
+  }
+}
+
+double KmvSketch::Theta() const {
+  if (hashes_.size() < k_) return 1.0;
+  return UnitOf(*hashes_.rbegin());
+}
+
+double KmvSketch::Count() const {
+  if (hashes_.size() < k_) return static_cast<double>(hashes_.size());
+  // (k-1)/U_(k): unbiased for the number of distinct items.
+  return static_cast<double>(k_ - 1) / UnitOf(*hashes_.rbegin());
+}
+
+Estimate KmvSketch::CountEstimate(double confidence) const {
+  const double n = Count();
+  if (hashes_.size() < k_) {
+    return EstimateFromStdError(n, 0.0, confidence);
+  }
+  const double std_error = n / std::sqrt(static_cast<double>(k_) - 2.0);
+  return EstimateFromStdError(n, std_error, confidence);
+}
+
+Status KmvSketch::Merge(const KmvSketch& other) {
+  if (seed_ != other.seed_) {
+    return Status::InvalidArgument("KMV merge requires equal seed");
+  }
+  for (uint64_t h : other.hashes_) {
+    if (hashes_.size() < k_) {
+      hashes_.insert(h);
+    } else {
+      const uint64_t largest = *hashes_.rbegin();
+      if (h < largest && !hashes_.contains(h)) {
+        hashes_.insert(h);
+        hashes_.erase(std::prev(hashes_.end()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+ThetaResult KmvSketch::ToTheta() const {
+  return ThetaResult(Theta(),
+                     std::vector<uint64_t>(hashes_.begin(), hashes_.end()));
+}
+
+ThetaResult KmvSketch::Union(const KmvSketch& a, const KmvSketch& b) {
+  GEMS_CHECK(a.seed_ == b.seed_);
+  const double theta = std::min(a.Theta(), b.Theta());
+  std::set<uint64_t> merged;
+  for (uint64_t h : a.hashes_) {
+    if (UnitOf(h) < theta || theta >= 1.0) merged.insert(h);
+  }
+  for (uint64_t h : b.hashes_) {
+    if (UnitOf(h) < theta || theta >= 1.0) merged.insert(h);
+  }
+  return ThetaResult(theta,
+                     std::vector<uint64_t>(merged.begin(), merged.end()));
+}
+
+ThetaResult KmvSketch::Intersect(const KmvSketch& a, const KmvSketch& b) {
+  GEMS_CHECK(a.seed_ == b.seed_);
+  const double theta = std::min(a.Theta(), b.Theta());
+  std::vector<uint64_t> out;
+  for (uint64_t h : a.hashes_) {
+    if ((UnitOf(h) < theta || theta >= 1.0) && b.hashes_.contains(h)) {
+      out.push_back(h);
+    }
+  }
+  return ThetaResult(theta, std::move(out));
+}
+
+ThetaResult KmvSketch::Difference(const KmvSketch& a, const KmvSketch& b) {
+  GEMS_CHECK(a.seed_ == b.seed_);
+  const double theta = std::min(a.Theta(), b.Theta());
+  std::vector<uint64_t> out;
+  for (uint64_t h : a.hashes_) {
+    if ((UnitOf(h) < theta || theta >= 1.0) && !b.hashes_.contains(h)) {
+      out.push_back(h);
+    }
+  }
+  return ThetaResult(theta, std::move(out));
+}
+
+std::vector<uint8_t> KmvSketch::Serialize() const {
+  ByteWriter w;
+  WriteFrameHeader(SketchType::kKmv, &w);
+  w.PutU32(k_);
+  w.PutU64(seed_);
+  w.PutVarint(hashes_.size());
+  for (uint64_t h : hashes_) w.PutU64(h);
+  return std::move(w).TakeBytes();
+}
+
+Result<KmvSketch> KmvSketch::Deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Status s = ReadFrameHeader(SketchType::kKmv, &r);
+  if (!s.ok()) return s;
+  uint32_t k;
+  uint64_t seed, count;
+  if (Status sk = r.GetU32(&k); !sk.ok()) return sk;
+  if (Status ss = r.GetU64(&seed); !ss.ok()) return ss;
+  if (Status sc = r.GetVarint(&count); !sc.ok()) return sc;
+  if (k < 2) return Status::Corruption("invalid KMV k");
+  if (count > k) return Status::Corruption("KMV retained count exceeds k");
+  KmvSketch sketch(k, seed);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t h;
+    if (Status sh = r.GetU64(&h); !sh.ok()) return sh;
+    sketch.hashes_.insert(h);
+  }
+  return sketch;
+}
+
+}  // namespace gems

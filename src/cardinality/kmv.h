@@ -1,0 +1,93 @@
+#ifndef GEMS_CARDINALITY_KMV_H_
+#define GEMS_CARDINALITY_KMV_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/estimate.h"
+
+/// \file
+/// KMV / Theta sketch: keep the k minimum hash values of the distinct items
+/// (Bar-Yossef et al. 2002; productionized as the DataSketches Theta
+/// sketch). Unlike register-based sketches, KMV supports full set algebra —
+/// union, intersection, and difference — which is what the online
+/// advertising scenario in the paper needs for "slice and dice" reach
+/// reporting (how many distinct users saw campaign A AND campaign B?).
+
+namespace gems {
+
+/// Result of a theta-sketch set operation. Immutable: supports estimation
+/// and further set operations, but not updates.
+class ThetaResult {
+ public:
+  ThetaResult(double theta, std::vector<uint64_t> hashes);
+
+  /// Estimated number of distinct items in the represented set:
+  /// |retained hashes| / theta.
+  double Count() const;
+
+  /// Count with the binomial-sampling confidence interval.
+  Estimate CountEstimate(double confidence = 0.95) const;
+
+  double theta() const { return theta_; }
+  const std::vector<uint64_t>& hashes() const { return hashes_; }
+
+ private:
+  double theta_;                  // Sampling threshold in (0, 1].
+  std::vector<uint64_t> hashes_;  // Retained hashes, all < theta * 2^64.
+};
+
+/// KMV sketch of the k minimum hashes.
+class KmvSketch {
+ public:
+  /// `k` >= 2: number of minimum hash values retained.
+  explicit KmvSketch(uint32_t k, uint64_t seed = 0);
+
+  KmvSketch(const KmvSketch&) = default;
+  KmvSketch& operator=(const KmvSketch&) = default;
+  KmvSketch(KmvSketch&&) = default;
+  KmvSketch& operator=(KmvSketch&&) = default;
+
+  /// Adds an item (idempotent per item).
+  void Update(uint64_t item);
+
+  /// Estimated distinct count: exact below k items, (k-1)/theta after.
+  double Count() const;
+
+  /// Count with the KMV standard error ~ 1/sqrt(k-2).
+  Estimate CountEstimate(double confidence = 0.95) const;
+
+  /// Union with another KMV sketch (same seed required, k may differ; the
+  /// result keeps this sketch's k).
+  Status Merge(const KmvSketch& other);
+
+  /// Current sampling threshold theta in (0, 1].
+  double Theta() const;
+
+  /// Snapshot as an immutable theta result (for set algebra).
+  ThetaResult ToTheta() const;
+
+  /// Set operations in the theta-sketch algebra.
+  static ThetaResult Union(const KmvSketch& a, const KmvSketch& b);
+  static ThetaResult Intersect(const KmvSketch& a, const KmvSketch& b);
+  /// Items in `a` but not in `b`.
+  static ThetaResult Difference(const KmvSketch& a, const KmvSketch& b);
+
+  uint32_t k() const { return k_; }
+  size_t NumRetained() const { return hashes_.size(); }
+  size_t MemoryBytes() const { return hashes_.size() * sizeof(uint64_t); }
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<KmvSketch> Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  uint32_t k_;
+  uint64_t seed_;
+  std::set<uint64_t> hashes_;  // At most k smallest distinct hash values.
+};
+
+}  // namespace gems
+
+#endif  // GEMS_CARDINALITY_KMV_H_

@@ -1,0 +1,59 @@
+#ifndef GEMS_COMMON_BITS_H_
+#define GEMS_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.h"
+
+/// \file
+/// Bit-manipulation helpers shared by the sketch implementations. Sketches
+/// lean heavily on "fiddly bit manipulation tricks" (leading-zero counts for
+/// HLL registers, power-of-two masks for hash-bucket selection), so these
+/// live in one audited place.
+
+namespace gems {
+
+/// Number of leading zero bits in `x`; returns 64 for x == 0.
+inline int CountLeadingZeros64(uint64_t x) { return std::countl_zero(x); }
+
+/// Number of trailing zero bits in `x`; returns 64 for x == 0.
+inline int CountTrailingZeros64(uint64_t x) { return std::countr_zero(x); }
+
+/// Population count.
+inline int PopCount64(uint64_t x) { return std::popcount(x); }
+
+/// True iff `x` is a power of two (and non-zero).
+inline bool IsPowerOfTwo(uint64_t x) { return std::has_single_bit(x); }
+
+/// Smallest power of two >= `x` (x must be <= 2^63).
+inline uint64_t NextPowerOfTwo(uint64_t x) {
+  GEMS_DCHECK(x <= (uint64_t{1} << 63));
+  return std::bit_ceil(x);
+}
+
+/// floor(log2(x)); requires x > 0.
+inline int FloorLog2(uint64_t x) {
+  GEMS_DCHECK(x > 0);
+  return 63 - CountLeadingZeros64(x);
+}
+
+/// ceil(log2(x)); requires x > 0.
+inline int CeilLog2(uint64_t x) {
+  GEMS_DCHECK(x > 0);
+  return IsPowerOfTwo(x) ? FloorLog2(x) : FloorLog2(x) + 1;
+}
+
+/// Position (1-based) of the leftmost 1-bit within the low `width` bits of
+/// `x`, as used by LogLog/HyperLogLog register updates: rho(0b0001, 4) == 4,
+/// rho(0b1000, 4) == 1, rho(0, width) == width + 1.
+inline int RankOfLeftmostOne(uint64_t x, int width) {
+  GEMS_DCHECK(width >= 1 && width <= 64);
+  if (width < 64) x &= (uint64_t{1} << width) - 1;
+  if (x == 0) return width + 1;
+  return width - FloorLog2(x);
+}
+
+}  // namespace gems
+
+#endif  // GEMS_COMMON_BITS_H_

@@ -1,0 +1,103 @@
+#ifndef GEMS_COMMON_BYTES_H_
+#define GEMS_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Little-endian byte serialization used by every sketch's
+/// Serialize/Deserialize pair. The format written by ByteWriter is exactly
+/// what ByteReader consumes; all multi-byte integers are little-endian so
+/// that serialized sketches are portable across hosts.
+
+namespace gems {
+
+/// Append-only buffer for encoding a sketch into bytes.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+  ByteWriter(ByteWriter&&) = default;
+  ByteWriter& operator=(ByteWriter&&) = default;
+
+  void PutU8(uint8_t v) { buffer_.push_back(v); }
+  void PutU16(uint16_t v) { PutLittleEndian(v, 2); }
+  void PutU32(uint32_t v) { PutLittleEndian(v, 4); }
+  void PutU64(uint64_t v) { PutLittleEndian(v, 8); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  /// Unsigned LEB128 variable-length encoding (1 byte for values < 128).
+  void PutVarint(uint64_t v);
+
+  /// Length-prefixed byte string.
+  void PutBytes(const void* data, size_t size);
+  void PutString(const std::string& s) { PutBytes(s.data(), s.size()); }
+
+  /// Raw bytes with no length prefix (caller knows the size).
+  void PutRaw(const void* data, size_t size);
+
+  const std::vector<uint8_t>& bytes() const { return buffer_; }
+  std::vector<uint8_t> TakeBytes() && { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  void PutLittleEndian(uint64_t v, int num_bytes) {
+    for (int i = 0; i < num_bytes; ++i) {
+      buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> buffer_;
+};
+
+/// Sequential decoder over a byte span. All getters return
+/// Status::Corruption on truncated input rather than reading out of bounds.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  ByteReader(const ByteReader&) = default;
+  ByteReader& operator=(const ByteReader&) = default;
+
+  Status GetU8(uint8_t* out);
+  Status GetU16(uint16_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetI64(int64_t* out);
+  Status GetDouble(double* out);
+  Status GetVarint(uint64_t* out);
+  /// Reads a length-prefixed byte string written by PutBytes.
+  Status GetBytes(std::vector<uint8_t>* out);
+  Status GetString(std::string* out);
+  /// Reads exactly `size` raw bytes.
+  Status GetRaw(void* out, size_t size);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status GetLittleEndian(uint64_t* out, int num_bytes);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_COMMON_BYTES_H_

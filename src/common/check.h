@@ -1,0 +1,34 @@
+#ifndef GEMS_COMMON_CHECK_H_
+#define GEMS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Runtime invariant checks for programmer errors.
+///
+/// Library code does not throw exceptions. Recoverable failures are reported
+/// through gems::Status; violations of documented preconditions abort via
+/// GEMS_CHECK. GEMS_DCHECK compiles away in release builds and is used on
+/// hot paths.
+
+/// Aborts the process with a message if `condition` is false.
+#define GEMS_CHECK(condition)                                               \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "GEMS_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+/// Like GEMS_CHECK but only enabled in debug builds.
+#ifdef NDEBUG
+#define GEMS_DCHECK(condition) \
+  do {                         \
+  } while (false)
+#else
+#define GEMS_DCHECK(condition) GEMS_CHECK(condition)
+#endif
+
+#endif  // GEMS_COMMON_CHECK_H_

@@ -1,0 +1,61 @@
+#ifndef GEMS_COMMON_NUMERIC_H_
+#define GEMS_COMMON_NUMERIC_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file
+/// Numeric helpers shared by estimators and the benchmark harness:
+/// compensated summation, normal-distribution quantiles for confidence
+/// intervals, and simple descriptive statistics.
+
+namespace gems {
+
+/// Kahan compensated summation; keeps O(1) rounding error over long streams.
+class KahanSum {
+ public:
+  KahanSum() = default;
+
+  KahanSum(const KahanSum&) = default;
+  KahanSum& operator=(const KahanSum&) = default;
+
+  void Add(double value) {
+    const double y = value - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+
+  double sum() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, relative
+/// error < 1.2e-9). `p` must be in (0, 1).
+double InverseNormalCdf(double p);
+
+/// Two-sided z-value for a given confidence level, e.g.
+/// NormalQuantileForConfidence(0.95) == 1.9599...
+double NormalQuantileForConfidence(double confidence);
+
+/// Mean of `values` (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation of `values` (0 for fewer than 2 entries).
+double StdDev(const std::vector<double>& values);
+
+/// Root-mean-square of `values` (0 for empty input).
+double Rms(const std::vector<double>& values);
+
+/// Median (averages the middle pair for even sizes); copies and sorts.
+double Median(std::vector<double> values);
+
+/// Relative error |estimate - truth| / max(|truth|, 1).
+double RelativeError(double estimate, double truth);
+
+}  // namespace gems
+
+#endif  // GEMS_COMMON_NUMERIC_H_

@@ -1,0 +1,82 @@
+#ifndef GEMS_COMMON_RANDOM_H_
+#define GEMS_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+/// \file
+/// Deterministic pseudo-random generators. Sketch algorithms are randomized;
+/// every randomized component in this library takes an explicit seed so that
+/// experiments are reproducible run-to-run.
+
+namespace gems {
+
+/// SplitMix64: tiny, fast generator used to seed others and as a cheap
+/// stateless mixer (Steele, Lea & Flood 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  SplitMix64(const SplitMix64&) = default;
+  SplitMix64& operator=(const SplitMix64&) = default;
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Stateless finalizer form of SplitMix64: maps any 64-bit value to a
+/// well-mixed 64-bit value. Used for deriving per-row seeds.
+uint64_t Mix64(uint64_t x);
+
+/// Xoshiro256**: the library's general-purpose PRNG (Blackman & Vigna).
+/// Fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  /// Seeds the full state from `seed` via SplitMix64 (seed 0 is fine).
+  explicit Rng(uint64_t seed);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound) without modulo bias; bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller (cached pair).
+  double NextGaussian();
+
+  /// Exponential with rate 1.
+  double NextExponential();
+
+  /// True with probability p (p clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Rademacher +1/-1 with equal probability.
+  int NextSign() { return (NextU64() & 1) ? 1 : -1; }
+
+  /// Geometric sample: number of failures before first success with success
+  /// probability p in (0, 1].
+  uint64_t NextGeometric(double p);
+
+ private:
+  uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_COMMON_RANDOM_H_

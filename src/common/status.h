@@ -1,0 +1,118 @@
+#ifndef GEMS_COMMON_STATUS_H_
+#define GEMS_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gems {
+
+/// Error categories for recoverable failures (RocksDB-style Status codes).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kCorruption,       // malformed serialized bytes
+  kOutOfRange,       // index / rank out of range
+  kUnimplemented,
+  kFailedPrecondition,
+  kNotFound,
+};
+
+/// Lightweight success-or-error value used instead of exceptions.
+///
+/// A Status is cheap to copy in the success case (no allocation) and carries
+/// a code plus a human-readable message on failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, e.g. `return Status::InvalidArgument("k must be > 0");`
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Use `ok()` before `value()`.
+///
+/// Example:
+///   Result<HyperLogLog> r = HyperLogLog::Deserialize(bytes);
+///   if (!r.ok()) return r.status();
+///   HyperLogLog sketch = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites terse (`return sketch;` / `return Status::Corruption(...)`).
+  Result(T value) : status_(), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)), value_(std::nullopt) {
+    GEMS_CHECK(!status_.ok());  // OK must carry a value.
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    GEMS_CHECK(value_.has_value());
+    return *value_;
+  }
+  T& value() & {
+    GEMS_CHECK(value_.has_value());
+    return *value_;
+  }
+  T&& value() && {
+    GEMS_CHECK(value_.has_value());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_COMMON_STATUS_H_

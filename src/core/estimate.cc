@@ -1,0 +1,28 @@
+#include "core/estimate.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/numeric.h"
+
+namespace gems {
+
+std::string Estimate::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.6g [%.6g, %.6g] @ %.0f%%", value, lower,
+                upper, confidence * 100.0);
+  return std::string(buf);
+}
+
+Estimate EstimateFromStdError(double value, double std_error,
+                              double confidence) {
+  const double z = NormalQuantileForConfidence(confidence);
+  Estimate e;
+  e.value = value;
+  e.lower = value - z * std_error;
+  e.upper = value + z * std_error;
+  e.confidence = confidence;
+  return e;
+}
+
+}  // namespace gems

@@ -1,0 +1,40 @@
+#ifndef GEMS_CORE_ESTIMATE_H_
+#define GEMS_CORE_ESTIMATE_H_
+
+#include <string>
+
+/// \file
+/// The value type returned by sketch queries. The paper singles out the
+/// difficulty of "communicating a randomized approximation guarantee to
+/// non-technical consumers" as an adoption barrier and recommends
+/// confidence intervals as the remedy — so every estimator in this library
+/// can return its value together with an interval.
+
+namespace gems {
+
+/// A point estimate with a confidence interval.
+struct Estimate {
+  /// The point estimate.
+  double value = 0.0;
+  /// Lower bound of the confidence interval.
+  double lower = 0.0;
+  /// Upper bound of the confidence interval.
+  double upper = 0.0;
+  /// Confidence level of [lower, upper], e.g. 0.95.
+  double confidence = 0.0;
+
+  /// True if `truth` lies inside [lower, upper].
+  bool Covers(double truth) const { return truth >= lower && truth <= upper; }
+
+  /// Renders "value [lower, upper] @ confidence" for reports.
+  std::string ToString() const;
+};
+
+/// Builds an Estimate from a value and a symmetric standard error, using the
+/// normal approximation at the given confidence level.
+Estimate EstimateFromStdError(double value, double std_error,
+                              double confidence);
+
+}  // namespace gems
+
+#endif  // GEMS_CORE_ESTIMATE_H_

@@ -1,0 +1,36 @@
+#include "core/frame.h"
+
+namespace gems {
+namespace {
+
+constexpr uint16_t kMagic = 0x47E5;  // "GEms"
+
+}  // namespace
+
+void WriteFrameHeader(SketchType type, ByteWriter* writer) {
+  writer->PutU16(kMagic);
+  writer->PutU8(kFrameVersion);
+  writer->PutU16(static_cast<uint16_t>(type));
+}
+
+Status ReadFrameHeader(SketchType expected_type, ByteReader* reader) {
+  uint16_t magic;
+  Status s = reader->GetU16(&magic);
+  if (!s.ok()) return s;
+  if (magic != kMagic) return Status::Corruption("bad magic");
+  uint8_t version;
+  s = reader->GetU8(&version);
+  if (!s.ok()) return s;
+  if (version != kFrameVersion) {
+    return Status::Corruption("unsupported format version");
+  }
+  uint16_t type;
+  s = reader->GetU16(&type);
+  if (!s.ok()) return s;
+  if (type != static_cast<uint16_t>(expected_type)) {
+    return Status::InvalidArgument("sketch type mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace gems

@@ -1,0 +1,61 @@
+#ifndef GEMS_CORE_FRAME_H_
+#define GEMS_CORE_FRAME_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+/// \file
+/// Serialization frame shared by all sketches. Every serialized sketch
+/// starts with a fixed header (magic, format version, sketch-type tag) so
+/// that bytes written by one sketch type cannot be silently deserialized as
+/// another — the classic cross-type corruption bug in summary stores.
+
+namespace gems {
+
+/// Type tags for serialized sketches. Values are part of the wire format;
+/// append only, never renumber.
+enum class SketchType : uint16_t {
+  kMorrisCounter = 1,
+  kLinearCounting = 2,
+  kFlajoletMartin = 3,
+  kLogLog = 4,
+  kHyperLogLog = 5,
+  kHllPlusPlus = 6,
+  kKmv = 7,
+  kBloomFilter = 8,
+  kCountingBloomFilter = 9,
+  kBlockedBloomFilter = 10,
+  kCountMin = 11,
+  kCountSketch = 12,
+  kMisraGries = 13,
+  kSpaceSaving = 14,
+  kMajority = 15,
+  kGreenwaldKhanna = 16,
+  kKll = 17,
+  kQDigest = 18,
+  kTDigest = 19,
+  kReservoir = 20,
+  kWeightedReservoir = 21,
+  kL0Sampler = 22,
+  kAmsSketch = 23,
+  kMinHash = 24,
+  kSimHash = 25,
+  kAgmSketch = 26,
+  kDyadicCountMin = 27,
+};
+
+/// Writes the standard frame header.
+void WriteFrameHeader(SketchType type, ByteWriter* writer);
+
+/// Reads and validates the frame header; fails with Corruption on magic or
+/// version mismatch and with InvalidArgument on a sketch-type mismatch.
+Status ReadFrameHeader(SketchType expected_type, ByteReader* reader);
+
+/// Current serialization format version.
+inline constexpr uint8_t kFrameVersion = 1;
+
+}  // namespace gems
+
+#endif  // GEMS_CORE_FRAME_H_

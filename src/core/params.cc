@@ -1,0 +1,69 @@
+#include "core/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gems {
+
+int HllPrecisionFor(double relative_error) {
+  GEMS_CHECK(relative_error > 0.0 && relative_error < 1.0);
+  // 1.04/sqrt(2^p) <= e  =>  p >= 2 log2(1.04/e).
+  const double p = 2.0 * std::log2(1.04 / relative_error);
+  return std::clamp(static_cast<int>(std::ceil(p)), 4, 18);
+}
+
+double HllErrorAt(int precision) {
+  GEMS_CHECK(precision >= 4 && precision <= 18);
+  return 1.04 / std::sqrt(static_cast<double>(uint64_t{1} << precision));
+}
+
+uint32_t KmvKFor(double relative_error) {
+  GEMS_CHECK(relative_error > 0.0 && relative_error < 1.0);
+  const double k = 1.0 / (relative_error * relative_error) + 2.0;
+  return std::max<uint32_t>(8, static_cast<uint32_t>(std::ceil(k)));
+}
+
+uint32_t CountMinWidthFor(double epsilon) {
+  GEMS_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  return static_cast<uint32_t>(std::ceil(std::exp(1.0) / epsilon));
+}
+
+uint32_t CountMinDepthFor(double delta) {
+  GEMS_CHECK(delta > 0.0 && delta < 1.0);
+  return std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::ceil(std::log(1.0 / delta))));
+}
+
+uint64_t BloomBitsFor(uint64_t n, double fpr) {
+  GEMS_CHECK(n >= 1);
+  GEMS_CHECK(fpr > 0.0 && fpr < 1.0);
+  const double ln2 = std::log(2.0);
+  return static_cast<uint64_t>(
+      std::ceil(-static_cast<double>(n) * std::log(fpr) / (ln2 * ln2)));
+}
+
+uint32_t KllKFor(double rank_error) {
+  GEMS_CHECK(rank_error > 0.0 && rank_error < 0.5);
+  return std::max<uint32_t>(
+      8, static_cast<uint32_t>(std::ceil(1.7 / rank_error)));
+}
+
+size_t SpaceSavingCapacityFor(double phi) {
+  GEMS_CHECK(phi > 0.0 && phi < 1.0);
+  return static_cast<size_t>(std::ceil(1.0 / phi));
+}
+
+size_t HllBytesAt(int precision) {
+  GEMS_CHECK(precision >= 4 && precision <= 18);
+  return size_t{1} << precision;
+}
+
+size_t CountMinBytesAt(uint32_t width, uint32_t depth) {
+  return static_cast<size_t>(width) * depth * sizeof(uint64_t);
+}
+
+size_t BloomBytesAt(uint64_t bits) { return (bits + 7) / 8; }
+
+}  // namespace gems

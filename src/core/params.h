@@ -1,0 +1,48 @@
+#ifndef GEMS_CORE_PARAMS_H_
+#define GEMS_CORE_PARAMS_H_
+
+#include <cstdint>
+#include <cstddef>
+
+/// \file
+/// Parameter advisors: translate user-level accuracy targets into sketch
+/// parameters. The paper's "pathways to impact" section argues adoption
+/// hinges on making sketches easy to configure — practitioners think in
+/// "1% error", not in registers, widths, or compactor sizes. Each helper
+/// documents the law it inverts.
+
+namespace gems {
+
+/// HLL precision p so that 1.04/sqrt(2^p) <= target relative error.
+int HllPrecisionFor(double relative_error);
+
+/// Relative standard error of an HLL at precision p (1.04/sqrt(2^p)).
+double HllErrorAt(int precision);
+
+/// KMV k so that 1/sqrt(k-2) <= target relative error.
+uint32_t KmvKFor(double relative_error);
+
+/// Count-Min width for overestimate <= epsilon * N (w = ceil(e/eps)).
+uint32_t CountMinWidthFor(double epsilon);
+
+/// Count-Min depth for failure probability <= delta (d = ceil(ln 1/delta)).
+uint32_t CountMinDepthFor(double delta);
+
+/// Bloom filter bits for `n` items at `fpr` (m = -n ln p / ln^2 2).
+uint64_t BloomBitsFor(uint64_t n, double fpr);
+
+/// KLL k for target rank error (error ~ 1.7/k single-run heuristic,
+/// calibrated against this library's implementation at n = 1e6).
+uint32_t KllKFor(double rank_error);
+
+/// SpaceSaving capacity to catch every item above phi*N (k = ceil(1/phi)).
+size_t SpaceSavingCapacityFor(double phi);
+
+/// Memory (bytes) each choice costs, for budget-driven decisions.
+size_t HllBytesAt(int precision);
+size_t CountMinBytesAt(uint32_t width, uint32_t depth);
+size_t BloomBytesAt(uint64_t bits);
+
+}  // namespace gems
+
+#endif  // GEMS_CORE_PARAMS_H_

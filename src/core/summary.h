@@ -1,0 +1,58 @@
+#ifndef GEMS_CORE_SUMMARY_H_
+#define GEMS_CORE_SUMMARY_H_
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Compile-time contracts for summaries, following the "Mergeable
+/// Summaries" framing (Agarwal et al., PODS 2012) the paper highlights:
+/// a summary supports single-item streaming updates (the streaming model)
+/// and pairwise merge (the distributed model), and merging must not degrade
+/// the error guarantee relative to streaming the concatenated input.
+///
+/// These concepts are used by the distributed aggregation substrate and the
+/// property tests, which are written once against the concept and
+/// instantiated for every conforming sketch.
+
+namespace gems {
+
+/// A summary that can absorb another summary of the same type.
+/// `a.Merge(b)` must leave `a` summarizing the union of both inputs.
+template <typename S>
+concept MergeableSummary = requires(S s, const S& other) {
+  { s.Merge(other) } -> std::same_as<Status>;
+};
+
+/// A summary over unweighted 64-bit items (sets / multisets of keys).
+template <typename S>
+concept ItemSummary = requires(S s, uint64_t item) {
+  { s.Update(item) };
+};
+
+/// A summary over weighted items (frequency vectors).
+template <typename S>
+concept WeightedItemSummary = requires(S s, uint64_t item, int64_t weight) {
+  { s.Update(item, weight) };
+};
+
+/// A summary over real values (quantile sketches).
+template <typename S>
+concept ValueSummary = requires(S s, double value) {
+  { s.Update(value) };
+};
+
+/// A summary that serializes to bytes and back.
+template <typename S>
+concept SerializableSummary = requires(const S& s,
+                                       const std::vector<uint8_t>& bytes) {
+  { s.Serialize() } -> std::same_as<std::vector<uint8_t>>;
+  { S::Deserialize(bytes) } -> std::same_as<Result<S>>;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_CORE_SUMMARY_H_

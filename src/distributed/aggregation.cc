@@ -1,0 +1,4 @@
+#include "distributed/aggregation.h"
+
+// AggregateTree is a template defined in the header; this translation unit
+// anchors the library target.

@@ -1,0 +1,83 @@
+#ifndef GEMS_DISTRIBUTED_AGGREGATION_H_
+#define GEMS_DISTRIBUTED_AGGREGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "core/summary.h"
+#include "hash/hash.h"
+
+/// \file
+/// Simulated distributed aggregation: the sensor-network / mergeable-
+/// summaries scenario from the paper (q-digest's original motivation, and
+/// the PODS 2012 "Mergeable Summaries" formalization). A fleet of nodes
+/// each summarizes its local shard; summaries are combined up a fanout-f
+/// merge tree. Works with any MergeableSummary; when the summary is also
+/// Serializable, the driver accounts the bytes each tree level would send
+/// over the network.
+
+namespace gems {
+
+/// Statistics from one tree aggregation.
+struct AggregationStats {
+  int tree_depth = 0;
+  size_t num_merges = 0;
+  /// Total serialized bytes crossing links (only when summaries are
+  /// serializable; otherwise 0).
+  size_t communication_bytes = 0;
+};
+
+/// Routes item `i` of a stream to one of `num_nodes` shards (by hash, the
+/// way a load balancer would).
+inline size_t ShardOf(uint64_t item, size_t num_nodes, uint64_t seed = 17) {
+  GEMS_CHECK(num_nodes >= 1);
+  return static_cast<size_t>(Hash64(item, seed) % num_nodes);
+}
+
+/// Merges `leaves` up a fanout-`fanout` tree; returns the root summary.
+/// The leaves vector is consumed. Stats (depth, merges, bytes) go to
+/// `stats` if non-null.
+template <typename S>
+  requires MergeableSummary<S>
+Result<S> AggregateTree(std::vector<S> leaves, int fanout,
+                        AggregationStats* stats) {
+  GEMS_CHECK(fanout >= 2);
+  if (leaves.empty()) {
+    return Status::InvalidArgument("no leaves to aggregate");
+  }
+  AggregationStats local;
+  std::vector<S> level = std::move(leaves);
+  while (level.size() > 1) {
+    ++local.tree_depth;
+    std::vector<S> next;
+    next.reserve((level.size() + fanout - 1) / fanout);
+    for (size_t i = 0; i < level.size(); i += fanout) {
+      S combined = std::move(level[i]);
+      for (size_t j = i + 1; j < std::min(level.size(), i + fanout); ++j) {
+        if constexpr (SerializableSummary<S>) {
+          local.communication_bytes += level[j].Serialize().size();
+        }
+        Status s = combined.Merge(level[j]);
+        if (!s.ok()) return s;
+        ++local.num_merges;
+      }
+      next.push_back(std::move(combined));
+    }
+    level = std::move(next);
+  }
+  if (stats != nullptr) *stats = local;
+  return std::move(level.front());
+}
+
+/// Convenience: aggregate with default fanout 2 and no stats.
+template <typename S>
+  requires MergeableSummary<S>
+Result<S> AggregateTree(std::vector<S> leaves) {
+  return AggregateTree(std::move(leaves), 2, nullptr);
+}
+
+}  // namespace gems
+
+#endif  // GEMS_DISTRIBUTED_AGGREGATION_H_

@@ -1,0 +1,83 @@
+#ifndef GEMS_DISTRIBUTED_CONCURRENT_H_
+#define GEMS_DISTRIBUTED_CONCURRENT_H_
+
+#include <array>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "common/check.h"
+#include "core/summary.h"
+
+/// \file
+/// Thread-safe wrapper for any mergeable summary, in the spirit of the
+/// concurrent DataSketches work (Rinberg et al., TOPC 2022) the paper
+/// cites: writers update striped local copies under per-stripe locks
+/// (contention-free for typical thread counts), and readers merge a
+/// snapshot. Mergeability is exactly what makes this sound: the striped
+/// copies are just a 16-way partition of the stream.
+
+namespace gems {
+
+/// Striped concurrent wrapper around a mergeable summary S.
+/// S must be copyable; all stripes start as copies of the prototype, so
+/// they are merge-compatible by construction.
+template <typename S>
+  requires MergeableSummary<S>
+class ConcurrentSummary {
+ public:
+  static constexpr size_t kStripes = 16;
+
+  /// All stripes are clones of `prototype` (same seed/shape).
+  explicit ConcurrentSummary(const S& prototype) {
+    for (size_t i = 0; i < kStripes; ++i) {
+      stripes_[i].summary.emplace(prototype);
+    }
+  }
+
+  ConcurrentSummary(const ConcurrentSummary&) = delete;
+  ConcurrentSummary& operator=(const ConcurrentSummary&) = delete;
+
+  /// Thread-safe update; forwards `args` to S::Update on this thread's
+  /// stripe.
+  template <typename... Args>
+  void Update(Args&&... args) {
+    Stripe& stripe = stripes_[StripeIndex()];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.summary->Update(std::forward<Args>(args)...);
+  }
+
+  /// Merged snapshot of all stripes (readers pay the merge; writers are
+  /// only briefly blocked one stripe at a time).
+  S Snapshot() const {
+    S merged = [&] {
+      std::lock_guard<std::mutex> lock(stripes_[0].mutex);
+      return *stripes_[0].summary;
+    }();
+    for (size_t i = 1; i < kStripes; ++i) {
+      std::lock_guard<std::mutex> lock(stripes_[i].mutex);
+      Status s = merged.Merge(*stripes_[i].summary);
+      GEMS_CHECK(s.ok());  // Clones are merge-compatible by construction.
+    }
+    return merged;
+  }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::optional<S> summary;  // Emplaced in the constructor.
+  };
+
+  static size_t StripeIndex() {
+    // Hash the thread id once per thread.
+    static thread_local const size_t index =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kStripes;
+    return index;
+  }
+
+  std::array<Stripe, kStripes> stripes_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_DISTRIBUTED_CONCURRENT_H_

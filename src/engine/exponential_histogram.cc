@@ -1,0 +1,78 @@
+#include "engine/exponential_histogram.h"
+
+#include <cmath>
+
+namespace gems {
+
+ExponentialHistogram::ExponentialHistogram(uint64_t window, double epsilon)
+    : window_(window), epsilon_(epsilon) {
+  GEMS_CHECK(window >= 1);
+  GEMS_CHECK(epsilon > 0.0 && epsilon <= 1.0);
+  max_per_size_ = static_cast<size_t>(std::ceil(1.0 / epsilon));
+}
+
+void ExponentialHistogram::Add(uint64_t timestamp) {
+  GEMS_CHECK(timestamp >= last_timestamp_);
+  last_timestamp_ = timestamp;
+  ExpireBefore(timestamp);
+  buckets_.push_front(Bucket{timestamp, 1});
+  Canonicalize();
+}
+
+void ExponentialHistogram::ExpireBefore(uint64_t now) {
+  // A bucket is expired once its newest event is outside (now - W, now].
+  while (!buckets_.empty() &&
+         buckets_.back().timestamp + window_ <= now) {
+    buckets_.pop_back();
+  }
+}
+
+void ExponentialHistogram::Canonicalize() {
+  // Walk from newest to oldest; whenever more than k buckets of one size
+  // exist, merge the two OLDEST of that size into one of double size.
+  // One insertion adds one size-1 bucket, so a single cascading pass
+  // restores the invariant.
+  size_t index = 0;
+  while (index < buckets_.size()) {
+    const uint64_t size = buckets_[index].size;
+    // Count the run of buckets with this size starting at `index`
+    // (buckets are kept in non-decreasing size order from front to back).
+    size_t run_end = index;
+    while (run_end < buckets_.size() && buckets_[run_end].size == size) {
+      ++run_end;
+    }
+    const size_t run = run_end - index;
+    if (run <= max_per_size_) {
+      index = run_end;
+      continue;
+    }
+    // Merge the two oldest of this size (positions run_end-1, run_end-2).
+    // The merged bucket keeps the NEWER timestamp of the pair, so expiry
+    // remains conservative for the estimator below.
+    Bucket merged;
+    merged.size = size * 2;
+    merged.timestamp = buckets_[run_end - 2].timestamp;
+    buckets_.erase(buckets_.begin() + run_end - 2,
+                   buckets_.begin() + run_end);
+    buckets_.insert(buckets_.begin() + (run_end - 2), merged);
+    // The doubled bucket may overflow the next size class; continue from
+    // the start of this run.
+  }
+}
+
+uint64_t ExponentialHistogram::EstimateCount(uint64_t now) const {
+  GEMS_CHECK(now >= last_timestamp_);
+  uint64_t total = 0;
+  uint64_t oldest_size = 0;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.timestamp + window_ <= now) continue;  // Expired.
+    total += bucket.size;
+    oldest_size = bucket.size;  // Last surviving = oldest.
+  }
+  // The oldest bucket straddles the window boundary: only about half its
+  // events are expected inside. Subtracting half its size is the standard
+  // estimator, with error <= oldest_size/2 <= eps * true count.
+  return total - oldest_size / 2;
+}
+
+}  // namespace gems

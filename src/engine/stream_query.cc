@@ -1,0 +1,143 @@
+#include "engine/stream_query.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+StreamQuery::StreamQuery(const Options& options, uint64_t seed)
+    : options_(options), seed_(seed) {
+  GEMS_CHECK(options.hll_precision >= 4 && options.hll_precision <= 18);
+  GEMS_CHECK(options.top_k_capacity >= options.top_k);
+}
+
+StreamQuery& StreamQuery::AddFilter(
+    std::function<bool(const StreamEvent&)> predicate) {
+  filters_.push_back(std::move(predicate));
+  return *this;
+}
+
+StreamQuery::GroupState& StreamQuery::StateFor(uint64_t group) {
+  GroupState& state = groups_[group];
+  switch (options_.aggregate) {
+    case AggregateKind::kCountDistinct:
+      if (!state.distinct.has_value()) {
+        state.distinct.emplace(options_.hll_precision, seed_);
+      }
+      break;
+    case AggregateKind::kTopK:
+      if (!state.top.has_value()) {
+        state.top.emplace(options_.top_k_capacity);
+      }
+      break;
+    case AggregateKind::kQuantiles:
+      if (!state.quantiles.has_value()) {
+        state.quantiles.emplace(options_.kll_k, Hash64(group, seed_));
+      }
+      break;
+    case AggregateKind::kSum:
+      break;
+  }
+  return state;
+}
+
+Status StreamQuery::Process(const StreamEvent& event) {
+  if (window_initialized_ && event.timestamp < last_timestamp_) {
+    return Status::FailedPrecondition("timestamps must be non-decreasing");
+  }
+  if (!window_initialized_) {
+    window_initialized_ = true;
+    current_window_start_ =
+        options_.window_size == 0
+            ? event.timestamp
+            : event.timestamp / options_.window_size * options_.window_size;
+  }
+  last_timestamp_ = event.timestamp;
+
+  if (options_.window_size > 0) {
+    const uint64_t window_start =
+        event.timestamp / options_.window_size * options_.window_size;
+    if (window_start > current_window_start_) CloseWindow(window_start);
+  }
+
+  for (const auto& predicate : filters_) {
+    if (!predicate(event)) return Status::Ok();
+  }
+
+  GroupState& state = StateFor(event.group);
+  switch (options_.aggregate) {
+    case AggregateKind::kCountDistinct:
+      state.distinct->Update(event.item);
+      break;
+    case AggregateKind::kTopK:
+      state.top->Update(event.item, std::max<int64_t>(1, event.value));
+      break;
+    case AggregateKind::kQuantiles:
+      state.quantiles->Update(static_cast<double>(event.value));
+      break;
+    case AggregateKind::kSum:
+      state.sum += event.value;
+      break;
+  }
+  return Status::Ok();
+}
+
+GroupAggregate StreamQuery::Snapshot(uint64_t group,
+                                     const GroupState& state) const {
+  GroupAggregate aggregate;
+  aggregate.group = group;
+  switch (options_.aggregate) {
+    case AggregateKind::kCountDistinct:
+      aggregate.scalar = state.distinct->Count();
+      break;
+    case AggregateKind::kTopK:
+      for (const SpaceSaving::Entry& entry : state.top->TopK(options_.top_k)) {
+        aggregate.top_items.emplace_back(entry.item, entry.count);
+      }
+      break;
+    case AggregateKind::kQuantiles:
+      for (double q : options_.quantile_points) {
+        aggregate.quantiles.push_back(
+            state.quantiles->Count() == 0 ? 0.0 : state.quantiles->Quantile(q));
+      }
+      break;
+    case AggregateKind::kSum:
+      aggregate.scalar = static_cast<double>(state.sum);
+      break;
+  }
+  return aggregate;
+}
+
+void StreamQuery::CloseWindow(uint64_t next_window_start) {
+  WindowResult result;
+  result.window_start = current_window_start_;
+  result.window_end = options_.window_size == 0
+                          ? last_timestamp_ + 1
+                          : current_window_start_ + options_.window_size;
+  for (const auto& [group, state] : groups_) {
+    result.groups.push_back(Snapshot(group, state));
+  }
+  closed_.push_back(std::move(result));
+  groups_.clear();
+  current_window_start_ = next_window_start;
+}
+
+std::vector<WindowResult> StreamQuery::Poll() {
+  std::vector<WindowResult> out(closed_.begin(), closed_.end());
+  closed_.clear();
+  return out;
+}
+
+std::vector<WindowResult> StreamQuery::Flush() {
+  if (window_initialized_ && !groups_.empty()) {
+    CloseWindow(current_window_start_ + std::max<uint64_t>(
+                                            options_.window_size, 1));
+  }
+  return Poll();
+}
+
+size_t StreamQuery::NumOpenGroups() const { return groups_.size(); }
+
+}  // namespace gems

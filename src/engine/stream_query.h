@@ -1,0 +1,130 @@
+#ifndef GEMS_ENGINE_STREAM_QUERY_H_
+#define GEMS_ENGINE_STREAM_QUERY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cardinality/hyperloglog.h"
+#include "common/status.h"
+#include "frequency/space_saving.h"
+#include "quantiles/kll.h"
+
+/// \file
+/// A miniature stream-query engine in the mold of the network-era systems
+/// the paper surveys (AT&T's Gigascope, Sprint's CMON): continuous
+/// GROUP BY aggregate queries over event streams, where each group's
+/// aggregate is a sketch rather than exact state — the "maintain huge
+/// numbers of sketches in parallel" workload the paper emphasizes.
+/// Supports filters, tumbling windows, and three sketch aggregates
+/// (COUNT DISTINCT via HLL, TOP-K via SpaceSaving, QUANTILES via KLL).
+
+namespace gems {
+
+/// One input event: a timestamped (group, item, value) record. For the IP
+/// monitoring scenario: group = destination, item = source, value = bytes.
+struct StreamEvent {
+  uint64_t timestamp = 0;
+  uint64_t group = 0;
+  uint64_t item = 0;
+  int64_t value = 1;
+};
+
+/// Aggregate computed per group.
+enum class AggregateKind {
+  kCountDistinct,  // # distinct items per group (HLL).
+  kTopK,           // Heaviest items per group by value (SpaceSaving).
+  kQuantiles,      // Quantiles of value per group (KLL).
+  kSum,            // Exact sum of value per group (baseline aggregate).
+};
+
+/// Result for one group in one closed window.
+struct GroupAggregate {
+  uint64_t group = 0;
+  /// kCountDistinct / kSum: the estimate or exact sum.
+  double scalar = 0.0;
+  /// kTopK: (item, estimated count), heaviest first.
+  std::vector<std::pair<uint64_t, int64_t>> top_items;
+  /// kQuantiles: values at the query's configured quantile points.
+  std::vector<double> quantiles;
+};
+
+/// One closed tumbling window.
+struct WindowResult {
+  uint64_t window_start = 0;
+  uint64_t window_end = 0;  // Exclusive.
+  std::vector<GroupAggregate> groups;  // Sorted by group id.
+};
+
+/// A continuous GROUP BY sketch-aggregate query.
+class StreamQuery {
+ public:
+  struct Options {
+    AggregateKind aggregate = AggregateKind::kCountDistinct;
+    /// Tumbling window size in timestamp units; 0 = one unbounded window
+    /// (results only via Flush()).
+    uint64_t window_size = 0;
+    /// HLL precision for kCountDistinct.
+    int hll_precision = 12;
+    /// SpaceSaving capacity and reported k for kTopK.
+    size_t top_k_capacity = 64;
+    size_t top_k = 10;
+    /// KLL parameter and query points for kQuantiles.
+    uint32_t kll_k = 200;
+    std::vector<double> quantile_points = {0.5, 0.95, 0.99};
+  };
+
+  StreamQuery(const Options& options, uint64_t seed);
+
+  StreamQuery(const StreamQuery&) = delete;
+  StreamQuery& operator=(const StreamQuery&) = delete;
+  StreamQuery(StreamQuery&&) = default;
+  StreamQuery& operator=(StreamQuery&&) = default;
+
+  /// Optional pre-aggregation filter; events failing any filter are
+  /// dropped. Returns *this for chaining.
+  StreamQuery& AddFilter(std::function<bool(const StreamEvent&)> predicate);
+
+  /// Processes one event. Timestamps must be non-decreasing; an event in a
+  /// later window closes the current one.
+  Status Process(const StreamEvent& event);
+
+  /// Drains windows closed so far.
+  std::vector<WindowResult> Poll();
+
+  /// Closes the current window regardless of time and returns all results.
+  std::vector<WindowResult> Flush();
+
+  /// Number of sketches currently held (open window groups).
+  size_t NumOpenGroups() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct GroupState {
+    std::optional<HyperLogLog> distinct;
+    std::optional<SpaceSaving> top;
+    std::optional<KllSketch> quantiles;
+    int64_t sum = 0;
+  };
+
+  GroupState& StateFor(uint64_t group);
+  void CloseWindow(uint64_t next_window_start);
+  GroupAggregate Snapshot(uint64_t group, const GroupState& state) const;
+
+  Options options_;
+  uint64_t seed_;
+  std::vector<std::function<bool(const StreamEvent&)>> filters_;
+  uint64_t current_window_start_ = 0;
+  bool window_initialized_ = false;
+  uint64_t last_timestamp_ = 0;
+  std::map<uint64_t, GroupState> groups_;
+  std::deque<WindowResult> closed_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_ENGINE_STREAM_QUERY_H_

@@ -1,0 +1,219 @@
+#include "frequency/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "core/frame.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+CountMinSketch::CountMinSketch(uint32_t width, uint32_t depth, uint64_t seed,
+                               bool conservative_update)
+    : width_(width), depth_(depth), seed_(seed),
+      conservative_(conservative_update) {
+  GEMS_CHECK(width >= 1);
+  GEMS_CHECK(depth >= 1);
+  counters_.assign(static_cast<size_t>(width) * depth, 0);
+}
+
+CountMinSketch CountMinSketch::ForGuarantee(double epsilon, double delta,
+                                            uint64_t seed) {
+  GEMS_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  GEMS_CHECK(delta > 0.0 && delta < 1.0);
+  const uint32_t width =
+      static_cast<uint32_t>(std::ceil(std::exp(1.0) / epsilon));
+  const uint32_t depth =
+      static_cast<uint32_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(width, std::max<uint32_t>(depth, 1), seed);
+}
+
+uint64_t CountMinSketch::Bucket(uint32_t row, uint64_t item) const {
+  return Hash64(item, DeriveSeed(seed_, row)) % width_;
+}
+
+void CountMinSketch::Update(uint64_t item, int64_t weight) {
+  GEMS_CHECK(weight >= 0);
+  total_ += weight;
+  if (!conservative_) {
+    for (uint32_t row = 0; row < depth_; ++row) {
+      counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)] +=
+          static_cast<uint64_t>(weight);
+    }
+    return;
+  }
+  // Conservative update: raise each counter only as far as needed so that
+  // the post-update minimum reflects the new estimate.
+  uint64_t current = EstimateCount(item);
+  const uint64_t target = current + static_cast<uint64_t>(weight);
+  for (uint32_t row = 0; row < depth_; ++row) {
+    uint64_t& counter =
+        counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)];
+    counter = std::max(counter, target);
+  }
+}
+
+uint64_t CountMinSketch::EstimateCount(uint64_t item) const {
+  uint64_t best = ~uint64_t{0};
+  for (uint32_t row = 0; row < depth_; ++row) {
+    best = std::min(
+        best,
+        counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)]);
+  }
+  return best;
+}
+
+int64_t CountMinSketch::EstimateCountMeanMin(uint64_t item) const {
+  std::vector<double> row_estimates;
+  row_estimates.reserve(depth_);
+  for (uint32_t row = 0; row < depth_; ++row) {
+    const double counter = static_cast<double>(
+        counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)]);
+    const double noise = (static_cast<double>(total_) - counter) /
+                         (static_cast<double>(width_) - 1.0);
+    row_estimates.push_back(counter - noise);
+  }
+  std::nth_element(row_estimates.begin(),
+                   row_estimates.begin() + row_estimates.size() / 2,
+                   row_estimates.end());
+  const double median = row_estimates[row_estimates.size() / 2];
+  // Clamp into the always-valid Count-Min envelope [0, min-counter].
+  const double upper = static_cast<double>(EstimateCount(item));
+  return static_cast<int64_t>(std::clamp(median, 0.0, upper));
+}
+
+Estimate CountMinSketch::CountEstimate(uint64_t item,
+                                       double confidence) const {
+  const double value = static_cast<double>(EstimateCount(item));
+  const double eps = std::exp(1.0) / static_cast<double>(width_);
+  Estimate e;
+  e.value = value;
+  e.upper = value;  // CM never underestimates.
+  e.lower = std::max(0.0, value - eps * static_cast<double>(total_));
+  e.confidence = confidence;
+  return e;
+}
+
+Result<double> CountMinSketch::InnerProduct(
+    const CountMinSketch& other) const {
+  if (width_ != other.width_ || depth_ != other.depth_ ||
+      seed_ != other.seed_) {
+    return Status::InvalidArgument(
+        "CountMin inner product requires identical shape and seed");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (uint32_t row = 0; row < depth_; ++row) {
+    double dot = 0.0;
+    for (uint32_t col = 0; col < width_; ++col) {
+      const size_t i = static_cast<size_t>(row) * width_ + col;
+      dot += static_cast<double>(counters_[i]) *
+             static_cast<double>(other.counters_[i]);
+    }
+    best = std::min(best, dot);
+  }
+  return best;
+}
+
+Status CountMinSketch::Merge(const CountMinSketch& other) {
+  if (width_ != other.width_ || depth_ != other.depth_ ||
+      seed_ != other.seed_) {
+    return Status::InvalidArgument(
+        "CountMin merge requires identical shape and seed");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_ += other.total_;
+  return Status::Ok();
+}
+
+std::vector<uint8_t> CountMinSketch::Serialize() const {
+  ByteWriter w;
+  WriteFrameHeader(SketchType::kCountMin, &w);
+  w.PutU32(width_);
+  w.PutU32(depth_);
+  w.PutU64(seed_);
+  w.PutU8(conservative_ ? 1 : 0);
+  w.PutI64(total_);
+  for (uint64_t counter : counters_) w.PutVarint(counter);
+  return std::move(w).TakeBytes();
+}
+
+Result<CountMinSketch> CountMinSketch::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Status s = ReadFrameHeader(SketchType::kCountMin, &r);
+  if (!s.ok()) return s;
+  uint32_t width, depth;
+  uint64_t seed;
+  uint8_t conservative;
+  int64_t total;
+  if (Status sw = r.GetU32(&width); !sw.ok()) return sw;
+  if (Status sd = r.GetU32(&depth); !sd.ok()) return sd;
+  if (Status ss = r.GetU64(&seed); !ss.ok()) return ss;
+  if (Status sc = r.GetU8(&conservative); !sc.ok()) return sc;
+  if (Status st = r.GetI64(&total); !st.ok()) return st;
+  if (width == 0 || depth == 0 ||
+      static_cast<uint64_t>(width) * depth > (uint64_t{1} << 32)) {
+    return Status::Corruption("invalid CountMin shape");
+  }
+  CountMinSketch sketch(width, depth, seed, conservative != 0);
+  sketch.total_ = total;
+  for (uint64_t& counter : sketch.counters_) {
+    if (Status sv = r.GetVarint(&counter); !sv.ok()) return sv;
+  }
+  return sketch;
+}
+
+CountMinHeavyHitters::CountMinHeavyHitters(uint32_t width, uint32_t depth,
+                                           size_t k, uint64_t seed)
+    : sketch_(width, depth, seed), k_(k) {
+  GEMS_CHECK(k >= 1);
+}
+
+void CountMinHeavyHitters::Update(uint64_t item, int64_t weight) {
+  sketch_.Update(item, weight);
+  const uint64_t estimate = sketch_.EstimateCount(item);
+
+  const auto found = index_.find(item);
+  if (found != index_.end()) {
+    heap_.erase(found->second);
+    index_[item] = heap_.emplace(estimate, item);
+    return;
+  }
+  if (index_.size() < k_) {
+    index_[item] = heap_.emplace(estimate, item);
+    return;
+  }
+  // Replace the weakest candidate if this item now beats it.
+  const auto weakest = heap_.begin();
+  if (estimate > weakest->first) {
+    index_.erase(weakest->second);
+    heap_.erase(weakest);
+    index_[item] = heap_.emplace(estimate, item);
+  }
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> CountMinHeavyHitters::TopK()
+    const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(heap_.size());
+  for (auto it = heap_.rbegin(); it != heap_.rend(); ++it) {
+    out.emplace_back(it->second, it->first);  // (item, count), best first.
+  }
+  return out;
+}
+
+std::vector<uint64_t> CountMinHeavyHitters::HeavyHitters(double phi) const {
+  const double threshold =
+      phi * static_cast<double>(sketch_.TotalWeight());
+  std::vector<uint64_t> out;
+  for (const auto& [count, item] : heap_) {
+    if (static_cast<double>(count) >= threshold) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace gems

@@ -1,0 +1,122 @@
+#ifndef GEMS_FREQUENCY_COUNT_MIN_H_
+#define GEMS_FREQUENCY_COUNT_MIN_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/estimate.h"
+
+/// \file
+/// Count-Min sketch (Cormode & Muthukrishnan 2005). The paper presents it
+/// as the streamlining of the Count sketch: drop the Rademacher signs, take
+/// a minimum over rows instead of a median, and accept an L1 error
+/// guarantee — count(x) <= estimate(x) <= count(x) + eps*N with
+/// probability 1-delta for width w = ceil(e/eps), depth d = ceil(ln 1/delta).
+/// Twitter's embedded-tweet view counting is the paper's running example of
+/// this sketch in production.
+
+namespace gems {
+
+/// Count-Min sketch over non-negative weighted updates.
+class CountMinSketch {
+ public:
+  /// `width` counters per row, `depth` independent rows.
+  /// With `conservative_update` enabled, Update raises each touched counter
+  /// only to (current estimate + weight) — never above — which provably
+  /// keeps the overestimate no worse and empirically much better, at the
+  /// cost of losing mergeability of *in-flight* updates (merge itself
+  /// remains valid: counters stay overestimates).
+  CountMinSketch(uint32_t width, uint32_t depth, uint64_t seed = 0,
+                 bool conservative_update = false);
+
+  /// Dimensions a sketch for the standard (eps, delta) guarantee.
+  static CountMinSketch ForGuarantee(double epsilon, double delta,
+                                     uint64_t seed = 0);
+
+  CountMinSketch(const CountMinSketch&) = default;
+  CountMinSketch& operator=(const CountMinSketch&) = default;
+  CountMinSketch(CountMinSketch&&) = default;
+  CountMinSketch& operator=(CountMinSketch&&) = default;
+
+  /// Adds `weight` (must be >= 0) to item's count.
+  void Update(uint64_t item, int64_t weight = 1);
+
+  /// Point query: an overestimate of the item's total weight.
+  uint64_t EstimateCount(uint64_t item) const;
+
+  /// Count-mean-min estimator (Deng & Rafiei 2007): subtracts each row's
+  /// expected collision noise (N - counter) / (width - 1) and takes the
+  /// median. Not one-sided like EstimateCount, but much more accurate for
+  /// tail items on skewed streams; the E3 bench quantifies the trade.
+  int64_t EstimateCountMeanMin(uint64_t item) const;
+
+  /// Point query with the one-sided Markov bound interval:
+  /// [estimate - eps*N, estimate] where eps = e/width.
+  Estimate CountEstimate(uint64_t item, double confidence = 0.95) const;
+
+  /// Estimated inner product of the two frequency vectors (min over rows of
+  /// the row dot products); both sketches must share shape and seed.
+  Result<double> InnerProduct(const CountMinSketch& other) const;
+
+  /// Counter-wise sum; requires identical shape and seed.
+  Status Merge(const CountMinSketch& other);
+
+  uint32_t width() const { return width_; }
+  uint32_t depth() const { return depth_; }
+  uint64_t seed() const { return seed_; }
+  int64_t TotalWeight() const { return total_; }
+  bool conservative_update() const { return conservative_; }
+  size_t MemoryBytes() const { return counters_.size() * sizeof(uint64_t); }
+
+  /// Raw counters (row-major) and the bucket function, exposed for
+  /// privacy-preserving releases that post-process the sketch.
+  const std::vector<uint64_t>& counters() const { return counters_; }
+  uint64_t BucketOf(uint32_t row, uint64_t item) const {
+    return Bucket(row, item);
+  }
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<CountMinSketch> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
+ private:
+  uint64_t Bucket(uint32_t row, uint64_t item) const;
+
+  uint32_t width_;
+  uint32_t depth_;
+  uint64_t seed_;
+  bool conservative_;
+  int64_t total_ = 0;
+  std::vector<uint64_t> counters_;  // depth_ rows of width_ counters.
+};
+
+/// Streaming top-k tracker layered on a Count-Min sketch: the usual recipe
+/// for heavy hitters when items arrive one at a time.
+class CountMinHeavyHitters {
+ public:
+  CountMinHeavyHitters(uint32_t width, uint32_t depth, size_t k,
+                       uint64_t seed = 0);
+
+  void Update(uint64_t item, int64_t weight = 1);
+
+  /// Current top candidates with their estimated counts, best first.
+  std::vector<std::pair<uint64_t, uint64_t>> TopK() const;
+
+  /// Items whose estimated count >= phi * N.
+  std::vector<uint64_t> HeavyHitters(double phi) const;
+
+  const CountMinSketch& sketch() const { return sketch_; }
+
+ private:
+  CountMinSketch sketch_;
+  size_t k_;
+  // Candidate set: estimated count -> item (min at begin()).
+  std::multimap<uint64_t, uint64_t> heap_;
+  std::map<uint64_t, std::multimap<uint64_t, uint64_t>::iterator> index_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_FREQUENCY_COUNT_MIN_H_

@@ -1,0 +1,121 @@
+#include "frequency/count_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/numeric.h"
+#include "core/frame.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+CountSketch::CountSketch(uint32_t width, uint32_t depth, uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  GEMS_CHECK(width >= 1);
+  GEMS_CHECK(depth >= 1);
+  bucket_hashes_.reserve(depth);
+  sign_hashes_.reserve(depth);
+  for (uint32_t row = 0; row < depth; ++row) {
+    bucket_hashes_.emplace_back(2, DeriveSeed(seed, 2 * row));
+    sign_hashes_.emplace_back(4, DeriveSeed(seed, 2 * row + 1));
+  }
+  counters_.assign(static_cast<size_t>(width) * depth, 0);
+}
+
+uint64_t CountSketch::Bucket(uint32_t row, uint64_t item) const {
+  return bucket_hashes_[row].EvalRange(item, width_);
+}
+
+int CountSketch::Sign(uint32_t row, uint64_t item) const {
+  return sign_hashes_[row].EvalSign(item);
+}
+
+void CountSketch::Update(uint64_t item, int64_t weight) {
+  for (uint32_t row = 0; row < depth_; ++row) {
+    counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)] +=
+        Sign(row, item) * weight;
+  }
+}
+
+int64_t CountSketch::EstimateCount(uint64_t item) const {
+  std::vector<int64_t> row_estimates;
+  row_estimates.reserve(depth_);
+  for (uint32_t row = 0; row < depth_; ++row) {
+    const int64_t counter =
+        counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)];
+    row_estimates.push_back(Sign(row, item) * counter);
+  }
+  std::nth_element(row_estimates.begin(),
+                   row_estimates.begin() + row_estimates.size() / 2,
+                   row_estimates.end());
+  return row_estimates[row_estimates.size() / 2];
+}
+
+double CountSketch::EstimateF2() const {
+  std::vector<double> row_f2;
+  row_f2.reserve(depth_);
+  for (uint32_t row = 0; row < depth_; ++row) {
+    double f2 = 0.0;
+    for (uint32_t col = 0; col < width_; ++col) {
+      const double c = static_cast<double>(
+          counters_[static_cast<size_t>(row) * width_ + col]);
+      f2 += c * c;
+    }
+    row_f2.push_back(f2);
+  }
+  return Median(std::move(row_f2));
+}
+
+Estimate CountSketch::CountEstimate(uint64_t item, double confidence) const {
+  const double value = static_cast<double>(EstimateCount(item));
+  // Per-row variance is F2/width; the median over rows concentrates, so we
+  // report the single-row standard deviation as a (conservative) interval.
+  const double std_error = std::sqrt(EstimateF2() / width_);
+  return EstimateFromStdError(value, std_error, confidence);
+}
+
+Status CountSketch::Merge(const CountSketch& other) {
+  if (width_ != other.width_ || depth_ != other.depth_ ||
+      seed_ != other.seed_) {
+    return Status::InvalidArgument(
+        "CountSketch merge requires identical shape and seed");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> CountSketch::Serialize() const {
+  ByteWriter w;
+  WriteFrameHeader(SketchType::kCountSketch, &w);
+  w.PutU32(width_);
+  w.PutU32(depth_);
+  w.PutU64(seed_);
+  for (int64_t counter : counters_) w.PutI64(counter);
+  return std::move(w).TakeBytes();
+}
+
+Result<CountSketch> CountSketch::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Status s = ReadFrameHeader(SketchType::kCountSketch, &r);
+  if (!s.ok()) return s;
+  uint32_t width, depth;
+  uint64_t seed;
+  if (Status sw = r.GetU32(&width); !sw.ok()) return sw;
+  if (Status sd = r.GetU32(&depth); !sd.ok()) return sd;
+  if (Status ss = r.GetU64(&seed); !ss.ok()) return ss;
+  if (width == 0 || depth == 0 ||
+      static_cast<uint64_t>(width) * depth > (uint64_t{1} << 32)) {
+    return Status::Corruption("invalid CountSketch shape");
+  }
+  CountSketch sketch(width, depth, seed);
+  for (int64_t& counter : sketch.counters_) {
+    if (Status sv = r.GetI64(&counter); !sv.ok()) return sv;
+  }
+  return sketch;
+}
+
+}  // namespace gems

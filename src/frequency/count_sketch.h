@@ -1,0 +1,72 @@
+#ifndef GEMS_FREQUENCY_COUNT_SKETCH_H_
+#define GEMS_FREQUENCY_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/estimate.h"
+#include "hash/polynomial.h"
+
+/// \file
+/// Count sketch (Charikar, Chen & Farach-Colton 2002) — proposed, as the
+/// paper recounts, by academic visitors to Google for finding frequent
+/// search queries. Each row adds s_i(x) * weight to one bucket, where s_i
+/// is a 4-wise independent Rademacher sign; the estimate is the median over
+/// rows of s_i(x) * C[i][h_i(x)]. Errors are bounded by the L2 norm of the
+/// residual frequency vector, so it beats Count-Min on skewed data and
+/// supports negative updates (turnstile streams). It is also the
+/// building block of sparse JL transforms and of FetchSGD's gradient
+/// compression (both implemented elsewhere in this library).
+
+namespace gems {
+
+/// Count sketch over signed weighted updates.
+class CountSketch {
+ public:
+  CountSketch(uint32_t width, uint32_t depth, uint64_t seed = 0);
+
+  CountSketch(const CountSketch&) = default;
+  CountSketch& operator=(const CountSketch&) = default;
+  CountSketch(CountSketch&&) = default;
+  CountSketch& operator=(CountSketch&&) = default;
+
+  /// Adds `weight` (may be negative) to the item's count.
+  void Update(uint64_t item, int64_t weight = 1);
+
+  /// Median-of-rows unbiased point estimate (may be negative).
+  int64_t EstimateCount(uint64_t item) const;
+
+  /// Point estimate with the L2 guarantee interval: +/- sqrt(F2 / width)
+  /// per row, sharpened by the median over depth rows.
+  Estimate CountEstimate(uint64_t item, double confidence = 0.95) const;
+
+  /// Estimate of the second frequency moment F2 (median over rows of the
+  /// row's sum of squared counters) — each row is an AMS sketch.
+  double EstimateF2() const;
+
+  /// Counter-wise sum; requires identical shape and seed.
+  Status Merge(const CountSketch& other);
+
+  uint32_t width() const { return width_; }
+  uint32_t depth() const { return depth_; }
+  size_t MemoryBytes() const { return counters_.size() * sizeof(int64_t); }
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<CountSketch> Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  uint64_t Bucket(uint32_t row, uint64_t item) const;
+  int Sign(uint32_t row, uint64_t item) const;
+
+  uint32_t width_;
+  uint32_t depth_;
+  uint64_t seed_;
+  std::vector<KWiseHash> bucket_hashes_;  // 2-wise per row.
+  std::vector<KWiseHash> sign_hashes_;    // 4-wise per row.
+  std::vector<int64_t> counters_;         // depth_ rows of width_.
+};
+
+}  // namespace gems
+
+#endif  // GEMS_FREQUENCY_COUNT_SKETCH_H_

@@ -1,0 +1,56 @@
+#ifndef GEMS_FREQUENCY_DYADIC_COUNT_MIN_H_
+#define GEMS_FREQUENCY_DYADIC_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "frequency/count_min.h"
+
+/// \file
+/// Dyadic Count-Min structure: one CM sketch per level of the dyadic
+/// decomposition of the universe [0, 2^universe_bits). Supports range-sum
+/// queries (any range decomposes into at most 2 dyadic intervals per level)
+/// and, by binary search over prefix sums, approximate quantiles over
+/// integer domains — the classic CM-sketch application from the original
+/// paper (Cormode & Muthukrishnan 2005, section on range queries).
+
+namespace gems {
+
+/// Count-Min over dyadic intervals.
+class DyadicCountMin {
+ public:
+  /// Universe is [0, 2^universe_bits); each of the universe_bits+1 levels
+  /// gets a (width x depth) CM sketch.
+  DyadicCountMin(int universe_bits, uint32_t width, uint32_t depth,
+                 uint64_t seed = 0);
+
+  DyadicCountMin(const DyadicCountMin&) = default;
+  DyadicCountMin& operator=(const DyadicCountMin&) = default;
+  DyadicCountMin(DyadicCountMin&&) = default;
+  DyadicCountMin& operator=(DyadicCountMin&&) = default;
+
+  /// Adds `weight` >= 0 at point `x` (x < 2^universe_bits).
+  void Update(uint64_t x, int64_t weight = 1);
+
+  /// Overestimate of the total weight in [lo, hi] (inclusive).
+  uint64_t EstimateRangeSum(uint64_t lo, uint64_t hi) const;
+
+  /// Smallest x such that the estimated prefix sum [0, x] >= q * N.
+  uint64_t EstimateQuantile(double q) const;
+
+  Status Merge(const DyadicCountMin& other);
+
+  int universe_bits() const { return universe_bits_; }
+  int64_t TotalWeight() const { return total_; }
+  size_t MemoryBytes() const;
+
+ private:
+  int universe_bits_;
+  int64_t total_ = 0;
+  std::vector<CountMinSketch> levels_;  // levels_[l] counts prefixes x >> l.
+};
+
+}  // namespace gems
+
+#endif  // GEMS_FREQUENCY_DYADIC_COUNT_MIN_H_

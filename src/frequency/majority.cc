@@ -1,0 +1,3 @@
+#include "frequency/majority.h"
+
+// MajorityVote is fully inline; this translation unit anchors the header.

@@ -1,0 +1,54 @@
+#ifndef GEMS_FREQUENCY_MAJORITY_H_
+#define GEMS_FREQUENCY_MAJORITY_H_
+
+#include <cstdint>
+#include <optional>
+
+/// \file
+/// Boyer-Moore majority vote (1981): one candidate and one counter find the
+/// majority element of a sequence, if one exists. The historical seed of
+/// Misra-Gries (which generalizes it to k counters) and the smallest
+/// possible "sketch" in this library: 16 bytes of state.
+
+namespace gems {
+
+/// Streaming majority-vote tracker.
+class MajorityVote {
+ public:
+  MajorityVote() = default;
+
+  /// Processes one item.
+  void Update(uint64_t item) {
+    if (count_ == 0) {
+      candidate_ = item;
+      count_ = 1;
+    } else if (candidate_ == item) {
+      ++count_;
+    } else {
+      --count_;
+    }
+    ++total_;
+  }
+
+  /// The surviving candidate. If a strict majority item exists, this is it;
+  /// otherwise the value is arbitrary — callers needing certainty must
+  /// verify with a second pass (as Boyer & Moore prescribed).
+  std::optional<uint64_t> Candidate() const {
+    if (total_ == 0) return std::nullopt;
+    return candidate_;
+  }
+
+  /// The counter value (residual margin of the candidate).
+  uint64_t Margin() const { return count_; }
+
+  uint64_t TotalSeen() const { return total_; }
+
+ private:
+  uint64_t candidate_ = 0;
+  uint64_t count_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_FREQUENCY_MAJORITY_H_

@@ -1,0 +1,180 @@
+#include "frequency/space_saving.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/frame.h"
+
+namespace gems {
+
+SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
+  GEMS_CHECK(capacity >= 1);
+}
+
+void SpaceSaving::Reinsert(uint64_t item, int64_t count, int64_t error) {
+  const auto heap_it = heap_.emplace(count, item);
+  items_[item] = Counter{count, error, heap_it};
+}
+
+void SpaceSaving::Update(uint64_t item, int64_t weight) {
+  GEMS_CHECK(weight >= 1);
+  total_ += weight;
+
+  const auto it = items_.find(item);
+  if (it != items_.end()) {
+    const int64_t new_count = it->second.count + weight;
+    const int64_t error = it->second.error;
+    heap_.erase(it->second.heap_it);
+    items_.erase(it);
+    Reinsert(item, new_count, error);
+    return;
+  }
+  if (items_.size() < capacity_) {
+    Reinsert(item, weight, 0);
+    return;
+  }
+  // Evict the minimum; the newcomer inherits its count as error.
+  const auto weakest = heap_.begin();
+  const int64_t min_count = weakest->first;
+  const uint64_t evicted = weakest->second;
+  heap_.erase(weakest);
+  items_.erase(evicted);
+  Reinsert(item, min_count + weight, min_count);
+}
+
+int64_t SpaceSaving::EstimateCount(uint64_t item) const {
+  const auto it = items_.find(item);
+  if (it != items_.end()) return it->second.count;
+  return MinCount();
+}
+
+int64_t SpaceSaving::ErrorOf(uint64_t item) const {
+  const auto it = items_.find(item);
+  return it == items_.end() ? MinCount() : it->second.error;
+}
+
+bool SpaceSaving::IsGuaranteedExact(uint64_t item) const {
+  const auto it = items_.find(item);
+  return it != items_.end() && it->second.error == 0;
+}
+
+int64_t SpaceSaving::MinCount() const {
+  if (items_.size() < capacity_ || heap_.empty()) return 0;
+  return heap_.begin()->first;
+}
+
+std::vector<uint64_t> SpaceSaving::HeavyHitterCandidates(double phi) const {
+  const double threshold = phi * static_cast<double>(total_);
+  std::vector<uint64_t> out;
+  for (const auto& [count, item] : heap_) {
+    if (static_cast<double>(count) >= threshold) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::Entries() const {
+  std::vector<Entry> out;
+  out.reserve(items_.size());
+  for (const auto& [item, counter] : items_) {
+    out.push_back(Entry{item, counter.count, counter.error});
+  }
+  // Canonical order: count desc, then item asc (stable across round trips).
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.item < b.item;
+  });
+  return out;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::TopK(size_t k) const {
+  std::vector<Entry> all = Entries();
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+Status SpaceSaving::Merge(const SpaceSaving& other) {
+  if (capacity_ != other.capacity_) {
+    return Status::InvalidArgument("SpaceSaving merge requires equal capacity");
+  }
+  // Combine: items in both get summed counts and errors; items in only one
+  // side could have appeared up to the other side's MinCount times unseen,
+  // which stays within the inherited-error accounting below.
+  struct Combined {
+    int64_t count;
+    int64_t error;
+  };
+  std::unordered_map<uint64_t, Combined> combined;
+  for (const auto& [item, counter] : items_) {
+    combined[item] = Combined{counter.count, counter.error};
+  }
+  for (const auto& [item, counter] : other.items_) {
+    auto [it, inserted] =
+        combined.emplace(item, Combined{counter.count, counter.error});
+    if (!inserted) {
+      it->second.count += counter.count;
+      it->second.error += counter.error;
+    }
+  }
+  // Keep the `capacity_` largest by count; surviving items are unchanged
+  // (their counts remain valid overestimates of their true totals).
+  std::vector<std::pair<uint64_t, Combined>> all(combined.begin(),
+                                                 combined.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second.count != b.second.count)
+      return a.second.count > b.second.count;
+    return a.first < b.first;
+  });
+  if (all.size() > capacity_) all.resize(capacity_);
+
+  items_.clear();
+  heap_.clear();
+  for (const auto& [item, c] : all) Reinsert(item, c.count, c.error);
+  total_ += other.total_;
+  return Status::Ok();
+}
+
+std::vector<uint8_t> SpaceSaving::Serialize() const {
+  ByteWriter w;
+  WriteFrameHeader(SketchType::kSpaceSaving, &w);
+  w.PutVarint(capacity_);
+  w.PutI64(total_);
+  w.PutVarint(items_.size());
+  // Canonical (entry) order so identical summaries serialize identically.
+  for (const Entry& entry : Entries()) {
+    w.PutU64(entry.item);
+    w.PutI64(entry.count);
+    w.PutI64(entry.error);
+  }
+  return std::move(w).TakeBytes();
+}
+
+Result<SpaceSaving> SpaceSaving::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Status s = ReadFrameHeader(SketchType::kSpaceSaving, &r);
+  if (!s.ok()) return s;
+  uint64_t capacity, num_entries;
+  int64_t total;
+  if (Status sc = r.GetVarint(&capacity); !sc.ok()) return sc;
+  if (Status st = r.GetI64(&total); !st.ok()) return st;
+  if (Status se = r.GetVarint(&num_entries); !se.ok()) return se;
+  if (capacity == 0 || num_entries > capacity) {
+    return Status::Corruption("invalid SpaceSaving header");
+  }
+  SpaceSaving ss(capacity);
+  ss.total_ = total;
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    uint64_t item;
+    int64_t count, error;
+    if (Status si = r.GetU64(&item); !si.ok()) return si;
+    if (Status sn = r.GetI64(&count); !sn.ok()) return sn;
+    if (Status sx = r.GetI64(&error); !sx.ok()) return sx;
+    if (count <= 0 || error < 0 || error > count) {
+      return Status::Corruption("invalid SpaceSaving entry");
+    }
+    ss.Reinsert(item, count, error);
+  }
+  return ss;
+}
+
+}  // namespace gems

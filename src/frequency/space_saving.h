@@ -1,0 +1,91 @@
+#ifndef GEMS_FREQUENCY_SPACE_SAVING_H_
+#define GEMS_FREQUENCY_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// SpaceSaving (Metwally, Agrawal & El Abbadi 2005): the "stream-summary"
+/// deterministic top-k/heavy-hitter sketch. Tracks exactly k items; a new
+/// item evicts the current minimum and inherits its count (recorded as that
+/// item's error). Guarantees: every item with true count > N/k is tracked;
+/// estimates overestimate by at most the recorded per-item error <= N/k.
+/// The paper later notes its equivalence to Misra-Gries (counts differ by
+/// exactly the MG decrement total) — a property the tests verify.
+
+namespace gems {
+
+/// SpaceSaving summary tracking `capacity` items.
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(size_t capacity);
+
+  SpaceSaving(const SpaceSaving&) = default;
+  SpaceSaving& operator=(const SpaceSaving&) = default;
+  SpaceSaving(SpaceSaving&&) = default;
+  SpaceSaving& operator=(SpaceSaving&&) = default;
+
+  /// Adds `weight` (>= 1) occurrences of `item`.
+  void Update(uint64_t item, int64_t weight = 1);
+
+  /// Overestimate of the item's count; untracked items get the current
+  /// minimum count (the correct upper bound for them).
+  int64_t EstimateCount(uint64_t item) const;
+
+  /// Guaranteed overestimation error for a tracked item (0 if untracked or
+  /// never evicted anyone).
+  int64_t ErrorOf(uint64_t item) const;
+
+  /// True if the item's estimate is *guaranteed* correct (error == 0).
+  bool IsGuaranteedExact(uint64_t item) const;
+
+  /// Items with estimated count >= phi * N (no false negatives).
+  std::vector<uint64_t> HeavyHitterCandidates(double phi) const;
+
+  /// Tracked items (item, count, error), largest count first.
+  struct Entry {
+    uint64_t item;
+    int64_t count;
+    int64_t error;
+  };
+  std::vector<Entry> Entries() const;
+
+  /// Top-k by estimated count.
+  std::vector<Entry> TopK(size_t k) const;
+
+  /// Merge preserving the SpaceSaving error guarantees (combined counts and
+  /// errors added for shared items; then truncated back to capacity, with
+  /// the truncation folded into the kept items' admissible error).
+  Status Merge(const SpaceSaving& other);
+
+  int64_t TotalWeight() const { return total_; }
+  size_t capacity() const { return capacity_; }
+  size_t NumTracked() const { return items_.size(); }
+  int64_t MinCount() const;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<SpaceSaving> Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  struct Counter {
+    int64_t count;
+    int64_t error;
+    std::multimap<int64_t, uint64_t>::iterator heap_it;
+  };
+
+  void Reinsert(uint64_t item, int64_t count, int64_t error);
+
+  size_t capacity_;
+  int64_t total_ = 0;
+  std::unordered_map<uint64_t, Counter> items_;
+  // Min-ordered count -> item for O(log k) eviction.
+  std::multimap<int64_t, uint64_t> heap_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_FREQUENCY_SPACE_SAVING_H_

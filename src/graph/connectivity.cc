@@ -1,0 +1,97 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/union_find.h"
+
+namespace gems {
+
+ExactGraph::ExactGraph(uint32_t num_vertices) : num_vertices_(num_vertices) {
+  GEMS_CHECK(num_vertices >= 1);
+}
+
+void ExactGraph::AddEdge(uint32_t u, uint32_t v) {
+  GEMS_CHECK(u < num_vertices_ && v < num_vertices_ && u != v);
+  if (u > v) std::swap(u, v);
+  edges_[static_cast<uint64_t>(u) * num_vertices_ + v] += 1;
+}
+
+void ExactGraph::RemoveEdge(uint32_t u, uint32_t v) {
+  GEMS_CHECK(u < num_vertices_ && v < num_vertices_ && u != v);
+  if (u > v) std::swap(u, v);
+  edges_[static_cast<uint64_t>(u) * num_vertices_ + v] -= 1;
+}
+
+std::vector<Edge> ExactGraph::Edges() const {
+  std::vector<Edge> out;
+  for (const auto& [id, multiplicity] : edges_) {
+    if (multiplicity != 0) {
+      out.push_back(Edge{static_cast<uint32_t>(id / num_vertices_),
+                         static_cast<uint32_t>(id % num_vertices_)});
+    }
+  }
+  return out;
+}
+
+size_t ExactGraph::NumComponents() const {
+  UnionFind components(num_vertices_);
+  for (const Edge& edge : Edges()) components.Union(edge.u, edge.v);
+  return components.NumComponents();
+}
+
+std::vector<uint32_t> ExactGraph::ComponentLabels() const {
+  UnionFind components(num_vertices_);
+  for (const Edge& edge : Edges()) components.Union(edge.u, edge.v);
+  std::vector<uint32_t> labels(num_vertices_);
+  for (uint32_t vertex = 0; vertex < num_vertices_; ++vertex) {
+    labels[vertex] = static_cast<uint32_t>(components.Find(vertex));
+  }
+  return labels;
+}
+
+std::vector<Edge> RandomGraph(uint32_t num_vertices, double edge_probability,
+                              uint64_t seed) {
+  GEMS_CHECK(edge_probability >= 0.0 && edge_probability <= 1.0);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (uint32_t u = 0; u < num_vertices; ++u) {
+    for (uint32_t v = u + 1; v < num_vertices; ++v) {
+      if (rng.NextBernoulli(edge_probability)) edges.push_back(Edge{u, v});
+    }
+  }
+  return edges;
+}
+
+std::vector<Edge> PlantedComponents(uint32_t num_vertices,
+                                    uint32_t num_components,
+                                    double extra_edge_factor, uint64_t seed) {
+  GEMS_CHECK(num_components >= 1 && num_components <= num_vertices);
+  Rng rng(seed);
+  // Assign vertices round-robin to clusters, then build a random tree plus
+  // extra random intra-cluster edges within each.
+  std::vector<std::vector<uint32_t>> clusters(num_components);
+  for (uint32_t vertex = 0; vertex < num_vertices; ++vertex) {
+    clusters[vertex % num_components].push_back(vertex);
+  }
+  std::vector<Edge> edges;
+  for (const std::vector<uint32_t>& cluster : clusters) {
+    if (cluster.size() < 2) continue;
+    // Random spanning tree: connect vertex i to a random earlier vertex.
+    for (size_t i = 1; i < cluster.size(); ++i) {
+      const size_t j = rng.NextBounded(i);
+      edges.push_back(Edge{cluster[j], cluster[i]});
+    }
+    // Extra edges.
+    const size_t extras = static_cast<size_t>(
+        extra_edge_factor * static_cast<double>(cluster.size()));
+    for (size_t e = 0; e < extras; ++e) {
+      const size_t i = rng.NextBounded(cluster.size());
+      const size_t j = rng.NextBounded(cluster.size());
+      if (i != j) edges.push_back(Edge{cluster[i], cluster[j]});
+    }
+  }
+  return edges;
+}
+
+}  // namespace gems

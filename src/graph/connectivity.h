@@ -1,0 +1,57 @@
+#ifndef GEMS_GRAPH_CONNECTIVITY_H_
+#define GEMS_GRAPH_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/agm.h"
+
+/// \file
+/// Exact graph baselines and generators for the AGM experiments: exact
+/// connected components (union-find over the true edge list), and random /
+/// planted-component graph generators.
+
+namespace gems {
+
+/// Exact connectivity over an explicit edge list.
+class ExactGraph {
+ public:
+  explicit ExactGraph(uint32_t num_vertices);
+
+  void AddEdge(uint32_t u, uint32_t v);
+  void RemoveEdge(uint32_t u, uint32_t v);
+
+  /// Current edges (after cancellation of add/remove pairs).
+  std::vector<Edge> Edges() const;
+
+  /// Number of connected components.
+  size_t NumComponents() const;
+
+  /// Component label per vertex.
+  std::vector<uint32_t> ComponentLabels() const;
+
+  uint32_t num_vertices() const { return num_vertices_; }
+
+ private:
+  uint32_t num_vertices_;
+  // Edge multiplicity by encoded id (add/remove adjust the count).
+  std::vector<std::pair<uint64_t, int64_t>> SortedEdges() const;
+  std::unordered_map<uint64_t, int64_t> edges_;
+};
+
+/// Erdos-Renyi G(n, p) edges.
+std::vector<Edge> RandomGraph(uint32_t num_vertices, double edge_probability,
+                              uint64_t seed);
+
+/// A graph with `num_components` planted connected clusters (each cluster
+/// is a random spanning tree plus extra random intra-cluster edges).
+std::vector<Edge> PlantedComponents(uint32_t num_vertices,
+                                    uint32_t num_components,
+                                    double extra_edge_factor, uint64_t seed);
+
+}  // namespace gems
+
+#endif  // GEMS_GRAPH_CONNECTIVITY_H_

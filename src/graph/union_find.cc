@@ -1,0 +1,42 @@
+#include "graph/union_find.h"
+
+#include "common/check.h"
+
+namespace gems {
+
+UnionFind::UnionFind(size_t n) : num_components_(n) {
+  GEMS_CHECK(n >= 1);
+  parent_.resize(n);
+  rank_.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+size_t UnionFind::Find(size_t x) {
+  GEMS_DCHECK(x < parent_.size());
+  size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  const size_t ra = Find(a);
+  const size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) {
+    parent_[ra] = rb;
+  } else if (rank_[ra] > rank_[rb]) {
+    parent_[rb] = ra;
+  } else {
+    parent_[rb] = ra;
+    ++rank_[ra];
+  }
+  --num_components_;
+  return true;
+}
+
+}  // namespace gems

@@ -1,0 +1,39 @@
+#ifndef GEMS_GRAPH_UNION_FIND_H_
+#define GEMS_GRAPH_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Disjoint-set forest with union by rank and path compression — the exact
+/// substrate used both by the Boruvka rounds of the AGM connectivity
+/// algorithm and by the exact-graph baselines in the E13 experiment.
+
+namespace gems {
+
+/// Union-find over vertices [0, n).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  /// Representative of x's component (with path compression).
+  size_t Find(size_t x);
+
+  /// Unions the components of a and b; returns false if already joined.
+  bool Union(size_t a, size_t b);
+
+  /// Number of disjoint components.
+  size_t NumComponents() const { return num_components_; }
+
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_components_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_GRAPH_UNION_FIND_H_

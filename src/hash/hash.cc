@@ -1,0 +1,4 @@
+#include "hash/hash.h"
+
+// All helpers are inline; this file exists so hash.h has a home translation
+// unit and stays buildable standalone.

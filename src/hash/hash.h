@@ -1,0 +1,57 @@
+#ifndef GEMS_HASH_HASH_H_
+#define GEMS_HASH_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "hash/murmur3.h"
+#include "hash/xxhash.h"
+
+/// \file
+/// Front-door hashing API used by the sketches. Every sketch hashes items
+/// through these helpers so that (a) string and integer keys get the same
+/// treatment, and (b) independent repetitions are derived by reseeding, not
+/// by ad-hoc bit surgery at call sites.
+
+namespace gems {
+
+/// Hashes an arbitrary byte string (XXH64).
+inline uint64_t Hash64(const void* data, size_t len, uint64_t seed) {
+  return XxHash64(data, len, seed);
+}
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed) {
+  return XxHash64(s.data(), s.size(), seed);
+}
+
+/// Hashes a 64-bit key with a seed. A strong stateless mixer is both faster
+/// than running the byte hash over 8 bytes and adequate for sketch use.
+inline uint64_t Hash64(uint64_t key, uint64_t seed) {
+  return Mix64(key + Mix64(seed + 0x9E3779B97F4A7C15ULL));
+}
+
+/// 128 bits of hash for sketches that need two independent values per item.
+inline Hash128 Hash128Bits(const void* data, size_t len, uint64_t seed) {
+  return Murmur3_128(data, len, seed);
+}
+
+inline Hash128 Hash128Bits(uint64_t key, uint64_t seed) {
+  return Murmur3_128(&key, sizeof(key), seed);
+}
+
+/// Maps a 64-bit hash to a double uniform in [0, 1).
+inline double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Derives the seed for the i-th independent repetition of a sketch row.
+inline uint64_t DeriveSeed(uint64_t base_seed, uint64_t index) {
+  return Mix64(base_seed ^ (0xA24BAED4963EE407ULL + index * 2 + 1));
+}
+
+}  // namespace gems
+
+#endif  // GEMS_HASH_HASH_H_

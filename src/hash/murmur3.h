@@ -1,0 +1,26 @@
+#ifndef GEMS_HASH_MURMUR3_H_
+#define GEMS_HASH_MURMUR3_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// MurmurHash3 x64 128-bit variant (Austin Appleby, public domain;
+/// reimplemented from the reference description). Used where a sketch needs
+/// two independent 64-bit hash values from one pass, e.g. Bloom filters via
+/// double hashing (Kirsch-Mitzenmacher) and HLL++'s 64-bit item hash.
+
+namespace gems {
+
+/// A 128-bit hash value as two 64-bit halves.
+struct Hash128 {
+  uint64_t low;
+  uint64_t high;
+};
+
+/// Hashes `len` bytes at `data` with the given seed.
+Hash128 Murmur3_128(const void* data, size_t len, uint64_t seed);
+
+}  // namespace gems
+
+#endif  // GEMS_HASH_MURMUR3_H_

@@ -1,0 +1,55 @@
+#ifndef GEMS_HASH_POLYNOMIAL_H_
+#define GEMS_HASH_POLYNOMIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+/// \file
+/// k-wise independent polynomial hashing over the Mersenne prime
+/// p = 2^61 - 1 (Carter-Wegman). A degree-(k-1) polynomial with random
+/// coefficients evaluated at the key gives a k-wise independent family —
+/// the independence grade the AMS and Count sketch analyses assume
+/// (2-wise for bucket choice, 4-wise for the Rademacher signs).
+
+namespace gems {
+
+/// A single hash function drawn from a k-wise independent family.
+class KWiseHash {
+ public:
+  /// Draws random coefficients for a (k-1)-degree polynomial using `seed`.
+  /// `k` >= 1; the leading coefficient is forced non-zero.
+  KWiseHash(int k, uint64_t seed);
+
+  KWiseHash(const KWiseHash&) = default;
+  KWiseHash& operator=(const KWiseHash&) = default;
+  KWiseHash(KWiseHash&&) = default;
+  KWiseHash& operator=(KWiseHash&&) = default;
+
+  /// Evaluates the polynomial at `key`; result uniform in [0, 2^61 - 1).
+  uint64_t Eval(uint64_t key) const;
+
+  /// Eval mapped to [0, range) via multiply-shift style reduction.
+  uint64_t EvalRange(uint64_t key, uint64_t range) const {
+    return Eval(key) % range;
+  }
+
+  /// Eval mapped to [0, 1).
+  double EvalUnit(uint64_t key) const;
+
+  /// Rademacher +1/-1 from the low bit of an independent evaluation.
+  int EvalSign(uint64_t key) const { return (Eval(key) & 1) ? 1 : -1; }
+
+  int k() const { return static_cast<int>(coefficients_.size()); }
+
+  /// The Mersenne prime modulus 2^61 - 1.
+  static constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+
+ private:
+  std::vector<uint64_t> coefficients_;  // c_0 .. c_{k-1}, low degree first.
+};
+
+}  // namespace gems
+
+#endif  // GEMS_HASH_POLYNOMIAL_H_

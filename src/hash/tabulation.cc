@@ -1,0 +1,14 @@
+#include "hash/tabulation.h"
+
+#include "common/random.h"
+
+namespace gems {
+
+TabulationHash::TabulationHash(uint64_t seed) {
+  Rng rng(seed);
+  for (auto& table : tables_) {
+    for (uint64_t& entry : table) entry = rng.NextU64();
+  }
+}
+
+}  // namespace gems

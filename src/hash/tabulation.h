@@ -1,0 +1,42 @@
+#ifndef GEMS_HASH_TABULATION_H_
+#define GEMS_HASH_TABULATION_H_
+
+#include <array>
+#include <cstdint>
+
+/// \file
+/// Simple tabulation hashing (Zobrist; analyzed by Patrascu & Thorup 2011).
+/// Only 3-wise independent, yet behaves like a fully random function for
+/// many sketch applications (linear probing, Count-Min bucket choice) and
+/// is very fast: eight table lookups and XORs per 64-bit key.
+
+namespace gems {
+
+/// One tabulation hash function: 8 tables of 256 random 64-bit entries,
+/// one per byte of the key.
+class TabulationHash {
+ public:
+  /// Fills the tables deterministically from `seed`.
+  explicit TabulationHash(uint64_t seed);
+
+  TabulationHash(const TabulationHash&) = default;
+  TabulationHash& operator=(const TabulationHash&) = default;
+  TabulationHash(TabulationHash&&) = default;
+  TabulationHash& operator=(TabulationHash&&) = default;
+
+  /// Hashes a 64-bit key.
+  uint64_t Eval(uint64_t key) const {
+    uint64_t h = 0;
+    for (int i = 0; i < 8; ++i) {
+      h ^= tables_[i][(key >> (8 * i)) & 0xFF];
+    }
+    return h;
+  }
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_HASH_TABULATION_H_

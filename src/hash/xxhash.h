@@ -1,0 +1,19 @@
+#ifndef GEMS_HASH_XXHASH_H_
+#define GEMS_HASH_XXHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// XXH64: fast non-cryptographic 64-bit hash (Yann Collet's xxHash,
+/// reimplemented from the public specification). This is the library's
+/// default byte-string hash.
+
+namespace gems {
+
+/// Hashes `len` bytes at `data` with the given seed.
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed);
+
+}  // namespace gems
+
+#endif  // GEMS_HASH_XXHASH_H_

@@ -1,0 +1,147 @@
+#include "membership/bloom.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "core/frame.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+BloomFilter::BloomFilter(uint64_t num_bits, int num_hashes, uint64_t seed)
+    : num_bits_((num_bits + 63) / 64 * 64),
+      num_hashes_(num_hashes),
+      seed_(seed) {
+  GEMS_CHECK(num_bits > 0);
+  GEMS_CHECK(num_hashes >= 1 && num_hashes <= 64);
+  bits_.assign(num_bits_ / 64, 0);
+}
+
+BloomFilter BloomFilter::ForCapacity(uint64_t expected_items,
+                                     double target_fpr, uint64_t seed) {
+  GEMS_CHECK(expected_items > 0);
+  GEMS_CHECK(target_fpr > 0.0 && target_fpr < 1.0);
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(expected_items) *
+                   std::log(target_fpr) / (ln2 * ln2);
+  const int k = std::max(1, static_cast<int>(std::round(
+                                m / static_cast<double>(expected_items) *
+                                ln2)));
+  return BloomFilter(static_cast<uint64_t>(std::ceil(m)), k, seed);
+}
+
+int BloomFilter::OptimalNumHashes(double bits_per_item) {
+  return std::max(1, static_cast<int>(std::round(bits_per_item *
+                                                 std::log(2.0))));
+}
+
+void BloomFilter::InsertHash(uint64_t h1, uint64_t h2) {
+  // Kirsch-Mitzenmacher: probe i at h1 + i*h2.
+  uint64_t h = h1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = h % num_bits_;
+    bits_[bit / 64] |= uint64_t{1} << (bit % 64);
+    h += h2;
+  }
+}
+
+bool BloomFilter::MayContainHash(uint64_t h1, uint64_t h2) const {
+  uint64_t h = h1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = h % num_bits_;
+    if ((bits_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) return false;
+    h += h2;
+  }
+  return true;
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  const Hash128 h = Hash128Bits(key, seed_);
+  InsertHash(h.low, h.high | 1);
+}
+
+void BloomFilter::Insert(std::string_view key) {
+  const Hash128 h = Hash128Bits(key.data(), key.size(), seed_);
+  InsertHash(h.low, h.high | 1);
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  const Hash128 h = Hash128Bits(key, seed_);
+  return MayContainHash(h.low, h.high | 1);
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  const Hash128 h = Hash128Bits(key.data(), key.size(), seed_);
+  return MayContainHash(h.low, h.high | 1);
+}
+
+uint64_t BloomFilter::NumBitsSet() const {
+  uint64_t set = 0;
+  for (uint64_t word : bits_) set += PopCount64(word);
+  return set;
+}
+
+double BloomFilter::EstimatedFpr() const {
+  const double fill =
+      static_cast<double>(NumBitsSet()) / static_cast<double>(num_bits_);
+  return std::pow(fill, num_hashes_);
+}
+
+double BloomFilter::EstimateCardinality() const {
+  const double m = static_cast<double>(num_bits_);
+  const double set = static_cast<double>(NumBitsSet());
+  if (set >= m) return m * std::log(m) / num_hashes_;  // Saturated.
+  return -(m / num_hashes_) * std::log(1.0 - set / m);
+}
+
+double BloomFilter::TheoreticalFpr(uint64_t num_bits, int num_hashes,
+                                   uint64_t n) {
+  const double exponent = -static_cast<double>(num_hashes) *
+                          static_cast<double>(n) /
+                          static_cast<double>(num_bits);
+  return std::pow(1.0 - std::exp(exponent), num_hashes);
+}
+
+Status BloomFilter::Merge(const BloomFilter& other) {
+  if (num_bits_ != other.num_bits_ || num_hashes_ != other.num_hashes_ ||
+      seed_ != other.seed_) {
+    return Status::InvalidArgument(
+        "Bloom merge requires identical shape and seed");
+  }
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  return Status::Ok();
+}
+
+std::vector<uint8_t> BloomFilter::Serialize() const {
+  ByteWriter w;
+  WriteFrameHeader(SketchType::kBloomFilter, &w);
+  w.PutU64(num_bits_);
+  w.PutU8(static_cast<uint8_t>(num_hashes_));
+  w.PutU64(seed_);
+  for (uint64_t word : bits_) w.PutU64(word);
+  return std::move(w).TakeBytes();
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Status s = ReadFrameHeader(SketchType::kBloomFilter, &r);
+  if (!s.ok()) return s;
+  uint64_t num_bits, seed;
+  uint8_t num_hashes;
+  if (Status sb = r.GetU64(&num_bits); !sb.ok()) return sb;
+  if (Status sh = r.GetU8(&num_hashes); !sh.ok()) return sh;
+  if (Status ss = r.GetU64(&seed); !ss.ok()) return ss;
+  if (num_bits == 0 || num_bits % 64 != 0 || num_bits > (uint64_t{1} << 40) ||
+      num_hashes < 1) {
+    return Status::Corruption("invalid Bloom filter shape");
+  }
+  BloomFilter filter(num_bits, num_hashes, seed);
+  for (uint64_t& word : filter.bits_) {
+    if (Status sw = r.GetU64(&word); !sw.ok()) return sw;
+  }
+  return filter;
+}
+
+}  // namespace gems

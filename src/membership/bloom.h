@@ -1,0 +1,82 @@
+#ifndef GEMS_MEMBERSHIP_BLOOM_H_
+#define GEMS_MEMBERSHIP_BLOOM_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Bloom filter (Bloom 1970) — per the paper, "perhaps the first example of
+/// something we can think of as a sketch", originally motivated by spell
+/// checking under memory constraints. Uses Kirsch-Mitzenmacher double
+/// hashing: the k probe positions are derived as h1 + i*h2 from one 128-bit
+/// hash, which preserves the asymptotic false-positive rate.
+
+namespace gems {
+
+/// A standard Bloom filter over 64-bit keys (or byte strings).
+class BloomFilter {
+ public:
+  /// Creates a filter with `num_bits` bits (rounded up to a multiple of 64)
+  /// and `num_hashes` probes per item.
+  BloomFilter(uint64_t num_bits, int num_hashes, uint64_t seed = 0);
+
+  /// Sizes a filter for `expected_items` at `target_fpr` using the optimal
+  /// m = -n ln p / (ln 2)^2 and k = (m/n) ln 2.
+  static BloomFilter ForCapacity(uint64_t expected_items, double target_fpr,
+                                 uint64_t seed = 0);
+
+  BloomFilter(const BloomFilter&) = default;
+  BloomFilter& operator=(const BloomFilter&) = default;
+  BloomFilter(BloomFilter&&) = default;
+  BloomFilter& operator=(BloomFilter&&) = default;
+
+  /// Inserts a key.
+  void Insert(uint64_t key);
+  void Insert(std::string_view key);
+
+  /// True if the key may have been inserted; false means definitely not.
+  bool MayContain(uint64_t key) const;
+  bool MayContain(std::string_view key) const;
+
+  /// Predicted false-positive rate at the current fill: (1 - e^{-kn/m})^k
+  /// using the number of set bits as the fill estimate.
+  double EstimatedFpr() const;
+
+  /// Theoretical FPR for the given parameters after n insertions.
+  static double TheoreticalFpr(uint64_t num_bits, int num_hashes, uint64_t n);
+
+  /// Estimated number of distinct keys inserted, from the bit occupancy
+  /// (Swamidass & Baldi 2007): n̂ = -(m/k) ln(1 - X/m) with X set bits.
+  /// Returns m ln m / k as a saturated ceiling when every bit is set.
+  double EstimateCardinality() const;
+
+  /// Optimal probe count for a bits-per-item budget: k = (m/n) ln 2.
+  static int OptimalNumHashes(double bits_per_item);
+
+  /// Bitwise-OR union; requires identical shape and seed.
+  Status Merge(const BloomFilter& other);
+
+  uint64_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  uint64_t NumBitsSet() const;
+  size_t MemoryBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<BloomFilter> Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  void InsertHash(uint64_t h1, uint64_t h2);
+  bool MayContainHash(uint64_t h1, uint64_t h2) const;
+
+  uint64_t num_bits_;
+  int num_hashes_;
+  uint64_t seed_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_MEMBERSHIP_BLOOM_H_

@@ -1,0 +1,181 @@
+#include "ml/fetchsgd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/numeric.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+GradientSketch::GradientSketch(uint32_t width, uint32_t depth, uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  GEMS_CHECK(width >= 1);
+  GEMS_CHECK(depth >= 1);
+  bucket_hashes_.reserve(depth);
+  sign_hashes_.reserve(depth);
+  for (uint32_t row = 0; row < depth; ++row) {
+    bucket_hashes_.emplace_back(2, DeriveSeed(seed, 2 * row));
+    sign_hashes_.emplace_back(4, DeriveSeed(seed, 2 * row + 1));
+  }
+  cells_.assign(static_cast<size_t>(width) * depth, 0.0);
+}
+
+void GradientSketch::Add(uint64_t coordinate, double value) {
+  for (uint32_t row = 0; row < depth_; ++row) {
+    const uint64_t bucket = bucket_hashes_[row].EvalRange(coordinate, width_);
+    cells_[static_cast<size_t>(row) * width_ + bucket] +=
+        sign_hashes_[row].EvalSign(coordinate) * value;
+  }
+}
+
+void GradientSketch::Accumulate(const std::vector<double>& gradient) {
+  for (size_t coordinate = 0; coordinate < gradient.size(); ++coordinate) {
+    if (gradient[coordinate] != 0.0) {
+      Add(coordinate, gradient[coordinate]);
+    }
+  }
+}
+
+double GradientSketch::Estimate(uint64_t coordinate) const {
+  std::vector<double> row_estimates;
+  row_estimates.reserve(depth_);
+  for (uint32_t row = 0; row < depth_; ++row) {
+    const uint64_t bucket = bucket_hashes_[row].EvalRange(coordinate, width_);
+    row_estimates.push_back(
+        sign_hashes_[row].EvalSign(coordinate) *
+        cells_[static_cast<size_t>(row) * width_ + bucket]);
+  }
+  return Median(std::move(row_estimates));
+}
+
+std::vector<std::pair<uint64_t, double>> GradientSketch::TopK(
+    size_t k, size_t dim) const {
+  std::vector<std::pair<uint64_t, double>> all;
+  all.reserve(dim);
+  for (uint64_t coordinate = 0; coordinate < dim; ++coordinate) {
+    all.emplace_back(coordinate, Estimate(coordinate));
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return std::abs(a.second) > std::abs(b.second);
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+Status GradientSketch::AddSketch(const GradientSketch& other) {
+  if (width_ != other.width_ || depth_ != other.depth_ ||
+      seed_ != other.seed_) {
+    return Status::InvalidArgument(
+        "GradientSketch addition requires identical shape and seed");
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  return Status::Ok();
+}
+
+void GradientSketch::Scale(double factor) {
+  for (double& cell : cells_) cell *= factor;
+}
+
+void GradientSketch::Reset() {
+  std::fill(cells_.begin(), cells_.end(), 0.0);
+}
+
+FetchSgdTrainer::FetchSgdTrainer(const Options& options, uint64_t seed)
+    : options_(options), seed_(seed) {
+  GEMS_CHECK(options.num_clients >= 1);
+  GEMS_CHECK(options.momentum >= 0.0 && options.momentum < 1.0);
+}
+
+size_t FetchSgdTrainer::UploadBytesPerClient() const {
+  return static_cast<size_t>(options_.sketch_width) * options_.sketch_depth *
+         sizeof(double);
+}
+
+std::vector<double> FetchSgdTrainer::Train(
+    LogisticModel* model, const std::vector<Example>& data) {
+  const size_t dim = model->dim();
+  // Shard examples across clients.
+  std::vector<std::vector<Example>> shards(options_.num_clients);
+  for (size_t i = 0; i < data.size(); ++i) {
+    shards[i % options_.num_clients].push_back(data[i]);
+  }
+
+  GradientSketch momentum(options_.sketch_width, options_.sketch_depth,
+                          seed_);
+  GradientSketch error(options_.sketch_width, options_.sketch_depth, seed_);
+  std::vector<double> losses;
+  losses.reserve(options_.rounds);
+
+  for (size_t round = 0; round < options_.rounds; ++round) {
+    // Clients: sketch local gradients; server sums them (linearity).
+    GradientSketch round_sketch(options_.sketch_width, options_.sketch_depth,
+                                seed_);
+    for (const std::vector<Example>& shard : shards) {
+      if (shard.empty()) continue;
+      GradientSketch client_sketch(options_.sketch_width,
+                                   options_.sketch_depth, seed_);
+      client_sketch.Accumulate(model->Gradient(shard));
+      GEMS_CHECK(round_sketch.AddSketch(client_sketch).ok());
+    }
+    round_sketch.Scale(1.0 / static_cast<double>(options_.num_clients));
+
+    // Server: momentum and error accumulation in sketch space.
+    momentum.Scale(options_.momentum);
+    GEMS_CHECK(momentum.AddSketch(round_sketch).ok());
+    GradientSketch step = momentum;
+    step.Scale(options_.learning_rate);
+    GEMS_CHECK(error.AddSketch(step).ok());
+
+    // Extract top-k heavy coordinates from the error sketch, apply them,
+    // and subtract them back (error feedback).
+    std::vector<double> update(dim, 0.0);
+    for (const auto& [coordinate, value] :
+         error.TopK(options_.top_k, dim)) {
+      update[coordinate] = value;
+      error.Add(coordinate, -value);
+    }
+    model->ApplyUpdate(update, 1.0);  // Learning rate already folded in.
+    losses.push_back(model->Loss(data));
+  }
+  return losses;
+}
+
+std::vector<double> TrainLocalTopK(LogisticModel* model,
+                                   const std::vector<Example>& data,
+                                   size_t num_clients, size_t rounds,
+                                   double learning_rate, size_t top_k) {
+  const size_t dim = model->dim();
+  std::vector<std::vector<Example>> shards(num_clients);
+  for (size_t i = 0; i < data.size(); ++i) {
+    shards[i % num_clients].push_back(data[i]);
+  }
+  std::vector<double> losses;
+  losses.reserve(rounds);
+  for (size_t round = 0; round < rounds; ++round) {
+    std::vector<double> aggregated(dim, 0.0);
+    for (const std::vector<Example>& shard : shards) {
+      if (shard.empty()) continue;
+      std::vector<double> gradient = model->Gradient(shard);
+      // Keep only the local top-k coordinates by magnitude.
+      std::vector<size_t> order(dim);
+      for (size_t i = 0; i < dim; ++i) order[i] = i;
+      std::partial_sort(order.begin(),
+                        order.begin() + std::min(top_k, dim), order.end(),
+                        [&](size_t a, size_t b) {
+                          return std::abs(gradient[a]) >
+                                 std::abs(gradient[b]);
+                        });
+      for (size_t i = 0; i < std::min(top_k, dim); ++i) {
+        aggregated[order[i]] += gradient[order[i]];
+      }
+    }
+    for (double& g : aggregated) g /= static_cast<double>(num_clients);
+    model->ApplyUpdate(aggregated, learning_rate);
+    losses.push_back(model->Loss(data));
+  }
+  return losses;
+}
+
+}  // namespace gems

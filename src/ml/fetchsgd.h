@@ -1,0 +1,103 @@
+#ifndef GEMS_ML_FETCHSGD_H_
+#define GEMS_ML_FETCHSGD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "hash/polynomial.h"
+#include "ml/linear_model.h"
+
+/// \file
+/// FetchSGD (Rothchild et al., ICML 2020): communication-efficient
+/// federated learning by count-sketching gradients — the paper's example
+/// of sketches "reducing the communication cost of distributed machine
+/// learning". Clients send a fixed-size Count Sketch of their local
+/// gradient instead of the d-dimensional vector; sketches are linear, so
+/// the server just sums them. Momentum and error accumulation both happen
+/// *inside sketch space*; each round the server extracts the top-k heavy
+/// coordinates, applies them to the model, and subtracts them back from
+/// the error sketch (error feedback).
+
+namespace gems {
+
+/// A real-valued Count Sketch for gradient vectors.
+class GradientSketch {
+ public:
+  GradientSketch(uint32_t width, uint32_t depth, uint64_t seed);
+
+  GradientSketch(const GradientSketch&) = default;
+  GradientSketch& operator=(const GradientSketch&) = default;
+  GradientSketch(GradientSketch&&) = default;
+  GradientSketch& operator=(GradientSketch&&) = default;
+
+  /// Accumulates a dense gradient into the sketch.
+  void Accumulate(const std::vector<double>& gradient);
+
+  /// Adds a single coordinate value.
+  void Add(uint64_t coordinate, double value);
+
+  /// Median-of-rows estimate of one coordinate.
+  double Estimate(uint64_t coordinate) const;
+
+  /// The k coordinates (from universe [0, dim)) with largest |estimate|.
+  std::vector<std::pair<uint64_t, double>> TopK(size_t k, size_t dim) const;
+
+  /// Linear-space operations (sketches of sums = sums of sketches).
+  Status AddSketch(const GradientSketch& other);
+  void Scale(double factor);
+  void Reset();
+
+  uint32_t width() const { return width_; }
+  uint32_t depth() const { return depth_; }
+  size_t MemoryBytes() const { return cells_.size() * sizeof(double); }
+
+ private:
+  uint32_t width_;
+  uint32_t depth_;
+  uint64_t seed_;
+  std::vector<KWiseHash> bucket_hashes_;
+  std::vector<KWiseHash> sign_hashes_;
+  std::vector<double> cells_;
+};
+
+/// Server + simulated clients for one FetchSGD training run.
+class FetchSgdTrainer {
+ public:
+  struct Options {
+    size_t num_clients = 50;
+    size_t rounds = 100;
+    double learning_rate = 0.5;
+    double momentum = 0.9;
+    uint32_t sketch_width = 512;   // Compression = dim / (width * depth).
+    uint32_t sketch_depth = 5;
+    size_t top_k = 32;             // Coordinates applied per round.
+  };
+
+  FetchSgdTrainer(const Options& options, uint64_t seed);
+
+  /// Runs FetchSGD on `data` (sharded across simulated clients) and
+  /// returns the global-loss trajectory, one entry per round.
+  std::vector<double> Train(LogisticModel* model,
+                            const std::vector<Example>& data);
+
+  /// Bytes uploaded per client per round (sketch cells * 8).
+  size_t UploadBytesPerClient() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  uint64_t seed_;
+};
+
+/// Baseline: clients send only their local top-k coordinates (same upload
+/// budget, no sketching, no error feedback). Returns loss per round.
+std::vector<double> TrainLocalTopK(LogisticModel* model,
+                                   const std::vector<Example>& data,
+                                   size_t num_clients, size_t rounds,
+                                   double learning_rate, size_t top_k);
+
+}  // namespace gems
+
+#endif  // GEMS_ML_FETCHSGD_H_

@@ -1,0 +1,153 @@
+#include "ml/linear_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gems {
+namespace {
+
+inline double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+inline double Dot(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  GEMS_DCHECK(a.size() == b.size());
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace
+
+SyntheticDataset GenerateLogisticData(size_t n, size_t dim, size_t sparsity,
+                                      uint64_t seed) {
+  GEMS_CHECK(sparsity <= dim);
+  Rng rng(seed);
+  SyntheticDataset dataset;
+  dataset.true_weights.assign(dim, 0.0);
+  for (size_t i = 0; i < sparsity; ++i) {
+    // Spread the true support across the dimension range.
+    const size_t coordinate = (i * dim) / sparsity;
+    dataset.true_weights[coordinate] = rng.NextGaussian() * 3.0;
+  }
+  dataset.examples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Example example;
+    example.features.resize(dim);
+    for (double& f : example.features) f = rng.NextGaussian();
+    const double p = Sigmoid(Dot(dataset.true_weights, example.features));
+    example.label = rng.NextBernoulli(p) ? 1 : -1;
+    dataset.examples.push_back(std::move(example));
+  }
+  return dataset;
+}
+
+SyntheticDataset GenerateSparseLogisticData(size_t n, size_t dim,
+                                            size_t sparsity,
+                                            size_t active_features,
+                                            uint64_t seed) {
+  GEMS_CHECK(sparsity >= 1 && sparsity <= dim);
+  GEMS_CHECK(active_features >= 2 && active_features <= dim);
+  Rng rng(seed);
+  SyntheticDataset dataset;
+  dataset.true_weights.assign(dim, 0.0);
+  std::vector<size_t> signal_support;
+  signal_support.reserve(sparsity);
+  for (size_t i = 0; i < sparsity; ++i) {
+    const size_t coordinate = (i * dim) / sparsity;
+    signal_support.push_back(coordinate);
+    dataset.true_weights[coordinate] = rng.NextGaussian() * 3.0;
+  }
+  dataset.examples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Example example;
+    example.features.assign(dim, 0.0);
+    // Half the active coordinates come from the signal support (frequent
+    // informative features), half from anywhere (background vocabulary).
+    for (size_t a = 0; a < active_features; ++a) {
+      const size_t coordinate =
+          (a % 2 == 0)
+              ? signal_support[rng.NextBounded(signal_support.size())]
+              : rng.NextBounded(dim);
+      example.features[coordinate] = rng.NextGaussian();
+    }
+    double dot = 0;
+    for (size_t c = 0; c < dim; ++c) {
+      dot += dataset.true_weights[c] * example.features[c];
+    }
+    const double p = Sigmoid(dot);
+    example.label = rng.NextBernoulli(p) ? 1 : -1;
+    dataset.examples.push_back(std::move(example));
+  }
+  return dataset;
+}
+
+LogisticModel::LogisticModel(size_t dim) : weights_(dim, 0.0) {
+  GEMS_CHECK(dim >= 1);
+}
+
+double LogisticModel::PredictProbability(
+    const std::vector<double>& features) const {
+  return Sigmoid(Dot(weights_, features));
+}
+
+double LogisticModel::Loss(const std::vector<Example>& examples) const {
+  GEMS_CHECK(!examples.empty());
+  double total = 0;
+  for (const Example& example : examples) {
+    const double margin = example.label * Dot(weights_, example.features);
+    // log(1 + e^-m), computed stably.
+    total += margin > 0 ? std::log1p(std::exp(-margin))
+                        : -margin + std::log1p(std::exp(margin));
+  }
+  return total / static_cast<double>(examples.size());
+}
+
+double LogisticModel::Accuracy(const std::vector<Example>& examples) const {
+  GEMS_CHECK(!examples.empty());
+  size_t correct = 0;
+  for (const Example& example : examples) {
+    const int predicted =
+        Dot(weights_, example.features) >= 0 ? 1 : -1;
+    if (predicted == example.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(examples.size());
+}
+
+std::vector<double> LogisticModel::Gradient(
+    const std::vector<Example>& examples) const {
+  GEMS_CHECK(!examples.empty());
+  std::vector<double> gradient(weights_.size(), 0.0);
+  for (const Example& example : examples) {
+    const double margin = example.label * Dot(weights_, example.features);
+    const double coefficient = -example.label * Sigmoid(-margin);
+    for (size_t i = 0; i < gradient.size(); ++i) {
+      gradient[i] += coefficient * example.features[i];
+    }
+  }
+  const double inverse_n = 1.0 / static_cast<double>(examples.size());
+  for (double& g : gradient) g *= inverse_n;
+  return gradient;
+}
+
+void LogisticModel::ApplyUpdate(const std::vector<double>& direction,
+                                double step) {
+  GEMS_CHECK(direction.size() == weights_.size());
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] -= step * direction[i];
+  }
+}
+
+std::vector<double> TrainDenseSgd(LogisticModel* model,
+                                  const std::vector<Example>& data,
+                                  size_t rounds, double learning_rate) {
+  std::vector<double> losses;
+  losses.reserve(rounds);
+  for (size_t round = 0; round < rounds; ++round) {
+    model->ApplyUpdate(model->Gradient(data), learning_rate);
+    losses.push_back(model->Loss(data));
+  }
+  return losses;
+}
+
+}  // namespace gems

@@ -1,0 +1,79 @@
+#ifndef GEMS_ML_LINEAR_MODEL_H_
+#define GEMS_ML_LINEAR_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+/// \file
+/// Minimal logistic-regression substrate for the FetchSGD experiment
+/// (E12): synthetic binary classification data, logistic loss/gradients,
+/// and a plain SGD trainer used as the uncompressed baseline.
+
+namespace gems {
+
+/// A labelled example: dense features and a +/-1 label.
+struct Example {
+  std::vector<double> features;
+  int label;  // +1 or -1.
+};
+
+/// Synthetic logistic dataset: features ~ N(0,1), labels drawn from a
+/// ground-truth sparse weight vector passed through the logistic link.
+struct SyntheticDataset {
+  std::vector<Example> examples;
+  std::vector<double> true_weights;
+};
+
+/// Generates `n` examples in `dim` dimensions with `sparsity` non-zero
+/// true weights. Features are dense Gaussians.
+SyntheticDataset GenerateLogisticData(size_t n, size_t dim, size_t sparsity,
+                                      uint64_t seed);
+
+/// Sparse-feature variant (bag-of-words-like): each example has only
+/// `active_features` non-zero coordinates, half drawn from the true-signal
+/// support. This is the regime FetchSGD targets — gradients concentrate on
+/// a few heavy coordinates, which is what makes count-sketch compression
+/// effective at real compression ratios.
+SyntheticDataset GenerateSparseLogisticData(size_t n, size_t dim,
+                                            size_t sparsity,
+                                            size_t active_features,
+                                            uint64_t seed);
+
+/// Logistic regression model (no bias term; fold it into a feature).
+class LogisticModel {
+ public:
+  explicit LogisticModel(size_t dim);
+
+  /// P(label = +1 | x).
+  double PredictProbability(const std::vector<double>& features) const;
+
+  /// Mean logistic loss over `examples`.
+  double Loss(const std::vector<Example>& examples) const;
+
+  /// Classification accuracy over `examples`.
+  double Accuracy(const std::vector<Example>& examples) const;
+
+  /// Mean gradient of the logistic loss over `examples`.
+  std::vector<double> Gradient(const std::vector<Example>& examples) const;
+
+  /// weights -= step * direction.
+  void ApplyUpdate(const std::vector<double>& direction, double step);
+
+  const std::vector<double>& weights() const { return weights_; }
+  std::vector<double>* mutable_weights() { return &weights_; }
+  size_t dim() const { return weights_.size(); }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// One full-gradient SGD baseline run; returns the loss after each round.
+std::vector<double> TrainDenseSgd(LogisticModel* model,
+                                  const std::vector<Example>& data,
+                                  size_t rounds, double learning_rate);
+
+}  // namespace gems
+
+#endif  // GEMS_ML_LINEAR_MODEL_H_

@@ -1,0 +1,161 @@
+#include "moments/compressed_sensing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace gems {
+namespace {
+
+// Solves the normal equations (G + ridge I) c = b in-place by Gaussian
+// elimination with partial pivoting. Sizes here are tiny (sparsity x
+// sparsity), so O(s^3) is fine.
+std::vector<double> SolveLinearSystem(std::vector<std::vector<double>> g,
+                                      std::vector<double> b) {
+  const size_t n = b.size();
+  for (size_t col = 0; col < n; ++col) {
+    // Pivot.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::abs(g[row][col]) > std::abs(g[pivot][col])) pivot = row;
+    }
+    std::swap(g[col], g[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = g[col][col];
+    if (std::abs(diag) < 1e-12) continue;  // Degenerate; leave zero.
+    for (size_t row = col + 1; row < n; ++row) {
+      const double factor = g[row][col] / diag;
+      for (size_t k = col; k < n; ++k) g[row][k] -= factor * g[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (size_t k = row + 1; k < n; ++k) sum -= g[row][k] * x[k];
+    x[row] = std::abs(g[row][row]) < 1e-12 ? 0.0 : sum / g[row][row];
+  }
+  return x;
+}
+
+}  // namespace
+
+SensingMatrix::SensingMatrix(size_t num_measurements, size_t dim,
+                             uint64_t seed)
+    : m_(num_measurements), d_(dim) {
+  GEMS_CHECK(num_measurements >= 1);
+  GEMS_CHECK(dim >= 1);
+  GEMS_CHECK(num_measurements * dim <= (size_t{1} << 26));
+  Rng rng(seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(m_));
+  entries_.reserve(m_ * d_);
+  for (size_t i = 0; i < m_ * d_; ++i) {
+    entries_.push_back(rng.NextGaussian() * scale);
+  }
+}
+
+std::vector<double> SensingMatrix::Measure(
+    const std::vector<double>& signal) const {
+  GEMS_CHECK(signal.size() == d_);
+  std::vector<double> y(m_, 0.0);
+  for (size_t row = 0; row < m_; ++row) {
+    const double* a = entries_.data() + row * d_;
+    double sum = 0.0;
+    for (size_t col = 0; col < d_; ++col) sum += a[col] * signal[col];
+    y[row] = sum;
+  }
+  return y;
+}
+
+std::vector<double> SensingMatrix::Column(size_t j) const {
+  GEMS_CHECK(j < d_);
+  std::vector<double> column(m_);
+  for (size_t row = 0; row < m_; ++row) {
+    column[row] = entries_[row * d_ + j];
+  }
+  return column;
+}
+
+Result<RecoveryResult> OrthogonalMatchingPursuit(
+    const SensingMatrix& matrix, const std::vector<double>& measurements,
+    size_t sparsity) {
+  if (measurements.size() != matrix.num_measurements()) {
+    return Status::InvalidArgument("measurement vector has wrong length");
+  }
+  if (sparsity == 0 || sparsity > matrix.num_measurements()) {
+    return Status::InvalidArgument("sparsity out of range");
+  }
+
+  const size_t d = matrix.dim();
+  RecoveryResult result;
+  std::vector<double> residual = measurements;
+  std::vector<std::vector<double>> chosen_columns;
+
+  for (size_t iteration = 0; iteration < sparsity; ++iteration) {
+    // Column most correlated with the residual.
+    size_t best = d;
+    double best_correlation = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      if (std::find(result.support.begin(), result.support.end(), j) !=
+          result.support.end()) {
+        continue;
+      }
+      const auto column = matrix.Column(j);
+      double dot = 0.0;
+      for (size_t row = 0; row < column.size(); ++row) {
+        dot += column[row] * residual[row];
+      }
+      if (std::abs(dot) > std::abs(best_correlation)) {
+        best_correlation = dot;
+        best = j;
+      }
+    }
+    if (best == d) break;
+    result.support.push_back(best);
+    chosen_columns.push_back(matrix.Column(best));
+
+    // Least-squares refit of all chosen coefficients: solve
+    // (C^T C) c = C^T y.
+    const size_t s = chosen_columns.size();
+    std::vector<std::vector<double>> gram(s, std::vector<double>(s, 0.0));
+    std::vector<double> rhs(s, 0.0);
+    for (size_t a = 0; a < s; ++a) {
+      for (size_t b = a; b < s; ++b) {
+        double dot = 0.0;
+        for (size_t row = 0; row < measurements.size(); ++row) {
+          dot += chosen_columns[a][row] * chosen_columns[b][row];
+        }
+        gram[a][b] = gram[b][a] = dot;
+      }
+      double dot = 0.0;
+      for (size_t row = 0; row < measurements.size(); ++row) {
+        dot += chosen_columns[a][row] * measurements[row];
+      }
+      rhs[a] = dot;
+    }
+    const std::vector<double> coefficients = SolveLinearSystem(gram, rhs);
+
+    // Update the residual: r = y - C c.
+    residual = measurements;
+    for (size_t a = 0; a < s; ++a) {
+      for (size_t row = 0; row < residual.size(); ++row) {
+        residual[row] -= coefficients[a] * chosen_columns[a][row];
+      }
+    }
+    double norm = 0.0;
+    for (double r : residual) norm += r * r;
+    result.residual_norm = std::sqrt(norm);
+
+    // Write the current solution.
+    result.signal.assign(d, 0.0);
+    for (size_t a = 0; a < s; ++a) {
+      result.signal[result.support[a]] = coefficients[a];
+    }
+    if (result.residual_norm < 1e-9) break;
+  }
+  return result;
+}
+
+}  // namespace gems

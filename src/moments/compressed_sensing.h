@@ -1,0 +1,67 @@
+#ifndef GEMS_MOMENTS_COMPRESSED_SENSING_H_
+#define GEMS_MOMENTS_COMPRESSED_SENSING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Compressed sensing (Donoho 2004) — the paper names it as an outgrowth of
+/// JL-style dimensionality reduction: an s-sparse d-dimensional signal is
+/// recoverable from m = O(s log d) random linear measurements. This module
+/// implements the sensing operator (a Gaussian JL-style matrix, the
+/// classic RIP ensemble) and greedy recovery by Orthogonal Matching
+/// Pursuit, plus a least-squares helper. Experimented on by the E1-style
+/// sweep in tests (recovery success vs measurements), reproducing the
+/// standard phase-transition shape.
+
+namespace gems {
+
+/// Random sensing matrix y = A x with i.i.d. N(0, 1/m) entries.
+class SensingMatrix {
+ public:
+  SensingMatrix(size_t num_measurements, size_t dim, uint64_t seed);
+
+  SensingMatrix(const SensingMatrix&) = default;
+  SensingMatrix& operator=(const SensingMatrix&) = default;
+  SensingMatrix(SensingMatrix&&) = default;
+  SensingMatrix& operator=(SensingMatrix&&) = default;
+
+  /// y = A x for a dense signal x (size dim).
+  std::vector<double> Measure(const std::vector<double>& signal) const;
+
+  /// Column j of A.
+  std::vector<double> Column(size_t j) const;
+
+  size_t num_measurements() const { return m_; }
+  size_t dim() const { return d_; }
+
+ private:
+  size_t m_;
+  size_t d_;
+  std::vector<double> entries_;  // Row-major m x d.
+};
+
+/// Result of a recovery attempt.
+struct RecoveryResult {
+  /// Recovered signal (size dim).
+  std::vector<double> signal;
+  /// Chosen support (column indices, in selection order).
+  std::vector<size_t> support;
+  /// Final residual L2 norm.
+  double residual_norm = 0.0;
+};
+
+/// Orthogonal Matching Pursuit: greedily selects the column most
+/// correlated with the residual, then re-fits all selected coefficients by
+/// least squares, for `sparsity` iterations (or until the residual is
+/// negligible).
+Result<RecoveryResult> OrthogonalMatchingPursuit(
+    const SensingMatrix& matrix, const std::vector<double>& measurements,
+    size_t sparsity);
+
+}  // namespace gems
+
+#endif  // GEMS_MOMENTS_COMPRESSED_SENSING_H_

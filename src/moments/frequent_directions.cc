@@ -1,0 +1,172 @@
+#include "moments/frequent_directions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gems {
+namespace {
+
+// Jacobi eigendecomposition of a symmetric n x n matrix (row-major).
+// Fills `eigenvalues` (size n) and `eigenvectors` (row-major, row i = i-th
+// eigenvector), unsorted.
+void JacobiEigen(std::vector<double> a, size_t n,
+                 std::vector<double>* eigenvalues,
+                 std::vector<double>* eigenvectors) {
+  std::vector<double>& v = *eigenvectors;
+  v.assign(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += a[p * n + q] * a[p * n + q];
+    }
+    if (off < 1e-22) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-30) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/cols p and q of `a`.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into the eigenvector rows.
+        for (size_t k = 0; k < n; ++k) {
+          const double vpk = v[p * n + k];
+          const double vqk = v[q * n + k];
+          v[p * n + k] = c * vpk - s * vqk;
+          v[q * n + k] = s * vpk + c * vqk;
+        }
+      }
+    }
+  }
+  eigenvalues->resize(n);
+  for (size_t i = 0; i < n; ++i) (*eigenvalues)[i] = a[i * n + i];
+}
+
+}  // namespace
+
+FrequentDirections::FrequentDirections(size_t sketch_rows, size_t dim)
+    : rows_(sketch_rows), dim_(dim) {
+  GEMS_CHECK(sketch_rows >= 2 && sketch_rows % 2 == 0);
+  GEMS_CHECK(dim >= 1);
+  b_.assign(rows_ * dim_, 0.0);
+}
+
+void FrequentDirections::Update(const std::vector<double>& row) {
+  GEMS_CHECK(row.size() == dim_);
+  if (occupied_ == rows_) Shrink();
+  for (size_t j = 0; j < dim_; ++j) b_[occupied_ * dim_ + j] = row[j];
+  ++occupied_;
+  for (double x : row) frobenius_squared_ += x * x;
+}
+
+void FrequentDirections::Shrink() {
+  const size_t l = rows_;
+  // Gram matrix G = B B^T (l x l).
+  std::vector<double> gram(l * l, 0.0);
+  for (size_t i = 0; i < l; ++i) {
+    for (size_t j = i; j < l; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < dim_; ++k) {
+        dot += b_[i * dim_ + k] * b_[j * dim_ + k];
+      }
+      gram[i * l + j] = gram[j * l + i] = dot;
+    }
+  }
+  std::vector<double> eigenvalues;
+  std::vector<double> eigenvectors;  // Row i = eigenvector i (length l).
+  JacobiEigen(std::move(gram), l, &eigenvalues, &eigenvectors);
+
+  // Sort eigenpairs descending.
+  std::vector<size_t> order(l);
+  for (size_t i = 0; i < l; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return eigenvalues[a] > eigenvalues[b];
+  });
+
+  const double delta = std::max(0.0, eigenvalues[order[l / 2]]);
+  shrunk_mass_ += delta;
+
+  // New B: row i (i < l/2) = sqrt((lambda_i - delta)/lambda_i) * u_i^T B.
+  std::vector<double> next(rows_ * dim_, 0.0);
+  for (size_t i = 0; i < l / 2; ++i) {
+    const double lambda = eigenvalues[order[i]];
+    if (lambda <= delta || lambda <= 1e-12) continue;
+    const double scale = std::sqrt((lambda - delta) / lambda);
+    const double* u = eigenvectors.data() + order[i] * l;
+    double* out = next.data() + i * dim_;
+    for (size_t r = 0; r < l; ++r) {
+      const double coefficient = scale * u[r];
+      if (coefficient == 0.0) continue;
+      const double* row = b_.data() + r * dim_;
+      for (size_t k = 0; k < dim_; ++k) out[k] += coefficient * row[k];
+    }
+  }
+  b_ = std::move(next);
+  occupied_ = l / 2;
+}
+
+double FrequentDirections::QuadraticForm(const std::vector<double>& x) const {
+  GEMS_CHECK(x.size() == dim_);
+  double total = 0.0;
+  for (size_t i = 0; i < rows_; ++i) {
+    double dot = 0.0;
+    const double* row = b_.data() + i * dim_;
+    for (size_t k = 0; k < dim_; ++k) dot += row[k] * x[k];
+    total += dot * dot;
+  }
+  return total;
+}
+
+double FrequentDirections::CovarianceErrorBound() const {
+  // The accumulated shrink deltas bound the error exactly; the theoretical
+  // worst case is ||A||_F^2 / (l/2).
+  return std::min(shrunk_mass_,
+                  frobenius_squared_ / (static_cast<double>(rows_) / 2.0));
+}
+
+Status FrequentDirections::Merge(const FrequentDirections& other) {
+  if (rows_ != other.rows_ || dim_ != other.dim_) {
+    return Status::InvalidArgument(
+        "FrequentDirections merge requires equal shape");
+  }
+  // Feed the other sketch's non-zero rows through Update (correct because
+  // B^T B approximates A^T A and rows are processed identically).
+  std::vector<double> row(dim_);
+  for (size_t i = 0; i < other.rows_; ++i) {
+    bool non_zero = false;
+    for (size_t k = 0; k < dim_; ++k) {
+      row[k] = other.b_[i * dim_ + k];
+      non_zero = non_zero || row[k] != 0.0;
+    }
+    if (!non_zero) continue;
+    if (occupied_ == rows_) Shrink();
+    for (size_t k = 0; k < dim_; ++k) b_[occupied_ * dim_ + k] = row[k];
+    ++occupied_;
+  }
+  frobenius_squared_ += other.frobenius_squared_;
+  shrunk_mass_ += other.shrunk_mass_;
+  return Status::Ok();
+}
+
+}  // namespace gems

@@ -1,0 +1,69 @@
+#ifndef GEMS_MOMENTS_FREQUENT_DIRECTIONS_H_
+#define GEMS_MOMENTS_FREQUENT_DIRECTIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Frequent Directions (Liberty, KDD 2013): the matrix sketch behind the
+/// paper's note that "sketches can also capture properties of more complex
+/// data types, such as graphs, and matrices", and the deterministic
+/// workhorse of sketching for numerical linear algebra (Woodruff's
+/// monograph, also cited). Maintains an l x d matrix B such that
+///   0 <= x^T (A^T A - B^T B) x <= ||A||_F^2 / (l/2)   for all unit x,
+/// by periodically shrinking B's singular values — the matrix analogue of
+/// Misra-Gries frequency counting (which it generalizes).
+
+namespace gems {
+
+/// Frequent Directions sketch of a stream of d-dimensional rows.
+class FrequentDirections {
+ public:
+  /// `sketch_rows` l (even, >= 2): covariance error <= 2 ||A||_F^2 / l.
+  FrequentDirections(size_t sketch_rows, size_t dim);
+
+  FrequentDirections(const FrequentDirections&) = default;
+  FrequentDirections& operator=(const FrequentDirections&) = default;
+  FrequentDirections(FrequentDirections&&) = default;
+  FrequentDirections& operator=(FrequentDirections&&) = default;
+
+  /// Appends one row of A (size dim).
+  void Update(const std::vector<double>& row);
+
+  /// The sketch matrix B (row-major l x d; includes zero rows).
+  const std::vector<double>& sketch() const { return b_; }
+
+  /// x^T B^T B x for a direction x (estimates x^T A^T A x from below).
+  double QuadraticForm(const std::vector<double>& x) const;
+
+  /// Squared Frobenius norm of everything fed in (exact).
+  double SquaredFrobenius() const { return frobenius_squared_; }
+
+  /// Guaranteed bound on x^T (A^T A - B^T B) x for unit x:
+  /// ||A||_F^2 / (l/2) minus the mass already shrunk away.
+  double CovarianceErrorBound() const;
+
+  /// Merges another sketch (same shape): concatenate and re-shrink — FD is
+  /// mergeable with the same guarantee (Ghashami et al. 2016).
+  Status Merge(const FrequentDirections& other);
+
+  size_t sketch_rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+
+ private:
+  /// SVD-shrink step: halves the occupied rows.
+  void Shrink();
+
+  size_t rows_;
+  size_t dim_;
+  size_t occupied_ = 0;          // Rows of b_ currently holding data.
+  double frobenius_squared_ = 0;  // ||A||_F^2, exact.
+  double shrunk_mass_ = 0;        // Total sigma_l^2 removed by shrinks.
+  std::vector<double> b_;         // Row-major rows_ x dim_.
+};
+
+}  // namespace gems
+
+#endif  // GEMS_MOMENTS_FREQUENT_DIRECTIONS_H_

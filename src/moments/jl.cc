@@ -1,0 +1,66 @@
+#include "moments/jl.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace gems {
+
+JlTransform::JlTransform(size_t input_dim, size_t output_dim,
+                         JlEnsemble ensemble, uint64_t seed)
+    : input_dim_(input_dim), output_dim_(output_dim) {
+  GEMS_CHECK(input_dim >= 1);
+  GEMS_CHECK(output_dim >= 1);
+  GEMS_CHECK(input_dim * output_dim <= (size_t{1} << 28));  // ~2 GiB cap.
+  Rng rng(seed);
+  matrix_.reserve(input_dim * output_dim);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(output_dim));
+  for (size_t i = 0; i < input_dim * output_dim; ++i) {
+    const double entry = ensemble == JlEnsemble::kGaussian
+                             ? rng.NextGaussian()
+                             : static_cast<double>(rng.NextSign());
+    matrix_.push_back(entry * scale);
+  }
+}
+
+std::vector<double> JlTransform::Project(
+    const std::vector<double>& input) const {
+  GEMS_CHECK(input.size() == input_dim_);
+  std::vector<double> output(output_dim_, 0.0);
+  for (size_t row = 0; row < output_dim_; ++row) {
+    const double* matrix_row = matrix_.data() + row * input_dim_;
+    double sum = 0.0;
+    for (size_t col = 0; col < input_dim_; ++col) {
+      sum += matrix_row[col] * input[col];
+    }
+    output[row] = sum;
+  }
+  return output;
+}
+
+size_t JlTransform::DimensionFor(double epsilon, size_t num_points) {
+  GEMS_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  GEMS_CHECK(num_points >= 2);
+  return static_cast<size_t>(std::ceil(
+      8.0 * std::log(static_cast<double>(num_points)) / (epsilon * epsilon)));
+}
+
+double L2Norm(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double L2Distance(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  GEMS_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace gems

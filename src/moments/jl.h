@@ -1,0 +1,63 @@
+#ifndef GEMS_MOMENTS_JL_H_
+#define GEMS_MOMENTS_JL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Dense Johnson-Lindenstrauss transforms (JL 1984; explicit random
+/// constructions from the 1990s): project d-dimensional vectors to m
+/// dimensions while preserving pairwise Euclidean distances to within
+/// (1 +/- eps) for m = O(log n / eps^2). Two classic matrix ensembles:
+/// i.i.d. Gaussians, and Rademacher +/-1 (Achlioptas) which is cheaper to
+/// generate and store.
+
+namespace gems {
+
+/// Matrix entry ensemble for the dense JL transform.
+enum class JlEnsemble {
+  kGaussian,
+  kRademacher,
+};
+
+/// A fixed (materialized) random projection R^{input_dim} -> R^{output_dim}.
+class JlTransform {
+ public:
+  /// Materializes the projection matrix (output_dim x input_dim entries),
+  /// scaled by 1/sqrt(output_dim).
+  JlTransform(size_t input_dim, size_t output_dim, JlEnsemble ensemble,
+              uint64_t seed);
+
+  JlTransform(const JlTransform&) = default;
+  JlTransform& operator=(const JlTransform&) = default;
+  JlTransform(JlTransform&&) = default;
+  JlTransform& operator=(JlTransform&&) = default;
+
+  /// Projects a dense vector (size must equal input_dim).
+  std::vector<double> Project(const std::vector<double>& input) const;
+
+  /// The output dimension m for a target (epsilon, num_points) guarantee:
+  /// m = ceil(8 ln(n) / eps^2).
+  static size_t DimensionFor(double epsilon, size_t num_points);
+
+  size_t input_dim() const { return input_dim_; }
+  size_t output_dim() const { return output_dim_; }
+  size_t MemoryBytes() const { return matrix_.size() * sizeof(double); }
+
+ private:
+  size_t input_dim_;
+  size_t output_dim_;
+  std::vector<double> matrix_;  // Row-major output_dim x input_dim.
+};
+
+/// Euclidean norm of a vector.
+double L2Norm(const std::vector<double>& v);
+
+/// Euclidean distance between two vectors of equal size.
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace gems
+
+#endif  // GEMS_MOMENTS_JL_H_

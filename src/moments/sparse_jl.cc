@@ -1,0 +1,49 @@
+#include "moments/sparse_jl.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+SparseJlTransform::SparseJlTransform(size_t output_dim, size_t blocks,
+                                     uint64_t seed)
+    : output_dim_(output_dim), blocks_(blocks) {
+  GEMS_CHECK(output_dim >= 1);
+  GEMS_CHECK(blocks >= 1);
+  bucket_hashes_.reserve(blocks);
+  sign_hashes_.reserve(blocks);
+  for (size_t block = 0; block < blocks; ++block) {
+    bucket_hashes_.emplace_back(2, DeriveSeed(seed, 2 * block));
+    sign_hashes_.emplace_back(4, DeriveSeed(seed, 2 * block + 1));
+  }
+}
+
+std::vector<double> SparseJlTransform::ProjectSparse(
+    const std::vector<std::pair<uint64_t, double>>& input) const {
+  std::vector<double> output(output_dim_ * blocks_, 0.0);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(blocks_));
+  for (size_t block = 0; block < blocks_; ++block) {
+    double* block_out = output.data() + block * output_dim_;
+    for (const auto& [coordinate, value] : input) {
+      const uint64_t bucket =
+          bucket_hashes_[block].EvalRange(coordinate, output_dim_);
+      const int sign = sign_hashes_[block].EvalSign(coordinate);
+      block_out[bucket] += sign * value * scale;
+    }
+  }
+  return output;
+}
+
+std::vector<double> SparseJlTransform::Project(
+    const std::vector<double>& input) const {
+  std::vector<std::pair<uint64_t, double>> sparse;
+  sparse.reserve(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (input[i] != 0.0) sparse.emplace_back(i, input[i]);
+  }
+  return ProjectSparse(sparse);
+}
+
+}  // namespace gems

@@ -1,0 +1,54 @@
+#ifndef GEMS_MOMENTS_SPARSE_JL_H_
+#define GEMS_MOMENTS_SPARSE_JL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "hash/polynomial.h"
+
+/// \file
+/// Sparse Johnson-Lindenstrauss transform / feature hashing — the
+/// "Count Sketch as a projection" view the paper attributes to Kane &
+/// Nelson's sparser JL line. Each input coordinate lands in exactly one
+/// output bucket with a random sign, so projecting a vector with nnz
+/// non-zeros costs O(nnz) instead of O(nnz * m). Norms are preserved in
+/// expectation; with `blocks` > 1 the transform stacks independent copies
+/// scaled by 1/sqrt(blocks) (the s-sparse construction), tightening
+/// concentration.
+
+namespace gems {
+
+/// Sparse random projection R^{any} -> R^{output_dim * 1}, s = `blocks`.
+class SparseJlTransform {
+ public:
+  /// `output_dim` buckets per block, `blocks` independent copies (sparsity
+  /// parameter s); output dimension is output_dim * blocks.
+  SparseJlTransform(size_t output_dim, size_t blocks, uint64_t seed);
+
+  SparseJlTransform(const SparseJlTransform&) = default;
+  SparseJlTransform& operator=(const SparseJlTransform&) = default;
+  SparseJlTransform(SparseJlTransform&&) = default;
+  SparseJlTransform& operator=(SparseJlTransform&&) = default;
+
+  /// Projects a sparse vector given as (coordinate, value) pairs.
+  std::vector<double> ProjectSparse(
+      const std::vector<std::pair<uint64_t, double>>& input) const;
+
+  /// Projects a dense vector (coordinate i = position i).
+  std::vector<double> Project(const std::vector<double>& input) const;
+
+  size_t output_dim() const { return output_dim_ * blocks_; }
+  size_t blocks() const { return blocks_; }
+
+ private:
+  size_t output_dim_;
+  size_t blocks_;
+  std::vector<KWiseHash> bucket_hashes_;  // One per block.
+  std::vector<KWiseHash> sign_hashes_;    // One per block.
+};
+
+}  // namespace gems
+
+#endif  // GEMS_MOMENTS_SPARSE_JL_H_

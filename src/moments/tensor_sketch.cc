@@ -1,0 +1,58 @@
+#include "moments/tensor_sketch.h"
+
+#include "common/check.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+TensorSketch::TensorSketch(size_t output_dim, int degree, uint64_t seed)
+    : m_(output_dim), degree_(degree) {
+  GEMS_CHECK(output_dim >= 2);
+  GEMS_CHECK(degree >= 1 && degree <= 8);
+  bucket_hashes_.reserve(degree);
+  sign_hashes_.reserve(degree);
+  for (int c = 0; c < degree; ++c) {
+    bucket_hashes_.emplace_back(2, DeriveSeed(seed, 2 * c));
+    sign_hashes_.emplace_back(4, DeriveSeed(seed, 2 * c + 1));
+  }
+}
+
+std::vector<double> TensorSketch::ComponentSketch(
+    const std::vector<double>& input, int c) const {
+  std::vector<double> sketch(m_, 0.0);
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (input[i] == 0.0) continue;
+    const uint64_t bucket = bucket_hashes_[c].EvalRange(i, m_);
+    sketch[bucket] += sign_hashes_[c].EvalSign(i) * input[i];
+  }
+  return sketch;
+}
+
+std::vector<double> TensorSketch::Sketch(
+    const std::vector<double>& input) const {
+  std::vector<double> result = ComponentSketch(input, 0);
+  // Circular convolution with each further component: the sketch of the
+  // tensor product is the convolution of the component sketches.
+  for (int c = 1; c < degree_; ++c) {
+    const std::vector<double> next = ComponentSketch(input, c);
+    std::vector<double> convolved(m_, 0.0);
+    for (size_t i = 0; i < m_; ++i) {
+      if (result[i] == 0.0) continue;
+      for (size_t j = 0; j < m_; ++j) {
+        convolved[(i + j) % m_] += result[i] * next[j];
+      }
+    }
+    result = std::move(convolved);
+  }
+  return result;
+}
+
+double TensorSketch::Dot(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  GEMS_CHECK(a.size() == b.size());
+  double dot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+  return dot;
+}
+
+}  // namespace gems

@@ -1,0 +1,55 @@
+#ifndef GEMS_MOMENTS_TENSOR_SKETCH_H_
+#define GEMS_MOMENTS_TENSOR_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hash/polynomial.h"
+
+/// \file
+/// TensorSketch (Pham & Pagh, KDD 2013) — the paper's "incorporate kernel
+/// transformations" citation. Sketches the p-fold tensor product x^(⊗p)
+/// (whose inner products are the polynomial kernel (x·y)^p) by circularly
+/// convolving p independent Count Sketches of x, so the kernel can be
+/// approximated in sketched space without ever materializing the d^p
+/// feature expansion. This implementation uses direct O(m^2) circular
+/// convolution (m is small), avoiding an FFT dependency.
+
+namespace gems {
+
+/// Sketches vectors so that <Sketch(x), Sketch(y)> ~ (x . y)^degree.
+class TensorSketch {
+ public:
+  /// `output_dim` m controls variance; `degree` p is the kernel power.
+  TensorSketch(size_t output_dim, int degree, uint64_t seed);
+
+  TensorSketch(const TensorSketch&) = default;
+  TensorSketch& operator=(const TensorSketch&) = default;
+  TensorSketch(TensorSketch&&) = default;
+  TensorSketch& operator=(TensorSketch&&) = default;
+
+  /// The m-dimensional sketch of `input`.
+  std::vector<double> Sketch(const std::vector<double>& input) const;
+
+  /// Inner product of two sketches (estimates (x . y)^degree).
+  static double Dot(const std::vector<double>& a,
+                    const std::vector<double>& b);
+
+  size_t output_dim() const { return m_; }
+  int degree() const { return degree_; }
+
+ private:
+  /// Count-sketch projection of `input` under component `c`.
+  std::vector<double> ComponentSketch(const std::vector<double>& input,
+                                      int c) const;
+
+  size_t m_;
+  int degree_;
+  std::vector<KWiseHash> bucket_hashes_;  // One per component.
+  std::vector<KWiseHash> sign_hashes_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_MOMENTS_TENSOR_SKETCH_H_

@@ -1,0 +1,68 @@
+#include "privacy/mechanisms.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gems {
+
+RandomizedResponse::RandomizedResponse(double epsilon, uint64_t seed)
+    : epsilon_(epsilon), rng_(seed) {
+  GEMS_CHECK(epsilon > 0.0);
+  const double e = std::exp(epsilon);
+  keep_probability_ = e / (1.0 + e);
+}
+
+bool RandomizedResponse::Randomize(bool true_bit) {
+  return rng_.NextBernoulli(keep_probability_) ? true_bit : !true_bit;
+}
+
+std::vector<uint64_t> RandomizedResponse::RandomizeBits(
+    const std::vector<uint64_t>& bits, size_t num_bits) {
+  GEMS_CHECK(bits.size() * 64 >= num_bits);
+  std::vector<uint64_t> out(bits.size(), 0);
+  for (size_t bit = 0; bit < num_bits; ++bit) {
+    const bool value = (bits[bit / 64] >> (bit % 64)) & 1;
+    if (Randomize(value)) out[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+  return out;
+}
+
+double RandomizedResponse::UnbiasCount(double observed_ones, double n) const {
+  // E[obs] = t*(1-f) + (n-t)*f with f = flip probability, solve for t.
+  const double f = FlipProbability();
+  return (observed_ones - n * f) / (1.0 - 2.0 * f);
+}
+
+LaplaceMechanism::LaplaceMechanism(double epsilon, double sensitivity,
+                                   uint64_t seed)
+    : scale_(sensitivity / epsilon), rng_(seed) {
+  GEMS_CHECK(epsilon > 0.0);
+  GEMS_CHECK(sensitivity > 0.0);
+}
+
+double LaplaceMechanism::Release(double true_value) {
+  // Laplace via difference of exponentials.
+  const double noise = scale_ * (rng_.NextExponential() -
+                                 rng_.NextExponential());
+  return true_value + noise;
+}
+
+GeometricMechanism::GeometricMechanism(double epsilon, int64_t sensitivity,
+                                       uint64_t seed)
+    : alpha_(std::exp(-epsilon / static_cast<double>(sensitivity))),
+      rng_(seed) {
+  GEMS_CHECK(epsilon > 0.0);
+  GEMS_CHECK(sensitivity >= 1);
+}
+
+int64_t GeometricMechanism::Release(int64_t true_value) {
+  // Two-sided geometric: difference of two one-sided geometrics with
+  // success probability 1 - alpha.
+  const double p = 1.0 - alpha_;
+  const int64_t positive = static_cast<int64_t>(rng_.NextGeometric(p));
+  const int64_t negative = static_cast<int64_t>(rng_.NextGeometric(p));
+  return true_value + positive - negative;
+}
+
+}  // namespace gems

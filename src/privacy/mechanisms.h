@@ -1,0 +1,77 @@
+#ifndef GEMS_PRIVACY_MECHANISMS_H_
+#define GEMS_PRIVACY_MECHANISMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+/// \file
+/// Differential-privacy primitives the private sketches build on:
+/// randomized response (Warner 1965) — the mechanism inside RAPPOR and
+/// Apple's CMS — and the Laplace/geometric output perturbation of Dwork's
+/// differential privacy, used for the central-DP noisy Count-Min release.
+
+namespace gems {
+
+/// Binary randomized response at privacy level epsilon: reports the true
+/// bit with probability e^eps / (1 + e^eps).
+class RandomizedResponse {
+ public:
+  RandomizedResponse(double epsilon, uint64_t seed);
+
+  /// Randomizes one bit.
+  bool Randomize(bool true_bit);
+
+  /// Randomizes every bit of a packed bit vector of `num_bits` bits.
+  std::vector<uint64_t> RandomizeBits(const std::vector<uint64_t>& bits,
+                                      size_t num_bits);
+
+  /// Probability of reporting the bit unchanged.
+  double KeepProbability() const { return keep_probability_; }
+  /// Probability a bit arrives flipped.
+  double FlipProbability() const { return 1.0 - keep_probability_; }
+
+  /// Unbiased estimate of the number of true-1 bits among `n` reports of
+  /// which `observed_ones` arrived as 1.
+  double UnbiasCount(double observed_ones, double n) const;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+  double keep_probability_;
+  Rng rng_;
+};
+
+/// Laplace mechanism: adds Laplace(sensitivity / epsilon) noise.
+class LaplaceMechanism {
+ public:
+  LaplaceMechanism(double epsilon, double sensitivity, uint64_t seed);
+
+  /// One noisy release of `true_value`.
+  double Release(double true_value);
+
+  /// The noise scale b = sensitivity / epsilon.
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+  Rng rng_;
+};
+
+/// Two-sided geometric mechanism (discrete Laplace) for integer counts.
+class GeometricMechanism {
+ public:
+  GeometricMechanism(double epsilon, int64_t sensitivity, uint64_t seed);
+
+  int64_t Release(int64_t true_value);
+
+ private:
+  double alpha_;  // e^{-eps/sensitivity}.
+  Rng rng_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_PRIVACY_MECHANISMS_H_

@@ -1,0 +1,107 @@
+#include "privacy/private_cms.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "hash/hash.h"
+
+namespace gems {
+namespace {
+
+// Row hash shared by clients and server (public parameter).
+inline uint64_t RowBucket(uint64_t value, uint32_t row, uint32_t width,
+                          uint64_t hash_seed) {
+  return Hash64(value, DeriveSeed(hash_seed, row)) % width;
+}
+
+}  // namespace
+
+PrivateCmsClient::PrivateCmsClient(const Options& options, uint64_t seed)
+    : options_(options),
+      response_(options.epsilon, Mix64(seed ^ 0xA11CE)),
+      rng_(seed) {
+  GEMS_CHECK(options.width >= 2);
+  GEMS_CHECK(options.depth >= 1);
+}
+
+PrivateCmsClient::Report PrivateCmsClient::Encode(uint64_t value) {
+  Report report;
+  report.row = static_cast<uint32_t>(rng_.NextBounded(options_.depth));
+  const uint64_t bucket =
+      RowBucket(value, report.row, options_.width, options_.hash_seed);
+  std::vector<uint64_t> one_hot((options_.width + 63) / 64, 0);
+  one_hot[bucket / 64] |= uint64_t{1} << (bucket % 64);
+  report.bits = response_.RandomizeBits(one_hot, options_.width);
+  return report;
+}
+
+PrivateCmsServer::PrivateCmsServer(const PrivateCmsClient::Options& options)
+    : options_(options),
+      unbiaser_(options.epsilon, /*seed=*/0),
+      matrix_(static_cast<size_t>(options.depth) * options.width, 0.0) {}
+
+Status PrivateCmsServer::Absorb(const PrivateCmsClient::Report& report) {
+  if (report.row >= options_.depth ||
+      report.bits.size() != (options_.width + 63) / 64) {
+    return Status::InvalidArgument("malformed private CMS report");
+  }
+  // Per-bit unbiasing: contribution (b - f) / (1 - 2f) has expectation 1
+  // for the true one-hot position and 0 elsewhere.
+  const double f = unbiaser_.FlipProbability();
+  const double scale = 1.0 / (1.0 - 2.0 * f);
+  double* row = matrix_.data() + static_cast<size_t>(report.row) *
+                                     options_.width;
+  for (uint32_t bit = 0; bit < options_.width; ++bit) {
+    const double b =
+        static_cast<double>((report.bits[bit / 64] >> (bit % 64)) & 1);
+    row[bit] += (b - f) * scale;
+  }
+  ++num_reports_;
+  return Status::Ok();
+}
+
+double PrivateCmsServer::EstimateCount(uint64_t value) const {
+  // Count-mean estimator with collision correction (Apple 2017). With
+  // S = sum over rows j of M[j][h_j(x)]:
+  //   E[S] = N_x + (N - N_x)/w = N_x (1 - 1/w) + N/w,
+  // since each of the N_x holders lands in exactly one row and the other
+  // clients collide into x's bucket with probability 1/w per row choice.
+  // Solving: N̂_x = (S - N/w) * w / (w - 1).
+  const double w = static_cast<double>(options_.width);
+  const double n = static_cast<double>(num_reports_);
+  double sum = 0;
+  for (uint32_t row = 0; row < options_.depth; ++row) {
+    const uint64_t bucket =
+        RowBucket(value, row, options_.width, options_.hash_seed);
+    sum += matrix_[static_cast<size_t>(row) * options_.width + bucket];
+  }
+  return (sum - n / w) * w / (w - 1.0);
+}
+
+DpCountMinRelease::DpCountMinRelease(const CountMinSketch& sketch,
+                                     double epsilon, uint64_t seed)
+    : width_(sketch.width()),
+      depth_(sketch.depth()),
+      hash_seed_(sketch.seed()),
+      epsilon_(epsilon) {
+  GeometricMechanism noise(epsilon, /*sensitivity=*/sketch.depth(), seed);
+  noisy_counters_.reserve(sketch.counters().size());
+  for (uint64_t counter : sketch.counters()) {
+    noisy_counters_.push_back(static_cast<double>(
+        noise.Release(static_cast<int64_t>(counter))));
+  }
+}
+
+double DpCountMinRelease::EstimateCount(uint64_t item) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (uint32_t row = 0; row < depth_; ++row) {
+    const uint64_t bucket = Hash64(item, DeriveSeed(hash_seed_, row)) % width_;
+    best = std::min(best,
+                    noisy_counters_[static_cast<size_t>(row) * width_ +
+                                    bucket]);
+  }
+  return std::max(0.0, best);
+}
+
+}  // namespace gems

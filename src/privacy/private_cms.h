@@ -1,0 +1,97 @@
+#ifndef GEMS_PRIVACY_PRIVATE_CMS_H_
+#define GEMS_PRIVACY_PRIVATE_CMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "frequency/count_min.h"
+#include "privacy/mechanisms.h"
+
+/// \file
+/// Apple's private Count-Mean Sketch (Differential Privacy Team, 2017),
+/// which the paper describes as "taking a Count-Min sketch of a sparse
+/// input and applying randomized response to each entry". Each client
+/// picks one random sketch row, one-hot encodes its value under that row's
+/// hash, applies randomized response to all w bits, and sends (row, bits).
+/// The server accumulates unbiased contributions and answers frequency
+/// queries with the count-MEAN estimator (average over rows with a
+/// collision correction, rather than Count-Min's minimum).
+///
+/// Also provides central-DP noisy release of an ordinary Count-Min sketch
+/// (geometric noise per counter) for the E10 local-vs-central comparison.
+
+namespace gems {
+
+/// Client-side encoder for the private CMS.
+class PrivateCmsClient {
+ public:
+  struct Options {
+    uint32_t width = 1024;   // Sketch width w.
+    uint32_t depth = 16;     // Number of rows d (one sampled per report).
+    double epsilon = 4.0;    // Per-report privacy budget.
+    uint64_t hash_seed = 7;  // Shared row-hash seed (public).
+  };
+
+  PrivateCmsClient(const Options& options, uint64_t seed);
+
+  struct Report {
+    uint32_t row;
+    std::vector<uint64_t> bits;  // w bits after randomized response.
+  };
+
+  /// One private report of `value`.
+  Report Encode(uint64_t value);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  RandomizedResponse response_;
+  Rng rng_;
+};
+
+/// Server-side aggregator with the count-mean estimator.
+class PrivateCmsServer {
+ public:
+  explicit PrivateCmsServer(const PrivateCmsClient::Options& options);
+
+  Status Absorb(const PrivateCmsClient::Report& report);
+
+  /// Estimated number of clients holding `value`.
+  double EstimateCount(uint64_t value) const;
+
+  uint64_t NumReports() const { return num_reports_; }
+
+ private:
+  PrivateCmsClient::Options options_;
+  RandomizedResponse unbiaser_;
+  uint64_t num_reports_ = 0;
+  std::vector<double> matrix_;  // depth x width of unbiased contributions.
+};
+
+/// Central-DP release of a Count-Min sketch: adds two-sided geometric
+/// noise (sensitivity = depth, since one item touches `depth` counters) to
+/// every counter and returns the noisy counter matrix alongside query
+/// helpers.
+class DpCountMinRelease {
+ public:
+  DpCountMinRelease(const CountMinSketch& sketch, double epsilon,
+                    uint64_t seed);
+
+  /// Noisy point query (min over rows of noisy counters).
+  double EstimateCount(uint64_t item) const;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  uint32_t width_;
+  uint32_t depth_;
+  uint64_t hash_seed_;
+  double epsilon_;
+  std::vector<double> noisy_counters_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_PRIVACY_PRIVATE_CMS_H_

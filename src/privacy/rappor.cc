@@ -1,0 +1,88 @@
+#include "privacy/rappor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "hash/hash.h"
+
+namespace gems {
+namespace {
+
+// Bloom bit positions of `value` (shared by client and decoder).
+std::vector<uint32_t> BloomBits(uint64_t value, uint32_t num_bits,
+                                uint32_t num_hashes) {
+  const Hash128 h = Hash128Bits(value, 0x4A9904);
+  std::vector<uint32_t> bits;
+  bits.reserve(num_hashes);
+  uint64_t probe = h.low;
+  for (uint32_t i = 0; i < num_hashes; ++i) {
+    bits.push_back(static_cast<uint32_t>(probe % num_bits));
+    probe += h.high | 1;
+  }
+  return bits;
+}
+
+}  // namespace
+
+RapporClient::RapporClient(const Options& options, uint64_t seed)
+    : options_(options), response_(options.epsilon, seed) {
+  GEMS_CHECK(options.num_bits >= 8);
+  GEMS_CHECK(options.num_hashes >= 1);
+}
+
+std::vector<uint64_t> RapporClient::Report(uint64_t value) {
+  std::vector<uint64_t> bloom((options_.num_bits + 63) / 64, 0);
+  for (uint32_t bit :
+       BloomBits(value, options_.num_bits, options_.num_hashes)) {
+    bloom[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+  return response_.RandomizeBits(bloom, options_.num_bits);
+}
+
+RapporAggregator::RapporAggregator(const RapporClient::Options& options)
+    : options_(options),
+      unbiaser_(options.epsilon, /*seed=*/0),
+      bit_counts_(options.num_bits, 0) {}
+
+Status RapporAggregator::Absorb(const std::vector<uint64_t>& report) {
+  if (report.size() != (options_.num_bits + 63) / 64) {
+    return Status::InvalidArgument("report has wrong width");
+  }
+  for (uint32_t bit = 0; bit < options_.num_bits; ++bit) {
+    if ((report[bit / 64] >> (bit % 64)) & 1) ++bit_counts_[bit];
+  }
+  ++num_reports_;
+  return Status::Ok();
+}
+
+double RapporAggregator::EstimateFrequency(uint64_t candidate) const {
+  // Unbias each of the candidate's bits, take the minimum (Bloom-style:
+  // every one of the candidate's bits is set by each holder, so the
+  // smallest unbiased bit count upper-bounds the candidate's frequency
+  // most tightly among its bits).
+  double best = static_cast<double>(num_reports_);
+  for (uint32_t bit :
+       BloomBits(candidate, options_.num_bits, options_.num_hashes)) {
+    const double unbiased = unbiaser_.UnbiasCount(
+        static_cast<double>(bit_counts_[bit]),
+        static_cast<double>(num_reports_));
+    best = std::min(best, unbiased);
+  }
+  return best;
+}
+
+std::vector<std::pair<uint64_t, double>> RapporAggregator::Decode(
+    const std::vector<uint64_t>& dictionary, double min_count) const {
+  std::vector<std::pair<uint64_t, double>> out;
+  for (uint64_t candidate : dictionary) {
+    const double estimate = EstimateFrequency(candidate);
+    if (estimate >= min_count) out.emplace_back(candidate, estimate);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace gems

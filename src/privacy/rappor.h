@@ -1,0 +1,75 @@
+#ifndef GEMS_PRIVACY_RAPPOR_H_
+#define GEMS_PRIVACY_RAPPOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "privacy/mechanisms.h"
+
+/// \file
+/// RAPPOR (Erlingsson, Pihur & Korolova, CCS 2014): Google's deployed
+/// system for private collection of categorical statistics, which the
+/// paper summarizes as "combining the Bloom filter summary with randomized
+/// response". Each client Bloom-encodes its value into k bits of an m-bit
+/// vector and applies randomized response to every bit; the server
+/// aggregates the noisy vectors and, given a candidate dictionary, unbiases
+/// each candidate's bit counts to estimate its frequency.
+///
+/// This implementation is the one-round variant (a single randomized
+/// report per client, i.e. the "permanent randomized response" layer);
+/// longitudinal instantaneous noise is out of scope and noted in DESIGN.md.
+
+namespace gems {
+
+/// Client-side encoder.
+class RapporClient {
+ public:
+  struct Options {
+    uint32_t num_bits = 128;   // Bloom filter size m.
+    uint32_t num_hashes = 2;   // Bloom hashes k.
+    double epsilon = 2.0;      // Per-report privacy budget.
+  };
+
+  /// `seed` drives this client's private coin flips.
+  RapporClient(const Options& options, uint64_t seed);
+
+  /// One private report of `value` (packed m-bit vector).
+  std::vector<uint64_t> Report(uint64_t value);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  RandomizedResponse response_;
+};
+
+/// Server-side aggregator/decoder.
+class RapporAggregator {
+ public:
+  explicit RapporAggregator(const RapporClient::Options& options);
+
+  /// Accumulates one client report.
+  Status Absorb(const std::vector<uint64_t>& report);
+
+  /// Estimated number of clients holding `candidate` (may be negative for
+  /// absent candidates; clamp at the call site if needed).
+  double EstimateFrequency(uint64_t candidate) const;
+
+  /// Candidates from `dictionary` ranked by estimated frequency
+  /// (descending), excluding estimates below `min_count`.
+  std::vector<std::pair<uint64_t, double>> Decode(
+      const std::vector<uint64_t>& dictionary, double min_count) const;
+
+  uint64_t NumReports() const { return num_reports_; }
+
+ private:
+  RapporClient::Options options_;
+  RandomizedResponse unbiaser_;  // Used only for its probability math.
+  uint64_t num_reports_ = 0;
+  std::vector<uint64_t> bit_counts_;  // Ones observed per bit position.
+};
+
+}  // namespace gems
+
+#endif  // GEMS_PRIVACY_RAPPOR_H_

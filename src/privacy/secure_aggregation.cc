@@ -1,0 +1,69 @@
+#include "privacy/secure_aggregation.h"
+
+#include "common/check.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+SecureAggregationSession::SecureAggregationSession(size_t num_clients,
+                                                   size_t dim, uint64_t seed)
+    : num_clients_(num_clients), dim_(dim), seed_(seed) {
+  GEMS_CHECK(num_clients >= 2);
+  GEMS_CHECK(dim >= 1);
+}
+
+int64_t SecureAggregationSession::MaskEntry(size_t i, size_t j,
+                                            size_t k) const {
+  // Shared pairwise seed is symmetric in (i, j); the sign is +1 for the
+  // lower-id participant and -1 for the higher, so the pair cancels.
+  const size_t low = std::min(i, j);
+  const size_t high = std::max(i, j);
+  const uint64_t pair_seed =
+      Hash64(static_cast<uint64_t>(low) << 32 | high, seed_);
+  const uint64_t raw = Hash64(static_cast<uint64_t>(k), pair_seed);
+  const int64_t value = static_cast<int64_t>(raw);
+  return i == low ? value : -value;
+}
+
+Result<std::vector<int64_t>> SecureAggregationSession::Mask(
+    size_t client, const std::vector<int64_t>& vector) const {
+  if (client >= num_clients_) {
+    return Status::InvalidArgument("client id out of range");
+  }
+  if (vector.size() != dim_) {
+    return Status::InvalidArgument("vector has wrong dimension");
+  }
+  std::vector<int64_t> masked = vector;
+  for (size_t other = 0; other < num_clients_; ++other) {
+    if (other == client) continue;
+    for (size_t k = 0; k < dim_; ++k) {
+      // Wrap-around (two's complement) addition: overflow is intended and
+      // cancels exactly in the aggregate.
+      masked[k] = static_cast<int64_t>(
+          static_cast<uint64_t>(masked[k]) +
+          static_cast<uint64_t>(MaskEntry(client, other, k)));
+    }
+  }
+  return masked;
+}
+
+Result<std::vector<int64_t>> SecureAggregationSession::Aggregate(
+    const std::vector<std::vector<int64_t>>& uploads) const {
+  if (uploads.size() != num_clients_) {
+    return Status::FailedPrecondition(
+        "all clients must participate (no dropout recovery)");
+  }
+  std::vector<int64_t> sum(dim_, 0);
+  for (const std::vector<int64_t>& upload : uploads) {
+    if (upload.size() != dim_) {
+      return Status::InvalidArgument("upload has wrong dimension");
+    }
+    for (size_t k = 0; k < dim_; ++k) {
+      sum[k] = static_cast<int64_t>(static_cast<uint64_t>(sum[k]) +
+                                    static_cast<uint64_t>(upload[k]));
+    }
+  }
+  return sum;
+}
+
+}  // namespace gems

@@ -1,0 +1,63 @@
+#ifndef GEMS_PRIVACY_SECURE_AGGREGATION_H_
+#define GEMS_PRIVACY_SECURE_AGGREGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Pairwise-masking secure aggregation (Bonawitz et al. 2017, simplified),
+/// the transport layer of the Federated Analytics programme the paper
+/// cites ("collecting data privately from a large population ... crudely
+/// described as sketches with privacy"). Every client pair (i, j) shares a
+/// seed; client i adds +PRG(seed_ij), client j adds -PRG(seed_ij). Each
+/// uploaded vector is uniformly masked — the server learns nothing about
+/// any individual — yet the masks cancel exactly in the fleet-wide sum.
+/// Because all our sketches are linear or register-mergeable, the thing
+/// being summed is typically a serialized sketch's counter vector (e.g. a
+/// Count-Min row or a FetchSGD gradient sketch).
+///
+/// This simulation models the honest-but-curious server with full client
+/// participation; dropout-recovery key shares are out of scope.
+
+namespace gems {
+
+/// One aggregation round over vectors of fixed dimension.
+class SecureAggregationSession {
+ public:
+  /// `num_clients` participants, vectors of `dim` int64 entries; the
+  /// session seed models the pairwise key agreement.
+  SecureAggregationSession(size_t num_clients, size_t dim, uint64_t seed);
+
+  SecureAggregationSession(const SecureAggregationSession&) = default;
+  SecureAggregationSession& operator=(const SecureAggregationSession&) =
+      default;
+
+  /// The masked upload for `client`'s private vector. The result is
+  /// indistinguishable from uniform to anyone lacking the other clients'
+  /// masks (wrap-around arithmetic over uint64 reinterpreted as int64).
+  Result<std::vector<int64_t>> Mask(
+      size_t client, const std::vector<int64_t>& vector) const;
+
+  /// Sums the masked uploads; with all clients present the masks cancel
+  /// exactly and the true sum is returned.
+  Result<std::vector<int64_t>> Aggregate(
+      const std::vector<std::vector<int64_t>>& uploads) const;
+
+  size_t num_clients() const { return num_clients_; }
+  size_t dim() const { return dim_; }
+
+ private:
+  /// The mask client `i` applies for its pair with client `j` at
+  /// coordinate `k` (antisymmetric: MaskEntry(i,j,k) == -MaskEntry(j,i,k)).
+  int64_t MaskEntry(size_t i, size_t j, size_t k) const;
+
+  size_t num_clients_;
+  size_t dim_;
+  uint64_t seed_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_PRIVACY_SECURE_AGGREGATION_H_

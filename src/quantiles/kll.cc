@@ -1,0 +1,163 @@
+#include "quantiles/kll.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/frame.h"
+
+namespace gems {
+namespace {
+
+constexpr double kCapacityRatio = 2.0 / 3.0;
+
+}  // namespace
+
+KllSketch::KllSketch(uint32_t k, uint64_t seed) : k_(k), rng_(seed) {
+  GEMS_CHECK(k >= 8);
+  compactors_.emplace_back();
+  level0_capacity_ = CapacityAt(0);
+}
+
+size_t KllSketch::CapacityAt(int level) const {
+  // Top level gets capacity k; each level below decays by 2/3, floored at
+  // 8 (the DataSketches floor: tiny bottom buffers compact too often for
+  // negligible space savings).
+  const int depth = static_cast<int>(compactors_.size()) - 1 - level;
+  const double cap = static_cast<double>(k_) * std::pow(kCapacityRatio, depth);
+  return std::max<size_t>(8, static_cast<size_t>(std::ceil(cap)));
+}
+
+void KllSketch::Update(double value) {
+  compactors_[0].push_back(value);
+  ++count_;
+  if (compactors_[0].size() >= level0_capacity_) CompressIfNeeded();
+}
+
+void KllSketch::CompressIfNeeded() {
+  for (size_t level = 0; level < compactors_.size(); ++level) {
+    if (compactors_[level].size() < CapacityAt(static_cast<int>(level))) {
+      continue;
+    }
+    if (level + 1 == compactors_.size()) compactors_.emplace_back();
+    std::vector<double>& current = compactors_[level];
+    std::sort(current.begin(), current.end());
+    // Keep a random parity half; promote it with doubled weight.
+    const size_t offset = rng_.NextU64() & 1;
+    std::vector<double>& above = compactors_[level + 1];
+    for (size_t i = offset; i < current.size(); i += 2) {
+      above.push_back(current[i]);
+    }
+    current.clear();
+  }
+  level0_capacity_ = CapacityAt(0);
+}
+
+uint64_t KllSketch::Rank(double value) const {
+  uint64_t rank = 0;
+  for (size_t level = 0; level < compactors_.size(); ++level) {
+    const uint64_t weight = uint64_t{1} << level;
+    for (double item : compactors_[level]) {
+      if (item <= value) rank += weight;
+    }
+  }
+  return rank;
+}
+
+double KllSketch::Quantile(double q) const {
+  GEMS_CHECK(count_ > 0);
+  GEMS_CHECK(q >= 0.0 && q <= 1.0);
+  // Gather (value, weight) pairs, sort by value, walk the CDF.
+  std::vector<std::pair<double, uint64_t>> weighted;
+  weighted.reserve(NumRetained());
+  for (size_t level = 0; level < compactors_.size(); ++level) {
+    const uint64_t weight = uint64_t{1} << level;
+    for (double item : compactors_[level]) weighted.emplace_back(item, weight);
+  }
+  std::sort(weighted.begin(), weighted.end());
+  uint64_t total = 0;
+  for (const auto& [value, weight] : weighted) total += weight;
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (const auto& [value, weight] : weighted) {
+    cumulative += weight;
+    if (static_cast<double>(cumulative) >= target) return value;
+  }
+  return weighted.back().first;
+}
+
+std::vector<double> KllSketch::Cdf(
+    const std::vector<double>& split_points) const {
+  std::vector<double> out;
+  out.reserve(split_points.size());
+  const double n = static_cast<double>(count_);
+  for (double split : split_points) {
+    out.push_back(n == 0 ? 0.0 : static_cast<double>(Rank(split)) / n);
+  }
+  return out;
+}
+
+Status KllSketch::Merge(const KllSketch& other) {
+  while (compactors_.size() < other.compactors_.size()) {
+    compactors_.emplace_back();
+  }
+  for (size_t level = 0; level < other.compactors_.size(); ++level) {
+    compactors_[level].insert(compactors_[level].end(),
+                              other.compactors_[level].begin(),
+                              other.compactors_[level].end());
+  }
+  count_ += other.count_;
+  CompressIfNeeded();
+  return Status::Ok();
+}
+
+size_t KllSketch::NumRetained() const {
+  size_t total = 0;
+  for (const std::vector<double>& compactor : compactors_) {
+    total += compactor.size();
+  }
+  return total;
+}
+
+std::vector<uint8_t> KllSketch::Serialize() const {
+  ByteWriter w;
+  WriteFrameHeader(SketchType::kKll, &w);
+  w.PutU32(k_);
+  w.PutU64(count_);
+  w.PutVarint(compactors_.size());
+  for (const std::vector<double>& compactor : compactors_) {
+    w.PutVarint(compactor.size());
+    for (double item : compactor) w.PutDouble(item);
+  }
+  return std::move(w).TakeBytes();
+}
+
+Result<KllSketch> KllSketch::Deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Status s = ReadFrameHeader(SketchType::kKll, &r);
+  if (!s.ok()) return s;
+  uint32_t k;
+  uint64_t count, num_levels;
+  if (Status sk = r.GetU32(&k); !sk.ok()) return sk;
+  if (Status sc = r.GetU64(&count); !sc.ok()) return sc;
+  if (Status sl = r.GetVarint(&num_levels); !sl.ok()) return sl;
+  if (k < 8 || num_levels == 0 || num_levels > 64) {
+    return Status::Corruption("invalid KLL header");
+  }
+  KllSketch sketch(k, /*seed=*/count ^ 0x5EED);
+  sketch.count_ = count;
+  sketch.compactors_.resize(num_levels);
+  sketch.level0_capacity_ = sketch.CapacityAt(0);
+  for (uint64_t level = 0; level < num_levels; ++level) {
+    uint64_t size;
+    if (Status ss = r.GetVarint(&size); !ss.ok()) return ss;
+    if (size > count + 1) return Status::Corruption("KLL level too large");
+    sketch.compactors_[level].resize(size);
+    for (double& item : sketch.compactors_[level]) {
+      if (Status sd = r.GetDouble(&item); !sd.ok()) return sd;
+    }
+  }
+  return sketch;
+}
+
+}  // namespace gems

@@ -1,0 +1,70 @@
+#ifndef GEMS_QUANTILES_KLL_H_
+#define GEMS_QUANTILES_KLL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+/// \file
+/// KLL quantile sketch (Karnin, Lang & Liberty, FOCS 2016): the
+/// space-optimal randomized quantile summary the paper presents as the
+/// culmination of the MRL -> GK -> q-digest line. A stack of "compactors"
+/// with geometrically decaying capacities: level h stores items with weight
+/// 2^h; a full compactor sorts itself, keeps a random odd/even half, and
+/// promotes it upward. Fully mergeable (concatenate compactors level-wise
+/// and recompact), which is what the distributed substrate relies on.
+
+namespace gems {
+
+/// KLL sketch with parameter `k` (top-compactor capacity; error ~ 1/k).
+class KllSketch {
+ public:
+  explicit KllSketch(uint32_t k = 200, uint64_t seed = 0);
+
+  KllSketch(const KllSketch&) = default;
+  KllSketch& operator=(const KllSketch&) = default;
+  KllSketch(KllSketch&&) = default;
+  KllSketch& operator=(KllSketch&&) = default;
+
+  /// Inserts a value.
+  void Update(double value);
+
+  /// Approximate value at quantile q in [0, 1]; requires >= 1 update.
+  double Quantile(double q) const;
+
+  /// Estimated number of inserted values <= `value`.
+  uint64_t Rank(double value) const;
+
+  /// CDF evaluated at the given split points (monotone, in [0, 1]).
+  std::vector<double> Cdf(const std::vector<double>& split_points) const;
+
+  /// Merges another KLL sketch (any k; the result keeps this sketch's k).
+  Status Merge(const KllSketch& other);
+
+  uint64_t Count() const { return count_; }
+  uint32_t k() const { return k_; }
+  size_t NumRetained() const;
+  size_t MemoryBytes() const { return NumRetained() * sizeof(double); }
+  int NumLevels() const { return static_cast<int>(compactors_.size()); }
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<KllSketch> Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  /// Capacity of the compactor at `level` given the current top level.
+  size_t CapacityAt(int level) const;
+  /// Compacts any over-full levels, promoting halves upward.
+  void CompressIfNeeded();
+
+  uint32_t k_;
+  uint64_t count_ = 0;
+  Rng rng_;
+  std::vector<std::vector<double>> compactors_;  // compactors_[h]: weight 2^h.
+  size_t level0_capacity_;  // Cached CapacityAt(0) for the update fast path.
+};
+
+}  // namespace gems
+
+#endif  // GEMS_QUANTILES_KLL_H_

@@ -1,0 +1,70 @@
+#ifndef GEMS_QUANTILES_MRL_H_
+#define GEMS_QUANTILES_MRL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Manku-Rajagopalan-Lindsay quantiles (SIGMOD 1998): the adaptation of
+/// Munro-Paterson's multi-pass selection to one streaming pass that the
+/// paper places at the head of the quantile lineage (MRL -> GK ->
+/// q-digest -> KLL). Maintains b buffers of k sorted elements with
+/// weights; full buffers COLLAPSE (merge-and-thin) into one buffer of
+/// doubled weight. KLL is this scheme with randomized thinning and
+/// geometric capacities; MRL's deterministic odd-index thinning gives a
+/// deterministic guarantee at O((1/eps) log^2(eps n)) space.
+
+namespace gems {
+
+/// MRL summary with `num_buffers` buffers of `buffer_size` elements.
+class MrlSketch {
+ public:
+  MrlSketch(size_t num_buffers, size_t buffer_size);
+
+  /// Sizes a sketch for roughly eps rank error at stream length n.
+  static MrlSketch ForAccuracy(double epsilon, uint64_t expected_n);
+
+  MrlSketch(const MrlSketch&) = default;
+  MrlSketch& operator=(const MrlSketch&) = default;
+  MrlSketch(MrlSketch&&) = default;
+  MrlSketch& operator=(MrlSketch&&) = default;
+
+  /// Inserts a value.
+  void Update(double value);
+
+  /// Approximate value at quantile q; requires >= 1 update.
+  double Quantile(double q) const;
+
+  /// Estimated rank of `value`.
+  uint64_t Rank(double value) const;
+
+  /// Merges another MRL sketch (same shape).
+  Status Merge(const MrlSketch& other);
+
+  uint64_t Count() const { return count_; }
+  size_t NumRetained() const;
+  size_t MemoryBytes() const { return NumRetained() * sizeof(double); }
+
+ private:
+  struct Buffer {
+    uint64_t weight = 0;          // 0 = empty/free.
+    std::vector<double> values;   // Sorted once full.
+  };
+
+  /// Collapses the two (or more) lowest-weight full buffers into one.
+  void CollapseIfNeeded();
+  static Buffer Collapse(const std::vector<const Buffer*>& inputs,
+                         size_t buffer_size);
+
+  size_t num_buffers_;
+  size_t buffer_size_;
+  uint64_t count_ = 0;
+  std::vector<double> incoming_;  // Fills the next weight-1 buffer.
+  std::vector<Buffer> buffers_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_QUANTILES_MRL_H_

@@ -1,0 +1,37 @@
+#include "robust/adversary.h"
+
+#include <cmath>
+
+namespace gems {
+
+double AttackResult::RelativeError() const {
+  if (kept_items == 0) return 0.0;
+  const double truth = static_cast<double>(kept_items);
+  return std::abs(final_estimate - truth) / truth;
+}
+
+AttackResult RunAdaptiveF2Attack(const F2Oracle& oracle, size_t num_probes,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  AttackResult result;
+  double previous = oracle.estimate();
+  for (size_t probe = 0; probe < num_probes; ++probe) {
+    const uint64_t item = rng.NextU64();
+    oracle.update(item, +1);
+    const double current = oracle.estimate();
+    // A fresh frequency-1 item raises the true F2 by exactly 1. Keep items
+    // the sketch credits with LESS than their fair share — their sign
+    // pattern anti-correlates with the sketch state, so the kept set's
+    // estimate drifts ever further below its true F2.
+    if (current - previous <= 1.0) {
+      ++result.kept_items;
+      previous = current;
+    } else {
+      oracle.update(item, -1);  // Revert; sketch returns to prior state.
+    }
+  }
+  result.final_estimate = oracle.estimate();
+  return result;
+}
+
+}  // namespace gems

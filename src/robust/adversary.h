@@ -1,0 +1,42 @@
+#ifndef GEMS_ROBUST_ADVERSARY_H_
+#define GEMS_ROBUST_ADVERSARY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+
+/// \file
+/// The adaptive attack against linear F2 sketches that motivates
+/// adversarially robust streaming: insert a fresh item (+1), observe the
+/// reported F2; if the estimate rose by more than the item's fair share,
+/// revert it (-1); otherwise keep it. Kept items are exactly those whose
+/// sign patterns currently cancel inside the sketch, so the final stream
+/// has true F2 = #kept while the sketch reports far less. Works against
+/// any turnstile oracle; defeated by sketch switching (robust_f2.h).
+
+namespace gems {
+
+/// Oracle interface the adversary attacks: apply an update, read estimate.
+struct F2Oracle {
+  std::function<void(uint64_t item, int64_t weight)> update;
+  std::function<double()> estimate;
+};
+
+/// Result of one attack run.
+struct AttackResult {
+  uint64_t kept_items = 0;    // True F2 of the final stream (all freq 1).
+  double final_estimate = 0;  // What the sketch reports at the end.
+  /// Relative error |estimate - truth| / truth of the final report.
+  double RelativeError() const;
+};
+
+/// Runs the adaptive keep-if-underestimated attack for `num_probes`
+/// candidate items.
+AttackResult RunAdaptiveF2Attack(const F2Oracle& oracle, size_t num_probes,
+                                 uint64_t seed);
+
+}  // namespace gems
+
+#endif  // GEMS_ROBUST_ADVERSARY_H_

@@ -1,0 +1,34 @@
+#include "robust/robust_f2.h"
+
+#include "common/check.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+RobustF2::RobustF2(const Options& options, uint64_t seed)
+    : options_(options) {
+  GEMS_CHECK(options.num_copies >= 1);
+  GEMS_CHECK(options.lambda > 0.0);
+  copies_.reserve(options.num_copies);
+  for (int copy = 0; copy < options.num_copies; ++copy) {
+    copies_.emplace_back(options.estimators_per_group, options.num_groups,
+                         DeriveSeed(seed, copy));
+  }
+}
+
+void RobustF2::Update(uint64_t item, int64_t weight) {
+  for (AmsSketch& copy : copies_) copy.Update(item, weight);
+}
+
+double RobustF2::EstimateF2() {
+  const double current = copies_[current_copy_].EstimateF2();
+  const double lo = released_ / (1.0 + options_.lambda);
+  const double hi = released_ * (1.0 + options_.lambda);
+  if (current < lo || current > hi || (released_ == 0.0 && current > 0.0)) {
+    released_ = current;
+    if (current_copy_ + 1 < options_.num_copies) ++current_copy_;
+  }
+  return released_;
+}
+
+}  // namespace gems

@@ -1,0 +1,64 @@
+#ifndef GEMS_ROBUST_ROBUST_F2_H_
+#define GEMS_ROBUST_ROBUST_F2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "moments/ams.h"
+
+/// \file
+/// Adversarially robust F2 estimation via sketch switching (Ben-Eliezer,
+/// Jayaram, Woodruff & Yogev, PODS 2020 best paper — cited by the survey
+/// as the robustness milestone). Ordinary linear sketches (AMS, Count
+/// sketch) are breakable by an adaptive adversary who inserts an item,
+/// observes the estimate, and reverts insertions that raised it: kept
+/// items anti-correlate with the sketch's randomness and the estimate
+/// collapses (see adversary.h, and experiment E14).
+///
+/// Sketch switching fixes this with k independent copies: all copies
+/// absorb every update, but the *exposed* estimate comes from the current
+/// copy only and is frozen until the current copy's estimate leaves the
+/// [released/(1+lambda), released*(1+lambda)] window, at which point a new
+/// estimate is released and the next (never-yet-exposed) copy takes over.
+/// Each copy answers adaptively-chosen queries only once, so the classic
+/// static guarantee applies to each released value; O(log_{1+lambda}(F2
+/// range)) copies suffice for a whole stream.
+
+namespace gems {
+
+/// Robust F2 estimator (sketch switching over AMS).
+class RobustF2 {
+ public:
+  struct Options {
+    uint32_t estimators_per_group = 128;  // AMS s1 per copy.
+    uint32_t num_groups = 5;              // AMS s2 per copy.
+    int num_copies = 24;                  // Switching budget.
+    double lambda = 0.5;                  // Release granularity.
+  };
+
+  RobustF2(const Options& options, uint64_t seed);
+
+  RobustF2(const RobustF2&) = default;
+  RobustF2& operator=(const RobustF2&) = default;
+  RobustF2(RobustF2&&) = default;
+  RobustF2& operator=(RobustF2&&) = default;
+
+  /// Adds `weight` (may be negative) to item's frequency.
+  void Update(uint64_t item, int64_t weight = 1);
+
+  /// The exposed (adversarially robust) estimate.
+  double EstimateF2();
+
+  /// Copies consumed so far (diagnostics for E14).
+  int CopiesUsed() const { return current_copy_ + 1; }
+
+ private:
+  Options options_;
+  std::vector<AmsSketch> copies_;
+  int current_copy_ = 0;
+  double released_ = 0.0;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_ROBUST_ROBUST_F2_H_

@@ -1,0 +1,71 @@
+#include "similarity/lsh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+LshIndex::LshIndex(uint32_t bands, uint32_t rows_per_band, uint64_t seed)
+    : bands_(bands), rows_per_band_(rows_per_band), seed_(seed) {
+  GEMS_CHECK(bands >= 1);
+  GEMS_CHECK(rows_per_band >= 1);
+  tables_.resize(bands);
+}
+
+uint64_t LshIndex::BandKey(uint32_t band,
+                           const std::vector<uint64_t>& signature) const {
+  // Hash the band's rows together into one bucket key.
+  uint64_t key = DeriveSeed(seed_, band);
+  for (uint32_t row = 0; row < rows_per_band_; ++row) {
+    key = Hash64(signature[static_cast<size_t>(band) * rows_per_band_ + row],
+                 key);
+  }
+  return key;
+}
+
+Status LshIndex::Insert(uint64_t id,
+                        const std::vector<uint64_t>& signature) {
+  if (signature.size() != signature_length()) {
+    return Status::InvalidArgument("signature length mismatch");
+  }
+  for (uint32_t band = 0; band < bands_; ++band) {
+    tables_[band][BandKey(band, signature)].push_back(id);
+  }
+  ++num_items_;
+  return Status::Ok();
+}
+
+Result<std::vector<uint64_t>> LshIndex::Query(
+    const std::vector<uint64_t>& signature) const {
+  if (signature.size() != signature_length()) {
+    return Status::InvalidArgument("signature length mismatch");
+  }
+  std::unordered_set<uint64_t> candidates;
+  for (uint32_t band = 0; band < bands_; ++band) {
+    const auto it = tables_[band].find(BandKey(band, signature));
+    if (it == tables_[band].end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  std::vector<uint64_t> out(candidates.begin(), candidates.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double LshIndex::CollisionProbability(double similarity) const {
+  const double per_band = std::pow(similarity, rows_per_band_);
+  return 1.0 - std::pow(1.0 - per_band, bands_);
+}
+
+size_t LshIndex::NumBucketEntries() const {
+  size_t total = 0;
+  for (const auto& table : tables_) {
+    for (const auto& [key, bucket] : table) total += bucket.size();
+  }
+  return total;
+}
+
+}  // namespace gems

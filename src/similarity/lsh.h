@@ -1,0 +1,66 @@
+#ifndef GEMS_SIMILARITY_LSH_H_
+#define GEMS_SIMILARITY_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Banded LSH index (Indyk & Motwani 1998; banding per Mining of Massive
+/// Datasets): splits a signature into b bands of r rows; items colliding on
+/// any full band become candidates. Collision probability for similarity s
+/// is 1 - (1 - s^r)^b — the classic S-curve whose shape experiment E11
+/// reproduces. Works over MinHash signatures (Jaccard) or SimHash bit
+/// blocks (cosine).
+
+namespace gems {
+
+/// LSH index over fixed-length signatures (one uint64 per row).
+class LshIndex {
+ public:
+  /// Signature length must equal bands * rows_per_band.
+  LshIndex(uint32_t bands, uint32_t rows_per_band, uint64_t seed = 0);
+
+  LshIndex(const LshIndex&) = default;
+  LshIndex& operator=(const LshIndex&) = default;
+  LshIndex(LshIndex&&) = default;
+  LshIndex& operator=(LshIndex&&) = default;
+
+  /// Indexes an item id under its signature.
+  Status Insert(uint64_t id, const std::vector<uint64_t>& signature);
+
+  /// Ids sharing at least one band with the query signature (deduplicated;
+  /// may include false positives, to be filtered by exact comparison).
+  Result<std::vector<uint64_t>> Query(
+      const std::vector<uint64_t>& signature) const;
+
+  /// Theoretical candidate probability at similarity s: 1 - (1 - s^r)^b.
+  double CollisionProbability(double similarity) const;
+
+  uint32_t bands() const { return bands_; }
+  uint32_t rows_per_band() const { return rows_per_band_; }
+  size_t signature_length() const {
+    return static_cast<size_t>(bands_) * rows_per_band_;
+  }
+  size_t NumItems() const { return num_items_; }
+
+  /// Total bucket entries (probe-cost accounting for E11).
+  size_t NumBucketEntries() const;
+
+ private:
+  uint64_t BandKey(uint32_t band,
+                   const std::vector<uint64_t>& signature) const;
+
+  uint32_t bands_;
+  uint32_t rows_per_band_;
+  uint64_t seed_;
+  size_t num_items_ = 0;
+  /// One hash table per band: band key -> item ids.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint64_t>>> tables_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_SIMILARITY_LSH_H_

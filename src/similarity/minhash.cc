@@ -1,0 +1,75 @@
+#include "similarity/minhash.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "core/frame.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+MinHashSketch::MinHashSketch(uint32_t k, uint64_t seed)
+    : k_(k), seed_(seed) {
+  GEMS_CHECK(k >= 1);
+  signature_.assign(k, std::numeric_limits<uint64_t>::max());
+}
+
+void MinHashSketch::Update(uint64_t item) {
+  for (uint32_t i = 0; i < k_; ++i) {
+    const uint64_t h = Hash64(item, DeriveSeed(seed_, i));
+    if (h < signature_[i]) signature_[i] = h;
+  }
+}
+
+Result<double> MinHashSketch::Jaccard(const MinHashSketch& other) const {
+  if (k_ != other.k_ || seed_ != other.seed_) {
+    return Status::InvalidArgument(
+        "MinHash Jaccard requires identical k and seed");
+  }
+  uint32_t matches = 0;
+  for (uint32_t i = 0; i < k_; ++i) {
+    if (signature_[i] == other.signature_[i]) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(k_);
+}
+
+Status MinHashSketch::Merge(const MinHashSketch& other) {
+  if (k_ != other.k_ || seed_ != other.seed_) {
+    return Status::InvalidArgument(
+        "MinHash merge requires identical k and seed");
+  }
+  for (uint32_t i = 0; i < k_; ++i) {
+    signature_[i] = std::min(signature_[i], other.signature_[i]);
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> MinHashSketch::Serialize() const {
+  ByteWriter w;
+  WriteFrameHeader(SketchType::kMinHash, &w);
+  w.PutU32(k_);
+  w.PutU64(seed_);
+  for (uint64_t coordinate : signature_) w.PutU64(coordinate);
+  return std::move(w).TakeBytes();
+}
+
+Result<MinHashSketch> MinHashSketch::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Status s = ReadFrameHeader(SketchType::kMinHash, &r);
+  if (!s.ok()) return s;
+  uint32_t k;
+  uint64_t seed;
+  if (Status sk = r.GetU32(&k); !sk.ok()) return sk;
+  if (Status ss = r.GetU64(&seed); !ss.ok()) return ss;
+  if (k == 0 || k > (1u << 20)) {
+    return Status::Corruption("invalid MinHash k");
+  }
+  MinHashSketch sketch(k, seed);
+  for (uint64_t& coordinate : sketch.signature_) {
+    if (Status sc = r.GetU64(&coordinate); !sc.ok()) return sc;
+  }
+  return sketch;
+}
+
+}  // namespace gems

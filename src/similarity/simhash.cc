@@ -1,0 +1,65 @@
+#include "similarity/simhash.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+SimHasher::SimHasher(uint32_t num_bits, uint64_t seed)
+    : num_bits_(num_bits), seed_(seed) {
+  GEMS_CHECK(num_bits >= 1);
+}
+
+int SimHasher::PlaneEntry(uint32_t bit, size_t coordinate) const {
+  const uint64_t h =
+      Hash64(static_cast<uint64_t>(coordinate), DeriveSeed(seed_, bit));
+  return (h & 1) ? 1 : -1;
+}
+
+std::vector<uint64_t> SimHasher::Signature(
+    const std::vector<double>& vector) const {
+  std::vector<uint64_t> signature((num_bits_ + 63) / 64, 0);
+  for (uint32_t bit = 0; bit < num_bits_; ++bit) {
+    double dot = 0.0;
+    for (size_t coordinate = 0; coordinate < vector.size(); ++coordinate) {
+      dot += PlaneEntry(bit, coordinate) * vector[coordinate];
+    }
+    if (dot >= 0) signature[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+  return signature;
+}
+
+uint32_t SimHasher::HammingDistance(const std::vector<uint64_t>& a,
+                                    const std::vector<uint64_t>& b) {
+  GEMS_CHECK(a.size() == b.size());
+  uint32_t distance = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    distance += PopCount64(a[i] ^ b[i]);
+  }
+  return distance;
+}
+
+double SimHasher::EstimateCosine(const std::vector<uint64_t>& a,
+                                 const std::vector<uint64_t>& b) const {
+  const double theta = M_PI * static_cast<double>(HammingDistance(a, b)) /
+                       static_cast<double>(num_bits_);
+  return std::cos(theta);
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  GEMS_CHECK(a.size() == b.size());
+  double dot = 0, norm_a = 0, norm_b = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    norm_a += a[i] * a[i];
+    norm_b += b[i] * b[i];
+  }
+  if (norm_a == 0 || norm_b == 0) return 0.0;
+  return dot / std::sqrt(norm_a * norm_b);
+}
+
+}  // namespace gems

@@ -1,0 +1,55 @@
+#ifndef GEMS_SIMILARITY_SIMHASH_H_
+#define GEMS_SIMILARITY_SIMHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// SimHash (Charikar 2002): random-hyperplane LSH for cosine similarity.
+/// Bit i of the signature is the sign of the dot product with a random
+/// Rademacher hyperplane; P[bit collision] = 1 - angle/pi. This is the
+/// signature the paper's image-similarity scenario uses over learned
+/// vector embeddings (experiment E11).
+
+namespace gems {
+
+/// Generates b-bit SimHash signatures of real vectors.
+class SimHasher {
+ public:
+  /// `num_bits` signature length.
+  SimHasher(uint32_t num_bits, uint64_t seed = 0);
+
+  SimHasher(const SimHasher&) = default;
+  SimHasher& operator=(const SimHasher&) = default;
+
+  /// Signature of a dense vector (packed into 64-bit words).
+  std::vector<uint64_t> Signature(const std::vector<double>& vector) const;
+
+  /// Hamming distance between two signatures.
+  static uint32_t HammingDistance(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b);
+
+  /// Estimated cosine similarity from a Hamming distance:
+  /// cos(pi * hamming / num_bits).
+  double EstimateCosine(const std::vector<uint64_t>& a,
+                        const std::vector<uint64_t>& b) const;
+
+  uint32_t num_bits() const { return num_bits_; }
+
+ private:
+  /// Rademacher entry of hyperplane `bit` at coordinate `coordinate`.
+  int PlaneEntry(uint32_t bit, size_t coordinate) const;
+
+  uint32_t num_bits_;
+  uint64_t seed_;
+};
+
+/// Exact cosine similarity between two vectors (baseline).
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace gems
+
+#endif  // GEMS_SIMILARITY_SIMHASH_H_

@@ -1,0 +1,99 @@
+#include "workload/baselines.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gems {
+
+size_t ExactDistinct::MemoryBytes() const {
+  // Rough model: bucket array + one node per element.
+  return items_.bucket_count() * sizeof(void*) +
+         items_.size() * (sizeof(uint64_t) + 2 * sizeof(void*));
+}
+
+void ExactDistinct::Merge(const ExactDistinct& other) {
+  items_.insert(other.items_.begin(), other.items_.end());
+}
+
+int64_t ExactFrequencies::Count(uint64_t item) const {
+  const auto it = counts_.find(item);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<uint64_t> ExactFrequencies::ItemsAbove(int64_t threshold) const {
+  std::vector<uint64_t> out;
+  for (const auto& [item, count] : counts_) {
+    if (count >= threshold) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, int64_t>> ExactFrequencies::TopK(
+    size_t k) const {
+  std::vector<std::pair<uint64_t, int64_t>> all(counts_.begin(),
+                                                counts_.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+double ExactFrequencies::F2() const {
+  double f2 = 0.0;
+  for (const auto& [item, count] : counts_) {
+    f2 += static_cast<double>(count) * static_cast<double>(count);
+  }
+  return f2;
+}
+
+size_t ExactFrequencies::NumKeys() const {
+  size_t n = 0;
+  for (const auto& [item, count] : counts_) {
+    if (count != 0) ++n;
+  }
+  return n;
+}
+
+size_t ExactFrequencies::MemoryBytes() const {
+  return counts_.bucket_count() * sizeof(void*) +
+         counts_.size() * (2 * sizeof(uint64_t) + 2 * sizeof(void*));
+}
+
+void ExactFrequencies::Merge(const ExactFrequencies& other) {
+  for (const auto& [item, count] : other.counts_) counts_[item] += count;
+  total_ += other.total_;
+}
+
+void ExactQuantiles::EnsureSorted() {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double ExactQuantiles::Quantile(double q) {
+  GEMS_CHECK(!values_.empty());
+  GEMS_CHECK(q >= 0.0 && q <= 1.0);
+  EnsureSorted();
+  const size_t index = std::min(
+      values_.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values_.size())));
+  return values_[index];
+}
+
+uint64_t ExactQuantiles::Rank(double value) {
+  EnsureSorted();
+  return static_cast<uint64_t>(
+      std::upper_bound(values_.begin(), values_.end(), value) -
+      values_.begin());
+}
+
+void ExactQuantiles::Merge(const ExactQuantiles& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+}
+
+}  // namespace gems

@@ -1,0 +1,100 @@
+#ifndef GEMS_WORKLOAD_BASELINES_H_
+#define GEMS_WORKLOAD_BASELINES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+/// \file
+/// Exact (non-sketch) baselines. The paper notes that sketches were
+/// eventually displaced in some applications by "highly performant data
+/// warehouses giving exact results" — these classes are that comparator:
+/// exact answers at linear space, used as ground truth and as the
+/// space/time baseline in every experiment.
+
+namespace gems {
+
+/// Exact distinct counting via a hash set.
+class ExactDistinct {
+ public:
+  ExactDistinct() = default;
+
+  void Update(uint64_t item) { items_.insert(item); }
+  uint64_t Count() const { return items_.size(); }
+  bool Contains(uint64_t item) const { return items_.contains(item); }
+  /// Approximate heap footprint in bytes (for space-accuracy plots).
+  size_t MemoryBytes() const;
+
+  /// Union with another exact set.
+  void Merge(const ExactDistinct& other);
+
+ private:
+  std::unordered_set<uint64_t> items_;
+};
+
+/// Exact frequency table with heavy-hitter and top-k queries.
+class ExactFrequencies {
+ public:
+  ExactFrequencies() = default;
+
+  void Update(uint64_t item, int64_t weight = 1) {
+    counts_[item] += weight;
+    total_ += weight;
+  }
+  int64_t Count(uint64_t item) const;
+  int64_t TotalWeight() const { return total_; }
+
+  /// Items with count >= threshold, unsorted.
+  std::vector<uint64_t> ItemsAbove(int64_t threshold) const;
+
+  /// The k most frequent items, most frequent first (ties by item id).
+  std::vector<std::pair<uint64_t, int64_t>> TopK(size_t k) const;
+
+  /// Second frequency moment F2 = sum of squared counts.
+  double F2() const;
+
+  /// Number of distinct keys with non-zero count.
+  size_t NumKeys() const;
+
+  size_t MemoryBytes() const;
+
+  void Merge(const ExactFrequencies& other);
+
+ private:
+  std::unordered_map<uint64_t, int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Exact quantiles: stores everything, sorts lazily.
+class ExactQuantiles {
+ public:
+  ExactQuantiles() = default;
+
+  void Update(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
+  /// Value at quantile q in [0, 1]; requires at least one update.
+  double Quantile(double q);
+
+  /// Rank of `value`: number of stored values <= value.
+  uint64_t Rank(double value);
+
+  uint64_t Count() const { return values_.size(); }
+  size_t MemoryBytes() const { return values_.size() * sizeof(double); }
+
+  void Merge(const ExactQuantiles& other);
+
+ private:
+  void EnsureSorted();
+
+  std::vector<double> values_;
+  bool sorted_ = true;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_WORKLOAD_BASELINES_H_

@@ -1,0 +1,192 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "hash/hash.h"
+
+namespace gems {
+
+ZipfGenerator::ZipfGenerator(uint64_t universe, double exponent, uint64_t seed,
+                             bool shuffle)
+    : universe_(universe),
+      exponent_(exponent),
+      shuffle_(shuffle),
+      shuffle_seed_(Mix64(seed ^ 0xC0FFEE)),
+      rng_(seed) {
+  GEMS_CHECK(universe > 0);
+  GEMS_CHECK(exponent >= 0.0);
+  cdf_.resize(universe);
+  double total = 0.0;
+  for (uint64_t i = 0; i < universe; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  uint64_t rank = static_cast<uint64_t>(it - cdf_.begin());
+  if (rank >= universe_) rank = universe_ - 1;
+  if (!shuffle_) return rank;
+  // Hash-permute so that item ids are uncorrelated with frequency rank,
+  // while keeping the mapping bijective enough for experiment purposes
+  // (collisions across 64-bit hash space are negligible).
+  return Hash64(rank, shuffle_seed_);
+}
+
+std::vector<uint64_t> ZipfGenerator::Take(size_t n) {
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+std::vector<uint64_t> UniformItemGenerator::Take(size_t n) {
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+std::vector<uint64_t> DistinctItems(size_t n, uint64_t seed) {
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  const uint64_t salt = Mix64(seed);
+  for (size_t i = 0; i < n; ++i) {
+    // Distinct inputs to an injective-enough mixer; collisions over 64 bits
+    // at laptop scale are vanishingly unlikely, and tests guard cardinality.
+    out.push_back(Hash64(static_cast<uint64_t>(i), salt));
+  }
+  return out;
+}
+
+std::vector<double> GenerateValues(ValueDistribution distribution, size_t n,
+                                   uint64_t seed) {
+  std::vector<double> out;
+  out.reserve(n);
+  Rng rng(seed);
+  switch (distribution) {
+    case ValueDistribution::kUniform:
+      for (size_t i = 0; i < n; ++i) out.push_back(rng.NextDouble());
+      break;
+    case ValueDistribution::kGaussian:
+      for (size_t i = 0; i < n; ++i) out.push_back(rng.NextGaussian());
+      break;
+    case ValueDistribution::kLogNormal:
+      for (size_t i = 0; i < n; ++i)
+        out.push_back(std::exp(rng.NextGaussian()));
+      break;
+    case ValueDistribution::kSorted:
+      for (size_t i = 0; i < n; ++i) out.push_back(static_cast<double>(i));
+      break;
+    case ValueDistribution::kReverse:
+      for (size_t i = n; i-- > 0;) out.push_back(static_cast<double>(i));
+      break;
+    case ValueDistribution::kZipfValues: {
+      ZipfGenerator zipf(std::max<uint64_t>(n / 10, 1), 1.1, seed,
+                         /*shuffle=*/false);
+      for (size_t i = 0; i < n; ++i)
+        out.push_back(static_cast<double>(zipf.Next()));
+      break;
+    }
+  }
+  return out;
+}
+
+uint64_t FlowRecord::FlowKey() const {
+  uint64_t key = (static_cast<uint64_t>(src_ip) << 32) | dst_ip;
+  uint64_t ports = (static_cast<uint64_t>(src_port) << 24) |
+                   (static_cast<uint64_t>(dst_port) << 8) | protocol;
+  return Hash64(key ^ Mix64(ports), 0x5EED);
+}
+
+FlowGenerator::FlowGenerator(const Options& options, uint64_t seed)
+    : options_(options),
+      flow_picker_(options.num_flows, options.flow_size_skew, seed,
+                   /*shuffle=*/false),
+      rng_(Mix64(seed ^ 0xF10)) {}
+
+FlowRecord FlowGenerator::Next() {
+  if (options_.include_scan && rng_.NextBernoulli(0.05)) {
+    // Scanner: fixed source sweeping destinations.
+    FlowRecord r;
+    r.src_ip = 0x0A000001;  // 10.0.0.1
+    r.dst_ip = 0xC0A80000 + static_cast<uint32_t>(
+                                scan_counter_++ % options_.scan_fanout);
+    r.src_port = 31337;
+    r.dst_port = static_cast<uint16_t>(1 + scan_counter_ % 1024);
+    r.protocol = 6;
+    r.num_bytes = 40;  // SYN-sized.
+    return r;
+  }
+  const uint64_t flow = flow_picker_.Next();
+  // Derive stable flow attributes from the flow id.
+  const uint64_t h = Mix64(flow + 1);
+  FlowRecord r;
+  r.src_ip = static_cast<uint32_t>(h % options_.num_hosts) + 0x0A000000;
+  r.dst_ip =
+      static_cast<uint32_t>((h >> 20) % options_.num_hosts) + 0xC0A80000;
+  r.src_port = static_cast<uint16_t>(1024 + (h >> 40) % 60000);
+  r.dst_port = static_cast<uint16_t>((h >> 12) % 2 == 0 ? 443 : 80);
+  r.protocol = (h >> 50) % 10 == 0 ? 17 : 6;
+  r.num_bytes = static_cast<uint32_t>(64 + rng_.NextBounded(1400));
+  return r;
+}
+
+std::vector<FlowRecord> FlowGenerator::Take(size_t n) {
+  std::vector<FlowRecord> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+ExposureGenerator::ExposureGenerator(const Options& options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  GEMS_CHECK(options.num_users > 0);
+  GEMS_CHECK(options.num_campaigns > 0);
+  GEMS_CHECK(options.audience_fraction > 0.0 &&
+             options.audience_fraction <= 1.0);
+}
+
+bool ExposureGenerator::InAudience(uint64_t user_id,
+                                   uint32_t campaign_id) const {
+  // Each campaign's audience is a contiguous arc of the hashed-user circle,
+  // with arcs for consecutive campaigns offset by half an arc so adjacent
+  // campaigns overlap by ~50% of their audiences.
+  const double position = HashToUnit(Hash64(user_id, 0xAD5EED));
+  const double arc = options_.audience_fraction;
+  const double start = 0.5 * arc * campaign_id;
+  double offset = position - start;
+  offset -= std::floor(offset);  // Wrap to [0, 1).
+  return offset < arc;
+}
+
+ExposureEvent ExposureGenerator::Next() {
+  // Rejection-sample a (user, campaign) pair consistent with audiences.
+  while (true) {
+    const uint64_t user = rng_.NextBounded(options_.num_users);
+    const uint32_t campaign =
+        static_cast<uint32_t>(rng_.NextBounded(options_.num_campaigns));
+    if (!InAudience(user, campaign)) continue;
+    ExposureEvent e;
+    e.user_id = user;
+    e.campaign_id = campaign;
+    const uint64_t h = Mix64(user + 0xDE40);
+    e.region = static_cast<uint8_t>(h % options_.num_regions);
+    e.age_band = static_cast<uint8_t>((h >> 8) % options_.num_age_bands);
+    return e;
+  }
+}
+
+std::vector<ExposureEvent> ExposureGenerator::Take(size_t n) {
+  std::vector<ExposureEvent> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace gems

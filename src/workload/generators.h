@@ -1,0 +1,168 @@
+#ifndef GEMS_WORKLOAD_GENERATORS_H_
+#define GEMS_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+/// \file
+/// Synthetic workload generators standing in for the data sources the paper
+/// describes: skewed item streams (embedded-tweet views, search queries),
+/// IP flow records (the ISP/Gigascope era), and ad-exposure logs (the online
+/// advertising era). All generators are seeded and deterministic.
+
+namespace gems {
+
+/// Zipf-distributed item generator over universe [0, universe).
+/// P(item = i) proportional to 1/(i+1)^exponent. Items are identity-mapped
+/// (item 0 is the most frequent) unless `shuffle` is set, which applies a
+/// hash permutation so frequency is uncorrelated with key value.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t universe, double exponent, uint64_t seed,
+                bool shuffle = true);
+
+  ZipfGenerator(const ZipfGenerator&) = default;
+  ZipfGenerator& operator=(const ZipfGenerator&) = default;
+  ZipfGenerator(ZipfGenerator&&) = default;
+  ZipfGenerator& operator=(ZipfGenerator&&) = default;
+
+  /// Draws the next item.
+  uint64_t Next();
+
+  /// Draws `n` items.
+  std::vector<uint64_t> Take(size_t n);
+
+  uint64_t universe() const { return universe_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  uint64_t universe_;
+  double exponent_;
+  bool shuffle_;
+  uint64_t shuffle_seed_;
+  std::vector<double> cdf_;  // Cumulative probabilities, size = universe.
+  Rng rng_;
+};
+
+/// Uniform item generator over [0, universe).
+class UniformItemGenerator {
+ public:
+  UniformItemGenerator(uint64_t universe, uint64_t seed)
+      : universe_(universe), rng_(seed) {}
+
+  uint64_t Next() { return rng_.NextBounded(universe_); }
+  std::vector<uint64_t> Take(size_t n);
+
+ private:
+  uint64_t universe_;
+  Rng rng_;
+};
+
+/// Emits `n` distinct 64-bit items in pseudo-random order (for cardinality
+/// experiments: every item unique).
+std::vector<uint64_t> DistinctItems(size_t n, uint64_t seed);
+
+/// Real-valued stream distributions for quantile sketches.
+enum class ValueDistribution {
+  kUniform,     // U[0, 1)
+  kGaussian,    // N(0, 1)
+  kLogNormal,   // exp(N(0, 1)) — heavy right tail
+  kSorted,      // 0, 1, 2, ... (adversarial for some quantile sketches)
+  kReverse,     // n-1, ..., 1, 0
+  kZipfValues,  // Values with Zipfian repetition structure
+};
+
+/// Generates `n` doubles from the given distribution.
+std::vector<double> GenerateValues(ValueDistribution distribution, size_t n,
+                                   uint64_t seed);
+
+/// A synthetic IP flow record (the Gigascope/CMON scenario).
+struct FlowRecord {
+  uint32_t src_ip;
+  uint32_t dst_ip;
+  uint16_t src_port;
+  uint16_t dst_port;
+  uint8_t protocol;   // 6 = TCP, 17 = UDP.
+  uint32_t num_bytes;  // Payload size of this packet.
+
+  /// Key identifying the flow (5-tuple hash input).
+  uint64_t FlowKey() const;
+  /// Key identifying the destination (for per-destination GROUP BY).
+  uint64_t DestKey() const { return dst_ip; }
+};
+
+/// Generates packet streams with realistic structure: a few "elephant"
+/// flows carrying most bytes (Zipfian flow sizes), many "mice", plus a
+/// configurable scan event (one source touching many destinations).
+class FlowGenerator {
+ public:
+  struct Options {
+    uint64_t num_flows = 10000;      // Distinct flows.
+    double flow_size_skew = 1.2;     // Zipf exponent on packets per flow.
+    uint64_t num_hosts = 4096;       // Distinct IPs to draw from.
+    bool include_scan = false;       // Inject a port-scan-like source.
+    uint64_t scan_fanout = 512;      // Destinations touched by the scanner.
+  };
+
+  FlowGenerator(const Options& options, uint64_t seed);
+
+  /// Next packet.
+  FlowRecord Next();
+
+  std::vector<FlowRecord> Take(size_t n);
+
+ private:
+  Options options_;
+  ZipfGenerator flow_picker_;
+  Rng rng_;
+  uint64_t scan_counter_ = 0;
+};
+
+/// An ad-exposure event (the online advertising scenario): one user seeing
+/// one campaign, with demographic attributes for slice-and-dice.
+struct ExposureEvent {
+  uint64_t user_id;
+  uint32_t campaign_id;
+  uint8_t region;     // 0..num_regions-1
+  uint8_t age_band;   // 0..num_age_bands-1
+};
+
+/// Generates exposure logs where campaigns have overlapping audiences drawn
+/// from a shared user universe, so union/intersection reach questions have
+/// non-trivial answers.
+class ExposureGenerator {
+ public:
+  struct Options {
+    uint64_t num_users = 100000;
+    uint32_t num_campaigns = 3;
+    uint8_t num_regions = 4;
+    uint8_t num_age_bands = 5;
+    /// Each campaign reaches a contiguous (after hashing) slice of users of
+    /// this fraction; slices overlap pairwise by construction.
+    double audience_fraction = 0.4;
+  };
+
+  ExposureGenerator(const Options& options, uint64_t seed);
+
+  /// Next exposure event.
+  ExposureEvent Next();
+
+  std::vector<ExposureEvent> Take(size_t n);
+
+  /// True if `user_id` is in campaign `campaign_id`'s audience (ground
+  /// truth for reach experiments).
+  bool InAudience(uint64_t user_id, uint32_t campaign_id) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,63 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace gems {
+
+RetrievalQuality CompareSets(const std::vector<uint64_t>& retrieved,
+                             const std::vector<uint64_t>& truth) {
+  const std::unordered_set<uint64_t> retrieved_set(retrieved.begin(),
+                                                   retrieved.end());
+  const std::unordered_set<uint64_t> truth_set(truth.begin(), truth.end());
+
+  RetrievalQuality q;
+  for (uint64_t item : retrieved_set) {
+    if (truth_set.contains(item)) {
+      ++q.true_positives;
+    } else {
+      ++q.false_positives;
+    }
+  }
+  for (uint64_t item : truth_set) {
+    if (!retrieved_set.contains(item)) ++q.false_negatives;
+  }
+  const size_t retrieved_n = retrieved_set.size();
+  const size_t truth_n = truth_set.size();
+  q.precision = retrieved_n == 0
+                    ? 1.0
+                    : static_cast<double>(q.true_positives) / retrieved_n;
+  q.recall =
+      truth_n == 0 ? 1.0 : static_cast<double>(q.true_positives) / truth_n;
+  q.f1 = (q.precision + q.recall) == 0.0
+             ? 0.0
+             : 2.0 * q.precision * q.recall / (q.precision + q.recall);
+  return q;
+}
+
+uint64_t ExactRank(const std::vector<double>& sorted_data, double value) {
+  return static_cast<uint64_t>(
+      std::upper_bound(sorted_data.begin(), sorted_data.end(), value) -
+      sorted_data.begin());
+}
+
+double MeanRankError(const std::vector<double>& sorted_data,
+                     const std::vector<double>& query_quantiles,
+                     const std::vector<double>& estimated_values) {
+  GEMS_CHECK(query_quantiles.size() == estimated_values.size());
+  GEMS_CHECK(!sorted_data.empty());
+  const double n = static_cast<double>(sorted_data.size());
+  double total = 0.0;
+  for (size_t i = 0; i < query_quantiles.size(); ++i) {
+    const double true_rank = query_quantiles[i] * n;
+    const double est_rank =
+        static_cast<double>(ExactRank(sorted_data, estimated_values[i]));
+    total += std::abs(est_rank - true_rank) / n;
+  }
+  return total / static_cast<double>(query_quantiles.size());
+}
+
+}  // namespace gems

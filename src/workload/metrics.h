@@ -1,0 +1,40 @@
+#ifndef GEMS_WORKLOAD_METRICS_H_
+#define GEMS_WORKLOAD_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Evaluation metrics for the experiment harness: set-retrieval quality for
+/// heavy hitters and LSH, and rank error for quantile sketches.
+
+namespace gems {
+
+/// Precision/recall/F1 of a retrieved set against a truth set.
+struct RetrievalQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+};
+
+/// Compares `retrieved` against `truth` (both as item-id sets; duplicates
+/// ignored).
+RetrievalQuality CompareSets(const std::vector<uint64_t>& retrieved,
+                             const std::vector<uint64_t>& truth);
+
+/// Normalized rank error |rank_est - rank_true| / n averaged over the given
+/// query quantiles. `sorted_data` must be sorted ascending.
+double MeanRankError(const std::vector<double>& sorted_data,
+                     const std::vector<double>& query_quantiles,
+                     const std::vector<double>& estimated_values);
+
+/// Exact rank of `value` in sorted data (# elements <= value).
+uint64_t ExactRank(const std::vector<double>& sorted_data, double value);
+
+}  // namespace gems
+
+#endif  // GEMS_WORKLOAD_METRICS_H_

@@ -1,0 +1,143 @@
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/estimate.h"
+#include "core/frame.h"
+#include "core/params.h"
+#include "core/summary.h"
+
+namespace gems {
+namespace {
+
+TEST(EstimateTest, FromStdErrorSymmetric) {
+  Estimate e = EstimateFromStdError(100.0, 10.0, 0.95);
+  EXPECT_DOUBLE_EQ(e.value, 100.0);
+  EXPECT_NEAR(e.lower, 100.0 - 19.6, 0.05);
+  EXPECT_NEAR(e.upper, 100.0 + 19.6, 0.05);
+  EXPECT_DOUBLE_EQ(e.confidence, 0.95);
+}
+
+TEST(EstimateTest, CoversChecksInterval) {
+  Estimate e = EstimateFromStdError(50.0, 5.0, 0.95);
+  EXPECT_TRUE(e.Covers(50.0));
+  EXPECT_TRUE(e.Covers(45.0));
+  EXPECT_FALSE(e.Covers(0.0));
+  EXPECT_FALSE(e.Covers(100.0));
+}
+
+TEST(EstimateTest, HigherConfidenceWidensInterval) {
+  Estimate narrow = EstimateFromStdError(0.0, 1.0, 0.90);
+  Estimate wide = EstimateFromStdError(0.0, 1.0, 0.99);
+  EXPECT_LT(narrow.upper, wide.upper);
+  EXPECT_GT(narrow.lower, wide.lower);
+}
+
+TEST(EstimateTest, ToStringMentionsBounds) {
+  Estimate e = EstimateFromStdError(10.0, 1.0, 0.95);
+  const std::string s = e.ToString();
+  EXPECT_NE(s.find("10"), std::string::npos);
+  EXPECT_NE(s.find("95%"), std::string::npos);
+}
+
+TEST(FrameTest, RoundTrip) {
+  ByteWriter w;
+  WriteFrameHeader(SketchType::kHyperLogLog, &w);
+  w.PutU64(777);
+  ByteReader r(w.bytes());
+  ASSERT_TRUE(ReadFrameHeader(SketchType::kHyperLogLog, &r).ok());
+  uint64_t payload;
+  ASSERT_TRUE(r.GetU64(&payload).ok());
+  EXPECT_EQ(payload, 777u);
+}
+
+TEST(FrameTest, TypeMismatchRejected) {
+  ByteWriter w;
+  WriteFrameHeader(SketchType::kBloomFilter, &w);
+  ByteReader r(w.bytes());
+  Status s = ReadFrameHeader(SketchType::kCountMin, &r);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, BadMagicRejected) {
+  std::vector<uint8_t> bytes = {0x00, 0x00, 0x01, 0x05, 0x00};
+  ByteReader r(bytes);
+  EXPECT_EQ(ReadFrameHeader(SketchType::kHyperLogLog, &r).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(FrameTest, TruncatedHeaderRejected) {
+  std::vector<uint8_t> bytes = {0xE5};
+  ByteReader r(bytes);
+  EXPECT_EQ(ReadFrameHeader(SketchType::kHyperLogLog, &r).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(FrameTest, BadVersionRejected) {
+  ByteWriter w;
+  WriteFrameHeader(SketchType::kKll, &w);
+  std::vector<uint8_t> bytes = w.bytes();
+  bytes[2] = 99;  // Corrupt the version byte.
+  ByteReader r(bytes);
+  EXPECT_EQ(ReadFrameHeader(SketchType::kKll, &r).code(),
+            StatusCode::kCorruption);
+}
+
+// Compile-time checks that the concepts describe what we think they do.
+struct FakeSummary {
+  void Update(uint64_t) {}
+  void Update(double) = delete;  // Make ValueSummary fail below.
+  Status Merge(const FakeSummary&) { return Status::Ok(); }
+};
+static_assert(ItemSummary<FakeSummary>);
+static_assert(MergeableSummary<FakeSummary>);
+static_assert(!ValueSummary<FakeSummary>);
+
+struct FakeQuantile {
+  void Update(double) {}
+};
+static_assert(ValueSummary<FakeQuantile>);
+static_assert(!MergeableSummary<FakeQuantile>);
+
+TEST(SummaryConceptsTest, ConceptsCompile) { SUCCEED(); }
+
+// ---------------------------------------------------------------- Params
+
+TEST(ParamsTest, HllPrecisionInvertsErrorLaw) {
+  // 1% error needs p = 14 (1.04/sqrt(2^14) = 0.81%).
+  EXPECT_EQ(HllPrecisionFor(0.01), 14);
+  EXPECT_LE(HllErrorAt(HllPrecisionFor(0.01)), 0.01);
+  EXPECT_LE(HllErrorAt(HllPrecisionFor(0.05)), 0.05);
+  // Clamped to the supported range.
+  EXPECT_EQ(HllPrecisionFor(0.9), 4);
+  EXPECT_EQ(HllPrecisionFor(0.0001), 18);
+}
+
+TEST(ParamsTest, KmvKInvertsErrorLaw) {
+  const uint32_t k = KmvKFor(0.02);
+  EXPECT_LE(1.0 / std::sqrt(static_cast<double>(k) - 2.0), 0.02);
+  EXPECT_GE(k, 2502u);
+}
+
+TEST(ParamsTest, CountMinDimensions) {
+  EXPECT_EQ(CountMinWidthFor(0.001), 2719u);  // ceil(e/0.001).
+  EXPECT_EQ(CountMinDepthFor(0.01), 5u);      // ceil(ln 100) = 5.
+  EXPECT_EQ(CountMinBytesAt(2719, 5), 2719u * 5 * 8);
+}
+
+TEST(ParamsTest, BloomBitsMatchFormula) {
+  // 1% FPR needs ~9.59 bits/item.
+  const uint64_t bits = BloomBitsFor(1000, 0.01);
+  EXPECT_NEAR(static_cast<double>(bits) / 1000.0, 9.585, 0.01);
+  EXPECT_EQ(BloomBytesAt(801), 101u);
+}
+
+TEST(ParamsTest, OtherAdvisors) {
+  EXPECT_EQ(SpaceSavingCapacityFor(0.001), 1000u);
+  EXPECT_GE(KllKFor(0.01), 170u);
+}
+
+}  // namespace
+}  // namespace gems

@@ -1,0 +1,227 @@
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cardinality/hyperloglog.h"
+#include "cardinality/kmv.h"
+#include "common/numeric.h"
+#include "distributed/aggregation.h"
+#include "distributed/concurrent.h"
+#include "frequency/count_min.h"
+#include "frequency/misra_gries.h"
+#include "quantiles/kll.h"
+#include "workload/baselines.h"
+#include "workload/generators.h"
+
+namespace gems {
+namespace {
+
+TEST(ShardOfTest, DeterministicAndInRange) {
+  for (uint64_t item = 0; item < 1000; ++item) {
+    const size_t shard = ShardOf(item, 16);
+    EXPECT_LT(shard, 16u);
+    EXPECT_EQ(shard, ShardOf(item, 16));
+  }
+}
+
+TEST(ShardOfTest, RoughlyBalanced) {
+  std::vector<int> counts(8, 0);
+  for (uint64_t item = 0; item < 80000; ++item) counts[ShardOf(item, 8)]++;
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(AggregateTreeTest, SingleLeafPassthrough) {
+  std::vector<HyperLogLog> leaves;
+  leaves.emplace_back(10, 1);
+  for (uint64_t item : DistinctItems(1000, 2)) leaves[0].Update(item);
+  auto root = AggregateTree(std::move(leaves));
+  ASSERT_TRUE(root.ok());
+  EXPECT_NEAR(root.value().Count(), 1000.0, 150.0);
+}
+
+TEST(AggregateTreeTest, EmptyLeavesRejected) {
+  std::vector<HyperLogLog> leaves;
+  EXPECT_FALSE(AggregateTree(std::move(leaves)).ok());
+}
+
+TEST(AggregateTreeTest, StatsTrackDepthAndMerges) {
+  std::vector<HyperLogLog> leaves;
+  for (int i = 0; i < 16; ++i) leaves.emplace_back(8, 3);
+  AggregationStats stats;
+  auto root = AggregateTree(std::move(leaves), 2, &stats);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(stats.tree_depth, 4);    // 16 -> 8 -> 4 -> 2 -> 1.
+  EXPECT_EQ(stats.num_merges, 15u);  // n-1 merges total.
+  EXPECT_GT(stats.communication_bytes, 0u);  // HLL is serializable.
+}
+
+TEST(AggregateTreeTest, HigherFanoutShallowerTree) {
+  std::vector<HyperLogLog> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.emplace_back(8, 4);
+    b.emplace_back(8, 4);
+  }
+  AggregationStats stats2, stats8;
+  ASSERT_TRUE(AggregateTree(std::move(a), 2, &stats2).ok());
+  ASSERT_TRUE(AggregateTree(std::move(b), 8, &stats8).ok());
+  EXPECT_EQ(stats2.tree_depth, 6);
+  EXPECT_EQ(stats8.tree_depth, 2);
+  EXPECT_EQ(stats2.num_merges, stats8.num_merges);  // Always n-1.
+}
+
+// E6 core claim: merged accuracy == single-stream accuracy, for each
+// mergeable sketch family.
+
+TEST(MergeabilityTest, HllMergedEqualsStreamed) {
+  const auto items = DistinctItems(200000, 5);
+  HyperLogLog streamed(11, 6);
+  std::vector<HyperLogLog> leaves;
+  for (int i = 0; i < 64; ++i) leaves.emplace_back(11, 6);
+  for (size_t i = 0; i < items.size(); ++i) {
+    streamed.Update(items[i]);
+    leaves[ShardOf(items[i], 64)].Update(items[i]);
+  }
+  auto merged = AggregateTree(std::move(leaves));
+  ASSERT_TRUE(merged.ok());
+  // Register-wise max is exact: merged must equal streamed exactly.
+  EXPECT_DOUBLE_EQ(merged.value().Count(), streamed.Count());
+}
+
+TEST(MergeabilityTest, CountMinMergedEqualsStreamed) {
+  ZipfGenerator zipf(10000, 1.2, 7);
+  CountMinSketch streamed(512, 4, 8);
+  std::vector<CountMinSketch> leaves;
+  for (int i = 0; i < 32; ++i) leaves.emplace_back(512, 4, 8);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t item = zipf.Next();
+    streamed.Update(item);
+    leaves[i % 32].Update(item);
+  }
+  auto merged = AggregateTree(std::move(leaves), 4, nullptr);
+  ASSERT_TRUE(merged.ok());
+  for (uint64_t probe = 0; probe < 200; ++probe) {
+    EXPECT_EQ(merged.value().EstimateCount(probe),
+              streamed.EstimateCount(probe));
+  }
+}
+
+TEST(MergeabilityTest, KllMergedErrorComparable) {
+  const auto data = GenerateValues(ValueDistribution::kLogNormal, 128000, 9);
+  KllSketch streamed(200, 10);
+  std::vector<KllSketch> leaves;
+  for (int i = 0; i < 128; ++i) leaves.emplace_back(200, 100 + i);
+  ExactQuantiles exact;
+  for (size_t i = 0; i < data.size(); ++i) {
+    streamed.Update(data[i]);
+    leaves[i % 128].Update(data[i]);
+    exact.Update(data[i]);
+  }
+  auto merged = AggregateTree(std::move(leaves));
+  ASSERT_TRUE(merged.ok());
+  double streamed_err = 0, merged_err = 0;
+  const double n = static_cast<double>(data.size());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double true_value = exact.Quantile(q);
+    streamed_err +=
+        std::abs(static_cast<double>(exact.Rank(streamed.Quantile(q))) -
+                 static_cast<double>(exact.Rank(true_value))) /
+        n;
+    merged_err +=
+        std::abs(static_cast<double>(exact.Rank(merged.value().Quantile(q))) -
+                 static_cast<double>(exact.Rank(true_value))) /
+        n;
+  }
+  // Merged error stays within a small factor of streamed error (both are
+  // tiny); the key regression is merged error staying bounded.
+  EXPECT_LT(merged_err / 5.0, 0.02);
+  EXPECT_LT(streamed_err / 5.0, 0.02);
+}
+
+TEST(MergeabilityTest, MisraGriesMergedKeepsGuarantee) {
+  ZipfGenerator zipf(50000, 1.4, 11);
+  ExactFrequencies exact;
+  std::vector<MisraGries> leaves;
+  for (int i = 0; i < 16; ++i) leaves.emplace_back(100);
+  const int64_t n = 160000;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t item = zipf.Next();
+    exact.Update(item);
+    leaves[i % 16].Update(item);
+  }
+  auto merged = AggregateTree(std::move(leaves));
+  ASSERT_TRUE(merged.ok());
+  // Undercount bounded by N/k even after 16-way merge.
+  for (const auto& [item, count] : exact.TopK(10)) {
+    EXPECT_LE(merged.value().EstimateCount(item), count);
+    EXPECT_GE(merged.value().EstimateCount(item) +
+                  merged.value().ErrorBound(),
+              count);
+  }
+}
+
+// ------------------------------------------------------ Concurrent wrapper
+
+TEST(ConcurrentSummaryTest, SingleThreadMatchesPlain) {
+  HyperLogLog plain(11, 5);
+  ConcurrentSummary<HyperLogLog> concurrent(HyperLogLog(11, 5));
+  for (uint64_t item : DistinctItems(50000, 6)) {
+    plain.Update(item);
+    concurrent.Update(item);
+  }
+  EXPECT_DOUBLE_EQ(concurrent.Snapshot().Count(), plain.Count());
+}
+
+TEST(ConcurrentSummaryTest, MultiThreadedUpdatesAllLand) {
+  ConcurrentSummary<HyperLogLog> concurrent(HyperLogLog(12, 7));
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&concurrent, t] {
+      for (uint64_t item :
+           DistinctItems(kPerThread, 1000 + static_cast<uint64_t>(t))) {
+        concurrent.Update(item);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double expected = kThreads * kPerThread;
+  EXPECT_NEAR(concurrent.Snapshot().Count(), expected, 0.06 * expected);
+}
+
+TEST(ConcurrentSummaryTest, SnapshotWhileWriting) {
+  ConcurrentSummary<HyperLogLog> concurrent(HyperLogLog(10, 8));
+  std::thread writer([&concurrent] {
+    for (uint64_t item : DistinctItems(200000, 9)) concurrent.Update(item);
+  });
+  // Concurrent snapshots must be monotone non-decreasing and never crash.
+  double last = 0;
+  int decreases = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double now = concurrent.Snapshot().Count();
+    if (now + 1e-9 < last) ++decreases;
+    last = now;
+  }
+  writer.join();
+  EXPECT_EQ(decreases, 0);
+  EXPECT_NEAR(concurrent.Snapshot().Count(), 200000.0, 0.07 * 200000);
+}
+
+TEST(MergeabilityTest, KmvMergedEqualsStreamed) {
+  const auto items = DistinctItems(100000, 12);
+  KmvSketch streamed(512, 13);
+  std::vector<KmvSketch> leaves;
+  for (int i = 0; i < 16; ++i) leaves.emplace_back(512, 13);
+  for (size_t i = 0; i < items.size(); ++i) {
+    streamed.Update(items[i]);
+    leaves[i % 16].Update(items[i]);
+  }
+  auto merged = AggregateTree(std::move(leaves));
+  ASSERT_TRUE(merged.ok());
+  EXPECT_DOUBLE_EQ(merged.value().Count(), streamed.Count());
+}
+
+}  // namespace
+}  // namespace gems

@@ -1,0 +1,293 @@
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cardinality/hyperloglog.h"
+#include "engine/exponential_histogram.h"
+#include "engine/sliding_window.h"
+#include "engine/stream_query.h"
+#include "frequency/count_min.h"
+#include "workload/baselines.h"
+#include "workload/generators.h"
+
+namespace gems {
+namespace {
+
+StreamEvent Event(uint64_t ts, uint64_t group, uint64_t item,
+                  int64_t value = 1) {
+  return StreamEvent{ts, group, item, value};
+}
+
+TEST(StreamQueryTest, CountDistinctPerGroup) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  StreamQuery query(options, 1);
+  // Group 0 sees 100 distinct items; group 1 sees 10 (each 10 times).
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(query.Process(Event(i, 0, i)).ok());
+  }
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(query.Process(Event(100 + rep, 1, i)).ok());
+    }
+  }
+  const auto windows = query.Flush();
+  ASSERT_EQ(windows.size(), 1u);
+  ASSERT_EQ(windows[0].groups.size(), 2u);
+  EXPECT_NEAR(windows[0].groups[0].scalar, 100.0, 10.0);
+  EXPECT_NEAR(windows[0].groups[1].scalar, 10.0, 3.0);
+}
+
+TEST(StreamQueryTest, TumblingWindowsClose) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kSum;
+  options.window_size = 10;
+  StreamQuery query(options, 2);
+  // Window [0,10): 5 events; window [10,20): 3 events; event at 25 opens
+  // a third window.
+  for (uint64_t ts : {1, 3, 5, 7, 9}) {
+    ASSERT_TRUE(query.Process(Event(ts, 0, 0, 2)).ok());
+  }
+  for (uint64_t ts : {11, 15, 19}) {
+    ASSERT_TRUE(query.Process(Event(ts, 0, 0, 3)).ok());
+  }
+  ASSERT_TRUE(query.Process(Event(25, 0, 0, 1)).ok());
+  const auto closed = query.Poll();
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].window_start, 0u);
+  EXPECT_EQ(closed[0].window_end, 10u);
+  EXPECT_DOUBLE_EQ(closed[0].groups[0].scalar, 10.0);
+  EXPECT_EQ(closed[1].window_start, 10u);
+  EXPECT_DOUBLE_EQ(closed[1].groups[0].scalar, 9.0);
+  // The open window flushes on demand.
+  const auto last = query.Flush();
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_DOUBLE_EQ(last[0].groups[0].scalar, 1.0);
+}
+
+TEST(StreamQueryTest, OutOfOrderTimestampsRejected) {
+  StreamQuery::Options options;
+  StreamQuery query(options, 3);
+  ASSERT_TRUE(query.Process(Event(100, 0, 0)).ok());
+  EXPECT_EQ(query.Process(Event(50, 0, 0)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamQueryTest, FiltersDropEvents) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kSum;
+  StreamQuery query(options, 4);
+  query.AddFilter([](const StreamEvent& e) { return e.value > 10; });
+  ASSERT_TRUE(query.Process(Event(0, 0, 0, 5)).ok());    // Dropped.
+  ASSERT_TRUE(query.Process(Event(1, 0, 0, 50)).ok());   // Kept.
+  ASSERT_TRUE(query.Process(Event(2, 0, 0, 7)).ok());    // Dropped.
+  const auto windows = query.Flush();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].groups[0].scalar, 50.0);
+}
+
+TEST(StreamQueryTest, TopKFindsElephantFlows) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kTopK;
+  options.top_k = 3;
+  options.top_k_capacity = 32;
+  StreamQuery query(options, 5);
+  // Group 7: item 1 heavy (1000), item 2 medium (500), rest light.
+  uint64_t ts = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(query.Process(Event(ts++, 7, 1, 1)).ok());
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(query.Process(Event(ts++, 7, 2, 1)).ok());
+  }
+  for (uint64_t item = 10; item < 100; ++item) {
+    ASSERT_TRUE(query.Process(Event(ts++, 7, item, 1)).ok());
+  }
+  const auto windows = query.Flush();
+  ASSERT_EQ(windows.size(), 1u);
+  const auto& top = windows[0].groups[0].top_items;
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 1u);
+  EXPECT_EQ(top[1].first, 2u);
+  EXPECT_GE(top[0].second, 1000);
+}
+
+TEST(StreamQueryTest, QuantilesPerGroup) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kQuantiles;
+  options.quantile_points = {0.5};
+  StreamQuery query(options, 6);
+  for (int i = 0; i < 1001; ++i) {
+    ASSERT_TRUE(query.Process(Event(i, 0, 0, i)).ok());
+  }
+  const auto windows = query.Flush();
+  ASSERT_EQ(windows.size(), 1u);
+  ASSERT_EQ(windows[0].groups[0].quantiles.size(), 1u);
+  EXPECT_NEAR(windows[0].groups[0].quantiles[0], 500.0, 30.0);
+}
+
+TEST(StreamQueryTest, ManyGroupsInParallel) {
+  // The paper's GROUP BY scenario: thousands of simultaneous sketches.
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  options.hll_precision = 8;
+  StreamQuery query(options, 7);
+  const uint64_t num_groups = 2000;
+  for (uint64_t group = 0; group < num_groups; ++group) {
+    for (uint64_t item = 0; item < 20; ++item) {
+      ASSERT_TRUE(query.Process(Event(group, group, item)).ok());
+    }
+  }
+  EXPECT_EQ(query.NumOpenGroups(), num_groups);
+  const auto windows = query.Flush();
+  ASSERT_EQ(windows[0].groups.size(), num_groups);
+  for (const GroupAggregate& aggregate : windows[0].groups) {
+    EXPECT_NEAR(aggregate.scalar, 20.0, 6.0);
+  }
+}
+
+TEST(StreamQueryTest, FlowScanDetectionScenario) {
+  // Integration with the flow generator: per-source distinct destination
+  // counts expose the injected scanner.
+  FlowGenerator::Options flow_options;
+  flow_options.include_scan = true;
+  flow_options.scan_fanout = 300;
+  FlowGenerator generator(flow_options, 8);
+
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  options.hll_precision = 10;
+  StreamQuery query(options, 9);
+  for (int i = 0; i < 100000; ++i) {
+    const FlowRecord record = generator.Next();
+    ASSERT_TRUE(query
+                    .Process(Event(static_cast<uint64_t>(i), record.src_ip,
+                                   record.dst_ip))
+                    .ok());
+  }
+  const auto windows = query.Flush();
+  ASSERT_EQ(windows.size(), 1u);
+  // The scanner (10.0.0.1 = 0x0A000001) must have the highest fan-out.
+  double scanner_fanout = 0, best_other = 0;
+  for (const GroupAggregate& aggregate : windows[0].groups) {
+    if (aggregate.group == 0x0A000001) {
+      scanner_fanout = aggregate.scalar;
+    } else {
+      best_other = std::max(best_other, aggregate.scalar);
+    }
+  }
+  EXPECT_NEAR(scanner_fanout, 300.0, 45.0);
+  EXPECT_GT(scanner_fanout, best_other);
+}
+
+// -------------------------------------------------- Exponential histogram
+
+TEST(ExponentialHistogramTest, ExactWhileSmall) {
+  ExponentialHistogram eh(1000, 0.1);
+  for (uint64_t t = 0; t < 5; ++t) eh.Add(t);
+  EXPECT_EQ(eh.EstimateCount(5), 5u);
+}
+
+TEST(ExponentialHistogramTest, WindowExpiryDropsOldEvents) {
+  ExponentialHistogram eh(100, 0.1);
+  for (uint64_t t = 0; t < 50; ++t) eh.Add(t);
+  // At now = 200 every event (timestamps 0..49) is outside (100, 200].
+  EXPECT_EQ(eh.EstimateCount(200), 0u);
+}
+
+TEST(ExponentialHistogramTest, RelativeErrorBounded) {
+  const uint64_t window = 10000;
+  ExponentialHistogram eh(window, 0.1);
+  // One event per time unit for 50000 units; true count in window = 10000.
+  for (uint64_t t = 0; t < 50000; ++t) eh.Add(t);
+  const double estimate = static_cast<double>(eh.EstimateCount(49999));
+  EXPECT_NEAR(estimate, 10000.0, 0.12 * 10000);
+}
+
+TEST(ExponentialHistogramTest, BurstyArrivals) {
+  ExponentialHistogram eh(1000, 0.05);
+  // Burst of 5000 events at t=0, then silence.
+  for (int i = 0; i < 5000; ++i) eh.Add(0);
+  EXPECT_NEAR(static_cast<double>(eh.EstimateCount(0)), 5000.0,
+              0.06 * 5000);
+  EXPECT_NEAR(static_cast<double>(eh.EstimateCount(999)), 5000.0,
+              0.06 * 5000);
+  EXPECT_EQ(eh.EstimateCount(2000), 0u);
+}
+
+TEST(ExponentialHistogramTest, SpaceIsLogarithmic) {
+  ExponentialHistogram eh(1 << 20, 0.1);
+  for (uint64_t t = 0; t < 200000; ++t) eh.Add(t);
+  // O((1/eps) log(eps N)) buckets: generous cap.
+  EXPECT_LE(eh.NumBuckets(), 400u);
+}
+
+TEST(ExponentialHistogramTest, ErrorShrinksWithEpsilon) {
+  const uint64_t window = 4096;
+  std::vector<double> errors;
+  for (double epsilon : {0.5, 0.05}) {
+    ExponentialHistogram eh(window, epsilon);
+    for (uint64_t t = 0; t < 20000; ++t) eh.Add(t);
+    errors.push_back(std::abs(
+        static_cast<double>(eh.EstimateCount(19999)) - 4096.0));
+  }
+  EXPECT_LT(errors[1], errors[0]);
+}
+
+// ---------------------------------------------------------- Sliding window
+
+TEST(SlidingWindowTest, ExpiresOldPanes) {
+  // Window = 4 panes x 100 units. Items seen in pane 0 must be gone once
+  // time passes 400 units later.
+  SlidingWindowSummary<HyperLogLog> window(HyperLogLog(12, 1), 100, 4);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    window.Update(/*timestamp=*/50, i);  // All in pane 0.
+  }
+  EXPECT_NEAR(window.WindowSummary().Count(), 1000.0, 60.0);
+  // Jump far ahead: pane 0 expires; new items only.
+  for (uint64_t i = 0; i < 100; ++i) {
+    window.Update(/*timestamp=*/1000, 1000000 + i);
+  }
+  EXPECT_NEAR(window.WindowSummary().Count(), 100.0, 15.0);
+  EXPECT_LE(window.NumLivePanes(), 4u);
+}
+
+TEST(SlidingWindowTest, GradualSlideTracksRecentDistincts) {
+  SlidingWindowSummary<HyperLogLog> window(HyperLogLog(12, 2), 10, 10);
+  // 100 time units of window; emit 10 fresh items per unit.
+  uint64_t next_item = 0;
+  for (uint64_t t = 0; t < 500; ++t) {
+    for (int i = 0; i < 10; ++i) window.Update(t, next_item++);
+    if (t >= 100 && t % 50 == 0) {
+      // Steady state: ~1000 distinct items inside the window (100 units x
+      // 10/unit), quantized by one pane (10%).
+      const double estimate = window.WindowSummary().Count();
+      EXPECT_NEAR(estimate, 1000.0, 200.0) << "t = " << t;
+    }
+  }
+}
+
+TEST(SlidingWindowTest, WorksWithCountMin) {
+  SlidingWindowSummary<CountMinSketch> window(CountMinSketch(256, 4, 3), 10,
+                                              5);
+  // Heavy item appears only in the first pane.
+  for (int i = 0; i < 100; ++i) window.Update(0, /*item=*/7, /*weight=*/1);
+  EXPECT_GE(window.WindowSummary().EstimateCount(7), 100u);
+  // After the window slides past, its count drops to zero.
+  window.Advance(1000);
+  EXPECT_EQ(window.WindowSummary().EstimateCount(7), 0u);
+}
+
+TEST(SlidingWindowTest, PaneCountStaysBounded) {
+  SlidingWindowSummary<HyperLogLog> window(HyperLogLog(8, 4), 1, 8);
+  for (uint64_t t = 0; t < 10000; t += 3) {
+    window.Update(t, t);
+    EXPECT_LE(window.NumLivePanes(), 8u);
+  }
+}
+
+}  // namespace
+}  // namespace gems

@@ -1,0 +1,645 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/summary.h"
+#include "frequency/count_min.h"
+#include "frequency/count_sketch.h"
+#include "frequency/dyadic_count_min.h"
+#include "frequency/majority.h"
+#include "frequency/misra_gries.h"
+#include "frequency/space_saving.h"
+#include "workload/baselines.h"
+#include "workload/generators.h"
+#include "workload/metrics.h"
+
+namespace gems {
+namespace {
+
+static_assert(WeightedItemSummary<CountMinSketch>);
+static_assert(MergeableSummary<CountMinSketch>);
+static_assert(WeightedItemSummary<CountSketch>);
+static_assert(MergeableSummary<MisraGries>);
+static_assert(MergeableSummary<SpaceSaving>);
+static_assert(SerializableSummary<CountMinSketch>);
+static_assert(SerializableSummary<MisraGries>);
+static_assert(SerializableSummary<SpaceSaving>);
+
+// --------------------------------------------------------------- CountMin
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMinSketch cm(256, 4, 1);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(10000, 1.1, 1);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t item = zipf.Next();
+    cm.Update(item);
+    exact.Update(item);
+  }
+  for (const auto& [item, count] : exact.TopK(200)) {
+    EXPECT_GE(cm.EstimateCount(item), static_cast<uint64_t>(count));
+  }
+}
+
+TEST(CountMinTest, ErrorWithinL1Bound) {
+  // eps = e/width; estimate <= true + eps*N with prob 1-delta (~1-e^-4).
+  const uint32_t width = 512;
+  CountMinSketch cm(width, 4, 2);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(100000, 1.0, 2);
+  const int64_t n = 100000;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t item = zipf.Next();
+    cm.Update(item);
+    exact.Update(item);
+  }
+  const double eps = std::exp(1.0) / width;
+  int violations = 0;
+  int checked = 0;
+  for (const auto& [item, count] : exact.TopK(500)) {
+    ++checked;
+    if (cm.EstimateCount(item) >
+        static_cast<uint64_t>(count) + static_cast<uint64_t>(eps * n)) {
+      ++violations;
+    }
+  }
+  EXPECT_LE(violations, checked / 20);
+}
+
+TEST(CountMinTest, ExactWhenNoCollisions) {
+  CountMinSketch cm(4096, 4, 3);
+  for (uint64_t item = 0; item < 10; ++item) cm.Update(item, item + 1);
+  for (uint64_t item = 0; item < 10; ++item) {
+    EXPECT_EQ(cm.EstimateCount(item), item + 1);
+  }
+  EXPECT_EQ(cm.EstimateCount(9999), 0u);
+}
+
+TEST(CountMinTest, WeightedUpdates) {
+  CountMinSketch cm(1024, 4, 4);
+  cm.Update(5, 1000);
+  cm.Update(5, 234);
+  EXPECT_GE(cm.EstimateCount(5), 1234u);
+  EXPECT_EQ(cm.TotalWeight(), 1234);
+}
+
+TEST(CountMinTest, ForGuaranteeDimensions) {
+  CountMinSketch cm = CountMinSketch::ForGuarantee(0.01, 0.01, 0);
+  EXPECT_GE(cm.width(), 271u);  // e/0.01 ~ 271.8.
+  EXPECT_GE(cm.depth(), 4u);    // ln(100) ~ 4.6.
+}
+
+TEST(CountMinTest, ConservativeUpdateNeverWorse) {
+  CountMinSketch plain(128, 4, 5);
+  CountMinSketch conservative(128, 4, 5, /*conservative_update=*/true);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(5000, 1.1, 5);
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t item = zipf.Next();
+    plain.Update(item);
+    conservative.Update(item);
+    exact.Update(item);
+  }
+  double plain_err = 0, cons_err = 0;
+  int underestimates = 0;
+  for (const auto& [item, count] : exact.TopK(300)) {
+    plain_err += static_cast<double>(plain.EstimateCount(item)) - count;
+    cons_err +=
+        static_cast<double>(conservative.EstimateCount(item)) - count;
+    if (conservative.EstimateCount(item) < static_cast<uint64_t>(count)) {
+      ++underestimates;
+    }
+  }
+  EXPECT_LE(cons_err, plain_err);
+  EXPECT_EQ(underestimates, 0);  // Conservative update stays one-sided.
+}
+
+TEST(CountMinTest, CountEstimateIntervalContainsTruth) {
+  CountMinSketch cm(64, 4, 6);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(1000, 1.0, 6);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t item = zipf.Next();
+    cm.Update(item);
+    exact.Update(item);
+  }
+  for (const auto& [item, count] : exact.TopK(50)) {
+    Estimate e = cm.CountEstimate(item);
+    EXPECT_LE(e.lower, static_cast<double>(count));
+    EXPECT_GE(e.upper + 1e-9, static_cast<double>(count));
+  }
+}
+
+TEST(CountMinTest, InnerProductApproximatesDot) {
+  CountMinSketch a(2048, 5, 7), b(2048, 5, 7);
+  ExactFrequencies ea, eb;
+  ZipfGenerator za(500, 1.0, 8), zb(500, 1.0, 9);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t x = za.Next(), y = zb.Next();
+    a.Update(x);
+    ea.Update(x);
+    b.Update(y);
+    eb.Update(y);
+  }
+  double truth = 0;
+  for (const auto& [item, count] : ea.TopK(500)) {
+    truth += static_cast<double>(count) * eb.Count(item);
+  }
+  auto estimate = a.InnerProduct(b);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GE(estimate.value(), truth * 0.99);
+  EXPECT_LE(estimate.value(), truth + 2.72 / 2048 * 20000.0 * 20000.0);
+}
+
+TEST(CountMinTest, CountMeanMinBeatsMinOnTail) {
+  CountMinSketch cm(256, 5, 40);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(50000, 1.1, 40);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t item = zipf.Next();
+    cm.Update(item);
+    exact.Update(item);
+  }
+  const auto top = exact.TopK(2000);
+  double min_err = 0, cmm_err = 0;
+  int counted = 0;
+  for (size_t rank = 500; rank < top.size(); ++rank) {  // Tail items.
+    const auto& [item, count] = top[rank];
+    min_err +=
+        std::abs(static_cast<double>(cm.EstimateCount(item)) - count);
+    cmm_err += std::abs(
+        static_cast<double>(cm.EstimateCountMeanMin(item)) - count);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LT(cmm_err, min_err);
+}
+
+TEST(CountMinTest, CountMeanMinStaysInEnvelope) {
+  CountMinSketch cm(64, 4, 41);
+  ZipfGenerator zipf(1000, 1.0, 41);
+  for (int i = 0; i < 20000; ++i) cm.Update(zipf.Next());
+  for (uint64_t item = 0; item < 200; ++item) {
+    const int64_t cmm = cm.EstimateCountMeanMin(item);
+    EXPECT_GE(cmm, 0);
+    EXPECT_LE(cmm, static_cast<int64_t>(cm.EstimateCount(item)));
+  }
+}
+
+TEST(CountMinTest, MergeEqualsSingleStream) {
+  CountMinSketch a(256, 4, 10), b(256, 4, 10), whole(256, 4, 10);
+  ZipfGenerator zipf(2000, 1.1, 10);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t item = zipf.Next();
+    whole.Update(item);
+    (i % 2 == 0 ? a : b).Update(item);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  for (uint64_t item = 0; item < 100; ++item) {
+    EXPECT_EQ(a.EstimateCount(item), whole.EstimateCount(item));
+  }
+  EXPECT_EQ(a.TotalWeight(), whole.TotalWeight());
+}
+
+TEST(CountMinTest, SerializeRoundTrip) {
+  CountMinSketch cm(128, 4, 11);
+  ZipfGenerator zipf(1000, 1.2, 11);
+  for (int i = 0; i < 5000; ++i) cm.Update(zipf.Next());
+  auto r = CountMinSketch::Deserialize(cm.Serialize());
+  ASSERT_TRUE(r.ok());
+  for (uint64_t item = 0; item < 50; ++item) {
+    EXPECT_EQ(r.value().EstimateCount(item), cm.EstimateCount(item));
+  }
+}
+
+TEST(CountMinHeavyHittersTest, FindsTopItems) {
+  CountMinHeavyHitters hh(1024, 4, 20, 12);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(10000, 1.3, 12);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t item = zipf.Next();
+    hh.Update(item);
+    exact.Update(item);
+  }
+  std::vector<uint64_t> truth;
+  for (const auto& [item, count] : exact.TopK(10)) truth.push_back(item);
+  std::vector<uint64_t> retrieved;
+  for (const auto& [item, count] : hh.TopK()) retrieved.push_back(item);
+  RetrievalQuality q = CompareSets(retrieved, truth);
+  EXPECT_GE(q.recall, 0.9);
+}
+
+// ------------------------------------------------------------ CountSketch
+
+TEST(CountSketchTest, UnbiasedNearZeroForAbsent) {
+  CountSketch cs(1024, 5, 13);
+  ZipfGenerator zipf(1000, 1.1, 13);
+  for (int i = 0; i < 20000; ++i) cs.Update(zipf.Next());
+  // An absent item should estimate near zero relative to N.
+  EXPECT_LT(std::abs(cs.EstimateCount(0xDEADBEEFCAFEULL)), 2000);
+}
+
+TEST(CountSketchTest, SupportsNegativeUpdatesExactCancellation) {
+  CountSketch cs(256, 5, 14);
+  cs.Update(7, 100);
+  cs.Update(7, -100);
+  EXPECT_EQ(cs.EstimateCount(7), 0);
+}
+
+TEST(CountSketchTest, AccurateOnSkewedData) {
+  CountSketch cs(2048, 5, 15);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(100000, 1.3, 15);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t item = zipf.Next();
+    cs.Update(item);
+    exact.Update(item);
+  }
+  for (const auto& [item, count] : exact.TopK(20)) {
+    EXPECT_NEAR(static_cast<double>(cs.EstimateCount(item)),
+                static_cast<double>(count), 0.15 * count + 50);
+  }
+}
+
+TEST(CountSketchTest, BeatsCountMinOnHighSkew) {
+  // The E3 headline: with equal space, Count sketch's L2 guarantee wins on
+  // skewed streams for mid-frequency items.
+  const int n = 200000;
+  CountSketch cs(512, 5, 16);
+  CountMinSketch cm(512, 5, 16);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(100000, 1.4, 16);
+  for (int i = 0; i < n; ++i) {
+    const uint64_t item = zipf.Next();
+    cs.Update(item);
+    cm.Update(item);
+    exact.Update(item);
+  }
+  double cs_err = 0, cm_err = 0;
+  const auto top = exact.TopK(500);
+  for (size_t rank = 100; rank < top.size(); ++rank) {  // Mid-tail items.
+    const auto& [item, count] = top[rank];
+    cs_err += std::abs(static_cast<double>(cs.EstimateCount(item)) - count);
+    cm_err += std::abs(static_cast<double>(cm.EstimateCount(item)) - count);
+  }
+  EXPECT_LT(cs_err, cm_err);
+}
+
+TEST(CountSketchTest, F2EstimateMatchesExact) {
+  CountSketch cs(4096, 5, 17);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(10000, 1.1, 17);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t item = zipf.Next();
+    cs.Update(item);
+    exact.Update(item);
+  }
+  EXPECT_NEAR(cs.EstimateF2(), exact.F2(), 0.1 * exact.F2());
+}
+
+TEST(CountSketchTest, MergeEqualsSingleStream) {
+  CountSketch a(256, 5, 18), b(256, 5, 18), whole(256, 5, 18);
+  ZipfGenerator zipf(2000, 1.1, 18);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t item = zipf.Next();
+    whole.Update(item);
+    (i % 2 == 0 ? a : b).Update(item);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  for (uint64_t item = 0; item < 100; ++item) {
+    EXPECT_EQ(a.EstimateCount(item), whole.EstimateCount(item));
+  }
+}
+
+TEST(CountSketchTest, SerializeRoundTrip) {
+  CountSketch cs(128, 3, 19);
+  cs.Update(1, 10);
+  cs.Update(2, -5);
+  auto r = CountSketch::Deserialize(cs.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().EstimateCount(1), cs.EstimateCount(1));
+  EXPECT_EQ(r.value().EstimateCount(2), cs.EstimateCount(2));
+}
+
+// ------------------------------------------------------------- MisraGries
+
+TEST(MisraGriesTest, NeverOverestimates) {
+  MisraGries mg(100);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(10000, 1.2, 20);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t item = zipf.Next();
+    mg.Update(item);
+    exact.Update(item);
+  }
+  for (const auto& [item, count] : mg.Entries()) {
+    EXPECT_LE(count, exact.Count(item));
+  }
+}
+
+TEST(MisraGriesTest, UndercountBoundedByNOverK) {
+  const size_t k = 100;
+  MisraGries mg(k);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(10000, 1.2, 21);
+  const int64_t n = 50000;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t item = zipf.Next();
+    mg.Update(item);
+    exact.Update(item);
+  }
+  EXPECT_LE(mg.ErrorBound(), n / static_cast<int64_t>(k) + 1);
+  for (const auto& [item, count] : exact.TopK(20)) {
+    EXPECT_GE(mg.EstimateCount(item) + mg.ErrorBound(), count);
+  }
+}
+
+TEST(MisraGriesTest, GuaranteedRecallOfHeavyItems) {
+  MisraGries mg(99);  // k-1 counters for k = 100 -> catches > N/100 items.
+  ExactFrequencies exact;
+  ZipfGenerator zipf(100000, 1.5, 22);
+  const int64_t n = 100000;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t item = zipf.Next();
+    mg.Update(item);
+    exact.Update(item);
+  }
+  const double phi = 0.01;
+  const auto truth = exact.ItemsAbove(static_cast<int64_t>(phi * n) + 1);
+  const auto candidates = mg.HeavyHitterCandidates(phi);
+  RetrievalQuality q = CompareSets(candidates, truth);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);  // No false negatives, ever.
+}
+
+TEST(MisraGriesTest, WeightedUpdates) {
+  MisraGries mg(10);
+  mg.Update(1, 100);
+  mg.Update(2, 50);
+  EXPECT_EQ(mg.EstimateCount(1), 100);
+  EXPECT_EQ(mg.EstimateCount(2), 50);
+  EXPECT_EQ(mg.TotalWeight(), 150);
+}
+
+TEST(MisraGriesTest, EvictionPath) {
+  MisraGries mg(2);
+  mg.Update(1, 5);
+  mg.Update(2, 3);
+  mg.Update(3, 4);  // Decrements all by 3: {1:2, 3:1}.
+  EXPECT_EQ(mg.EstimateCount(1), 2);
+  EXPECT_EQ(mg.EstimateCount(2), 0);
+  EXPECT_EQ(mg.EstimateCount(3), 1);
+  EXPECT_EQ(mg.ErrorBound(), 3);
+}
+
+TEST(MisraGriesTest, MergePreservesGuarantees) {
+  MisraGries a(50), b(50);
+  ExactFrequencies exact;
+  ZipfGenerator za(5000, 1.3, 23), zb(5000, 1.3, 24);
+  const int64_t n = 40000;
+  for (int64_t i = 0; i < n / 2; ++i) {
+    uint64_t x = za.Next(), y = zb.Next();
+    a.Update(x);
+    exact.Update(x);
+    b.Update(y);
+    exact.Update(y);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_LE(a.NumTracked(), 50u);
+  // Still never overestimates, and undercount stays bounded.
+  for (const auto& [item, count] : a.Entries()) {
+    EXPECT_LE(count, exact.Count(item));
+  }
+  for (const auto& [item, count] : exact.TopK(10)) {
+    EXPECT_GE(a.EstimateCount(item) + a.ErrorBound(), count);
+  }
+}
+
+TEST(MisraGriesTest, SerializeRoundTrip) {
+  MisraGries mg(20);
+  ZipfGenerator zipf(100, 1.0, 25);
+  for (int i = 0; i < 1000; ++i) mg.Update(zipf.Next());
+  auto r = MisraGries::Deserialize(mg.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Entries(), mg.Entries());
+  EXPECT_EQ(r.value().ErrorBound(), mg.ErrorBound());
+}
+
+// ------------------------------------------------------------ SpaceSaving
+
+TEST(SpaceSavingTest, AlwaysOverestimatesWithBoundedError) {
+  SpaceSaving ss(100);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(10000, 1.2, 26);
+  const int64_t n = 50000;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t item = zipf.Next();
+    ss.Update(item);
+    exact.Update(item);
+  }
+  for (const auto& entry : ss.Entries()) {
+    const int64_t truth = exact.Count(entry.item);
+    EXPECT_GE(entry.count, truth);
+    EXPECT_LE(entry.count - truth, entry.error);
+    EXPECT_LE(entry.error, n / 100);
+  }
+}
+
+TEST(SpaceSavingTest, TopKMatchesTruthOnSkewedStream) {
+  SpaceSaving ss(200);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(100000, 1.4, 27);
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t item = zipf.Next();
+    ss.Update(item);
+    exact.Update(item);
+  }
+  std::vector<uint64_t> truth, retrieved;
+  for (const auto& [item, count] : exact.TopK(20)) truth.push_back(item);
+  for (const auto& entry : ss.TopK(20)) retrieved.push_back(entry.item);
+  RetrievalQuality q = CompareSets(retrieved, truth);
+  EXPECT_GE(q.recall, 0.9);
+}
+
+TEST(SpaceSavingTest, GuaranteedExactFlagIsSound) {
+  SpaceSaving ss(50);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(2000, 1.3, 28);
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t item = zipf.Next();
+    ss.Update(item);
+    exact.Update(item);
+  }
+  for (const auto& entry : ss.Entries()) {
+    if (ss.IsGuaranteedExact(entry.item)) {
+      EXPECT_EQ(entry.count, exact.Count(entry.item));
+    }
+  }
+}
+
+TEST(SpaceSavingTest, CapacityIsRespected) {
+  SpaceSaving ss(10);
+  for (uint64_t item = 0; item < 1000; ++item) ss.Update(item);
+  EXPECT_EQ(ss.NumTracked(), 10u);
+  EXPECT_EQ(ss.TotalWeight(), 1000);
+}
+
+TEST(SpaceSavingTest, HeavyHitterRecallIsPerfect) {
+  SpaceSaving ss(1000);  // capacity 1/phi with phi = 0.001.
+  ExactFrequencies exact;
+  ZipfGenerator zipf(100000, 1.2, 29);
+  const int64_t n = 200000;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t item = zipf.Next();
+    ss.Update(item);
+    exact.Update(item);
+  }
+  const double phi = 0.001;
+  const auto truth = exact.ItemsAbove(static_cast<int64_t>(phi * n) + 1);
+  RetrievalQuality q = CompareSets(ss.HeavyHitterCandidates(phi), truth);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+}
+
+TEST(SpaceSavingTest, MergeKeepsOverestimateProperty) {
+  SpaceSaving a(100), b(100);
+  ExactFrequencies exact;
+  ZipfGenerator za(5000, 1.3, 30), zb(5000, 1.3, 31);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t x = za.Next(), y = zb.Next();
+    a.Update(x);
+    exact.Update(x);
+    b.Update(y);
+    exact.Update(y);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_LE(a.NumTracked(), 100u);
+  for (const auto& entry : a.TopK(20)) {
+    EXPECT_GE(entry.count, exact.Count(entry.item));
+  }
+}
+
+TEST(SpaceSavingTest, SerializeRoundTrip) {
+  SpaceSaving ss(30);
+  ZipfGenerator zipf(500, 1.1, 32);
+  for (int i = 0; i < 5000; ++i) ss.Update(zipf.Next());
+  auto r = SpaceSaving::Deserialize(ss.Serialize());
+  ASSERT_TRUE(r.ok());
+  const auto before = ss.Entries();
+  const auto after = r.value().Entries();
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].item, after[i].item);
+    EXPECT_EQ(before[i].count, after[i].count);
+    EXPECT_EQ(before[i].error, after[i].error);
+  }
+}
+
+// ---------------------------------------------------------------- Majority
+
+TEST(MajorityTest, FindsStrictMajority) {
+  MajorityVote mv;
+  for (int i = 0; i < 60; ++i) mv.Update(7);
+  for (int i = 0; i < 40; ++i) mv.Update(static_cast<uint64_t>(i + 100));
+  ASSERT_TRUE(mv.Candidate().has_value());
+  EXPECT_EQ(*mv.Candidate(), 7u);
+}
+
+TEST(MajorityTest, EmptyHasNoCandidate) {
+  MajorityVote mv;
+  EXPECT_FALSE(mv.Candidate().has_value());
+}
+
+TEST(MajorityTest, InterleavedMajoritySurvives) {
+  MajorityVote mv;
+  for (int i = 0; i < 50; ++i) {
+    mv.Update(1);
+    mv.Update(static_cast<uint64_t>(i + 10));
+    mv.Update(1);
+  }
+  EXPECT_EQ(*mv.Candidate(), 1u);
+  EXPECT_EQ(mv.TotalSeen(), 150u);
+}
+
+// --------------------------------------------------------- Dyadic CountMin
+
+TEST(DyadicCountMinTest, RangeSumOverestimatesBounded) {
+  DyadicCountMin dcm(16, 2048, 4, 33);
+  ExactFrequencies exact;
+  UniformItemGenerator gen(1 << 16, 33);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t x = gen.Next();
+    dcm.Update(x);
+    exact.Update(x);
+  }
+  // Check a few ranges against the exact counts.
+  struct Range {
+    uint64_t lo, hi;
+  };
+  for (const Range& range : {Range{0, 999}, Range{1000, 65535},
+                             Range{12345, 23456}, Range{40000, 40000}}) {
+    int64_t truth = 0;
+    for (uint64_t x = range.lo; x <= range.hi; ++x) truth += exact.Count(x);
+    const uint64_t estimate = dcm.EstimateRangeSum(range.lo, range.hi);
+    EXPECT_GE(estimate, static_cast<uint64_t>(truth));
+    EXPECT_LE(estimate,
+              static_cast<uint64_t>(truth) + n / 50 + 100);
+  }
+}
+
+TEST(DyadicCountMinTest, FullRangeEqualsTotal) {
+  DyadicCountMin dcm(10, 512, 4, 34);
+  for (uint64_t x = 0; x < 1024; ++x) dcm.Update(x, 2);
+  EXPECT_GE(dcm.EstimateRangeSum(0, 1023), 2048u);
+}
+
+TEST(DyadicCountMinTest, QuantilesOnUniformData) {
+  DyadicCountMin dcm(16, 4096, 4, 35);
+  UniformItemGenerator gen(1 << 16, 35);
+  for (int i = 0; i < 100000; ++i) dcm.Update(gen.Next());
+  const uint64_t median = dcm.EstimateQuantile(0.5);
+  EXPECT_NEAR(static_cast<double>(median), 32768.0, 3000.0);
+  const uint64_t p90 = dcm.EstimateQuantile(0.9);
+  EXPECT_NEAR(static_cast<double>(p90), 0.9 * 65536, 3000.0);
+  EXPECT_LE(dcm.EstimateQuantile(0.0), dcm.EstimateQuantile(1.0));
+}
+
+TEST(DyadicCountMinTest, MergeAddsRanges) {
+  DyadicCountMin a(8, 256, 4, 36), b(8, 256, 4, 36);
+  for (uint64_t x = 0; x < 128; ++x) a.Update(x);
+  for (uint64_t x = 128; x < 256; ++x) b.Update(x);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_GE(a.EstimateRangeSum(0, 255), 256u);
+  EXPECT_EQ(a.TotalWeight(), 256);
+}
+
+// ----------------------------------- MG vs SpaceSaving duality (paper note)
+
+TEST(FrequencyDualityTest, SpaceSavingEqualsMisraGriesPlusOffset) {
+  // Metwally et al.'s SS and Misra-Gries track the same items with counts
+  // differing by bounded offsets; verify both recover the same top items.
+  SpaceSaving ss(64);
+  MisraGries mg(64);
+  ZipfGenerator zipf(10000, 1.3, 37);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t item = zipf.Next();
+    ss.Update(item);
+    mg.Update(item);
+  }
+  std::vector<uint64_t> ss_top, mg_top;
+  for (const auto& entry : ss.TopK(10)) ss_top.push_back(entry.item);
+  int taken = 0;
+  for (const auto& [item, count] : mg.Entries()) {
+    if (taken++ >= 10) break;
+    mg_top.push_back(item);
+  }
+  RetrievalQuality q = CompareSets(ss_top, mg_top);
+  EXPECT_GE(q.f1, 0.8);
+}
+
+}  // namespace
+}  // namespace gems

@@ -1,0 +1,232 @@
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/agm.h"
+#include "graph/connectivity.h"
+#include "graph/union_find.h"
+
+namespace gems {
+namespace {
+
+// -------------------------------------------------------------- UnionFind
+
+TEST(UnionFindTest, BasicOperations) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumComponents(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_EQ(uf.NumComponents(), 3u);
+  EXPECT_FALSE(uf.Union(0, 1));  // Already joined.
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_NE(uf.Find(0), uf.Find(2));
+  EXPECT_TRUE(uf.Union(1, 3));
+  EXPECT_EQ(uf.Find(0), uf.Find(2));
+  EXPECT_EQ(uf.NumComponents(), 2u);
+}
+
+TEST(UnionFindTest, PathCompressionKeepsAnswersStable) {
+  UnionFind uf(1000);
+  for (size_t i = 1; i < 1000; ++i) uf.Union(i - 1, i);
+  EXPECT_EQ(uf.NumComponents(), 1u);
+  const size_t root = uf.Find(0);
+  for (size_t i = 0; i < 1000; ++i) EXPECT_EQ(uf.Find(i), root);
+}
+
+// ------------------------------------------------------------- ExactGraph
+
+TEST(ExactGraphTest, ComponentsAndDeletion) {
+  ExactGraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  EXPECT_EQ(g.NumComponents(), 3u);  // {0,1,2}, {3,4}, {5}.
+  g.RemoveEdge(1, 2);
+  EXPECT_EQ(g.NumComponents(), 4u);
+  EXPECT_EQ(g.Edges().size(), 2u);
+}
+
+TEST(ExactGraphTest, DuplicateEdgesSurviveOneRemoval) {
+  ExactGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  g.RemoveEdge(0, 1);
+  EXPECT_EQ(g.NumComponents(), 2u);  // One multiplicity remains.
+}
+
+TEST(GraphGeneratorsTest, PlantedComponentsAreConnected) {
+  const auto edges = PlantedComponents(100, 4, 1.0, 7);
+  ExactGraph g(100);
+  for (const Edge& edge : edges) g.AddEdge(edge.u, edge.v);
+  EXPECT_EQ(g.NumComponents(), 4u);
+}
+
+TEST(GraphGeneratorsTest, RandomGraphEdgeCount) {
+  const auto edges = RandomGraph(100, 0.1, 8);
+  const double expected = 0.1 * 100 * 99 / 2;
+  EXPECT_NEAR(static_cast<double>(edges.size()), expected, 80);
+}
+
+// -------------------------------------------------------------------- AGM
+
+TEST(AgmTest, EdgeCodecRoundTrip) {
+  AgmSketch sketch(100, 1);
+  for (uint32_t u = 0; u < 10; ++u) {
+    for (uint32_t v = u + 1; v < 10; ++v) {
+      const Edge edge = sketch.DecodeEdge(sketch.EncodeEdge(u, v));
+      EXPECT_EQ(edge.u, u);
+      EXPECT_EQ(edge.v, v);
+    }
+  }
+  // Encode is symmetric.
+  EXPECT_EQ(sketch.EncodeEdge(3, 7), sketch.EncodeEdge(7, 3));
+}
+
+TEST(AgmTest, SingleEdgeSpanningForest) {
+  AgmSketch sketch(4, 2);
+  sketch.AddEdge(1, 2);
+  const auto forest = sketch.SpanningForest();
+  ASSERT_EQ(forest.size(), 1u);
+  EXPECT_EQ(forest[0].u, 1u);
+  EXPECT_EQ(forest[0].v, 2u);
+  EXPECT_EQ(sketch.NumComponents(), 3u);  // {1,2}, {0}, {3}.
+}
+
+TEST(AgmTest, PathGraphFullyConnected) {
+  const uint32_t n = 64;
+  AgmSketch sketch(n, 3);
+  for (uint32_t i = 0; i + 1 < n; ++i) sketch.AddEdge(i, i + 1);
+  EXPECT_EQ(sketch.NumComponents(), 1u);
+}
+
+TEST(AgmTest, RecoversPlantedComponentCount) {
+  const uint32_t n = 128;
+  int correct = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    AgmSketch sketch(n, 100 + trial);
+    const auto edges = PlantedComponents(n, 4, 1.0, 200 + trial);
+    for (const Edge& edge : edges) sketch.AddEdge(edge.u, edge.v);
+    if (sketch.NumComponents() == 4) ++correct;
+  }
+  EXPECT_GE(correct, 4);  // W.h.p. every trial succeeds.
+}
+
+TEST(AgmTest, DynamicDeletionsChangeConnectivity) {
+  // Build two triangles joined by one bridge; deleting the bridge must
+  // split the graph — the dynamic-graph capability unique to AGM.
+  AgmSketch sketch(6, 4);
+  ExactGraph exact(6);
+  auto add = [&](uint32_t u, uint32_t v) {
+    sketch.AddEdge(u, v);
+    exact.AddEdge(u, v);
+  };
+  add(0, 1);
+  add(1, 2);
+  add(2, 0);
+  add(3, 4);
+  add(4, 5);
+  add(5, 3);
+  add(2, 3);  // Bridge.
+  EXPECT_EQ(sketch.NumComponents(), 1u);
+  sketch.RemoveEdge(2, 3);
+  exact.RemoveEdge(2, 3);
+  EXPECT_EQ(exact.NumComponents(), 2u);
+  EXPECT_EQ(sketch.NumComponents(), 2u);
+}
+
+TEST(AgmTest, CancellationLeavesEmptyGraph) {
+  AgmSketch sketch(10, 5);
+  sketch.AddEdge(1, 2);
+  sketch.AddEdge(3, 4);
+  sketch.RemoveEdge(1, 2);
+  sketch.RemoveEdge(3, 4);
+  EXPECT_TRUE(sketch.SpanningForest().empty());
+  EXPECT_EQ(sketch.NumComponents(), 10u);
+}
+
+TEST(AgmTest, MergeCombinesEdgeSets) {
+  // Node A saw edges of the left half, node B the right half plus bridge;
+  // merged sketch must see the whole connected path.
+  const uint32_t n = 32;
+  AgmSketch a(n, 6), b(n, 6);
+  for (uint32_t i = 0; i + 1 < n / 2; ++i) a.AddEdge(i, i + 1);
+  for (uint32_t i = n / 2; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  b.AddEdge(n / 2 - 1, n / 2);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.NumComponents(), 1u);
+}
+
+TEST(AgmTest, MergeRejectsMismatchedConfig) {
+  AgmSketch a(10, 1), b(10, 2), c(20, 1);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(AgmTest, SerializeRoundTripPreservesConnectivity) {
+  const uint32_t n = 64;
+  AgmSketch::Options options;
+  options.num_copies = 8;
+  AgmSketch sketch(n, 8, options);
+  const auto edges = PlantedComponents(n, 3, 0.8, 10);
+  for (const Edge& edge : edges) sketch.AddEdge(edge.u, edge.v);
+
+  auto restored = AgmSketch::Deserialize(sketch.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().NumComponents(), sketch.NumComponents());
+  EXPECT_EQ(restored.value().NumComponents(), 3u);
+}
+
+TEST(AgmTest, DistributedWorkersShipSketchesToCoordinator) {
+  // The AGM communication pattern: 4 workers each see a quarter of the
+  // edges, serialize their sketches, and the coordinator merges the
+  // deserialized copies to answer global connectivity.
+  const uint32_t n = 64;
+  const auto edges = PlantedComponents(n, 2, 1.0, 11);
+  std::vector<AgmSketch> workers;
+  for (int w = 0; w < 4; ++w) workers.emplace_back(n, 12);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    workers[i % 4].AddEdge(edges[i].u, edges[i].v);
+  }
+  auto coordinator = AgmSketch::Deserialize(workers[0].Serialize());
+  ASSERT_TRUE(coordinator.ok());
+  for (int w = 1; w < 4; ++w) {
+    auto shipped = AgmSketch::Deserialize(workers[w].Serialize());
+    ASSERT_TRUE(shipped.ok());
+    ASSERT_TRUE(coordinator.value().Merge(shipped.value()).ok());
+  }
+  EXPECT_EQ(coordinator.value().NumComponents(), 2u);
+}
+
+TEST(AgmTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(AgmSketch::Deserialize({0xFF, 0x00, 0x12}).ok());
+}
+
+TEST(AgmTest, ComponentLabelsMatchExact) {
+  const uint32_t n = 96;
+  AgmSketch sketch(n, 7);
+  ExactGraph exact(n);
+  const auto edges = PlantedComponents(n, 3, 0.5, 9);
+  for (const Edge& edge : edges) {
+    sketch.AddEdge(edge.u, edge.v);
+    exact.AddEdge(edge.u, edge.v);
+  }
+  const auto sketch_labels = sketch.ConnectedComponents();
+  const auto exact_labels = exact.ComponentLabels();
+  // Labels may differ, but the partition must be identical: same label in
+  // the sketch iff same label exactly.
+  int mismatches = 0;
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      const bool same_sketch = sketch_labels[u] == sketch_labels[v];
+      const bool same_exact = exact_labels[u] == exact_labels[v];
+      if (same_sketch != same_exact) ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+}  // namespace
+}  // namespace gems

@@ -1,0 +1,245 @@
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "hash/hash.h"
+#include "hash/murmur3.h"
+#include "hash/polynomial.h"
+#include "hash/tabulation.h"
+#include "hash/xxhash.h"
+
+namespace gems {
+namespace {
+
+// ----------------------------------------------------------------- XXH64
+
+TEST(XxHashTest, KnownVectors) {
+  // Reference vectors from the xxHash specification.
+  EXPECT_EQ(XxHash64(nullptr, 0, 0), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(XxHash64(nullptr, 0, 1), 0xD5AFBA1336A3BE4BULL);
+  const char* abc = "abc";
+  EXPECT_EQ(XxHash64(abc, 3, 0), 0x44BC2CF5AD770999ULL);
+}
+
+TEST(XxHashTest, SeedChangesOutput) {
+  const std::string s = "some input string";
+  EXPECT_NE(XxHash64(s.data(), s.size(), 1), XxHash64(s.data(), s.size(), 2));
+}
+
+TEST(XxHashTest, AllLengthPathsDiffer) {
+  // Exercise the <4, <8, <32, >=32 byte code paths.
+  std::string data(100, 'a');
+  std::set<uint64_t> hashes;
+  for (size_t len : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 31u, 32u, 33u, 100u}) {
+    hashes.insert(XxHash64(data.data(), len, 42));
+  }
+  EXPECT_EQ(hashes.size(), 11u);
+}
+
+// --------------------------------------------------------------- Murmur3
+
+TEST(Murmur3Test, KnownVector) {
+  // Reference: MurmurHash3_x64_128("hello", seed=0).
+  const char* s = "hello";
+  Hash128 h = Murmur3_128(s, 5, 0);
+  EXPECT_EQ(h.low, 0xCBD8A7B341BD9B02ULL);
+  EXPECT_EQ(h.high, 0x5B1E906A48AE1D19ULL);
+}
+
+TEST(Murmur3Test, HalvesAreIndependentish) {
+  // Both halves should differ across nearby keys.
+  std::set<uint64_t> lows, highs;
+  for (uint64_t k = 0; k < 100; ++k) {
+    Hash128 h = Murmur3_128(&k, sizeof(k), 9);
+    lows.insert(h.low);
+    highs.insert(h.high);
+  }
+  EXPECT_EQ(lows.size(), 100u);
+  EXPECT_EQ(highs.size(), 100u);
+}
+
+TEST(Murmur3Test, TailLengthsAllDiffer) {
+  std::string data(40, 'x');
+  std::set<uint64_t> hashes;
+  for (size_t len = 0; len <= 40; ++len) {
+    hashes.insert(Murmur3_128(data.data(), len, 7).low);
+  }
+  EXPECT_EQ(hashes.size(), 41u);
+}
+
+// ------------------------------------------------------------ Tabulation
+
+TEST(TabulationTest, DeterministicPerSeed) {
+  TabulationHash a(5), b(5), c(6);
+  EXPECT_EQ(a.Eval(12345), b.Eval(12345));
+  EXPECT_NE(a.Eval(12345), c.Eval(12345));
+}
+
+TEST(TabulationTest, UniformBucketSpread) {
+  TabulationHash h(11);
+  const int kBuckets = 16;
+  std::vector<int> counts(kBuckets, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) counts[h.Eval(i) % kBuckets]++;
+  for (int c : counts) EXPECT_NEAR(c, n / kBuckets, 800);
+}
+
+TEST(TabulationTest, NoCollisionsOnSmallRange) {
+  TabulationHash h(13);
+  std::set<uint64_t> seen;
+  for (uint64_t k = 0; k < 10000; ++k) seen.insert(h.Eval(k));
+  EXPECT_EQ(seen.size(), 10000u);  // 64-bit collisions here would be a bug.
+}
+
+// ------------------------------------------------------------ Polynomial
+
+TEST(KWiseHashTest, OutputsInField) {
+  KWiseHash h(4, 99);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_LT(h.Eval(k), KWiseHash::kPrime);
+  }
+}
+
+TEST(KWiseHashTest, DeterministicPerSeed) {
+  KWiseHash a(3, 5), b(3, 5), c(3, 6);
+  EXPECT_EQ(a.Eval(777), b.Eval(777));
+  EXPECT_NE(a.Eval(777), c.Eval(777));
+}
+
+TEST(KWiseHashTest, DegreeOneIsConstant) {
+  KWiseHash h(1, 3);
+  EXPECT_EQ(h.Eval(1), h.Eval(2));
+}
+
+TEST(KWiseHashTest, PairwiseIndependenceCollisionRate) {
+  // For a 2-wise family into r buckets, Pr[h(x)=h(y)] ~ 1/r.
+  const uint64_t r = 64;
+  int collisions = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    KWiseHash h(2, 1000 + t);
+    if (h.EvalRange(1, r) == h.EvalRange(2, r)) collisions++;
+  }
+  const double rate = static_cast<double>(collisions) / trials;
+  EXPECT_NEAR(rate, 1.0 / r, 0.015);
+}
+
+TEST(KWiseHashTest, FourWiseSignsAreUnbiased) {
+  KWiseHash h(4, 2024);
+  int sum = 0;
+  for (uint64_t k = 0; k < 100000; ++k) sum += h.EvalSign(k);
+  EXPECT_LT(std::abs(sum), 2000);
+}
+
+TEST(KWiseHashTest, EvalUnitInRange) {
+  KWiseHash h(2, 31);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    double u = h.EvalUnit(k);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(KWiseHashTest, EvalMatchesDirectPolynomial) {
+  // Degree-2 polynomial evaluated by hand mod p.
+  KWiseHash h(2, 12);
+  const uint64_t p = KWiseHash::kPrime;
+  // Recover coefficients via evaluations: c0 = Eval(0), c1 = Eval(1)-c0.
+  const uint64_t c0 = h.Eval(0);
+  const uint64_t c1 = (h.Eval(1) + p - c0) % p;
+  for (uint64_t x : {uint64_t{2}, uint64_t{3}, uint64_t{1000}, p - 1}) {
+    const unsigned __int128 expected =
+        (static_cast<unsigned __int128>(c1) * (x % p) + c0) % p;
+    EXPECT_EQ(h.Eval(x), static_cast<uint64_t>(expected));
+  }
+}
+
+// ----------------------------------------------------------------- Hash64
+
+TEST(HashFrontDoorTest, IntegerAndStringOverloadsWork) {
+  EXPECT_NE(Hash64(uint64_t{1}, 0), Hash64(uint64_t{2}, 0));
+  EXPECT_NE(Hash64("a", 0), Hash64("b", 0));
+  EXPECT_NE(Hash64(uint64_t{1}, 0), Hash64(uint64_t{1}, 1));
+}
+
+TEST(HashFrontDoorTest, HashToUnitRange) {
+  for (uint64_t k = 0; k < 10000; ++k) {
+    double u = HashToUnit(Hash64(k, 5));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(HashFrontDoorTest, DeriveSeedAvoidsClusters) {
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 1000; ++i) seeds.insert(DeriveSeed(42, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(HashFrontDoorTest, AvalancheOnIntegerKeys) {
+  // Flipping one input bit should flip ~half the output bits on average.
+  double total_flips = 0;
+  const int kKeys = 200;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    const uint64_t h0 = Hash64(k, 7);
+    for (int bit = 0; bit < 64; ++bit) {
+      const uint64_t h1 = Hash64(k ^ (uint64_t{1} << bit), 7);
+      total_flips += PopCount64(h0 ^ h1);
+    }
+  }
+  const double mean_flips = total_flips / (kKeys * 64);
+  EXPECT_NEAR(mean_flips, 32.0, 1.5);
+}
+
+// Parameterized uniformity sweep across all hash families.
+class HashUniformityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashUniformityTest, ChiSquaredBucketUniformity) {
+  const int family = GetParam();
+  const uint64_t kBuckets = 128;
+  const int n = 128000;
+  std::vector<int> counts(kBuckets, 0);
+  TabulationHash tab(555);
+  KWiseHash poly(4, 555);
+  for (int i = 0; i < n; ++i) {
+    uint64_t h = 0;
+    const uint64_t key = static_cast<uint64_t>(i);
+    switch (family) {
+      case 0:
+        h = Hash64(key, 555);
+        break;
+      case 1:
+        h = XxHash64(&key, sizeof(key), 555);
+        break;
+      case 2:
+        h = Murmur3_128(&key, sizeof(key), 555).low;
+        break;
+      case 3:
+        h = tab.Eval(key);
+        break;
+      case 4:
+        h = poly.Eval(key);
+        break;
+    }
+    counts[h % kBuckets]++;
+  }
+  // Chi-squared with 127 dof: mean 127, stddev ~16; allow generous slack.
+  double chi2 = 0;
+  const double expected = static_cast<double>(n) / kBuckets;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 127 + 6 * 16) << "family " << family;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, HashUniformityTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace gems

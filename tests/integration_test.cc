@@ -1,0 +1,225 @@
+// End-to-end integration tests chaining several subsystems the way a real
+// deployment would: build sketches on worker "nodes", serialize them to
+// bytes, ship them to a coordinator, deserialize, tree-merge, and answer
+// queries — verified against exact baselines.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cardinality/hllpp.h"
+#include "cardinality/hyperloglog.h"
+#include "cardinality/kmv.h"
+#include "common/numeric.h"
+#include "distributed/aggregation.h"
+#include "engine/stream_query.h"
+#include "frequency/count_min.h"
+#include "frequency/space_saving.h"
+#include "quantiles/kll.h"
+#include "workload/baselines.h"
+#include "workload/generators.h"
+#include "workload/metrics.h"
+
+namespace gems {
+namespace {
+
+// Serializes then deserializes, simulating a network hop.
+template <typename S>
+S ShipOverNetwork(const S& sketch) {
+  const std::vector<uint8_t> wire = sketch.Serialize();
+  auto restored = S::Deserialize(wire);
+  EXPECT_TRUE(restored.ok());
+  return std::move(restored).value();
+}
+
+TEST(IntegrationTest, DistributedNetworkMonitoringPipeline) {
+  // 8 monitoring nodes each see a shard of the packet stream. Each keeps:
+  // per-node HLL (distinct flows), CM (bytes per destination), KLL (packet
+  // sizes). The coordinator merges shipped copies and must agree with a
+  // single-stream reference.
+  constexpr int kNodes = 8;
+  constexpr int kPackets = 200000;
+
+  FlowGenerator::Options options;
+  options.num_flows = 30000;
+  FlowGenerator generator(options, 42);
+
+  HyperLogLog reference_flows(12, 1);
+  CountMinSketch reference_bytes(2048, 4, 2);
+  KllSketch reference_sizes(200, 3);
+  ExactDistinct exact_flows;
+  ExactFrequencies exact_bytes;
+
+  std::vector<HyperLogLog> node_flows;
+  std::vector<CountMinSketch> node_bytes;
+  std::vector<KllSketch> node_sizes;
+  for (int n = 0; n < kNodes; ++n) {
+    node_flows.emplace_back(12, 1);
+    node_bytes.emplace_back(2048, 4, 2);
+    node_sizes.emplace_back(200, 100 + n);
+  }
+
+  for (int i = 0; i < kPackets; ++i) {
+    const FlowRecord packet = generator.Next();
+    const uint64_t flow = packet.FlowKey();
+    const size_t node = ShardOf(flow, kNodes);
+
+    reference_flows.Update(flow);
+    reference_bytes.Update(packet.dst_ip, packet.num_bytes);
+    reference_sizes.Update(packet.num_bytes);
+    exact_flows.Update(flow);
+    exact_bytes.Update(packet.dst_ip, packet.num_bytes);
+
+    node_flows[node].Update(flow);
+    node_bytes[node].Update(packet.dst_ip, packet.num_bytes);
+    node_sizes[node].Update(packet.num_bytes);
+  }
+
+  // Ship every node's sketches through serialization, then tree-merge.
+  std::vector<HyperLogLog> shipped_flows;
+  std::vector<CountMinSketch> shipped_bytes;
+  std::vector<KllSketch> shipped_sizes;
+  for (int n = 0; n < kNodes; ++n) {
+    shipped_flows.push_back(ShipOverNetwork(node_flows[n]));
+    shipped_bytes.push_back(ShipOverNetwork(node_bytes[n]));
+    shipped_sizes.push_back(ShipOverNetwork(node_sizes[n]));
+  }
+  auto merged_flows = AggregateTree(std::move(shipped_flows));
+  auto merged_bytes = AggregateTree(std::move(shipped_bytes));
+  auto merged_sizes = AggregateTree(std::move(shipped_sizes));
+  ASSERT_TRUE(merged_flows.ok());
+  ASSERT_TRUE(merged_bytes.ok());
+  ASSERT_TRUE(merged_sizes.ok());
+
+  // Register/linear sketches: identical to single-stream state.
+  EXPECT_DOUBLE_EQ(merged_flows.value().Count(), reference_flows.Count());
+  EXPECT_NEAR(merged_flows.value().Count(),
+              static_cast<double>(exact_flows.Count()),
+              0.05 * static_cast<double>(exact_flows.Count()));
+  for (const auto& [dst, bytes] : exact_bytes.TopK(20)) {
+    EXPECT_EQ(merged_bytes.value().EstimateCount(dst),
+              reference_bytes.EstimateCount(dst));
+    EXPECT_GE(merged_bytes.value().EstimateCount(dst),
+              static_cast<uint64_t>(bytes));
+  }
+  // KLL: same guarantee class.
+  EXPECT_NEAR(merged_sizes.value().Quantile(0.5),
+              reference_sizes.Quantile(0.5), 120.0);
+}
+
+TEST(IntegrationTest, AdReachRegionalRollup) {
+  // Four regional servers each sketch their exposure logs; HQ merges the
+  // shipped KMV sketches per campaign and answers overlap queries.
+  ExposureGenerator::Options audience;
+  audience.num_users = 100000;
+  audience.num_campaigns = 2;
+  ExposureGenerator generator(audience, 7);
+
+  constexpr int kRegionsServers = 4;
+  std::vector<std::map<uint32_t, KmvSketch>> regional(kRegionsServers);
+  std::map<uint32_t, std::set<uint64_t>> exact;
+
+  for (int i = 0; i < 400000; ++i) {
+    const ExposureEvent event = generator.Next();
+    const size_t server = event.region % kRegionsServers;
+    regional[server]
+        .try_emplace(event.campaign_id, 2048, 9)
+        .first->second.Update(event.user_id);
+    exact[event.campaign_id].insert(event.user_id);
+  }
+
+  std::map<uint32_t, KmvSketch> headquarters;
+  for (const auto& server : regional) {
+    for (const auto& [campaign, sketch] : server) {
+      KmvSketch shipped = ShipOverNetwork(sketch);
+      auto [it, inserted] =
+          headquarters.try_emplace(campaign, std::move(shipped));
+      if (!inserted) {
+        ASSERT_TRUE(it->second.Merge(ShipOverNetwork(sketch)).ok());
+      }
+    }
+  }
+
+  for (const auto& [campaign, truth] : exact) {
+    EXPECT_NEAR(headquarters.at(campaign).Count(),
+                static_cast<double>(truth.size()),
+                0.1 * static_cast<double>(truth.size()));
+  }
+  uint64_t exact_overlap = 0;
+  for (uint64_t user : exact[0]) {
+    if (exact[1].contains(user)) ++exact_overlap;
+  }
+  const double overlap =
+      KmvSketch::Intersect(headquarters.at(0), headquarters.at(1)).Count();
+  EXPECT_NEAR(overlap, static_cast<double>(exact_overlap),
+              0.2 * static_cast<double>(exact_overlap) + 500);
+}
+
+TEST(IntegrationTest, EngineWindowsFeedDistributedRollup) {
+  // Two engine instances process disjoint streams with tumbling windows;
+  // their per-window top-k tables are compared against an exact tally of
+  // the combined stream.
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kTopK;
+  options.top_k = 5;
+  options.top_k_capacity = 128;
+  options.window_size = 0;  // Single window.
+  StreamQuery engine_a(options, 1), engine_b(options, 2);
+
+  ZipfGenerator zipf(5000, 1.3, 11);
+  ExactFrequencies exact;
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t item = zipf.Next();
+    exact.Update(item);
+    StreamEvent event{static_cast<uint64_t>(i), /*group=*/0, item, 1};
+    ASSERT_TRUE((i % 2 == 0 ? engine_a : engine_b).Process(event).ok());
+  }
+  const auto windows_a = engine_a.Flush();
+  const auto windows_b = engine_b.Flush();
+  ASSERT_EQ(windows_a.size(), 1u);
+  ASSERT_EQ(windows_b.size(), 1u);
+
+  // Coordinator combines the two partial top-k tables by summing counts.
+  std::map<uint64_t, int64_t> combined;
+  for (const auto& [item, count] : windows_a[0].groups[0].top_items) {
+    combined[item] += count;
+  }
+  for (const auto& [item, count] : windows_b[0].groups[0].top_items) {
+    combined[item] += count;
+  }
+  // Every true top-3 item must appear with a near-exact combined count.
+  for (const auto& [item, count] : exact.TopK(3)) {
+    ASSERT_TRUE(combined.contains(item)) << item;
+    EXPECT_NEAR(static_cast<double>(combined[item]),
+                static_cast<double>(count), 0.05 * count);
+  }
+}
+
+TEST(IntegrationTest, HllPlusPlusSparseSurvivesShippingAndMerging) {
+  // Small daily audiences stay in sparse mode across serialize/merge, and
+  // the weekly rollup is still near-exact.
+  std::vector<HllPlusPlus> days;
+  ExactDistinct exact;
+  for (int day = 0; day < 7; ++day) {
+    HllPlusPlus sketch(14, 5);
+    // 7 x 200 = 1400 distinct entries stays under the p=14 sparse
+    // capacity of 2048, so the merged weekly sketch remains sparse.
+    for (uint64_t user : DistinctItems(200, 50 + day)) {
+      sketch.Update(user);
+      exact.Update(user);
+    }
+    ASSERT_TRUE(sketch.IsSparse());
+    days.push_back(ShipOverNetwork(sketch));
+  }
+  auto week = AggregateTree(std::move(days));
+  ASSERT_TRUE(week.ok());
+  EXPECT_TRUE(week.value().IsSparse());
+  EXPECT_NEAR(week.value().Count(), static_cast<double>(exact.Count()),
+              0.02 * static_cast<double>(exact.Count()));
+}
+
+}  // namespace
+}  // namespace gems

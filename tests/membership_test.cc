@@ -1,0 +1,288 @@
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/summary.h"
+#include "membership/blocked_bloom.h"
+#include "membership/bloom.h"
+#include "membership/counting_bloom.h"
+#include "workload/generators.h"
+
+namespace gems {
+namespace {
+
+static_assert(MergeableSummary<BloomFilter>);
+static_assert(MergeableSummary<CountingBloomFilter>);
+static_assert(MergeableSummary<BlockedBloomFilter>);
+static_assert(SerializableSummary<BloomFilter>);
+
+// ------------------------------------------------------------------ Bloom
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(1 << 16, 7, 1);
+  const auto items = DistinctItems(5000, 1);
+  for (uint64_t item : items) bloom.Insert(item);
+  for (uint64_t item : items) EXPECT_TRUE(bloom.MayContain(item));
+}
+
+TEST(BloomFilterTest, EmptyContainsNothing) {
+  BloomFilter bloom(1024, 5, 0);
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_FALSE(bloom.MayContain(i));
+}
+
+TEST(BloomFilterTest, FprNearTheory) {
+  // 10 bits/item with optimal k=7: theory ~0.8% FPR.
+  const uint64_t n = 10000;
+  BloomFilter bloom(n * 10, 7, 2);
+  const auto items = DistinctItems(n, 2);
+  for (uint64_t item : items) bloom.Insert(item);
+  uint64_t false_positives = 0;
+  const uint64_t probes = 100000;
+  const auto non_items = DistinctItems(probes, 999);
+  for (uint64_t item : non_items) {
+    if (bloom.MayContain(item)) ++false_positives;
+  }
+  const double fpr = static_cast<double>(false_positives) / probes;
+  const double theory = BloomFilter::TheoreticalFpr(n * 10, 7, n);
+  EXPECT_LT(fpr, 2.5 * theory);
+  EXPECT_GT(fpr, theory / 4);
+}
+
+TEST(BloomFilterTest, ForCapacityMeetsTarget) {
+  const uint64_t n = 20000;
+  BloomFilter bloom = BloomFilter::ForCapacity(n, 0.01, 3);
+  const auto items = DistinctItems(n, 5);
+  for (uint64_t item : items) bloom.Insert(item);
+  uint64_t fp = 0;
+  const auto probes = DistinctItems(50000, 777);
+  for (uint64_t item : probes) {
+    if (bloom.MayContain(item)) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / 50000, 0.025);
+}
+
+TEST(BloomFilterTest, StringKeysWork) {
+  BloomFilter bloom(1 << 12, 5, 4);
+  bloom.Insert(std::string_view("hello"));
+  bloom.Insert(std::string_view("world"));
+  EXPECT_TRUE(bloom.MayContain(std::string_view("hello")));
+  EXPECT_TRUE(bloom.MayContain(std::string_view("world")));
+  EXPECT_FALSE(bloom.MayContain(std::string_view("absent-key-xyz")));
+}
+
+TEST(BloomFilterTest, OptimalNumHashes) {
+  EXPECT_EQ(BloomFilter::OptimalNumHashes(10.0), 7);
+  EXPECT_EQ(BloomFilter::OptimalNumHashes(8.0), 6);
+  EXPECT_EQ(BloomFilter::OptimalNumHashes(1.0), 1);
+}
+
+TEST(BloomFilterTest, EstimatedFprTracksFill) {
+  BloomFilter bloom(1 << 14, 7, 6);
+  EXPECT_DOUBLE_EQ(bloom.EstimatedFpr(), 0.0);
+  for (uint64_t item : DistinctItems(2000, 8)) bloom.Insert(item);
+  const double estimated = bloom.EstimatedFpr();
+  const double theory = BloomFilter::TheoreticalFpr(1 << 14, 7, 2000);
+  EXPECT_NEAR(estimated, theory, theory);
+}
+
+TEST(BloomFilterTest, CardinalityEstimateTracksInsertions) {
+  BloomFilter bloom(1 << 18, 5, 20);
+  EXPECT_DOUBLE_EQ(bloom.EstimateCardinality(), 0.0);
+  const auto items = DistinctItems(10000, 21);
+  for (uint64_t item : items) bloom.Insert(item);
+  EXPECT_NEAR(bloom.EstimateCardinality(), 10000.0, 300.0);
+  // Duplicates do not inflate the estimate.
+  for (uint64_t item : items) bloom.Insert(item);
+  EXPECT_NEAR(bloom.EstimateCardinality(), 10000.0, 300.0);
+}
+
+TEST(BloomFilterTest, CardinalitySaturatesGracefully) {
+  BloomFilter bloom(256, 4, 22);
+  for (uint64_t i = 0; i < 100000; ++i) bloom.Insert(i);
+  EXPECT_TRUE(std::isfinite(bloom.EstimateCardinality()));
+  EXPECT_GT(bloom.EstimateCardinality(), 64.0);
+}
+
+TEST(BloomFilterTest, MergeEqualsUnion) {
+  BloomFilter a(1 << 13, 5, 7), b(1 << 13, 5, 7), whole(1 << 13, 5, 7);
+  const auto items = DistinctItems(3000, 9);
+  for (size_t i = 0; i < items.size(); ++i) {
+    whole.Insert(items[i]);
+    (i % 2 == 0 ? a : b).Insert(items[i]);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.NumBitsSet(), whole.NumBitsSet());
+  for (uint64_t item : items) EXPECT_TRUE(a.MayContain(item));
+}
+
+TEST(BloomFilterTest, MergeRejectsMismatch) {
+  BloomFilter a(1024, 5, 0), b(2048, 5, 0), c(1024, 6, 0), d(1024, 5, 1);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_FALSE(a.Merge(c).ok());
+  EXPECT_FALSE(a.Merge(d).ok());
+}
+
+TEST(BloomFilterTest, SerializeRoundTrip) {
+  BloomFilter bloom(1 << 12, 6, 10);
+  for (uint64_t item : DistinctItems(1000, 11)) bloom.Insert(item);
+  auto r = BloomFilter::Deserialize(bloom.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().NumBitsSet(), bloom.NumBitsSet());
+  for (uint64_t item : DistinctItems(1000, 11)) {
+    EXPECT_TRUE(r.value().MayContain(item));
+  }
+}
+
+TEST(BloomFilterTest, DeserializeTruncatedFails) {
+  BloomFilter bloom(1024, 5, 0);
+  auto bytes = bloom.Serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(BloomFilter::Deserialize(bytes).ok());
+}
+
+// --------------------------------------------------------- Counting Bloom
+
+TEST(CountingBloomTest, InsertThenRemoveRestoresAbsence) {
+  CountingBloomFilter cbf(1 << 14, 5, 1);
+  const auto items = DistinctItems(1000, 12);
+  for (uint64_t item : items) cbf.Insert(item);
+  for (uint64_t item : items) EXPECT_TRUE(cbf.MayContain(item));
+  for (uint64_t item : items) cbf.Remove(item);
+  uint64_t still_present = 0;
+  for (uint64_t item : items) {
+    if (cbf.MayContain(item)) ++still_present;
+  }
+  EXPECT_EQ(still_present, 0u);
+}
+
+TEST(CountingBloomTest, PartialRemoveKeepsOthers) {
+  CountingBloomFilter cbf(1 << 14, 5, 2);
+  const auto keep = DistinctItems(500, 13);
+  const auto drop = DistinctItems(500, 14);
+  for (uint64_t item : keep) cbf.Insert(item);
+  for (uint64_t item : drop) cbf.Insert(item);
+  for (uint64_t item : drop) cbf.Remove(item);
+  for (uint64_t item : keep) EXPECT_TRUE(cbf.MayContain(item));
+}
+
+TEST(CountingBloomTest, DoubleInsertNeedsDoubleRemove) {
+  CountingBloomFilter cbf(1 << 12, 4, 3);
+  cbf.Insert(42);
+  cbf.Insert(42);
+  cbf.Remove(42);
+  EXPECT_TRUE(cbf.MayContain(42));
+  cbf.Remove(42);
+  EXPECT_FALSE(cbf.MayContain(42));
+}
+
+TEST(CountingBloomTest, SaturatedCountersNeverGoNegative) {
+  CountingBloomFilter cbf(64, 2, 4);
+  for (int i = 0; i < 300; ++i) cbf.Insert(7);
+  // Counter is saturated at 255; removes leave it there.
+  for (int i = 0; i < 300; ++i) cbf.Remove(7);
+  EXPECT_TRUE(cbf.MayContain(7));  // Saturation is sticky by design.
+}
+
+TEST(CountingBloomTest, MergeAddsCounts) {
+  CountingBloomFilter a(1 << 12, 4, 5), b(1 << 12, 4, 5);
+  a.Insert(1);
+  b.Insert(2);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_TRUE(a.MayContain(1));
+  EXPECT_TRUE(a.MayContain(2));
+  // Counts merged: removing once removes b's single insert.
+  a.Remove(2);
+  EXPECT_FALSE(a.MayContain(2));
+}
+
+TEST(CountingBloomTest, SerializeRoundTrip) {
+  CountingBloomFilter cbf(4096, 4, 6);
+  for (uint64_t item : DistinctItems(300, 15)) cbf.Insert(item);
+  auto r = CountingBloomFilter::Deserialize(cbf.Serialize());
+  ASSERT_TRUE(r.ok());
+  for (uint64_t item : DistinctItems(300, 15)) {
+    EXPECT_TRUE(r.value().MayContain(item));
+  }
+}
+
+// ---------------------------------------------------------- Blocked Bloom
+
+TEST(BlockedBloomTest, NoFalseNegatives) {
+  BlockedBloomFilter bloom(1 << 16, 8, 1);
+  const auto items = DistinctItems(5000, 16);
+  for (uint64_t item : items) bloom.Insert(item);
+  for (uint64_t item : items) EXPECT_TRUE(bloom.MayContain(item));
+}
+
+TEST(BlockedBloomTest, FprWorseThanStandardButBounded) {
+  // Blocked filters pay an FPR penalty for locality; it should still be
+  // within a small factor of the standard filter at the same size.
+  const uint64_t n = 20000;
+  const uint64_t bits = n * 12;
+  BlockedBloomFilter blocked(bits, 8, 17);
+  BloomFilter standard(bits, 8, 17);
+  const auto items = DistinctItems(n, 18);
+  for (uint64_t item : items) {
+    blocked.Insert(item);
+    standard.Insert(item);
+  }
+  uint64_t blocked_fp = 0, standard_fp = 0;
+  const auto probes = DistinctItems(200000, 19);
+  for (uint64_t item : probes) {
+    blocked_fp += blocked.MayContain(item) ? 1 : 0;
+    standard_fp += standard.MayContain(item) ? 1 : 0;
+  }
+  EXPECT_GE(blocked_fp + 5, standard_fp);  // Blocked is not better.
+  EXPECT_LT(blocked_fp, 40 * (standard_fp + 10));  // But within a factor.
+}
+
+TEST(BlockedBloomTest, MergeEqualsUnion) {
+  BlockedBloomFilter a(1 << 13, 6, 20), b(1 << 13, 6, 20);
+  const auto items_a = DistinctItems(1000, 21);
+  const auto items_b = DistinctItems(1000, 22);
+  for (uint64_t item : items_a) a.Insert(item);
+  for (uint64_t item : items_b) b.Insert(item);
+  ASSERT_TRUE(a.Merge(b).ok());
+  for (uint64_t item : items_a) EXPECT_TRUE(a.MayContain(item));
+  for (uint64_t item : items_b) EXPECT_TRUE(a.MayContain(item));
+}
+
+TEST(BlockedBloomTest, SerializeRoundTrip) {
+  BlockedBloomFilter bloom(1 << 12, 6, 23);
+  for (uint64_t item : DistinctItems(500, 24)) bloom.Insert(item);
+  auto r = BlockedBloomFilter::Deserialize(bloom.Serialize());
+  ASSERT_TRUE(r.ok());
+  for (uint64_t item : DistinctItems(500, 24)) {
+    EXPECT_TRUE(r.value().MayContain(item));
+  }
+}
+
+// ---------------------------------------- Parameterized FPR sweep (E8 prep)
+
+class BloomFprSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BloomFprSweep, MeasuredFprWithinFactorOfTheory) {
+  const int bits_per_item = GetParam();
+  const uint64_t n = 20000;
+  const int k = BloomFilter::OptimalNumHashes(bits_per_item);
+  BloomFilter bloom(n * bits_per_item, k, 42 + bits_per_item);
+  for (uint64_t item : DistinctItems(n, 30)) bloom.Insert(item);
+  uint64_t fp = 0;
+  const uint64_t probes = 200000;
+  for (uint64_t item : DistinctItems(probes, 31)) {
+    if (bloom.MayContain(item)) ++fp;
+  }
+  const double measured = static_cast<double>(fp) / probes;
+  const double theory =
+      BloomFilter::TheoreticalFpr(n * bits_per_item, k, n);
+  EXPECT_LT(measured, 3 * theory + 1e-4) << "bits/item " << bits_per_item;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BloomFprSweep,
+                         ::testing::Values(4, 6, 8, 10, 12, 16));
+
+}  // namespace
+}  // namespace gems

@@ -1,0 +1,188 @@
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ml/fetchsgd.h"
+#include "ml/linear_model.h"
+
+namespace gems {
+namespace {
+
+// ----------------------------------------------------------- LinearModel
+
+TEST(LogisticModelTest, UntrainedPredictsHalf) {
+  LogisticModel model(10);
+  EXPECT_DOUBLE_EQ(model.PredictProbability(std::vector<double>(10, 1.0)),
+                   0.5);
+}
+
+TEST(LogisticModelTest, SyntheticDataIsLearnable) {
+  const auto dataset = GenerateLogisticData(2000, 32, 8, 1);
+  LogisticModel model(32);
+  const double initial_loss = model.Loss(dataset.examples);
+  const auto losses = TrainDenseSgd(&model, dataset.examples, 50, 1.0);
+  EXPECT_LT(losses.back(), initial_loss);
+  EXPECT_GT(model.Accuracy(dataset.examples), 0.8);
+}
+
+TEST(LogisticModelTest, LossDecreasesMonotonicallyEarly) {
+  const auto dataset = GenerateLogisticData(1000, 16, 4, 2);
+  LogisticModel model(16);
+  const auto losses = TrainDenseSgd(&model, dataset.examples, 10, 0.5);
+  for (size_t i = 1; i < losses.size(); ++i) {
+    EXPECT_LE(losses[i], losses[i - 1] + 1e-6);
+  }
+}
+
+TEST(LogisticModelTest, GradientPointsDownhill) {
+  const auto dataset = GenerateLogisticData(500, 8, 4, 3);
+  LogisticModel model(8);
+  const double before = model.Loss(dataset.examples);
+  model.ApplyUpdate(model.Gradient(dataset.examples), 0.1);
+  EXPECT_LT(model.Loss(dataset.examples), before);
+}
+
+TEST(LogisticModelTest, DatasetLabelsCorrelateWithTrueWeights) {
+  const auto dataset = GenerateLogisticData(5000, 16, 4, 4);
+  // A model set to the true weights should classify well.
+  LogisticModel oracle(16);
+  *oracle.mutable_weights() = dataset.true_weights;
+  EXPECT_GT(oracle.Accuracy(dataset.examples), 0.85);
+}
+
+// -------------------------------------------------------- GradientSketch
+
+TEST(GradientSketchTest, SingleCoordinateRecovered) {
+  GradientSketch sketch(256, 5, 1);
+  sketch.Add(42, 3.5);
+  EXPECT_NEAR(sketch.Estimate(42), 3.5, 1e-9);
+  EXPECT_NEAR(sketch.Estimate(43), 0.0, 1e-9);
+}
+
+TEST(GradientSketchTest, LinearityOfSketches) {
+  GradientSketch a(128, 5, 2), b(128, 5, 2);
+  std::vector<double> ga(64, 0.0), gb(64, 0.0);
+  ga[3] = 1.0;
+  gb[3] = 2.0;
+  gb[10] = -4.0;
+  a.Accumulate(ga);
+  b.Accumulate(gb);
+  ASSERT_TRUE(a.AddSketch(b).ok());
+  EXPECT_NEAR(a.Estimate(3), 3.0, 0.5);
+  EXPECT_NEAR(a.Estimate(10), -4.0, 0.5);
+}
+
+TEST(GradientSketchTest, TopKFindsHeavyCoordinates) {
+  GradientSketch sketch(512, 5, 3);
+  std::vector<double> gradient(1024, 0.0);
+  gradient[5] = 10.0;
+  gradient[100] = -8.0;
+  gradient[999] = 6.0;
+  for (size_t i = 0; i < 1024; ++i) {
+    if (gradient[i] == 0.0) gradient[i] = 0.01;  // Background noise.
+  }
+  sketch.Accumulate(gradient);
+  const auto top = sketch.TopK(3, 1024);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 5u);
+  EXPECT_EQ(top[1].first, 100u);
+  EXPECT_EQ(top[2].first, 999u);
+}
+
+TEST(GradientSketchTest, ScaleAndReset) {
+  GradientSketch sketch(64, 3, 4);
+  sketch.Add(7, 2.0);
+  sketch.Scale(0.5);
+  EXPECT_NEAR(sketch.Estimate(7), 1.0, 1e-9);
+  sketch.Reset();
+  EXPECT_DOUBLE_EQ(sketch.Estimate(7), 0.0);
+}
+
+TEST(GradientSketchTest, ShapeMismatchRejected) {
+  GradientSketch a(64, 3, 5), b(128, 3, 5), c(64, 3, 6);
+  EXPECT_FALSE(a.AddSketch(b).ok());
+  EXPECT_FALSE(a.AddSketch(c).ok());
+}
+
+// --------------------------------------------------------------- FetchSGD
+
+TEST(FetchSgdTest, TrainsCloseToDense) {
+  const size_t dim = 256;
+  const auto dataset = GenerateLogisticData(2000, dim, 16, 7);
+
+  LogisticModel dense_model(dim);
+  const auto dense_losses =
+      TrainDenseSgd(&dense_model, dataset.examples, 40, 1.0);
+
+  FetchSgdTrainer::Options options;
+  options.num_clients = 20;
+  options.rounds = 40;
+  options.learning_rate = 1.0;
+  options.momentum = 0.9;
+  options.sketch_width = 128;
+  options.sketch_depth = 5;
+  options.top_k = 24;
+  FetchSgdTrainer trainer(options, 8);
+  LogisticModel sketched_model(dim);
+  const auto sketched_losses =
+      trainer.Train(&sketched_model, dataset.examples);
+
+  // FetchSGD should make real progress and land near dense training.
+  const double initial = LogisticModel(dim).Loss(dataset.examples);
+  EXPECT_LT(sketched_losses.back(), 0.7 * initial);
+  EXPECT_LT(sketched_losses.back(), dense_losses.back() + 0.25);
+}
+
+TEST(FetchSgdTest, CompressionRatioAccounting) {
+  FetchSgdTrainer::Options options;
+  options.sketch_width = 128;
+  options.sketch_depth = 5;
+  FetchSgdTrainer trainer(options, 9);
+  EXPECT_EQ(trainer.UploadBytesPerClient(), 128u * 5 * 8);
+  // Dense upload of d = 8192 doubles would be 65536 bytes: ~12.8x ratio.
+  EXPECT_LT(trainer.UploadBytesPerClient(), 65536u / 10);
+}
+
+TEST(FetchSgdTest, BeatsLocalTopKAtSameBudget) {
+  const size_t dim = 256;
+  const auto dataset = GenerateLogisticData(2000, dim, 16, 10);
+
+  FetchSgdTrainer::Options options;
+  options.num_clients = 20;
+  options.rounds = 60;
+  options.learning_rate = 0.5;
+  options.momentum = 0.6;
+  options.sketch_width = 128;
+  options.sketch_depth = 5;
+  options.top_k = 32;
+  FetchSgdTrainer trainer(options, 11);
+  LogisticModel fetch_model(dim);
+  const auto fetch_losses = trainer.Train(&fetch_model, dataset.examples);
+
+  LogisticModel topk_model(dim);
+  // Matching upload budget: 128*5 = 640 sketch doubles vs 640 local
+  // (coordinate, value) pairs for the straw-man compressor.
+  const auto topk_losses = TrainLocalTopK(&topk_model, dataset.examples, 20,
+                                          60, 0.5, 640);
+  // FetchSGD with momentum + error feedback should do at least comparably.
+  EXPECT_LT(fetch_losses.back(), topk_losses.back() + 0.15);
+}
+
+TEST(FetchSgdTest, MoreRoundsLowerLoss) {
+  const size_t dim = 128;
+  const auto dataset = GenerateLogisticData(1000, dim, 8, 12);
+  FetchSgdTrainer::Options options;
+  options.num_clients = 10;
+  options.rounds = 60;
+  options.sketch_width = 128;
+  options.top_k = 16;
+  FetchSgdTrainer trainer(options, 13);
+  LogisticModel model(dim);
+  const auto losses = trainer.Train(&model, dataset.examples);
+  EXPECT_LT(losses.back(), losses[5]);
+}
+
+}  // namespace
+}  // namespace gems

@@ -1,0 +1,329 @@
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/numeric.h"
+#include "frequency/count_min.h"
+#include "privacy/mechanisms.h"
+#include "privacy/private_cms.h"
+#include "privacy/rappor.h"
+#include "privacy/secure_aggregation.h"
+#include "workload/baselines.h"
+#include "workload/generators.h"
+#include "workload/metrics.h"
+
+namespace gems {
+namespace {
+
+// ---------------------------------------------------- Randomized response
+
+TEST(RandomizedResponseTest, KeepProbabilityMatchesEpsilon) {
+  RandomizedResponse rr(std::log(3.0), 1);  // e^eps = 3 -> keep 0.75.
+  EXPECT_NEAR(rr.KeepProbability(), 0.75, 1e-12);
+  int kept = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) kept += rr.Randomize(true) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(kept) / n, 0.75, 0.01);
+}
+
+TEST(RandomizedResponseTest, UnbiasRecoversTrueCount) {
+  RandomizedResponse rr(1.0, 2);
+  const int n = 200000;
+  const int true_ones = 60000;
+  double observed = 0;
+  for (int i = 0; i < n; ++i) {
+    observed += rr.Randomize(i < true_ones) ? 1 : 0;
+  }
+  EXPECT_NEAR(rr.UnbiasCount(observed, n), true_ones, 3000);
+}
+
+TEST(RandomizedResponseTest, HigherEpsilonFlipsLess) {
+  RandomizedResponse low(0.5, 3), high(5.0, 3);
+  EXPECT_LT(low.KeepProbability(), high.KeepProbability());
+  EXPECT_GT(high.KeepProbability(), 0.99);
+}
+
+TEST(RandomizedResponseTest, BitVectorRandomization) {
+  RandomizedResponse rr(10.0, 4);  // Almost never flips.
+  std::vector<uint64_t> bits = {0xF0F0F0F0F0F0F0F0ULL};
+  const auto out = rr.RandomizeBits(bits, 64);
+  EXPECT_EQ(out[0], bits[0]);  // At eps=10 flip prob ~ 5e-5.
+}
+
+// --------------------------------------------------------------- Laplace
+
+TEST(LaplaceTest, NoiseHasCorrectScale) {
+  LaplaceMechanism mechanism(1.0, 1.0, 5);  // b = 1 -> variance 2.
+  const int n = 100000;
+  std::vector<double> noise(n);
+  for (double& x : noise) x = mechanism.Release(0.0);
+  EXPECT_NEAR(Mean(noise), 0.0, 0.05);
+  EXPECT_NEAR(StdDev(noise), std::sqrt(2.0), 0.05);
+}
+
+TEST(LaplaceTest, ScaleGrowsWithSensitivityShrinkingEpsilon) {
+  LaplaceMechanism a(1.0, 1.0, 0), b(0.1, 1.0, 0), c(1.0, 5.0, 0);
+  EXPECT_LT(a.scale(), b.scale());
+  EXPECT_LT(a.scale(), c.scale());
+}
+
+TEST(GeometricTest, IntegerNoiseCentered) {
+  GeometricMechanism mechanism(1.0, 1, 6);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(mechanism.Release(100));
+  }
+  EXPECT_NEAR(sum / n, 100.0, 0.05);
+}
+
+// ----------------------------------------------------------------- RAPPOR
+
+TEST(RapporTest, RecoversHeavyCandidates) {
+  RapporClient::Options options;
+  options.num_bits = 256;
+  options.num_hashes = 2;
+  options.epsilon = 3.0;
+
+  // 60k clients: candidate 1 held by 50%, candidate 2 by 30%, rest spread
+  // over 20 other values.
+  RapporAggregator aggregator(options);
+  Rng rng(7);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t value;
+    const double u = rng.NextDouble();
+    if (u < 0.5) {
+      value = 1;
+    } else if (u < 0.8) {
+      value = 2;
+    } else {
+      value = 100 + rng.NextBounded(20);
+    }
+    RapporClient client(options, 1000 + i);
+    ASSERT_TRUE(aggregator.Absorb(client.Report(value)).ok());
+  }
+  EXPECT_NEAR(aggregator.EstimateFrequency(1), 0.5 * n, 0.08 * n);
+  EXPECT_NEAR(aggregator.EstimateFrequency(2), 0.3 * n, 0.08 * n);
+  // An absent candidate should estimate near zero.
+  EXPECT_LT(aggregator.EstimateFrequency(999999), 0.08 * n);
+}
+
+TEST(RapporTest, DecodeRanksCandidates) {
+  RapporClient::Options options;
+  options.num_bits = 128;
+  options.epsilon = 4.0;
+  RapporAggregator aggregator(options);
+  for (int i = 0; i < 20000; ++i) {
+    RapporClient client(options, i);
+    ASSERT_TRUE(
+        aggregator.Absorb(client.Report(i % 4 == 0 ? 7 : 8)).ok());
+  }
+  const std::vector<uint64_t> dictionary = {7, 8, 9};
+  const auto decoded = aggregator.Decode(dictionary, 1000.0);
+  ASSERT_GE(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].first, 8u);  // 75% of clients.
+  EXPECT_EQ(decoded[1].first, 7u);  // 25%.
+}
+
+TEST(RapporTest, AccuracyImprovesWithEpsilon) {
+  const int n = 30000;
+  std::vector<double> errors_by_epsilon;
+  for (double epsilon : {0.5, 2.0, 6.0}) {
+    RapporClient::Options options;
+    options.num_bits = 256;
+    options.epsilon = epsilon;
+    RapporAggregator aggregator(options);
+    for (int i = 0; i < n; ++i) {
+      RapporClient client(options, 50000 + i);
+      ASSERT_TRUE(
+          aggregator.Absorb(client.Report(i % 2 == 0 ? 11 : 22)).ok());
+    }
+    errors_by_epsilon.push_back(
+        std::abs(aggregator.EstimateFrequency(11) - 0.5 * n));
+  }
+  EXPECT_GT(errors_by_epsilon[0], errors_by_epsilon[2]);
+}
+
+TEST(RapporTest, MalformedReportRejected) {
+  RapporClient::Options options;
+  RapporAggregator aggregator(options);
+  EXPECT_FALSE(aggregator.Absorb({1, 2, 3, 4, 5}).ok());
+}
+
+// ------------------------------------------------------------ Private CMS
+
+TEST(PrivateCmsTest, RecoversFrequenciesAtModerateEpsilon) {
+  PrivateCmsClient::Options options;
+  options.width = 512;
+  options.depth = 8;
+  options.epsilon = 4.0;
+  PrivateCmsServer server(options);
+  Rng rng(8);
+  const int n = 40000;
+  int count_a = 0;
+  for (int i = 0; i < n; ++i) {
+    const bool is_a = rng.NextDouble() < 0.4;
+    if (is_a) ++count_a;
+    PrivateCmsClient client(options, 9000 + i);
+    ASSERT_TRUE(server.Absorb(client.Encode(is_a ? 5 : 6)).ok());
+  }
+  EXPECT_NEAR(server.EstimateCount(5), count_a, 0.12 * n);
+  EXPECT_NEAR(server.EstimateCount(6), n - count_a, 0.12 * n);
+  EXPECT_LT(std::abs(server.EstimateCount(12345)), 0.12 * n);
+}
+
+TEST(PrivateCmsTest, MalformedReportRejected) {
+  PrivateCmsClient::Options options;
+  PrivateCmsServer server(options);
+  PrivateCmsClient::Report bad;
+  bad.row = options.depth + 5;
+  bad.bits.assign((options.width + 63) / 64, 0);
+  EXPECT_FALSE(server.Absorb(bad).ok());
+}
+
+TEST(PrivateCmsTest, ErrorShrinksWithEpsilon) {
+  const int n = 30000;
+  std::vector<double> errors;
+  for (double epsilon : {1.0, 8.0}) {
+    PrivateCmsClient::Options options;
+    options.width = 512;
+    options.depth = 8;
+    options.epsilon = epsilon;
+    PrivateCmsServer server(options);
+    for (int i = 0; i < n; ++i) {
+      PrivateCmsClient client(options, 70000 + i);
+      ASSERT_TRUE(server.Absorb(client.Encode(3)).ok());
+    }
+    errors.push_back(std::abs(server.EstimateCount(3) - n));
+  }
+  EXPECT_GT(errors[0], errors[1]);
+}
+
+// ----------------------------------------------------- Secure aggregation
+
+TEST(SecureAggregationTest, MasksCancelExactly) {
+  const size_t clients = 10, dim = 64;
+  SecureAggregationSession session(clients, dim, 5);
+  Rng rng(6);
+  std::vector<std::vector<int64_t>> uploads;
+  std::vector<int64_t> expected(dim, 0);
+  for (size_t c = 0; c < clients; ++c) {
+    std::vector<int64_t> v(dim);
+    for (int64_t& x : v) {
+      x = static_cast<int64_t>(rng.NextBounded(1000)) - 500;
+    }
+    for (size_t k = 0; k < dim; ++k) expected[k] += v[k];
+    auto masked = session.Mask(c, v);
+    ASSERT_TRUE(masked.ok());
+    uploads.push_back(std::move(masked).value());
+  }
+  auto sum = session.Aggregate(uploads);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum.value(), expected);
+}
+
+TEST(SecureAggregationTest, IndividualUploadsLookRandom) {
+  const size_t dim = 256;
+  SecureAggregationSession session(5, dim, 7);
+  std::vector<int64_t> zeros(dim, 0);
+  auto masked = session.Mask(0, zeros);
+  ASSERT_TRUE(masked.ok());
+  // A masked all-zero vector should have no small entries clustering near
+  // zero: check that most entries are large in magnitude.
+  size_t large = 0;
+  for (int64_t x : masked.value()) {
+    if (std::abs(x) > (int64_t{1} << 40)) ++large;
+  }
+  EXPECT_GT(large, dim * 8 / 10);
+}
+
+TEST(SecureAggregationTest, SameClientVectorDiffersAcrossSessions) {
+  std::vector<int64_t> v(16, 42);
+  SecureAggregationSession a(3, 16, 1), b(3, 16, 2);
+  EXPECT_NE(a.Mask(0, v).value(), b.Mask(0, v).value());
+}
+
+TEST(SecureAggregationTest, DropoutIsDetected) {
+  SecureAggregationSession session(4, 8, 9);
+  std::vector<std::vector<int64_t>> uploads(3,
+                                            std::vector<int64_t>(8, 0));
+  EXPECT_EQ(session.Aggregate(uploads).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SecureAggregationTest, InputValidation) {
+  SecureAggregationSession session(3, 8, 10);
+  EXPECT_FALSE(session.Mask(5, std::vector<int64_t>(8, 0)).ok());
+  EXPECT_FALSE(session.Mask(0, std::vector<int64_t>(7, 0)).ok());
+}
+
+TEST(SecureAggregationTest, AggregatesCountMinCounters) {
+  // End-to-end federated analytics: each client Count-Mins its local
+  // stream; the server securely sums the counter vectors and reads
+  // fleet-wide frequencies without seeing any individual sketch.
+  const size_t clients = 6;
+  const uint32_t width = 128, depth = 4;
+  SecureAggregationSession session(clients, width * depth, 11);
+
+  CountMinSketch reference(width, depth, 12);
+  std::vector<std::vector<int64_t>> uploads;
+  for (size_t c = 0; c < clients; ++c) {
+    CountMinSketch local(width, depth, 12);
+    ZipfGenerator zipf(500, 1.1, 100 + c);
+    for (int i = 0; i < 5000; ++i) {
+      const uint64_t item = zipf.Next();
+      local.Update(item);
+      reference.Update(item);
+    }
+    std::vector<int64_t> counters(local.counters().begin(),
+                                  local.counters().end());
+    uploads.push_back(session.Mask(c, counters).value());
+  }
+  const auto sum = session.Aggregate(uploads);
+  ASSERT_TRUE(sum.ok());
+  // The securely-aggregated counters equal the single-stream reference.
+  for (size_t i = 0; i < sum.value().size(); ++i) {
+    EXPECT_EQ(static_cast<uint64_t>(sum.value()[i]),
+              reference.counters()[i]);
+  }
+}
+
+// ----------------------------------------------------- Central DP release
+
+TEST(DpCountMinTest, NoisyReleaseStillAccurateForHeavyItems) {
+  CountMinSketch cm(1024, 5, 9);
+  ExactFrequencies exact;
+  ZipfGenerator zipf(10000, 1.3, 9);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t item = zipf.Next();
+    cm.Update(item);
+    exact.Update(item);
+  }
+  DpCountMinRelease release(cm, /*epsilon=*/1.0, 10);
+  for (const auto& [item, count] : exact.TopK(10)) {
+    EXPECT_NEAR(release.EstimateCount(item), static_cast<double>(count),
+                0.1 * count + 100);
+  }
+}
+
+TEST(DpCountMinTest, SmallerEpsilonMoreNoise) {
+  CountMinSketch cm(256, 4, 11);
+  for (uint64_t i = 0; i < 100; ++i) cm.Update(i, 1000);
+  std::vector<double> spread;
+  for (double epsilon : {0.05, 5.0}) {
+    DpCountMinRelease release(cm, epsilon, 12);
+    double err = 0;
+    for (uint64_t i = 0; i < 100; ++i) {
+      err += std::abs(release.EstimateCount(i) - 1000.0);
+    }
+    spread.push_back(err);
+  }
+  EXPECT_GT(spread[0], spread[1]);
+}
+
+}  // namespace
+}  // namespace gems

@@ -1,0 +1,118 @@
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "moments/ams.h"
+#include "robust/adversary.h"
+#include "robust/robust_f2.h"
+
+namespace gems {
+namespace {
+
+// Builds an oracle over a plain AMS sketch.
+F2Oracle PlainOracle(AmsSketch* sketch) {
+  return F2Oracle{
+      [sketch](uint64_t item, int64_t weight) {
+        sketch->Update(item, weight);
+      },
+      [sketch]() { return sketch->EstimateF2(); }};
+}
+
+F2Oracle RobustOracle(RobustF2* sketch) {
+  return F2Oracle{
+      [sketch](uint64_t item, int64_t weight) {
+        sketch->Update(item, weight);
+      },
+      [sketch]() { return sketch->EstimateF2(); }};
+}
+
+TEST(RobustF2Test, MatchesPlainOnStaticStreams) {
+  RobustF2::Options options;
+  RobustF2 robust(options, 1);
+  AmsSketch plain(options.estimators_per_group, options.num_groups, 100);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    robust.Update(i % 100);
+    plain.Update(i % 100);
+  }
+  // Both should be within ~20% of the true F2 = 100 * 50^2 = 250000.
+  const double truth = 100.0 * 50.0 * 50.0;
+  EXPECT_NEAR(plain.EstimateF2(), truth, 0.25 * truth);
+  EXPECT_NEAR(robust.EstimateF2(), truth, 0.5 * truth);
+}
+
+TEST(RobustF2Test, ReleasedEstimateIsQuantized) {
+  RobustF2::Options options;
+  options.lambda = 1.0;
+  RobustF2 robust(options, 2);
+  double last = 0;
+  int changes = 0;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    robust.Update(i);
+    const double current = robust.EstimateF2();
+    if (current != last) {
+      ++changes;
+      last = current;
+    }
+  }
+  // True F2 goes 0 -> 2000; with lambda = 1 the release changes only
+  // O(log2(2000)) ~ 11 times.
+  EXPECT_LE(changes, 20);
+  EXPECT_GE(changes, 5);
+}
+
+TEST(AdversaryTest, BreaksPlainAmsSketch) {
+  AmsSketch plain(64, 3, 3);
+  const AttackResult result =
+      RunAdaptiveF2Attack(PlainOracle(&plain), 20000, 4);
+  // The attack should accumulate many kept items while holding the
+  // reported estimate far below the truth.
+  EXPECT_GT(result.kept_items, 1000u);
+  EXPECT_GT(result.RelativeError(), 0.5);
+}
+
+TEST(AdversaryTest, RobustSketchSurvives) {
+  RobustF2::Options options;
+  options.estimators_per_group = 64;
+  options.num_groups = 3;
+  options.num_copies = 32;
+  options.lambda = 0.25;
+  RobustF2 robust(options, 5);
+  const AttackResult result =
+      RunAdaptiveF2Attack(RobustOracle(&robust), 20000, 6);
+  // The robust wrapper's released estimate stays within the lambda window
+  // of an honest estimate of the kept set.
+  EXPECT_GT(result.kept_items, 0u);
+  EXPECT_LT(result.RelativeError(), 0.6);
+}
+
+TEST(AdversaryTest, RobustBeatsPlainHeadToHead) {
+  AmsSketch plain(64, 3, 7);
+  RobustF2::Options options;
+  options.estimators_per_group = 64;
+  options.num_groups = 3;
+  options.num_copies = 32;
+  RobustF2 robust(options, 8);
+
+  const AttackResult plain_result =
+      RunAdaptiveF2Attack(PlainOracle(&plain), 15000, 9);
+  const AttackResult robust_result =
+      RunAdaptiveF2Attack(RobustOracle(&robust), 15000, 9);
+  EXPECT_LT(robust_result.RelativeError(), plain_result.RelativeError());
+}
+
+TEST(RobustF2Test, CopiesUsedGrowsSlowly) {
+  RobustF2::Options options;
+  options.lambda = 0.5;
+  options.num_copies = 40;
+  RobustF2 robust(options, 10);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    robust.Update(i);
+    robust.EstimateF2();
+  }
+  // F2 spans 1..10000: log_{1.5}(10^4) ~ 23 switches at most.
+  EXPECT_LE(robust.CopiesUsed(), 30);
+}
+
+}  // namespace
+}  // namespace gems

@@ -1,0 +1,332 @@
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/summary.h"
+#include "sampling/l0_sampler.h"
+#include "sampling/reservoir.h"
+
+namespace gems {
+namespace {
+
+static_assert(ItemSummary<ReservoirSampler>);
+static_assert(MergeableSummary<ReservoirSampler>);
+static_assert(MergeableSummary<L0Sampler>);
+static_assert(SerializableSummary<ReservoirSampler>);
+
+// -------------------------------------------------------------- Reservoir
+
+TEST(ReservoirTest, KeepsEverythingBelowK) {
+  ReservoirSampler rs(100, 1);
+  for (uint64_t i = 0; i < 50; ++i) rs.Update(i);
+  EXPECT_EQ(rs.Sample().size(), 50u);
+  EXPECT_EQ(rs.ItemsSeen(), 50u);
+}
+
+TEST(ReservoirTest, SampleSizeCapped) {
+  ReservoirSampler rs(10, 2);
+  for (uint64_t i = 0; i < 10000; ++i) rs.Update(i);
+  EXPECT_EQ(rs.Sample().size(), 10u);
+  EXPECT_EQ(rs.ItemsSeen(), 10000u);
+}
+
+TEST(ReservoirTest, InclusionProbabilityIsUniform) {
+  // Each of 100 items should appear with probability k/n = 10/100 = 0.1.
+  const int trials = 5000;
+  std::vector<int> hits(100, 0);
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler rs(10, 100 + t);
+    for (uint64_t i = 0; i < 100; ++i) rs.Update(i);
+    for (uint64_t item : rs.Sample()) hits[item]++;
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(static_cast<double>(hits[i]) / trials, 0.1, 0.025)
+        << "item " << i;
+  }
+}
+
+TEST(ReservoirTest, MergePreservesUniformity) {
+  // Stream A has items 0..99, stream B has 100..299. After merge, item
+  // inclusion should be ~k/300 regardless of source.
+  const int trials = 4000;
+  int hits_a = 0, hits_b = 0;
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler a(30, 500 + t), b(30, 9000 + t);
+    for (uint64_t i = 0; i < 100; ++i) a.Update(i);
+    for (uint64_t i = 100; i < 300; ++i) b.Update(i);
+    ASSERT_TRUE(a.Merge(b).ok());
+    EXPECT_EQ(a.ItemsSeen(), 300u);
+    EXPECT_EQ(a.Sample().size(), 30u);
+    for (uint64_t item : a.Sample()) {
+      (item < 100 ? hits_a : hits_b)++;
+    }
+  }
+  // E[hits_a per trial] = 30 * 100/300 = 10; E[hits_b] = 20.
+  EXPECT_NEAR(static_cast<double>(hits_a) / trials, 10.0, 0.5);
+  EXPECT_NEAR(static_cast<double>(hits_b) / trials, 20.0, 0.5);
+}
+
+TEST(ReservoirTest, MergeRejectsKMismatch) {
+  ReservoirSampler a(10, 0), b(20, 0);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(ReservoirTest, SerializeRoundTrip) {
+  ReservoirSampler rs(50, 3);
+  for (uint64_t i = 0; i < 1000; ++i) rs.Update(i);
+  auto r = ReservoirSampler::Deserialize(rs.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ItemsSeen(), rs.ItemsSeen());
+  EXPECT_EQ(r.value().Sample(), rs.Sample());
+}
+
+// ------------------------------------------------------ Weighted reservoir
+
+TEST(WeightedReservoirTest, HeavyItemsSampledMoreOften) {
+  const int trials = 2000;
+  int heavy_hits = 0, light_hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    WeightedReservoirSampler ws(1, 700 + t);
+    ws.Update(1, 9.0);   // 90% of total weight.
+    ws.Update(2, 1.0);   // 10%.
+    const auto sample = ws.Sample();
+    ASSERT_EQ(sample.size(), 1u);
+    (sample[0] == 1 ? heavy_hits : light_hits)++;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy_hits) / trials, 0.9, 0.03);
+}
+
+TEST(WeightedReservoirTest, SampleWithoutReplacement) {
+  WeightedReservoirSampler ws(5, 4);
+  for (uint64_t i = 0; i < 100; ++i) ws.Update(i, 1.0 + i);
+  const auto sample = ws.Sample();
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(WeightedReservoirTest, MergeKeepsTopKeys) {
+  WeightedReservoirSampler a(3, 5), b(3, 6);
+  for (uint64_t i = 0; i < 50; ++i) a.Update(i, 1.0);
+  for (uint64_t i = 50; i < 100; ++i) b.Update(i, 1.0);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.Sample().size(), 3u);
+}
+
+// ------------------------------------------------------ One-sparse recovery
+
+TEST(OneSparseTest, ZeroVector) {
+  OneSparseRecovery osr(1);
+  EXPECT_EQ(osr.Classify(), OneSparseRecovery::State::kZero);
+  osr.Update(5, 3);
+  osr.Update(5, -3);
+  EXPECT_EQ(osr.Classify(), OneSparseRecovery::State::kZero);
+}
+
+TEST(OneSparseTest, RecoversSingleton) {
+  OneSparseRecovery osr(2);
+  osr.Update(12345, 7);
+  ASSERT_EQ(osr.Classify(), OneSparseRecovery::State::kOneSparse);
+  const auto recovered = osr.Recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->item, 12345u);
+  EXPECT_EQ(recovered->weight, 7);
+}
+
+TEST(OneSparseTest, RecoversAfterCancellations) {
+  OneSparseRecovery osr(3);
+  osr.Update(10, 5);
+  osr.Update(20, 3);
+  osr.Update(20, -3);  // Cancels.
+  const auto recovered = osr.Recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->item, 10u);
+  EXPECT_EQ(recovered->weight, 5);
+}
+
+TEST(OneSparseTest, DetectsDense) {
+  OneSparseRecovery osr(4);
+  osr.Update(1, 1);
+  osr.Update(2, 1);
+  EXPECT_EQ(osr.Classify(), OneSparseRecovery::State::kDense);
+}
+
+TEST(OneSparseTest, DetectsDenseWithManyItems) {
+  // Fingerprint must catch multi-item states that happen to have integral
+  // weighted mean.
+  int false_positives = 0;
+  for (int t = 0; t < 200; ++t) {
+    OneSparseRecovery osr(100 + t);
+    osr.Update(10, 1);
+    osr.Update(30, 1);  // Mean index = 20, integral!
+    if (osr.Classify() == OneSparseRecovery::State::kOneSparse) {
+      ++false_positives;
+    }
+  }
+  EXPECT_EQ(false_positives, 0);
+}
+
+TEST(OneSparseTest, NegativeSingleton) {
+  OneSparseRecovery osr(5);
+  osr.Update(42, -9);
+  const auto recovered = osr.Recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->item, 42u);
+  EXPECT_EQ(recovered->weight, -9);
+}
+
+TEST(OneSparseTest, MergeCombines) {
+  OneSparseRecovery a(6), b(6);
+  a.Update(7, 4);
+  b.Update(7, 6);
+  ASSERT_TRUE(a.Merge(b).ok());
+  const auto recovered = a.Recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->weight, 10);
+}
+
+// -------------------------------------------------------- Sparse recovery
+
+TEST(SparseRecoveryTest, RecoversSparseVector) {
+  SparseRecovery sr(8, 7);
+  std::map<uint64_t, int64_t> truth = {{5, 3}, {1000, -2}, {77777, 10}};
+  for (const auto& [item, weight] : truth) sr.Update(item, weight);
+  const auto recovered = sr.Recover();
+  ASSERT_TRUE(recovered.has_value());
+  std::map<uint64_t, int64_t> got;
+  for (const auto& rec : *recovered) got[rec.item] = rec.weight;
+  EXPECT_EQ(got, truth);
+}
+
+TEST(SparseRecoveryTest, EmptyVectorRecoversEmpty) {
+  SparseRecovery sr(4, 8);
+  const auto recovered = sr.Recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(recovered->empty());
+}
+
+TEST(SparseRecoveryTest, FailsOnDenseVector) {
+  SparseRecovery sr(4, 9);
+  for (uint64_t i = 0; i < 1000; ++i) sr.Update(i, 1);
+  const auto recovered = sr.Recover();
+  // Either explicitly fails or returns far fewer than 1000 items.
+  if (recovered.has_value()) {
+    EXPECT_LE(recovered->size(), 4u);
+  }
+}
+
+TEST(SparseRecoveryTest, CancellationsLeaveSparse) {
+  SparseRecovery sr(8, 10);
+  // Insert 100 items, remove 98.
+  for (uint64_t i = 0; i < 100; ++i) sr.Update(i, 2);
+  for (uint64_t i = 0; i < 98; ++i) sr.Update(i, -2);
+  const auto recovered = sr.Recover();
+  ASSERT_TRUE(recovered.has_value());
+  std::map<uint64_t, int64_t> got;
+  for (const auto& rec : *recovered) got[rec.item] = rec.weight;
+  const std::map<uint64_t, int64_t> expected = {{98, 2}, {99, 2}};
+  EXPECT_EQ(got, expected);
+}
+
+// -------------------------------------------------------------- L0 sampler
+
+TEST(L0SamplerTest, EmptyDrawsNothing) {
+  L0Sampler l0(11);
+  EXPECT_FALSE(l0.Draw().has_value());
+}
+
+TEST(L0SamplerTest, SingletonAlwaysRecovered) {
+  L0Sampler l0(12);
+  l0.Update(999, 5);
+  const auto sample = l0.Draw();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->item, 999u);
+  EXPECT_EQ(sample->weight, 5);
+}
+
+TEST(L0SamplerTest, DrawsOnlySurvivingItems) {
+  L0Sampler l0(13);
+  for (uint64_t i = 0; i < 500; ++i) l0.Update(i, 1);
+  for (uint64_t i = 0; i < 499; ++i) l0.Update(i, -1);  // Only 499 left.
+  const auto sample = l0.Draw();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->item, 499u);
+  EXPECT_EQ(sample->weight, 1);
+}
+
+TEST(L0SamplerTest, SamplesSpreadAcrossSupport) {
+  // Different seeds should sample many different coordinates.
+  std::set<uint64_t> drawn;
+  for (int t = 0; t < 100; ++t) {
+    L0Sampler l0(1000 + t);
+    for (uint64_t i = 0; i < 200; ++i) l0.Update(i, 1);
+    const auto sample = l0.Draw();
+    if (sample.has_value()) {
+      EXPECT_LT(sample->item, 200u);
+      drawn.insert(sample->item);
+    }
+  }
+  EXPECT_GE(drawn.size(), 30u);  // Far from degenerate.
+}
+
+TEST(L0SamplerTest, SuccessRateHigh) {
+  int successes = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    L0Sampler l0(2000 + t);
+    for (uint64_t i = 0; i < 1000; ++i) l0.Update(i * 31 + 7, 1);
+    if (l0.Draw().has_value()) ++successes;
+  }
+  EXPECT_GE(successes, 95);
+}
+
+TEST(L0SamplerTest, MergeActsLikeUnion) {
+  L0Sampler a(14), b(14);
+  a.Update(1, 1);
+  b.Update(1, -1);  // Cancels across the merge.
+  b.Update(2, 3);
+  ASSERT_TRUE(a.Merge(b).ok());
+  const auto sample = a.Draw();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->item, 2u);
+  EXPECT_EQ(sample->weight, 3);
+}
+
+TEST(L0SamplerTest, MergeRejectsSeedMismatch) {
+  L0Sampler a(15), b(16);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(L0SamplerTest, SerializeRoundTrip) {
+  L0Sampler sampler(17, L0Sampler::Options{4, 24, 2});
+  for (uint64_t i = 0; i < 300; ++i) sampler.Update(i * 13 + 1, 1);
+  auto restored = L0Sampler::Deserialize(sampler.Serialize());
+  ASSERT_TRUE(restored.ok());
+  // Same state draws the same sample.
+  const auto a = sampler.Draw();
+  const auto b = restored.value().Draw();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->item, b->item);
+  EXPECT_EQ(a->weight, b->weight);
+  // And the restored sampler still merges with the original lineage.
+  L0Sampler more(17, L0Sampler::Options{4, 24, 2});
+  more.Update(999999, 5);
+  EXPECT_TRUE(restored.value().Merge(more).ok());
+}
+
+TEST(L0SamplerTest, DeserializeGarbageFails) {
+  EXPECT_FALSE(L0Sampler::Deserialize({1, 2, 3, 4}).ok());
+  L0Sampler sampler(18, L0Sampler::Options{2, 8, 1});
+  auto bytes = sampler.Serialize();
+  bytes.resize(bytes.size() / 3);
+  EXPECT_FALSE(L0Sampler::Deserialize(bytes).ok());
+}
+
+}  // namespace
+}  // namespace gems

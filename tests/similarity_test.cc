@@ -1,0 +1,250 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/numeric.h"
+#include "common/random.h"
+#include "core/summary.h"
+#include "similarity/lsh.h"
+#include "similarity/minhash.h"
+#include "similarity/simhash.h"
+#include "workload/generators.h"
+
+namespace gems {
+namespace {
+
+static_assert(ItemSummary<MinHashSketch>);
+static_assert(MergeableSummary<MinHashSketch>);
+static_assert(SerializableSummary<MinHashSketch>);
+
+// ---------------------------------------------------------------- MinHash
+
+TEST(MinHashTest, IdenticalSetsHaveJaccardOne) {
+  MinHashSketch a(128, 1), b(128, 1);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    a.Update(i);
+    b.Update(i);
+  }
+  auto j = a.Jaccard(b);
+  ASSERT_TRUE(j.ok());
+  EXPECT_DOUBLE_EQ(j.value(), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsHaveJaccardNearZero) {
+  MinHashSketch a(128, 2), b(128, 2);
+  for (uint64_t i = 0; i < 1000; ++i) a.Update(i);
+  for (uint64_t i = 10000; i < 11000; ++i) b.Update(i);
+  auto j = a.Jaccard(b);
+  ASSERT_TRUE(j.ok());
+  EXPECT_LT(j.value(), 0.05);
+}
+
+TEST(MinHashTest, JaccardEstimateTracksTruth) {
+  // |A| = |B| = 1500, overlap 1000 -> J = 1000/2000 = 0.5.
+  for (double overlap_fraction : {0.2, 0.5, 0.8}) {
+    MinHashSketch a(256, 3), b(256, 3);
+    const uint64_t total = 2000;
+    const uint64_t shared =
+        static_cast<uint64_t>(2 * total * overlap_fraction /
+                              (1 + overlap_fraction));
+    const uint64_t only = total - shared;
+    for (uint64_t i = 0; i < shared; ++i) {
+      a.Update(i);
+      b.Update(i);
+    }
+    for (uint64_t i = 0; i < only; ++i) {
+      a.Update(1000000 + i);
+      b.Update(2000000 + i);
+    }
+    const double truth = static_cast<double>(shared) /
+                         static_cast<double>(shared + 2 * only);
+    auto j = a.Jaccard(b);
+    ASSERT_TRUE(j.ok());
+    EXPECT_NEAR(j.value(), truth, 3.0 / std::sqrt(256.0));
+  }
+}
+
+TEST(MinHashTest, MergeIsSetUnion) {
+  MinHashSketch a(64, 4), b(64, 4), u(64, 4);
+  for (uint64_t i = 0; i < 500; ++i) {
+    a.Update(i);
+    u.Update(i);
+  }
+  for (uint64_t i = 500; i < 1000; ++i) {
+    b.Update(i);
+    u.Update(i);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.signature(), u.signature());
+}
+
+TEST(MinHashTest, MismatchedConfigsRejected) {
+  MinHashSketch a(64, 0), b(128, 0), c(64, 1);
+  EXPECT_FALSE(a.Jaccard(b).ok());
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(MinHashTest, SerializeRoundTrip) {
+  MinHashSketch a(32, 5);
+  for (uint64_t i = 0; i < 100; ++i) a.Update(i * 7);
+  auto r = MinHashSketch::Deserialize(a.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().signature(), a.signature());
+}
+
+// ---------------------------------------------------------------- SimHash
+
+TEST(SimHashTest, IdenticalVectorsZeroHamming) {
+  SimHasher hasher(256, 1);
+  Rng rng(2);
+  std::vector<double> v(64);
+  for (double& x : v) x = rng.NextGaussian();
+  const auto s1 = hasher.Signature(v);
+  const auto s2 = hasher.Signature(v);
+  EXPECT_EQ(SimHasher::HammingDistance(s1, s2), 0u);
+  EXPECT_NEAR(hasher.EstimateCosine(s1, s2), 1.0, 1e-9);
+}
+
+TEST(SimHashTest, OppositeVectorsMaxHamming) {
+  SimHasher hasher(256, 3);
+  Rng rng(4);
+  std::vector<double> v(64), neg(64);
+  for (size_t i = 0; i < 64; ++i) {
+    v[i] = rng.NextGaussian();
+    neg[i] = -v[i];
+  }
+  const auto s1 = hasher.Signature(v);
+  const auto s2 = hasher.Signature(neg);
+  EXPECT_GT(SimHasher::HammingDistance(s1, s2), 230u);
+  EXPECT_LT(hasher.EstimateCosine(s1, s2), -0.8);
+}
+
+TEST(SimHashTest, CosineEstimateTracksTruth) {
+  SimHasher hasher(512, 5);
+  Rng rng(6);
+  std::vector<double> errors;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> a(128), b(128);
+    for (size_t i = 0; i < 128; ++i) a[i] = rng.NextGaussian();
+    // b = alpha*a + noise for varying alpha -> varying cosine.
+    const double alpha = 0.1 * trial;
+    for (size_t i = 0; i < 128; ++i) {
+      b[i] = alpha * a[i] + rng.NextGaussian();
+    }
+    const double truth = CosineSimilarity(a, b);
+    const double estimate =
+        hasher.EstimateCosine(hasher.Signature(a), hasher.Signature(b));
+    errors.push_back(estimate - truth);
+  }
+  EXPECT_LT(Rms(errors), 0.12);
+}
+
+TEST(SimHashTest, CosineSimilarityBaseline) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {-1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 0}), 0.0);
+}
+
+// -------------------------------------------------------------------- LSH
+
+TEST(LshTest, ExactDuplicateAlwaysFound) {
+  LshIndex index(16, 4, 1);
+  MinHashSketch probe(64, 9);
+  for (uint64_t i = 0; i < 500; ++i) probe.Update(i);
+  ASSERT_TRUE(index.Insert(42, probe.signature()).ok());
+  auto candidates = index.Query(probe.signature());
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_EQ(candidates.value().size(), 1u);
+  EXPECT_EQ(candidates.value()[0], 42u);
+}
+
+TEST(LshTest, SignatureLengthValidated) {
+  LshIndex index(8, 4, 2);
+  std::vector<uint64_t> wrong(31, 0);
+  EXPECT_FALSE(index.Insert(1, wrong).ok());
+  EXPECT_FALSE(index.Query(wrong).ok());
+}
+
+TEST(LshTest, CollisionProbabilityFormula) {
+  LshIndex index(20, 5, 3);
+  // s = 1 collides always; s = 0 never.
+  EXPECT_NEAR(index.CollisionProbability(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(index.CollisionProbability(0.0), 0.0, 1e-12);
+  // S-curve: steep between.
+  EXPECT_LT(index.CollisionProbability(0.3), 0.1);
+  EXPECT_GT(index.CollisionProbability(0.8), 0.9);
+}
+
+TEST(LshTest, SimilarSetsCollideDissimilarDont) {
+  const uint32_t bands = 16, rows = 4;
+  LshIndex index(bands, rows, 4);
+  const uint64_t seed = 77;
+
+  // Base set and a 90%-similar variant; plus an unrelated set.
+  MinHashSketch base(bands * rows, seed), similar(bands * rows, seed),
+      unrelated(bands * rows, seed);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    base.Update(i);
+    if (i >= 50) similar.Update(i);  // ~0.95 Jaccard.
+    unrelated.Update(1000000 + i);
+  }
+  ASSERT_TRUE(index.Insert(1, similar.signature()).ok());
+  ASSERT_TRUE(index.Insert(2, unrelated.signature()).ok());
+  auto candidates = index.Query(base.signature());
+  ASSERT_TRUE(candidates.ok());
+  const std::set<uint64_t> found(candidates.value().begin(),
+                                 candidates.value().end());
+  EXPECT_TRUE(found.contains(1));
+  EXPECT_FALSE(found.contains(2));
+}
+
+TEST(LshTest, RecallFollowsSCurve) {
+  // Empirical candidate rate at a given similarity should be within noise
+  // of 1 - (1 - s^r)^b.
+  const uint32_t bands = 8, rows = 4;
+  const uint64_t seed = 99;
+  const double target_similarity = 0.7;
+  int collisions = 0;
+  const int trials = 150;
+  for (int t = 0; t < trials; ++t) {
+    LshIndex index(bands, rows, 500 + t);
+    MinHashSketch a(bands * rows, seed + t), b(bands * rows, seed + t);
+    // Construct sets with Jaccard ~ target: shared s/(2-s) fraction.
+    const uint64_t total = 800;
+    const uint64_t shared = static_cast<uint64_t>(
+        total * 2 * target_similarity / (1 + target_similarity));
+    for (uint64_t i = 0; i < shared; ++i) {
+      a.Update(i);
+      b.Update(i);
+    }
+    for (uint64_t i = shared; i < total; ++i) {
+      a.Update(100000 + i);
+      b.Update(200000 + i);
+    }
+    ASSERT_TRUE(index.Insert(7, a.signature()).ok());
+    auto candidates = index.Query(b.signature());
+    ASSERT_TRUE(candidates.ok());
+    if (!candidates.value().empty()) ++collisions;
+  }
+  const double empirical = static_cast<double>(collisions) / trials;
+  LshIndex reference(bands, rows, 0);
+  const double predicted = reference.CollisionProbability(target_similarity);
+  EXPECT_NEAR(empirical, predicted, 0.15);
+}
+
+TEST(LshTest, BucketEntriesAccounting) {
+  LshIndex index(4, 2, 5);
+  std::vector<uint64_t> sig(8, 1);
+  ASSERT_TRUE(index.Insert(1, sig).ok());
+  ASSERT_TRUE(index.Insert(2, sig).ok());
+  EXPECT_EQ(index.NumItems(), 2u);
+  EXPECT_EQ(index.NumBucketEntries(), 8u);  // 2 items x 4 bands.
+}
+
+}  // namespace
+}  // namespace gems

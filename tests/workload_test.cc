@@ -1,0 +1,290 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/baselines.h"
+#include "workload/generators.h"
+#include "workload/metrics.h"
+
+namespace gems {
+namespace {
+
+// -------------------------------------------------------------------- Zipf
+
+TEST(ZipfGeneratorTest, IsDeterministicPerSeed) {
+  ZipfGenerator a(1000, 1.1, 5), b(1000, 1.1, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ZipfGeneratorTest, UnshuffledRanksAreSkewed) {
+  ZipfGenerator zipf(1000, 1.2, 7, /*shuffle=*/false);
+  std::unordered_map<uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[zipf.Next()]++;
+  // Rank 0 should dominate rank 9 by roughly 10^1.2.
+  EXPECT_GT(counts[0], counts[9] * 5);
+  // All draws inside the universe.
+  for (const auto& [item, count] : counts) EXPECT_LT(item, 1000u);
+}
+
+TEST(ZipfGeneratorTest, ExponentZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0, 11, /*shuffle=*/false);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[zipf.Next()]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 10, 600);
+}
+
+TEST(ZipfGeneratorTest, ShuffleDecorrelatesIdFromRank) {
+  ZipfGenerator zipf(1000, 1.2, 7, /*shuffle=*/true);
+  std::unordered_map<uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[zipf.Next()]++;
+  // The most frequent shuffled item should not be a tiny integer.
+  uint64_t top_item = 0;
+  int top_count = 0;
+  for (const auto& [item, count] : counts) {
+    if (count > top_count) {
+      top_count = count;
+      top_item = item;
+    }
+  }
+  EXPECT_GT(top_item, 1000u);  // Hash-permuted far outside [0, universe).
+}
+
+TEST(DistinctItemsTest, AllDistinct) {
+  const auto items = DistinctItems(100000, 3);
+  std::unordered_set<uint64_t> set(items.begin(), items.end());
+  EXPECT_EQ(set.size(), items.size());
+}
+
+TEST(DistinctItemsTest, DifferentSeedsDiffer) {
+  const auto a = DistinctItems(10, 1);
+  const auto b = DistinctItems(10, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(GenerateValuesTest, AllDistributionsProduceN) {
+  for (auto dist :
+       {ValueDistribution::kUniform, ValueDistribution::kGaussian,
+        ValueDistribution::kLogNormal, ValueDistribution::kSorted,
+        ValueDistribution::kReverse, ValueDistribution::kZipfValues}) {
+    EXPECT_EQ(GenerateValues(dist, 1000, 9).size(), 1000u);
+  }
+}
+
+TEST(GenerateValuesTest, SortedAndReverseShapes) {
+  const auto sorted = GenerateValues(ValueDistribution::kSorted, 100, 0);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  auto reversed = GenerateValues(ValueDistribution::kReverse, 100, 0);
+  EXPECT_TRUE(std::is_sorted(reversed.rbegin(), reversed.rend()));
+}
+
+TEST(GenerateValuesTest, LogNormalIsPositiveAndSkewed) {
+  const auto xs = GenerateValues(ValueDistribution::kLogNormal, 10000, 4);
+  double max_value = 0;
+  for (double x : xs) {
+    EXPECT_GT(x, 0.0);
+    max_value = std::max(max_value, x);
+  }
+  EXPECT_GT(max_value, 10.0);  // Heavy right tail.
+}
+
+// -------------------------------------------------------------------- Flow
+
+TEST(FlowGeneratorTest, ElephantsAndMice) {
+  FlowGenerator::Options options;
+  options.num_flows = 1000;
+  options.flow_size_skew = 1.3;
+  FlowGenerator gen(options, 21);
+  std::unordered_map<uint64_t, int> packets_per_flow;
+  for (int i = 0; i < 50000; ++i) {
+    packets_per_flow[gen.Next().FlowKey()]++;
+  }
+  // Skewed: the top flow should carry far more than the mean.
+  int top = 0;
+  for (const auto& [flow, count] : packets_per_flow) top = std::max(top, count);
+  const double mean = 50000.0 / packets_per_flow.size();
+  EXPECT_GT(top, 10 * mean);
+}
+
+TEST(FlowGeneratorTest, ScanInjectsHighFanoutSource) {
+  FlowGenerator::Options options;
+  options.include_scan = true;
+  options.scan_fanout = 256;
+  FlowGenerator gen(options, 22);
+  std::unordered_set<uint32_t> scanner_dsts;
+  for (int i = 0; i < 100000; ++i) {
+    FlowRecord r = gen.Next();
+    if (r.src_ip == 0x0A000001 && r.src_port == 31337) {
+      scanner_dsts.insert(r.dst_ip);
+    }
+  }
+  EXPECT_EQ(scanner_dsts.size(), 256u);
+}
+
+// --------------------------------------------------------------- Exposure
+
+TEST(ExposureGeneratorTest, EventsRespectAudiences) {
+  ExposureGenerator::Options options;
+  ExposureGenerator gen(options, 33);
+  for (int i = 0; i < 1000; ++i) {
+    ExposureEvent e = gen.Next();
+    EXPECT_TRUE(gen.InAudience(e.user_id, e.campaign_id));
+    EXPECT_LT(e.region, options.num_regions);
+    EXPECT_LT(e.age_band, options.num_age_bands);
+  }
+}
+
+TEST(ExposureGeneratorTest, AdjacentCampaignsOverlap) {
+  ExposureGenerator::Options options;
+  options.num_users = 20000;
+  options.audience_fraction = 0.4;
+  ExposureGenerator gen(options, 34);
+  uint64_t both = 0, either = 0;
+  for (uint64_t u = 0; u < options.num_users; ++u) {
+    const bool a = gen.InAudience(u, 0);
+    const bool b = gen.InAudience(u, 1);
+    if (a && b) ++both;
+    if (a || b) ++either;
+  }
+  // ~50% audience overlap by construction.
+  EXPECT_GT(both, 0u);
+  const double jaccard = static_cast<double>(both) / either;
+  EXPECT_NEAR(jaccard, 0.2 / 0.6, 0.05);
+}
+
+TEST(ExposureGeneratorTest, AudienceSizeMatchesFraction) {
+  ExposureGenerator::Options options;
+  options.num_users = 50000;
+  options.audience_fraction = 0.25;
+  ExposureGenerator gen(options, 35);
+  uint64_t in_audience = 0;
+  for (uint64_t u = 0; u < options.num_users; ++u) {
+    if (gen.InAudience(u, 2)) ++in_audience;
+  }
+  EXPECT_NEAR(static_cast<double>(in_audience) / options.num_users, 0.25,
+              0.01);
+}
+
+// -------------------------------------------------------------- Baselines
+
+TEST(ExactDistinctTest, CountsDistinct) {
+  ExactDistinct d;
+  for (uint64_t i = 0; i < 100; ++i) d.Update(i % 10);
+  EXPECT_EQ(d.Count(), 10u);
+  EXPECT_TRUE(d.Contains(3));
+  EXPECT_FALSE(d.Contains(10));
+}
+
+TEST(ExactDistinctTest, MergeIsUnion) {
+  ExactDistinct a, b;
+  a.Update(1);
+  a.Update(2);
+  b.Update(2);
+  b.Update(3);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(ExactFrequenciesTest, CountsAndTopK) {
+  ExactFrequencies f;
+  for (int i = 0; i < 10; ++i) f.Update(1);
+  for (int i = 0; i < 5; ++i) f.Update(2);
+  f.Update(3);
+  EXPECT_EQ(f.Count(1), 10);
+  EXPECT_EQ(f.Count(2), 5);
+  EXPECT_EQ(f.Count(99), 0);
+  EXPECT_EQ(f.TotalWeight(), 16);
+  const auto top = f.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 1u);
+  EXPECT_EQ(top[1].first, 2u);
+  EXPECT_EQ(f.ItemsAbove(5).size(), 2u);
+  EXPECT_DOUBLE_EQ(f.F2(), 100 + 25 + 1);
+  EXPECT_EQ(f.NumKeys(), 3u);
+}
+
+TEST(ExactFrequenciesTest, NegativeWeightsAndMerge) {
+  ExactFrequencies a, b;
+  a.Update(1, 5);
+  b.Update(1, -5);
+  b.Update(2, 7);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(1), 0);
+  EXPECT_EQ(a.Count(2), 7);
+  EXPECT_EQ(a.NumKeys(), 1u);
+}
+
+TEST(ExactQuantilesTest, QuantilesOfKnownData) {
+  ExactQuantiles q;
+  for (int i = 99; i >= 0; --i) q.Update(i);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 99.0);
+  EXPECT_EQ(q.Rank(49.5), 50u);
+  EXPECT_EQ(q.Rank(-1), 0u);
+  EXPECT_EQ(q.Rank(1000), 100u);
+}
+
+TEST(ExactQuantilesTest, MergeConcatenates) {
+  ExactQuantiles a, b;
+  a.Update(1);
+  b.Update(2);
+  b.Update(3);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Quantile(1.0), 3.0);
+}
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(CompareSetsTest, PerfectRetrieval) {
+  RetrievalQuality q = CompareSets({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+}
+
+TEST(CompareSetsTest, PartialRetrieval) {
+  RetrievalQuality q = CompareSets({1, 2, 4}, {1, 2, 3});
+  EXPECT_NEAR(q.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(q.true_positives, 2u);
+  EXPECT_EQ(q.false_positives, 1u);
+  EXPECT_EQ(q.false_negatives, 1u);
+}
+
+TEST(CompareSetsTest, EmptySetsAreVacuouslyPerfect) {
+  RetrievalQuality q = CompareSets({}, {});
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+}
+
+TEST(CompareSetsTest, DuplicatesIgnored) {
+  RetrievalQuality q = CompareSets({1, 1, 1}, {1});
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+}
+
+TEST(MeanRankErrorTest, ExactAnswersHaveZeroError) {
+  std::vector<double> data(1000);
+  for (int i = 0; i < 1000; ++i) data[i] = i;
+  std::vector<double> quantiles = {0.1, 0.5, 0.9};
+  std::vector<double> answers = {99, 499, 899};  // Ranks 100, 500, 900.
+  EXPECT_NEAR(MeanRankError(data, quantiles, answers), 0.0, 1e-9);
+}
+
+TEST(MeanRankErrorTest, OffByTenPercent) {
+  std::vector<double> data(1000);
+  for (int i = 0; i < 1000; ++i) data[i] = i;
+  // Estimate for the median lands at rank 600 instead of 500.
+  EXPECT_NEAR(MeanRankError(data, {0.5}, {599}), 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace gems

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e02_morris"
+  "../bench/bench_e02_morris.pdb"
+  "CMakeFiles/bench_e02_morris.dir/bench_e02_morris.cc.o"
+  "CMakeFiles/bench_e02_morris.dir/bench_e02_morris.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e02_morris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e03_frequency_error"
+  "../bench/bench_e03_frequency_error.pdb"
+  "CMakeFiles/bench_e03_frequency_error.dir/bench_e03_frequency_error.cc.o"
+  "CMakeFiles/bench_e03_frequency_error.dir/bench_e03_frequency_error.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_frequency_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e04_quantile_accuracy"
+  "../bench/bench_e04_quantile_accuracy.pdb"
+  "CMakeFiles/bench_e04_quantile_accuracy.dir/bench_e04_quantile_accuracy.cc.o"
+  "CMakeFiles/bench_e04_quantile_accuracy.dir/bench_e04_quantile_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e04_quantile_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e06_mergeability"
+  "../bench/bench_e06_mergeability.pdb"
+  "CMakeFiles/bench_e06_mergeability.dir/bench_e06_mergeability.cc.o"
+  "CMakeFiles/bench_e06_mergeability.dir/bench_e06_mergeability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_mergeability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

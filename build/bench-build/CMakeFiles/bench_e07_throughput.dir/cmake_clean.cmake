@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e07_throughput"
+  "../bench/bench_e07_throughput.pdb"
+  "CMakeFiles/bench_e07_throughput.dir/bench_e07_throughput.cc.o"
+  "CMakeFiles/bench_e07_throughput.dir/bench_e07_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e07_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

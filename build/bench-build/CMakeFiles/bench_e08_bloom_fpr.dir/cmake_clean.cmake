@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e08_bloom_fpr"
+  "../bench/bench_e08_bloom_fpr.pdb"
+  "CMakeFiles/bench_e08_bloom_fpr.dir/bench_e08_bloom_fpr.cc.o"
+  "CMakeFiles/bench_e08_bloom_fpr.dir/bench_e08_bloom_fpr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_bloom_fpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e09_ad_reach"
+  "../bench/bench_e09_ad_reach.pdb"
+  "CMakeFiles/bench_e09_ad_reach.dir/bench_e09_ad_reach.cc.o"
+  "CMakeFiles/bench_e09_ad_reach.dir/bench_e09_ad_reach.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e09_ad_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_private_frequency"
+  "../bench/bench_e10_private_frequency.pdb"
+  "CMakeFiles/bench_e10_private_frequency.dir/bench_e10_private_frequency.cc.o"
+  "CMakeFiles/bench_e10_private_frequency.dir/bench_e10_private_frequency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_private_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

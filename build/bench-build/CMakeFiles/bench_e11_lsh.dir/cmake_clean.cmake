@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_lsh"
+  "../bench/bench_e11_lsh.pdb"
+  "CMakeFiles/bench_e11_lsh.dir/bench_e11_lsh.cc.o"
+  "CMakeFiles/bench_e11_lsh.dir/bench_e11_lsh.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

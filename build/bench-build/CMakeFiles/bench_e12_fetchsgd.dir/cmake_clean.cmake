@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e12_fetchsgd"
+  "../bench/bench_e12_fetchsgd.pdb"
+  "CMakeFiles/bench_e12_fetchsgd.dir/bench_e12_fetchsgd.cc.o"
+  "CMakeFiles/bench_e12_fetchsgd.dir/bench_e12_fetchsgd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_fetchsgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

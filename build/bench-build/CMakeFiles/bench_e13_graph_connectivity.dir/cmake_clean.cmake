@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e13_graph_connectivity"
+  "../bench/bench_e13_graph_connectivity.pdb"
+  "CMakeFiles/bench_e13_graph_connectivity.dir/bench_e13_graph_connectivity.cc.o"
+  "CMakeFiles/bench_e13_graph_connectivity.dir/bench_e13_graph_connectivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_graph_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

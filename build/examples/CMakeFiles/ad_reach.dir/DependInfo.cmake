@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ad_reach.cc" "examples/CMakeFiles/ad_reach.dir/ad_reach.cc.o" "gcc" "examples/CMakeFiles/ad_reach.dir/ad_reach.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/gems_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gems_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gems_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/gems_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/gems_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/gems_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/gems_robust.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/gems_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cardinality/CMakeFiles/gems_cardinality.dir/DependInfo.cmake"
+  "/root/repo/build/src/frequency/CMakeFiles/gems_frequency.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantiles/CMakeFiles/gems_quantiles.dir/DependInfo.cmake"
+  "/root/repo/build/src/distributed/CMakeFiles/gems_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gems_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/moments/CMakeFiles/gems_moments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gems_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gems_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

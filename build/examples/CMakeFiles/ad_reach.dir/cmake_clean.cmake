@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_reach.dir/ad_reach.cc.o"
+  "CMakeFiles/ad_reach.dir/ad_reach.cc.o.d"
+  "ad_reach"
+  "ad_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hash")
+subdirs("core")
+subdirs("workload")
+subdirs("cardinality")
+subdirs("membership")
+subdirs("frequency")
+subdirs("quantiles")
+subdirs("sampling")
+subdirs("moments")
+subdirs("graph")
+subdirs("similarity")
+subdirs("privacy")
+subdirs("robust")
+subdirs("engine")
+subdirs("distributed")
+subdirs("ml")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cardinality/flajolet_martin.cc" "src/cardinality/CMakeFiles/gems_cardinality.dir/flajolet_martin.cc.o" "gcc" "src/cardinality/CMakeFiles/gems_cardinality.dir/flajolet_martin.cc.o.d"
+  "/root/repo/src/cardinality/hllpp.cc" "src/cardinality/CMakeFiles/gems_cardinality.dir/hllpp.cc.o" "gcc" "src/cardinality/CMakeFiles/gems_cardinality.dir/hllpp.cc.o.d"
+  "/root/repo/src/cardinality/hyperloglog.cc" "src/cardinality/CMakeFiles/gems_cardinality.dir/hyperloglog.cc.o" "gcc" "src/cardinality/CMakeFiles/gems_cardinality.dir/hyperloglog.cc.o.d"
+  "/root/repo/src/cardinality/kmv.cc" "src/cardinality/CMakeFiles/gems_cardinality.dir/kmv.cc.o" "gcc" "src/cardinality/CMakeFiles/gems_cardinality.dir/kmv.cc.o.d"
+  "/root/repo/src/cardinality/linear_counting.cc" "src/cardinality/CMakeFiles/gems_cardinality.dir/linear_counting.cc.o" "gcc" "src/cardinality/CMakeFiles/gems_cardinality.dir/linear_counting.cc.o.d"
+  "/root/repo/src/cardinality/loglog.cc" "src/cardinality/CMakeFiles/gems_cardinality.dir/loglog.cc.o" "gcc" "src/cardinality/CMakeFiles/gems_cardinality.dir/loglog.cc.o.d"
+  "/root/repo/src/cardinality/morris.cc" "src/cardinality/CMakeFiles/gems_cardinality.dir/morris.cc.o" "gcc" "src/cardinality/CMakeFiles/gems_cardinality.dir/morris.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gems_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gems_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_cardinality.dir/flajolet_martin.cc.o"
+  "CMakeFiles/gems_cardinality.dir/flajolet_martin.cc.o.d"
+  "CMakeFiles/gems_cardinality.dir/hllpp.cc.o"
+  "CMakeFiles/gems_cardinality.dir/hllpp.cc.o.d"
+  "CMakeFiles/gems_cardinality.dir/hyperloglog.cc.o"
+  "CMakeFiles/gems_cardinality.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/gems_cardinality.dir/kmv.cc.o"
+  "CMakeFiles/gems_cardinality.dir/kmv.cc.o.d"
+  "CMakeFiles/gems_cardinality.dir/linear_counting.cc.o"
+  "CMakeFiles/gems_cardinality.dir/linear_counting.cc.o.d"
+  "CMakeFiles/gems_cardinality.dir/loglog.cc.o"
+  "CMakeFiles/gems_cardinality.dir/loglog.cc.o.d"
+  "CMakeFiles/gems_cardinality.dir/morris.cc.o"
+  "CMakeFiles/gems_cardinality.dir/morris.cc.o.d"
+  "libgems_cardinality.a"
+  "libgems_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

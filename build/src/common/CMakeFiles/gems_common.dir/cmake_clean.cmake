@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_common.dir/bytes.cc.o"
+  "CMakeFiles/gems_common.dir/bytes.cc.o.d"
+  "CMakeFiles/gems_common.dir/numeric.cc.o"
+  "CMakeFiles/gems_common.dir/numeric.cc.o.d"
+  "CMakeFiles/gems_common.dir/random.cc.o"
+  "CMakeFiles/gems_common.dir/random.cc.o.d"
+  "CMakeFiles/gems_common.dir/status.cc.o"
+  "CMakeFiles/gems_common.dir/status.cc.o.d"
+  "libgems_common.a"
+  "libgems_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

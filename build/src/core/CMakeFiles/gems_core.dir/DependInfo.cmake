@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/estimate.cc" "src/core/CMakeFiles/gems_core.dir/estimate.cc.o" "gcc" "src/core/CMakeFiles/gems_core.dir/estimate.cc.o.d"
+  "/root/repo/src/core/frame.cc" "src/core/CMakeFiles/gems_core.dir/frame.cc.o" "gcc" "src/core/CMakeFiles/gems_core.dir/frame.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/gems_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/gems_core.dir/params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gems_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

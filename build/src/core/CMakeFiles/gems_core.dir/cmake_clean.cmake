@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_core.dir/estimate.cc.o"
+  "CMakeFiles/gems_core.dir/estimate.cc.o.d"
+  "CMakeFiles/gems_core.dir/frame.cc.o"
+  "CMakeFiles/gems_core.dir/frame.cc.o.d"
+  "CMakeFiles/gems_core.dir/params.cc.o"
+  "CMakeFiles/gems_core.dir/params.cc.o.d"
+  "libgems_core.a"
+  "libgems_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

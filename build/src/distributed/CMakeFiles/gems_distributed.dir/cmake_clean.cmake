@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_distributed.dir/aggregation.cc.o"
+  "CMakeFiles/gems_distributed.dir/aggregation.cc.o.d"
+  "libgems_distributed.a"
+  "libgems_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/exponential_histogram.cc" "src/engine/CMakeFiles/gems_engine.dir/exponential_histogram.cc.o" "gcc" "src/engine/CMakeFiles/gems_engine.dir/exponential_histogram.cc.o.d"
+  "/root/repo/src/engine/stream_query.cc" "src/engine/CMakeFiles/gems_engine.dir/stream_query.cc.o" "gcc" "src/engine/CMakeFiles/gems_engine.dir/stream_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gems_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/cardinality/CMakeFiles/gems_cardinality.dir/DependInfo.cmake"
+  "/root/repo/build/src/frequency/CMakeFiles/gems_frequency.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantiles/CMakeFiles/gems_quantiles.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gems_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_engine.dir/exponential_histogram.cc.o"
+  "CMakeFiles/gems_engine.dir/exponential_histogram.cc.o.d"
+  "CMakeFiles/gems_engine.dir/stream_query.cc.o"
+  "CMakeFiles/gems_engine.dir/stream_query.cc.o.d"
+  "libgems_engine.a"
+  "libgems_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

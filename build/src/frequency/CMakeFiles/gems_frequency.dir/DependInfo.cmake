@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frequency/count_min.cc" "src/frequency/CMakeFiles/gems_frequency.dir/count_min.cc.o" "gcc" "src/frequency/CMakeFiles/gems_frequency.dir/count_min.cc.o.d"
+  "/root/repo/src/frequency/count_sketch.cc" "src/frequency/CMakeFiles/gems_frequency.dir/count_sketch.cc.o" "gcc" "src/frequency/CMakeFiles/gems_frequency.dir/count_sketch.cc.o.d"
+  "/root/repo/src/frequency/dyadic_count_min.cc" "src/frequency/CMakeFiles/gems_frequency.dir/dyadic_count_min.cc.o" "gcc" "src/frequency/CMakeFiles/gems_frequency.dir/dyadic_count_min.cc.o.d"
+  "/root/repo/src/frequency/majority.cc" "src/frequency/CMakeFiles/gems_frequency.dir/majority.cc.o" "gcc" "src/frequency/CMakeFiles/gems_frequency.dir/majority.cc.o.d"
+  "/root/repo/src/frequency/misra_gries.cc" "src/frequency/CMakeFiles/gems_frequency.dir/misra_gries.cc.o" "gcc" "src/frequency/CMakeFiles/gems_frequency.dir/misra_gries.cc.o.d"
+  "/root/repo/src/frequency/space_saving.cc" "src/frequency/CMakeFiles/gems_frequency.dir/space_saving.cc.o" "gcc" "src/frequency/CMakeFiles/gems_frequency.dir/space_saving.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gems_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gems_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_frequency.dir/count_min.cc.o"
+  "CMakeFiles/gems_frequency.dir/count_min.cc.o.d"
+  "CMakeFiles/gems_frequency.dir/count_sketch.cc.o"
+  "CMakeFiles/gems_frequency.dir/count_sketch.cc.o.d"
+  "CMakeFiles/gems_frequency.dir/dyadic_count_min.cc.o"
+  "CMakeFiles/gems_frequency.dir/dyadic_count_min.cc.o.d"
+  "CMakeFiles/gems_frequency.dir/majority.cc.o"
+  "CMakeFiles/gems_frequency.dir/majority.cc.o.d"
+  "CMakeFiles/gems_frequency.dir/misra_gries.cc.o"
+  "CMakeFiles/gems_frequency.dir/misra_gries.cc.o.d"
+  "CMakeFiles/gems_frequency.dir/space_saving.cc.o"
+  "CMakeFiles/gems_frequency.dir/space_saving.cc.o.d"
+  "libgems_frequency.a"
+  "libgems_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

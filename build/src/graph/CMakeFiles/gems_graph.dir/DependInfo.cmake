@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/agm.cc" "src/graph/CMakeFiles/gems_graph.dir/agm.cc.o" "gcc" "src/graph/CMakeFiles/gems_graph.dir/agm.cc.o.d"
+  "/root/repo/src/graph/connectivity.cc" "src/graph/CMakeFiles/gems_graph.dir/connectivity.cc.o" "gcc" "src/graph/CMakeFiles/gems_graph.dir/connectivity.cc.o.d"
+  "/root/repo/src/graph/union_find.cc" "src/graph/CMakeFiles/gems_graph.dir/union_find.cc.o" "gcc" "src/graph/CMakeFiles/gems_graph.dir/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gems_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gems_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gems_sampling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_graph.dir/agm.cc.o"
+  "CMakeFiles/gems_graph.dir/agm.cc.o.d"
+  "CMakeFiles/gems_graph.dir/connectivity.cc.o"
+  "CMakeFiles/gems_graph.dir/connectivity.cc.o.d"
+  "CMakeFiles/gems_graph.dir/union_find.cc.o"
+  "CMakeFiles/gems_graph.dir/union_find.cc.o.d"
+  "libgems_graph.a"
+  "libgems_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

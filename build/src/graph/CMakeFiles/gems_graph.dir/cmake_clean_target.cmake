@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgems_graph.a"
+)

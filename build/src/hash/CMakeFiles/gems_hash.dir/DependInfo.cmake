@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/hash.cc" "src/hash/CMakeFiles/gems_hash.dir/hash.cc.o" "gcc" "src/hash/CMakeFiles/gems_hash.dir/hash.cc.o.d"
+  "/root/repo/src/hash/murmur3.cc" "src/hash/CMakeFiles/gems_hash.dir/murmur3.cc.o" "gcc" "src/hash/CMakeFiles/gems_hash.dir/murmur3.cc.o.d"
+  "/root/repo/src/hash/polynomial.cc" "src/hash/CMakeFiles/gems_hash.dir/polynomial.cc.o" "gcc" "src/hash/CMakeFiles/gems_hash.dir/polynomial.cc.o.d"
+  "/root/repo/src/hash/tabulation.cc" "src/hash/CMakeFiles/gems_hash.dir/tabulation.cc.o" "gcc" "src/hash/CMakeFiles/gems_hash.dir/tabulation.cc.o.d"
+  "/root/repo/src/hash/xxhash.cc" "src/hash/CMakeFiles/gems_hash.dir/xxhash.cc.o" "gcc" "src/hash/CMakeFiles/gems_hash.dir/xxhash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

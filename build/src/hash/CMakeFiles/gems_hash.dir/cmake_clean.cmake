@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_hash.dir/hash.cc.o"
+  "CMakeFiles/gems_hash.dir/hash.cc.o.d"
+  "CMakeFiles/gems_hash.dir/murmur3.cc.o"
+  "CMakeFiles/gems_hash.dir/murmur3.cc.o.d"
+  "CMakeFiles/gems_hash.dir/polynomial.cc.o"
+  "CMakeFiles/gems_hash.dir/polynomial.cc.o.d"
+  "CMakeFiles/gems_hash.dir/tabulation.cc.o"
+  "CMakeFiles/gems_hash.dir/tabulation.cc.o.d"
+  "CMakeFiles/gems_hash.dir/xxhash.cc.o"
+  "CMakeFiles/gems_hash.dir/xxhash.cc.o.d"
+  "libgems_hash.a"
+  "libgems_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

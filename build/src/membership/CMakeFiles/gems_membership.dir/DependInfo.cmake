@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/membership/blocked_bloom.cc" "src/membership/CMakeFiles/gems_membership.dir/blocked_bloom.cc.o" "gcc" "src/membership/CMakeFiles/gems_membership.dir/blocked_bloom.cc.o.d"
+  "/root/repo/src/membership/bloom.cc" "src/membership/CMakeFiles/gems_membership.dir/bloom.cc.o" "gcc" "src/membership/CMakeFiles/gems_membership.dir/bloom.cc.o.d"
+  "/root/repo/src/membership/counting_bloom.cc" "src/membership/CMakeFiles/gems_membership.dir/counting_bloom.cc.o" "gcc" "src/membership/CMakeFiles/gems_membership.dir/counting_bloom.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gems_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gems_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_membership.dir/blocked_bloom.cc.o"
+  "CMakeFiles/gems_membership.dir/blocked_bloom.cc.o.d"
+  "CMakeFiles/gems_membership.dir/bloom.cc.o"
+  "CMakeFiles/gems_membership.dir/bloom.cc.o.d"
+  "CMakeFiles/gems_membership.dir/counting_bloom.cc.o"
+  "CMakeFiles/gems_membership.dir/counting_bloom.cc.o.d"
+  "libgems_membership.a"
+  "libgems_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

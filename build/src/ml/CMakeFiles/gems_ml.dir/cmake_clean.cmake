@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_ml.dir/fetchsgd.cc.o"
+  "CMakeFiles/gems_ml.dir/fetchsgd.cc.o.d"
+  "CMakeFiles/gems_ml.dir/linear_model.cc.o"
+  "CMakeFiles/gems_ml.dir/linear_model.cc.o.d"
+  "libgems_ml.a"
+  "libgems_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moments/ams.cc" "src/moments/CMakeFiles/gems_moments.dir/ams.cc.o" "gcc" "src/moments/CMakeFiles/gems_moments.dir/ams.cc.o.d"
+  "/root/repo/src/moments/compressed_sensing.cc" "src/moments/CMakeFiles/gems_moments.dir/compressed_sensing.cc.o" "gcc" "src/moments/CMakeFiles/gems_moments.dir/compressed_sensing.cc.o.d"
+  "/root/repo/src/moments/frequent_directions.cc" "src/moments/CMakeFiles/gems_moments.dir/frequent_directions.cc.o" "gcc" "src/moments/CMakeFiles/gems_moments.dir/frequent_directions.cc.o.d"
+  "/root/repo/src/moments/jl.cc" "src/moments/CMakeFiles/gems_moments.dir/jl.cc.o" "gcc" "src/moments/CMakeFiles/gems_moments.dir/jl.cc.o.d"
+  "/root/repo/src/moments/sparse_jl.cc" "src/moments/CMakeFiles/gems_moments.dir/sparse_jl.cc.o" "gcc" "src/moments/CMakeFiles/gems_moments.dir/sparse_jl.cc.o.d"
+  "/root/repo/src/moments/tensor_sketch.cc" "src/moments/CMakeFiles/gems_moments.dir/tensor_sketch.cc.o" "gcc" "src/moments/CMakeFiles/gems_moments.dir/tensor_sketch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gems_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gems_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

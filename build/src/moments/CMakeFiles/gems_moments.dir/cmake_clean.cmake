@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_moments.dir/ams.cc.o"
+  "CMakeFiles/gems_moments.dir/ams.cc.o.d"
+  "CMakeFiles/gems_moments.dir/compressed_sensing.cc.o"
+  "CMakeFiles/gems_moments.dir/compressed_sensing.cc.o.d"
+  "CMakeFiles/gems_moments.dir/frequent_directions.cc.o"
+  "CMakeFiles/gems_moments.dir/frequent_directions.cc.o.d"
+  "CMakeFiles/gems_moments.dir/jl.cc.o"
+  "CMakeFiles/gems_moments.dir/jl.cc.o.d"
+  "CMakeFiles/gems_moments.dir/sparse_jl.cc.o"
+  "CMakeFiles/gems_moments.dir/sparse_jl.cc.o.d"
+  "CMakeFiles/gems_moments.dir/tensor_sketch.cc.o"
+  "CMakeFiles/gems_moments.dir/tensor_sketch.cc.o.d"
+  "libgems_moments.a"
+  "libgems_moments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

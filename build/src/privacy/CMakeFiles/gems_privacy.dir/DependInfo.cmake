@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/mechanisms.cc" "src/privacy/CMakeFiles/gems_privacy.dir/mechanisms.cc.o" "gcc" "src/privacy/CMakeFiles/gems_privacy.dir/mechanisms.cc.o.d"
+  "/root/repo/src/privacy/private_cms.cc" "src/privacy/CMakeFiles/gems_privacy.dir/private_cms.cc.o" "gcc" "src/privacy/CMakeFiles/gems_privacy.dir/private_cms.cc.o.d"
+  "/root/repo/src/privacy/rappor.cc" "src/privacy/CMakeFiles/gems_privacy.dir/rappor.cc.o" "gcc" "src/privacy/CMakeFiles/gems_privacy.dir/rappor.cc.o.d"
+  "/root/repo/src/privacy/secure_aggregation.cc" "src/privacy/CMakeFiles/gems_privacy.dir/secure_aggregation.cc.o" "gcc" "src/privacy/CMakeFiles/gems_privacy.dir/secure_aggregation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gems_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gems_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frequency/CMakeFiles/gems_frequency.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/gems_membership.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_privacy.dir/mechanisms.cc.o"
+  "CMakeFiles/gems_privacy.dir/mechanisms.cc.o.d"
+  "CMakeFiles/gems_privacy.dir/private_cms.cc.o"
+  "CMakeFiles/gems_privacy.dir/private_cms.cc.o.d"
+  "CMakeFiles/gems_privacy.dir/rappor.cc.o"
+  "CMakeFiles/gems_privacy.dir/rappor.cc.o.d"
+  "CMakeFiles/gems_privacy.dir/secure_aggregation.cc.o"
+  "CMakeFiles/gems_privacy.dir/secure_aggregation.cc.o.d"
+  "libgems_privacy.a"
+  "libgems_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_quantiles.dir/gk.cc.o"
+  "CMakeFiles/gems_quantiles.dir/gk.cc.o.d"
+  "CMakeFiles/gems_quantiles.dir/kll.cc.o"
+  "CMakeFiles/gems_quantiles.dir/kll.cc.o.d"
+  "CMakeFiles/gems_quantiles.dir/mrl.cc.o"
+  "CMakeFiles/gems_quantiles.dir/mrl.cc.o.d"
+  "CMakeFiles/gems_quantiles.dir/qdigest.cc.o"
+  "CMakeFiles/gems_quantiles.dir/qdigest.cc.o.d"
+  "CMakeFiles/gems_quantiles.dir/req.cc.o"
+  "CMakeFiles/gems_quantiles.dir/req.cc.o.d"
+  "CMakeFiles/gems_quantiles.dir/tdigest.cc.o"
+  "CMakeFiles/gems_quantiles.dir/tdigest.cc.o.d"
+  "libgems_quantiles.a"
+  "libgems_quantiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

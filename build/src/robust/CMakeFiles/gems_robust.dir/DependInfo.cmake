@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robust/adversary.cc" "src/robust/CMakeFiles/gems_robust.dir/adversary.cc.o" "gcc" "src/robust/CMakeFiles/gems_robust.dir/adversary.cc.o.d"
+  "/root/repo/src/robust/robust_f2.cc" "src/robust/CMakeFiles/gems_robust.dir/robust_f2.cc.o" "gcc" "src/robust/CMakeFiles/gems_robust.dir/robust_f2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gems_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/moments/CMakeFiles/gems_moments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gems_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_robust.dir/adversary.cc.o"
+  "CMakeFiles/gems_robust.dir/adversary.cc.o.d"
+  "CMakeFiles/gems_robust.dir/robust_f2.cc.o"
+  "CMakeFiles/gems_robust.dir/robust_f2.cc.o.d"
+  "libgems_robust.a"
+  "libgems_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/l0_sampler.cc" "src/sampling/CMakeFiles/gems_sampling.dir/l0_sampler.cc.o" "gcc" "src/sampling/CMakeFiles/gems_sampling.dir/l0_sampler.cc.o.d"
+  "/root/repo/src/sampling/reservoir.cc" "src/sampling/CMakeFiles/gems_sampling.dir/reservoir.cc.o" "gcc" "src/sampling/CMakeFiles/gems_sampling.dir/reservoir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gems_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gems_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_sampling.dir/l0_sampler.cc.o"
+  "CMakeFiles/gems_sampling.dir/l0_sampler.cc.o.d"
+  "CMakeFiles/gems_sampling.dir/reservoir.cc.o"
+  "CMakeFiles/gems_sampling.dir/reservoir.cc.o.d"
+  "libgems_sampling.a"
+  "libgems_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/similarity/lsh.cc" "src/similarity/CMakeFiles/gems_similarity.dir/lsh.cc.o" "gcc" "src/similarity/CMakeFiles/gems_similarity.dir/lsh.cc.o.d"
+  "/root/repo/src/similarity/minhash.cc" "src/similarity/CMakeFiles/gems_similarity.dir/minhash.cc.o" "gcc" "src/similarity/CMakeFiles/gems_similarity.dir/minhash.cc.o.d"
+  "/root/repo/src/similarity/simhash.cc" "src/similarity/CMakeFiles/gems_similarity.dir/simhash.cc.o" "gcc" "src/similarity/CMakeFiles/gems_similarity.dir/simhash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gems_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gems_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_similarity.dir/lsh.cc.o"
+  "CMakeFiles/gems_similarity.dir/lsh.cc.o.d"
+  "CMakeFiles/gems_similarity.dir/minhash.cc.o"
+  "CMakeFiles/gems_similarity.dir/minhash.cc.o.d"
+  "CMakeFiles/gems_similarity.dir/simhash.cc.o"
+  "CMakeFiles/gems_similarity.dir/simhash.cc.o.d"
+  "libgems_similarity.a"
+  "libgems_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_workload.dir/baselines.cc.o"
+  "CMakeFiles/gems_workload.dir/baselines.cc.o.d"
+  "CMakeFiles/gems_workload.dir/generators.cc.o"
+  "CMakeFiles/gems_workload.dir/generators.cc.o.d"
+  "CMakeFiles/gems_workload.dir/metrics.cc.o"
+  "CMakeFiles/gems_workload.dir/metrics.cc.o.d"
+  "libgems_workload.a"
+  "libgems_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

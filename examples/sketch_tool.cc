@@ -7,6 +7,14 @@
 //   yes hello | head -50000 | ./build/examples/sketch_tool topk
 //   ./build/examples/sketch_tool selftest      # runs on synthetic data
 //
+// Sketches travel as wire-format envelopes, so they can be saved, merged,
+// and inspected without the tool being told what is in the file:
+//
+//   seq 1 50000     | ./build/examples/sketch_tool save distinct a.sk
+//   seq 25000 75000 | ./build/examples/sketch_tool save distinct b.sk
+//   ./build/examples/sketch_tool merge merged.sk a.sk b.sk
+//   ./build/examples/sketch_tool load merged.sk
+//
 // Numeric lines are treated as numbers for `quantiles`; all other modes
 // hash the raw line bytes.
 
@@ -15,9 +23,11 @@
 #include <iostream>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cardinality/hllpp.h"
 #include "core/params.h"
+#include "core/registry.h"
 #include "frequency/space_saving.h"
 #include "hash/hash.h"
 #include "membership/bloom.h"
@@ -104,6 +114,139 @@ int RunMembership(std::istream& in, const std::string& probe) {
   return 0;
 }
 
+// ---- save / load / merge: wire-format files via the sketch registry ----
+
+bool WriteFileBytes(const std::string& path, const std::vector<uint8_t>& b) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = b.empty() ? 0 : std::fwrite(b.data(), 1, b.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == b.size();
+  return ok;
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  uint8_t buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out->insert(out->end(), buffer, buffer + n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+// Builds a sketch of the named kind from stdin lines and writes it as a
+// wire envelope. The file records its own type, so `load` and `merge`
+// never need to be told what it is.
+int RunSave(const std::string& kind, const std::string& path,
+            std::istream& in) {
+  std::vector<uint8_t> bytes;
+  uint64_t lines = 0;
+  std::string line;
+  if (kind == "distinct") {
+    gems::HllPlusPlus sketch(gems::HllPrecisionFor(0.01));
+    while (std::getline(in, line)) {
+      sketch.Update(gems::Hash64(line, 0));
+      ++lines;
+    }
+    bytes = sketch.Serialize();
+  } else if (kind == "topk") {
+    gems::SpaceSaving sketch(1024);
+    while (std::getline(in, line)) {
+      sketch.Update(gems::Hash64(line, 0));
+      ++lines;
+    }
+    bytes = sketch.Serialize();
+  } else if (kind == "quantiles") {
+    gems::TDigest sketch(200);
+    while (std::getline(in, line)) {
+      char* end = nullptr;
+      const double value = std::strtod(line.c_str(), &end);
+      if (end == line.c_str()) continue;
+      sketch.Update(value);
+      ++lines;
+    }
+    bytes = sketch.Serialize();
+  } else if (kind == "member") {
+    gems::BloomFilter filter = gems::BloomFilter::ForCapacity(1 << 20, 0.01);
+    while (std::getline(in, line)) {
+      filter.Insert(std::string_view(line));
+      ++lines;
+    }
+    bytes = filter.Serialize();
+  } else {
+    std::fprintf(stderr,
+                 "unknown sketch kind \"%s\" "
+                 "(want distinct|topk|quantiles|member)\n",
+                 kind.c_str());
+    return 2;
+  }
+  if (!WriteFileBytes(path, bytes)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("%lu lines -> %s (%zu bytes)\n", (unsigned long)lines,
+              path.c_str(), bytes.size());
+  return 0;
+}
+
+// Loads one file through the registry, reporting parse failures (corrupt
+// or truncated files are diagnosed, never crash).
+bool LoadSketchFile(const std::string& path, gems::AnySketch* out) {
+  std::vector<uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  gems::Result<gems::AnySketch> sketch =
+      gems::SketchRegistry::Global().Deserialize(bytes);
+  if (!sketch.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 sketch.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(sketch).value();
+  return true;
+}
+
+int RunLoad(const std::string& path) {
+  gems::AnySketch sketch;
+  if (!LoadSketchFile(path, &sketch)) return 1;
+  std::printf("%s: %s sketch, %s\n", path.c_str(), sketch.type_name(),
+              sketch.EstimateSummary().c_str());
+  return 0;
+}
+
+// Merges any number of same-type sketch files without being told the type:
+// the envelope's type id selects the registered merge.
+int RunMerge(const std::string& out_path,
+             const std::vector<std::string>& in_paths) {
+  gems::AnySketch merged;
+  if (!LoadSketchFile(in_paths[0], &merged)) return 1;
+  for (size_t i = 1; i < in_paths.size(); ++i) {
+    gems::AnySketch next;
+    if (!LoadSketchFile(in_paths[i], &next)) return 1;
+    gems::Status s = merged.Merge(next);
+    if (!s.ok()) {
+      std::fprintf(stderr, "merging %s: %s\n", in_paths[i].c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  const std::vector<uint8_t> bytes = merged.Serialize();
+  if (!WriteFileBytes(out_path, bytes)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("%zu x %s -> %s (%zu bytes), %s\n", in_paths.size(),
+              merged.type_name(), out_path.c_str(), bytes.size(),
+              merged.EstimateSummary().c_str());
+  return 0;
+}
+
 int RunSelfTest() {
   std::printf("self test on synthetic Zipf stream (500k events):\n");
   gems::ZipfGenerator zipf(100000, 1.2, 1);
@@ -126,6 +269,7 @@ int RunSelfTest() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  gems::RegisterBuiltinSketches();
   const std::string mode = argc > 1 ? argv[1] : "";
   if (mode == "distinct") return RunDistinct(std::cin);
   if (mode == "topk") return RunTopK(std::cin);
@@ -133,9 +277,18 @@ int main(int argc, char** argv) {
   if (mode == "member") {
     return RunMembership(std::cin, argc > 2 ? argv[2] : "needle");
   }
+  if (mode == "save" && argc == 4) return RunSave(argv[2], argv[3], std::cin);
+  if (mode == "load" && argc == 3) return RunLoad(argv[2]);
+  if (mode == "merge" && argc >= 4) {
+    return RunMerge(argv[2], std::vector<std::string>(argv + 3, argv + argc));
+  }
   if (mode == "selftest") return RunSelfTest();
   std::fprintf(stderr,
                "usage: sketch_tool <distinct|topk|quantiles|member "
-               "[probe]|selftest>  (input: one value per line on stdin)\n");
+               "[probe]|selftest>  (input: one value per line on stdin)\n"
+               "       sketch_tool save <distinct|topk|quantiles|member> "
+               "<file>   (stdin -> sketch file)\n"
+               "       sketch_tool load <file>\n"
+               "       sketch_tool merge <out> <in1> [in2 ...]\n");
   return 2;
 }

@@ -4,7 +4,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -62,18 +62,18 @@ Status FlajoletMartin::Merge(const FlajoletMartin& other) {
 
 std::vector<uint8_t> FlajoletMartin::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kFlajoletMartin, &w);
   w.PutU32(num_bitmaps_);
   w.PutU64(seed_);
   for (uint64_t word : bitmaps_) w.PutU64(word);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kFlajoletMartin,
+                      std::move(w).TakeBytes());
 }
 
 Result<FlajoletMartin> FlajoletMartin::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kFlajoletMartin, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kFlajoletMartin, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint32_t num_bitmaps;
   uint64_t seed;
   if (Status sb = r.GetU32(&num_bitmaps); !sb.ok()) return sb;

@@ -1,10 +1,13 @@
 #include "cardinality/hllpp.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "common/bits.h"
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -222,27 +225,32 @@ size_t HllPlusPlus::MemoryBytes() const {
 
 std::vector<uint8_t> HllPlusPlus::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kHllPlusPlus, &w);
   w.PutU8(static_cast<uint8_t>(precision_));
   w.PutU64(seed_);
   w.PutU8(is_sparse_ ? 1 : 0);
   if (is_sparse_) {
-    w.PutVarint(sparse_.size());
-    for (const auto& [index, rho] : sparse_) {
+    // Canonical order: the map iterates in unspecified order, but equal
+    // states must produce identical bytes (and checksums) on the wire.
+    std::vector<std::pair<uint32_t, uint8_t>> entries(sparse_.begin(),
+                                                      sparse_.end());
+    std::sort(entries.begin(), entries.end());
+    w.PutVarint(entries.size());
+    for (const auto& [index, rho] : entries) {
       w.PutU32(index);
       w.PutU8(rho);
     }
   } else {
     w.PutRaw(dense_.registers().data(), dense_.registers().size());
   }
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kHllPlusPlus,
+                      std::move(w).TakeBytes());
 }
 
 Result<HllPlusPlus> HllPlusPlus::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kHllPlusPlus, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kHllPlusPlus, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint8_t precision, sparse_flag;
   uint64_t seed;
   if (Status sp = r.GetU8(&precision); !sp.ok()) return sp;

@@ -4,7 +4,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -87,18 +87,18 @@ Status HyperLogLog::Merge(const HyperLogLog& other) {
 
 std::vector<uint8_t> HyperLogLog::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kHyperLogLog, &w);
   w.PutU8(static_cast<uint8_t>(precision_));
   w.PutU64(seed_);
   w.PutRaw(registers_.data(), registers_.size());
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kHyperLogLog,
+                      std::move(w).TakeBytes());
 }
 
 Result<HyperLogLog> HyperLogLog::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kHyperLogLog, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kHyperLogLog, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint8_t precision;
   uint64_t seed;
   if (Status sp = r.GetU8(&precision); !sp.ok()) return sp;

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -133,18 +133,18 @@ ThetaResult KmvSketch::Difference(const KmvSketch& a, const KmvSketch& b) {
 
 std::vector<uint8_t> KmvSketch::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kKmv, &w);
   w.PutU32(k_);
   w.PutU64(seed_);
   w.PutVarint(hashes_.size());
   for (uint64_t h : hashes_) w.PutU64(h);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kKmv,
+                      std::move(w).TakeBytes());
 }
 
 Result<KmvSketch> KmvSketch::Deserialize(const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kKmv, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kKmv, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint32_t k;
   uint64_t seed, count;
   if (Status sk = r.GetU32(&k); !sk.ok()) return sk;

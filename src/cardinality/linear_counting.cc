@@ -4,7 +4,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -53,18 +53,18 @@ Status LinearCounting::Merge(const LinearCounting& other) {
 
 std::vector<uint8_t> LinearCounting::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kLinearCounting, &w);
   w.PutU64(num_bits_);
   w.PutU64(seed_);
   for (uint64_t word : bitmap_) w.PutU64(word);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kLinearCounting,
+                      std::move(w).TakeBytes());
 }
 
 Result<LinearCounting> LinearCounting::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kLinearCounting, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kLinearCounting, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint64_t num_bits, seed;
   if (Status sb = r.GetU64(&num_bits); !sb.ok()) return sb;
   if (Status ss = r.GetU64(&seed); !ss.ok()) return ss;

@@ -4,7 +4,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -62,17 +62,17 @@ Status LogLog::Merge(const LogLog& other) {
 
 std::vector<uint8_t> LogLog::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kLogLog, &w);
   w.PutU8(static_cast<uint8_t>(precision_));
   w.PutU64(seed_);
   w.PutRaw(registers_.data(), registers_.size());
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kLogLog,
+                      std::move(w).TakeBytes());
 }
 
 Result<LogLog> LogLog::Deserialize(const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kLogLog, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kLogLog, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint8_t precision;
   uint64_t seed;
   if (Status sp = r.GetU8(&precision); !sp.ok()) return sp;

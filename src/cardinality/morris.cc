@@ -4,7 +4,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 
 namespace gems {
 
@@ -53,17 +53,17 @@ Status MorrisCounter::Merge(const MorrisCounter& other) {
 
 std::vector<uint8_t> MorrisCounter::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kMorrisCounter, &w);
   w.PutDouble(a_);
   w.PutVarint(register_);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kMorrisCounter,
+                      std::move(w).TakeBytes());
 }
 
 Result<MorrisCounter> MorrisCounter::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kMorrisCounter, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kMorrisCounter, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   double a;
   uint64_t reg;
   if (Status sa = r.GetDouble(&a); !sa.ok()) return sa;

@@ -1,0 +1,212 @@
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "cardinality/flajolet_martin.h"
+#include "cardinality/hllpp.h"
+#include "cardinality/hyperloglog.h"
+#include "cardinality/kmv.h"
+#include "cardinality/linear_counting.h"
+#include "cardinality/loglog.h"
+#include "cardinality/morris.h"
+#include "common/check.h"
+#include "core/registry.h"
+#include "frequency/count_min.h"
+#include "frequency/count_sketch.h"
+#include "frequency/misra_gries.h"
+#include "frequency/space_saving.h"
+#include "graph/agm.h"
+#include "membership/blocked_bloom.h"
+#include "membership/bloom.h"
+#include "membership/counting_bloom.h"
+#include "moments/ams.h"
+#include "quantiles/gk.h"
+#include "quantiles/kll.h"
+#include "quantiles/qdigest.h"
+#include "quantiles/tdigest.h"
+#include "sampling/l0_sampler.h"
+#include "sampling/reservoir.h"
+#include "similarity/minhash.h"
+
+/// \file
+/// Registers every built-in serializable sketch with the global
+/// SketchRegistry. Kept out of registry.cc so the core library does not
+/// link against the sketch families; only consumers that need
+/// type-agnostic deserialization (CLI, engine checkpoints, tests) pull
+/// this translation unit in via the gems_registry target.
+
+namespace gems {
+namespace {
+
+std::string Fmt(const char* format, double value) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+void RegisterAll(SketchRegistry& r) {
+  // Every Register call below introduces a fresh id, so failures would be
+  // programmer error (duplicate id), not runtime conditions.
+  auto must = [](Status s) { GEMS_CHECK(s.ok()); };
+
+  must(RegisterSketchType<MorrisCounter>(
+      r, SketchTypeId::kMorrisCounter,
+      [](const MorrisCounter& s) { return Fmt("count ~ %.0f", s.Count()); },
+      [] { return MorrisCounter(); }));
+  must(RegisterSketchType<LinearCounting>(
+      r, SketchTypeId::kLinearCounting,
+      [](const LinearCounting& s) { return Fmt("distinct ~ %.0f", s.Count()); },
+      [] { return LinearCounting(1 << 16); }));
+  must(RegisterSketchType<FlajoletMartin>(
+      r, SketchTypeId::kFlajoletMartin,
+      [](const FlajoletMartin& s) { return Fmt("distinct ~ %.0f", s.Count()); },
+      [] { return FlajoletMartin(64); }));
+  must(RegisterSketchType<LogLog>(
+      r, SketchTypeId::kLogLog,
+      [](const LogLog& s) { return Fmt("distinct ~ %.0f", s.Count()); },
+      [] { return LogLog(12); }));
+  must(RegisterSketchType<HyperLogLog>(
+      r, SketchTypeId::kHyperLogLog,
+      [](const HyperLogLog& s) { return Fmt("distinct ~ %.0f", s.Count()); },
+      [] { return HyperLogLog(12); }));
+  must(RegisterSketchType<HllPlusPlus>(
+      r, SketchTypeId::kHllPlusPlus,
+      [](const HllPlusPlus& s) { return Fmt("distinct ~ %.0f", s.Count()); },
+      [] { return HllPlusPlus(14); }));
+  must(RegisterSketchType<KmvSketch>(
+      r, SketchTypeId::kKmv,
+      [](const KmvSketch& s) { return Fmt("distinct ~ %.0f", s.Count()); },
+      [] { return KmvSketch(1024); }));
+
+  must(RegisterSketchType<BloomFilter>(
+      r, SketchTypeId::kBloomFilter,
+      [](const BloomFilter& s) {
+        return Fmt("membership filter, fpr ~ %.4g", s.EstimatedFpr());
+      },
+      [] { return BloomFilter::ForCapacity(1 << 20, 0.01); }));
+  must(RegisterSketchType<CountingBloomFilter>(
+      r, SketchTypeId::kCountingBloomFilter,
+      [](const CountingBloomFilter& s) {
+        return Fmt("counting filter, %.0f counters",
+                   static_cast<double>(s.num_counters()));
+      },
+      [] { return CountingBloomFilter(1 << 20, 4); }));
+  must(RegisterSketchType<BlockedBloomFilter>(
+      r, SketchTypeId::kBlockedBloomFilter,
+      [](const BlockedBloomFilter& s) {
+        return Fmt("blocked filter, %.0f bits",
+                   static_cast<double>(s.num_bits()));
+      },
+      [] { return BlockedBloomFilter(1 << 23, 4); }));
+
+  must(RegisterSketchType<CountMinSketch>(
+      r, SketchTypeId::kCountMin,
+      [](const CountMinSketch& s) {
+        return Fmt("frequency table, total weight %.0f",
+                   static_cast<double>(s.TotalWeight()));
+      },
+      [] { return CountMinSketch::ForGuarantee(0.001, 0.01); }));
+  must(RegisterSketchType<CountSketch>(
+      r, SketchTypeId::kCountSketch,
+      [](const CountSketch& s) {
+        return Fmt("frequency table, %.0f counters",
+                   static_cast<double>(s.width()) * s.depth());
+      },
+      [] { return CountSketch(2048, 5); }));
+  must(RegisterSketchType<MisraGries>(
+      r, SketchTypeId::kMisraGries,
+      [](const MisraGries& s) {
+        return Fmt("heavy hitters, total weight %.0f",
+                   static_cast<double>(s.TotalWeight()));
+      },
+      [] { return MisraGries(256); }));
+  must(RegisterSketchType<SpaceSaving>(
+      r, SketchTypeId::kSpaceSaving,
+      [](const SpaceSaving& s) {
+        std::string out = Fmt("top-k, total weight %.0f",
+                              static_cast<double>(s.TotalWeight()));
+        const auto top = s.TopK(1);
+        if (!top.empty()) {
+          out += Fmt("; heaviest count %.0f",
+                     static_cast<double>(top.front().count));
+        }
+        return out;
+      },
+      [] { return SpaceSaving(1024); }));
+
+  must(RegisterSketchType<GreenwaldKhanna>(
+      r, SketchTypeId::kGreenwaldKhanna,
+      [](const GreenwaldKhanna& s) {
+        if (s.Count() == 0) return std::string("quantiles, empty");
+        return Fmt("quantiles, median ~ %.6g", s.Quantile(0.5)) +
+               Fmt(" over %.0f values", static_cast<double>(s.Count()));
+      },
+      [] { return GreenwaldKhanna(0.01); }));
+  must(RegisterSketchType<KllSketch>(
+      r, SketchTypeId::kKll,
+      [](const KllSketch& s) {
+        if (s.Count() == 0) return std::string("quantiles, empty");
+        return Fmt("quantiles, median ~ %.6g", s.Quantile(0.5)) +
+               Fmt(" over %.0f values", static_cast<double>(s.Count()));
+      },
+      [] { return KllSketch(); }));
+  must(RegisterSketchType<QDigest>(
+      r, SketchTypeId::kQDigest,
+      [](const QDigest& s) {
+        if (s.Count() == 0) return std::string("quantiles, empty");
+        return Fmt("quantiles, median ~ %.6g",
+                   static_cast<double>(s.Quantile(0.5))) +
+               Fmt(" over %.0f values", static_cast<double>(s.Count()));
+      },
+      [] { return QDigest(32, 64); }));
+  must(RegisterSketchType<TDigest>(
+      r, SketchTypeId::kTDigest,
+      [](const TDigest& s) {
+        if (s.Count() == 0) return std::string("quantiles, empty");
+        return Fmt("quantiles, median ~ %.6g", s.Quantile(0.5)) +
+               Fmt(" over %.0f values", static_cast<double>(s.Count()));
+      },
+      [] { return TDigest(); }));
+
+  must(RegisterSketchType<ReservoirSampler>(
+      r, SketchTypeId::kReservoir,
+      [](const ReservoirSampler& s) {
+        return Fmt("uniform sample of %.0f items",
+                   static_cast<double>(s.Sample().size()));
+      },
+      [] { return ReservoirSampler(256, 42); }));
+  must(RegisterSketchType<L0Sampler>(
+      r, SketchTypeId::kL0Sampler,
+      [](const L0Sampler&) { return std::string("l0 support sampler"); },
+      [] { return L0Sampler(42); }));
+
+  must(RegisterSketchType<AmsSketch>(
+      r, SketchTypeId::kAmsSketch,
+      [](const AmsSketch& s) { return Fmt("F2 ~ %.6g", s.EstimateF2()); },
+      [] { return AmsSketch(64, 8); }));
+
+  must(RegisterSketchType<MinHashSketch>(
+      r, SketchTypeId::kMinHash,
+      [](const MinHashSketch& s) {
+        return Fmt("minhash signature, k = %.0f",
+                   static_cast<double>(s.k()));
+      },
+      [] { return MinHashSketch(128); }));
+
+  must(RegisterSketchType<AgmSketch>(
+      r, SketchTypeId::kAgmSketch,
+      [](const AgmSketch& s) {
+        return Fmt("graph sketch over %.0f vertices",
+                   static_cast<double>(s.num_vertices()));
+      },
+      std::function<AgmSketch()>()));  // No sensible default vertex count.
+}
+
+}  // namespace
+
+void RegisterBuiltinSketches() {
+  static std::once_flag once;
+  std::call_once(once, [] { RegisterAll(SketchRegistry::Global()); });
+}
+
+}  // namespace gems

@@ -1,0 +1,88 @@
+#include "core/registry.h"
+
+namespace gems {
+
+Status AnySketch::Update(uint64_t item) {
+  if (!has_value()) {
+    return Status::FailedPrecondition("update on an empty AnySketch");
+  }
+  EnsureUnique();
+  return impl_->Update(item);
+}
+
+Status AnySketch::Merge(const AnySketch& other) {
+  if (!has_value() || !other.has_value()) {
+    return Status::InvalidArgument("merge with an empty AnySketch");
+  }
+  if (type_ != other.type_) {
+    return Status::InvalidArgument(
+        std::string("cannot merge sketch type ") + other.type_name() +
+        " into " + type_name());
+  }
+  EnsureUnique();
+  return impl_->MergeFrom(*other.impl_);
+}
+
+std::vector<uint8_t> AnySketch::Serialize() const {
+  if (!has_value()) return {};
+  return impl_->Serialize();
+}
+
+std::string AnySketch::EstimateSummary() const {
+  if (!has_value()) return "(empty)";
+  return impl_->EstimateSummary();
+}
+
+SketchRegistry& SketchRegistry::Global() {
+  static SketchRegistry* registry = new SketchRegistry();
+  return *registry;
+}
+
+Status SketchRegistry::Register(SketchTypeId id, Entry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.emplace(id, std::move(entry));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument(
+        std::string("sketch type already registered: ") + SketchTypeName(id));
+  }
+  return Status::Ok();
+}
+
+const SketchRegistry::Entry* SketchRegistry::Find(SketchTypeId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const SketchRegistry::Entry* SketchRegistry::FindByName(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, entry] : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Result<AnySketch> SketchRegistry::Deserialize(
+    const std::vector<uint8_t>& bytes) const {
+  Result<SketchTypeId> type = PeekSketchType(bytes);
+  if (!type.ok()) return type.status();
+  const Entry* entry = Find(type.value());
+  if (entry == nullptr) {
+    return Status::Corruption(
+        std::string("no deserializer registered for sketch type ") +
+        SketchTypeName(type.value()));
+  }
+  return entry->deserialize(bytes);
+}
+
+std::vector<SketchTypeId> SketchRegistry::RegisteredTypes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SketchTypeId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(id);
+  return out;
+}
+
+}  // namespace gems

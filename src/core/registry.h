@@ -1,0 +1,248 @@
+#ifndef GEMS_CORE_REGISTRY_H_
+#define GEMS_CORE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/summary.h"
+#include "core/wire.h"
+
+/// \file
+/// Type-erased sketch handling: the piece that lets the engine, the
+/// distributed aggregation paths, and the CLI store, ship, and merge
+/// heterogeneous sketches without knowing concrete types — the property
+/// that made mergeable summaries infrastructure.
+///
+/// AnySketch is a value-semantic type-erased handle over any registered
+/// sketch. SketchRegistry maps the wire format's SketchTypeId to thunks
+/// that deserialize envelope bytes into an AnySketch, so a consumer
+/// holding opaque bytes (a file, a network message, a checkpoint entry)
+/// can reconstruct and merge the sketch by reading the type tag alone.
+
+namespace gems {
+
+/// A summary whose Update takes no argument we can synthesize (e.g. graph
+/// sketches updated edge-by-edge) still round-trips and merges through
+/// AnySketch; only Update(u64) reports Unimplemented for it.
+template <typename S>
+concept InsertableSummary = requires(S s, uint64_t item) {
+  { s.Insert(item) };
+};
+
+/// Pure event counters (Morris) have no notion of an item at all; a
+/// type-erased Update(item) just counts the event.
+template <typename S>
+concept IncrementableSummary = requires(S s) {
+  { s.Increment() };
+};
+
+/// Type-erased, copyable handle to a registered sketch instance.
+class AnySketch {
+ public:
+  /// An empty handle; every operation fails until assigned from
+  /// SketchRegistry::Deserialize or AnySketch::Make.
+  AnySketch() = default;
+
+  /// Wraps a concrete sketch. `estimate` renders a one-line human-readable
+  /// summary of the sketch's current estimate (used by the CLI).
+  template <typename S>
+    requires SerializableSummary<S>
+  static AnySketch Make(SketchTypeId type,
+                        std::function<std::string(const S&)> estimate,
+                        S sketch) {
+    AnySketch any;
+    any.type_ = type;
+    any.impl_ = std::make_shared<Model<S>>(std::move(sketch),
+                                           std::move(estimate));
+    return any;
+  }
+
+  bool has_value() const { return impl_ != nullptr; }
+  SketchTypeId type() const { return type_; }
+  const char* type_name() const {
+    return has_value() ? SketchTypeName(type_) : "empty";
+  }
+
+  /// Feeds one 64-bit item. Item sketches take it directly, weighted
+  /// sketches with weight 1, value (quantile) sketches as a double,
+  /// membership filters via Insert, and plain counters via Increment.
+  /// Sketches with none of those update shapes (e.g. AGM edge sketches)
+  /// return kUnimplemented.
+  Status Update(uint64_t item);
+
+  /// Merges another handle of the same sketch type into this one.
+  /// Mismatched or empty handles are kInvalidArgument; sketch types
+  /// without a Merge (e.g. Greenwald-Khanna) are kUnimplemented.
+  Status Merge(const AnySketch& other);
+
+  /// Serializes to the standard wire envelope (empty vector if empty).
+  std::vector<uint8_t> Serialize() const;
+
+  /// One-line human-readable summary of the sketch's current estimate.
+  std::string EstimateSummary() const;
+
+  /// Borrowed pointer to the concrete sketch, or nullptr if this handle is
+  /// empty or holds a different type. The handle keeps ownership.
+  template <typename S>
+  const S* As() const {
+    if (!has_value()) return nullptr;
+    return static_cast<const S*>(impl_->Raw(TypeKey<S>()));
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual Status Update(uint64_t item) = 0;
+    virtual Status MergeFrom(const Concept& other) = 0;
+    virtual std::vector<uint8_t> Serialize() const = 0;
+    virtual std::string EstimateSummary() const = 0;
+    virtual std::shared_ptr<Concept> Clone() const = 0;
+    virtual const void* Raw(const void* type_key) const = 0;
+  };
+
+  /// One static byte per instantiated S; its address is a cheap
+  /// RTTI-independent type key for As<S>().
+  template <typename S>
+  static const void* TypeKey() {
+    static const char key = 0;
+    return &key;
+  }
+
+  template <typename S>
+  struct Model final : Concept {
+    Model(S sketch, std::function<std::string(const S&)> estimate)
+        : sketch(std::move(sketch)), estimate(std::move(estimate)) {}
+
+    Status Update(uint64_t item) override {
+      if constexpr (ItemSummary<S>) {
+        sketch.Update(item);
+      } else if constexpr (WeightedItemSummary<S>) {
+        sketch.Update(item, 1);
+      } else if constexpr (ValueSummary<S>) {
+        sketch.Update(static_cast<double>(item));
+      } else if constexpr (InsertableSummary<S>) {
+        sketch.Insert(item);
+      } else if constexpr (IncrementableSummary<S>) {
+        sketch.Increment();
+      } else {
+        return Status::Unimplemented(
+            "sketch type does not accept single-item updates");
+      }
+      return Status::Ok();
+    }
+
+    Status MergeFrom(const Concept& other) override {
+      if constexpr (MergeableSummary<S>) {
+        // The caller (AnySketch::Merge) has already checked the type tags,
+        // so the downcast is safe.
+        return sketch.Merge(static_cast<const Model<S>&>(other).sketch);
+      } else {
+        return Status::Unimplemented("sketch type has no merge operation");
+      }
+    }
+
+    std::vector<uint8_t> Serialize() const override {
+      return sketch.Serialize();
+    }
+
+    std::string EstimateSummary() const override { return estimate(sketch); }
+
+    std::shared_ptr<Concept> Clone() const override {
+      return std::make_shared<Model<S>>(sketch, estimate);
+    }
+
+    const void* Raw(const void* type_key) const override {
+      return type_key == TypeKey<S>() ? &sketch : nullptr;
+    }
+
+    S sketch;
+    std::function<std::string(const S&)> estimate;
+  };
+
+  /// Copy-on-write: mutating operations clone when the state is shared.
+  void EnsureUnique() {
+    if (impl_ != nullptr && impl_.use_count() > 1) impl_ = impl_->Clone();
+  }
+
+  SketchTypeId type_{};
+  std::shared_ptr<Concept> impl_;
+};
+
+/// Maps wire-format type ids to deserialization thunks. Thread-safe.
+class SketchRegistry {
+ public:
+  struct Entry {
+    /// Stable lowercase name, matching SketchTypeName.
+    std::string name;
+    /// Parses a full envelope (header included) of this type.
+    std::function<Result<AnySketch>(const std::vector<uint8_t>&)> deserialize;
+    /// Constructs an empty sketch with library-default parameters, for
+    /// consumers that build sketches by name (CLI, tests). May be null.
+    std::function<AnySketch()> make_default;
+  };
+
+  /// The process-wide registry. Built-in sketches are added by
+  /// RegisterBuiltinSketches(), not automatically.
+  static SketchRegistry& Global();
+
+  /// Registers a type; kInvalidArgument if the id is already taken.
+  Status Register(SketchTypeId id, Entry entry);
+
+  /// Looks up an entry; nullptr if the id was never registered.
+  const Entry* Find(SketchTypeId id) const;
+
+  /// Validates the envelope, reads its type tag, and dispatches to the
+  /// registered deserializer. An id that passes envelope validation but
+  /// was never registered is kCorruption (bytes we cannot interpret).
+  Result<AnySketch> Deserialize(const std::vector<uint8_t>& bytes) const;
+
+  /// Finds a registered type by its stable name; nullptr if absent.
+  const Entry* FindByName(const std::string& name) const;
+
+  /// All registered ids, ascending.
+  std::vector<SketchTypeId> RegisteredTypes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<SketchTypeId, Entry> entries_;
+};
+
+/// Registers a concrete sketch type: its envelope deserializer, a
+/// default-parameter factory, and an estimate renderer.
+template <typename S>
+Status RegisterSketchType(SketchRegistry& registry, SketchTypeId id,
+                          std::function<std::string(const S&)> estimate,
+                          std::function<S()> make_default) {
+  SketchRegistry::Entry entry;
+  entry.name = SketchTypeName(id);
+  entry.deserialize =
+      [id, estimate](const std::vector<uint8_t>& bytes) -> Result<AnySketch> {
+    Result<S> parsed = S::Deserialize(bytes);
+    if (!parsed.ok()) return parsed.status();
+    return AnySketch::Make<S>(id, estimate, std::move(parsed).value());
+  };
+  if (make_default) {
+    entry.make_default = [id, estimate, make_default]() {
+      return AnySketch::Make<S>(id, estimate, make_default());
+    };
+  }
+  return registry.Register(id, std::move(entry));
+}
+
+/// Registers every built-in serializable sketch with the global registry.
+/// Idempotent and thread-safe; call before using SketchRegistry::Global()
+/// to deserialize unknown bytes. (Defined in builtin_registry.cc, which
+/// lives in the gems_registry target so the core library itself does not
+/// depend on the sketch families.)
+void RegisterBuiltinSketches();
+
+}  // namespace gems
+
+#endif  // GEMS_CORE_REGISTRY_H_

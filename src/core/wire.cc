@@ -1,0 +1,157 @@
+#include "core/wire.h"
+
+#include <cstring>
+
+#include "hash/xxhash.h"
+
+namespace gems {
+namespace {
+
+/// Checksum of an envelope: hash the payload with a seed derived from the
+/// 12 header bytes that precede the checksum field, so header and payload
+/// corruption are both detected with a single pass and no copy.
+uint64_t EnvelopeChecksum(const uint8_t* header12, const uint8_t* payload,
+                          size_t payload_size) {
+  const uint64_t header_seed = XxHash64(header12, 12, kWireChecksumSeed);
+  return XxHash64(payload, payload_size, header_seed);
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint16_t LoadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | p[1] << 8);
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         static_cast<uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+}  // namespace
+
+bool IsKnownSketchTypeId(uint16_t raw) {
+  return raw >= static_cast<uint16_t>(SketchTypeId::kMorrisCounter) &&
+         raw <= static_cast<uint16_t>(SketchTypeId::kDyadicCountMin);
+}
+
+const char* SketchTypeName(SketchTypeId id) {
+  switch (id) {
+    case SketchTypeId::kMorrisCounter: return "morris";
+    case SketchTypeId::kLinearCounting: return "linear_counting";
+    case SketchTypeId::kFlajoletMartin: return "flajolet_martin";
+    case SketchTypeId::kLogLog: return "loglog";
+    case SketchTypeId::kHyperLogLog: return "hyperloglog";
+    case SketchTypeId::kHllPlusPlus: return "hllpp";
+    case SketchTypeId::kKmv: return "kmv";
+    case SketchTypeId::kBloomFilter: return "bloom";
+    case SketchTypeId::kCountingBloomFilter: return "counting_bloom";
+    case SketchTypeId::kBlockedBloomFilter: return "blocked_bloom";
+    case SketchTypeId::kCountMin: return "count_min";
+    case SketchTypeId::kCountSketch: return "count_sketch";
+    case SketchTypeId::kMisraGries: return "misra_gries";
+    case SketchTypeId::kSpaceSaving: return "space_saving";
+    case SketchTypeId::kMajority: return "majority";
+    case SketchTypeId::kGreenwaldKhanna: return "gk";
+    case SketchTypeId::kKll: return "kll";
+    case SketchTypeId::kQDigest: return "qdigest";
+    case SketchTypeId::kTDigest: return "tdigest";
+    case SketchTypeId::kReservoir: return "reservoir";
+    case SketchTypeId::kWeightedReservoir: return "weighted_reservoir";
+    case SketchTypeId::kL0Sampler: return "l0_sampler";
+    case SketchTypeId::kAmsSketch: return "ams";
+    case SketchTypeId::kMinHash: return "minhash";
+    case SketchTypeId::kSimHash: return "simhash";
+    case SketchTypeId::kAgmSketch: return "agm";
+    case SketchTypeId::kDyadicCountMin: return "dyadic_count_min";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> WrapEnvelope(SketchTypeId type,
+                                  std::vector<uint8_t> payload) {
+  ByteWriter w;
+  w.PutU32(kWireMagic);
+  w.PutU16(static_cast<uint16_t>(type));
+  w.PutU8(kWireVersion);
+  w.PutU8(0);  // Flags: reserved, zero in version 1.
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  std::vector<uint8_t> out = std::move(w).TakeBytes();
+  const uint64_t checksum =
+      EnvelopeChecksum(out.data(), payload.data(), payload.size());
+  out.reserve(kWireHeaderSize + payload.size());
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(checksum >> (8 * i)));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<EnvelopeView> ParseEnvelope(const uint8_t* data, size_t size) {
+  if (data == nullptr || size < kWireHeaderSize) {
+    return Status::Corruption("sketch envelope truncated: header incomplete");
+  }
+  if (LoadU32(data) != kWireMagic) {
+    return Status::Corruption("sketch envelope: bad magic");
+  }
+  const uint16_t raw_type = LoadU16(data + 4);
+  if (!IsKnownSketchTypeId(raw_type)) {
+    return Status::Corruption("sketch envelope: unknown sketch type id " +
+                              std::to_string(raw_type));
+  }
+  EnvelopeView view;
+  view.type = static_cast<SketchTypeId>(raw_type);
+  view.version = data[6];
+  if (view.version == 0 || view.version > kWireVersion) {
+    return Status::Corruption(
+        "sketch envelope: unsupported format version " +
+        std::to_string(view.version) + " (this build reads <= " +
+        std::to_string(kWireVersion) + ")");
+  }
+  view.flags = data[7];
+  if (view.flags != 0) {
+    return Status::Corruption("sketch envelope: unknown flag bits set");
+  }
+  view.payload_size = LoadU32(data + 8);
+  if (size - kWireHeaderSize < view.payload_size) {
+    return Status::Corruption("sketch envelope truncated: payload incomplete");
+  }
+  if (size - kWireHeaderSize > view.payload_size) {
+    return Status::Corruption("sketch envelope: trailing bytes after payload");
+  }
+  view.payload = data + kWireHeaderSize;
+  const uint64_t expected = LoadU64(data + 12);
+  const uint64_t actual =
+      EnvelopeChecksum(data, view.payload, view.payload_size);
+  if (expected != actual) {
+    return Status::Corruption("sketch envelope: checksum mismatch");
+  }
+  return view;
+}
+
+Result<EnvelopeView> ParseEnvelope(const std::vector<uint8_t>& bytes) {
+  return ParseEnvelope(bytes.data(), bytes.size());
+}
+
+Result<ByteReader> OpenEnvelope(SketchTypeId expected,
+                                const std::vector<uint8_t>& bytes) {
+  Result<EnvelopeView> view = ParseEnvelope(bytes);
+  if (!view.ok()) return view.status();
+  if (view.value().type != expected) {
+    return Status::Corruption(
+        std::string("sketch envelope: type confusion: expected ") +
+        SketchTypeName(expected) + ", found " +
+        SketchTypeName(view.value().type));
+  }
+  return ByteReader(view.value().payload, view.value().payload_size);
+}
+
+Result<SketchTypeId> PeekSketchType(const std::vector<uint8_t>& bytes) {
+  Result<EnvelopeView> view = ParseEnvelope(bytes);
+  if (!view.ok()) return view.status();
+  return view.value().type;
+}
+
+}  // namespace gems

@@ -1,0 +1,118 @@
+#ifndef GEMS_CORE_WIRE_H_
+#define GEMS_CORE_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+/// \file
+/// The unified versioned wire format shared by every serializable sketch.
+///
+/// What made DataSketches infrastructure rather than a paper artifact is
+/// that every sketch shares one portable serialized form that can be
+/// stored, shipped, and merged by code that does not know the concrete
+/// type. Every serialized sketch in this library is one *envelope*:
+///
+///   offset  size  field
+///   0       4     magic "GEMS" (0x534D4547 little-endian)
+///   4       2     sketch type id (SketchTypeId, little-endian u16)
+///   6       1     format version (kWireVersion)
+///   7       1     flags (reserved; must be zero in version 1)
+///   8       4     payload length in bytes (little-endian u32)
+///   12      8     XXH64 checksum (see below, little-endian u64)
+///   20      ...   payload (sketch-specific encoding)
+///
+/// The checksum is XXH64(payload, seed) where the seed is itself
+/// XXH64(header bytes [0, 12), kWireChecksumSeed) — so corruption of any
+/// header field or any payload byte is detected without buffering a copy
+/// of the payload. Readers reject bad magic, unknown type ids, future
+/// versions, nonzero flags, length mismatches (truncation or trailing
+/// bytes), and checksum mismatches, all as Status::kCorruption — never a
+/// crash or silently-garbage sketch.
+
+namespace gems {
+
+/// Type tags for serialized sketches. Values are part of the wire format;
+/// append only, never renumber or reuse.
+enum class SketchTypeId : uint16_t {
+  kMorrisCounter = 1,
+  kLinearCounting = 2,
+  kFlajoletMartin = 3,
+  kLogLog = 4,
+  kHyperLogLog = 5,
+  kHllPlusPlus = 6,
+  kKmv = 7,
+  kBloomFilter = 8,
+  kCountingBloomFilter = 9,
+  kBlockedBloomFilter = 10,
+  kCountMin = 11,
+  kCountSketch = 12,
+  kMisraGries = 13,
+  kSpaceSaving = 14,
+  kMajority = 15,
+  kGreenwaldKhanna = 16,
+  kKll = 17,
+  kQDigest = 18,
+  kTDigest = 19,
+  kReservoir = 20,
+  kWeightedReservoir = 21,
+  kL0Sampler = 22,
+  kAmsSketch = 23,
+  kMinHash = 24,
+  kSimHash = 25,
+  kAgmSketch = 26,
+  kDyadicCountMin = 27,
+};
+
+/// Envelope constants. kWireVersion is the version this build writes;
+/// readers accept only versions they know how to parse.
+inline constexpr uint32_t kWireMagic = 0x534D4547;  // "GEMS" little-endian.
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kWireHeaderSize = 20;
+inline constexpr uint64_t kWireChecksumSeed = 0x736B65746368ULL;  // "sketch"
+
+/// True if `raw` is a type id this build knows about (registered or not).
+bool IsKnownSketchTypeId(uint16_t raw);
+
+/// Stable lowercase name for a type id ("hyperloglog", "kll", ...);
+/// "unknown" for ids this build does not know.
+const char* SketchTypeName(SketchTypeId id);
+
+/// Wraps a sketch payload in the standard envelope. This is the only way
+/// bytes destined for storage or the network should be produced.
+std::vector<uint8_t> WrapEnvelope(SketchTypeId type,
+                                  std::vector<uint8_t> payload);
+
+/// Parsed-and-validated view into an envelope. `payload` points into the
+/// buffer handed to ParseEnvelope and is valid only while it lives.
+struct EnvelopeView {
+  SketchTypeId type;
+  uint8_t version = 0;
+  uint8_t flags = 0;
+  const uint8_t* payload = nullptr;
+  uint32_t payload_size = 0;
+};
+
+/// Validates magic, type id, version, flags, length, and checksum. The
+/// envelope must occupy exactly [data, data + size); shorter input is
+/// truncation and longer input is trailing garbage, both kCorruption.
+Result<EnvelopeView> ParseEnvelope(const uint8_t* data, size_t size);
+Result<EnvelopeView> ParseEnvelope(const std::vector<uint8_t>& bytes);
+
+/// Validates the envelope, additionally requires its type tag to equal
+/// `expected` (kCorruption otherwise — the cross-type confusion case), and
+/// returns a reader positioned at the start of the payload. The reader
+/// borrows `bytes`, which must outlive it.
+Result<ByteReader> OpenEnvelope(SketchTypeId expected,
+                                const std::vector<uint8_t>& bytes);
+
+/// Reads just the type tag of a serialized sketch after full envelope
+/// validation — how type-agnostic consumers (registry, CLI `merge`)
+/// dispatch without being told the type.
+Result<SketchTypeId> PeekSketchType(const std::vector<uint8_t>& bytes);
+
+}  // namespace gems
+
+#endif  // GEMS_CORE_WIRE_H_

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/status.h"
 #include "core/summary.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 /// \file
@@ -24,9 +25,15 @@ namespace gems {
 struct AggregationStats {
   int tree_depth = 0;
   size_t num_merges = 0;
-  /// Total serialized bytes crossing links (only when summaries are
-  /// serializable; otherwise 0).
+  /// Total wire-format bytes crossing links — full envelopes (header +
+  /// payload), exactly what a network transport would carry. Only counted
+  /// when summaries are serializable; otherwise 0.
   size_t communication_bytes = 0;
+  /// Envelope messages sent (one per serialized summary shipped).
+  size_t num_messages = 0;
+  /// The share of communication_bytes spent on envelope headers
+  /// (num_messages * kWireHeaderSize) rather than sketch payloads.
+  size_t envelope_overhead_bytes = 0;
 };
 
 /// Routes item `i` of a stream to one of `num_nodes` shards (by hash, the
@@ -57,7 +64,11 @@ Result<S> AggregateTree(std::vector<S> leaves, int fanout,
       S combined = std::move(level[i]);
       for (size_t j = i + 1; j < std::min(level.size(), i + fanout); ++j) {
         if constexpr (SerializableSummary<S>) {
+          // Serialize() emits the full wire envelope, so this counts what
+          // the link would actually carry, checksum and all.
           local.communication_bytes += level[j].Serialize().size();
+          ++local.num_messages;
+          local.envelope_overhead_bytes += kWireHeaderSize;
         }
         Status s = combined.Merge(level[j]);
         if (!s.ok()) return s;

@@ -48,8 +48,11 @@ class ConcurrentSummary {
   }
 
   /// Merged snapshot of all stripes (readers pay the merge; writers are
-  /// only briefly blocked one stripe at a time).
-  S Snapshot() const {
+  /// only briefly blocked one stripe at a time). Stripes are clones of one
+  /// prototype, so merges should always succeed — but a failure (e.g. a
+  /// summary whose Merge has data-dependent preconditions) is propagated
+  /// to the caller rather than aborting the process.
+  Result<S> Snapshot() const {
     S merged = [&] {
       std::lock_guard<std::mutex> lock(stripes_[0].mutex);
       return *stripes_[0].summary;
@@ -57,7 +60,7 @@ class ConcurrentSummary {
     for (size_t i = 1; i < kStripes; ++i) {
       std::lock_guard<std::mutex> lock(stripes_[i].mutex);
       Status s = merged.Merge(*stripes_[i].summary);
-      GEMS_CHECK(s.ok());  // Clones are merge-compatible by construction.
+      if (!s.ok()) return s;
     }
     return merged;
   }

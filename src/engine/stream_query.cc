@@ -1,11 +1,52 @@
 #include "engine/stream_query.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
+#include "common/bytes.h"
 #include "common/check.h"
+#include "core/registry.h"
 #include "hash/hash.h"
+#include "hash/xxhash.h"
 
 namespace gems {
+
+namespace {
+
+/// Magic + version for the checkpoint container. The sketches inside are
+/// standard wire envelopes; this header frames the engine-level state
+/// around them. The whole container carries a trailing XXH64 checksum so
+/// damage to engine-level fields (sums, window bounds) is caught just as
+/// reliably as damage inside a sketch envelope.
+constexpr uint32_t kCheckpointMagic = 0x514D4547;  // "GEMQ" little-endian.
+constexpr uint8_t kCheckpointVersion = 1;
+constexpr uint64_t kCheckpointChecksumSeed = 0x474D5351;  // "QSMG".
+
+/// Presence bits for the per-group optional sketches.
+constexpr uint8_t kHasDistinct = 1;
+constexpr uint8_t kHasTop = 2;
+constexpr uint8_t kHasQuantiles = 4;
+
+/// Restores one sketch envelope through the registry, downcasting to the
+/// concrete type the engine expects for this aggregate.
+template <typename S>
+Status RestoreSketch(ByteReader* reader, std::optional<S>* out) {
+  std::vector<uint8_t> envelope;
+  if (Status s = reader->GetBytes(&envelope); !s.ok()) return s;
+  Result<AnySketch> any = SketchRegistry::Global().Deserialize(envelope);
+  if (!any.ok()) return any.status();
+  const S* sketch = any.value().template As<S>();
+  if (sketch == nullptr) {
+    return Status::Corruption(
+        std::string("checkpoint: unexpected sketch type ") +
+        any.value().type_name());
+  }
+  out->emplace(*sketch);
+  return Status::Ok();
+}
+
+}  // namespace
 
 StreamQuery::StreamQuery(const Options& options, uint64_t seed)
     : options_(options), seed_(seed) {
@@ -139,5 +180,195 @@ std::vector<WindowResult> StreamQuery::Flush() {
 }
 
 size_t StreamQuery::NumOpenGroups() const { return groups_.size(); }
+
+std::vector<uint8_t> StreamQuery::SerializeState() const {
+  ByteWriter w;
+  w.PutU32(kCheckpointMagic);
+  w.PutU8(kCheckpointVersion);
+  // Option fingerprint, so a checkpoint cannot be restored into a query
+  // with an incompatible shape.
+  w.PutU8(static_cast<uint8_t>(options_.aggregate));
+  w.PutU64(options_.window_size);
+  w.PutU8(static_cast<uint8_t>(options_.hll_precision));
+  w.PutVarint(options_.top_k_capacity);
+  w.PutVarint(options_.top_k);
+  w.PutU32(options_.kll_k);
+  w.PutU64(seed_);
+  // Window bookkeeping.
+  w.PutU8(window_initialized_ ? 1 : 0);
+  w.PutU64(current_window_start_);
+  w.PutU64(last_timestamp_);
+  // Open groups; each sketch is a standard wire envelope, so any
+  // registry-aware reader can inspect a checkpoint's sketches.
+  w.PutVarint(groups_.size());
+  for (const auto& [group, state] : groups_) {
+    w.PutU64(group);
+    w.PutI64(state.sum);
+    uint8_t present = 0;
+    if (state.distinct.has_value()) present |= kHasDistinct;
+    if (state.top.has_value()) present |= kHasTop;
+    if (state.quantiles.has_value()) present |= kHasQuantiles;
+    w.PutU8(present);
+    if (state.distinct.has_value()) {
+      const std::vector<uint8_t> bytes = state.distinct->Serialize();
+      w.PutBytes(bytes.data(), bytes.size());
+    }
+    if (state.top.has_value()) {
+      const std::vector<uint8_t> bytes = state.top->Serialize();
+      w.PutBytes(bytes.data(), bytes.size());
+    }
+    if (state.quantiles.has_value()) {
+      const std::vector<uint8_t> bytes = state.quantiles->Serialize();
+      w.PutBytes(bytes.data(), bytes.size());
+    }
+  }
+  // Closed-but-unpolled windows (already materialized results).
+  w.PutVarint(closed_.size());
+  for (const WindowResult& window : closed_) {
+    w.PutU64(window.window_start);
+    w.PutU64(window.window_end);
+    w.PutVarint(window.groups.size());
+    for (const GroupAggregate& aggregate : window.groups) {
+      w.PutU64(aggregate.group);
+      w.PutDouble(aggregate.scalar);
+      w.PutVarint(aggregate.top_items.size());
+      for (const auto& [item, count] : aggregate.top_items) {
+        w.PutU64(item);
+        w.PutI64(count);
+      }
+      w.PutVarint(aggregate.quantiles.size());
+      for (double q : aggregate.quantiles) w.PutDouble(q);
+    }
+  }
+  std::vector<uint8_t> body = std::move(w).TakeBytes();
+  const uint64_t checksum =
+      XxHash64(body.data(), body.size(), kCheckpointChecksumSeed);
+  for (int shift = 0; shift < 64; shift += 8) {
+    body.push_back(static_cast<uint8_t>(checksum >> shift));
+  }
+  return body;
+}
+
+Status StreamQuery::RestoreState(const std::vector<uint8_t>& bytes) {
+  RegisterBuiltinSketches();
+  if (bytes.size() < 8) {
+    return Status::Corruption("stream query checkpoint: too short");
+  }
+  const size_t body_size = bytes.size() - 8;
+  uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<uint64_t>(bytes[body_size + i]) << (8 * i);
+  }
+  if (XxHash64(bytes.data(), body_size, kCheckpointChecksumSeed) != stored) {
+    return Status::Corruption("stream query checkpoint: checksum mismatch");
+  }
+  ByteReader r(bytes.data(), body_size);
+  uint32_t magic;
+  uint8_t version;
+  if (Status s = r.GetU32(&magic); !s.ok()) return s;
+  if (magic != kCheckpointMagic) {
+    return Status::Corruption("stream query checkpoint: bad magic");
+  }
+  if (Status s = r.GetU8(&version); !s.ok()) return s;
+  if (version != kCheckpointVersion) {
+    return Status::Corruption(
+        "stream query checkpoint: unsupported version");
+  }
+  uint8_t aggregate, hll_precision;
+  uint64_t window_size, top_capacity, top_k, seed;
+  uint32_t kll_k;
+  if (Status s = r.GetU8(&aggregate); !s.ok()) return s;
+  if (Status s = r.GetU64(&window_size); !s.ok()) return s;
+  if (Status s = r.GetU8(&hll_precision); !s.ok()) return s;
+  if (Status s = r.GetVarint(&top_capacity); !s.ok()) return s;
+  if (Status s = r.GetVarint(&top_k); !s.ok()) return s;
+  if (Status s = r.GetU32(&kll_k); !s.ok()) return s;
+  if (Status s = r.GetU64(&seed); !s.ok()) return s;
+  if (aggregate != static_cast<uint8_t>(options_.aggregate) ||
+      window_size != options_.window_size ||
+      hll_precision != static_cast<uint8_t>(options_.hll_precision) ||
+      top_capacity != options_.top_k_capacity || top_k != options_.top_k ||
+      kll_k != options_.kll_k || seed != seed_) {
+    return Status::InvalidArgument(
+        "stream query checkpoint was taken with different options or seed");
+  }
+
+  uint8_t initialized;
+  uint64_t window_start, last_timestamp, num_groups;
+  if (Status s = r.GetU8(&initialized); !s.ok()) return s;
+  if (initialized > 1) {
+    return Status::Corruption("stream query checkpoint: bad bool");
+  }
+  if (Status s = r.GetU64(&window_start); !s.ok()) return s;
+  if (Status s = r.GetU64(&last_timestamp); !s.ok()) return s;
+  if (Status s = r.GetVarint(&num_groups); !s.ok()) return s;
+
+  std::map<uint64_t, GroupState> groups;
+  for (uint64_t i = 0; i < num_groups; ++i) {
+    uint64_t group;
+    uint8_t present;
+    GroupState state;
+    if (Status s = r.GetU64(&group); !s.ok()) return s;
+    if (Status s = r.GetI64(&state.sum); !s.ok()) return s;
+    if (Status s = r.GetU8(&present); !s.ok()) return s;
+    if ((present & ~(kHasDistinct | kHasTop | kHasQuantiles)) != 0) {
+      return Status::Corruption(
+          "stream query checkpoint: unknown sketch presence bits");
+    }
+    if (present & kHasDistinct) {
+      if (Status s = RestoreSketch(&r, &state.distinct); !s.ok()) return s;
+    }
+    if (present & kHasTop) {
+      if (Status s = RestoreSketch(&r, &state.top); !s.ok()) return s;
+    }
+    if (present & kHasQuantiles) {
+      if (Status s = RestoreSketch(&r, &state.quantiles); !s.ok()) return s;
+    }
+    groups.emplace(group, std::move(state));
+  }
+
+  uint64_t num_closed;
+  if (Status s = r.GetVarint(&num_closed); !s.ok()) return s;
+  std::deque<WindowResult> closed;
+  for (uint64_t i = 0; i < num_closed; ++i) {
+    WindowResult window;
+    uint64_t num_window_groups;
+    if (Status s = r.GetU64(&window.window_start); !s.ok()) return s;
+    if (Status s = r.GetU64(&window.window_end); !s.ok()) return s;
+    if (Status s = r.GetVarint(&num_window_groups); !s.ok()) return s;
+    for (uint64_t g = 0; g < num_window_groups; ++g) {
+      GroupAggregate aggregate_row;
+      uint64_t num_top, num_quantiles;
+      if (Status s = r.GetU64(&aggregate_row.group); !s.ok()) return s;
+      if (Status s = r.GetDouble(&aggregate_row.scalar); !s.ok()) return s;
+      if (Status s = r.GetVarint(&num_top); !s.ok()) return s;
+      for (uint64_t t = 0; t < num_top; ++t) {
+        uint64_t item;
+        int64_t count;
+        if (Status s = r.GetU64(&item); !s.ok()) return s;
+        if (Status s = r.GetI64(&count); !s.ok()) return s;
+        aggregate_row.top_items.emplace_back(item, count);
+      }
+      if (Status s = r.GetVarint(&num_quantiles); !s.ok()) return s;
+      for (uint64_t q = 0; q < num_quantiles; ++q) {
+        double value;
+        if (Status s = r.GetDouble(&value); !s.ok()) return s;
+        aggregate_row.quantiles.push_back(value);
+      }
+      window.groups.push_back(std::move(aggregate_row));
+    }
+    closed.push_back(std::move(window));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("stream query checkpoint: trailing bytes");
+  }
+
+  window_initialized_ = initialized == 1;
+  current_window_start_ = window_start;
+  last_timestamp_ = last_timestamp;
+  groups_ = std::move(groups);
+  closed_ = std::move(closed);
+  return Status::Ok();
+}
 
 }  // namespace gems

@@ -101,6 +101,19 @@ class StreamQuery {
   /// Number of sketches currently held (open window groups).
   size_t NumOpenGroups() const;
 
+  /// Serializes the query's dynamic state — window bookkeeping, every open
+  /// group's sketches (as standard wire envelopes via the sketch registry),
+  /// and windows closed but not yet polled — so a long-running query can be
+  /// checkpointed and resumed after a restart. Filters are code, not state,
+  /// and are not serialized.
+  std::vector<uint8_t> SerializeState() const;
+
+  /// Restores state produced by SerializeState into this query. The query
+  /// must have been constructed with the same Options and seed (mismatches
+  /// are kInvalidArgument); malformed bytes are kCorruption and leave the
+  /// query untouched. Existing dynamic state is replaced on success.
+  Status RestoreState(const std::vector<uint8_t>& bytes);
+
   const Options& options() const { return options_; }
 
  private:

@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -131,21 +131,21 @@ Status CountMinSketch::Merge(const CountMinSketch& other) {
 
 std::vector<uint8_t> CountMinSketch::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kCountMin, &w);
   w.PutU32(width_);
   w.PutU32(depth_);
   w.PutU64(seed_);
   w.PutU8(conservative_ ? 1 : 0);
   w.PutI64(total_);
   for (uint64_t counter : counters_) w.PutVarint(counter);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kCountMin,
+                      std::move(w).TakeBytes());
 }
 
 Result<CountMinSketch> CountMinSketch::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kCountMin, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kCountMin, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint32_t width, depth;
   uint64_t seed;
   uint8_t conservative;

@@ -5,7 +5,7 @@
 
 #include "common/check.h"
 #include "common/numeric.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -89,19 +89,19 @@ Status CountSketch::Merge(const CountSketch& other) {
 
 std::vector<uint8_t> CountSketch::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kCountSketch, &w);
   w.PutU32(width_);
   w.PutU32(depth_);
   w.PutU64(seed_);
   for (int64_t counter : counters_) w.PutI64(counter);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kCountSketch,
+                      std::move(w).TakeBytes());
 }
 
 Result<CountSketch> CountSketch::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kCountSketch, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kCountSketch, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint32_t width, depth;
   uint64_t seed;
   if (Status sw = r.GetU32(&width); !sw.ok()) return sw;

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 
 namespace gems {
 
@@ -107,7 +107,6 @@ Status MisraGries::Merge(const MisraGries& other) {
 
 std::vector<uint8_t> MisraGries::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kMisraGries, &w);
   w.PutVarint(num_counters_);
   w.PutI64(total_);
   w.PutI64(decrement_total_);
@@ -120,14 +119,15 @@ std::vector<uint8_t> MisraGries::Serialize() const {
     w.PutU64(item);
     w.PutI64(count);
   }
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kMisraGries,
+                      std::move(w).TakeBytes());
 }
 
 Result<MisraGries> MisraGries::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kMisraGries, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kMisraGries, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint64_t num_counters, num_entries;
   int64_t total, decrements;
   if (Status sn = r.GetVarint(&num_counters); !sn.ok()) return sn;

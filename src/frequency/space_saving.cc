@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 
 namespace gems {
 
@@ -135,7 +135,6 @@ Status SpaceSaving::Merge(const SpaceSaving& other) {
 
 std::vector<uint8_t> SpaceSaving::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kSpaceSaving, &w);
   w.PutVarint(capacity_);
   w.PutI64(total_);
   w.PutVarint(items_.size());
@@ -145,14 +144,15 @@ std::vector<uint8_t> SpaceSaving::Serialize() const {
     w.PutI64(entry.count);
     w.PutI64(entry.error);
   }
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kSpaceSaving,
+                      std::move(w).TakeBytes());
 }
 
 Result<SpaceSaving> SpaceSaving::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kSpaceSaving, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kSpaceSaving, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint64_t capacity, num_entries;
   int64_t total;
   if (Status sc = r.GetVarint(&capacity); !sc.ok()) return sc;

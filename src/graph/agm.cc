@@ -3,7 +3,7 @@
 #include <numeric>
 
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "graph/union_find.h"
 #include "hash/hash.h"
 
@@ -153,20 +153,20 @@ Status AgmSketch::Merge(const AgmSketch& other) {
 
 std::vector<uint8_t> AgmSketch::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kAgmSketch, &w);
   w.PutU32(num_vertices_);
   w.PutU64(seed_);
   w.PutVarint(static_cast<uint64_t>(options_.num_copies));
   w.PutVarint(options_.sparsity);
   w.PutVarint(options_.num_rows);
   for (const L0Sampler& sampler : samplers_) sampler.EncodeTo(&w);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kAgmSketch,
+                      std::move(w).TakeBytes());
 }
 
 Result<AgmSketch> AgmSketch::Deserialize(const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kAgmSketch, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kAgmSketch, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint32_t num_vertices;
   uint64_t seed, num_copies, sparsity, num_rows;
   if (Status sv = r.GetU32(&num_vertices); !sv.ok()) return sv;

@@ -1,7 +1,7 @@
 #include "membership/blocked_bloom.h"
 
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -55,19 +55,19 @@ Status BlockedBloomFilter::Merge(const BlockedBloomFilter& other) {
 
 std::vector<uint8_t> BlockedBloomFilter::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kBlockedBloomFilter, &w);
   w.PutU64(num_blocks_);
   w.PutU8(static_cast<uint8_t>(num_hashes_));
   w.PutU64(seed_);
   for (uint64_t word : words_) w.PutU64(word);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kBlockedBloomFilter,
+                      std::move(w).TakeBytes());
 }
 
 Result<BlockedBloomFilter> BlockedBloomFilter::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kBlockedBloomFilter, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kBlockedBloomFilter, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint64_t num_blocks, seed;
   uint8_t num_hashes;
   if (Status sb = r.GetU64(&num_blocks); !sb.ok()) return sb;

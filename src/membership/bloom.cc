@@ -4,7 +4,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -115,19 +115,19 @@ Status BloomFilter::Merge(const BloomFilter& other) {
 
 std::vector<uint8_t> BloomFilter::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kBloomFilter, &w);
   w.PutU64(num_bits_);
   w.PutU8(static_cast<uint8_t>(num_hashes_));
   w.PutU64(seed_);
   for (uint64_t word : bits_) w.PutU64(word);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kBloomFilter,
+                      std::move(w).TakeBytes());
 }
 
 Result<BloomFilter> BloomFilter::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kBloomFilter, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kBloomFilter, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint64_t num_bits, seed;
   uint8_t num_hashes;
   if (Status sb = r.GetU64(&num_bits); !sb.ok()) return sb;

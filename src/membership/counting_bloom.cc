@@ -1,7 +1,7 @@
 #include "membership/counting_bloom.h"
 
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -68,19 +68,19 @@ Status CountingBloomFilter::Merge(const CountingBloomFilter& other) {
 
 std::vector<uint8_t> CountingBloomFilter::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kCountingBloomFilter, &w);
   w.PutU64(num_counters_);
   w.PutU8(static_cast<uint8_t>(num_hashes_));
   w.PutU64(seed_);
   w.PutRaw(counters_.data(), counters_.size());
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kCountingBloomFilter,
+                      std::move(w).TakeBytes());
 }
 
 Result<CountingBloomFilter> CountingBloomFilter::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kCountingBloomFilter, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kCountingBloomFilter, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint64_t num_counters, seed;
   uint8_t num_hashes;
   if (Status sc = r.GetU64(&num_counters); !sc.ok()) return sc;

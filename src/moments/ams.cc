@@ -5,7 +5,7 @@
 
 #include "common/check.h"
 #include "common/numeric.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -82,18 +82,18 @@ Status AmsSketch::Merge(const AmsSketch& other) {
 
 std::vector<uint8_t> AmsSketch::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kAmsSketch, &w);
   w.PutU32(s1_);
   w.PutU32(s2_);
   w.PutU64(seed_);
   for (int64_t counter : counters_) w.PutI64(counter);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kAmsSketch,
+                      std::move(w).TakeBytes());
 }
 
 Result<AmsSketch> AmsSketch::Deserialize(const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kAmsSketch, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kAmsSketch, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint32_t s1, s2;
   uint64_t seed;
   if (Status sa = r.GetU32(&s1); !sa.ok()) return sa;

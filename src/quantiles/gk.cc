@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 
 namespace gems {
 
@@ -91,7 +91,6 @@ uint64_t GreenwaldKhanna::Rank(double value) const {
 
 std::vector<uint8_t> GreenwaldKhanna::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kGreenwaldKhanna, &w);
   w.PutDouble(epsilon_);
   w.PutU64(count_);
   w.PutVarint(tuples_.size());
@@ -100,14 +99,15 @@ std::vector<uint8_t> GreenwaldKhanna::Serialize() const {
     w.PutVarint(t.g);
     w.PutVarint(t.delta);
   }
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kGreenwaldKhanna,
+                      std::move(w).TakeBytes());
 }
 
 Result<GreenwaldKhanna> GreenwaldKhanna::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kGreenwaldKhanna, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kGreenwaldKhanna, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   double epsilon;
   uint64_t count, num_tuples;
   if (Status se = r.GetDouble(&epsilon); !se.ok()) return se;

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 
 namespace gems {
 namespace {
@@ -121,7 +121,6 @@ size_t KllSketch::NumRetained() const {
 
 std::vector<uint8_t> KllSketch::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kKll, &w);
   w.PutU32(k_);
   w.PutU64(count_);
   w.PutVarint(compactors_.size());
@@ -129,13 +128,14 @@ std::vector<uint8_t> KllSketch::Serialize() const {
     w.PutVarint(compactor.size());
     for (double item : compactor) w.PutDouble(item);
   }
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kKll,
+                      std::move(w).TakeBytes());
 }
 
 Result<KllSketch> KllSketch::Deserialize(const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kKll, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kKll, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint32_t k;
   uint64_t count, num_levels;
   if (Status sk = r.GetU32(&k); !sk.ok()) return sk;

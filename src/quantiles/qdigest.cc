@@ -4,7 +4,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 
 namespace gems {
 
@@ -123,7 +123,6 @@ Status QDigest::Merge(const QDigest& other) {
 
 std::vector<uint8_t> QDigest::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kQDigest, &w);
   w.PutU8(static_cast<uint8_t>(universe_bits_));
   w.PutU64(compression_);
   w.PutU64(count_);
@@ -136,13 +135,14 @@ std::vector<uint8_t> QDigest::Serialize() const {
     w.PutVarint(id);
     w.PutVarint(node_count);
   }
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kQDigest,
+                      std::move(w).TakeBytes());
 }
 
 Result<QDigest> QDigest::Deserialize(const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kQDigest, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kQDigest, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint8_t universe_bits;
   uint64_t compression, count, num_nodes;
   if (Status su = r.GetU8(&universe_bits); !su.ok()) return su;

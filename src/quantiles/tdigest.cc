@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 
 namespace gems {
 namespace {
@@ -156,7 +156,6 @@ Status TDigest::Merge(const TDigest& other) {
 std::vector<uint8_t> TDigest::Serialize() const {
   Flush();
   ByteWriter w;
-  WriteFrameHeader(SketchType::kTDigest, &w);
   w.PutDouble(compression_);
   w.PutDouble(min_);
   w.PutDouble(max_);
@@ -166,13 +165,14 @@ std::vector<uint8_t> TDigest::Serialize() const {
     w.PutDouble(c.mean);
     w.PutDouble(c.weight);
   }
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kTDigest,
+                      std::move(w).TakeBytes());
 }
 
 Result<TDigest> TDigest::Deserialize(const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kTDigest, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kTDigest, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   double compression, min_value, max_value;
   uint64_t total, num_centroids;
   if (Status sc = r.GetDouble(&compression); !sc.ok()) return sc;

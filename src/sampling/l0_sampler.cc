@@ -8,7 +8,7 @@
 #include "common/random.h"
 #include "hash/hash.h"
 #include "hash/polynomial.h"
-#include "core/frame.h"
+#include "core/wire.h"
 
 namespace gems {
 namespace {
@@ -323,15 +323,15 @@ Status L0Sampler::DecodeFrom(ByteReader* reader) {
 
 std::vector<uint8_t> L0Sampler::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kL0Sampler, &w);
   EncodeTo(&w);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kL0Sampler,
+                      std::move(w).TakeBytes());
 }
 
 Result<L0Sampler> L0Sampler::Deserialize(const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kL0Sampler, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kL0Sampler, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   L0Sampler sampler(0, Options{1, 1, 1});
   if (Status sd = sampler.DecodeFrom(&r); !sd.ok()) return sd;
   return sampler;

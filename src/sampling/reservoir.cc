@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 
 namespace gems {
 
@@ -65,19 +65,19 @@ Status ReservoirSampler::Merge(const ReservoirSampler& other) {
 
 std::vector<uint8_t> ReservoirSampler::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kReservoir, &w);
   w.PutVarint(k_);
   w.PutU64(seen_);
   w.PutVarint(sample_.size());
   for (uint64_t item : sample_) w.PutU64(item);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kReservoir,
+                      std::move(w).TakeBytes());
 }
 
 Result<ReservoirSampler> ReservoirSampler::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kReservoir, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kReservoir, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint64_t k, seen, size;
   if (Status sk = r.GetVarint(&k); !sk.ok()) return sk;
   if (Status sn = r.GetU64(&seen); !sn.ok()) return sn;

@@ -3,7 +3,7 @@
 #include <limits>
 
 #include "common/check.h"
-#include "core/frame.h"
+#include "core/wire.h"
 #include "hash/hash.h"
 
 namespace gems {
@@ -46,18 +46,18 @@ Status MinHashSketch::Merge(const MinHashSketch& other) {
 
 std::vector<uint8_t> MinHashSketch::Serialize() const {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kMinHash, &w);
   w.PutU32(k_);
   w.PutU64(seed_);
   for (uint64_t coordinate : signature_) w.PutU64(coordinate);
-  return std::move(w).TakeBytes();
+  return WrapEnvelope(SketchTypeId::kMinHash,
+                      std::move(w).TakeBytes());
 }
 
 Result<MinHashSketch> MinHashSketch::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  Status s = ReadFrameHeader(SketchType::kMinHash, &r);
-  if (!s.ok()) return s;
+  Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kMinHash, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r = std::move(payload).value();
   uint32_t k;
   uint64_t seed;
   if (Status sk = r.GetU32(&k); !sk.ok()) return sk;

@@ -13,6 +13,7 @@
 #include "cardinality/morris.h"
 #include "common/numeric.h"
 #include "core/summary.h"
+#include "core/wire.h"
 #include "workload/generators.h"
 
 namespace gems {
@@ -352,8 +353,24 @@ TEST(HyperLogLogTest, SerializeRoundTrip) {
 TEST(HyperLogLogTest, DeserializeRejectsBadPrecision) {
   HyperLogLog hll(10, 5);
   auto bytes = hll.Serialize();
-  bytes[5] = 50;  // Corrupt precision field (after 5-byte frame header).
-  EXPECT_FALSE(HyperLogLog::Deserialize(bytes).ok());
+  // Rewrite the precision byte (first payload byte) and re-wrap so the
+  // envelope itself is valid — this exercises the payload validation, not
+  // the checksum.
+  Result<EnvelopeView> view = ParseEnvelope(bytes);
+  ASSERT_TRUE(view.ok());
+  std::vector<uint8_t> payload(view.value().payload,
+                               view.value().payload + view.value().payload_size);
+  payload[0] = 50;
+  auto corrupt = WrapEnvelope(SketchTypeId::kHyperLogLog, std::move(payload));
+  EXPECT_FALSE(HyperLogLog::Deserialize(corrupt).ok());
+}
+
+TEST(HyperLogLogTest, DeserializeRejectsFlippedPayloadByte) {
+  HyperLogLog hll(10, 5);
+  auto bytes = hll.Serialize();
+  bytes[kWireHeaderSize] ^= 0xFF;  // First payload byte; checksum catches it.
+  EXPECT_EQ(HyperLogLog::Deserialize(bytes).status().code(),
+            StatusCode::kCorruption);
 }
 
 TEST(HyperLogLogTest, AlphaConstants) {

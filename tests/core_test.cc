@@ -5,9 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "core/estimate.h"
-#include "core/frame.h"
 #include "core/params.h"
 #include "core/summary.h"
+#include "core/wire.h"
 
 namespace gems {
 namespace {
@@ -42,47 +42,82 @@ TEST(EstimateTest, ToStringMentionsBounds) {
   EXPECT_NE(s.find("95%"), std::string::npos);
 }
 
-TEST(FrameTest, RoundTrip) {
+TEST(WireTest, RoundTrip) {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kHyperLogLog, &w);
   w.PutU64(777);
-  ByteReader r(w.bytes());
-  ASSERT_TRUE(ReadFrameHeader(SketchType::kHyperLogLog, &r).ok());
+  std::vector<uint8_t> bytes =
+      WrapEnvelope(SketchTypeId::kHyperLogLog, std::move(w).TakeBytes());
+  EXPECT_EQ(bytes.size(), kWireHeaderSize + 8);
+  Result<ByteReader> r = OpenEnvelope(SketchTypeId::kHyperLogLog, bytes);
+  ASSERT_TRUE(r.ok());
   uint64_t payload;
-  ASSERT_TRUE(r.GetU64(&payload).ok());
+  ASSERT_TRUE(r.value().GetU64(&payload).ok());
   EXPECT_EQ(payload, 777u);
 }
 
-TEST(FrameTest, TypeMismatchRejected) {
+TEST(WireTest, EnvelopeStartsWithAsciiMagic) {
+  std::vector<uint8_t> bytes = WrapEnvelope(SketchTypeId::kKll, {});
+  ASSERT_GE(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 'G');
+  EXPECT_EQ(bytes[1], 'E');
+  EXPECT_EQ(bytes[2], 'M');
+  EXPECT_EQ(bytes[3], 'S');
+}
+
+TEST(WireTest, TypeMismatchRejectedAsCorruption) {
+  std::vector<uint8_t> bytes = WrapEnvelope(SketchTypeId::kBloomFilter, {});
+  EXPECT_EQ(OpenEnvelope(SketchTypeId::kCountMin, bytes).status().code(),
+            StatusCode::kCorruption);
+  Result<SketchTypeId> type = PeekSketchType(bytes);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(type.value(), SketchTypeId::kBloomFilter);
+}
+
+TEST(WireTest, BadMagicRejected) {
+  std::vector<uint8_t> bytes = WrapEnvelope(SketchTypeId::kHyperLogLog, {1});
+  bytes[0] ^= 0xFF;
+  EXPECT_EQ(ParseEnvelope(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, TruncationRejected) {
+  std::vector<uint8_t> bytes =
+      WrapEnvelope(SketchTypeId::kHyperLogLog, {1, 2, 3, 4});
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + keep);
+    EXPECT_EQ(ParseEnvelope(cut).status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireTest, TrailingBytesRejected) {
+  std::vector<uint8_t> bytes = WrapEnvelope(SketchTypeId::kKll, {9, 9});
+  bytes.push_back(0);
+  EXPECT_EQ(ParseEnvelope(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, FutureVersionRejected) {
+  std::vector<uint8_t> bytes = WrapEnvelope(SketchTypeId::kKll, {5});
+  bytes[6] = kWireVersion + 1;
+  EXPECT_EQ(ParseEnvelope(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, UnknownTypeIdRejected) {
+  std::vector<uint8_t> bytes = WrapEnvelope(SketchTypeId::kKll, {5});
+  bytes[4] = 0xFF;
+  bytes[5] = 0xFF;
+  EXPECT_EQ(ParseEnvelope(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, EveryByteFlipRejected) {
   ByteWriter w;
-  WriteFrameHeader(SketchType::kBloomFilter, &w);
-  ByteReader r(w.bytes());
-  Status s = ReadFrameHeader(SketchType::kCountMin, &r);
-  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
-}
-
-TEST(FrameTest, BadMagicRejected) {
-  std::vector<uint8_t> bytes = {0x00, 0x00, 0x01, 0x05, 0x00};
-  ByteReader r(bytes);
-  EXPECT_EQ(ReadFrameHeader(SketchType::kHyperLogLog, &r).code(),
-            StatusCode::kCorruption);
-}
-
-TEST(FrameTest, TruncatedHeaderRejected) {
-  std::vector<uint8_t> bytes = {0xE5};
-  ByteReader r(bytes);
-  EXPECT_EQ(ReadFrameHeader(SketchType::kHyperLogLog, &r).code(),
-            StatusCode::kCorruption);
-}
-
-TEST(FrameTest, BadVersionRejected) {
-  ByteWriter w;
-  WriteFrameHeader(SketchType::kKll, &w);
-  std::vector<uint8_t> bytes = w.bytes();
-  bytes[2] = 99;  // Corrupt the version byte.
-  ByteReader r(bytes);
-  EXPECT_EQ(ReadFrameHeader(SketchType::kKll, &r).code(),
-            StatusCode::kCorruption);
+  w.PutU64(0xDEADBEEF);
+  std::vector<uint8_t> bytes =
+      WrapEnvelope(SketchTypeId::kTDigest, std::move(w).TakeBytes());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[i] ^= 0x20;
+    EXPECT_EQ(ParseEnvelope(corrupt).status().code(), StatusCode::kCorruption)
+        << "byte " << i;
+  }
 }
 
 // Compile-time checks that the concepts describe what we think they do.

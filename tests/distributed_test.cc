@@ -170,7 +170,7 @@ TEST(ConcurrentSummaryTest, SingleThreadMatchesPlain) {
     plain.Update(item);
     concurrent.Update(item);
   }
-  EXPECT_DOUBLE_EQ(concurrent.Snapshot().Count(), plain.Count());
+  EXPECT_DOUBLE_EQ(concurrent.Snapshot().value().Count(), plain.Count());
 }
 
 TEST(ConcurrentSummaryTest, MultiThreadedUpdatesAllLand) {
@@ -188,7 +188,7 @@ TEST(ConcurrentSummaryTest, MultiThreadedUpdatesAllLand) {
   }
   for (std::thread& thread : threads) thread.join();
   const double expected = kThreads * kPerThread;
-  EXPECT_NEAR(concurrent.Snapshot().Count(), expected, 0.06 * expected);
+  EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected, 0.06 * expected);
 }
 
 TEST(ConcurrentSummaryTest, SnapshotWhileWriting) {
@@ -200,13 +200,13 @@ TEST(ConcurrentSummaryTest, SnapshotWhileWriting) {
   double last = 0;
   int decreases = 0;
   for (int i = 0; i < 50; ++i) {
-    const double now = concurrent.Snapshot().Count();
+    const double now = concurrent.Snapshot().value().Count();
     if (now + 1e-9 < last) ++decreases;
     last = now;
   }
   writer.join();
   EXPECT_EQ(decreases, 0);
-  EXPECT_NEAR(concurrent.Snapshot().Count(), 200000.0, 0.07 * 200000);
+  EXPECT_NEAR(concurrent.Snapshot().value().Count(), 200000.0, 0.07 * 200000);
 }
 
 TEST(MergeabilityTest, KmvMergedEqualsStreamed) {

@@ -185,6 +185,105 @@ TEST(StreamQueryTest, FlowScanDetectionScenario) {
 
 // -------------------------------------------------- Exponential histogram
 
+TEST(StreamQueryTest, CheckpointRestoreResumesMidWindow) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  options.window_size = 1000;
+  StreamQuery query(options, 1);
+  // Half the items, then checkpoint; a closed-but-unpolled window rides
+  // along in the checkpoint too.
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(query.Process(Event(i, i % 3, i)).ok());
+  }
+  ASSERT_TRUE(query.Process(Event(1001, 0, 999)).ok());  // Closes [0,1000).
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(query.Process(Event(1002, 0, 2000 + i)).ok());
+  }
+  const std::vector<uint8_t> checkpoint = query.SerializeState();
+
+  // A fresh query with the same options resumes exactly where the first
+  // left off: same pending windows, same open-group sketches.
+  StreamQuery restored(options, 1);
+  ASSERT_TRUE(restored.RestoreState(checkpoint).ok());
+  EXPECT_EQ(restored.NumOpenGroups(), query.NumOpenGroups());
+  for (uint64_t i = 200; i < 400; ++i) {
+    ASSERT_TRUE(query.Process(Event(1003, 0, 2000 + i)).ok());
+    ASSERT_TRUE(restored.Process(Event(1003, 0, 2000 + i)).ok());
+  }
+  const auto expected = query.Flush();
+  const auto actual = restored.Flush();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t w = 0; w < expected.size(); ++w) {
+    ASSERT_EQ(actual[w].groups.size(), expected[w].groups.size());
+    for (size_t g = 0; g < expected[w].groups.size(); ++g) {
+      EXPECT_EQ(actual[w].groups[g].group, expected[w].groups[g].group);
+      EXPECT_DOUBLE_EQ(actual[w].groups[g].scalar,
+                       expected[w].groups[g].scalar);
+    }
+  }
+}
+
+TEST(StreamQueryTest, CheckpointRoundTripsAllAggregateKinds) {
+  for (AggregateKind kind :
+       {AggregateKind::kCountDistinct, AggregateKind::kTopK,
+        AggregateKind::kQuantiles, AggregateKind::kSum}) {
+    StreamQuery::Options options;
+    options.aggregate = kind;
+    StreamQuery query(options, 3);
+    for (uint64_t i = 0; i < 300; ++i) {
+      ASSERT_TRUE(
+          query.Process(Event(i, i % 2, i % 50, int64_t(i % 7))).ok());
+    }
+    const std::vector<uint8_t> checkpoint = query.SerializeState();
+    StreamQuery restored(options, 3);
+    ASSERT_TRUE(restored.RestoreState(checkpoint).ok());
+    // Restored state serializes back to the identical checkpoint.
+    EXPECT_EQ(restored.SerializeState(), checkpoint);
+  }
+}
+
+TEST(StreamQueryTest, RestoreRejectsMismatchedOptionsAndCorruption) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  StreamQuery query(options, 1);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(query.Process(Event(i, 0, i)).ok());
+  }
+  const std::vector<uint8_t> checkpoint = query.SerializeState();
+
+  // Different aggregate: the checkpoint is valid but for another query.
+  StreamQuery::Options other = options;
+  other.aggregate = AggregateKind::kSum;
+  StreamQuery wrong_options(other, 1);
+  EXPECT_EQ(wrong_options.RestoreState(checkpoint).code(),
+            StatusCode::kInvalidArgument);
+
+  // Different seed: sketches would not be merge-compatible.
+  StreamQuery wrong_seed(options, 2);
+  EXPECT_EQ(wrong_seed.RestoreState(checkpoint).code(),
+            StatusCode::kInvalidArgument);
+
+  // Damage: truncations and bit flips are corruption, and a failed
+  // restore leaves the target untouched.
+  StreamQuery victim(options, 1);
+  ASSERT_TRUE(victim.Process(Event(1, 7, 7)).ok());
+  for (size_t len : {size_t{0}, size_t{3}, checkpoint.size() / 2,
+                     checkpoint.size() - 1}) {
+    const std::vector<uint8_t> cut(checkpoint.begin(),
+                                   checkpoint.begin() + len);
+    EXPECT_EQ(victim.RestoreState(cut).code(), StatusCode::kCorruption);
+  }
+  for (size_t pos = 0; pos < checkpoint.size(); ++pos) {
+    std::vector<uint8_t> damaged = checkpoint;
+    damaged[pos] ^= 0x40;
+    const Status s = victim.RestoreState(damaged);
+    ASSERT_FALSE(s.ok()) << "flip at " << pos << " was accepted";
+    EXPECT_EQ(s.code(), StatusCode::kCorruption)
+        << "flip at " << pos << ": " << s.ToString();
+  }
+  EXPECT_EQ(victim.NumOpenGroups(), 1u);  // Still its own state.
+}
+
 TEST(ExponentialHistogramTest, ExactWhileSmall) {
   ExponentialHistogram eh(1000, 0.1);
   for (uint64_t t = 0; t < 5; ++t) eh.Add(t);

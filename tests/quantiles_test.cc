@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/summary.h"
+#include "core/wire.h"
 #include "quantiles/gk.h"
 #include "quantiles/kll.h"
 #include "quantiles/mrl.h"
@@ -262,10 +263,16 @@ TEST(QDigestTest, DeserializeRejectsBadNodeId) {
   QDigest qd(10, 64);
   qd.Update(5);
   auto bytes = qd.Serialize();
-  // Header: 5 frame + 1 bits + 8 compression + 8 count + 1 node count; the
-  // next varint is the node id. Corrupt it to zero.
-  bytes[23] = 0;
-  EXPECT_FALSE(QDigest::Deserialize(bytes).ok());
+  // Payload: 1 bits + 8 compression + 8 count + 1 node count; the next
+  // varint is the node id. Corrupt it to zero (invalid) and re-wrap so the
+  // envelope checksum is valid and the payload validation path is hit.
+  Result<EnvelopeView> view = ParseEnvelope(bytes);
+  ASSERT_TRUE(view.ok());
+  std::vector<uint8_t> payload(view.value().payload,
+                               view.value().payload + view.value().payload_size);
+  payload[18] = 0;
+  auto corrupt = WrapEnvelope(SketchTypeId::kQDigest, std::move(payload));
+  EXPECT_FALSE(QDigest::Deserialize(corrupt).ok());
 }
 
 // ---------------------------------------------------------------- TDigest

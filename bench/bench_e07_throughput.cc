@@ -1,10 +1,25 @@
-// E7: update/query throughput of every sketch (google-benchmark).
+// E7: update/query throughput of every sketch (google-benchmark), plus a
+// batched-vs-per-item comparison of the hash-once ingest pipeline.
 //
 // Claim (paper section 2, "practical side" / DataSketches): production
 // sketches sustain tens of millions of updates per second per core, which
 // is what made them deployable inside stream engines and warehouses.
+//
+// Two modes:
+//   bench_e07_throughput [gbench flags]      # the usual google-benchmark run
+//   bench_e07_throughput --e07_json=out.json [--e07_items=N]
+//     # deterministic batched-vs-per-item comparison; writes one JSON
+//     # document with per-sketch ops/sec and speedup, prints it to stdout.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
 
 #include "cardinality/hllpp.h"
 #include "cardinality/hyperloglog.h"
@@ -19,6 +34,7 @@
 #include "quantiles/mrl.h"
 #include "quantiles/req.h"
 #include "quantiles/tdigest.h"
+#include "sampling/reservoir.h"
 #include "similarity/minhash.h"
 #include "workload/generators.h"
 
@@ -206,6 +222,98 @@ void BM_TDigestUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_TDigestUpdate);
 
+// ---- batched ingest variants: whole-vector UpdateBatch per iteration ----
+
+void BM_HyperLogLogUpdateBatch(benchmark::State& state) {
+  gems::HyperLogLog sketch(static_cast<int>(state.range(0)), 1);
+  const auto items = TestItems();
+  for (auto _ : state) {
+    sketch.UpdateBatch(items);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(items.size()));
+}
+BENCHMARK(BM_HyperLogLogUpdateBatch)->Arg(10)->Arg(14);
+
+void BM_HllPlusPlusUpdateBatch(benchmark::State& state) {
+  gems::HllPlusPlus sketch(12, 1);
+  const auto items = TestItems();
+  for (auto _ : state) {
+    sketch.UpdateBatch(items);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(items.size()));
+}
+BENCHMARK(BM_HllPlusPlusUpdateBatch);
+
+void BM_KmvUpdateBatch(benchmark::State& state) {
+  gems::KmvSketch sketch(1024, 1);
+  const auto items = TestItems();
+  for (auto _ : state) {
+    sketch.UpdateBatch(items);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(items.size()));
+}
+BENCHMARK(BM_KmvUpdateBatch);
+
+void BM_BloomInsertBatch(benchmark::State& state) {
+  gems::BloomFilter filter(1 << 23, static_cast<int>(state.range(0)), 1);
+  const auto items = TestItems();
+  for (auto _ : state) {
+    filter.InsertBatch(items);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(items.size()));
+}
+BENCHMARK(BM_BloomInsertBatch)->Arg(4)->Arg(8);
+
+void BM_CountMinUpdateBatch(benchmark::State& state) {
+  gems::CountMinSketch sketch(4096, static_cast<uint32_t>(state.range(0)),
+                              1);
+  const auto items = TestItems();
+  for (auto _ : state) {
+    sketch.UpdateBatch(items);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(items.size()));
+}
+BENCHMARK(BM_CountMinUpdateBatch)->Arg(4)->Arg(8);
+
+void BM_CountSketchUpdateBatch(benchmark::State& state) {
+  gems::CountSketch sketch(4096, 5, 1);
+  const auto items = TestItems();
+  for (auto _ : state) {
+    sketch.UpdateBatch(items);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(items.size()));
+}
+BENCHMARK(BM_CountSketchUpdateBatch);
+
+void BM_SpaceSavingUpdateBatch(benchmark::State& state) {
+  gems::SpaceSaving sketch(static_cast<size_t>(state.range(0)));
+  const auto items = TestItems();
+  for (auto _ : state) {
+    sketch.UpdateBatch(items);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(items.size()));
+}
+BENCHMARK(BM_SpaceSavingUpdateBatch)->Arg(256)->Arg(4096);
+
+void BM_KllUpdateBatch(benchmark::State& state) {
+  gems::KllSketch sketch(200, 1);
+  const auto values =
+      gems::GenerateValues(gems::ValueDistribution::kGaussian, 1 << 16, 2);
+  for (auto _ : state) {
+    sketch.UpdateBatch(values);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_KllUpdateBatch);
+
 void BM_HyperLogLogMerge(benchmark::State& state) {
   gems::HyperLogLog a(12, 1), b(12, 1);
   for (uint64_t item : gems::DistinctItems(100000, 3)) b.Update(item);
@@ -224,6 +332,199 @@ void BM_HyperLogLogSerialize(benchmark::State& state) {
 }
 BENCHMARK(BM_HyperLogLogSerialize);
 
+// ------------------- batched vs per-item JSON comparison -------------------
+//
+// A deterministic chrono harness (no google-benchmark adaptivity) so CI can
+// assert on the output: for each hot sketch, ingest the same stream once
+// per item and once through the batch fast path, best of `kReps` runs.
+
+constexpr int kReps = 3;
+constexpr size_t kChunk = 4096;
+
+template <typename Fn>
+double BestSeconds(Fn&& fn) {
+  double best = 1e100;
+  for (int r = 0; r < kReps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Comparison {
+  const char* sketch;
+  double per_item_mops;
+  double batched_mops;
+  double speedup;
+};
+
+// Times `make()` sketches fed the whole stream per-item vs in kChunk-item
+// batches; a fresh sketch per repetition so both sides see identical state.
+template <typename Make, typename PerItem, typename Batch>
+Comparison Compare(const char* name, const std::vector<uint64_t>& items,
+                   Make make, PerItem per_item, Batch batch) {
+  const double seq = BestSeconds([&] {
+    auto sketch = make();
+    for (uint64_t item : items) per_item(sketch, item);
+    benchmark::DoNotOptimize(sketch);
+  });
+  const double bat = BestSeconds([&] {
+    auto sketch = make();
+    std::span<const uint64_t> span(items);
+    for (size_t off = 0; off < span.size(); off += kChunk) {
+      batch(sketch, span.subspan(off, std::min(kChunk, span.size() - off)));
+    }
+    benchmark::DoNotOptimize(sketch);
+  });
+  const double n = static_cast<double>(items.size());
+  return Comparison{name, n / seq / 1e6, n / bat / 1e6, seq / bat};
+}
+
+int RunBatchedComparison(const std::string& json_path, size_t num_items) {
+  // Per-family representative workloads: cardinality/membership sketches
+  // see the distinct-heavy keys of a bulk load (their hard case), while
+  // frequency sketches see the skewed stream they exist to summarize.
+  const std::vector<uint64_t> items = gems::DistinctItems(num_items, 42);
+  const std::vector<uint64_t> zipf =
+      gems::ZipfGenerator(1 << 20, 1.1, 42).Take(num_items);
+  std::vector<Comparison> results;
+
+  results.push_back(Compare(
+      "hyperloglog", items, [] { return gems::HyperLogLog(12, 1); },
+      [](gems::HyperLogLog& s, uint64_t x) { s.Update(x); },
+      [](gems::HyperLogLog& s, std::span<const uint64_t> b) {
+        s.UpdateBatch(b);
+      }));
+  results.push_back(Compare(
+      "hllpp", items, [] { return gems::HllPlusPlus(12, 1); },
+      [](gems::HllPlusPlus& s, uint64_t x) { s.Update(x); },
+      [](gems::HllPlusPlus& s, std::span<const uint64_t> b) {
+        s.UpdateBatch(b);
+      }));
+  results.push_back(Compare(
+      "kmv", items, [] { return gems::KmvSketch(1024, 1); },
+      [](gems::KmvSketch& s, uint64_t x) { s.Update(x); },
+      [](gems::KmvSketch& s, std::span<const uint64_t> b) {
+        s.UpdateBatch(b);
+      }));
+  results.push_back(Compare(
+      "countmin", zipf, [] { return gems::CountMinSketch(4096, 4, 1); },
+      [](gems::CountMinSketch& s, uint64_t x) { s.Update(x); },
+      [](gems::CountMinSketch& s, std::span<const uint64_t> b) {
+        s.UpdateBatch(b);
+      }));
+  results.push_back(Compare(
+      "countsketch", zipf, [] { return gems::CountSketch(4096, 5, 1); },
+      [](gems::CountSketch& s, uint64_t x) { s.Update(x); },
+      [](gems::CountSketch& s, std::span<const uint64_t> b) {
+        s.UpdateBatch(b);
+      }));
+  results.push_back(Compare(
+      "spacesaving", zipf, [] { return gems::SpaceSaving(4096); },
+      [](gems::SpaceSaving& s, uint64_t x) { s.Update(x); },
+      [](gems::SpaceSaving& s, std::span<const uint64_t> b) {
+        s.UpdateBatch(b);
+      }));
+  results.push_back(Compare(
+      "bloom", items, [] { return gems::BloomFilter(1 << 23, 7, 1); },
+      [](gems::BloomFilter& s, uint64_t x) { s.Insert(x); },
+      [](gems::BloomFilter& s, std::span<const uint64_t> b) {
+        s.InsertBatch(b);
+      }));
+  results.push_back(Compare(
+      "blocked_bloom", items,
+      [] { return gems::BlockedBloomFilter(1 << 23, 8, 1); },
+      [](gems::BlockedBloomFilter& s, uint64_t x) { s.Insert(x); },
+      [](gems::BlockedBloomFilter& s, std::span<const uint64_t> b) {
+        s.InsertBatch(b);
+      }));
+  results.push_back(Compare(
+      "reservoir", items, [] { return gems::ReservoirSampler(1024, 1); },
+      [](gems::ReservoirSampler& s, uint64_t x) { s.Update(x); },
+      [](gems::ReservoirSampler& s, std::span<const uint64_t> b) {
+        s.UpdateBatch(b);
+      }));
+  // KLL ingests doubles; reuse the item stream as values.
+  {
+    std::vector<double> values;
+    values.reserve(items.size());
+    for (uint64_t item : items) {
+      values.push_back(static_cast<double>(item % 1000000));
+    }
+    const double seq = BestSeconds([&] {
+      gems::KllSketch sketch(200, 1);
+      for (double v : values) sketch.Update(v);
+      benchmark::DoNotOptimize(sketch);
+    });
+    const double bat = BestSeconds([&] {
+      gems::KllSketch sketch(200, 1);
+      std::span<const double> span(values);
+      for (size_t off = 0; off < span.size(); off += kChunk) {
+        sketch.UpdateBatch(
+            span.subspan(off, std::min(kChunk, span.size() - off)));
+      }
+      benchmark::DoNotOptimize(sketch);
+    });
+    const double n = static_cast<double>(values.size());
+    results.push_back(Comparison{"kll", n / seq / 1e6, n / bat / 1e6,
+                                 seq / bat});
+  }
+
+  std::string json = "{\n  \"bench\": \"e07_batched_vs_per_item\",\n";
+  json += "  \"items\": " + std::to_string(num_items) + ",\n";
+  json += "  \"chunk\": " + std::to_string(kChunk) + ",\n  \"results\": [\n";
+  char line[256];
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Comparison& c = results[i];
+    std::snprintf(line, sizeof(line),
+                  "    {\"sketch\": \"%s\", \"per_item_mops\": %.2f, "
+                  "\"batched_mops\": %.2f, \"speedup\": %.2f}%s\n",
+                  c.sketch, c.per_item_mops, c.batched_mops, c.speedup,
+                  i + 1 < results.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  std::FILE* f = std::fopen(json_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  size_t num_items = 1 << 20;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--e07_json=", 0) == 0) {
+      json_path = std::string(arg.substr(std::strlen("--e07_json=")));
+    } else if (arg.rfind("--e07_items=", 0) == 0) {
+      num_items = std::strtoull(argv[i] + std::strlen("--e07_items="),
+                                nullptr, 10);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    return RunBatchedComparison(json_path, num_items == 0 ? 1 << 20
+                                                          : num_items);
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,7 +7,10 @@
 // frequency estimation (Count-Min), top-k (SpaceSaving), and quantiles
 // (KLL) over one synthetic stream, against exact baselines.
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "cardinality/hyperloglog.h"
 #include "frequency/count_min.h"
@@ -24,33 +27,55 @@ int main() {
   ZipfGenerator stream(100000, 1.2, /*seed=*/42);
   const size_t n = 1000000;
 
-  HyperLogLog distinct(/*precision=*/12);
-  BloomFilter seen(1 << 22, 7);
-  CountMinSketch counts(4096, 4);
-  SpaceSaving top(128);
+  // Advisor-driven constructors: state the accuracy target and let the
+  // library size the sketch; invalid targets come back as a Status instead
+  // of aborting.
+  Result<HyperLogLog> distinct_or = HyperLogLog::ForRelativeError(0.01);
+  Result<BloomFilter> seen_or = BloomFilter::ForFpr(100000, 0.01);
+  Result<CountMinSketch> counts_or = CountMinSketch::ForErrorBound(0.001, 0.02);
+  Result<SpaceSaving> top_or = SpaceSaving::ForThreshold(0.008);
+  if (!distinct_or.ok() || !seen_or.ok() || !counts_or.ok() || !top_or.ok()) {
+    std::fprintf(stderr, "bad sketch parameters\n");
+    return 1;
+  }
+  HyperLogLog distinct = std::move(distinct_or).value();
+  BloomFilter seen = std::move(seen_or).value();
+  CountMinSketch counts = std::move(counts_or).value();
+  SpaceSaving top = std::move(top_or).value();
   KllSketch latency(200);
 
   ExactDistinct exact_distinct;
   ExactFrequencies exact_counts;
 
+  // Batched ingest: each sketch hashes a chunk once in a hoisted loop
+  // instead of re-deriving per-item state inside Update().
+  std::vector<uint64_t> chunk;
+  chunk.reserve(4096);
+  for (size_t i = 0; i < n;) {
+    chunk.clear();
+    const size_t m = std::min<size_t>(chunk.capacity(), n - i);
+    for (size_t j = 0; j < m; ++j) chunk.push_back(stream.Next());
+    distinct.UpdateBatch(chunk);
+    seen.InsertBatch(chunk);
+    counts.UpdateBatch(chunk);
+    top.UpdateBatch(chunk);
+    for (uint64_t item : chunk) {
+      exact_distinct.Update(item);
+      exact_counts.Update(item);
+    }
+    i += m;
+  }
   Rng value_rng(7);
   for (size_t i = 0; i < n; ++i) {
-    const uint64_t item = stream.Next();
-    distinct.Update(item);
-    seen.Insert(item);
-    counts.Update(item);
-    top.Update(item);
     latency.Update(value_rng.NextExponential() * 10.0);  // Fake latency ms.
-    exact_distinct.Update(item);
-    exact_counts.Update(item);
   }
 
   std::printf("stream: %zu events\n\n", n);
 
   std::printf("-- count distinct (HyperLogLog, 4 KiB) --\n");
   std::printf("   exact %lu   estimate %.0f   interval %s\n\n",
-              (unsigned long)exact_distinct.Count(), distinct.Count(),
-              distinct.CountEstimate(0.95).ToString().c_str());
+              (unsigned long)exact_distinct.Count(), distinct.Estimate(),
+              distinct.EstimateWithBounds(0.95).ToString().c_str());
 
   const uint64_t probe = stream.Next();
   std::printf("-- membership (Bloom filter) --\n");
@@ -58,13 +83,13 @@ int main() {
               seen.MayContain(probe) ? "yes" : "no",
               seen.MayContain(0xDEADBEEFULL) ? "yes (false positive)" : "no");
 
-  std::printf("-- frequency (Count-Min, 64 KiB) + top-k (SpaceSaving) --\n");
+  std::printf("-- frequency (Count-Min) + top-k (SpaceSaving) --\n");
   for (const auto& entry : top.TopK(5)) {
     std::printf("   item %20lu   exact %8ld   count-min %8lu   "
                 "space-saving %8ld (+-%ld)\n",
                 (unsigned long)entry.item,
                 (long)exact_counts.Count(entry.item),
-                (unsigned long)counts.EstimateCount(entry.item), (long)entry.count,
+                (unsigned long)counts.Estimate(entry.item), (long)entry.count,
                 (long)entry.error);
   }
 
@@ -78,6 +103,6 @@ int main() {
   const auto bytes = distinct.Serialize();
   auto restored = HyperLogLog::Deserialize(bytes);
   std::printf("\nserialized HLL: %zu bytes; restored estimate %.0f\n",
-              bytes.size(), restored.value().Count());
+              bytes.size(), restored.value().Estimate());
   return 0;
 }

@@ -37,14 +37,20 @@
 namespace {
 
 int RunDistinct(std::istream& in) {
-  gems::HllPlusPlus sketch(gems::HllPrecisionFor(0.01));
+  gems::Result<gems::HllPlusPlus> sketch_or =
+      gems::HllPlusPlus::ForRelativeError(0.01);
+  if (!sketch_or.ok()) {
+    std::fprintf(stderr, "%s\n", sketch_or.status().ToString().c_str());
+    return 1;
+  }
+  gems::HllPlusPlus sketch = std::move(sketch_or).value();
   uint64_t lines = 0;
   std::string line;
   while (std::getline(in, line)) {
     sketch.Update(gems::Hash64(line, 0));
     ++lines;
   }
-  const gems::Estimate estimate = sketch.CountEstimate(0.95);
+  const gems::Estimate estimate = sketch.EstimateWithBounds(0.95);
   std::printf("%lu lines, ~%.0f distinct  (95%%: [%.0f, %.0f], %zu bytes "
               "of state)\n",
               (unsigned long)lines, estimate.value, estimate.lower,
@@ -53,7 +59,8 @@ int RunDistinct(std::istream& in) {
 }
 
 int RunTopK(std::istream& in) {
-  gems::SpaceSaving sketch(1024);
+  // Track anything above ~0.1% of the stream; the advisor picks capacity.
+  gems::SpaceSaving sketch = gems::SpaceSaving::ForThreshold(0.001).value();
   std::string line;
   // SpaceSaving tracks hashes; remember one spelling per tracked hash for
   // display (best-effort, bounded memory).
@@ -99,7 +106,13 @@ int RunQuantiles(std::istream& in) {
 }
 
 int RunMembership(std::istream& in, const std::string& probe) {
-  gems::BloomFilter filter = gems::BloomFilter::ForCapacity(1 << 20, 0.01);
+  gems::Result<gems::BloomFilter> filter_or =
+      gems::BloomFilter::ForFpr(1 << 20, 0.01);
+  if (!filter_or.ok()) {
+    std::fprintf(stderr, "%s\n", filter_or.status().ToString().c_str());
+    return 1;
+  }
+  gems::BloomFilter filter = std::move(filter_or).value();
   uint64_t lines = 0;
   std::string line;
   while (std::getline(in, line)) {
@@ -147,7 +160,7 @@ int RunSave(const std::string& kind, const std::string& path,
   uint64_t lines = 0;
   std::string line;
   if (kind == "distinct") {
-    gems::HllPlusPlus sketch(gems::HllPrecisionFor(0.01));
+    gems::HllPlusPlus sketch = gems::HllPlusPlus::ForRelativeError(0.01).value();
     while (std::getline(in, line)) {
       sketch.Update(gems::Hash64(line, 0));
       ++lines;
@@ -171,7 +184,7 @@ int RunSave(const std::string& kind, const std::string& path,
     }
     bytes = sketch.Serialize();
   } else if (kind == "member") {
-    gems::BloomFilter filter = gems::BloomFilter::ForCapacity(1 << 20, 0.01);
+    gems::BloomFilter filter = gems::BloomFilter::ForFpr(1 << 20, 0.01).value();
     while (std::getline(in, line)) {
       filter.Insert(std::string_view(line));
       ++lines;
@@ -261,7 +274,7 @@ int RunSelfTest() {
   }
   std::printf("  distinct ~%.0f, heaviest item seen %ld times, median "
               "value %.1f\n",
-              distinct.Count(), (long)top.TopK(1)[0].count,
+              distinct.Estimate(), (long)top.TopK(1)[0].count,
               quantiles.Quantile(0.5));
   return 0;
 }

@@ -37,7 +37,7 @@ void FlajoletMartin::Update(uint64_t item) {
   bitmaps_[bitmap] |= uint64_t{1} << (position < 64 ? position : 63);
 }
 
-double FlajoletMartin::Count() const {
+double FlajoletMartin::Estimate() const {
   // Mean position of the lowest unset bit across bitmaps.
   double sum = 0.0;
   for (uint64_t word : bitmaps_) sum += LowestZeroBit(word);
@@ -45,7 +45,7 @@ double FlajoletMartin::Count() const {
   return static_cast<double>(num_bitmaps_) / kPhi * std::pow(2.0, mean);
 }
 
-Estimate FlajoletMartin::CountEstimate(double confidence) const {
+gems::Estimate FlajoletMartin::EstimateWithBounds(double confidence) const {
   const double n = Count();
   const double std_error = 0.78 / std::sqrt(num_bitmaps_) * n;
   return EstimateFromStdError(n, std_error, confidence);

@@ -32,10 +32,18 @@ class FlajoletMartin {
 
   /// Estimated number of distinct items:
   /// n̂ = (m / phi) * 2^{mean lowest-zero position}, phi = 0.77351.
-  double Count() const;
+  double Estimate() const;
 
-  /// Count with the 0.78/sqrt(m) normal-approximation interval.
-  Estimate CountEstimate(double confidence = 0.95) const;
+  /// Estimate with the 0.78/sqrt(m) normal-approximation interval.
+  gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
+
+  /// Deprecated alias for Estimate().
+  double Count() const { return Estimate(); }
+
+  /// Deprecated alias for EstimateWithBounds().
+  gems::Estimate CountEstimate(double confidence = 0.95) const {
+    return EstimateWithBounds(confidence);
+  }
 
   /// Bitwise-OR union; requires equal shape and seed.
   Status Merge(const FlajoletMartin& other);

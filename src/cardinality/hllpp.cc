@@ -7,8 +7,10 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "core/params.h"
 #include "core/wire.h"
 #include "hash/hash.h"
+#include "hash/hashed_batch.h"
 
 namespace gems {
 namespace {
@@ -103,6 +105,15 @@ HllPlusPlus::HllPlusPlus(int precision, uint64_t seed)
   GEMS_CHECK(precision >= 4 && precision <= 18);
 }
 
+Result<HllPlusPlus> HllPlusPlus::ForRelativeError(double relative_error,
+                                                  uint64_t seed) {
+  if (!(relative_error > 0.0 && relative_error < 1.0)) {
+    return Status::InvalidArgument(
+        "HLL++ relative error must be in (0, 1)");
+  }
+  return HllPlusPlus(HllPrecisionFor(relative_error), seed);
+}
+
 size_t HllPlusPlus::SparseCapacity() const {
   // Convert when the sparse map's footprint approaches the dense array's.
   // Each map entry costs ~16 bytes; dense costs 2^p bytes.
@@ -124,6 +135,23 @@ void HllPlusPlus::Update(uint64_t item) {
     UpdateSparse(hash);
   } else {
     dense_.UpdateHash(hash);
+  }
+}
+
+void HllPlusPlus::UpdateBatch(std::span<const uint64_t> items) {
+  uint64_t hashes[256];
+  while (!items.empty()) {
+    const size_t n = std::min(items.size(), std::size(hashes));
+    HashBatch(items.first(n), seed_, hashes);
+    size_t i = 0;
+    // Sparse mode feeds the map hash by hash (a conversion can trigger at
+    // any item); the moment the sketch is dense, the rest of the chunk
+    // takes the dense branch-light register pass.
+    while (is_sparse_ && i < n) UpdateSparse(hashes[i++]);
+    if (i < n) {
+      dense_.UpdateHashes(std::span<const uint64_t>(hashes + i, n - i));
+    }
+    items = items.subspan(n);
   }
 }
 
@@ -152,7 +180,7 @@ void HllPlusPlus::ConvertToDense() {
   is_sparse_ = false;
 }
 
-double HllPlusPlus::Count() const {
+double HllPlusPlus::Estimate() const {
   if (is_sparse_) {
     // Linear counting over the 2^25 sparse buckets: essentially exact at
     // the cardinalities where the sketch is still sparse.
@@ -178,8 +206,8 @@ double HllPlusPlus::Count() const {
   return raw;
 }
 
-Estimate HllPlusPlus::CountEstimate(double confidence) const {
-  const double n = Count();
+gems::Estimate HllPlusPlus::EstimateWithBounds(double confidence) const {
+  const double n = Estimate();
   double std_error;
   if (is_sparse_) {
     const double m = static_cast<double>(uint64_t{1} << kSparsePrecision);

@@ -2,6 +2,7 @@
 #define GEMS_CARDINALITY_HLLPP_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +38,12 @@ class HllPlusPlus {
   /// `precision` in [4, 18] controls the dense register array (2^p bytes).
   explicit HllPlusPlus(int precision, uint64_t seed = 0);
 
+  /// Advisor-driven constructor: the smallest precision whose dense
+  /// standard error 1.04/sqrt(2^p) is <= `relative_error`.
+  /// kInvalidArgument if `relative_error` is outside (0, 1).
+  static Result<HllPlusPlus> ForRelativeError(double relative_error,
+                                              uint64_t seed = 0);
+
   HllPlusPlus(const HllPlusPlus&) = default;
   HllPlusPlus& operator=(const HllPlusPlus&) = default;
   HllPlusPlus(HllPlusPlus&&) = default;
@@ -45,13 +52,27 @@ class HllPlusPlus {
   /// Adds an item (idempotent per item).
   void Update(uint64_t item);
 
+  /// Batched ingest: hashes every item once in a hoisted loop; while
+  /// sparse, feeds the sparse map (converting to dense mid-batch if it
+  /// fills), then switches to the dense branch-light register pass for the
+  /// rest of the batch. State is byte-identical to per-item Update().
+  void UpdateBatch(std::span<const uint64_t> items);
+
   /// Cardinality estimate: linear counting at sparse precision while
   /// sparse; dense HLL estimate (with small-range correction) after.
-  double Count() const;
+  double Estimate() const;
 
-  /// Count with a normal-approximation interval (uses the representation's
-  /// current standard-error model).
-  Estimate CountEstimate(double confidence = 0.95) const;
+  /// Estimate with a normal-approximation interval (uses the
+  /// representation's current standard-error model).
+  gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
+
+  /// Deprecated alias for Estimate().
+  double Count() const { return Estimate(); }
+
+  /// Deprecated alias for EstimateWithBounds().
+  gems::Estimate CountEstimate(double confidence = 0.95) const {
+    return EstimateWithBounds(confidence);
+  }
 
   /// Merges `other` into this sketch; requires equal precision and seed.
   Status Merge(const HllPlusPlus& other);

@@ -1,11 +1,14 @@
 #include "cardinality/hyperloglog.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "core/params.h"
 #include "core/wire.h"
 #include "hash/hash.h"
+#include "hash/hashed_batch.h"
 
 namespace gems {
 
@@ -13,6 +16,15 @@ HyperLogLog::HyperLogLog(int precision, uint64_t seed)
     : precision_(precision), seed_(seed) {
   GEMS_CHECK(precision >= 4 && precision <= 18);
   registers_.assign(uint64_t{1} << precision, 0);
+}
+
+Result<HyperLogLog> HyperLogLog::ForRelativeError(double relative_error,
+                                                  uint64_t seed) {
+  if (!(relative_error > 0.0 && relative_error < 1.0)) {
+    return Status::InvalidArgument(
+        "HyperLogLog relative error must be in (0, 1)");
+  }
+  return HyperLogLog(HllPrecisionFor(relative_error), seed);
 }
 
 double HyperLogLog::Alpha(uint32_t m) {
@@ -39,6 +51,32 @@ void HyperLogLog::UpdateHash(uint64_t hash) {
   }
 }
 
+void HyperLogLog::UpdateHashes(std::span<const uint64_t> hashes) {
+  // Fast path: the shift and register base are hoisted, and the register
+  // write is an unconditional max (no taken-branch penalty on the common
+  // "register already saturated" case).
+  uint8_t* const regs = registers_.data();
+  const int shift = 64 - precision_;
+  for (uint64_t hash : hashes) {
+    const uint32_t index = static_cast<uint32_t>(hash >> shift);
+    const uint8_t rho =
+        static_cast<uint8_t>(RankOfLeftmostOne(hash, shift));
+    regs[index] = std::max(regs[index], rho);
+  }
+}
+
+void HyperLogLog::UpdateBatch(std::span<const uint64_t> items) {
+  // Hash-once pipeline: fill a stack chunk of hash words in a tight
+  // (vectorizable) loop, then run the branch-light register pass.
+  uint64_t hashes[256];
+  while (!items.empty()) {
+    const size_t n = std::min(items.size(), std::size(hashes));
+    HashBatch(items.first(n), seed_, hashes);
+    UpdateHashes(std::span<const uint64_t>(hashes, n));
+    items = items.subspan(n);
+  }
+}
+
 double HyperLogLog::RawCount() const {
   const double m = static_cast<double>(registers_.size());
   double harmonic = 0.0;
@@ -54,7 +92,7 @@ uint32_t HyperLogLog::NumZeroRegisters() const {
   return zeros;
 }
 
-double HyperLogLog::Count() const {
+double HyperLogLog::Estimate() const {
   const double raw = RawCount();
   const double m = static_cast<double>(registers_.size());
   if (raw <= 2.5 * m) {
@@ -67,8 +105,8 @@ double HyperLogLog::Count() const {
   return raw;
 }
 
-Estimate HyperLogLog::CountEstimate(double confidence) const {
-  const double n = Count();
+gems::Estimate HyperLogLog::EstimateWithBounds(double confidence) const {
+  const double n = Estimate();
   const double std_error =
       1.04 / std::sqrt(static_cast<double>(registers_.size())) * n;
   return EstimateFromStdError(n, std_error, confidence);

@@ -2,6 +2,7 @@
 #define GEMS_CARDINALITY_HYPERLOGLOG_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -24,6 +25,12 @@ class HyperLogLog {
   /// `precision` in [4, 18].
   explicit HyperLogLog(int precision, uint64_t seed = 0);
 
+  /// Advisor-driven constructor: the smallest precision whose standard
+  /// error 1.04/sqrt(2^p) is <= `relative_error` (clamped to precision 18).
+  /// kInvalidArgument if `relative_error` is outside (0, 1).
+  static Result<HyperLogLog> ForRelativeError(double relative_error,
+                                              uint64_t seed = 0);
+
   HyperLogLog(const HyperLogLog&) = default;
   HyperLogLog& operator=(const HyperLogLog&) = default;
   HyperLogLog(HyperLogLog&&) = default;
@@ -36,20 +43,40 @@ class HyperLogLog {
   /// for cross-sketch consistency tests).
   void UpdateHash(uint64_t hash);
 
+  /// Batched ingest: hashes every item once in a hoisted loop, then applies
+  /// branch-light register maxes. State is byte-identical to calling
+  /// Update() per item.
+  void UpdateBatch(std::span<const uint64_t> items);
+
+  /// Batched ingest of pre-computed hash words (`Hash64(item, seed())` per
+  /// item — e.g. a HashedBatch built with this sketch's seed). This is the
+  /// hash-reuse entry point the engine's GROUP-BY path uses.
+  void UpdateHashes(std::span<const uint64_t> hashes);
+
   /// Harmonic-mean estimate with small-range correction.
-  double Count() const;
+  double Estimate() const;
+
+  /// Estimate with the 1.04/sqrt(m) normal-approximation interval.
+  gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
+
+  /// Deprecated alias for Estimate(); will be removed one release after the
+  /// unified estimator surface.
+  double Count() const { return Estimate(); }
+
+  /// Deprecated alias for EstimateWithBounds().
+  gems::Estimate CountEstimate(double confidence = 0.95) const {
+    return EstimateWithBounds(confidence);
+  }
 
   /// Raw harmonic-mean estimate with no range correction (exposed for the
   /// E1 ablation of correction on/off).
   double RawCount() const;
 
-  /// Count with the 1.04/sqrt(m) normal-approximation interval.
-  Estimate CountEstimate(double confidence = 0.95) const;
-
   /// Register-wise max; requires equal precision and seed.
   Status Merge(const HyperLogLog& other);
 
   int precision() const { return precision_; }
+  uint64_t seed() const { return seed_; }
   uint32_t num_registers() const {
     return static_cast<uint32_t>(registers_.size());
   }

@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "core/params.h"
 #include "core/wire.h"
 #include "hash/hash.h"
+#include "hash/hashed_batch.h"
 
 namespace gems {
 namespace {
@@ -21,20 +23,28 @@ ThetaResult::ThetaResult(double theta, std::vector<uint64_t> hashes)
   std::sort(hashes_.begin(), hashes_.end());
 }
 
-double ThetaResult::Count() const {
+double ThetaResult::Estimate() const {
   return static_cast<double>(hashes_.size()) / theta_;
 }
 
-Estimate ThetaResult::CountEstimate(double confidence) const {
+gems::Estimate ThetaResult::EstimateWithBounds(double confidence) const {
   // Retained count is Binomial(n, theta): std error of n̂ = sqrt(r(1-theta))
   // / theta with r retained.
   const double r = static_cast<double>(hashes_.size());
   const double std_error = std::sqrt(r * (1.0 - theta_)) / theta_;
-  return EstimateFromStdError(Count(), std_error, confidence);
+  return EstimateFromStdError(Estimate(), std_error, confidence);
 }
 
 KmvSketch::KmvSketch(uint32_t k, uint64_t seed) : k_(k), seed_(seed) {
   GEMS_CHECK(k >= 2);
+}
+
+Result<KmvSketch> KmvSketch::ForRelativeError(double relative_error,
+                                              uint64_t seed) {
+  if (!(relative_error > 0.0 && relative_error < 1.0)) {
+    return Status::InvalidArgument("KMV relative error must be in (0, 1)");
+  }
+  return KmvSketch(KmvKFor(relative_error), seed);
 }
 
 void KmvSketch::Update(uint64_t item) {
@@ -50,19 +60,42 @@ void KmvSketch::Update(uint64_t item) {
   }
 }
 
+void KmvSketch::UpdateBatch(std::span<const uint64_t> items) {
+  uint64_t hashes[256];
+  while (!items.empty()) {
+    const size_t n = std::min(items.size(), std::size(hashes));
+    HashBatch(items.first(n), seed_, hashes);
+    size_t i = 0;
+    // Fill phase: below k retained hashes every distinct hash is admitted.
+    while (hashes_.size() < k_ && i < n) hashes_.insert(hashes[i++]);
+    // Steady state: one cached-threshold compare rejects most hashes
+    // without touching the ordered set.
+    uint64_t largest = hashes_.empty() ? ~uint64_t{0} : *hashes_.rbegin();
+    for (; i < n; ++i) {
+      const uint64_t h = hashes[i];
+      if (h >= largest) continue;
+      if (hashes_.insert(h).second) {
+        hashes_.erase(std::prev(hashes_.end()));
+        largest = *hashes_.rbegin();
+      }
+    }
+    items = items.subspan(n);
+  }
+}
+
 double KmvSketch::Theta() const {
   if (hashes_.size() < k_) return 1.0;
   return UnitOf(*hashes_.rbegin());
 }
 
-double KmvSketch::Count() const {
+double KmvSketch::Estimate() const {
   if (hashes_.size() < k_) return static_cast<double>(hashes_.size());
   // (k-1)/U_(k): unbiased for the number of distinct items.
   return static_cast<double>(k_ - 1) / UnitOf(*hashes_.rbegin());
 }
 
-Estimate KmvSketch::CountEstimate(double confidence) const {
-  const double n = Count();
+gems::Estimate KmvSketch::EstimateWithBounds(double confidence) const {
+  const double n = Estimate();
   if (hashes_.size() < k_) {
     return EstimateFromStdError(n, 0.0, confidence);
   }

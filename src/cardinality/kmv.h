@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -26,10 +27,18 @@ class ThetaResult {
 
   /// Estimated number of distinct items in the represented set:
   /// |retained hashes| / theta.
-  double Count() const;
+  double Estimate() const;
 
-  /// Count with the binomial-sampling confidence interval.
-  Estimate CountEstimate(double confidence = 0.95) const;
+  /// Estimate with the binomial-sampling confidence interval.
+  gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
+
+  /// Deprecated alias for Estimate().
+  double Count() const { return Estimate(); }
+
+  /// Deprecated alias for EstimateWithBounds().
+  gems::Estimate CountEstimate(double confidence = 0.95) const {
+    return EstimateWithBounds(confidence);
+  }
 
   double theta() const { return theta_; }
   const std::vector<uint64_t>& hashes() const { return hashes_; }
@@ -45,6 +54,12 @@ class KmvSketch {
   /// `k` >= 2: number of minimum hash values retained.
   explicit KmvSketch(uint32_t k, uint64_t seed = 0);
 
+  /// Advisor-driven constructor: the smallest k whose standard error
+  /// 1/sqrt(k-2) is <= `relative_error`. kInvalidArgument if
+  /// `relative_error` is outside (0, 1).
+  static Result<KmvSketch> ForRelativeError(double relative_error,
+                                            uint64_t seed = 0);
+
   KmvSketch(const KmvSketch&) = default;
   KmvSketch& operator=(const KmvSketch&) = default;
   KmvSketch(KmvSketch&&) = default;
@@ -53,11 +68,25 @@ class KmvSketch {
   /// Adds an item (idempotent per item).
   void Update(uint64_t item);
 
-  /// Estimated distinct count: exact below k items, (k-1)/theta after.
-  double Count() const;
+  /// Batched ingest: hashes every item once in a hoisted loop, then admits
+  /// hashes against a cached k-th-minimum threshold (most items fail the
+  /// single compare and never touch the ordered set). State is
+  /// byte-identical to per-item Update().
+  void UpdateBatch(std::span<const uint64_t> items);
 
-  /// Count with the KMV standard error ~ 1/sqrt(k-2).
-  Estimate CountEstimate(double confidence = 0.95) const;
+  /// Estimated distinct count: exact below k items, (k-1)/theta after.
+  double Estimate() const;
+
+  /// Estimate with the KMV standard error ~ 1/sqrt(k-2).
+  gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
+
+  /// Deprecated alias for Estimate().
+  double Count() const { return Estimate(); }
+
+  /// Deprecated alias for EstimateWithBounds().
+  gems::Estimate CountEstimate(double confidence = 0.95) const {
+    return EstimateWithBounds(confidence);
+  }
 
   /// Union with another KMV sketch (same seed required, k may differ; the
   /// result keeps this sketch's k).

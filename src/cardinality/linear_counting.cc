@@ -26,14 +26,14 @@ uint64_t LinearCounting::NumBitsSet() const {
   return set;
 }
 
-double LinearCounting::Count() const {
+double LinearCounting::Estimate() const {
   const uint64_t zeros = num_bits_ - NumBitsSet();
   const double m = static_cast<double>(num_bits_);
   if (zeros == 0) return m * std::log(m);  // Saturated.
   return -m * std::log(static_cast<double>(zeros) / m);
 }
 
-Estimate LinearCounting::CountEstimate(double confidence) const {
+gems::Estimate LinearCounting::EstimateWithBounds(double confidence) const {
   const double m = static_cast<double>(num_bits_);
   const double n = Count();
   const double t = n / m;  // Load factor.

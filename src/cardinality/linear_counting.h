@@ -33,10 +33,19 @@ class LinearCounting {
 
   /// Estimated number of distinct items. Returns m·ln(m) as a saturated
   /// upper estimate when every bit is set.
-  double Count() const;
+  double Estimate() const;
 
-  /// Count with asymptotic-variance confidence interval (Whang et al. eq. 4).
-  Estimate CountEstimate(double confidence = 0.95) const;
+  /// Estimate with asymptotic-variance confidence interval (Whang et al.
+  /// eq. 4).
+  gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
+
+  /// Deprecated alias for Estimate().
+  double Count() const { return Estimate(); }
+
+  /// Deprecated alias for EstimateWithBounds().
+  gems::Estimate CountEstimate(double confidence = 0.95) const {
+    return EstimateWithBounds(confidence);
+  }
 
   /// Bitwise-OR union; requires equal size and seed.
   Status Merge(const LinearCounting& other);

@@ -35,14 +35,14 @@ void LogLog::Update(uint64_t item) {
   }
 }
 
-double LogLog::Count() const {
+double LogLog::Estimate() const {
   const double m = static_cast<double>(registers_.size());
   double sum = 0.0;
   for (uint8_t reg : registers_) sum += reg;
   return kAlphaInfinity * m * std::pow(2.0, sum / m);
 }
 
-Estimate LogLog::CountEstimate(double confidence) const {
+gems::Estimate LogLog::EstimateWithBounds(double confidence) const {
   const double n = Count();
   const double std_error =
       1.30 / std::sqrt(static_cast<double>(registers_.size())) * n;

@@ -32,10 +32,18 @@ class LogLog {
   void Update(uint64_t item);
 
   /// n̂ = alpha_m * m * 2^{(1/m) sum_j M_j}.
-  double Count() const;
+  double Estimate() const;
 
-  /// Count with the 1.30/sqrt(m) normal-approximation interval.
-  Estimate CountEstimate(double confidence = 0.95) const;
+  /// Estimate with the 1.30/sqrt(m) normal-approximation interval.
+  gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
+
+  /// Deprecated alias for Estimate().
+  double Count() const { return Estimate(); }
+
+  /// Deprecated alias for EstimateWithBounds().
+  gems::Estimate CountEstimate(double confidence = 0.95) const {
+    return EstimateWithBounds(confidence);
+  }
 
   /// Register-wise max; requires equal precision and seed.
   Status Merge(const LogLog& other);

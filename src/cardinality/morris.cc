@@ -22,11 +22,11 @@ void MorrisCounter::IncrementBy(uint64_t count) {
   for (uint64_t i = 0; i < count; ++i) Increment();
 }
 
-double MorrisCounter::Count() const {
+double MorrisCounter::Estimate() const {
   return a_ * (std::pow(1.0 + 1.0 / a_, static_cast<double>(register_)) - 1.0);
 }
 
-Estimate MorrisCounter::CountEstimate(double confidence) const {
+gems::Estimate MorrisCounter::EstimateWithBounds(double confidence) const {
   const double n = Count();
   const double variance = std::max(0.0, n * (n - 1.0) / (2.0 * a_));
   return EstimateFromStdError(n, std::sqrt(variance), confidence);
@@ -86,7 +86,7 @@ void MorrisEnsemble::Increment() {
   for (MorrisCounter& c : counters_) c.Increment();
 }
 
-double MorrisEnsemble::Count() const {
+double MorrisEnsemble::Estimate() const {
   double sum = 0.0;
   for (const MorrisCounter& c : counters_) sum += c.Count();
   return sum / static_cast<double>(counters_.size());

@@ -40,11 +40,19 @@ class MorrisCounter {
   void IncrementBy(uint64_t count);
 
   /// Unbiased estimate of the number of events seen.
-  double Count() const;
+  double Estimate() const;
 
-  /// Count with a normal-approximation confidence interval from the known
-  /// variance n(n-1)/(2a).
-  Estimate CountEstimate(double confidence = 0.95) const;
+  /// Estimate with a normal-approximation confidence interval from the
+  /// known variance n(n-1)/(2a).
+  gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
+
+  /// Deprecated alias for Estimate().
+  double Count() const { return Estimate(); }
+
+  /// Deprecated alias for EstimateWithBounds().
+  gems::Estimate CountEstimate(double confidence = 0.95) const {
+    return EstimateWithBounds(confidence);
+  }
 
   /// Number of bits needed to store the register value.
   int RegisterBits() const;
@@ -74,7 +82,10 @@ class MorrisEnsemble {
   MorrisEnsemble(int replicas, double a, uint64_t seed);
 
   void Increment();
-  double Count() const;
+  double Estimate() const;
+
+  /// Deprecated alias for Estimate().
+  double Count() const { return Estimate(); }
 
  private:
   std::vector<MorrisCounter> counters_;

@@ -10,6 +10,14 @@ Status AnySketch::Update(uint64_t item) {
   return impl_->Update(item);
 }
 
+Status AnySketch::UpdateBatch(std::span<const uint64_t> items) {
+  if (!has_value()) {
+    return Status::FailedPrecondition("update on an empty AnySketch");
+  }
+  EnsureUnique();
+  return impl_->UpdateBatch(items);
+}
+
 Status AnySketch::Merge(const AnySketch& other) {
   if (!has_value() || !other.has_value()) {
     return Status::InvalidArgument("merge with an empty AnySketch");

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -77,6 +78,13 @@ class AnySketch {
   /// return kUnimplemented.
   Status Update(uint64_t item);
 
+  /// Feeds a batch of 64-bit items. Dispatches to the sketch's native
+  /// batch entry point (UpdateBatch / InsertBatch) when it has one —
+  /// value sketches get the items converted to doubles — and falls back
+  /// to the per-item Update loop otherwise. Same status semantics as
+  /// Update().
+  Status UpdateBatch(std::span<const uint64_t> items);
+
   /// Merges another handle of the same sketch type into this one.
   /// Mismatched or empty handles are kInvalidArgument; sketch types
   /// without a Merge (e.g. Greenwald-Khanna) are kUnimplemented.
@@ -100,6 +108,7 @@ class AnySketch {
   struct Concept {
     virtual ~Concept() = default;
     virtual Status Update(uint64_t item) = 0;
+    virtual Status UpdateBatch(std::span<const uint64_t> items) = 0;
     virtual Status MergeFrom(const Concept& other) = 0;
     virtual std::vector<uint8_t> Serialize() const = 0;
     virtual std::string EstimateSummary() const = 0;
@@ -134,6 +143,28 @@ class AnySketch {
       } else {
         return Status::Unimplemented(
             "sketch type does not accept single-item updates");
+      }
+      return Status::Ok();
+    }
+
+    Status UpdateBatch(std::span<const uint64_t> items) override {
+      if constexpr (BatchItemSummary<S>) {
+        sketch.UpdateBatch(items);
+      } else if constexpr (BatchInsertableSummary<S>) {
+        sketch.InsertBatch(items);
+      } else if constexpr (BatchValueSummary<S>) {
+        std::vector<double> values;
+        values.reserve(items.size());
+        for (uint64_t item : items) {
+          values.push_back(static_cast<double>(item));
+        }
+        sketch.UpdateBatch(values);
+      } else {
+        // No native batch path: fall back to the per-item loop (this also
+        // surfaces kUnimplemented for sketches with no update shape).
+        for (uint64_t item : items) {
+          if (Status s = Update(item); !s.ok()) return s;
+        }
       }
       return Status::Ok();
     }

@@ -3,6 +3,7 @@
 
 #include <concepts>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -44,6 +45,38 @@ template <typename S>
 concept ValueSummary = requires(S s, double value) {
   { s.Update(value) };
 };
+
+/// A summary with a batched item ingest path. The contract (verified by the
+/// wire tests) is strict: `UpdateBatch(items)` must leave the summary in a
+/// state byte-identical (after Serialize) to feeding the same items through
+/// `Update` one at a time, in order.
+template <typename S>
+concept BatchItemSummary = requires(S s, std::span<const uint64_t> items) {
+  { s.UpdateBatch(items) };
+};
+
+/// A weighted summary with a batched ingest path applying one weight per
+/// item (parallel spans).
+template <typename S>
+concept BatchWeightedItemSummary =
+    requires(S s, std::span<const uint64_t> items,
+             std::span<const int64_t> weights) {
+      { s.UpdateBatch(items, weights) };
+    };
+
+/// A value (quantile) summary with a batched ingest path.
+template <typename S>
+concept BatchValueSummary = requires(S s, std::span<const double> values) {
+  { s.UpdateBatch(values) };
+};
+
+/// A membership filter with a batched insert path (same byte-identical
+/// contract as BatchItemSummary, against Insert).
+template <typename S>
+concept BatchInsertableSummary =
+    requires(S s, std::span<const uint64_t> keys) {
+      { s.InsertBatch(keys) };
+    };
 
 /// A summary that serializes to bytes and back.
 template <typename S>

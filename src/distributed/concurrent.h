@@ -1,10 +1,11 @@
 #ifndef GEMS_DISTRIBUTED_CONCURRENT_H_
 #define GEMS_DISTRIBUTED_CONCURRENT_H_
 
-#include <array>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
+#include <vector>
 
 #include "common/check.h"
 #include "core/summary.h"
@@ -15,7 +16,7 @@
 /// cites: writers update striped local copies under per-stripe locks
 /// (contention-free for typical thread counts), and readers merge a
 /// snapshot. Mergeability is exactly what makes this sound: the striped
-/// copies are just a 16-way partition of the stream.
+/// copies are just an n-way partition of the stream.
 
 namespace gems {
 
@@ -26,17 +27,23 @@ template <typename S>
   requires MergeableSummary<S>
 class ConcurrentSummary {
  public:
-  static constexpr size_t kStripes = 16;
-
   /// All stripes are clones of `prototype` (same seed/shape).
-  explicit ConcurrentSummary(const S& prototype) {
-    for (size_t i = 0; i < kStripes; ++i) {
-      stripes_[i].summary.emplace(prototype);
-    }
+  /// `num_stripes` = 0 picks the hardware concurrency; any value is
+  /// rounded up to a power of two and clamped to [1, kMaxStripes] so the
+  /// stripe selector can mask instead of divide.
+  explicit ConcurrentSummary(const S& prototype, size_t num_stripes = 0)
+      : stripes_(ResolveStripes(num_stripes)) {
+    for (Stripe& stripe : stripes_) stripe.summary.emplace(prototype);
   }
 
   ConcurrentSummary(const ConcurrentSummary&) = delete;
   ConcurrentSummary& operator=(const ConcurrentSummary&) = delete;
+
+  /// Upper bound on the stripe count (a 256-way partition already exceeds
+  /// any machine this library targets).
+  static constexpr size_t kMaxStripes = 256;
+
+  size_t num_stripes() const { return stripes_.size(); }
 
   /// Thread-safe update; forwards `args` to S::Update on this thread's
   /// stripe.
@@ -45,6 +52,27 @@ class ConcurrentSummary {
     Stripe& stripe = stripes_[StripeIndex()];
     std::lock_guard<std::mutex> lock(stripe.mutex);
     stripe.summary->Update(std::forward<Args>(args)...);
+  }
+
+  /// Thread-safe batch drain: acquires this thread's stripe lock once and
+  /// feeds the whole span through the summary's batch fast path. This is
+  /// the concurrent analogue of UpdateBatch — one lock round-trip per
+  /// batch instead of one per item.
+  void UpdateBatch(std::span<const uint64_t> items)
+    requires BatchItemSummary<S>
+  {
+    Stripe& stripe = stripes_[StripeIndex()];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.summary->UpdateBatch(items);
+  }
+
+  /// Batch drain for membership filters (InsertBatch entry point).
+  void InsertBatch(std::span<const uint64_t> keys)
+    requires BatchInsertableSummary<S>
+  {
+    Stripe& stripe = stripes_[StripeIndex()];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.summary->InsertBatch(keys);
   }
 
   /// Merged snapshot of all stripes (readers pay the merge; writers are
@@ -57,7 +85,7 @@ class ConcurrentSummary {
       std::lock_guard<std::mutex> lock(stripes_[0].mutex);
       return *stripes_[0].summary;
     }();
-    for (size_t i = 1; i < kStripes; ++i) {
+    for (size_t i = 1; i < stripes_.size(); ++i) {
       std::lock_guard<std::mutex> lock(stripes_[i].mutex);
       Status s = merged.Merge(*stripes_[i].summary);
       if (!s.ok()) return s;
@@ -71,14 +99,27 @@ class ConcurrentSummary {
     std::optional<S> summary;  // Emplaced in the constructor.
   };
 
-  static size_t StripeIndex() {
-    // Hash the thread id once per thread.
-    static thread_local const size_t index =
-        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kStripes;
-    return index;
+  static size_t ResolveStripes(size_t requested) {
+    size_t n = requested != 0
+                   ? requested
+                   : static_cast<size_t>(std::thread::hardware_concurrency());
+    if (n == 0) n = 1;  // hardware_concurrency may be unknown.
+    if (n > kMaxStripes) n = kMaxStripes;
+    size_t rounded = 1;
+    while (rounded < n) rounded <<= 1;
+    return rounded;
   }
 
-  std::array<Stripe, kStripes> stripes_;
+  size_t StripeIndex() const {
+    // Hash the thread id once per thread; stripe counts are powers of two,
+    // so the per-instance reduction is a mask.
+    static thread_local const size_t token =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return token & (stripes_.size() - 1);
+  }
+
+  // Count-constructed once and never resized (Stripe is immovable).
+  std::vector<Stripe> stripes_;
 };
 
 }  // namespace gems

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "core/registry.h"
 #include "hash/hash.h"
+#include "hash/hashed_batch.h"
 #include "hash/xxhash.h"
 
 namespace gems {
@@ -84,7 +85,7 @@ StreamQuery::GroupState& StreamQuery::StateFor(uint64_t group) {
   return state;
 }
 
-Status StreamQuery::Process(const StreamEvent& event) {
+Status StreamQuery::AdvanceWindow(const StreamEvent& event) {
   if (window_initialized_ && event.timestamp < last_timestamp_) {
     return Status::FailedPrecondition("timestamps must be non-decreasing");
   }
@@ -102,10 +103,19 @@ Status StreamQuery::Process(const StreamEvent& event) {
         event.timestamp / options_.window_size * options_.window_size;
     if (window_start > current_window_start_) CloseWindow(window_start);
   }
+  return Status::Ok();
+}
 
+bool StreamQuery::PassesFilters(const StreamEvent& event) const {
   for (const auto& predicate : filters_) {
-    if (!predicate(event)) return Status::Ok();
+    if (!predicate(event)) return false;
   }
+  return true;
+}
+
+Status StreamQuery::Process(const StreamEvent& event) {
+  if (Status s = AdvanceWindow(event); !s.ok()) return s;
+  if (!PassesFilters(event)) return Status::Ok();
 
   GroupState& state = StateFor(event.group);
   switch (options_.aggregate) {
@@ -121,6 +131,35 @@ Status StreamQuery::Process(const StreamEvent& event) {
     case AggregateKind::kSum:
       state.sum += event.value;
       break;
+  }
+  return Status::Ok();
+}
+
+Status StreamQuery::ProcessBatch(std::span<const StreamEvent> events) {
+  if (options_.aggregate != AggregateKind::kCountDistinct) {
+    for (const StreamEvent& event : events) {
+      if (Status s = Process(event); !s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+  // Hash-once pipeline: every group's HLL is built with the query seed, so
+  // one Hash64 per event serves whichever group the event lands in. The
+  // chunk's hash words are computed in a tight hoisted loop up front; the
+  // per-event pass then only routes (window, filters, group lookup) and
+  // applies the precomputed hash.
+  uint64_t items[256];
+  uint64_t hashes[256];
+  while (!events.empty()) {
+    const size_t n = std::min(events.size(), std::size(items));
+    for (size_t i = 0; i < n; ++i) items[i] = events[i].item;
+    HashBatch(std::span<const uint64_t>(items, n), seed_, hashes);
+    for (size_t i = 0; i < n; ++i) {
+      const StreamEvent& event = events[i];
+      if (Status s = AdvanceWindow(event); !s.ok()) return s;
+      if (!PassesFilters(event)) continue;
+      StateFor(event.group).distinct->UpdateHash(hashes[i]);
+    }
+    events = events.subspan(n);
   }
   return Status::Ok();
 }

@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cardinality/hyperloglog.h"
@@ -92,6 +93,15 @@ class StreamQuery {
   /// later window closes the current one.
   Status Process(const StreamEvent& event);
 
+  /// Processes a batch of events with the hash-once ingest pipeline: for
+  /// COUNT DISTINCT queries each event's item is hashed exactly once per
+  /// chunk (all groups' HLLs share the query seed, so the hash word feeds
+  /// whichever group the event lands in), instead of once per sketch
+  /// probe. Other aggregates process per-event. Window, ordering, and
+  /// filter semantics are identical to calling Process() per event, and
+  /// the resulting state is byte-identical. Stops at the first error.
+  Status ProcessBatch(std::span<const StreamEvent> events);
+
   /// Drains windows closed so far.
   std::vector<WindowResult> Poll();
 
@@ -125,6 +135,10 @@ class StreamQuery {
   };
 
   GroupState& StateFor(uint64_t group);
+  /// Validates ordering, initializes/advances the tumbling window, and
+  /// updates last_timestamp_ for one event.
+  Status AdvanceWindow(const StreamEvent& event);
+  bool PassesFilters(const StreamEvent& event) const;
   void CloseWindow(uint64_t next_window_start);
   GroupAggregate Snapshot(uint64_t group, const GroupState& state) const;
 

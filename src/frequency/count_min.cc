@@ -5,8 +5,10 @@
 #include <limits>
 
 #include "common/check.h"
+#include "core/params.h"
 #include "core/wire.h"
 #include "hash/hash.h"
+#include "hash/hashed_batch.h"
 
 namespace gems {
 
@@ -17,6 +19,10 @@ CountMinSketch::CountMinSketch(uint32_t width, uint32_t depth, uint64_t seed,
   GEMS_CHECK(width >= 1);
   GEMS_CHECK(depth >= 1);
   counters_.assign(static_cast<size_t>(width) * depth, 0);
+  row_seeds_.reserve(depth);
+  for (uint32_t row = 0; row < depth; ++row) {
+    row_seeds_.push_back(DeriveSeed(seed_, row));
+  }
 }
 
 CountMinSketch CountMinSketch::ForGuarantee(double epsilon, double delta,
@@ -30,8 +36,22 @@ CountMinSketch CountMinSketch::ForGuarantee(double epsilon, double delta,
   return CountMinSketch(width, std::max<uint32_t>(depth, 1), seed);
 }
 
+Result<CountMinSketch> CountMinSketch::ForErrorBound(double epsilon,
+                                                     double delta,
+                                                     uint64_t seed,
+                                                     bool conservative_update) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    return Status::InvalidArgument("CountMin epsilon must be in (0, 1)");
+  }
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("CountMin delta must be in (0, 1)");
+  }
+  return CountMinSketch(CountMinWidthFor(epsilon), CountMinDepthFor(delta),
+                        seed, conservative_update);
+}
+
 uint64_t CountMinSketch::Bucket(uint32_t row, uint64_t item) const {
-  return Hash64(item, DeriveSeed(seed_, row)) % width_;
+  return Hash64(item, row_seeds_[row]) % width_;
 }
 
 void CountMinSketch::Update(uint64_t item, int64_t weight) {
@@ -55,7 +75,63 @@ void CountMinSketch::Update(uint64_t item, int64_t weight) {
   }
 }
 
-uint64_t CountMinSketch::EstimateCount(uint64_t item) const {
+void CountMinSketch::UpdateBatch(std::span<const uint64_t> items) {
+  if (conservative_) {
+    // Conservative updates are order-dependent; keep the per-item path so
+    // batch state stays identical to sequential ingest.
+    for (uint64_t item : items) Update(item);
+    return;
+  }
+  total_ += static_cast<int64_t>(items.size());
+  const InvariantMod mod(width_);
+  uint64_t hashes[256];
+  while (!items.empty()) {
+    const size_t n = std::min(items.size(), std::size(hashes));
+    // Rows outer: each row hashes the chunk once with its derived seed and
+    // streams additions through that row's counters, with the per-probe
+    // modulo strength-reduced through the hoisted InvariantMod. Plain
+    // additions commute, so the final counters match per-item Update()
+    // exactly.
+    for (uint32_t row = 0; row < depth_; ++row) {
+      HashBatch(items.first(n), row_seeds_[row], hashes);
+      uint64_t* const counters =
+          counters_.data() + static_cast<size_t>(row) * width_;
+      for (size_t i = 0; i < n; ++i) counters[mod(hashes[i])] += 1;
+    }
+    items = items.subspan(n);
+  }
+}
+
+void CountMinSketch::UpdateBatch(std::span<const uint64_t> items,
+                                 std::span<const int64_t> weights) {
+  GEMS_CHECK(items.size() == weights.size());
+  if (conservative_) {
+    for (size_t i = 0; i < items.size(); ++i) Update(items[i], weights[i]);
+    return;
+  }
+  const InvariantMod mod(width_);
+  uint64_t hashes[256];
+  size_t offset = 0;
+  while (offset < items.size()) {
+    const size_t n = std::min(items.size() - offset, std::size(hashes));
+    for (size_t i = 0; i < n; ++i) {
+      GEMS_CHECK(weights[offset + i] >= 0);
+      total_ += weights[offset + i];
+    }
+    for (uint32_t row = 0; row < depth_; ++row) {
+      HashBatch(items.subspan(offset, n), row_seeds_[row], hashes);
+      uint64_t* const counters =
+          counters_.data() + static_cast<size_t>(row) * width_;
+      for (size_t i = 0; i < n; ++i) {
+        counters[mod(hashes[i])] +=
+            static_cast<uint64_t>(weights[offset + i]);
+      }
+    }
+    offset += n;
+  }
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t item) const {
   uint64_t best = ~uint64_t{0};
   for (uint32_t row = 0; row < depth_; ++row) {
     best = std::min(
@@ -84,11 +160,11 @@ int64_t CountMinSketch::EstimateCountMeanMin(uint64_t item) const {
   return static_cast<int64_t>(std::clamp(median, 0.0, upper));
 }
 
-Estimate CountMinSketch::CountEstimate(uint64_t item,
-                                       double confidence) const {
-  const double value = static_cast<double>(EstimateCount(item));
+gems::Estimate CountMinSketch::EstimateWithBounds(uint64_t item,
+                                                  double confidence) const {
+  const double value = static_cast<double>(Estimate(item));
   const double eps = std::exp(1.0) / static_cast<double>(width_);
-  Estimate e;
+  gems::Estimate e;
   e.value = value;
   e.upper = value;  // CM never underestimates.
   e.lower = std::max(0.0, value - eps * static_cast<double>(total_));

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -35,6 +36,13 @@ class CountMinSketch {
   static CountMinSketch ForGuarantee(double epsilon, double delta,
                                      uint64_t seed = 0);
 
+  /// Advisor-driven constructor for the (eps, delta) guarantee that
+  /// surfaces invalid parameters as a Status instead of aborting:
+  /// kInvalidArgument unless 0 < epsilon < 1 and 0 < delta < 1.
+  static Result<CountMinSketch> ForErrorBound(double epsilon, double delta,
+                                              uint64_t seed = 0,
+                                              bool conservative_update = false);
+
   CountMinSketch(const CountMinSketch&) = default;
   CountMinSketch& operator=(const CountMinSketch&) = default;
   CountMinSketch(CountMinSketch&&) = default;
@@ -43,8 +51,20 @@ class CountMinSketch {
   /// Adds `weight` (must be >= 0) to item's count.
   void Update(uint64_t item, int64_t weight = 1);
 
+  /// Batched ingest of unit-weight items: hashes each chunk once per row in
+  /// a hoisted loop (rows outer), so the counter additions stream through
+  /// one row at a time. State is byte-identical to per-item Update().
+  /// Conservative-update sketches fall back to the per-item path, because
+  /// conservative updates are order-dependent.
+  void UpdateBatch(std::span<const uint64_t> items);
+
+  /// Weighted batched ingest; `weights` must parallel `items` and every
+  /// weight must be >= 0.
+  void UpdateBatch(std::span<const uint64_t> items,
+                   std::span<const int64_t> weights);
+
   /// Point query: an overestimate of the item's total weight.
-  uint64_t EstimateCount(uint64_t item) const;
+  uint64_t Estimate(uint64_t item) const;
 
   /// Count-mean-min estimator (Deng & Rafiei 2007): subtracts each row's
   /// expected collision noise (N - counter) / (width - 1) and takes the
@@ -54,7 +74,17 @@ class CountMinSketch {
 
   /// Point query with the one-sided Markov bound interval:
   /// [estimate - eps*N, estimate] where eps = e/width.
-  Estimate CountEstimate(uint64_t item, double confidence = 0.95) const;
+  gems::Estimate EstimateWithBounds(uint64_t item,
+                                    double confidence = 0.95) const;
+
+  /// Deprecated alias for Estimate(item).
+  uint64_t EstimateCount(uint64_t item) const { return Estimate(item); }
+
+  /// Deprecated alias for EstimateWithBounds().
+  gems::Estimate CountEstimate(uint64_t item,
+                               double confidence = 0.95) const {
+    return EstimateWithBounds(item, confidence);
+  }
 
   /// Estimated inner product of the two frequency vectors (min over rows of
   /// the row dot products); both sketches must share shape and seed.
@@ -90,6 +120,9 @@ class CountMinSketch {
   bool conservative_;
   int64_t total_ = 0;
   std::vector<uint64_t> counters_;  // depth_ rows of width_ counters.
+  // Per-row derived hash seeds (DeriveSeed(seed_, row)); computed in the
+  // constructor, never serialized.
+  std::vector<uint64_t> row_seeds_;
 };
 
 /// Streaming top-k tracker layered on a Count-Min sketch: the usual recipe

@@ -7,6 +7,7 @@
 #include "common/numeric.h"
 #include "core/wire.h"
 #include "hash/hash.h"
+#include "hash/hashed_batch.h"
 
 namespace gems {
 
@@ -38,7 +39,60 @@ void CountSketch::Update(uint64_t item, int64_t weight) {
   }
 }
 
-int64_t CountSketch::EstimateCount(uint64_t item) const {
+void CountSketch::UpdateBatch(std::span<const uint64_t> items) {
+  // Chunked rows-outer kernel. Per chunk: reduce every key into the
+  // Carter-Wegman field once (per-item Update pays that division twice per
+  // row — bucket and sign), then each row evaluates its two polynomials
+  // inline over the reduced keys, with the bucket modulo strength-reduced
+  // through a hoisted InvariantMod. Counter additions commute, so the
+  // result is byte-identical to sequential Update().
+  const InvariantMod mod(width_);
+  uint64_t reduced[256];
+  while (!items.empty()) {
+    const size_t n = std::min(items.size(), std::size(reduced));
+    for (size_t i = 0; i < n; ++i) reduced[i] = KWiseHash::ReduceKey(items[i]);
+    for (uint32_t row = 0; row < depth_; ++row) {
+      const KWiseHash& bucket_hash = bucket_hashes_[row];
+      const KWiseHash& sign_hash = sign_hashes_[row];
+      int64_t* const counters =
+          counters_.data() + static_cast<size_t>(row) * width_;
+      for (size_t i = 0; i < n; ++i) {
+        counters[mod(bucket_hash.EvalReduced(reduced[i]))] +=
+            (sign_hash.EvalReduced(reduced[i]) & 1) ? 1 : -1;
+      }
+    }
+    items = items.subspan(n);
+  }
+}
+
+void CountSketch::UpdateBatch(std::span<const uint64_t> items,
+                              std::span<const int64_t> weights) {
+  GEMS_CHECK(items.size() == weights.size());
+  const InvariantMod mod(width_);
+  uint64_t reduced[256];
+  size_t offset = 0;
+  while (offset < items.size()) {
+    const size_t n = std::min(items.size() - offset, std::size(reduced));
+    for (size_t i = 0; i < n; ++i) {
+      reduced[i] = KWiseHash::ReduceKey(items[offset + i]);
+    }
+    for (uint32_t row = 0; row < depth_; ++row) {
+      const KWiseHash& bucket_hash = bucket_hashes_[row];
+      const KWiseHash& sign_hash = sign_hashes_[row];
+      int64_t* const counters =
+          counters_.data() + static_cast<size_t>(row) * width_;
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t sign =
+            (sign_hash.EvalReduced(reduced[i]) & 1) ? 1 : -1;
+        counters[mod(bucket_hash.EvalReduced(reduced[i]))] +=
+            sign * weights[offset + i];
+      }
+    }
+    offset += n;
+  }
+}
+
+int64_t CountSketch::Estimate(uint64_t item) const {
   std::vector<int64_t> row_estimates;
   row_estimates.reserve(depth_);
   for (uint32_t row = 0; row < depth_; ++row) {
@@ -67,8 +121,9 @@ double CountSketch::EstimateF2() const {
   return Median(std::move(row_f2));
 }
 
-Estimate CountSketch::CountEstimate(uint64_t item, double confidence) const {
-  const double value = static_cast<double>(EstimateCount(item));
+gems::Estimate CountSketch::EstimateWithBounds(uint64_t item,
+                                               double confidence) const {
+  const double value = static_cast<double>(Estimate(item));
   // Per-row variance is F2/width; the median over rows concentrates, so we
   // report the single-row standard deviation as a (conservative) interval.
   const double std_error = std::sqrt(EstimateF2() / width_);

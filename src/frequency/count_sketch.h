@@ -2,6 +2,7 @@
 #define GEMS_FREQUENCY_COUNT_SKETCH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -34,12 +35,32 @@ class CountSketch {
   /// Adds `weight` (may be negative) to the item's count.
   void Update(uint64_t item, int64_t weight = 1);
 
+  /// Batched ingest of unit-weight items, rows outer: each row's hash
+  /// functions and counter base are hoisted out of the item loop. Signed
+  /// additions commute, so state is byte-identical to per-item Update().
+  void UpdateBatch(std::span<const uint64_t> items);
+
+  /// Weighted batched ingest; `weights` must parallel `items` (weights may
+  /// be negative — turnstile semantics).
+  void UpdateBatch(std::span<const uint64_t> items,
+                   std::span<const int64_t> weights);
+
   /// Median-of-rows unbiased point estimate (may be negative).
-  int64_t EstimateCount(uint64_t item) const;
+  int64_t Estimate(uint64_t item) const;
 
   /// Point estimate with the L2 guarantee interval: +/- sqrt(F2 / width)
   /// per row, sharpened by the median over depth rows.
-  Estimate CountEstimate(uint64_t item, double confidence = 0.95) const;
+  gems::Estimate EstimateWithBounds(uint64_t item,
+                                    double confidence = 0.95) const;
+
+  /// Deprecated alias for Estimate(item).
+  int64_t EstimateCount(uint64_t item) const { return Estimate(item); }
+
+  /// Deprecated alias for EstimateWithBounds().
+  gems::Estimate CountEstimate(uint64_t item,
+                               double confidence = 0.95) const {
+    return EstimateWithBounds(item, confidence);
+  }
 
   /// Estimate of the second frequency moment F2 (median over rows of the
   /// row's sum of squared counters) — each row is an AMS sketch.

@@ -45,9 +45,19 @@ void MisraGries::Update(uint64_t item, int64_t weight) {
   }
 }
 
-int64_t MisraGries::EstimateCount(uint64_t item) const {
+int64_t MisraGries::Estimate(uint64_t item) const {
   const auto it = counters_.find(item);
   return it == counters_.end() ? 0 : it->second;
+}
+
+gems::Estimate MisraGries::EstimateWithBounds(uint64_t item,
+                                              double confidence) const {
+  gems::Estimate e;
+  e.value = static_cast<double>(Estimate(item));
+  e.lower = e.value;
+  e.upper = e.value + static_cast<double>(decrement_total_);
+  e.confidence = confidence;
+  return e;
 }
 
 std::vector<uint64_t> MisraGries::HeavyHitterCandidates(double phi) const {

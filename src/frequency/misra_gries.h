@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/estimate.h"
 
 /// \file
 /// Misra-Gries frequent items (1982), the generalization of Boyer-Moore
@@ -33,7 +34,16 @@ class MisraGries {
 
   /// Lower-bound estimate of the item's count (0 if not tracked).
   /// True count is in [estimate, estimate + error_bound()].
-  int64_t EstimateCount(uint64_t item) const;
+  int64_t Estimate(uint64_t item) const;
+
+  /// Point estimate with the deterministic Misra-Gries envelope:
+  /// [estimate, estimate + ErrorBound()]. The bound is exact, so
+  /// `confidence` is reported as-is.
+  gems::Estimate EstimateWithBounds(uint64_t item,
+                                    double confidence = 0.95) const;
+
+  /// Deprecated alias for Estimate(item).
+  int64_t EstimateCount(uint64_t item) const { return Estimate(item); }
 
   /// Maximum undercount: total decremented weight so far (<= N/k).
   int64_t ErrorBound() const { return decrement_total_; }

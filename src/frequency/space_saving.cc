@@ -3,12 +3,21 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/params.h"
 #include "core/wire.h"
 
 namespace gems {
 
 SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
   GEMS_CHECK(capacity >= 1);
+}
+
+Result<SpaceSaving> SpaceSaving::ForThreshold(double phi) {
+  if (!(phi > 0.0 && phi <= 1.0)) {
+    return Status::InvalidArgument(
+        "SpaceSaving threshold phi must be in (0, 1]");
+  }
+  return SpaceSaving(SpaceSavingCapacityFor(phi));
 }
 
 void SpaceSaving::Reinsert(uint64_t item, int64_t count, int64_t error) {
@@ -42,10 +51,52 @@ void SpaceSaving::Update(uint64_t item, int64_t weight) {
   Reinsert(item, min_count + weight, min_count);
 }
 
-int64_t SpaceSaving::EstimateCount(uint64_t item) const {
+void SpaceSaving::UpdateBatch(std::span<const uint64_t> items) {
+  size_t i = 0;
+  while (i < items.size()) {
+    const uint64_t item = items[i];
+    size_t j = i + 1;
+    while (j < items.size() && items[j] == item) ++j;
+    Update(item, static_cast<int64_t>(j - i));
+    i = j;
+  }
+}
+
+void SpaceSaving::UpdateBatch(std::span<const uint64_t> items,
+                              std::span<const int64_t> weights) {
+  GEMS_CHECK(items.size() == weights.size());
+  size_t i = 0;
+  while (i < items.size()) {
+    const uint64_t item = items[i];
+    int64_t weight = weights[i];
+    size_t j = i + 1;
+    while (j < items.size() && items[j] == item) weight += weights[j++];
+    Update(item, weight);
+    i = j;
+  }
+}
+
+int64_t SpaceSaving::Estimate(uint64_t item) const {
   const auto it = items_.find(item);
   if (it != items_.end()) return it->second.count;
   return MinCount();
+}
+
+gems::Estimate SpaceSaving::EstimateWithBounds(uint64_t item,
+                                               double confidence) const {
+  gems::Estimate e;
+  const auto it = items_.find(item);
+  if (it != items_.end()) {
+    e.value = static_cast<double>(it->second.count);
+    e.upper = e.value;
+    e.lower = e.value - static_cast<double>(it->second.error);
+  } else {
+    e.value = static_cast<double>(MinCount());
+    e.upper = e.value;
+    e.lower = 0.0;
+  }
+  e.confidence = confidence;
+  return e;
 }
 
 int64_t SpaceSaving::ErrorOf(uint64_t item) const {

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "core/estimate.h"
 
 /// \file
 /// SpaceSaving (Metwally, Agrawal & El Abbadi 2005): the "stream-summary"
@@ -24,6 +26,11 @@ class SpaceSaving {
  public:
   explicit SpaceSaving(size_t capacity);
 
+  /// Advisor-driven constructor: capacity ceil(1/phi) so every item with
+  /// frequency > phi*N is guaranteed tracked. kInvalidArgument if `phi` is
+  /// outside (0, 1].
+  static Result<SpaceSaving> ForThreshold(double phi);
+
   SpaceSaving(const SpaceSaving&) = default;
   SpaceSaving& operator=(const SpaceSaving&) = default;
   SpaceSaving(SpaceSaving&&) = default;
@@ -32,9 +39,31 @@ class SpaceSaving {
   /// Adds `weight` (>= 1) occurrences of `item`.
   void Update(uint64_t item, int64_t weight = 1);
 
+  /// Batched ingest: coalesces runs of equal adjacent items into one
+  /// weighted update, so hot items on skewed streams pay one map probe per
+  /// run instead of one per occurrence. State is byte-identical to
+  /// per-item Update() (a weight-r update is equivalent to r unit updates
+  /// in every tracked/untracked/eviction case).
+  void UpdateBatch(std::span<const uint64_t> items);
+
+  /// Weighted batched ingest; `weights` must parallel `items` and every
+  /// weight must be >= 1. Runs of equal adjacent items are coalesced.
+  void UpdateBatch(std::span<const uint64_t> items,
+                   std::span<const int64_t> weights);
+
   /// Overestimate of the item's count; untracked items get the current
   /// minimum count (the correct upper bound for them).
-  int64_t EstimateCount(uint64_t item) const;
+  int64_t Estimate(uint64_t item) const;
+
+  /// Point estimate with the deterministic SpaceSaving envelope:
+  /// [count - error, count] for tracked items, [0, MinCount()] for
+  /// untracked ones. The bound is exact, so `confidence` is reported
+  /// as-is.
+  gems::Estimate EstimateWithBounds(uint64_t item,
+                                    double confidence = 0.95) const;
+
+  /// Deprecated alias for Estimate(item).
+  int64_t EstimateCount(uint64_t item) const { return Estimate(item); }
 
   /// Guaranteed overestimation error for a tracked item (0 if untracked or
   /// never evicted anyone).

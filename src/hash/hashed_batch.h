@@ -1,0 +1,113 @@
+#ifndef GEMS_HASH_HASHED_BATCH_H_
+#define GEMS_HASH_HASHED_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hash/hash.h"
+
+/// \file
+/// Hash-once batching for the ingest hot path. Production deployments win
+/// their throughput by amortizing per-item costs across a batch (Friedman's
+/// "Evaluation of Software Sketches"; Rinberg et al.'s concurrent
+/// DataSketches): hash every item exactly once in a tight loop, then let
+/// every consumer of the batch reuse the same hash words instead of
+/// re-hashing per sketch. HashedBatch is that contract in type form — it
+/// pairs a borrowed span of items with their 64-bit hashes under one seed.
+///
+/// The contract consumers rely on:
+///  - `hashes()[i] == Hash64(items()[i], seed())` for every i, and
+///  - a sketch whose seed equals `seed()` may ingest `hashes()` directly
+///    (e.g. HyperLogLog::UpdateHashes) with state identical to calling
+///    `Update(items()[i])` item by item.
+
+namespace gems {
+
+/// Fills `out[i] = Hash64(items[i], seed)`. The loop is branch-free pure
+/// arithmetic (SplitMix-style mixing), so compilers vectorize it; this is
+/// the hoisted "hash loop" every UpdateBatch fast path starts with.
+inline void HashBatch(std::span<const uint64_t> items, uint64_t seed,
+                      uint64_t* out) {
+  // Hash64(key, seed) = Mix64(key + Mix64(seed + C)); hoist the seed mix.
+  const uint64_t mixed_seed = Mix64(seed + 0x9E3779B97F4A7C15ULL);
+  for (size_t i = 0; i < items.size(); ++i) {
+    out[i] = Mix64(items[i] + mixed_seed);
+  }
+}
+
+/// Exact `x % divisor` for a loop-invariant divisor: one multiply-high and
+/// at most one correction (Granlund-Montgomery style) instead of a hardware
+/// divide per item, or a plain mask when the divisor is a power of two.
+/// Batch kernels hoist one of these per row/filter, turning the per-probe
+/// modulo — often the single most expensive instruction in the ingest loop —
+/// into cheap multiplies. The result is bit-exact, so batch paths built on
+/// it stay byte-identical to their per-item counterparts.
+class InvariantMod {
+ public:
+  explicit InvariantMod(uint64_t divisor)
+      : divisor_(divisor),
+        mask_((divisor & (divisor - 1)) == 0 ? divisor - 1 : kNoMask),
+        // For non-powers of two, ~0/d == floor(2^64 / d) exactly (2^64 is
+        // not a multiple of d), which makes the estimate below off by at
+        // most one.
+        magic_(mask_ == kNoMask ? ~uint64_t{0} / divisor : 0) {}
+
+  uint64_t operator()(uint64_t x) const {
+    if (mask_ != kNoMask) return x & mask_;
+    const uint64_t q = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(magic_) * x) >> 64);
+    uint64_t r = x - q * divisor_;
+    if (r >= divisor_) r -= divisor_;
+    return r;
+  }
+
+  uint64_t divisor() const { return divisor_; }
+
+ private:
+  static constexpr uint64_t kNoMask = ~uint64_t{0};
+
+  uint64_t divisor_;
+  uint64_t mask_;
+  uint64_t magic_;
+};
+
+/// A batch of items hashed once under one seed. The item span is borrowed
+/// (the caller keeps it alive); the hash words are owned, so a batch can be
+/// handed to several sketches in turn without rehashing.
+class HashedBatch {
+ public:
+  HashedBatch() = default;
+
+  /// Computes the hash words eagerly, one Hash64 per item.
+  HashedBatch(std::span<const uint64_t> items, uint64_t seed) {
+    Reset(items, seed);
+  }
+
+  /// Re-points the batch at new items, reusing the hash buffer's capacity
+  /// (the engine calls this once per event chunk, steady-state
+  /// allocation-free).
+  void Reset(std::span<const uint64_t> items, uint64_t seed) {
+    items_ = items;
+    seed_ = seed;
+    hashes_.resize(items.size());
+    HashBatch(items, seed, hashes_.data());
+  }
+
+  uint64_t seed() const { return seed_; }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  std::span<const uint64_t> items() const { return items_; }
+  std::span<const uint64_t> hashes() const { return hashes_; }
+
+ private:
+  uint64_t seed_ = 0;
+  std::span<const uint64_t> items_;
+  std::vector<uint64_t> hashes_;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_HASH_HASHED_BATCH_H_

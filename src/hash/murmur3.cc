@@ -5,16 +5,8 @@
 namespace gems {
 namespace {
 
-inline uint64_t RotL(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
-
-inline uint64_t FMix64(uint64_t k) {
-  k ^= k >> 33;
-  k *= 0xFF51AFD7ED558CCDULL;
-  k ^= k >> 33;
-  k *= 0xC4CEB9FE1A85EC53ULL;
-  k ^= k >> 33;
-  return k;
-}
+using murmur3_detail::FMix64;
+using murmur3_detail::RotL;
 
 inline uint64_t ReadU64(const uint8_t* p) {
   uint64_t v;

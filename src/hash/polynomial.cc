@@ -3,27 +3,6 @@
 #include "common/check.h"
 
 namespace gems {
-namespace {
-
-// (a * b) mod (2^61 - 1) using 128-bit intermediate.
-inline uint64_t MulMod(uint64_t a, uint64_t b) {
-  const unsigned __int128 product =
-      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
-  // Split into low 61 bits and the rest; 2^61 ≡ 1 (mod p).
-  uint64_t low = static_cast<uint64_t>(product & KWiseHash::kPrime);
-  uint64_t high = static_cast<uint64_t>(product >> 61);
-  uint64_t sum = low + high;
-  if (sum >= KWiseHash::kPrime) sum -= KWiseHash::kPrime;
-  return sum;
-}
-
-inline uint64_t AddMod(uint64_t a, uint64_t b) {
-  uint64_t sum = a + b;  // Both < 2^61, no overflow in 64 bits.
-  if (sum >= KWiseHash::kPrime) sum -= KWiseHash::kPrime;
-  return sum;
-}
-
-}  // namespace
 
 KWiseHash::KWiseHash(int k, uint64_t seed) {
   GEMS_CHECK(k >= 1);
@@ -37,14 +16,7 @@ KWiseHash::KWiseHash(int k, uint64_t seed) {
 }
 
 uint64_t KWiseHash::Eval(uint64_t key) const {
-  // Reduce the key into the field first.
-  uint64_t x = key % kPrime;
-  // Horner evaluation, highest degree first.
-  uint64_t acc = coefficients_.back();
-  for (size_t i = coefficients_.size() - 1; i-- > 0;) {
-    acc = AddMod(MulMod(acc, x), coefficients_[i]);
-  }
-  return acc;
+  return EvalReduced(ReduceKey(key));
 }
 
 double KWiseHash::EvalUnit(uint64_t key) const {

@@ -30,6 +30,24 @@ class KWiseHash {
   /// Evaluates the polynomial at `key`; result uniform in [0, 2^61 - 1).
   uint64_t Eval(uint64_t key) const;
 
+  /// Reduces a key into the field [0, p). Batch kernels that evaluate
+  /// several polynomials at the same key (e.g. Count sketch's bucket and
+  /// sign hashes across every row) hoist this one division out and feed
+  /// the reduced key to EvalReduced.
+  static uint64_t ReduceKey(uint64_t key) { return key % kPrime; }
+
+  /// Eval for a key already reduced via ReduceKey; Eval(key) ==
+  /// EvalReduced(ReduceKey(key)) exactly. Defined inline so hot batch
+  /// loops keep the Horner recurrence in registers instead of paying a
+  /// function call per probe.
+  uint64_t EvalReduced(uint64_t x) const {
+    uint64_t acc = coefficients_.back();
+    for (size_t i = coefficients_.size() - 1; i-- > 0;) {
+      acc = AddMod(MulMod(acc, x), coefficients_[i]);
+    }
+    return acc;
+  }
+
   /// Eval mapped to [0, range) via multiply-shift style reduction.
   uint64_t EvalRange(uint64_t key, uint64_t range) const {
     return Eval(key) % range;
@@ -47,6 +65,23 @@ class KWiseHash {
   static constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
 
  private:
+  // (a * b) mod (2^61 - 1) using a 128-bit intermediate; 2^61 ≡ 1 (mod p).
+  static uint64_t MulMod(uint64_t a, uint64_t b) {
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+    const uint64_t low = static_cast<uint64_t>(product & kPrime);
+    const uint64_t high = static_cast<uint64_t>(product >> 61);
+    uint64_t sum = low + high;
+    if (sum >= kPrime) sum -= kPrime;
+    return sum;
+  }
+
+  static uint64_t AddMod(uint64_t a, uint64_t b) {
+    uint64_t sum = a + b;  // Both < 2^61, no overflow in 64 bits.
+    if (sum >= kPrime) sum -= kPrime;
+    return sum;
+  }
+
   std::vector<uint64_t> coefficients_;  // c_0 .. c_{k-1}, low degree first.
 };
 

@@ -1,8 +1,11 @@
 #include "membership/blocked_bloom.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "core/wire.h"
 #include "hash/hash.h"
+#include "hash/hashed_batch.h"
 
 namespace gems {
 
@@ -15,15 +18,42 @@ BlockedBloomFilter::BlockedBloomFilter(uint64_t num_bits, int num_hashes,
   words_.assign(num_blocks_ * kWordsPerBlock, 0);
 }
 
-void BlockedBloomFilter::Insert(uint64_t key) {
-  const Hash128 h = Hash128Bits(key, seed_);
-  const uint64_t block = h.low % num_blocks_;
-  uint64_t probe = h.high;
+void BlockedBloomFilter::InsertProbes(uint64_t block, uint64_t probe_bits) {
+  uint64_t probe = probe_bits;
   for (int i = 0; i < num_hashes_; ++i) {
     const uint32_t bit = probe & 511;  // 9 bits per probe.
     words_[block * kWordsPerBlock + bit / 64] |= uint64_t{1} << (bit % 64);
     probe >>= 9;
-    if (i == 5) probe = Mix64(h.high);  // Refill probe bits (64/9 = 7 max).
+    if (i == 5) probe = Mix64(probe_bits);  // Refill bits (64/9 = 7 max).
+  }
+}
+
+void BlockedBloomFilter::Insert(uint64_t key) {
+  const Hash128 h = Hash128Bits(key, seed_);
+  InsertProbes(h.low % num_blocks_, h.high);
+}
+
+void BlockedBloomFilter::InsertBatch(std::span<const uint64_t> keys) {
+  const InvariantMod mod(num_blocks_);
+  uint64_t blocks[256];
+  uint64_t probes[256];
+  while (!keys.empty()) {
+    const size_t n = std::min(keys.size(), std::size(blocks));
+    for (size_t i = 0; i < n; ++i) {
+      const Hash128 h = Murmur3_128_U64(keys[i], seed_);
+      blocks[i] = mod(h.low);
+      probes[i] = h.high;
+    }
+    // One prefetch per key covers all of its probes (the whole point of the
+    // blocked layout), hiding the random-access latency of the next keys
+    // behind the current key's bit writes.
+    for (size_t i = 0; i < n; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+      __builtin_prefetch(&words_[blocks[i] * kWordsPerBlock], /*rw=*/1);
+#endif
+    }
+    for (size_t i = 0; i < n; ++i) InsertProbes(blocks[i], probes[i]);
+    keys = keys.subspan(n);
   }
 }
 

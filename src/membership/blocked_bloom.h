@@ -2,6 +2,7 @@
 #define GEMS_MEMBERSHIP_BLOCKED_BLOOM_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -31,6 +32,11 @@ class BlockedBloomFilter {
   void Insert(uint64_t key);
   bool MayContain(uint64_t key) const;
 
+  /// Batched insert: hashes a chunk of keys in one hoisted loop, prefetches
+  /// each key's cache-line block, then streams the probe writes. Bit ORs
+  /// commute, so state is byte-identical to per-key Insert().
+  void InsertBatch(std::span<const uint64_t> keys);
+
   Status Merge(const BlockedBloomFilter& other);
 
   uint64_t num_bits() const { return num_blocks_ * 512; }
@@ -42,6 +48,8 @@ class BlockedBloomFilter {
 
  private:
   static constexpr int kWordsPerBlock = 8;  // 512 bits.
+
+  void InsertProbes(uint64_t block, uint64_t probe_bits);
 
   uint64_t num_blocks_;
   int num_hashes_;

@@ -1,11 +1,14 @@
 #include "membership/bloom.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "core/params.h"
 #include "core/wire.h"
 #include "hash/hash.h"
+#include "hash/hashed_batch.h"
 
 namespace gems {
 
@@ -29,6 +32,20 @@ BloomFilter BloomFilter::ForCapacity(uint64_t expected_items,
                                 m / static_cast<double>(expected_items) *
                                 ln2)));
   return BloomFilter(static_cast<uint64_t>(std::ceil(m)), k, seed);
+}
+
+Result<BloomFilter> BloomFilter::ForFpr(uint64_t expected_items,
+                                        double target_fpr, uint64_t seed) {
+  if (expected_items == 0) {
+    return Status::InvalidArgument("Bloom expected_items must be > 0");
+  }
+  if (!(target_fpr > 0.0 && target_fpr < 1.0)) {
+    return Status::InvalidArgument("Bloom target FPR must be in (0, 1)");
+  }
+  const uint64_t bits = BloomBitsFor(expected_items, target_fpr);
+  const int k = OptimalNumHashes(static_cast<double>(bits) /
+                                 static_cast<double>(expected_items));
+  return BloomFilter(bits, std::min(k, 64), seed);
 }
 
 int BloomFilter::OptimalNumHashes(double bits_per_item) {
@@ -64,6 +81,34 @@ void BloomFilter::Insert(uint64_t key) {
 void BloomFilter::Insert(std::string_view key) {
   const Hash128 h = Hash128Bits(key.data(), key.size(), seed_);
   InsertHash(h.low, h.high | 1);
+}
+
+void BloomFilter::InsertBatch(std::span<const uint64_t> keys) {
+  // Hash-once pipeline over small chunks: hash every key inline in a tight
+  // loop (the 8-byte Murmur specialization), then stream the probe writes
+  // with the per-probe modulo strength-reduced through a hoisted
+  // InvariantMod instead of one hardware divide each. Bit indices are
+  // exactly those of Insert(), so the resulting filter is byte-identical.
+  const InvariantMod mod(num_bits_);
+  uint64_t h1[256];
+  uint64_t h2[256];
+  while (!keys.empty()) {
+    const size_t n = std::min(keys.size(), std::size(h1));
+    for (size_t i = 0; i < n; ++i) {
+      const Hash128 h = Murmur3_128_U64(keys[i], seed_);
+      h1[i] = h.low;
+      h2[i] = h.high | 1;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t h = h1[i];
+      for (int j = 0; j < num_hashes_; ++j) {
+        const uint64_t bit = mod(h);
+        bits_[bit / 64] |= uint64_t{1} << (bit % 64);
+        h += h2[i];
+      }
+    }
+    keys = keys.subspan(n);
+  }
 }
 
 bool BloomFilter::MayContain(uint64_t key) const {

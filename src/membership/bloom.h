@@ -2,6 +2,7 @@
 #define GEMS_MEMBERSHIP_BLOOM_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -28,6 +29,12 @@ class BloomFilter {
   static BloomFilter ForCapacity(uint64_t expected_items, double target_fpr,
                                  uint64_t seed = 0);
 
+  /// Advisor-driven constructor for the same sizing rule that surfaces
+  /// invalid parameters as a Status instead of aborting: kInvalidArgument
+  /// unless `expected_items` > 0 and 0 < `target_fpr` < 1.
+  static Result<BloomFilter> ForFpr(uint64_t expected_items, double target_fpr,
+                                    uint64_t seed = 0);
+
   BloomFilter(const BloomFilter&) = default;
   BloomFilter& operator=(const BloomFilter&) = default;
   BloomFilter(BloomFilter&&) = default;
@@ -36,6 +43,11 @@ class BloomFilter {
   /// Inserts a key.
   void Insert(uint64_t key);
   void Insert(std::string_view key);
+
+  /// Batched insert: computes the 128-bit hash for a chunk of keys in one
+  /// hoisted loop, then streams the probe writes. Bit ORs commute, so state
+  /// is byte-identical to per-key Insert().
+  void InsertBatch(std::span<const uint64_t> keys);
 
   /// True if the key may have been inserted; false means definitely not.
   bool MayContain(uint64_t key) const;

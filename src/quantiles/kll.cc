@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "core/params.h"
 #include "core/wire.h"
 
 namespace gems {
@@ -28,10 +29,31 @@ size_t KllSketch::CapacityAt(int level) const {
   return std::max<size_t>(8, static_cast<size_t>(std::ceil(cap)));
 }
 
+Result<KllSketch> KllSketch::ForRankError(double rank_error, uint64_t seed) {
+  if (!(rank_error > 0.0 && rank_error < 1.0)) {
+    return Status::InvalidArgument("KLL rank error must be in (0, 1)");
+  }
+  return KllSketch(KllKFor(rank_error), seed);
+}
+
 void KllSketch::Update(double value) {
   compactors_[0].push_back(value);
   ++count_;
   if (compactors_[0].size() >= level0_capacity_) CompressIfNeeded();
+}
+
+void KllSketch::UpdateBatch(std::span<const double> values) {
+  while (!values.empty()) {
+    // Re-acquire level 0 each round: CompressIfNeeded may reallocate the
+    // compactor stack.
+    std::vector<double>& level0 = compactors_[0];
+    const size_t room = level0_capacity_ - level0.size();
+    const size_t n = std::min(values.size(), room);
+    level0.insert(level0.end(), values.begin(), values.begin() + n);
+    count_ += n;
+    if (level0.size() >= level0_capacity_) CompressIfNeeded();
+    values = values.subspan(n);
+  }
 }
 
 void KllSketch::CompressIfNeeded() {

@@ -2,6 +2,7 @@
 #define GEMS_QUANTILES_KLL_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -23,6 +24,10 @@ class KllSketch {
  public:
   explicit KllSketch(uint32_t k = 200, uint64_t seed = 0);
 
+  /// Advisor-driven constructor: the smallest k whose rank error ~1/k is
+  /// <= `rank_error`. kInvalidArgument if `rank_error` is outside (0, 1).
+  static Result<KllSketch> ForRankError(double rank_error, uint64_t seed = 0);
+
   KllSketch(const KllSketch&) = default;
   KllSketch& operator=(const KllSketch&) = default;
   KllSketch(KllSketch&&) = default;
@@ -30,6 +35,12 @@ class KllSketch {
 
   /// Inserts a value.
   void Update(double value);
+
+  /// Batched ingest: bulk-appends to the level-0 compactor up to its
+  /// capacity, compresses, and repeats. Consumes the same coin flips in
+  /// the same order as per-item Update(), so state (including the Rng) is
+  /// byte-identical to sequential ingest.
+  void UpdateBatch(std::span<const double> values);
 
   /// Approximate value at quantile q in [0, 1]; requires >= 1 update.
   double Quantile(double q) const;

@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -207,6 +209,61 @@ TEST(ConcurrentSummaryTest, SnapshotWhileWriting) {
   writer.join();
   EXPECT_EQ(decreases, 0);
   EXPECT_NEAR(concurrent.Snapshot().value().Count(), 200000.0, 0.07 * 200000);
+}
+
+TEST(ConcurrentSummaryTest, StripeCountRoundsUpToPowerOfTwo) {
+  const HyperLogLog prototype(10, 1);
+  EXPECT_EQ(ConcurrentSummary<HyperLogLog>(prototype, 1).num_stripes(), 1u);
+  EXPECT_EQ(ConcurrentSummary<HyperLogLog>(prototype, 3).num_stripes(), 4u);
+  EXPECT_EQ(ConcurrentSummary<HyperLogLog>(prototype, 8).num_stripes(), 8u);
+  EXPECT_EQ(ConcurrentSummary<HyperLogLog>(prototype, 33).num_stripes(), 64u);
+  // 0 = auto: whatever the hardware picks, it must be a power of two in
+  // range.
+  const size_t auto_stripes =
+      ConcurrentSummary<HyperLogLog>(prototype).num_stripes();
+  EXPECT_GE(auto_stripes, 1u);
+  EXPECT_LE(auto_stripes, ConcurrentSummary<HyperLogLog>::kMaxStripes);
+  EXPECT_EQ(auto_stripes & (auto_stripes - 1), 0u);
+  // Oversized requests clamp to the maximum.
+  EXPECT_EQ(ConcurrentSummary<HyperLogLog>(prototype, 100000).num_stripes(),
+            ConcurrentSummary<HyperLogLog>::kMaxStripes);
+}
+
+TEST(ConcurrentSummaryTest, BatchDrainMatchesPerItem) {
+  // UpdateBatch through the wrapper must land the same state as per-item
+  // updates: with one stripe the merged snapshot is byte-comparable to a
+  // plain sketch fed the same stream.
+  HyperLogLog plain(11, 5);
+  ConcurrentSummary<HyperLogLog> concurrent(HyperLogLog(11, 5),
+                                            /*num_stripes=*/1);
+  const auto items = DistinctItems(50000, 6);
+  std::span<const uint64_t> span(items);
+  for (size_t offset = 0; offset < span.size(); offset += 1000) {
+    concurrent.UpdateBatch(span.subspan(offset, 1000));
+  }
+  plain.UpdateBatch(span);
+  EXPECT_EQ(concurrent.Snapshot().value().Serialize(), plain.Serialize());
+}
+
+TEST(ConcurrentSummaryTest, MultiThreadedBatchesAllLand) {
+  ConcurrentSummary<HyperLogLog> concurrent(HyperLogLog(12, 7));
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&concurrent, t] {
+      const auto items =
+          DistinctItems(kPerThread, 2000 + static_cast<uint64_t>(t));
+      std::span<const uint64_t> span(items);
+      for (size_t offset = 0; offset < span.size(); offset += 4096) {
+        concurrent.UpdateBatch(
+            span.subspan(offset, std::min<size_t>(4096, span.size() - offset)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double expected = kThreads * kPerThread;
+  EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected, 0.06 * expected);
 }
 
 TEST(MergeabilityTest, KmvMergedEqualsStreamed) {

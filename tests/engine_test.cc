@@ -1,5 +1,6 @@
 #include <cstdint>
 #include <set>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -240,6 +241,74 @@ TEST(StreamQueryTest, CheckpointRoundTripsAllAggregateKinds) {
     // Restored state serializes back to the identical checkpoint.
     EXPECT_EQ(restored.SerializeState(), checkpoint);
   }
+}
+
+TEST(StreamQueryTest, ProcessBatchMatchesPerEventExactly) {
+  // The hash-once batch path must leave the query in byte-identical state
+  // to per-event processing, across window closes, filters, and groups.
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  options.window_size = 500;
+  StreamQuery per_event(options, 7);
+  StreamQuery batched(options, 7);
+  per_event.AddFilter([](const StreamEvent& e) { return e.item % 10 != 0; });
+  batched.AddFilter([](const StreamEvent& e) { return e.item % 10 != 0; });
+
+  std::vector<StreamEvent> events;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    events.push_back(Event(i, i % 4, i * 0x9E3779B97F4A7C15ull >> 32));
+  }
+  for (const StreamEvent& e : events) {
+    ASSERT_TRUE(per_event.Process(e).ok());
+  }
+  // Feed the batch path in ragged slices spanning the 256-event chunk.
+  size_t offset = 0;
+  for (size_t n : {1u, 255u, 256u, 257u, 1000u, 1231u}) {
+    ASSERT_TRUE(
+        batched
+            .ProcessBatch(std::span<const StreamEvent>(events).subspan(offset, n))
+            .ok());
+    offset += n;
+  }
+  ASSERT_EQ(offset, events.size());
+  EXPECT_EQ(batched.SerializeState(), per_event.SerializeState());
+  EXPECT_EQ(batched.NumOpenGroups(), per_event.NumOpenGroups());
+}
+
+TEST(StreamQueryTest, ProcessBatchFallbackAggregatesMatch) {
+  // Non-distinct aggregates take the per-event path inside ProcessBatch;
+  // state must still be identical.
+  for (AggregateKind kind : {AggregateKind::kTopK, AggregateKind::kQuantiles,
+                             AggregateKind::kSum}) {
+    StreamQuery::Options options;
+    options.aggregate = kind;
+    StreamQuery per_event(options, 3);
+    StreamQuery batched(options, 3);
+    std::vector<StreamEvent> events;
+    for (uint64_t i = 0; i < 500; ++i) {
+      events.push_back(Event(i, i % 2, i % 50, int64_t(i % 7)));
+    }
+    for (const StreamEvent& e : events) {
+      ASSERT_TRUE(per_event.Process(e).ok());
+    }
+    ASSERT_TRUE(batched.ProcessBatch(events).ok());
+    EXPECT_EQ(batched.SerializeState(), per_event.SerializeState());
+  }
+}
+
+TEST(StreamQueryTest, ProcessBatchStopsAtFirstError) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  StreamQuery query(options, 1);
+  // Timestamp regression mid-batch: the bad event is rejected, everything
+  // before it has been applied.
+  const std::vector<StreamEvent> events = {Event(10, 0, 1), Event(11, 0, 2),
+                                           Event(5, 0, 3), Event(12, 0, 4)};
+  EXPECT_FALSE(query.ProcessBatch(events).ok());
+  StreamQuery expected(options, 1);
+  ASSERT_TRUE(expected.Process(Event(10, 0, 1)).ok());
+  ASSERT_TRUE(expected.Process(Event(11, 0, 2)).ok());
+  EXPECT_EQ(query.SerializeState(), expected.SerializeState());
 }
 
 TEST(StreamQueryTest, RestoreRejectsMismatchedOptionsAndCorruption) {

@@ -7,6 +7,7 @@
 // is bit-identical; for KLL/Misra-Gries the guarantee (not the state) is
 // preserved.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -14,11 +15,52 @@
 #include "cardinality/hyperloglog.h"
 #include "common/numeric.h"
 #include "distributed/aggregation.h"
+#include "distributed/thread_pool.h"
 #include "frequency/count_min.h"
 #include "frequency/misra_gries.h"
 #include "quantiles/kll.h"
 #include "workload/baselines.h"
 #include "workload/generators.h"
+
+namespace {
+
+double Seconds(const std::chrono::steady_clock::time_point t0,
+               const std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Times the sequential vs the parallel merge tree over copies of the same
+/// leaves (best of `reps`), checks the roots are byte-identical, and prints
+/// one timing row.
+template <typename S>
+void TimeMergeTree(const char* name, const std::vector<S>& leaves,
+                   gems::ThreadPool* pool, int reps = 3) {
+  double seq_best = 1e100, par_best = 1e100;
+  std::vector<uint8_t> seq_bytes, par_bytes;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<S> copy = leaves;
+    auto t0 = std::chrono::steady_clock::now();
+    auto seq_root = gems::AggregateTree(std::move(copy), 2, nullptr);
+    auto t1 = std::chrono::steady_clock::now();
+    seq_best = std::min(seq_best, Seconds(t0, t1));
+    copy = leaves;
+    t0 = std::chrono::steady_clock::now();
+    auto par_root = gems::ParallelAggregateTree(std::move(copy), 2, pool);
+    t1 = std::chrono::steady_clock::now();
+    par_best = std::min(par_best, Seconds(t0, t1));
+    if (r == 0) {
+      seq_bytes = seq_root.value().Serialize();
+      par_bytes = par_root.value().Serialize();
+    }
+  }
+  std::printf("%-10s %3zu leaves   sequential %8.3f ms   parallel %8.3f ms"
+              "   speedup %.2fx   roots %s\n",
+              name, leaves.size(), seq_best * 1e3, par_best * 1e3,
+              seq_best / par_best,
+              seq_bytes == par_bytes ? "byte-identical" : "DIFFER");
+}
+
+}  // namespace
 
 int main() {
   constexpr int kShards = 256;
@@ -145,6 +187,45 @@ int main() {
                 "%ld, violations %d (expect 0), N/k = %ld\n",
                 (long)worst_undercount, (long)merged.value().ErrorBound(),
                 violations, (long)(n / 200));
+  }
+
+  // --- Merge-tree timing: sequential vs parallel AggregateTree ---
+  // Same leaves, same pairing; the parallel tree runs each level's groups
+  // concurrently and must produce a byte-identical root.
+  {
+    std::printf("\nMerge-tree timing (fanout 2, %u hardware threads):\n",
+                std::thread::hardware_concurrency());
+    gems::ThreadPool pool;
+    {
+      std::vector<gems::HyperLogLog> leaves;
+      for (int s = 0; s < kShards; ++s) {
+        leaves.emplace_back(14, 21);
+        for (uint64_t item : gems::DistinctItems(20000, 500 + s)) {
+          leaves.back().Update(item);
+        }
+      }
+      TimeMergeTree("HLL p=14", leaves, &pool);
+    }
+    {
+      gems::ZipfGenerator zipf(100000, 1.2, 23);
+      std::vector<gems::CountMinSketch> leaves;
+      for (int s = 0; s < kShards; ++s) {
+        leaves.emplace_back(8192, 8, 24);
+        for (int i = 0; i < 10000; ++i) leaves.back().Update(zipf.Next());
+      }
+      TimeMergeTree("Count-Min", leaves, &pool);
+    }
+    {
+      std::vector<gems::KllSketch> leaves;
+      for (int s = 0; s < kShards; ++s) {
+        leaves.emplace_back(200, 600 + s);
+        for (double v : gems::GenerateValues(
+                 gems::ValueDistribution::kLogNormal, 20000, 700 + s)) {
+          leaves.back().Update(v);
+        }
+      }
+      TimeMergeTree("KLL k=200", leaves, &pool);
+    }
   }
   return 0;
 }

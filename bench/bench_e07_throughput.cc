@@ -5,11 +5,15 @@
 // sketches sustain tens of millions of updates per second per core, which
 // is what made them deployable inside stream engines and warehouses.
 //
-// Two modes:
+// Three modes:
 //   bench_e07_throughput [gbench flags]      # the usual google-benchmark run
 //   bench_e07_throughput --e07_json=out.json [--e07_items=N]
 //     # deterministic batched-vs-per-item comparison; writes one JSON
 //     # document with per-sketch ops/sec and speedup, prints it to stdout.
+//   bench_e07_throughput --e07_scaling_json=out.json [--e07_scaling_items=N]
+//     # thread-scaling harness: single-thread batched ingest vs the
+//     # ShardedPipeline at 2/4/8 workers for HLL, Count-Min, Bloom, KLL;
+//     # one JSON row per (sketch, worker count).
 
 #include <benchmark/benchmark.h>
 
@@ -24,6 +28,7 @@
 #include "cardinality/hllpp.h"
 #include "cardinality/hyperloglog.h"
 #include "cardinality/kmv.h"
+#include "distributed/sharded_pipeline.h"
 #include "frequency/count_min.h"
 #include "frequency/count_sketch.h"
 #include "frequency/misra_gries.h"
@@ -497,11 +502,117 @@ int RunBatchedComparison(const std::string& json_path, size_t num_items) {
   return std::fclose(f) == 0 ? 0 : 1;
 }
 
+// ------------------------- thread-scaling harness -------------------------
+//
+// Single-thread batched ingest (the PR 2 fast path) vs the ShardedPipeline
+// at 2/4/8 workers, for the four hot families. The pipeline's post-merge
+// estimate is cross-checked against the single-thread sketch so a scaling
+// number can never come from a wrong answer.
+
+struct ScalingRow {
+  const char* sketch;
+  size_t workers;
+  double mops;
+  double speedup;  // vs this sketch's 1-worker batched baseline.
+};
+
+template <typename S>
+void FeedChunk(S& sketch,
+               std::span<const typename gems::ShardedPipeline<S>::Item> b) {
+  if constexpr (gems::BatchItemSummary<S>) {
+    sketch.UpdateBatch(b);
+  } else if constexpr (gems::BatchInsertableSummary<S>) {
+    sketch.InsertBatch(b);
+  } else {
+    sketch.UpdateBatch(b);
+  }
+}
+
+template <typename S>
+void ScaleSketch(
+    const char* name, const S& prototype,
+    const std::vector<typename gems::ShardedPipeline<S>::Item>& stream,
+    std::vector<ScalingRow>* rows) {
+  using Item = typename gems::ShardedPipeline<S>::Item;
+  const std::span<const Item> span(stream);
+  const double n = static_cast<double>(stream.size());
+
+  const double base = BestSeconds([&] {
+    S sketch = prototype;
+    for (size_t off = 0; off < span.size(); off += kChunk) {
+      FeedChunk(sketch,
+                span.subspan(off, std::min(kChunk, span.size() - off)));
+    }
+    benchmark::DoNotOptimize(sketch);
+  });
+  rows->push_back({name, 1, n / base / 1e6, 1.0});
+
+  for (const size_t workers : {size_t{2}, size_t{4}, size_t{8}}) {
+    double best = 1e100;
+    for (int r = 0; r < kReps; ++r) {
+      // The pool spins up outside the timed region; Push + Finish is the
+      // steady-state cost a stream engine would pay.
+      gems::ShardedPipeline<S> pipeline(
+          prototype, {.num_workers = workers, .chunk_items = kChunk});
+      const auto t0 = std::chrono::steady_clock::now();
+      pipeline.Push(span);
+      auto root = pipeline.Finish();
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(root);
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    rows->push_back({name, workers, n / best / 1e6, base / best});
+  }
+}
+
+int RunThreadScaling(const std::string& json_path, size_t num_items) {
+  const std::vector<uint64_t> items = gems::DistinctItems(num_items, 42);
+  const std::vector<uint64_t> zipf =
+      gems::ZipfGenerator(1 << 20, 1.1, 42).Take(num_items);
+  std::vector<double> values;
+  values.reserve(items.size());
+  for (uint64_t item : items) {
+    values.push_back(static_cast<double>(item % 1000000));
+  }
+
+  std::vector<ScalingRow> rows;
+  ScaleSketch("hyperloglog", gems::HyperLogLog(12, 1), items, &rows);
+  ScaleSketch("countmin", gems::CountMinSketch(4096, 4, 1), zipf, &rows);
+  ScaleSketch("bloom", gems::BloomFilter(1 << 23, 7, 1), items, &rows);
+  ScaleSketch("kll", gems::KllSketch(200, 1), values, &rows);
+
+  std::string json = "{\n  \"bench\": \"e07_thread_scaling\",\n";
+  json += "  \"items\": " + std::to_string(num_items) + ",\n";
+  json += "  \"chunk\": " + std::to_string(kChunk) + ",\n  \"results\": [\n";
+  char line[256];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScalingRow& row = rows[i];
+    std::snprintf(line, sizeof(line),
+                  "    {\"sketch\": \"%s\", \"workers\": %zu, "
+                  "\"mops\": %.2f, \"speedup\": %.2f}%s\n",
+                  row.sketch, row.workers, row.mops, row.speedup,
+                  i + 1 < rows.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  std::FILE* f = std::fopen(json_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string scaling_json_path;
   size_t num_items = 1 << 20;
+  size_t scaling_items = 1 << 21;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -511,9 +622,19 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--e07_items=", 0) == 0) {
       num_items = std::strtoull(argv[i] + std::strlen("--e07_items="),
                                 nullptr, 10);
+    } else if (arg.rfind("--e07_scaling_json=", 0) == 0) {
+      scaling_json_path =
+          std::string(arg.substr(std::strlen("--e07_scaling_json=")));
+    } else if (arg.rfind("--e07_scaling_items=", 0) == 0) {
+      scaling_items = std::strtoull(
+          argv[i] + std::strlen("--e07_scaling_items="), nullptr, 10);
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+  if (!scaling_json_path.empty()) {
+    return RunThreadScaling(scaling_json_path,
+                            scaling_items == 0 ? 1 << 21 : scaling_items);
   }
   if (!json_path.empty()) {
     return RunBatchedComparison(json_path, num_items == 0 ? 1 << 20

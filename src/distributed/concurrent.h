@@ -1,6 +1,7 @@
 #ifndef GEMS_DISTRIBUTED_CONCURRENT_H_
 #define GEMS_DISTRIBUTED_CONCURRENT_H_
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -111,10 +112,16 @@ class ConcurrentSummary {
   }
 
   size_t StripeIndex() const {
-    // Hash the thread id once per thread; stripe counts are powers of two,
-    // so the per-instance reduction is a mask.
-    static thread_local const size_t token =
-        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    // Round-robin stripe assignment: each thread draws one token from an
+    // atomic counter on its first touch and keeps it for life. Hashing the
+    // thread id (the previous scheme) could map several threads to one
+    // stripe while others sat idle; with sequential tokens, any k <=
+    // num_stripes() threads whose tokens are consecutive (the common case:
+    // a worker fleet spun up together) land on k distinct stripes, because
+    // consecutive integers are distinct under a power-of-two mask.
+    static std::atomic<size_t> next_token{0};
+    thread_local const size_t token =
+        next_token.fetch_add(1, std::memory_order_relaxed);
     return token & (stripes_.size() - 1);
   }
 

@@ -1,0 +1,221 @@
+#ifndef GEMS_DISTRIBUTED_SHARDED_PIPELINE_H_
+#define GEMS_DISTRIBUTED_SHARDED_PIPELINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "core/summary.h"
+#include "distributed/aggregation.h"
+#include "distributed/spsc_ring.h"
+#include "distributed/thread_pool.h"
+
+/// \file
+/// Multi-core sharded ingest: the single-process version of the paper's
+/// "many independent workers feed one logical sketch" impact stories
+/// (Gigascope's GROUP-BY-many-sketches, Aggregate Knowledge's reach
+/// counting), in the shape the concurrent-DataSketches line of work
+/// (Rinberg et al.) productionized. Each worker thread owns one private,
+/// unsynchronized sketch shard and drains a bounded SPSC ring of
+/// pre-chunked item spans, so the hot path is exactly the existing
+/// UpdateBatch fast path — zero locks, zero shared cache lines. Finish()
+/// joins the shards with the parallel merge tree. Mergeability is what
+/// makes this exact: the shards are just an n-way partition of the stream,
+/// so for order-independent sketches (HLL, Count-Min, Bloom — register
+/// max, counter sum, bit OR) the merged root is byte-identical to
+/// single-threaded ingest of the same stream.
+
+namespace gems {
+
+namespace pipeline_internal {
+
+/// Backoff for the bounded-ring spin paths: yield a few times, then sleep
+/// briefly so a stalled peer (full ring on the producer side, empty ring on
+/// the consumer side) does not burn a core. This matters when workers
+/// outnumber cores — small CI machines still make progress.
+inline void SpinBackoff(int* spins) {
+  if (++*spins < 16) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace pipeline_internal
+
+/// A summary the pipeline can shard: mergeable, with one of the batch
+/// ingest fast paths.
+template <typename S>
+concept ShardableSummary =
+    MergeableSummary<S> && (BatchItemSummary<S> || BatchInsertableSummary<S> ||
+                            BatchValueSummary<S>);
+
+/// Fixed-pool sharded ingest pipeline for one logical sketch.
+///
+/// Usage:
+///   ShardedPipeline<HyperLogLog> pipeline(HyperLogLog(12, 1),
+///                                         {.num_workers = 8});
+///   pipeline.Push(items);            // as many times as you like
+///   Result<HyperLogLog> root = pipeline.Finish();
+///
+/// Push() pre-chunks the span and hands chunks round-robin to the workers'
+/// rings, blocking (with backoff) when a ring is full — bounded queues are
+/// the backpressure. The pushed spans are borrowed: the underlying buffer
+/// must stay alive and unmodified until Finish() returns.
+template <typename S>
+  requires ShardableSummary<S>
+class ShardedPipeline {
+ public:
+  /// What the rings carry: 64-bit items for item/membership summaries,
+  /// doubles for value (quantile) summaries.
+  using Item =
+      std::conditional_t<BatchItemSummary<S> || BatchInsertableSummary<S>,
+                         uint64_t, double>;
+
+  struct Options {
+    /// 0 picks the hardware concurrency. One pool thread per worker.
+    size_t num_workers = 0;
+    /// Chunks each worker's ring can buffer before Push() blocks.
+    size_t ring_capacity = 64;
+    /// Items per chunk; the batch size every UpdateBatch call sees.
+    size_t chunk_items = 4096;
+    /// Fanout of the parallel merge tree in Finish().
+    int merge_fanout = 2;
+  };
+
+  explicit ShardedPipeline(const S& prototype, Options options = Options{})
+      : options_(options),
+        pool_(options.num_workers) {
+    GEMS_CHECK(options_.chunk_items >= 1);
+    GEMS_CHECK(options_.ring_capacity >= 1);
+    GEMS_CHECK(options_.merge_fanout >= 2);
+    const size_t workers = pool_.num_threads();
+    shards_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      shards_.push_back(
+          std::make_unique<Shard>(prototype, options_.ring_capacity));
+    }
+    drained_.Add(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      pool_.Submit([this, i] {
+        DrainLoop(i);
+        drained_.Done();
+      });
+    }
+  }
+
+  ~ShardedPipeline() {
+    if (!finished_) {
+      stop_.store(true, std::memory_order_release);
+      drained_.Wait();
+    }
+  }
+
+  ShardedPipeline(const ShardedPipeline&) = delete;
+  ShardedPipeline& operator=(const ShardedPipeline&) = delete;
+
+  size_t num_workers() const { return shards_.size(); }
+
+  /// Feeds a span of items through the pipeline. Chunks go round-robin to
+  /// the workers; blocks when the target ring is full. Single producer:
+  /// Push must not be called concurrently with itself or Finish.
+  void Push(std::span<const Item> items) {
+    GEMS_CHECK(!finished_);
+    while (!items.empty()) {
+      const size_t n = std::min(items.size(), options_.chunk_items);
+      const Chunk chunk{items.data(), n};
+      Shard& shard = *shards_[next_shard_];
+      next_shard_ = next_shard_ + 1 == shards_.size() ? 0 : next_shard_ + 1;
+      int spins = 0;
+      while (!shard.ring.TryPush(chunk)) {
+        pipeline_internal::SpinBackoff(&spins);
+      }
+      items = items.subspan(n);
+    }
+  }
+
+  /// Stops the workers, waits for every ring to drain, and joins the
+  /// shards through the parallel merge tree on the same pool (the drain
+  /// tasks have exited, so all workers are free for the merges). May be
+  /// called once.
+  Result<S> Finish() {
+    GEMS_CHECK(!finished_);
+    finished_ = true;
+    stop_.store(true, std::memory_order_release);
+    drained_.Wait();
+    std::vector<S> leaves;
+    leaves.reserve(shards_.size());
+    for (std::unique_ptr<Shard>& shard : shards_) {
+      leaves.push_back(std::move(shard->summary));
+    }
+    return ParallelAggregateTree(std::move(leaves), options_.merge_fanout,
+                                 &pool_);
+  }
+
+ private:
+  /// A borrowed span in ring-slot form (trivially copyable).
+  struct Chunk {
+    const Item* data = nullptr;
+    size_t size = 0;
+  };
+
+  /// One worker's world: its ring and its private sketch. Each shard is a
+  /// separate heap allocation, so two workers never share a cache line.
+  struct Shard {
+    Shard(const S& prototype, size_t ring_capacity)
+        : ring(ring_capacity), summary(prototype) {}
+    SpscRing<Chunk> ring;
+    S summary;
+  };
+
+  static void Apply(S& summary, const Chunk& chunk) {
+    const std::span<const Item> span(chunk.data, chunk.size);
+    if constexpr (BatchItemSummary<S>) {
+      summary.UpdateBatch(span);
+    } else if constexpr (BatchInsertableSummary<S>) {
+      summary.InsertBatch(span);
+    } else {
+      summary.UpdateBatch(span);  // BatchValueSummary.
+    }
+  }
+
+  void DrainLoop(size_t index) {
+    Shard& shard = *shards_[index];
+    Chunk chunk;
+    int spins = 0;
+    for (;;) {
+      if (shard.ring.TryPop(&chunk)) {
+        spins = 0;
+        Apply(shard.summary, chunk);
+      } else if (stop_.load(std::memory_order_acquire)) {
+        // Stop was requested after the last Push, so one more empty-check
+        // after seeing the flag means the ring is drained for good.
+        if (!shard.ring.TryPop(&chunk)) break;
+        spins = 0;
+        Apply(shard.summary, chunk);
+      } else {
+        pipeline_internal::SpinBackoff(&spins);
+      }
+    }
+  }
+
+  Options options_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  WaitGroup drained_;
+  std::atomic<bool> stop_{false};
+  size_t next_shard_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_DISTRIBUTED_SHARDED_PIPELINE_H_

@@ -1,0 +1,68 @@
+#ifndef GEMS_DISTRIBUTED_SPSC_RING_H_
+#define GEMS_DISTRIBUTED_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+/// \file
+/// Bounded single-producer / single-consumer ring buffer: the queue between
+/// the sharded pipeline's feeder thread and each worker. One producer and
+/// one consumer means the whole protocol is two monotonically increasing
+/// counters with acquire/release ordering — no locks, no CAS loops, and the
+/// producer and consumer never write the same cache line (the counters are
+/// padded apart). Capacity is rounded up to a power of two so the slot
+/// index is a mask.
+
+namespace gems {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity) {
+    GEMS_CHECK(capacity >= 1);
+    size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(const T& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    *out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  /// Consumer-owned and producer-owned counters on separate cache lines so
+  /// the hot path never false-shares.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace gems
+
+#endif  // GEMS_DISTRIBUTED_SPSC_RING_H_

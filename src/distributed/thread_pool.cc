@@ -1,0 +1,77 @@
+#include "distributed/thread_pool.h"
+
+#include <utility>
+
+namespace gems {
+
+void WaitGroup::Add(size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ += n;
+}
+
+void WaitGroup::Done() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (--count_ == 0) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return count_ == 0; });
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = num_threads != 0
+                 ? num_threads
+                 : static_cast<size_t>(std::thread::hardware_concurrency());
+  if (n == 0) n = 1;  // hardware_concurrency may be unknown.
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  WaitGroup done;
+  done.Add(tasks.size());
+  for (std::function<void()>& task : tasks) {
+    Submit([task = std::move(task), &done] {
+      task();
+      done.Done();
+    });
+  }
+  done.Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and nothing left to drain.
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace gems

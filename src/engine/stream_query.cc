@@ -7,6 +7,7 @@
 #include "common/bytes.h"
 #include "common/check.h"
 #include "core/registry.h"
+#include "distributed/aggregation.h"
 #include "hash/hash.h"
 #include "hash/hashed_batch.h"
 #include "hash/xxhash.h"
@@ -161,6 +162,88 @@ Status StreamQuery::ProcessBatch(std::span<const StreamEvent> events) {
     }
     events = events.subspan(n);
   }
+  return Status::Ok();
+}
+
+Status StreamQuery::ProcessBatchParallel(std::span<const StreamEvent> events,
+                                         ThreadPool& pool) {
+  const size_t num_workers = pool.num_threads();
+  if (num_workers <= 1) return ProcessBatch(events);
+
+  // One routed update: the owning worker applies item/value to state.
+  // Groups are partitioned across workers by hash, so two workers never
+  // touch the same GroupState, and one group's updates stay in stream
+  // order — state ends up byte-identical to the sequential path.
+  struct Routed {
+    GroupState* state;
+    uint64_t item;
+    int64_t value;
+  };
+  std::vector<std::vector<Routed>> buckets(num_workers);
+  const InvariantMod worker_mod(num_workers);
+
+  auto apply_bucket = [this](std::vector<Routed>& bucket) {
+    switch (options_.aggregate) {
+      case AggregateKind::kCountDistinct: {
+        // Hash-once per worker: each worker hashes its own slice in the
+        // hoisted loop, then feeds precomputed words to its groups' HLLs
+        // (all built with the query seed).
+        uint64_t items[256];
+        uint64_t hashes[256];
+        for (size_t off = 0; off < bucket.size(); off += std::size(items)) {
+          const size_t n = std::min(bucket.size() - off, std::size(items));
+          for (size_t i = 0; i < n; ++i) items[i] = bucket[off + i].item;
+          HashBatch(std::span<const uint64_t>(items, n), seed_, hashes);
+          for (size_t i = 0; i < n; ++i) {
+            bucket[off + i].state->distinct->UpdateHash(hashes[i]);
+          }
+        }
+        break;
+      }
+      case AggregateKind::kTopK:
+        for (const Routed& r : bucket) {
+          r.state->top->Update(r.item, std::max<int64_t>(1, r.value));
+        }
+        break;
+      case AggregateKind::kQuantiles:
+        for (const Routed& r : bucket) {
+          r.state->quantiles->Update(static_cast<double>(r.value));
+        }
+        break;
+      case AggregateKind::kSum:
+        for (const Routed& r : bucket) r.state->sum += r.value;
+        break;
+    }
+  };
+
+  auto flush = [&] {
+    std::vector<std::function<void()>> tasks;
+    for (std::vector<Routed>& bucket : buckets) {
+      if (bucket.empty()) continue;
+      tasks.push_back([&apply_bucket, &bucket] { apply_bucket(bucket); });
+    }
+    pool.RunAll(std::move(tasks));
+    for (std::vector<Routed>& bucket : buckets) bucket.clear();
+  };
+
+  for (const StreamEvent& event : events) {
+    // Pending routed updates must land before their window closes under
+    // them: CloseWindow snapshots and clears the group table, which would
+    // invalidate the GroupState pointers the buckets hold.
+    if (options_.window_size > 0 && window_initialized_ &&
+        event.timestamp >= current_window_start_ + options_.window_size) {
+      flush();
+    }
+    if (Status s = AdvanceWindow(event); !s.ok()) {
+      flush();  // Events routed before the error still apply, as in Process.
+      return s;
+    }
+    if (!PassesFilters(event)) continue;
+    GroupState* state = &StateFor(event.group);
+    buckets[ShardOf(event.group, worker_mod)].push_back(
+        {state, event.item, event.value});
+  }
+  flush();
   return Status::Ok();
 }
 

@@ -11,6 +11,7 @@
 
 #include "cardinality/hyperloglog.h"
 #include "common/status.h"
+#include "distributed/thread_pool.h"
 #include "frequency/space_saving.h"
 #include "quantiles/kll.h"
 
@@ -101,6 +102,19 @@ class StreamQuery {
   /// filter semantics are identical to calling Process() per event, and
   /// the resulting state is byte-identical. Stops at the first error.
   Status ProcessBatch(std::span<const StreamEvent> events);
+
+  /// Multi-core variant of ProcessBatch: events are partitioned by
+  /// group-key hash, so each pool worker owns a disjoint slice of the
+  /// GROUP-BY table and updates its groups' sketches with no locks. Window
+  /// advancement and filters stay sequential (they are ordered and cheap);
+  /// the sketch updates — the hot part of the Gigascope-style
+  /// many-sketches workload — run in parallel per window segment. Because
+  /// a group's events are all owned by one worker and applied in stream
+  /// order, the resulting state is byte-identical (SerializeState) to
+  /// calling Process() per event. Stops at the first error; events routed
+  /// before the error are applied.
+  Status ProcessBatchParallel(std::span<const StreamEvent> events,
+                              ThreadPool& pool);
 
   /// Drains windows closed so far.
   std::vector<WindowResult> Poll();

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <thread>
@@ -11,8 +12,12 @@
 #include "common/numeric.h"
 #include "distributed/aggregation.h"
 #include "distributed/concurrent.h"
+#include "distributed/sharded_pipeline.h"
+#include "distributed/spsc_ring.h"
+#include "distributed/thread_pool.h"
 #include "frequency/count_min.h"
 #include "frequency/misra_gries.h"
+#include "membership/bloom.h"
 #include "quantiles/kll.h"
 #include "workload/baselines.h"
 #include "workload/generators.h"
@@ -264,6 +269,310 @@ TEST(ConcurrentSummaryTest, MultiThreadedBatchesAllLand) {
   for (std::thread& thread : threads) thread.join();
   const double expected = kThreads * kPerThread;
   EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected, 0.06 * expected);
+}
+
+// ------------------------------------------------------------- Thread pool
+
+TEST(ThreadPoolTest, RunAllExecutesEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitWithWaitGroup) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  WaitGroup done;
+  done.Add(10);
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter, &done] {
+      counter.fetch_add(1);
+      done.Done();
+    });
+  }
+  done.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, QueuedTasksRunBeforeShutdown) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // Destructor joins after the queue drains.
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// --------------------------------------------------------------- SPSC ring
+
+TEST(SpscRingTest, FifoOrderAndCapacityBound) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));  // Full.
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.TryPop(&out));  // Empty.
+}
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(100).capacity(), 128u);
+}
+
+TEST(SpscRingTest, CrossThreadTransferDeliversEverything) {
+  SpscRing<uint64_t> ring(16);
+  constexpr uint64_t kCount = 100000;
+  uint64_t sum = 0;
+  std::thread consumer([&ring, &sum] {
+    uint64_t value;
+    for (uint64_t received = 0; received < kCount;) {
+      if (ring.TryPop(&value)) {
+        sum += value;
+        ++received;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (uint64_t i = 1; i <= kCount; ++i) {
+    while (!ring.TryPush(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
+}
+
+// ------------------------------------------------- Parallel aggregate tree
+
+TEST(ParallelAggregateTreeTest, HllRootByteIdenticalToSequential) {
+  ThreadPool pool(4);
+  const auto items = DistinctItems(100000, 31);
+  std::vector<HyperLogLog> seq_leaves, par_leaves;
+  for (int i = 0; i < 32; ++i) {
+    seq_leaves.emplace_back(12, 32);
+    par_leaves.emplace_back(12, 32);
+  }
+  const InvariantMod shards(32);
+  for (uint64_t item : items) {
+    const size_t shard = ShardOf(item, shards);
+    seq_leaves[shard].Update(item);
+    par_leaves[shard].Update(item);
+  }
+  auto seq = AggregateTree(std::move(seq_leaves), 2, nullptr);
+  auto par = ParallelAggregateTree(std::move(par_leaves), 2, &pool);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(seq.value().Serialize(), par.value().Serialize());
+}
+
+TEST(ParallelAggregateTreeTest, CountMinRootByteIdenticalToSequential) {
+  ThreadPool pool(4);
+  ZipfGenerator zipf(50000, 1.2, 33);
+  std::vector<CountMinSketch> seq_leaves, par_leaves;
+  for (int i = 0; i < 24; ++i) {  // Not a power of two: ragged last group.
+    seq_leaves.emplace_back(1024, 4, 34);
+    par_leaves.emplace_back(1024, 4, 34);
+  }
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t item = zipf.Next();
+    seq_leaves[i % 24].Update(item);
+    par_leaves[i % 24].Update(item);
+  }
+  auto seq = AggregateTree(std::move(seq_leaves), 3, nullptr);
+  auto par = ParallelAggregateTree(std::move(par_leaves), 3, &pool);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(seq.value().Serialize(), par.value().Serialize());
+}
+
+TEST(ParallelAggregateTreeTest, KllRootByteIdenticalToSequential) {
+  ThreadPool pool(4);
+  const auto data = GenerateValues(ValueDistribution::kLogNormal, 64000, 35);
+  std::vector<KllSketch> seq_leaves, par_leaves;
+  for (int i = 0; i < 16; ++i) {
+    seq_leaves.emplace_back(200, 800 + i);
+    par_leaves.emplace_back(200, 800 + i);
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    seq_leaves[i % 16].Update(data[i]);
+    par_leaves[i % 16].Update(data[i]);
+  }
+  auto seq = AggregateTree(std::move(seq_leaves), 2, nullptr);
+  auto par = ParallelAggregateTree(std::move(par_leaves), 2, &pool);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(seq.value().Serialize(), par.value().Serialize());
+}
+
+TEST(ParallelAggregateTreeTest, StatsMatchSequentialDepthAndMerges) {
+  ThreadPool pool(2);
+  std::vector<HyperLogLog> leaves;
+  for (int i = 0; i < 16; ++i) leaves.emplace_back(8, 3);
+  AggregationStats stats;
+  auto root = ParallelAggregateTree(std::move(leaves), 2, &pool, &stats);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(stats.tree_depth, 4);    // Same tree shape as AggregateTree.
+  EXPECT_EQ(stats.num_merges, 15u);  // n-1 merges total.
+  // Communication accounting stays on the sequential reference path.
+  EXPECT_EQ(stats.communication_bytes, 0u);
+}
+
+TEST(ParallelAggregateTreeTest, EmptyLeavesRejected) {
+  ThreadPool pool(2);
+  std::vector<HyperLogLog> leaves;
+  EXPECT_FALSE(ParallelAggregateTree(std::move(leaves), 2, &pool).ok());
+}
+
+TEST(ParallelAggregateTreeTest, MergeErrorPropagates) {
+  ThreadPool pool(2);
+  std::vector<HyperLogLog> leaves;
+  leaves.emplace_back(10, 1);
+  leaves.emplace_back(12, 1);  // Mismatched precision: Merge must fail.
+  auto root = ParallelAggregateTree(std::move(leaves), 2, &pool);
+  EXPECT_FALSE(root.ok());
+}
+
+// --------------------------------------------------------- Sharded pipeline
+
+TEST(ShardedPipelineTest, HllMatchesSequentialIngestByteForByte) {
+  const auto items = DistinctItems(200000, 41);
+  HyperLogLog sequential(12, 42);
+  sequential.UpdateBatch(items);
+  ShardedPipeline<HyperLogLog> pipeline(HyperLogLog(12, 42),
+                                        {.num_workers = 4});
+  EXPECT_EQ(pipeline.num_workers(), 4u);
+  pipeline.Push(items);
+  auto root = pipeline.Finish();
+  ASSERT_TRUE(root.ok());
+  // Register-wise max is partition-independent: the merged root must be
+  // byte-identical to single-threaded ingest, so Estimate() is equal too.
+  EXPECT_EQ(root.value().Serialize(), sequential.Serialize());
+  EXPECT_DOUBLE_EQ(root.value().Estimate(), sequential.Estimate());
+}
+
+TEST(ShardedPipelineTest, CountMinMatchesSequentialIngest) {
+  const auto items = ZipfGenerator(100000, 1.2, 43).Take(300000);
+  CountMinSketch sequential(2048, 4, 44);
+  sequential.UpdateBatch(items);
+  ShardedPipeline<CountMinSketch> pipeline(CountMinSketch(2048, 4, 44),
+                                           {.num_workers = 4});
+  pipeline.Push(items);
+  auto root = pipeline.Finish();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value().Serialize(), sequential.Serialize());
+  for (uint64_t probe = 0; probe < 500; ++probe) {
+    EXPECT_EQ(root.value().Estimate(probe), sequential.Estimate(probe));
+  }
+}
+
+TEST(ShardedPipelineTest, BloomMatchesSequentialIngest) {
+  const auto items = DistinctItems(100000, 45);
+  BloomFilter sequential(1 << 20, 7, 46);
+  sequential.InsertBatch(items);
+  ShardedPipeline<BloomFilter> pipeline(BloomFilter(1 << 20, 7, 46),
+                                        {.num_workers = 4});
+  pipeline.Push(items);
+  auto root = pipeline.Finish();
+  ASSERT_TRUE(root.ok());
+  // Bit OR is partition-independent.
+  EXPECT_EQ(root.value().Serialize(), sequential.Serialize());
+}
+
+TEST(ShardedPipelineTest, KllSeesEveryValue) {
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) values.push_back(static_cast<double>(i));
+  ShardedPipeline<KllSketch> pipeline(KllSketch(200, 47), {.num_workers = 4});
+  pipeline.Push(values);
+  auto root = pipeline.Finish();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value().Count(), 100000u);
+  EXPECT_NEAR(root.value().Quantile(0.5), 50000.0, 2000.0);
+}
+
+TEST(ShardedPipelineTest, ManySmallPushesWithBackpressure) {
+  // Tiny rings and chunks force the producer through the full/backoff path.
+  const auto items = DistinctItems(50000, 48);
+  HyperLogLog sequential(11, 49);
+  sequential.UpdateBatch(items);
+  ShardedPipeline<HyperLogLog> pipeline(
+      HyperLogLog(11, 49),
+      {.num_workers = 3, .ring_capacity = 2, .chunk_items = 64});
+  std::span<const uint64_t> span(items);
+  for (size_t off = 0; off < span.size(); off += 777) {
+    pipeline.Push(span.subspan(off, std::min<size_t>(777, span.size() - off)));
+  }
+  auto root = pipeline.Finish();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value().Serialize(), sequential.Serialize());
+}
+
+TEST(ShardedPipelineTest, DestructorWithoutFinishDoesNotHang) {
+  const auto items = DistinctItems(10000, 50);
+  ShardedPipeline<HyperLogLog> pipeline(HyperLogLog(10, 51),
+                                        {.num_workers = 2});
+  pipeline.Push(items);
+  // No Finish(): the destructor must stop and join the workers cleanly.
+}
+
+// ----------------------------------------- Concurrent wrapper stress tests
+
+TEST(ConcurrentSummaryTest, ConcurrentBatchesAndSnapshotsStress) {
+  // Writers drain batches while a reader snapshots continuously; the final
+  // snapshot must account for every item from every writer.
+  ConcurrentSummary<HyperLogLog> concurrent(HyperLogLog(12, 52));
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 100000;
+  std::atomic<bool> writing{true};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&concurrent, t] {
+      const auto items =
+          DistinctItems(kPerWriter, 5000 + static_cast<uint64_t>(t));
+      std::span<const uint64_t> span(items);
+      for (size_t off = 0; off < span.size(); off += 2048) {
+        concurrent.UpdateBatch(
+            span.subspan(off, std::min<size_t>(2048, span.size() - off)));
+      }
+    });
+  }
+  std::thread reader([&concurrent, &writing] {
+    double last = 0;
+    while (writing.load(std::memory_order_acquire)) {
+      auto snapshot = concurrent.Snapshot();
+      ASSERT_TRUE(snapshot.ok());
+      const double now = snapshot.value().Count();
+      // Near-monotone under concurrent writes (small estimator wobble at
+      // regime boundaries is allowed; a collapse would mean lost stripes).
+      EXPECT_GE(now, last * 0.9);
+      last = now;
+    }
+  });
+  for (std::thread& writer : writers) writer.join();
+  writing.store(false, std::memory_order_release);
+  reader.join();
+  const double expected = kWriters * kPerWriter;
+  EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected,
+              0.06 * expected);
+}
+
+TEST(ShardOfTest, InvariantModOverloadMatchesPlain) {
+  const InvariantMod nodes(13);
+  for (uint64_t item = 0; item < 2000; ++item) {
+    EXPECT_EQ(ShardOf(item, nodes), ShardOf(item, size_t{13}));
+    EXPECT_LT(ShardOf(item, nodes), 13u);
+  }
 }
 
 TEST(MergeabilityTest, KmvMergedEqualsStreamed) {

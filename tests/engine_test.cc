@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "cardinality/hyperloglog.h"
+#include "distributed/thread_pool.h"
 #include "engine/exponential_histogram.h"
 #include "engine/sliding_window.h"
 #include "engine/stream_query.h"
@@ -294,6 +295,58 @@ TEST(StreamQueryTest, ProcessBatchFallbackAggregatesMatch) {
     ASSERT_TRUE(batched.ProcessBatch(events).ok());
     EXPECT_EQ(batched.SerializeState(), per_event.SerializeState());
   }
+}
+
+TEST(StreamQueryTest, ProcessBatchParallelMatchesPerEventExactly) {
+  // The partitioned multi-core path must leave the query byte-identical to
+  // per-event processing for every aggregate kind: each group is owned by
+  // one worker and its updates are applied in stream order.
+  ThreadPool pool(4);
+  for (AggregateKind kind :
+       {AggregateKind::kCountDistinct, AggregateKind::kTopK,
+        AggregateKind::kQuantiles, AggregateKind::kSum}) {
+    StreamQuery::Options options;
+    options.aggregate = kind;
+    options.window_size = 700;  // Several closes inside the batch.
+    StreamQuery per_event(options, 11);
+    StreamQuery parallel(options, 11);
+    per_event.AddFilter([](const StreamEvent& e) { return e.item % 9 != 0; });
+    parallel.AddFilter([](const StreamEvent& e) { return e.item % 9 != 0; });
+
+    std::vector<StreamEvent> events;
+    for (uint64_t i = 0; i < 5000; ++i) {
+      events.push_back(Event(i, i % 37, i * 0x9E3779B97F4A7C15ull >> 32,
+                             int64_t(i % 13)));
+    }
+    for (const StreamEvent& e : events) {
+      ASSERT_TRUE(per_event.Process(e).ok());
+    }
+    // Ragged slices, so segments straddle Push boundaries too.
+    std::span<const StreamEvent> span(events);
+    size_t offset = 0;
+    for (size_t n : {1u, 699u, 700u, 1500u, 2100u}) {
+      ASSERT_TRUE(parallel.ProcessBatchParallel(span.subspan(offset, n), pool)
+                      .ok());
+      offset += n;
+    }
+    ASSERT_EQ(offset, events.size());
+    EXPECT_EQ(parallel.SerializeState(), per_event.SerializeState());
+    EXPECT_EQ(parallel.NumOpenGroups(), per_event.NumOpenGroups());
+  }
+}
+
+TEST(StreamQueryTest, ProcessBatchParallelStopsAtFirstError) {
+  ThreadPool pool(2);
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  StreamQuery query(options, 1);
+  const std::vector<StreamEvent> events = {Event(10, 0, 1), Event(11, 0, 2),
+                                           Event(5, 0, 3), Event(12, 0, 4)};
+  EXPECT_FALSE(query.ProcessBatchParallel(events, pool).ok());
+  StreamQuery expected(options, 1);
+  ASSERT_TRUE(expected.Process(Event(10, 0, 1)).ok());
+  ASSERT_TRUE(expected.Process(Event(11, 0, 2)).ok());
+  EXPECT_EQ(query.SerializeState(), expected.SerializeState());
 }
 
 TEST(StreamQueryTest, ProcessBatchStopsAtFirstError) {

@@ -10,10 +10,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "cardinality/hyperloglog.h"
 #include "common/numeric.h"
+#include "core/view.h"
 #include "distributed/aggregation.h"
 #include "distributed/thread_pool.h"
 #include "frequency/count_min.h"
@@ -60,9 +63,150 @@ void TimeMergeTree(const char* name, const std::vector<S>& leaves,
               seq_bytes == par_bytes ? "byte-identical" : "DIFFER");
 }
 
+/// Timing for one wide fan-in merge of serialized HLL envelopes. Three
+/// ways to fold N envelopes into one sketch:
+///   - deserialize+merge: materialize every envelope into a fresh heap
+///     sketch, then Merge — the pre-view baseline.
+///   - wrap+merge: SketchView wrap (full validation, checksum included)
+///     and MergeFromView straight from the payload bytes — no allocation,
+///     no register copy per envelope.
+///   - trusted wrap+merge: WrapTrusted (structural checks only, checksum
+///     skipped) for same-process fan-in, where the checksum pass is the
+///     last remaining per-envelope cost that scales with sketch size.
+struct FaninTiming {
+  int fanin = 0;
+  uint8_t precision = 0;
+  double deserialize_merge_ms = 0;
+  double view_merge_ms = 0;
+  double trusted_view_merge_ms = 0;
+  bool roots_identical = false;
+  double speedup() const { return deserialize_merge_ms / trusted_view_merge_ms; }
+  double speedup_verified() const { return deserialize_merge_ms / view_merge_ms; }
+};
+
+FaninTiming TimeViewMergeFanin(int fanin, uint8_t precision, int reps) {
+  // Build the serialized inputs once: `fanin` HLL shards over disjoint
+  // item ranges, each wrapped in its wire envelope.
+  std::vector<std::vector<uint8_t>> envelopes;
+  envelopes.reserve(fanin);
+  for (int s = 0; s < fanin; ++s) {
+    gems::HyperLogLog leaf(precision, 7);
+    for (uint64_t item : gems::DistinctItems(2000, 900 + s)) {
+      leaf.Update(item);
+    }
+    envelopes.push_back(leaf.Serialize());
+  }
+
+  FaninTiming out;
+  out.fanin = fanin;
+  out.precision = precision;
+  out.deserialize_merge_ms = 1e100;
+  out.view_merge_ms = 1e100;
+  out.trusted_view_merge_ms = 1e100;
+  std::vector<uint8_t> deser_root, view_root, trusted_root;
+  for (int r = 0; r < reps; ++r) {
+    // Baseline: materialize every envelope, then merge the sketches.
+    auto t0 = std::chrono::steady_clock::now();
+    auto acc = gems::HyperLogLog::Deserialize(envelopes[0]);
+    for (int s = 1; s < fanin; ++s) {
+      auto leaf = gems::HyperLogLog::Deserialize(envelopes[s]);
+      (void)acc.value().Merge(leaf.value());
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    out.deserialize_merge_ms =
+        std::min(out.deserialize_merge_ms, Seconds(t0, t1) * 1e3);
+    if (r == 0) deser_root = acc.value().Serialize();
+
+    // View path: materialize only the first envelope; fold the rest in
+    // from borrowed payload bytes, fully validated.
+    t0 = std::chrono::steady_clock::now();
+    auto acc2 = gems::HyperLogLog::Deserialize(envelopes[0]);
+    for (int s = 1; s < fanin; ++s) {
+      auto view = gems::View<gems::HyperLogLog>::Wrap(envelopes[s]);
+      (void)acc2.value().MergeFromView(view.value());
+    }
+    t1 = std::chrono::steady_clock::now();
+    out.view_merge_ms = std::min(out.view_merge_ms, Seconds(t0, t1) * 1e3);
+    if (r == 0) view_root = acc2.value().Serialize();
+
+    // Trusted view path: the envelopes were serialized by this process a
+    // moment ago, so skip the per-envelope checksum pass.
+    t0 = std::chrono::steady_clock::now();
+    auto acc3 = gems::HyperLogLog::Deserialize(envelopes[0]);
+    for (int s = 1; s < fanin; ++s) {
+      auto view = gems::View<gems::HyperLogLog>::WrapTrusted(envelopes[s]);
+      (void)acc3.value().MergeFromView(view.value());
+    }
+    t1 = std::chrono::steady_clock::now();
+    out.trusted_view_merge_ms =
+        std::min(out.trusted_view_merge_ms, Seconds(t0, t1) * 1e3);
+    if (r == 0) trusted_root = acc3.value().Serialize();
+  }
+  out.roots_identical = deser_root == view_root && deser_root == trusted_root;
+  return out;
+}
+
+void PrintFaninTiming(const FaninTiming& t) {
+  std::printf("HLL p=%d %d-way fan-in: deserialize+merge %8.3f ms   "
+              "wrap+merge %8.3f ms (%.2fx)   trusted wrap+merge %8.3f ms "
+              "(%.2fx)   roots %s\n",
+              t.precision, t.fanin, t.deserialize_merge_ms, t.view_merge_ms,
+              t.speedup_verified(), t.trusted_view_merge_ms, t.speedup(),
+              t.roots_identical ? "byte-identical" : "DIFFER");
+}
+
+/// --e06_json mode: run only the fan-in comparison and emit one JSON
+/// object (the CI bench-smoke artifact).
+int RunFaninJson(const std::string& json_path, int fanin) {
+  const FaninTiming t = TimeViewMergeFanin(fanin, 12, 5);
+  PrintFaninTiming(t);
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"bench\": \"e06_view_merge_fanin\",\n"
+                "  \"family\": \"hll\",\n"
+                "  \"precision\": %d,\n"
+                "  \"fanin\": %d,\n"
+                "  \"deserialize_merge_ms\": %.6f,\n"
+                "  \"view_merge_ms\": %.6f,\n"
+                "  \"trusted_view_merge_ms\": %.6f,\n"
+                "  \"speedup_verified\": %.4f,\n"
+                "  \"speedup\": %.4f,\n"
+                "  \"roots_identical\": %s\n"
+                "}\n",
+                t.precision, t.fanin, t.deserialize_merge_ms,
+                t.view_merge_ms, t.trusted_view_merge_ms,
+                t.speedup_verified(), t.speedup(),
+                t.roots_identical ? "true" : "false");
+  std::fputs(buf, stdout);
+  std::FILE* f = std::fopen(json_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(buf, 1, std::strlen(buf), f);
+  std::fclose(f);
+  return t.roots_identical ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  int fanin = 1024;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--e06_json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--e06_json="));
+    } else if (arg.rfind("--e06_fanin=", 0) == 0) {
+      fanin = std::stoi(arg.substr(std::strlen("--e06_fanin=")));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!json_path.empty()) return RunFaninJson(json_path, fanin);
+
   constexpr int kShards = 256;
   constexpr int kTrials = 8;
   std::printf("E6: error of merged (%d-way) vs single-stream summaries, "
@@ -226,6 +370,12 @@ int main() {
       }
       TimeMergeTree("KLL k=200", leaves, &pool);
     }
+  }
+
+  // --- Wide fan-in from serialized envelopes: views vs materialization ---
+  {
+    std::printf("\nFan-in from serialized envelopes:\n");
+    PrintFaninTiming(TimeViewMergeFanin(1024, 12, 3));
   }
   return 0;
 }

@@ -233,16 +233,59 @@ int RunLoad(const std::string& path) {
   return 0;
 }
 
+// Describes a sketch file from its envelope alone — type, format version,
+// payload size, checksum status — without materializing the sketch. A
+// corrupt file reports what the validator rejected instead of failing
+// opaquely.
+int RunInspect(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  gems::Result<gems::AnySketchView> view =
+      gems::SketchRegistry::Global().Wrap(bytes);
+  if (!view.ok()) {
+    std::printf("%s: %zu bytes, INVALID: %s\n", path.c_str(), bytes.size(),
+                view.status().ToString().c_str());
+    return 1;
+  }
+  const gems::AnySketchView& v = view.value();
+  std::printf("%s:\n", path.c_str());
+  std::printf("  type:       %s (id %u)\n", v.type_name(),
+              (unsigned)static_cast<uint16_t>(v.type()));
+  std::printf("  version:    %u\n", (unsigned)v.version());
+  std::printf("  payload:    %zu bytes (%zu with envelope header)\n",
+              v.payload_size(), bytes.size());
+  std::printf("  checksum:   ok\n");
+  gems::Result<std::string> estimate = v.EstimateSummary();
+  if (estimate.ok()) {
+    std::printf("  estimate:   %s\n", estimate.value().c_str());
+  }
+  return 0;
+}
+
 // Merges any number of same-type sketch files without being told the type:
-// the envelope's type id selects the registered merge.
+// the first file is materialized as the accumulator, every other file is
+// wrapped in place and absorbed via the view-merge path (no per-file
+// sketch materialization).
 int RunMerge(const std::string& out_path,
              const std::vector<std::string>& in_paths) {
   gems::AnySketch merged;
   if (!LoadSketchFile(in_paths[0], &merged)) return 1;
   for (size_t i = 1; i < in_paths.size(); ++i) {
-    gems::AnySketch next;
-    if (!LoadSketchFile(in_paths[i], &next)) return 1;
-    gems::Status s = merged.Merge(next);
+    std::vector<uint8_t> bytes;
+    if (!ReadFileBytes(in_paths[i], &bytes)) {
+      std::fprintf(stderr, "cannot read %s\n", in_paths[i].c_str());
+      return 1;
+    }
+    gems::Result<gems::SketchView> view = gems::SketchView::Wrap(bytes);
+    if (!view.ok()) {
+      std::fprintf(stderr, "%s: %s\n", in_paths[i].c_str(),
+                   view.status().ToString().c_str());
+      return 1;
+    }
+    gems::Status s = merged.MergeFromView(view.value());
     if (!s.ok()) {
       std::fprintf(stderr, "merging %s: %s\n", in_paths[i].c_str(),
                    s.ToString().c_str());
@@ -292,6 +335,7 @@ int main(int argc, char** argv) {
   }
   if (mode == "save" && argc == 4) return RunSave(argv[2], argv[3], std::cin);
   if (mode == "load" && argc == 3) return RunLoad(argv[2]);
+  if (mode == "inspect" && argc == 3) return RunInspect(argv[2]);
   if (mode == "merge" && argc >= 4) {
     return RunMerge(argv[2], std::vector<std::string>(argv + 3, argv + argc));
   }
@@ -302,6 +346,8 @@ int main(int argc, char** argv) {
                "       sketch_tool save <distinct|topk|quantiles|member> "
                "<file>   (stdin -> sketch file)\n"
                "       sketch_tool load <file>\n"
+               "       sketch_tool inspect <file>   (envelope metadata "
+               "without loading)\n"
                "       sketch_tool merge <out> <in1> [in2 ...]\n");
   return 2;
 }

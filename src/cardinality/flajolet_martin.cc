@@ -70,7 +70,7 @@ std::vector<uint8_t> FlajoletMartin::Serialize() const {
 }
 
 Result<FlajoletMartin> FlajoletMartin::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kFlajoletMartin, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

@@ -2,6 +2,7 @@
 #define GEMS_CARDINALITY_FLAJOLET_MARTIN_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -53,7 +54,7 @@ class FlajoletMartin {
 
   std::vector<uint8_t> Serialize() const;
   static Result<FlajoletMartin> Deserialize(
-      const std::vector<uint8_t>& bytes);
+      std::span<const uint8_t> bytes);
 
  private:
   uint32_t num_bitmaps_;

@@ -251,31 +251,42 @@ size_t HllPlusPlus::MemoryBytes() const {
   return dense_.MemoryBytes();
 }
 
+Status HllPlusPlus::MergeFromView(const View<HllPlusPlus>& view) {
+  Result<HllPlusPlus> other = view.Materialize();
+  if (!other.ok()) return other.status();
+  return Merge(other.value());
+}
+
 std::vector<uint8_t> HllPlusPlus::Serialize() const {
-  ByteWriter w;
-  w.PutU8(static_cast<uint8_t>(precision_));
-  w.PutU64(seed_);
-  w.PutU8(is_sparse_ ? 1 : 0);
+  std::vector<uint8_t> out;
+  ByteSink sink(&out);
+  SerializeTo(sink);
+  return out;
+}
+
+void HllPlusPlus::SerializeTo(ByteSink& sink) const {
+  EnvelopeBuilder env(sink, kTypeId);
+  sink.PutU8(static_cast<uint8_t>(precision_));
+  sink.PutU64(seed_);
+  sink.PutU8(is_sparse_ ? 1 : 0);
   if (is_sparse_) {
     // Canonical order: the map iterates in unspecified order, but equal
     // states must produce identical bytes (and checksums) on the wire.
     std::vector<std::pair<uint32_t, uint8_t>> entries(sparse_.begin(),
                                                       sparse_.end());
     std::sort(entries.begin(), entries.end());
-    w.PutVarint(entries.size());
+    sink.PutVarint(entries.size());
     for (const auto& [index, rho] : entries) {
-      w.PutU32(index);
-      w.PutU8(rho);
+      sink.PutU32(index);
+      sink.PutU8(rho);
     }
   } else {
-    w.PutRaw(dense_.registers().data(), dense_.registers().size());
+    sink.PutRaw(dense_.registers().data(), dense_.registers().size());
   }
-  return WrapEnvelope(SketchTypeId::kHllPlusPlus,
-                      std::move(w).TakeBytes());
 }
 
 Result<HllPlusPlus> HllPlusPlus::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kHllPlusPlus, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

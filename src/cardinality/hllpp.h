@@ -35,6 +35,9 @@ namespace gems {
 /// HLL++ sketch: sparse then dense.
 class HllPlusPlus {
  public:
+  /// Wire-format type tag, for View<HllPlusPlus> wrapping.
+  static constexpr SketchTypeId kTypeId = SketchTypeId::kHllPlusPlus;
+
   /// `precision` in [4, 18] controls the dense register array (2^p bytes).
   explicit HllPlusPlus(int precision, uint64_t seed = 0);
 
@@ -77,6 +80,13 @@ class HllPlusPlus {
   /// Merges `other` into this sketch; requires equal precision and seed.
   Status Merge(const HllPlusPlus& other);
 
+  /// Merges a wrapped serialized peer. Sparse/dense conversion makes a
+  /// true in-place register walk impractical, so this materializes one
+  /// temporary from the view (skipping only the caller-side envelope copy)
+  /// and merges it — byte-identical to Merge(*view.Materialize()) by
+  /// construction.
+  Status MergeFromView(const View<HllPlusPlus>& view);
+
   bool IsSparse() const { return is_sparse_; }
   int precision() const { return precision_; }
   size_t MemoryBytes() const;
@@ -85,7 +95,10 @@ class HllPlusPlus {
   void ConvertToDense();
 
   std::vector<uint8_t> Serialize() const;
-  static Result<HllPlusPlus> Deserialize(const std::vector<uint8_t>& bytes);
+  /// Appends the wire envelope into a caller-owned buffer; byte-identical
+  /// to Serialize().
+  void SerializeTo(ByteSink& sink) const;
+  static Result<HllPlusPlus> Deserialize(std::span<const uint8_t> bytes);
 
   /// The sparse precision p' used by the sparse representation.
   static constexpr int kSparsePrecision = 25;

@@ -117,23 +117,61 @@ Status HyperLogLog::Merge(const HyperLogLog& other) {
     return Status::InvalidArgument(
         "HyperLogLog merge requires equal precision and seed");
   }
-  for (size_t i = 0; i < registers_.size(); ++i) {
-    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  // Hoisted pointers: byte stores through registers_[i] could legally
+  // alias the vector's own begin pointer, which blocks vectorization of
+  // the register max. Locals restore it (pmaxub on x86).
+  uint8_t* const dst = registers_.data();
+  const uint8_t* const src = other.registers_.data();
+  const size_t m = registers_.size();
+  for (size_t i = 0; i < m; ++i) dst[i] = std::max(dst[i], src[i]);
+  return Status::Ok();
+}
+
+Status HyperLogLog::MergeFromView(const View<HyperLogLog>& view) {
+  // Mirrors Deserialize's validation order, then Merge's compatibility
+  // check, so the two paths fail with identical statuses — but the
+  // register max runs straight over the wrapped payload.
+  ByteReader r = view.PayloadReader();
+  uint8_t precision;
+  uint64_t seed;
+  if (Status sp = r.GetU8(&precision); !sp.ok()) return sp;
+  if (Status ss = r.GetU64(&seed); !ss.ok()) return ss;
+  if (precision < 4 || precision > 18) {
+    return Status::Corruption("invalid HyperLogLog precision");
   }
+  std::span<const uint8_t> regs;
+  if (Status sr = r.GetRawView(size_t{1} << precision, &regs); !sr.ok()) {
+    return sr;
+  }
+  if (precision != precision_ || seed != seed_) {
+    return Status::InvalidArgument(
+        "HyperLogLog merge requires equal precision and seed");
+  }
+  // Same hoist as Merge(): keep the max loop vectorizable.
+  uint8_t* const dst = registers_.data();
+  const uint8_t* const src = regs.data();
+  const size_t m = registers_.size();
+  for (size_t i = 0; i < m; ++i) dst[i] = std::max(dst[i], src[i]);
   return Status::Ok();
 }
 
 std::vector<uint8_t> HyperLogLog::Serialize() const {
-  ByteWriter w;
-  w.PutU8(static_cast<uint8_t>(precision_));
-  w.PutU64(seed_);
-  w.PutRaw(registers_.data(), registers_.size());
-  return WrapEnvelope(SketchTypeId::kHyperLogLog,
-                      std::move(w).TakeBytes());
+  std::vector<uint8_t> out;
+  out.reserve(kWireHeaderSize + 9 + registers_.size());
+  ByteSink sink(&out);
+  SerializeTo(sink);
+  return out;
+}
+
+void HyperLogLog::SerializeTo(ByteSink& sink) const {
+  EnvelopeBuilder env(sink, kTypeId);
+  sink.PutU8(static_cast<uint8_t>(precision_));
+  sink.PutU64(seed_);
+  sink.PutRaw(registers_.data(), registers_.size());
 }
 
 Result<HyperLogLog> HyperLogLog::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kHyperLogLog, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

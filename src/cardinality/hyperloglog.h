@@ -7,6 +7,8 @@
 
 #include "common/status.h"
 #include "core/estimate.h"
+#include "core/io.h"
+#include "core/view.h"
 
 /// \file
 /// HyperLogLog (Flajolet, Fusy, Gandouet & Meunier 2007): the de-facto
@@ -22,6 +24,9 @@ namespace gems {
 /// Dense HyperLogLog with m = 2^precision one-byte registers.
 class HyperLogLog {
  public:
+  /// Wire-format type tag, for View<HyperLogLog> wrapping.
+  static constexpr SketchTypeId kTypeId = SketchTypeId::kHyperLogLog;
+
   /// `precision` in [4, 18].
   explicit HyperLogLog(int precision, uint64_t seed = 0);
 
@@ -75,6 +80,11 @@ class HyperLogLog {
   /// Register-wise max; requires equal precision and seed.
   Status Merge(const HyperLogLog& other);
 
+  /// Register-wise max straight out of a wrapped serialized peer — no
+  /// materialization, no allocation. Resulting state is byte-identical to
+  /// Merge(*view.Materialize()).
+  Status MergeFromView(const View<HyperLogLog>& view);
+
   int precision() const { return precision_; }
   uint64_t seed() const { return seed_; }
   uint32_t num_registers() const {
@@ -88,7 +98,10 @@ class HyperLogLog {
   static double Alpha(uint32_t m);
 
   std::vector<uint8_t> Serialize() const;
-  static Result<HyperLogLog> Deserialize(const std::vector<uint8_t>& bytes);
+  /// Appends the wire envelope into a caller-owned buffer; byte-identical
+  /// to Serialize().
+  void SerializeTo(ByteSink& sink) const;
+  static Result<HyperLogLog> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   friend class HllPlusPlus;  // Converts sparse representations into dense.

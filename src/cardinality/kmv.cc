@@ -164,17 +164,61 @@ ThetaResult KmvSketch::Difference(const KmvSketch& a, const KmvSketch& b) {
   return ThetaResult(theta, std::move(out));
 }
 
-std::vector<uint8_t> KmvSketch::Serialize() const {
-  ByteWriter w;
-  w.PutU32(k_);
-  w.PutU64(seed_);
-  w.PutVarint(hashes_.size());
-  for (uint64_t h : hashes_) w.PutU64(h);
-  return WrapEnvelope(SketchTypeId::kKmv,
-                      std::move(w).TakeBytes());
+Status KmvSketch::MergeFromView(const View<KmvSketch>& view) {
+  // Deserialize's validation order, then Merge's seed check, then the
+  // union streamed off the wrapped payload. The serialized hashes are in
+  // ascending (set-iteration) order — the same order Merge consumes them —
+  // so the admitted set is byte-identical to deserialize-then-merge.
+  ByteReader r = view.PayloadReader();
+  uint32_t k;
+  uint64_t seed, count;
+  if (Status sk = r.GetU32(&k); !sk.ok()) return sk;
+  if (Status ss = r.GetU64(&seed); !ss.ok()) return ss;
+  if (Status sc = r.GetVarint(&count); !sc.ok()) return sc;
+  if (k < 2) return Status::Corruption("invalid KMV k");
+  if (count > k) return Status::Corruption("KMV retained count exceeds k");
+  std::span<const uint8_t> raw;
+  if (Status sh = r.GetRawView(static_cast<size_t>(count) * 8, &raw);
+      !sh.ok()) {
+    return sh;
+  }
+  if (seed != seed_) {
+    return Status::InvalidArgument("KMV merge requires equal seed");
+  }
+  ByteReader hashes(raw);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t h;
+    if (Status sh = hashes.GetU64(&h); !sh.ok()) return sh;
+    if (hashes_.size() < k_) {
+      hashes_.insert(h);
+    } else {
+      const uint64_t largest = *hashes_.rbegin();
+      if (h < largest && !hashes_.contains(h)) {
+        hashes_.insert(h);
+        hashes_.erase(std::prev(hashes_.end()));
+      }
+    }
+  }
+  return Status::Ok();
 }
 
-Result<KmvSketch> KmvSketch::Deserialize(const std::vector<uint8_t>& bytes) {
+std::vector<uint8_t> KmvSketch::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(kWireHeaderSize + 22 + hashes_.size() * 8);
+  ByteSink sink(&out);
+  SerializeTo(sink);
+  return out;
+}
+
+void KmvSketch::SerializeTo(ByteSink& sink) const {
+  EnvelopeBuilder env(sink, kTypeId);
+  sink.PutU32(k_);
+  sink.PutU64(seed_);
+  sink.PutVarint(hashes_.size());
+  for (uint64_t h : hashes_) sink.PutU64(h);
+}
+
+Result<KmvSketch> KmvSketch::Deserialize(std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kKmv, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

@@ -8,6 +8,8 @@
 
 #include "common/status.h"
 #include "core/estimate.h"
+#include "core/io.h"
+#include "core/view.h"
 
 /// \file
 /// KMV / Theta sketch: keep the k minimum hash values of the distinct items
@@ -51,6 +53,9 @@ class ThetaResult {
 /// KMV sketch of the k minimum hashes.
 class KmvSketch {
  public:
+  /// Wire-format type tag, for View<KmvSketch> wrapping.
+  static constexpr SketchTypeId kTypeId = SketchTypeId::kKmv;
+
   /// `k` >= 2: number of minimum hash values retained.
   explicit KmvSketch(uint32_t k, uint64_t seed = 0);
 
@@ -92,6 +97,10 @@ class KmvSketch {
   /// result keeps this sketch's k).
   Status Merge(const KmvSketch& other);
 
+  /// Union streamed straight off a wrapped serialized peer — no
+  /// materialization. Byte-identical result to Merge(*view.Materialize()).
+  Status MergeFromView(const View<KmvSketch>& view);
+
   /// Current sampling threshold theta in (0, 1].
   double Theta() const;
 
@@ -109,7 +118,10 @@ class KmvSketch {
   size_t MemoryBytes() const { return hashes_.size() * sizeof(uint64_t); }
 
   std::vector<uint8_t> Serialize() const;
-  static Result<KmvSketch> Deserialize(const std::vector<uint8_t>& bytes);
+  /// Appends the wire envelope into a caller-owned buffer; byte-identical
+  /// to Serialize().
+  void SerializeTo(ByteSink& sink) const;
+  static Result<KmvSketch> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   uint32_t k_;

@@ -61,7 +61,7 @@ std::vector<uint8_t> LinearCounting::Serialize() const {
 }
 
 Result<LinearCounting> LinearCounting::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kLinearCounting, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

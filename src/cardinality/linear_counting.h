@@ -2,6 +2,7 @@
 #define GEMS_CARDINALITY_LINEAR_COUNTING_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -56,7 +57,7 @@ class LinearCounting {
 
   std::vector<uint8_t> Serialize() const;
   static Result<LinearCounting> Deserialize(
-      const std::vector<uint8_t>& bytes);
+      std::span<const uint8_t> bytes);
 
  private:
   uint64_t num_bits_;

@@ -69,7 +69,7 @@ std::vector<uint8_t> LogLog::Serialize() const {
                       std::move(w).TakeBytes());
 }
 
-Result<LogLog> LogLog::Deserialize(const std::vector<uint8_t>& bytes) {
+Result<LogLog> LogLog::Deserialize(std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kLogLog, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

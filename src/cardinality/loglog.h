@@ -2,6 +2,7 @@
 #define GEMS_CARDINALITY_LOGLOG_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -53,7 +54,7 @@ class LogLog {
   size_t MemoryBytes() const { return registers_.size(); }
 
   std::vector<uint8_t> Serialize() const;
-  static Result<LogLog> Deserialize(const std::vector<uint8_t>& bytes);
+  static Result<LogLog> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   int precision_;

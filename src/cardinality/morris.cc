@@ -60,7 +60,7 @@ std::vector<uint8_t> MorrisCounter::Serialize() const {
 }
 
 Result<MorrisCounter> MorrisCounter::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kMorrisCounter, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

@@ -2,6 +2,7 @@
 #define GEMS_CARDINALITY_MORRIS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -67,7 +68,7 @@ class MorrisCounter {
   Status Merge(const MorrisCounter& other);
 
   std::vector<uint8_t> Serialize() const;
-  static Result<MorrisCounter> Deserialize(const std::vector<uint8_t>& bytes);
+  static Result<MorrisCounter> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   double a_;

@@ -95,6 +95,16 @@ Status ByteReader::GetBytes(std::vector<uint8_t>* out) {
   return Status::Ok();
 }
 
+Status ByteReader::GetBytesView(std::span<const uint8_t>* out) {
+  uint64_t size;
+  Status s = GetVarint(&size);
+  if (!s.ok()) return s;
+  if (remaining() < size) return Status::Corruption("truncated byte string");
+  *out = std::span<const uint8_t>(data_ + pos_, size);
+  pos_ += size;
+  return Status::Ok();
+}
+
 Status ByteReader::GetString(std::string* out) {
   uint64_t size;
   Status s = GetVarint(&size);
@@ -108,6 +118,13 @@ Status ByteReader::GetString(std::string* out) {
 Status ByteReader::GetRaw(void* out, size_t size) {
   if (remaining() < size) return Status::Corruption("truncated raw bytes");
   std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+  return Status::Ok();
+}
+
+Status ByteReader::GetRawView(size_t size, std::span<const uint8_t>* out) {
+  if (remaining() < size) return Status::Corruption("truncated raw bytes");
+  *out = std::span<const uint8_t>(data_ + pos_, size);
   pos_ += size;
   return Status::Ok();
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,8 @@ class ByteReader {
       : data_(data), size_(size), pos_(0) {}
   explicit ByteReader(const std::vector<uint8_t>& bytes)
       : ByteReader(bytes.data(), bytes.size()) {}
+  explicit ByteReader(std::span<const uint8_t> bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
 
   ByteReader(const ByteReader&) = default;
   ByteReader& operator=(const ByteReader&) = default;
@@ -82,9 +85,17 @@ class ByteReader {
   Status GetVarint(uint64_t* out);
   /// Reads a length-prefixed byte string written by PutBytes.
   Status GetBytes(std::vector<uint8_t>* out);
+  /// Zero-copy variant of GetBytes: `out` borrows the underlying buffer
+  /// (valid only while it lives) instead of copying into a fresh vector.
+  /// This is how nested envelopes (checkpoints, arenas) are walked without
+  /// materializing each one.
+  Status GetBytesView(std::span<const uint8_t>* out);
   Status GetString(std::string* out);
   /// Reads exactly `size` raw bytes.
   Status GetRaw(void* out, size_t size);
+  /// Zero-copy variant of GetRaw: borrows `size` bytes of the underlying
+  /// buffer without copying.
+  Status GetRawView(size_t size, std::span<const uint8_t>* out);
 
   /// Bytes not yet consumed.
   size_t remaining() const { return size_ - pos_; }

@@ -31,9 +31,30 @@ Status AnySketch::Merge(const AnySketch& other) {
   return impl_->MergeFrom(*other.impl_);
 }
 
+Status AnySketch::MergeFromView(const SketchView& view) {
+  if (!has_value()) {
+    return Status::InvalidArgument("merge into an empty AnySketch");
+  }
+  if (!view.has_value()) {
+    return Status::InvalidArgument("merge from an empty sketch view");
+  }
+  if (type_ != view.type()) {
+    return Status::InvalidArgument(
+        std::string("cannot merge sketch type ") + view.type_name() +
+        " into " + type_name());
+  }
+  EnsureUnique();
+  return impl_->MergeFromView(view);
+}
+
 std::vector<uint8_t> AnySketch::Serialize() const {
   if (!has_value()) return {};
   return impl_->Serialize();
+}
+
+void AnySketch::SerializeTo(ByteSink& sink) const {
+  if (!has_value()) return;
+  impl_->SerializeTo(sink);
 }
 
 std::string AnySketch::EstimateSummary() const {
@@ -73,7 +94,7 @@ const SketchRegistry::Entry* SketchRegistry::FindByName(
 }
 
 Result<AnySketch> SketchRegistry::Deserialize(
-    const std::vector<uint8_t>& bytes) const {
+    std::span<const uint8_t> bytes) const {
   Result<SketchTypeId> type = PeekSketchType(bytes);
   if (!type.ok()) return type.status();
   const Entry* entry = Find(type.value());
@@ -83,6 +104,21 @@ Result<AnySketch> SketchRegistry::Deserialize(
         SketchTypeName(type.value()));
   }
   return entry->deserialize(bytes);
+}
+
+Result<AnySketchView> SketchRegistry::Wrap(ByteSpan bytes) const {
+  Result<SketchView> view = SketchView::Wrap(bytes);
+  if (!view.ok()) return view.status();
+  const Entry* entry = Find(view.value().type());
+  if (entry == nullptr) {
+    return Status::Corruption(
+        std::string("no deserializer registered for sketch type ") +
+        SketchTypeName(view.value().type()));
+  }
+  AnySketchView any;
+  any.view_ = view.value();
+  any.entry_ = entry;
+  return any;
 }
 
 std::vector<SketchTypeId> SketchRegistry::RegisteredTypes() const {

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/io.h"
 #include "core/summary.h"
+#include "core/view.h"
 #include "core/wire.h"
 
 /// \file
@@ -90,8 +92,19 @@ class AnySketch {
   /// without a Merge (e.g. Greenwald-Khanna) are kUnimplemented.
   Status Merge(const AnySketch& other);
 
+  /// Merges a wrapped serialized peer without materializing it when the
+  /// concrete type supports MergeFromView, falling back to
+  /// deserialize-then-merge otherwise. Type-tag mismatches are
+  /// kInvalidArgument, same as Merge.
+  Status MergeFromView(const SketchView& view);
+
   /// Serializes to the standard wire envelope (empty vector if empty).
   std::vector<uint8_t> Serialize() const;
+
+  /// Appends the wire envelope into a caller-owned buffer. Byte-identical
+  /// to Serialize(); appends nothing for an empty handle. Uses the concrete
+  /// type's allocation-free SerializeTo when it has one.
+  void SerializeTo(ByteSink& sink) const;
 
   /// One-line human-readable summary of the sketch's current estimate.
   std::string EstimateSummary() const;
@@ -110,7 +123,9 @@ class AnySketch {
     virtual Status Update(uint64_t item) = 0;
     virtual Status UpdateBatch(std::span<const uint64_t> items) = 0;
     virtual Status MergeFrom(const Concept& other) = 0;
+    virtual Status MergeFromView(const SketchView& view) = 0;
     virtual std::vector<uint8_t> Serialize() const = 0;
+    virtual void SerializeTo(ByteSink& sink) const = 0;
     virtual std::string EstimateSummary() const = 0;
     virtual std::shared_ptr<Concept> Clone() const = 0;
     virtual const void* Raw(const void* type_key) const = 0;
@@ -179,8 +194,35 @@ class AnySketch {
       }
     }
 
+    Status MergeFromView(const SketchView& view) override {
+      if constexpr (ViewMergeableSummary<S>) {
+        // Zero-copy path: downcast the validated view and merge straight
+        // out of the wrapped buffer.
+        Result<View<S>> typed = View<S>::FromSketchView(view);
+        if (!typed.ok()) return typed.status();
+        return sketch.MergeFromView(typed.value());
+      } else if constexpr (MergeableSummary<S>) {
+        // Fallback for types without a view merge: materialize once, then
+        // the ordinary merge. Still saves the caller the envelope copy.
+        Result<S> other = S::Deserialize(view.envelope());
+        if (!other.ok()) return other.status();
+        return sketch.Merge(other.value());
+      } else {
+        return Status::Unimplemented("sketch type has no merge operation");
+      }
+    }
+
     std::vector<uint8_t> Serialize() const override {
       return sketch.Serialize();
+    }
+
+    void SerializeTo(ByteSink& sink) const override {
+      if constexpr (SinkSerializableSummary<S>) {
+        sketch.SerializeTo(sink);
+      } else {
+        const std::vector<uint8_t> bytes = sketch.Serialize();
+        sink.PutRaw(bytes.data(), bytes.size());
+      }
     }
 
     std::string EstimateSummary() const override { return estimate(sketch); }
@@ -206,14 +248,17 @@ class AnySketch {
   std::shared_ptr<Concept> impl_;
 };
 
+class AnySketchView;
+
 /// Maps wire-format type ids to deserialization thunks. Thread-safe.
 class SketchRegistry {
  public:
   struct Entry {
     /// Stable lowercase name, matching SketchTypeName.
     std::string name;
-    /// Parses a full envelope (header included) of this type.
-    std::function<Result<AnySketch>(const std::vector<uint8_t>&)> deserialize;
+    /// Parses a full envelope (header included) of this type. Takes a
+    /// borrowed span so registry consumers never copy bytes to dispatch.
+    std::function<Result<AnySketch>(ByteSpan)> deserialize;
     /// Constructs an empty sketch with library-default parameters, for
     /// consumers that build sketches by name (CLI, tests). May be null.
     std::function<AnySketch()> make_default;
@@ -232,7 +277,14 @@ class SketchRegistry {
   /// Validates the envelope, reads its type tag, and dispatches to the
   /// registered deserializer. An id that passes envelope validation but
   /// was never registered is kCorruption (bytes we cannot interpret).
-  Result<AnySketch> Deserialize(const std::vector<uint8_t>& bytes) const;
+  Result<AnySketch> Deserialize(std::span<const uint8_t> bytes) const;
+
+  /// Validates the envelope and wraps it as a type-erased view WITHOUT
+  /// materializing the sketch — the dispatch-by-tag analogue of
+  /// SketchView::Wrap. Same borrowing rules: the returned view is valid
+  /// only while `bytes` outlives it. An unregistered (but valid) type id
+  /// is kCorruption, matching Deserialize.
+  Result<AnySketchView> Wrap(ByteSpan bytes) const;
 
   /// Finds a registered type by its stable name; nullptr if absent.
   const Entry* FindByName(const std::string& name) const;
@@ -245,6 +297,48 @@ class SketchRegistry {
   std::map<SketchTypeId, Entry> entries_;
 };
 
+/// Type-erased analogue of View<S>: a validated, non-owning wrap of one
+/// serialized envelope plus the registry entry its type tag resolved to.
+/// Metadata (type, version, payload size) reads straight off the wrapped
+/// buffer; Materialize() is the one operation that allocates. Borrows the
+/// wrapped bytes — same lifetime rules as SketchView.
+class AnySketchView {
+ public:
+  AnySketchView() = default;
+
+  bool has_value() const { return entry_ != nullptr; }
+  SketchTypeId type() const { return view_.type(); }
+  const char* type_name() const { return view_.type_name(); }
+  uint8_t version() const { return view_.version(); }
+  size_t payload_size() const { return view_.payload_size(); }
+  ByteSpan envelope() const { return view_.envelope(); }
+
+  /// The untyped view, e.g. for AnySketch::MergeFromView.
+  const SketchView& sketch_view() const { return view_; }
+
+  /// Builds a heap sketch from the wrapped bytes via the registered
+  /// deserializer — the deliberate escape hatch out of the zero-copy path.
+  Result<AnySketch> Materialize() const {
+    if (!has_value()) {
+      return Status::FailedPrecondition("materialize on an empty view");
+    }
+    return entry_->deserialize(view_.envelope());
+  }
+
+  /// One-line human-readable estimate, rendered by materializing a
+  /// temporary (views are read-only wraps; estimates need the sketch).
+  Result<std::string> EstimateSummary() const {
+    Result<AnySketch> sketch = Materialize();
+    if (!sketch.ok()) return sketch.status();
+    return sketch.value().EstimateSummary();
+  }
+
+ private:
+  friend class SketchRegistry;
+  SketchView view_;
+  const SketchRegistry::Entry* entry_ = nullptr;
+};
+
 /// Registers a concrete sketch type: its envelope deserializer, a
 /// default-parameter factory, and an estimate renderer.
 template <typename S>
@@ -254,7 +348,7 @@ Status RegisterSketchType(SketchRegistry& registry, SketchTypeId id,
   SketchRegistry::Entry entry;
   entry.name = SketchTypeName(id);
   entry.deserialize =
-      [id, estimate](const std::vector<uint8_t>& bytes) -> Result<AnySketch> {
+      [id, estimate](std::span<const uint8_t> bytes) -> Result<AnySketch> {
     Result<S> parsed = S::Deserialize(bytes);
     if (!parsed.ok()) return parsed.status();
     return AnySketch::Make<S>(id, estimate, std::move(parsed).value());

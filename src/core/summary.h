@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/io.h"
+#include "core/view.h"
 
 /// \file
 /// Compile-time contracts for summaries, following the "Mergeable
@@ -78,12 +80,34 @@ concept BatchInsertableSummary =
       { s.InsertBatch(keys) };
     };
 
-/// A summary that serializes to bytes and back.
+/// A summary that serializes to bytes and back. Deserialize takes a
+/// borrowed span, so callers holding mmap'd or ring-buffer bytes never
+/// copy into a vector first.
 template <typename S>
-concept SerializableSummary = requires(const S& s,
-                                       const std::vector<uint8_t>& bytes) {
+concept SerializableSummary = requires(const S& s, ByteSpan bytes) {
   { s.Serialize() } -> std::same_as<std::vector<uint8_t>>;
   { S::Deserialize(bytes) } -> std::same_as<Result<S>>;
+};
+
+/// A summary that can append its wire envelope into a caller-owned buffer
+/// (an arena, a checkpoint body) with no intermediate allocation. The
+/// contract is strict: the appended bytes must equal Serialize()'s output
+/// exactly, so the two forms are interchangeable on the wire.
+template <typename S>
+concept SinkSerializableSummary = requires(const S& s, ByteSink& sink) {
+  { s.SerializeTo(sink) };
+};
+
+/// A summary that can absorb a *wrapped* serialized peer without
+/// materializing it — the zero-copy half of the distributed-merge model.
+/// The contract (pinned by tests/view_test.cc) is strict: after
+/// `a.MergeFromView(v)`, `a.Serialize()` must be byte-identical to the
+/// deserialize-then-merge path `a.Merge(*v.Materialize())` from the same
+/// starting state, and malformed or incompatible views must yield Status
+/// errors, never UB.
+template <typename S>
+concept ViewMergeableSummary = requires(S s, const View<S>& view) {
+  { s.MergeFromView(view) } -> std::same_as<Status>;
 };
 
 }  // namespace gems

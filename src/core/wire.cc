@@ -72,24 +72,38 @@ const char* SketchTypeName(SketchTypeId id) {
 
 std::vector<uint8_t> WrapEnvelope(SketchTypeId type,
                                   std::vector<uint8_t> payload) {
-  ByteWriter w;
-  w.PutU32(kWireMagic);
-  w.PutU16(static_cast<uint16_t>(type));
-  w.PutU8(kWireVersion);
-  w.PutU8(0);  // Flags: reserved, zero in version 1.
-  w.PutU32(static_cast<uint32_t>(payload.size()));
-  std::vector<uint8_t> out = std::move(w).TakeBytes();
-  const uint64_t checksum =
-      EnvelopeChecksum(out.data(), payload.data(), payload.size());
+  std::vector<uint8_t> out;
   out.reserve(kWireHeaderSize + payload.size());
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<uint8_t>(checksum >> (8 * i)));
-  }
-  out.insert(out.end(), payload.begin(), payload.end());
+  ByteSink sink(&out);
+  EnvelopeBuilder env(sink, type);
+  sink.PutRaw(payload.data(), payload.size());
+  env.Finish();
   return out;
 }
 
-Result<EnvelopeView> ParseEnvelope(const uint8_t* data, size_t size) {
+EnvelopeBuilder::EnvelopeBuilder(ByteSink& sink, SketchTypeId type)
+    : sink_(sink), start_(sink.size()) {
+  sink_.PutU32(kWireMagic);
+  sink_.PutU16(static_cast<uint16_t>(type));
+  sink_.PutU8(kWireVersion);
+  sink_.PutU8(0);  // Flags: reserved, zero in version 1.
+  sink_.PutU32(0);  // Payload length, backfilled by Finish().
+  sink_.PutU64(0);  // Checksum, backfilled by Finish().
+}
+
+void EnvelopeBuilder::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  const size_t payload_size = sink_.size() - start_ - kWireHeaderSize;
+  sink_.PatchU32(start_ + 8, static_cast<uint32_t>(payload_size));
+  const ByteSpan header12 = sink_.Slice(start_, 12);
+  const ByteSpan payload = sink_.Slice(start_ + kWireHeaderSize, payload_size);
+  sink_.PatchU64(start_ + 12, EnvelopeChecksum(header12.data(), payload.data(),
+                                               payload.size()));
+}
+
+Result<EnvelopeView> ParseEnvelope(const uint8_t* data, size_t size,
+                                   EnvelopeVerify verify) {
   if (data == nullptr || size < kWireHeaderSize) {
     return Status::Corruption("sketch envelope truncated: header incomplete");
   }
@@ -122,21 +136,22 @@ Result<EnvelopeView> ParseEnvelope(const uint8_t* data, size_t size) {
     return Status::Corruption("sketch envelope: trailing bytes after payload");
   }
   view.payload = data + kWireHeaderSize;
-  const uint64_t expected = LoadU64(data + 12);
-  const uint64_t actual =
-      EnvelopeChecksum(data, view.payload, view.payload_size);
-  if (expected != actual) {
-    return Status::Corruption("sketch envelope: checksum mismatch");
+  if (verify == EnvelopeVerify::kFull) {
+    const uint64_t expected = LoadU64(data + 12);
+    const uint64_t actual =
+        EnvelopeChecksum(data, view.payload, view.payload_size);
+    if (expected != actual) {
+      return Status::Corruption("sketch envelope: checksum mismatch");
+    }
   }
   return view;
 }
 
-Result<EnvelopeView> ParseEnvelope(const std::vector<uint8_t>& bytes) {
-  return ParseEnvelope(bytes.data(), bytes.size());
+Result<EnvelopeView> ParseEnvelope(ByteSpan bytes, EnvelopeVerify verify) {
+  return ParseEnvelope(bytes.data(), bytes.size(), verify);
 }
 
-Result<ByteReader> OpenEnvelope(SketchTypeId expected,
-                                const std::vector<uint8_t>& bytes) {
+Result<ByteReader> OpenEnvelope(SketchTypeId expected, ByteSpan bytes) {
   Result<EnvelopeView> view = ParseEnvelope(bytes);
   if (!view.ok()) return view.status();
   if (view.value().type != expected) {
@@ -148,7 +163,7 @@ Result<ByteReader> OpenEnvelope(SketchTypeId expected,
   return ByteReader(view.value().payload, view.value().payload_size);
 }
 
-Result<SketchTypeId> PeekSketchType(const std::vector<uint8_t>& bytes) {
+Result<SketchTypeId> PeekSketchType(ByteSpan bytes) {
   Result<EnvelopeView> view = ParseEnvelope(bytes);
   if (!view.ok()) return view.status();
   return view.value().type;

@@ -6,6 +6,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "core/io.h"
 
 /// \file
 /// The unified versioned wire format shared by every serializable sketch.
@@ -80,10 +81,45 @@ bool IsKnownSketchTypeId(uint16_t raw);
 /// "unknown" for ids this build does not know.
 const char* SketchTypeName(SketchTypeId id);
 
-/// Wraps a sketch payload in the standard envelope. This is the only way
-/// bytes destined for storage or the network should be produced.
+/// Wraps a sketch payload in the standard envelope. Convenience owning
+/// form of EnvelopeBuilder below; both produce byte-identical envelopes.
 std::vector<uint8_t> WrapEnvelope(SketchTypeId type,
                                   std::vector<uint8_t> payload);
+
+/// Writes an envelope straight into a caller-owned buffer with no
+/// intermediate payload copy: construct (writes the 20-byte header with
+/// length and checksum still blank), append the payload through sink(),
+/// then Finish() backfills both. The result is byte-identical to
+/// WrapEnvelope over the same payload.
+///
+///   ByteSink sink(&arena);
+///   EnvelopeBuilder env(sink, SketchTypeId::kHyperLogLog);
+///   sink.PutU8(precision); ...           // payload
+///   env.Finish();
+///
+/// Exactly one envelope may be under construction in a sink at a time.
+class EnvelopeBuilder {
+ public:
+  EnvelopeBuilder(ByteSink& sink, SketchTypeId type);
+  EnvelopeBuilder(const EnvelopeBuilder&) = delete;
+  EnvelopeBuilder& operator=(const EnvelopeBuilder&) = delete;
+  ~EnvelopeBuilder() { Finish(); }
+
+  ByteSink& sink() { return sink_; }
+
+  /// Backfills payload length and checksum. Idempotent; called by the
+  /// destructor if not called explicitly.
+  void Finish();
+
+  /// Offset of the envelope's first byte in the sink's buffer, so callers
+  /// can slice the finished envelope back out of an arena.
+  size_t start_offset() const { return start_; }
+
+ private:
+  ByteSink& sink_;
+  size_t start_;
+  bool finished_ = false;
+};
 
 /// Parsed-and-validated view into an envelope. `payload` points into the
 /// buffer handed to ParseEnvelope and is valid only while it lives.
@@ -95,23 +131,44 @@ struct EnvelopeView {
   uint32_t payload_size = 0;
 };
 
-/// Validates magic, type id, version, flags, length, and checksum. The
-/// envelope must occupy exactly [data, data + size); shorter input is
-/// truncation and longer input is trailing garbage, both kCorruption.
-Result<EnvelopeView> ParseEnvelope(const uint8_t* data, size_t size);
-Result<EnvelopeView> ParseEnvelope(const std::vector<uint8_t>& bytes);
+/// How much of an envelope ParseEnvelope checks.
+///
+/// kFull is the default everywhere: every header field plus the XXH64
+/// payload checksum. kStructural performs every check EXCEPT the checksum
+/// comparison — magic, type id, version, flags, and the length bounds that
+/// make payload access memory-safe are all still enforced. It exists for
+/// same-process fan-in (combiner trees, shard merges) where the bytes were
+/// produced moments ago by this process and never crossed a failure
+/// domain: there the checksum pass is pure overhead, and on flat sketches
+/// it dominates the whole wrap-and-merge cost. Bytes that arrived from
+/// disk or the network should always get kFull.
+enum class EnvelopeVerify : uint8_t {
+  kFull,
+  kStructural,
+};
+
+/// Validates magic, type id, version, flags, length, and (under kFull)
+/// checksum. The envelope must occupy exactly [data, data + size); shorter
+/// input is truncation and longer input is trailing garbage, both
+/// kCorruption. Accepts any borrowed byte source (vector, mmap,
+/// ring-buffer slice) via ByteSpan without copying.
+Result<EnvelopeView> ParseEnvelope(const uint8_t* data, size_t size,
+                                   EnvelopeVerify verify =
+                                       EnvelopeVerify::kFull);
+Result<EnvelopeView> ParseEnvelope(ByteSpan bytes,
+                                   EnvelopeVerify verify =
+                                       EnvelopeVerify::kFull);
 
 /// Validates the envelope, additionally requires its type tag to equal
 /// `expected` (kCorruption otherwise — the cross-type confusion case), and
 /// returns a reader positioned at the start of the payload. The reader
 /// borrows `bytes`, which must outlive it.
-Result<ByteReader> OpenEnvelope(SketchTypeId expected,
-                                const std::vector<uint8_t>& bytes);
+Result<ByteReader> OpenEnvelope(SketchTypeId expected, ByteSpan bytes);
 
 /// Reads just the type tag of a serialized sketch after full envelope
 /// validation — how type-agnostic consumers (registry, CLI `merge`)
 /// dispatch without being told the type.
-Result<SketchTypeId> PeekSketchType(const std::vector<uint8_t>& bytes);
+Result<SketchTypeId> PeekSketchType(ByteSpan bytes);
 
 }  // namespace gems
 

@@ -160,6 +160,24 @@ class ShardedPipeline {
                                  &pool_);
   }
 
+  /// Finish() variant that serializes the merged root straight into a
+  /// caller-owned arena (appending, never clearing) and returns the span
+  /// of the root's envelope within it — the shape a combiner that ships
+  /// its output over the wire wants, with no per-result allocation beyond
+  /// the arena's own growth. Requires a sink-serializable summary. May be
+  /// called once, instead of Finish().
+  Result<ByteSpan> FinishInto(std::vector<uint8_t>* arena)
+    requires SinkSerializableSummary<S>
+  {
+    GEMS_CHECK(arena != nullptr);
+    Result<S> root = Finish();
+    if (!root.ok()) return root.status();
+    ByteSink sink(arena);
+    const size_t start = sink.size();
+    root.value().SerializeTo(sink);
+    return sink.Slice(start, sink.size() - start);
+  }
+
  private:
   /// A borrowed span in ring-slot form (trivially copyable).
   struct Chunk {

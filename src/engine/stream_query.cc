@@ -31,11 +31,13 @@ constexpr uint8_t kHasTop = 2;
 constexpr uint8_t kHasQuantiles = 4;
 
 /// Restores one sketch envelope through the registry, downcasting to the
-/// concrete type the engine expects for this aggregate.
+/// concrete type the engine expects for this aggregate. The envelope is
+/// parsed in place (a borrowed view of the checkpoint body), so restore
+/// never copies sketch bytes into an intermediate buffer.
 template <typename S>
 Status RestoreSketch(ByteReader* reader, std::optional<S>* out) {
-  std::vector<uint8_t> envelope;
-  if (Status s = reader->GetBytes(&envelope); !s.ok()) return s;
+  std::span<const uint8_t> envelope;
+  if (Status s = reader->GetBytesView(&envelope); !s.ok()) return s;
   Result<AnySketch> any = SketchRegistry::Global().Deserialize(envelope);
   if (!any.ok()) return any.status();
   const S* sketch = any.value().template As<S>();
@@ -371,7 +373,7 @@ std::vector<uint8_t> StreamQuery::SerializeState() const {
   return body;
 }
 
-Status StreamQuery::RestoreState(const std::vector<uint8_t>& bytes) {
+Status StreamQuery::RestoreState(std::span<const uint8_t> bytes) {
   RegisterBuiltinSketches();
   if (bytes.size() < 8) {
     return Status::Corruption("stream query checkpoint: too short");

@@ -136,7 +136,7 @@ class StreamQuery {
   /// must have been constructed with the same Options and seed (mismatches
   /// are kInvalidArgument); malformed bytes are kCorruption and leave the
   /// query untouched. Existing dynamic state is replaced on success.
-  Status RestoreState(const std::vector<uint8_t>& bytes);
+  Status RestoreState(std::span<const uint8_t> bytes);
 
   const Options& options() const { return options_; }
 

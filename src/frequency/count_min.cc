@@ -205,20 +205,64 @@ Status CountMinSketch::Merge(const CountMinSketch& other) {
   return Status::Ok();
 }
 
+Status CountMinSketch::MergeFromView(const View<CountMinSketch>& view) {
+  // Deserialize's validation order, then Merge's compatibility check, then
+  // the counter sum streamed off the wrapped varint payload. The varints
+  // are walked twice — once to validate, once to add — so a truncated
+  // payload fails with Deserialize's read error before any counter moves.
+  ByteReader r = view.PayloadReader();
+  uint32_t width, depth;
+  uint64_t seed;
+  uint8_t conservative;
+  int64_t total;
+  if (Status sw = r.GetU32(&width); !sw.ok()) return sw;
+  if (Status sd = r.GetU32(&depth); !sd.ok()) return sd;
+  if (Status ss = r.GetU64(&seed); !ss.ok()) return ss;
+  if (Status sc = r.GetU8(&conservative); !sc.ok()) return sc;
+  if (Status st = r.GetI64(&total); !st.ok()) return st;
+  if (width == 0 || depth == 0 ||
+      static_cast<uint64_t>(width) * depth > (uint64_t{1} << 32)) {
+    return Status::Corruption("invalid CountMin shape");
+  }
+  ByteReader counters = r;  // Rewind point for the add pass.
+  const uint64_t n = static_cast<uint64_t>(width) * depth;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t counter;
+    if (Status sv = r.GetVarint(&counter); !sv.ok()) return sv;
+  }
+  if (width != width_ || depth != depth_ || seed != seed_) {
+    return Status::InvalidArgument(
+        "CountMin merge requires identical shape and seed");
+  }
+  for (uint64_t& ours : counters_) {
+    uint64_t counter;
+    if (Status sv = counters.GetVarint(&counter); !sv.ok()) return sv;
+    ours += counter;
+  }
+  total_ += total;
+  return Status::Ok();
+}
+
 std::vector<uint8_t> CountMinSketch::Serialize() const {
-  ByteWriter w;
-  w.PutU32(width_);
-  w.PutU32(depth_);
-  w.PutU64(seed_);
-  w.PutU8(conservative_ ? 1 : 0);
-  w.PutI64(total_);
-  for (uint64_t counter : counters_) w.PutVarint(counter);
-  return WrapEnvelope(SketchTypeId::kCountMin,
-                      std::move(w).TakeBytes());
+  std::vector<uint8_t> out;
+  out.reserve(kWireHeaderSize + 25 + counters_.size());
+  ByteSink sink(&out);
+  SerializeTo(sink);
+  return out;
+}
+
+void CountMinSketch::SerializeTo(ByteSink& sink) const {
+  EnvelopeBuilder env(sink, kTypeId);
+  sink.PutU32(width_);
+  sink.PutU32(depth_);
+  sink.PutU64(seed_);
+  sink.PutU8(conservative_ ? 1 : 0);
+  sink.PutI64(total_);
+  for (uint64_t counter : counters_) sink.PutVarint(counter);
 }
 
 Result<CountMinSketch> CountMinSketch::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kCountMin, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

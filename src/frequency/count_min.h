@@ -8,6 +8,8 @@
 
 #include "common/status.h"
 #include "core/estimate.h"
+#include "core/io.h"
+#include "core/view.h"
 
 /// \file
 /// Count-Min sketch (Cormode & Muthukrishnan 2005). The paper presents it
@@ -23,6 +25,9 @@ namespace gems {
 /// Count-Min sketch over non-negative weighted updates.
 class CountMinSketch {
  public:
+  /// Wire-format type tag, for View<CountMinSketch> wrapping.
+  static constexpr SketchTypeId kTypeId = SketchTypeId::kCountMin;
+
   /// `width` counters per row, `depth` independent rows.
   /// With `conservative_update` enabled, Update raises each touched counter
   /// only to (current estimate + weight) — never above — which provably
@@ -93,6 +98,11 @@ class CountMinSketch {
   /// Counter-wise sum; requires identical shape and seed.
   Status Merge(const CountMinSketch& other);
 
+  /// Counter-wise sum streamed straight off a wrapped serialized peer —
+  /// no materialization. Byte-identical result to
+  /// Merge(*view.Materialize()).
+  Status MergeFromView(const View<CountMinSketch>& view);
+
   uint32_t width() const { return width_; }
   uint32_t depth() const { return depth_; }
   uint64_t seed() const { return seed_; }
@@ -108,8 +118,11 @@ class CountMinSketch {
   }
 
   std::vector<uint8_t> Serialize() const;
+  /// Appends the wire envelope into a caller-owned buffer; byte-identical
+  /// to Serialize().
+  void SerializeTo(ByteSink& sink) const;
   static Result<CountMinSketch> Deserialize(
-      const std::vector<uint8_t>& bytes);
+      std::span<const uint8_t> bytes);
 
  private:
   uint64_t Bucket(uint32_t row, uint64_t item) const;

@@ -142,18 +142,58 @@ Status CountSketch::Merge(const CountSketch& other) {
   return Status::Ok();
 }
 
+Status CountSketch::MergeFromView(const View<CountSketch>& view) {
+  // Deserialize's validation order, then Merge's compatibility check, then
+  // the counter sum streamed off the wrapped payload. The whole counter
+  // array is claimed up front, so a truncated payload fails with
+  // Deserialize's read error before any counter moves.
+  ByteReader r = view.PayloadReader();
+  uint32_t width, depth;
+  uint64_t seed;
+  if (Status sw = r.GetU32(&width); !sw.ok()) return sw;
+  if (Status sd = r.GetU32(&depth); !sd.ok()) return sd;
+  if (Status ss = r.GetU64(&seed); !ss.ok()) return ss;
+  if (width == 0 || depth == 0 ||
+      static_cast<uint64_t>(width) * depth > (uint64_t{1} << 32)) {
+    return Status::Corruption("invalid CountSketch shape");
+  }
+  std::span<const uint8_t> raw;
+  if (Status sv =
+          r.GetRawView(static_cast<size_t>(width) * depth * 8, &raw);
+      !sv.ok()) {
+    return sv;
+  }
+  if (width != width_ || depth != depth_ || seed != seed_) {
+    return Status::InvalidArgument(
+        "CountSketch merge requires identical shape and seed");
+  }
+  ByteReader counters(raw);
+  for (int64_t& ours : counters_) {
+    int64_t counter;
+    if (Status sv = counters.GetI64(&counter); !sv.ok()) return sv;
+    ours += counter;
+  }
+  return Status::Ok();
+}
+
 std::vector<uint8_t> CountSketch::Serialize() const {
-  ByteWriter w;
-  w.PutU32(width_);
-  w.PutU32(depth_);
-  w.PutU64(seed_);
-  for (int64_t counter : counters_) w.PutI64(counter);
-  return WrapEnvelope(SketchTypeId::kCountSketch,
-                      std::move(w).TakeBytes());
+  std::vector<uint8_t> out;
+  out.reserve(kWireHeaderSize + 16 + counters_.size() * 8);
+  ByteSink sink(&out);
+  SerializeTo(sink);
+  return out;
+}
+
+void CountSketch::SerializeTo(ByteSink& sink) const {
+  EnvelopeBuilder env(sink, kTypeId);
+  sink.PutU32(width_);
+  sink.PutU32(depth_);
+  sink.PutU64(seed_);
+  for (int64_t counter : counters_) sink.PutI64(counter);
 }
 
 Result<CountSketch> CountSketch::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kCountSketch, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

@@ -7,6 +7,8 @@
 
 #include "common/status.h"
 #include "core/estimate.h"
+#include "core/io.h"
+#include "core/view.h"
 #include "hash/polynomial.h"
 
 /// \file
@@ -25,6 +27,9 @@ namespace gems {
 /// Count sketch over signed weighted updates.
 class CountSketch {
  public:
+  /// Wire-format type tag, for View<CountSketch> wrapping.
+  static constexpr SketchTypeId kTypeId = SketchTypeId::kCountSketch;
+
   CountSketch(uint32_t width, uint32_t depth, uint64_t seed = 0);
 
   CountSketch(const CountSketch&) = default;
@@ -69,12 +74,20 @@ class CountSketch {
   /// Counter-wise sum; requires identical shape and seed.
   Status Merge(const CountSketch& other);
 
+  /// Counter-wise sum streamed straight off a wrapped serialized peer —
+  /// no materialization. Byte-identical result to
+  /// Merge(*view.Materialize()).
+  Status MergeFromView(const View<CountSketch>& view);
+
   uint32_t width() const { return width_; }
   uint32_t depth() const { return depth_; }
   size_t MemoryBytes() const { return counters_.size() * sizeof(int64_t); }
 
   std::vector<uint8_t> Serialize() const;
-  static Result<CountSketch> Deserialize(const std::vector<uint8_t>& bytes);
+  /// Appends the wire envelope into a caller-owned buffer; byte-identical
+  /// to Serialize().
+  void SerializeTo(ByteSink& sink) const;
+  static Result<CountSketch> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   uint64_t Bucket(uint32_t row, uint64_t item) const;

@@ -134,7 +134,7 @@ std::vector<uint8_t> MisraGries::Serialize() const {
 }
 
 Result<MisraGries> MisraGries::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kMisraGries, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

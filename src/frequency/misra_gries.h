@@ -2,6 +2,7 @@
 #define GEMS_FREQUENCY_MISRA_GRIES_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -63,7 +64,7 @@ class MisraGries {
   size_t NumTracked() const { return counters_.size(); }
 
   std::vector<uint8_t> Serialize() const;
-  static Result<MisraGries> Deserialize(const std::vector<uint8_t>& bytes);
+  static Result<MisraGries> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   size_t num_counters_;

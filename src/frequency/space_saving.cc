@@ -184,23 +184,34 @@ Status SpaceSaving::Merge(const SpaceSaving& other) {
   return Status::Ok();
 }
 
+Status SpaceSaving::MergeFromView(const View<SpaceSaving>& view) {
+  Result<SpaceSaving> other = view.Materialize();
+  if (!other.ok()) return other.status();
+  return Merge(other.value());
+}
+
 std::vector<uint8_t> SpaceSaving::Serialize() const {
-  ByteWriter w;
-  w.PutVarint(capacity_);
-  w.PutI64(total_);
-  w.PutVarint(items_.size());
+  std::vector<uint8_t> out;
+  ByteSink sink(&out);
+  SerializeTo(sink);
+  return out;
+}
+
+void SpaceSaving::SerializeTo(ByteSink& sink) const {
+  EnvelopeBuilder env(sink, kTypeId);
+  sink.PutVarint(capacity_);
+  sink.PutI64(total_);
+  sink.PutVarint(items_.size());
   // Canonical (entry) order so identical summaries serialize identically.
   for (const Entry& entry : Entries()) {
-    w.PutU64(entry.item);
-    w.PutI64(entry.count);
-    w.PutI64(entry.error);
+    sink.PutU64(entry.item);
+    sink.PutI64(entry.count);
+    sink.PutI64(entry.error);
   }
-  return WrapEnvelope(SketchTypeId::kSpaceSaving,
-                      std::move(w).TakeBytes());
 }
 
 Result<SpaceSaving> SpaceSaving::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kSpaceSaving, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

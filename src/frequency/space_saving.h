@@ -9,6 +9,8 @@
 
 #include "common/status.h"
 #include "core/estimate.h"
+#include "core/io.h"
+#include "core/view.h"
 
 /// \file
 /// SpaceSaving (Metwally, Agrawal & El Abbadi 2005): the "stream-summary"
@@ -24,6 +26,9 @@ namespace gems {
 /// SpaceSaving summary tracking `capacity` items.
 class SpaceSaving {
  public:
+  /// Wire-format type tag, for View<SpaceSaving> wrapping.
+  static constexpr SketchTypeId kTypeId = SketchTypeId::kSpaceSaving;
+
   explicit SpaceSaving(size_t capacity);
 
   /// Advisor-driven constructor: capacity ceil(1/phi) so every item with
@@ -91,13 +96,22 @@ class SpaceSaving {
   /// the truncation folded into the kept items' admissible error).
   Status Merge(const SpaceSaving& other);
 
+  /// Merges a wrapped serialized peer. The merge rebuilds the tracked set
+  /// (combine, sort, truncate), so this materializes one temporary from
+  /// the view (skipping only the caller-side envelope copy) —
+  /// byte-identical to Merge(*view.Materialize()) by construction.
+  Status MergeFromView(const View<SpaceSaving>& view);
+
   int64_t TotalWeight() const { return total_; }
   size_t capacity() const { return capacity_; }
   size_t NumTracked() const { return items_.size(); }
   int64_t MinCount() const;
 
   std::vector<uint8_t> Serialize() const;
-  static Result<SpaceSaving> Deserialize(const std::vector<uint8_t>& bytes);
+  /// Appends the wire envelope into a caller-owned buffer; byte-identical
+  /// to Serialize().
+  void SerializeTo(ByteSink& sink) const;
+  static Result<SpaceSaving> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   struct Counter {

@@ -163,7 +163,7 @@ std::vector<uint8_t> AgmSketch::Serialize() const {
                       std::move(w).TakeBytes());
 }
 
-Result<AgmSketch> AgmSketch::Deserialize(const std::vector<uint8_t>& bytes) {
+Result<AgmSketch> AgmSketch::Deserialize(std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kAgmSketch, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

@@ -2,6 +2,7 @@
 #define GEMS_GRAPH_AGM_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -76,7 +77,7 @@ class AgmSketch {
   /// communication pattern the AGM setting is about. Size is
   /// O(num_vertices * num_copies * sampler size).
   std::vector<uint8_t> Serialize() const;
-  static Result<AgmSketch> Deserialize(const std::vector<uint8_t>& bytes);
+  static Result<AgmSketch> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   void UpdateEdge(uint32_t u, uint32_t v, int64_t weight);

@@ -5,7 +5,9 @@
 namespace gems {
 namespace {
 
-using murmur3_detail::FMix64;
+using murmur3_detail::Finalize;
+using murmur3_detail::MixK1;
+using murmur3_detail::MixK2;
 using murmur3_detail::RotL;
 
 inline uint64_t ReadU64(const uint8_t* p) {
@@ -22,25 +24,14 @@ Hash128 Murmur3_128(const void* data, size_t len, uint64_t seed) {
 
   uint64_t h1 = seed;
   uint64_t h2 = seed;
-  const uint64_t c1 = 0x87C37B91114253D5ULL;
-  const uint64_t c2 = 0x4CF5AD432745937FULL;
 
   for (size_t i = 0; i < num_blocks; ++i) {
-    uint64_t k1 = ReadU64(p + i * 16);
-    uint64_t k2 = ReadU64(p + i * 16 + 8);
-
-    k1 *= c1;
-    k1 = RotL(k1, 31);
-    k1 *= c2;
-    h1 ^= k1;
+    h1 ^= MixK1(ReadU64(p + i * 16));
     h1 = RotL(h1, 27);
     h1 += h2;
     h1 = h1 * 5 + 0x52DCE729;
 
-    k2 *= c2;
-    k2 = RotL(k2, 33);
-    k2 *= c1;
-    h2 ^= k2;
+    h2 ^= MixK2(ReadU64(p + i * 16 + 8));
     h2 = RotL(h2, 31);
     h2 += h1;
     h2 = h2 * 5 + 0x38495AB5;
@@ -70,10 +61,7 @@ Hash128 Murmur3_128(const void* data, size_t len, uint64_t seed) {
       [[fallthrough]];
     case 9:
       k2 ^= static_cast<uint64_t>(tail[8]);
-      k2 *= c2;
-      k2 = RotL(k2, 33);
-      k2 *= c1;
-      h2 ^= k2;
+      h2 ^= MixK2(k2);
       [[fallthrough]];
     case 8:
       k1 ^= static_cast<uint64_t>(tail[7]) << 56;
@@ -98,24 +86,13 @@ Hash128 Murmur3_128(const void* data, size_t len, uint64_t seed) {
       [[fallthrough]];
     case 1:
       k1 ^= static_cast<uint64_t>(tail[0]);
-      k1 *= c1;
-      k1 = RotL(k1, 31);
-      k1 *= c2;
-      h1 ^= k1;
+      h1 ^= MixK1(k1);
       break;
     case 0:
       break;
   }
 
-  h1 ^= static_cast<uint64_t>(len);
-  h2 ^= static_cast<uint64_t>(len);
-  h1 += h2;
-  h2 += h1;
-  h1 = FMix64(h1);
-  h2 = FMix64(h2);
-  h1 += h2;
-  h2 += h1;
-  return Hash128{h1, h2};
+  return Finalize(h1, h2, static_cast<uint64_t>(len));
 }
 
 }  // namespace gems

@@ -21,7 +21,15 @@ struct Hash128 {
 /// Hashes `len` bytes at `data` with the given seed.
 Hash128 Murmur3_128(const void* data, size_t len, uint64_t seed);
 
+/// The canonical Murmur3 x64-128 kernel, shared verbatim by the generic
+/// byte-stream entry point (murmur3.cc) and the inline 8-byte
+/// specialization below — one definition of the mixing math, so the two
+/// can never drift apart. Digest equality between them is pinned by
+/// tests/hash_test.cc.
 namespace murmur3_detail {
+
+inline constexpr uint64_t kC1 = 0x87C37B91114253D5ULL;
+inline constexpr uint64_t kC2 = 0x4CF5AD432745937FULL;
 
 inline uint64_t RotL(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
 
@@ -34,6 +42,33 @@ inline uint64_t FMix64(uint64_t k) {
   return k;
 }
 
+/// The k1-lane key mix (block loop and 1..8-byte tail both use it).
+inline uint64_t MixK1(uint64_t k1) {
+  k1 *= kC1;
+  k1 = RotL(k1, 31);
+  return k1 * kC2;
+}
+
+/// The k2-lane key mix (block loop and 9..15-byte tail both use it).
+inline uint64_t MixK2(uint64_t k2) {
+  k2 *= kC2;
+  k2 = RotL(k2, 33);
+  return k2 * kC1;
+}
+
+/// Length injection and the final avalanche, common to every input length.
+inline Hash128 Finalize(uint64_t h1, uint64_t h2, uint64_t len) {
+  h1 ^= len;
+  h2 ^= len;
+  h1 += h2;
+  h2 += h1;
+  h1 = FMix64(h1);
+  h2 = FMix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Hash128{h1, h2};
+}
+
 }  // namespace murmur3_detail
 
 /// Murmur3_128 specialized for one 8-byte little-endian key: identical
@@ -42,25 +77,9 @@ inline uint64_t FMix64(uint64_t k) {
 /// kernels use this in their hash pass; with the generic entry point the
 /// call overhead rivals the mixing work for fixed 8-byte keys.
 inline Hash128 Murmur3_128_U64(uint64_t key, uint64_t seed) {
-  constexpr uint64_t c1 = 0x87C37B91114253D5ULL;
-  constexpr uint64_t c2 = 0x4CF5AD432745937FULL;
-  uint64_t h1 = seed;
-  uint64_t h2 = seed;
   // len = 8 takes only the k1 tail branch of the generic implementation.
-  uint64_t k1 = key;
-  k1 *= c1;
-  k1 = murmur3_detail::RotL(k1, 31);
-  k1 *= c2;
-  h1 ^= k1;
-  h1 ^= uint64_t{8};
-  h2 ^= uint64_t{8};
-  h1 += h2;
-  h2 += h1;
-  h1 = murmur3_detail::FMix64(h1);
-  h2 = murmur3_detail::FMix64(h2);
-  h1 += h2;
-  h2 += h1;
-  return Hash128{h1, h2};
+  const uint64_t h1 = seed ^ murmur3_detail::MixK1(key);
+  return murmur3_detail::Finalize(h1, seed, 8);
 }
 
 }  // namespace gems

@@ -94,7 +94,7 @@ std::vector<uint8_t> BlockedBloomFilter::Serialize() const {
 }
 
 Result<BlockedBloomFilter> BlockedBloomFilter::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kBlockedBloomFilter, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

@@ -44,7 +44,7 @@ class BlockedBloomFilter {
 
   std::vector<uint8_t> Serialize() const;
   static Result<BlockedBloomFilter> Deserialize(
-      const std::vector<uint8_t>& bytes);
+      std::span<const uint8_t> bytes);
 
  private:
   static constexpr int kWordsPerBlock = 8;  // 512 bits.

@@ -158,18 +158,55 @@ Status BloomFilter::Merge(const BloomFilter& other) {
   return Status::Ok();
 }
 
+Status BloomFilter::MergeFromView(const View<BloomFilter>& view) {
+  // Deserialize's validation order, then Merge's compatibility check, then
+  // the word OR streamed straight off the wrapped payload.
+  ByteReader r = view.PayloadReader();
+  uint64_t num_bits, seed;
+  uint8_t num_hashes;
+  if (Status sb = r.GetU64(&num_bits); !sb.ok()) return sb;
+  if (Status sh = r.GetU8(&num_hashes); !sh.ok()) return sh;
+  if (Status ss = r.GetU64(&seed); !ss.ok()) return ss;
+  if (num_bits == 0 || num_bits % 64 != 0 || num_bits > (uint64_t{1} << 40) ||
+      num_hashes < 1) {
+    return Status::Corruption("invalid Bloom filter shape");
+  }
+  // Claim the whole word array up front: a payload shorter than the
+  // declared shape surfaces as the read error Deserialize would have
+  // produced, and no partial merge ever touches bits_.
+  std::span<const uint8_t> raw;
+  if (Status sw = r.GetRawView((num_bits / 64) * 8, &raw); !sw.ok()) return sw;
+  if (num_bits != num_bits_ || num_hashes != num_hashes_ || seed != seed_) {
+    return Status::InvalidArgument(
+        "Bloom merge requires identical shape and seed");
+  }
+  ByteReader words(raw);
+  for (uint64_t& ours : bits_) {
+    uint64_t word;
+    if (Status sw = words.GetU64(&word); !sw.ok()) return sw;
+    ours |= word;
+  }
+  return Status::Ok();
+}
+
 std::vector<uint8_t> BloomFilter::Serialize() const {
-  ByteWriter w;
-  w.PutU64(num_bits_);
-  w.PutU8(static_cast<uint8_t>(num_hashes_));
-  w.PutU64(seed_);
-  for (uint64_t word : bits_) w.PutU64(word);
-  return WrapEnvelope(SketchTypeId::kBloomFilter,
-                      std::move(w).TakeBytes());
+  std::vector<uint8_t> out;
+  out.reserve(kWireHeaderSize + 17 + bits_.size() * 8);
+  ByteSink sink(&out);
+  SerializeTo(sink);
+  return out;
+}
+
+void BloomFilter::SerializeTo(ByteSink& sink) const {
+  EnvelopeBuilder env(sink, kTypeId);
+  sink.PutU64(num_bits_);
+  sink.PutU8(static_cast<uint8_t>(num_hashes_));
+  sink.PutU64(seed_);
+  for (uint64_t word : bits_) sink.PutU64(word);
 }
 
 Result<BloomFilter> BloomFilter::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kBloomFilter, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/io.h"
+#include "core/view.h"
 
 /// \file
 /// Bloom filter (Bloom 1970) — per the paper, "perhaps the first example of
@@ -20,6 +22,9 @@ namespace gems {
 /// A standard Bloom filter over 64-bit keys (or byte strings).
 class BloomFilter {
  public:
+  /// Wire-format type tag, for View<BloomFilter> wrapping.
+  static constexpr SketchTypeId kTypeId = SketchTypeId::kBloomFilter;
+
   /// Creates a filter with `num_bits` bits (rounded up to a multiple of 64)
   /// and `num_hashes` probes per item.
   BloomFilter(uint64_t num_bits, int num_hashes, uint64_t seed = 0);
@@ -71,13 +76,20 @@ class BloomFilter {
   /// Bitwise-OR union; requires identical shape and seed.
   Status Merge(const BloomFilter& other);
 
+  /// Bitwise-OR union straight out of a wrapped serialized peer — no
+  /// materialization. Byte-identical result to Merge(*view.Materialize()).
+  Status MergeFromView(const View<BloomFilter>& view);
+
   uint64_t num_bits() const { return num_bits_; }
   int num_hashes() const { return num_hashes_; }
   uint64_t NumBitsSet() const;
   size_t MemoryBytes() const { return bits_.size() * sizeof(uint64_t); }
 
   std::vector<uint8_t> Serialize() const;
-  static Result<BloomFilter> Deserialize(const std::vector<uint8_t>& bytes);
+  /// Appends the wire envelope into a caller-owned buffer; byte-identical
+  /// to Serialize().
+  void SerializeTo(ByteSink& sink) const;
+  static Result<BloomFilter> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   void InsertHash(uint64_t h1, uint64_t h2);

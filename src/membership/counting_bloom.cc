@@ -77,7 +77,7 @@ std::vector<uint8_t> CountingBloomFilter::Serialize() const {
 }
 
 Result<CountingBloomFilter> CountingBloomFilter::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kCountingBloomFilter, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

@@ -2,6 +2,7 @@
 #define GEMS_MEMBERSHIP_COUNTING_BLOOM_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -43,7 +44,7 @@ class CountingBloomFilter {
 
   std::vector<uint8_t> Serialize() const;
   static Result<CountingBloomFilter> Deserialize(
-      const std::vector<uint8_t>& bytes);
+      std::span<const uint8_t> bytes);
 
  private:
   void Probe(uint64_t key, uint64_t* h1, uint64_t* h2) const;

@@ -90,7 +90,7 @@ std::vector<uint8_t> AmsSketch::Serialize() const {
                       std::move(w).TakeBytes());
 }
 
-Result<AmsSketch> AmsSketch::Deserialize(const std::vector<uint8_t>& bytes) {
+Result<AmsSketch> AmsSketch::Deserialize(std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kAmsSketch, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

@@ -2,6 +2,7 @@
 #define GEMS_MOMENTS_AMS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -52,7 +53,7 @@ class AmsSketch {
   size_t MemoryBytes() const { return counters_.size() * sizeof(int64_t); }
 
   std::vector<uint8_t> Serialize() const;
-  static Result<AmsSketch> Deserialize(const std::vector<uint8_t>& bytes);
+  static Result<AmsSketch> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   uint32_t s1_;

@@ -104,7 +104,7 @@ std::vector<uint8_t> GreenwaldKhanna::Serialize() const {
 }
 
 Result<GreenwaldKhanna> GreenwaldKhanna::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kGreenwaldKhanna, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

@@ -2,6 +2,7 @@
 #define GEMS_QUANTILES_GK_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -45,7 +46,7 @@ class GreenwaldKhanna {
 
   std::vector<uint8_t> Serialize() const;
   static Result<GreenwaldKhanna> Deserialize(
-      const std::vector<uint8_t>& bytes);
+      std::span<const uint8_t> bytes);
 
  private:
   struct Tuple {

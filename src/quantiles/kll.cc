@@ -141,20 +141,31 @@ size_t KllSketch::NumRetained() const {
   return total;
 }
 
-std::vector<uint8_t> KllSketch::Serialize() const {
-  ByteWriter w;
-  w.PutU32(k_);
-  w.PutU64(count_);
-  w.PutVarint(compactors_.size());
-  for (const std::vector<double>& compactor : compactors_) {
-    w.PutVarint(compactor.size());
-    for (double item : compactor) w.PutDouble(item);
-  }
-  return WrapEnvelope(SketchTypeId::kKll,
-                      std::move(w).TakeBytes());
+Status KllSketch::MergeFromView(const View<KllSketch>& view) {
+  Result<KllSketch> other = view.Materialize();
+  if (!other.ok()) return other.status();
+  return Merge(other.value());
 }
 
-Result<KllSketch> KllSketch::Deserialize(const std::vector<uint8_t>& bytes) {
+std::vector<uint8_t> KllSketch::Serialize() const {
+  std::vector<uint8_t> out;
+  ByteSink sink(&out);
+  SerializeTo(sink);
+  return out;
+}
+
+void KllSketch::SerializeTo(ByteSink& sink) const {
+  EnvelopeBuilder env(sink, kTypeId);
+  sink.PutU32(k_);
+  sink.PutU64(count_);
+  sink.PutVarint(compactors_.size());
+  for (const std::vector<double>& compactor : compactors_) {
+    sink.PutVarint(compactor.size());
+    for (double item : compactor) sink.PutDouble(item);
+  }
+}
+
+Result<KllSketch> KllSketch::Deserialize(std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kKll, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

@@ -7,6 +7,8 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "core/io.h"
+#include "core/view.h"
 
 /// \file
 /// KLL quantile sketch (Karnin, Lang & Liberty, FOCS 2016): the
@@ -22,6 +24,9 @@ namespace gems {
 /// KLL sketch with parameter `k` (top-compactor capacity; error ~ 1/k).
 class KllSketch {
  public:
+  /// Wire-format type tag, for View<KllSketch> wrapping.
+  static constexpr SketchTypeId kTypeId = SketchTypeId::kKll;
+
   explicit KllSketch(uint32_t k = 200, uint64_t seed = 0);
 
   /// Advisor-driven constructor: the smallest k whose rank error ~1/k is
@@ -54,6 +59,13 @@ class KllSketch {
   /// Merges another KLL sketch (any k; the result keeps this sketch's k).
   Status Merge(const KllSketch& other);
 
+  /// Merges a wrapped serialized peer. Compactor concatenation and the
+  /// compression that follows restructure both operands, so this
+  /// materializes one temporary from the view (skipping only the
+  /// caller-side envelope copy) — byte-identical to
+  /// Merge(*view.Materialize()) by construction.
+  Status MergeFromView(const View<KllSketch>& view);
+
   uint64_t Count() const { return count_; }
   uint32_t k() const { return k_; }
   size_t NumRetained() const;
@@ -61,7 +73,10 @@ class KllSketch {
   int NumLevels() const { return static_cast<int>(compactors_.size()); }
 
   std::vector<uint8_t> Serialize() const;
-  static Result<KllSketch> Deserialize(const std::vector<uint8_t>& bytes);
+  /// Appends the wire envelope into a caller-owned buffer; byte-identical
+  /// to Serialize().
+  void SerializeTo(ByteSink& sink) const;
+  static Result<KllSketch> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   /// Capacity of the compactor at `level` given the current top level.

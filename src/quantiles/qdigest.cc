@@ -139,7 +139,7 @@ std::vector<uint8_t> QDigest::Serialize() const {
                       std::move(w).TakeBytes());
 }
 
-Result<QDigest> QDigest::Deserialize(const std::vector<uint8_t>& bytes) {
+Result<QDigest> QDigest::Deserialize(std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kQDigest, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

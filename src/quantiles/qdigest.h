@@ -2,6 +2,7 @@
 #define GEMS_QUANTILES_QDIGEST_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -51,7 +52,7 @@ class QDigest {
   }
 
   std::vector<uint8_t> Serialize() const;
-  static Result<QDigest> Deserialize(const std::vector<uint8_t>& bytes);
+  static Result<QDigest> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   /// Heap-style node ids: root = 1; children of v are 2v, 2v+1. Leaves for

@@ -169,7 +169,7 @@ std::vector<uint8_t> TDigest::Serialize() const {
                       std::move(w).TakeBytes());
 }
 
-Result<TDigest> TDigest::Deserialize(const std::vector<uint8_t>& bytes) {
+Result<TDigest> TDigest::Deserialize(std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kTDigest, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

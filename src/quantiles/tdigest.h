@@ -2,6 +2,7 @@
 #define GEMS_QUANTILES_TDIGEST_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -54,7 +55,7 @@ class TDigest {
   }
 
   std::vector<uint8_t> Serialize() const;
-  static Result<TDigest> Deserialize(const std::vector<uint8_t>& bytes);
+  static Result<TDigest> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   struct Centroid {

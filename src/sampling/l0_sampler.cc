@@ -328,7 +328,7 @@ std::vector<uint8_t> L0Sampler::Serialize() const {
                       std::move(w).TakeBytes());
 }
 
-Result<L0Sampler> L0Sampler::Deserialize(const std::vector<uint8_t>& bytes) {
+Result<L0Sampler> L0Sampler::Deserialize(std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kL0Sampler, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

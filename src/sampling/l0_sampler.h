@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -134,7 +135,7 @@ class L0Sampler {
   Status Merge(const L0Sampler& other);
 
   std::vector<uint8_t> Serialize() const;
-  static Result<L0Sampler> Deserialize(const std::vector<uint8_t>& bytes);
+  static Result<L0Sampler> Deserialize(std::span<const uint8_t> bytes);
 
   /// Raw (frameless) encoding for embedding in larger sketches (AGM).
   void EncodeTo(ByteWriter* writer) const;

@@ -77,18 +77,29 @@ Status ReservoirSampler::Merge(const ReservoirSampler& other) {
   return Status::Ok();
 }
 
+Status ReservoirSampler::MergeFromView(const View<ReservoirSampler>& view) {
+  Result<ReservoirSampler> other = view.Materialize();
+  if (!other.ok()) return other.status();
+  return Merge(other.value());
+}
+
 std::vector<uint8_t> ReservoirSampler::Serialize() const {
-  ByteWriter w;
-  w.PutVarint(k_);
-  w.PutU64(seen_);
-  w.PutVarint(sample_.size());
-  for (uint64_t item : sample_) w.PutU64(item);
-  return WrapEnvelope(SketchTypeId::kReservoir,
-                      std::move(w).TakeBytes());
+  std::vector<uint8_t> out;
+  ByteSink sink(&out);
+  SerializeTo(sink);
+  return out;
+}
+
+void ReservoirSampler::SerializeTo(ByteSink& sink) const {
+  EnvelopeBuilder env(sink, kTypeId);
+  sink.PutVarint(k_);
+  sink.PutU64(seen_);
+  sink.PutVarint(sample_.size());
+  for (uint64_t item : sample_) sink.PutU64(item);
 }
 
 Result<ReservoirSampler> ReservoirSampler::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kReservoir, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

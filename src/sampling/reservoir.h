@@ -7,6 +7,8 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "core/io.h"
+#include "core/view.h"
 
 /// \file
 /// Reservoir sampling — the paper's "earliest instance of something we
@@ -21,6 +23,9 @@ namespace gems {
 /// Uniform k-sample without replacement (Algorithm R).
 class ReservoirSampler {
  public:
+  /// Wire-format type tag, for View<ReservoirSampler> wrapping.
+  static constexpr SketchTypeId kTypeId = SketchTypeId::kReservoir;
+
   ReservoirSampler(size_t k, uint64_t seed);
 
   ReservoirSampler(const ReservoirSampler&) = default;
@@ -48,9 +53,18 @@ class ReservoirSampler {
   /// the two reservoirs with probability proportional to its stream size).
   Status Merge(const ReservoirSampler& other);
 
+  /// Merges a wrapped serialized peer. The merge draws from this
+  /// sampler's RNG per slot, so it materializes one temporary from the
+  /// view (skipping only the caller-side envelope copy) — byte-identical
+  /// to Merge(*view.Materialize()) by construction.
+  Status MergeFromView(const View<ReservoirSampler>& view);
+
   std::vector<uint8_t> Serialize() const;
+  /// Appends the wire envelope into a caller-owned buffer; byte-identical
+  /// to Serialize().
+  void SerializeTo(ByteSink& sink) const;
   static Result<ReservoirSampler> Deserialize(
-      const std::vector<uint8_t>& bytes);
+      std::span<const uint8_t> bytes);
 
  private:
   size_t k_;

@@ -54,7 +54,7 @@ std::vector<uint8_t> MinHashSketch::Serialize() const {
 }
 
 Result<MinHashSketch> MinHashSketch::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    std::span<const uint8_t> bytes) {
   Result<ByteReader> payload = OpenEnvelope(SketchTypeId::kMinHash, bytes);
   if (!payload.ok()) return payload.status();
   ByteReader r = std::move(payload).value();

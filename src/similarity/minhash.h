@@ -2,6 +2,7 @@
 #define GEMS_SIMILARITY_MINHASH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -40,7 +41,7 @@ class MinHashSketch {
   uint32_t k() const { return k_; }
 
   std::vector<uint8_t> Serialize() const;
-  static Result<MinHashSketch> Deserialize(const std::vector<uint8_t>& bytes);
+  static Result<MinHashSketch> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   uint32_t k_;

@@ -104,7 +104,7 @@ TEST(MorrisTest, SerializeRoundTrip) {
 }
 
 TEST(MorrisTest, DeserializeGarbageFails) {
-  EXPECT_FALSE(MorrisCounter::Deserialize({1, 2, 3}).ok());
+  EXPECT_FALSE(MorrisCounter::Deserialize(std::vector<uint8_t>{1, 2, 3}).ok());
 }
 
 TEST(MorrisEnsembleTest, AveragingReducesError) {

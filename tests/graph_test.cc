@@ -201,7 +201,7 @@ TEST(AgmTest, DistributedWorkersShipSketchesToCoordinator) {
 }
 
 TEST(AgmTest, DeserializeRejectsGarbage) {
-  EXPECT_FALSE(AgmSketch::Deserialize({0xFF, 0x00, 0x12}).ok());
+  EXPECT_FALSE(AgmSketch::Deserialize(std::vector<uint8_t>{0xFF, 0x00, 0x12}).ok());
 }
 
 TEST(AgmTest, ComponentLabelsMatchExact) {

@@ -1,4 +1,5 @@
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <set>
 #include <string>
@@ -70,6 +71,52 @@ TEST(Murmur3Test, TailLengthsAllDiffer) {
     hashes.insert(Murmur3_128(data.data(), len, 7).low);
   }
   EXPECT_EQ(hashes.size(), 41u);
+}
+
+TEST(Murmur3Test, PinnedDigestsAcrossLengthPaths) {
+  // Pinned outputs covering the empty input, tail-only inputs, exactly one
+  // block, and block+tail — so any drift in the shared kernel
+  // (murmur3_detail) shows up as a digest change, not just a
+  // self-consistency pass. "abc" matches the reference
+  // MurmurHash3_x64_128 test vector.
+  struct Case {
+    const char* data;
+    uint64_t seed;
+    uint64_t low;
+    uint64_t high;
+  };
+  const Case cases[] = {
+      {"", 0, 0x0000000000000000ULL, 0x0000000000000000ULL},
+      {"abc", 0, 0xB4963F3F3FAD7867ULL, 0x3BA2744126CA2D52ULL},
+      {"abc", 9, 0x5B90322B4304F3E7ULL, 0xDDA63DA5863ECD07ULL},
+      {"sketching-is-go", 42, 0x57F7CBD2195950F7ULL, 0x2923F48F2D62C30BULL},
+      {"sketching-is-god", 42, 0x584E9379778697D9ULL, 0xA2489A7131073490ULL},
+      {"sketching-is-good", 42, 0x1383CC75BC2A7F1FULL,
+       0xDE8BB1E66C40FBB2ULL},
+  };
+  for (const Case& c : cases) {
+    const Hash128 h = Murmur3_128(c.data, std::strlen(c.data), c.seed);
+    EXPECT_EQ(h.low, c.low) << "\"" << c.data << "\" seed " << c.seed;
+    EXPECT_EQ(h.high, c.high) << "\"" << c.data << "\" seed " << c.seed;
+  }
+}
+
+TEST(Murmur3Test, U64SpecializationMatchesGenericByteForByte) {
+  // The inline 8-byte fast path and the generic entry point share one
+  // kernel; this pins that they produce identical digests for the same
+  // key bytes, including pinned values so both can't drift together.
+  const Hash128 pinned = Murmur3_128_U64(0xDEADBEEFCAFEBABEULL, 17);
+  EXPECT_EQ(pinned.low, 0x1C272D5B3D4A89CCULL);
+  EXPECT_EQ(pinned.high, 0xAFD0AE2F3986A388ULL);
+  for (uint64_t key : {uint64_t{0}, uint64_t{1}, uint64_t{0x123456789ABCDEF0},
+                       ~uint64_t{0}}) {
+    for (uint64_t seed : {uint64_t{0}, uint64_t{17}, uint64_t{0x9E3779B9}}) {
+      const Hash128 fast = Murmur3_128_U64(key, seed);
+      const Hash128 generic = Murmur3_128(&key, sizeof(key), seed);
+      EXPECT_EQ(fast.low, generic.low) << "key " << key << " seed " << seed;
+      EXPECT_EQ(fast.high, generic.high) << "key " << key << " seed " << seed;
+    }
+  }
 }
 
 // ------------------------------------------------------------ Tabulation

@@ -563,7 +563,7 @@ TEST(GreenwaldKhannaTest, SerializeRoundTrip) {
 }
 
 TEST(GreenwaldKhannaTest, DeserializeGarbageFails) {
-  EXPECT_FALSE(GreenwaldKhanna::Deserialize({9, 9, 9}).ok());
+  EXPECT_FALSE(GreenwaldKhanna::Deserialize(std::vector<uint8_t>{9, 9, 9}).ok());
 }
 
 // -------------------------------------- Cross-sketch comparison (E4 shape)

@@ -321,7 +321,7 @@ TEST(L0SamplerTest, SerializeRoundTrip) {
 }
 
 TEST(L0SamplerTest, DeserializeGarbageFails) {
-  EXPECT_FALSE(L0Sampler::Deserialize({1, 2, 3, 4}).ok());
+  EXPECT_FALSE(L0Sampler::Deserialize(std::vector<uint8_t>{1, 2, 3, 4}).ok());
   L0Sampler sampler(18, L0Sampler::Options{2, 8, 1});
   auto bytes = sampler.Serialize();
   bytes.resize(bytes.size() / 3);

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "core/registry.h"
 #include "core/summary.h"
+#include "core/view.h"
 #include "core/wire.h"
 #include "frequency/count_min.h"
 #include "graph/agm.h"
@@ -168,6 +169,77 @@ TEST_F(WireTest, TruncationAnywhereIsCorruption) {
       ASSERT_FALSE(r.ok()) << "truncation to " << len << " was accepted";
       EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
     }
+  }
+}
+
+TEST_F(WireTest, ViewWrapRejectsBitFlipsLikeDeserialize) {
+  // The zero-copy wrap path must hold the same line as Deserialize: any
+  // damaged envelope comes back as kCorruption from SketchView::Wrap and
+  // the registry's Wrap, never a view over garbage.
+  for (const AnySketch& original : PopulatedRegisteredSketches()) {
+    SCOPED_TRACE(original.type_name());
+    const std::vector<uint8_t> bytes = original.Serialize();
+    for (size_t pos : SampledPositions(bytes.size())) {
+      std::vector<uint8_t> damaged = bytes;
+      damaged[pos] ^= 0x01;
+      Result<SketchView> v = SketchView::Wrap(damaged);
+      ASSERT_FALSE(v.ok()) << "flip at " << pos << " was wrapped";
+      EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
+      Result<AnySketchView> av = SketchRegistry::Global().Wrap(damaged);
+      ASSERT_FALSE(av.ok()) << "flip at " << pos << " was wrapped";
+    }
+  }
+}
+
+TEST_F(WireTest, ViewWrapRejectsTruncation) {
+  for (const AnySketch& original : PopulatedRegisteredSketches()) {
+    SCOPED_TRACE(original.type_name());
+    const std::vector<uint8_t> bytes = original.Serialize();
+    for (size_t len : SampledPositions(bytes.size())) {
+      const std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+      Result<SketchView> v = SketchView::Wrap(cut);
+      ASSERT_FALSE(v.ok()) << "truncation to " << len << " was wrapped";
+      EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST_F(WireTest, ViewWrapRejectsOverLongDeclaredLength) {
+  // A length field larger than the buffer must fail the bounds check in
+  // both verification modes, before any payload access.
+  HyperLogLog hll(10);
+  for (uint64_t i = 0; i < 100; ++i) hll.Update(i);
+  std::vector<uint8_t> bytes = hll.Serialize();
+  bytes[8] += 1;  // Low byte of the u32 payload length.
+  EXPECT_EQ(SketchView::Wrap(bytes).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(SketchView::WrapTrusted(bytes).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(HyperLogLog::Deserialize(bytes).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(WireTest, TypedViewWrapRejectsTypeConfusion) {
+  // A valid envelope of every other registered type must be refused by
+  // View<HyperLogLog> at wrap time, and by AnySketch::MergeFromView at
+  // merge time — as a Status, never a misparse.
+  const SketchRegistry::Entry* hll_entry =
+      SketchRegistry::Global().Find(SketchTypeId::kHyperLogLog);
+  ASSERT_NE(hll_entry, nullptr);
+  for (const AnySketch& original : PopulatedRegisteredSketches()) {
+    if (original.type() == SketchTypeId::kHyperLogLog) continue;
+    SCOPED_TRACE(original.type_name());
+    const std::vector<uint8_t> bytes = original.Serialize();
+    Result<View<HyperLogLog>> typed = View<HyperLogLog>::Wrap(bytes);
+    ASSERT_FALSE(typed.ok());
+    EXPECT_EQ(typed.status().code(), StatusCode::kCorruption);
+
+    AnySketch acc = hll_entry->make_default();
+    Result<SketchView> view = SketchView::Wrap(bytes);
+    ASSERT_TRUE(view.ok());
+    const Status s = acc.MergeFromView(view.value());
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
   }
 }
 

@@ -22,6 +22,7 @@
 #include "frequency/count_min.h"
 #include "frequency/misra_gries.h"
 #include "quantiles/kll.h"
+#include "simd/dispatch.h"
 #include "workload/baselines.h"
 #include "workload/generators.h"
 
@@ -160,10 +161,11 @@ void PrintFaninTiming(const FaninTiming& t) {
 int RunFaninJson(const std::string& json_path, int fanin) {
   const FaninTiming t = TimeViewMergeFanin(fanin, 12, 5);
   PrintFaninTiming(t);
-  char buf[512];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "{\n"
                 "  \"bench\": \"e06_view_merge_fanin\",\n"
+                "  \"dispatch\": %s,\n"
                 "  \"family\": \"hll\",\n"
                 "  \"precision\": %d,\n"
                 "  \"fanin\": %d,\n"
@@ -174,9 +176,9 @@ int RunFaninJson(const std::string& json_path, int fanin) {
                 "  \"speedup\": %.4f,\n"
                 "  \"roots_identical\": %s\n"
                 "}\n",
-                t.precision, t.fanin, t.deserialize_merge_ms,
-                t.view_merge_ms, t.trusted_view_merge_ms,
-                t.speedup_verified(), t.speedup(),
+                gems::simd::DispatchJson().c_str(), t.precision, t.fanin,
+                t.deserialize_merge_ms, t.view_merge_ms,
+                t.trusted_view_merge_ms, t.speedup_verified(), t.speedup(),
                 t.roots_identical ? "true" : "false");
   std::fputs(buf, stdout);
   std::FILE* f = std::fopen(json_path.c_str(), "wb");

@@ -32,6 +32,7 @@
 #include "hash/hash.h"
 #include "membership/bloom.h"
 #include "quantiles/tdigest.h"
+#include "simd/dispatch.h"
 #include "workload/generators.h"
 
 namespace {
@@ -303,6 +304,24 @@ int RunMerge(const std::string& out_path,
   return 0;
 }
 
+// Reports what the SIMD dispatcher selected at startup: the active kernel
+// table, the ISA features the CPU advertises, and whether GEMS_FORCE_SCALAR
+// overrode a faster table. This is the answer to "which kernels did my
+// benchmark numbers actually run?" — the same object every bench --*_json
+// artifact embeds under "dispatch".
+int RunCaps() {
+  const gems::simd::DispatchInfo& info = gems::simd::Dispatch();
+  std::printf("kernel dispatch level: %s\n", info.level);
+  std::printf("cpu features:          %s\n",
+              info.cpu_features.empty() ? "(none reported)"
+                                        : info.cpu_features.c_str());
+  std::printf("forced scalar:         %s\n",
+              info.forced_scalar ? "yes (GEMS_FORCE_SCALAR)" : "no");
+  std::printf("json:                  %s\n",
+              gems::simd::DispatchJson().c_str());
+  return 0;
+}
+
 int RunSelfTest() {
   std::printf("self test on synthetic Zipf stream (500k events):\n");
   gems::ZipfGenerator zipf(100000, 1.2, 1);
@@ -340,9 +359,11 @@ int main(int argc, char** argv) {
     return RunMerge(argv[2], std::vector<std::string>(argv + 3, argv + argc));
   }
   if (mode == "selftest") return RunSelfTest();
+  if (mode == "caps") return RunCaps();
   std::fprintf(stderr,
                "usage: sketch_tool <distinct|topk|quantiles|member "
-               "[probe]|selftest>  (input: one value per line on stdin)\n"
+               "[probe]|selftest|caps>  (input: one value per line on "
+               "stdin)\n"
                "       sketch_tool save <distinct|topk|quantiles|member> "
                "<file>   (stdin -> sketch file)\n"
                "       sketch_tool load <file>\n"

@@ -9,6 +9,7 @@
 #include "core/wire.h"
 #include "hash/hash.h"
 #include "hash/hashed_batch.h"
+#include "simd/dispatch.h"
 
 namespace gems {
 
@@ -52,55 +53,51 @@ void HyperLogLog::UpdateHash(uint64_t hash) {
 }
 
 void HyperLogLog::UpdateHashes(std::span<const uint64_t> hashes) {
-  // Fast path: the shift and register base are hoisted, and the register
-  // write is an unconditional max (no taken-branch penalty on the common
-  // "register already saturated" case).
-  uint8_t* const regs = registers_.data();
-  const int shift = 64 - precision_;
-  for (uint64_t hash : hashes) {
-    const uint32_t index = static_cast<uint32_t>(hash >> shift);
-    const uint8_t rho =
-        static_cast<uint8_t>(RankOfLeftmostOne(hash, shift));
-    regs[index] = std::max(regs[index], rho);
-  }
+  // Branch-light register pass (unconditional max, hoisted shift) via the
+  // dispatched kernel table.
+  simd::Kernels().hll_update_hashes(registers_.data(), precision_,
+                                    hashes.data(), hashes.size());
 }
 
 void HyperLogLog::UpdateBatch(std::span<const uint64_t> items) {
-  // Hash-once pipeline: fill a stack chunk of hash words in a tight
-  // (vectorizable) loop, then run the branch-light register pass.
-  uint64_t hashes[256];
-  while (!items.empty()) {
-    const size_t n = std::min(items.size(), std::size(hashes));
-    HashBatch(items.first(n), seed_, hashes);
-    UpdateHashes(std::span<const uint64_t>(hashes, n));
-    items = items.subspan(n);
-  }
+  // Fused ingest kernel: the hash words stay in vector registers between
+  // the mixing pass and the register max instead of round-tripping through
+  // a stack chunk. Bit-identical to per-item Update().
+  const uint64_t mixed_seed = Mix64(seed_ + 0x9E3779B97F4A7C15ULL);
+  simd::Kernels().hll_ingest(registers_.data(), precision_, items.data(),
+                             items.size(), mixed_seed);
 }
 
 double HyperLogLog::RawCount() const {
   const double m = static_cast<double>(registers_.size());
-  double harmonic = 0.0;
-  for (uint8_t reg : registers_) {
-    harmonic += std::pow(2.0, -static_cast<double>(reg));
-  }
+  double harmonic;
+  uint32_t zeros;
+  simd::Kernels().hll_harmonic_sum(registers_.data(), registers_.size(),
+                                   &harmonic, &zeros);
   return Alpha(static_cast<uint32_t>(registers_.size())) * m * m / harmonic;
 }
 
 uint32_t HyperLogLog::NumZeroRegisters() const {
-  uint32_t zeros = 0;
-  for (uint8_t reg : registers_) zeros += (reg == 0) ? 1 : 0;
+  double harmonic;
+  uint32_t zeros;
+  simd::Kernels().hll_harmonic_sum(registers_.data(), registers_.size(),
+                                   &harmonic, &zeros);
   return zeros;
 }
 
 double HyperLogLog::Estimate() const {
-  const double raw = RawCount();
+  // One kernel pass yields both the harmonic sum and the zero-register
+  // count the small-range correction needs.
   const double m = static_cast<double>(registers_.size());
-  if (raw <= 2.5 * m) {
-    const uint32_t zeros = NumZeroRegisters();
-    if (zeros > 0) {
-      // Small-range correction: linear counting over the registers.
-      return m * std::log(m / static_cast<double>(zeros));
-    }
+  double harmonic;
+  uint32_t zeros;
+  simd::Kernels().hll_harmonic_sum(registers_.data(), registers_.size(),
+                                   &harmonic, &zeros);
+  const double raw =
+      Alpha(static_cast<uint32_t>(registers_.size())) * m * m / harmonic;
+  if (raw <= 2.5 * m && zeros > 0) {
+    // Small-range correction: linear counting over the registers.
+    return m * std::log(m / static_cast<double>(zeros));
   }
   return raw;
 }
@@ -117,13 +114,8 @@ Status HyperLogLog::Merge(const HyperLogLog& other) {
     return Status::InvalidArgument(
         "HyperLogLog merge requires equal precision and seed");
   }
-  // Hoisted pointers: byte stores through registers_[i] could legally
-  // alias the vector's own begin pointer, which blocks vectorization of
-  // the register max. Locals restore it (pmaxub on x86).
-  uint8_t* const dst = registers_.data();
-  const uint8_t* const src = other.registers_.data();
-  const size_t m = registers_.size();
-  for (size_t i = 0; i < m; ++i) dst[i] = std::max(dst[i], src[i]);
+  simd::Kernels().u8_max(registers_.data(), other.registers_.data(),
+                         registers_.size());
   return Status::Ok();
 }
 
@@ -147,11 +139,9 @@ Status HyperLogLog::MergeFromView(const View<HyperLogLog>& view) {
     return Status::InvalidArgument(
         "HyperLogLog merge requires equal precision and seed");
   }
-  // Same hoist as Merge(): keep the max loop vectorizable.
-  uint8_t* const dst = registers_.data();
-  const uint8_t* const src = regs.data();
-  const size_t m = registers_.size();
-  for (size_t i = 0; i < m; ++i) dst[i] = std::max(dst[i], src[i]);
+  // Same kernel as Merge(): the register max runs straight over the
+  // wrapped payload (32 bytes per cycle under AVX2).
+  simd::Kernels().u8_max(registers_.data(), regs.data(), registers_.size());
   return Status::Ok();
 }
 

@@ -9,6 +9,7 @@
 #include "core/wire.h"
 #include "hash/hash.h"
 #include "hash/hashed_batch.h"
+#include "simd/dispatch.h"
 
 namespace gems {
 
@@ -75,28 +76,64 @@ void CountMinSketch::Update(uint64_t item, int64_t weight) {
   }
 }
 
+void CountMinSketch::UpdateBatchConservative(
+    std::span<const uint64_t> items) {
+  // Conservative updates are order-dependent (each item must see the
+  // counters its predecessors raised), so the counter pass stays
+  // sequential — but the two Bucket() hash walks per item (Estimate, then
+  // the raise) are not, and those get hoisted: hash each chunk once per
+  // row through the dispatched kernel, then replay items in order against
+  // the precomputed buckets. Byte-identical to per-item Update().
+  const InvariantMod mod(width_);
+  uint64_t hashes[256];
+  std::vector<uint32_t> buckets(static_cast<size_t>(depth_) * 256);
+  while (!items.empty()) {
+    const size_t n = std::min(items.size(), std::size(hashes));
+    for (uint32_t row = 0; row < depth_; ++row) {
+      HashBatch(items.first(n), row_seeds_[row], hashes);
+      uint32_t* const row_buckets = buckets.data() + row * 256;
+      for (size_t i = 0; i < n; ++i) {
+        row_buckets[i] = static_cast<uint32_t>(mod(hashes[i]));
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t current = ~uint64_t{0};
+      for (uint32_t row = 0; row < depth_; ++row) {
+        current = std::min(
+            current, counters_[static_cast<size_t>(row) * width_ +
+                               buckets[row * 256 + i]]);
+      }
+      const uint64_t target = current + 1;
+      for (uint32_t row = 0; row < depth_; ++row) {
+        uint64_t& counter = counters_[static_cast<size_t>(row) * width_ +
+                                      buckets[row * 256 + i]];
+        counter = std::max(counter, target);
+      }
+      ++total_;
+    }
+    items = items.subspan(n);
+  }
+}
+
 void CountMinSketch::UpdateBatch(std::span<const uint64_t> items) {
   if (conservative_) {
-    // Conservative updates are order-dependent; keep the per-item path so
-    // batch state stays identical to sequential ingest.
-    for (uint64_t item : items) Update(item);
+    UpdateBatchConservative(items);
     return;
   }
   total_ += static_cast<int64_t>(items.size());
-  const InvariantMod mod(width_);
+  const simd::SimdKernels& kernels = simd::Kernels();
   uint64_t hashes[256];
   while (!items.empty()) {
     const size_t n = std::min(items.size(), std::size(hashes));
     // Rows outer: each row hashes the chunk once with its derived seed and
-    // streams additions through that row's counters, with the per-probe
-    // modulo strength-reduced through the hoisted InvariantMod. Plain
+    // streams additions through that row's counters via the dispatched row
+    // kernel (the per-probe modulo is strength-reduced inside it). Plain
     // additions commute, so the final counters match per-item Update()
     // exactly.
     for (uint32_t row = 0; row < depth_; ++row) {
       HashBatch(items.first(n), row_seeds_[row], hashes);
-      uint64_t* const counters =
-          counters_.data() + static_cast<size_t>(row) * width_;
-      for (size_t i = 0; i < n; ++i) counters[mod(hashes[i])] += 1;
+      kernels.cm_row_add(counters_.data() + static_cast<size_t>(row) * width_,
+                         width_, hashes, n);
     }
     items = items.subspan(n);
   }
@@ -109,7 +146,7 @@ void CountMinSketch::UpdateBatch(std::span<const uint64_t> items,
     for (size_t i = 0; i < items.size(); ++i) Update(items[i], weights[i]);
     return;
   }
-  const InvariantMod mod(width_);
+  const simd::SimdKernels& kernels = simd::Kernels();
   uint64_t hashes[256];
   size_t offset = 0;
   while (offset < items.size()) {
@@ -120,12 +157,9 @@ void CountMinSketch::UpdateBatch(std::span<const uint64_t> items,
     }
     for (uint32_t row = 0; row < depth_; ++row) {
       HashBatch(items.subspan(offset, n), row_seeds_[row], hashes);
-      uint64_t* const counters =
-          counters_.data() + static_cast<size_t>(row) * width_;
-      for (size_t i = 0; i < n; ++i) {
-        counters[mod(hashes[i])] +=
-            static_cast<uint64_t>(weights[offset + i]);
-      }
+      kernels.cm_row_add_weighted(
+          counters_.data() + static_cast<size_t>(row) * width_, width_,
+          hashes, weights.data() + offset, n);
     }
     offset += n;
   }
@@ -139,6 +173,27 @@ uint64_t CountMinSketch::Estimate(uint64_t item) const {
         counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)]);
   }
   return best;
+}
+
+void CountMinSketch::EstimateBatch(std::span<const uint64_t> items,
+                                   uint64_t* out) const {
+  // Batched min-reduce point query: hash each chunk once per row, then fold
+  // that row's counters into the running minima with the dispatched row-min
+  // kernel (gathers under AVX2). out[i] == Estimate(items[i]) exactly.
+  const simd::SimdKernels& kernels = simd::Kernels();
+  uint64_t hashes[256];
+  size_t offset = 0;
+  while (offset < items.size()) {
+    const size_t n = std::min(items.size() - offset, std::size(hashes));
+    uint64_t* const chunk_out = out + offset;
+    for (size_t i = 0; i < n; ++i) chunk_out[i] = ~uint64_t{0};
+    for (uint32_t row = 0; row < depth_; ++row) {
+      HashBatch(items.subspan(offset, n), row_seeds_[row], hashes);
+      kernels.cm_row_min(counters_.data() + static_cast<size_t>(row) * width_,
+                         width_, hashes, n, chunk_out);
+    }
+    offset += n;
+  }
 }
 
 int64_t CountMinSketch::EstimateCountMeanMin(uint64_t item) const {
@@ -198,9 +253,8 @@ Status CountMinSketch::Merge(const CountMinSketch& other) {
     return Status::InvalidArgument(
         "CountMin merge requires identical shape and seed");
   }
-  for (size_t i = 0; i < counters_.size(); ++i) {
-    counters_[i] += other.counters_[i];
-  }
+  simd::Kernels().u64_add(counters_.data(), other.counters_.data(),
+                          counters_.size());
   total_ += other.total_;
   return Status::Ok();
 }

@@ -71,6 +71,11 @@ class CountMinSketch {
   /// Point query: an overestimate of the item's total weight.
   uint64_t Estimate(uint64_t item) const;
 
+  /// Batched point query: out[i] = Estimate(items[i]) for every i, with the
+  /// per-row hashing hoisted and the min-reduce folded one row at a time.
+  /// `out` must have room for items.size() results.
+  void EstimateBatch(std::span<const uint64_t> items, uint64_t* out) const;
+
   /// Count-mean-min estimator (Deng & Rafiei 2007): subtracts each row's
   /// expected collision noise (N - counter) / (width - 1) and takes the
   /// median. Not one-sided like EstimateCount, but much more accurate for
@@ -126,6 +131,7 @@ class CountMinSketch {
 
  private:
   uint64_t Bucket(uint32_t row, uint64_t item) const;
+  void UpdateBatchConservative(std::span<const uint64_t> items);
 
   uint32_t width_;
   uint32_t depth_;

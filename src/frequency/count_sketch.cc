@@ -8,6 +8,7 @@
 #include "core/wire.h"
 #include "hash/hash.h"
 #include "hash/hashed_batch.h"
+#include "simd/dispatch.h"
 
 namespace gems {
 
@@ -46,20 +47,28 @@ void CountSketch::UpdateBatch(std::span<const uint64_t> items) {
   // inline over the reduced keys, with the bucket modulo strength-reduced
   // through a hoisted InvariantMod. Counter additions commute, so the
   // result is byte-identical to sequential Update().
+  const simd::SimdKernels& kernels = simd::Kernels();
   const InvariantMod mod(width_);
   uint64_t reduced[256];
+  uint32_t buckets[256];
+  int64_t signed_weights[256];
   while (!items.empty()) {
     const size_t n = std::min(items.size(), std::size(reduced));
     for (size_t i = 0; i < n; ++i) reduced[i] = KWiseHash::ReduceKey(items[i]);
     for (uint32_t row = 0; row < depth_; ++row) {
       const KWiseHash& bucket_hash = bucket_hashes_[row];
       const KWiseHash& sign_hash = sign_hashes_[row];
-      int64_t* const counters =
-          counters_.data() + static_cast<size_t>(row) * width_;
+      // Split the row pass: the polynomial evaluations fill plain arrays
+      // (no loop-carried state, so the compiler pipelines the Horner
+      // chains), then the scatter kernel streams the signed additions.
       for (size_t i = 0; i < n; ++i) {
-        counters[mod(bucket_hash.EvalReduced(reduced[i]))] +=
-            (sign_hash.EvalReduced(reduced[i]) & 1) ? 1 : -1;
+        buckets[i] =
+            static_cast<uint32_t>(mod(bucket_hash.EvalReduced(reduced[i])));
+        signed_weights[i] = (sign_hash.EvalReduced(reduced[i]) & 1) ? 1 : -1;
       }
+      kernels.cs_row_scatter(
+          counters_.data() + static_cast<size_t>(row) * width_, buckets,
+          signed_weights, n);
     }
     items = items.subspan(n);
   }
@@ -107,16 +116,15 @@ int64_t CountSketch::Estimate(uint64_t item) const {
 }
 
 double CountSketch::EstimateF2() const {
+  // Each row's sum of squared counters through the dispatched kernel
+  // (stripe-4 accumulation; identical association under every variant),
+  // then the median across rows.
+  const simd::SimdKernels& kernels = simd::Kernels();
   std::vector<double> row_f2;
   row_f2.reserve(depth_);
   for (uint32_t row = 0; row < depth_; ++row) {
-    double f2 = 0.0;
-    for (uint32_t col = 0; col < width_; ++col) {
-      const double c = static_cast<double>(
-          counters_[static_cast<size_t>(row) * width_ + col]);
-      f2 += c * c;
-    }
-    row_f2.push_back(f2);
+    row_f2.push_back(kernels.i64_sum_squares(
+        counters_.data() + static_cast<size_t>(row) * width_, width_));
   }
   return Median(std::move(row_f2));
 }
@@ -136,9 +144,8 @@ Status CountSketch::Merge(const CountSketch& other) {
     return Status::InvalidArgument(
         "CountSketch merge requires identical shape and seed");
   }
-  for (size_t i = 0; i < counters_.size(); ++i) {
-    counters_[i] += other.counters_[i];
-  }
+  simd::Kernels().i64_add(counters_.data(), other.counters_.data(),
+                          counters_.size());
   return Status::Ok();
 }
 

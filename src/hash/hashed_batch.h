@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hash/hash.h"
+#include "simd/dispatch.h"
 
 /// \file
 /// Hash-once batching for the ingest hot path. Production deployments win
@@ -25,16 +26,16 @@
 
 namespace gems {
 
-/// Fills `out[i] = Hash64(items[i], seed)`. The loop is branch-free pure
-/// arithmetic (SplitMix-style mixing), so compilers vectorize it; this is
-/// the hoisted "hash loop" every UpdateBatch fast path starts with.
+/// Fills `out[i] = Hash64(items[i], seed)` through the dispatched mixing
+/// kernel (4-wide AVX2 when the CPU has it, the same scalar loop
+/// otherwise); this is the hoisted "hash loop" every UpdateBatch fast path
+/// starts with. Kernel variants are bit-identical, so callers may treat
+/// the output as Hash64's regardless of dispatch level.
 inline void HashBatch(std::span<const uint64_t> items, uint64_t seed,
                       uint64_t* out) {
   // Hash64(key, seed) = Mix64(key + Mix64(seed + C)); hoist the seed mix.
   const uint64_t mixed_seed = Mix64(seed + 0x9E3779B97F4A7C15ULL);
-  for (size_t i = 0; i < items.size(); ++i) {
-    out[i] = Mix64(items[i] + mixed_seed);
-  }
+  simd::Kernels().mix64_batch(items.data(), items.size(), mixed_seed, out);
 }
 
 /// Exact `x % divisor` for a loop-invariant divisor: one multiply-high and

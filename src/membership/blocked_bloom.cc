@@ -5,7 +5,7 @@
 #include "common/check.h"
 #include "core/wire.h"
 #include "hash/hash.h"
-#include "hash/hashed_batch.h"
+#include "simd/dispatch.h"
 
 namespace gems {
 
@@ -34,27 +34,13 @@ void BlockedBloomFilter::Insert(uint64_t key) {
 }
 
 void BlockedBloomFilter::InsertBatch(std::span<const uint64_t> keys) {
-  const InvariantMod mod(num_blocks_);
-  uint64_t blocks[256];
-  uint64_t probes[256];
-  while (!keys.empty()) {
-    const size_t n = std::min(keys.size(), std::size(blocks));
-    for (size_t i = 0; i < n; ++i) {
-      const Hash128 h = Murmur3_128_U64(keys[i], seed_);
-      blocks[i] = mod(h.low);
-      probes[i] = h.high;
-    }
-    // One prefetch per key covers all of its probes (the whole point of the
-    // blocked layout), hiding the random-access latency of the next keys
-    // behind the current key's bit writes.
-    for (size_t i = 0; i < n; ++i) {
-#if defined(__GNUC__) || defined(__clang__)
-      __builtin_prefetch(&words_[blocks[i] * kWordsPerBlock], /*rw=*/1);
-#endif
-    }
-    for (size_t i = 0; i < n; ++i) InsertProbes(blocks[i], probes[i]);
-    keys = keys.subspan(n);
-  }
+  // Fully fused in the dispatched kernel: hash, block-select, prefetch,
+  // and probe writes all live in src/simd/ (this class carries no
+  // intrinsics or feature tests of its own). Bit ORs commute, so state is
+  // byte-identical to per-key Insert().
+  simd::Kernels().blocked_bloom_insert(words_.data(), num_blocks_,
+                                       num_hashes_, seed_, keys.data(),
+                                       keys.size());
 }
 
 bool BlockedBloomFilter::MayContain(uint64_t key) const {
@@ -73,13 +59,21 @@ bool BlockedBloomFilter::MayContain(uint64_t key) const {
   return true;
 }
 
+void BlockedBloomFilter::MayContainBatch(std::span<const uint64_t> keys,
+                                         uint8_t* out) const {
+  // Same fused kernel pipeline as InsertBatch, reading instead of writing.
+  // out[i] == MayContain(keys[i]).
+  simd::Kernels().blocked_bloom_query(words_.data(), num_blocks_, num_hashes_,
+                                      seed_, keys.data(), keys.size(), out);
+}
+
 Status BlockedBloomFilter::Merge(const BlockedBloomFilter& other) {
   if (num_blocks_ != other.num_blocks_ || num_hashes_ != other.num_hashes_ ||
       seed_ != other.seed_) {
     return Status::InvalidArgument(
         "BlockedBloom merge requires identical shape and seed");
   }
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  simd::Kernels().u64_or(words_.data(), other.words_.data(), words_.size());
   return Status::Ok();
 }
 

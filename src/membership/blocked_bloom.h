@@ -32,10 +32,15 @@ class BlockedBloomFilter {
   void Insert(uint64_t key);
   bool MayContain(uint64_t key) const;
 
-  /// Batched insert: hashes a chunk of keys in one hoisted loop, prefetches
-  /// each key's cache-line block, then streams the probe writes. Bit ORs
-  /// commute, so state is byte-identical to per-key Insert().
+  /// Batched insert through the dispatched simd kernel: hashes a chunk of
+  /// keys in one hoisted pass, prefetches each key's cache-line block, then
+  /// streams the probe writes. Bit ORs commute, so state is byte-identical
+  /// to per-key Insert().
   void InsertBatch(std::span<const uint64_t> keys);
+
+  /// Batched membership: out[i] = MayContain(keys[i]) ? 1 : 0 for every i.
+  /// `out` must have room for keys.size() results.
+  void MayContainBatch(std::span<const uint64_t> keys, uint8_t* out) const;
 
   Status Merge(const BlockedBloomFilter& other);
 

@@ -9,6 +9,7 @@
 #include "core/wire.h"
 #include "hash/hash.h"
 #include "hash/hashed_batch.h"
+#include "simd/dispatch.h"
 
 namespace gems {
 
@@ -84,30 +85,38 @@ void BloomFilter::Insert(std::string_view key) {
 }
 
 void BloomFilter::InsertBatch(std::span<const uint64_t> keys) {
-  // Hash-once pipeline over small chunks: hash every key inline in a tight
-  // loop (the 8-byte Murmur specialization), then stream the probe writes
-  // with the per-probe modulo strength-reduced through a hoisted
-  // InvariantMod instead of one hardware divide each. Bit indices are
-  // exactly those of Insert(), so the resulting filter is byte-identical.
-  const InvariantMod mod(num_bits_);
+  // Hash-once pipeline over small chunks: the Murmur batch kernel keeps
+  // 4-8 keys in flight, then the probe kernel streams the bit writes with
+  // the per-probe modulo strength-reduced (vector multiply-high under
+  // AVX2) instead of one hardware divide each. Bit indices are exactly
+  // those of Insert(), so the resulting filter is byte-identical.
+  const simd::SimdKernels& kernels = simd::Kernels();
   uint64_t h1[256];
   uint64_t h2[256];
   while (!keys.empty()) {
     const size_t n = std::min(keys.size(), std::size(h1));
-    for (size_t i = 0; i < n; ++i) {
-      const Hash128 h = Murmur3_128_U64(keys[i], seed_);
-      h1[i] = h.low;
-      h2[i] = h.high | 1;
-    }
-    for (size_t i = 0; i < n; ++i) {
-      uint64_t h = h1[i];
-      for (int j = 0; j < num_hashes_; ++j) {
-        const uint64_t bit = mod(h);
-        bits_[bit / 64] |= uint64_t{1} << (bit % 64);
-        h += h2[i];
-      }
-    }
+    kernels.murmur3_batch_u64(keys.data(), n, seed_, h1, h2);
+    for (size_t i = 0; i < n; ++i) h2[i] |= 1;
+    kernels.bloom_insert(bits_.data(), num_bits_, num_hashes_, h1, h2, n);
     keys = keys.subspan(n);
+  }
+}
+
+void BloomFilter::MayContainBatch(std::span<const uint64_t> keys,
+                                  uint8_t* out) const {
+  // Batched membership: hash kernel, then the multi-probe query kernel
+  // (gathered word loads under AVX2). out[i] == MayContain(keys[i]).
+  const simd::SimdKernels& kernels = simd::Kernels();
+  uint64_t h1[256];
+  uint64_t h2[256];
+  size_t offset = 0;
+  while (offset < keys.size()) {
+    const size_t n = std::min(keys.size() - offset, std::size(h1));
+    kernels.murmur3_batch_u64(keys.data() + offset, n, seed_, h1, h2);
+    for (size_t i = 0; i < n; ++i) h2[i] |= 1;
+    kernels.bloom_query(bits_.data(), num_bits_, num_hashes_, h1, h2, n,
+                        out + offset);
+    offset += n;
   }
 }
 
@@ -154,7 +163,7 @@ Status BloomFilter::Merge(const BloomFilter& other) {
     return Status::InvalidArgument(
         "Bloom merge requires identical shape and seed");
   }
-  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  simd::Kernels().u64_or(bits_.data(), other.bits_.data(), bits_.size());
   return Status::Ok();
 }
 

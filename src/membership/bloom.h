@@ -58,6 +58,11 @@ class BloomFilter {
   bool MayContain(uint64_t key) const;
   bool MayContain(std::string_view key) const;
 
+  /// Batched membership: out[i] = MayContain(keys[i]) ? 1 : 0 for every i,
+  /// with the hashing and multi-probe reads batched through the dispatched
+  /// kernels. `out` must have room for keys.size() results.
+  void MayContainBatch(std::span<const uint64_t> keys, uint8_t* out) const;
+
   /// Predicted false-positive rate at the current fill: (1 - e^{-kn/m})^k
   /// using the number of set bits as the fill estimate.
   double EstimatedFpr() const;

@@ -5,6 +5,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "simd/dispatch.h"
 
 namespace gems {
 
@@ -39,7 +40,8 @@ void MrlSketch::Update(double value) {
     if (buffer.weight == 0) {
       buffer.weight = 1;
       buffer.values = std::move(incoming_);
-      std::sort(buffer.values.begin(), buffer.values.end());
+      simd::Kernels().sort_doubles(buffer.values.data(),
+                                   buffer.values.size());
       incoming_.clear();
       incoming_.reserve(buffer_size_);
       return;

@@ -1,0 +1,57 @@
+#ifndef GEMS_SIMD_INTERNAL_H_
+#define GEMS_SIMD_INTERNAL_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "common/random.h"
+
+/// \file
+/// Helpers shared by the kernel variant TUs (scalar / AVX2 / NEON). These
+/// define scalar sub-steps that every variant must reproduce exactly —
+/// keeping them in one header is what keeps the variants bit-identical by
+/// construction rather than by vigilance.
+
+namespace gems::simd::internal {
+
+/// 2^-reg exactly, for reg in [0, 64]: build the double's bit pattern
+/// directly (exponent field 1023 - reg stays normal down to reg == 64).
+inline double Pow2Neg(uint8_t reg) {
+  return std::bit_cast<double>(static_cast<uint64_t>(1023 - reg) << 52);
+}
+
+// Blocked Bloom probe schedule (matches BlockedBloomFilter::InsertProbes):
+// consecutive 9-bit slices of the 64-bit probe word; after the sixth slice
+// the word is refilled with Mix64(probe_bits). Blocks are 8 x 64-bit words
+// (one cache line).
+inline constexpr int kBlockedBloomWordsPerBlock = 8;
+inline constexpr int kBlockedBloomProbeBits = 9;
+inline constexpr int kBlockedBloomProbesPerWord = 6;
+
+inline void BlockedBloomProbe(uint64_t* block, int k, uint64_t probe_bits) {
+  uint64_t probes = probe_bits;
+  for (int i = 0; i < k; ++i) {
+    if (i == kBlockedBloomProbesPerWord) probes = Mix64(probe_bits);
+    const uint32_t bit =
+        static_cast<uint32_t>(probes) & ((1u << kBlockedBloomProbeBits) - 1);
+    probes >>= kBlockedBloomProbeBits;
+    block[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+}
+
+inline bool BlockedBloomTest(const uint64_t* block, int k,
+                             uint64_t probe_bits) {
+  uint64_t probes = probe_bits;
+  for (int i = 0; i < k; ++i) {
+    if (i == kBlockedBloomProbesPerWord) probes = Mix64(probe_bits);
+    const uint32_t bit =
+        static_cast<uint32_t>(probes) & ((1u << kBlockedBloomProbeBits) - 1);
+    probes >>= kBlockedBloomProbeBits;
+    if (((block[bit >> 6] >> (bit & 63)) & 1) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace gems::simd::internal
+
+#endif  // GEMS_SIMD_INTERNAL_H_

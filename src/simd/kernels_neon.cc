@@ -1,0 +1,79 @@
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.h"
+
+/// \file
+/// NEON kernel variants (aarch64). NEON lacks a 64x64 vector multiply, so
+/// the mixing-heavy kernels keep the scalar reference (which aarch64
+/// compilers already schedule well); the wins here are the wide
+/// elementwise merge kernels. Every function must be bit-identical to
+/// kernels_scalar.cc.
+
+namespace gems::simd {
+namespace {
+
+void U8Max(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(dst + i, vmaxq_u8(vld1q_u8(dst + i), vld1q_u8(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = std::max(dst[i], src[i]);
+}
+
+void U64Min(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t a = vld1q_u64(dst + i);
+    const uint64x2_t b = vld1q_u64(src + i);
+    // No vminq_u64; select b where a > b.
+    vst1q_u64(dst + i, vbslq_u64(vcgtq_u64(a, b), b, a));
+  }
+  for (; i < n; ++i) dst[i] = std::min(dst[i], src[i]);
+}
+
+void U64Or(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void U64Add(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vaddq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void I64Add(int64_t* dst, const int64_t* src, size_t n) {
+  U64Add(reinterpret_cast<uint64_t*>(dst),
+         reinterpret_cast<const uint64_t*>(src), n);
+}
+
+}  // namespace
+
+const SimdKernels* NeonKernels() {
+  static const SimdKernels table = [] {
+    SimdKernels t = ScalarKernels();
+    t.name = "neon";
+    t.u8_max = &U8Max;
+    t.u64_min = &U64Min;
+    t.u64_or = &U64Or;
+    t.u64_add = &U64Add;
+    t.i64_add = &I64Add;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace gems::simd
+
+#endif  // aarch64

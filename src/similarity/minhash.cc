@@ -2,9 +2,12 @@
 
 #include <limits>
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "core/wire.h"
 #include "hash/hash.h"
+#include "simd/dispatch.h"
 
 namespace gems {
 
@@ -18,6 +21,23 @@ void MinHashSketch::Update(uint64_t item) {
   for (uint32_t i = 0; i < k_; ++i) {
     const uint64_t h = Hash64(item, DeriveSeed(seed_, i));
     if (h < signature_[i]) signature_[i] = h;
+  }
+}
+
+void MinHashSketch::UpdateBatch(std::span<const uint64_t> items) {
+  // Coordinates outer: each signature slot is a pure min-reduction over
+  // the batch under its own hash function, so one kernel call folds the
+  // whole batch with the seed mix hoisted out of the item loop (per-item
+  // Update re-derives it for every item). Min commutes and the hash values
+  // are identical, so the signature is byte-identical to per-item ingest.
+  const simd::SimdKernels& kernels = simd::Kernels();
+  for (uint32_t i = 0; i < k_; ++i) {
+    // Hash64(item, s) = Mix64(item + Mix64(s + C)); hoist the seed mix.
+    const uint64_t mixed_seed =
+        Mix64(DeriveSeed(seed_, i) + 0x9E3779B97F4A7C15ULL);
+    const uint64_t batch_min =
+        kernels.mix64_min(items.data(), items.size(), mixed_seed);
+    signature_[i] = std::min(signature_[i], batch_min);
   }
 }
 
@@ -38,9 +58,8 @@ Status MinHashSketch::Merge(const MinHashSketch& other) {
     return Status::InvalidArgument(
         "MinHash merge requires identical k and seed");
   }
-  for (uint32_t i = 0; i < k_; ++i) {
-    signature_[i] = std::min(signature_[i], other.signature_[i]);
-  }
+  simd::Kernels().u64_min(signature_.data(), other.signature_.data(),
+                          signature_.size());
   return Status::Ok();
 }
 

@@ -31,6 +31,11 @@ class MinHashSketch {
   /// Adds a set element (idempotent).
   void Update(uint64_t item);
 
+  /// Batched ingest: folds the whole batch into each signature coordinate
+  /// with one hoisted min-reduction per coordinate. Min commutes, so the
+  /// signature is byte-identical to per-item Update().
+  void UpdateBatch(std::span<const uint64_t> items);
+
   /// Estimated Jaccard similarity with another sketch (same k and seed).
   Result<double> Jaccard(const MinHashSketch& other) const;
 

@@ -17,11 +17,14 @@
 #include "core/registry.h"
 #include "frequency/count_min.h"
 #include "frequency/count_sketch.h"
+#include "frequency/misra_gries.h"
 #include "frequency/space_saving.h"
 #include "membership/blocked_bloom.h"
 #include "membership/bloom.h"
+#include "moments/ams.h"
 #include "quantiles/kll.h"
 #include "sampling/reservoir.h"
+#include "similarity/minhash.h"
 #include "workload/generators.h"
 
 namespace gems {
@@ -195,6 +198,105 @@ TEST(BatchEquivalence, SpaceSavingWeighted) {
     sequential.Update(items[i], weights[i]);
   }
   EXPECT_EQ(batched.Serialize(), sequential.Serialize());
+}
+
+TEST(BatchEquivalence, MinHash) {
+  MinHashSketch batched(128, /*seed=*/37);
+  MinHashSketch sequential(128, /*seed=*/37);
+  const std::vector<uint64_t> items = ZipfItems(20000, 20);
+  FeedRagged<uint64_t>(items, [&](auto s) { batched.UpdateBatch(s); });
+  for (uint64_t item : items) sequential.Update(item);
+  EXPECT_EQ(batched.Serialize(), sequential.Serialize());
+}
+
+// Misra-Gries coalesces runs only when the update cannot reach the
+// order-dependent decrement-all step; a capacity far below the number of
+// distinct items keeps the table full so the fallback path runs constantly.
+TEST(BatchEquivalence, MisraGriesWithDecrements) {
+  MisraGries batched(32);
+  MisraGries sequential(32);
+  const std::vector<uint64_t> items = ZipfItems(30000, 21);
+  FeedRagged<uint64_t>(items, [&](auto s) { batched.UpdateBatch(s); });
+  for (uint64_t item : items) sequential.Update(item);
+  EXPECT_EQ(batched.Serialize(), sequential.Serialize());
+}
+
+TEST(BatchEquivalence, MisraGriesNoEvictions) {
+  // Capacity above the universe: every run takes the coalesced fast path.
+  MisraGries batched(8192);
+  MisraGries sequential(8192);
+  const std::vector<uint64_t> items = ZipfItems(20000, 22);
+  FeedRagged<uint64_t>(items, [&](auto s) { batched.UpdateBatch(s); });
+  for (uint64_t item : items) sequential.Update(item);
+  EXPECT_EQ(batched.Serialize(), sequential.Serialize());
+}
+
+TEST(BatchEquivalence, Ams) {
+  AmsSketch batched(16, 5, /*seed=*/41);
+  AmsSketch sequential(16, 5, /*seed=*/41);
+  const std::vector<uint64_t> items = ZipfItems(10000, 23);
+  FeedRagged<uint64_t>(items, [&](auto s) { batched.UpdateBatch(s); });
+  for (uint64_t item : items) sequential.Update(item);
+  EXPECT_EQ(batched.Serialize(), sequential.Serialize());
+}
+
+TEST(BatchEquivalence, AmsWeighted) {
+  AmsSketch batched(16, 5, /*seed=*/41);
+  AmsSketch sequential(16, 5, /*seed=*/41);
+  const std::vector<uint64_t> items = ZipfItems(5000, 24);
+  std::vector<int64_t> weights;
+  for (size_t i = 0; i < items.size(); ++i) {
+    weights.push_back(static_cast<int64_t>(i % 9) - 4);  // Includes negatives.
+  }
+  size_t offset = 0;
+  FeedRagged<uint64_t>(items, [&](std::span<const uint64_t> s) {
+    batched.UpdateBatch(s,
+                        std::span<const int64_t>(weights).subspan(offset, s.size()));
+    offset += s.size();
+  });
+  for (size_t i = 0; i < items.size(); ++i) {
+    sequential.Update(items[i], weights[i]);
+  }
+  EXPECT_EQ(batched.Serialize(), sequential.Serialize());
+}
+
+// Batched queries must agree point-for-point with their scalar twins.
+TEST(BatchEquivalence, CountMinEstimateBatch) {
+  CountMinSketch sketch(2048, 4, /*seed=*/43);
+  const std::vector<uint64_t> items = ZipfItems(20000, 25);
+  sketch.UpdateBatch(items);
+  const std::vector<uint64_t> queries = ZipfItems(3000, 26);
+  std::vector<uint64_t> batched(queries.size());
+  sketch.EstimateBatch(queries, batched.data());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i], sketch.Estimate(queries[i])) << i;
+  }
+}
+
+TEST(BatchEquivalence, BloomMayContainBatch) {
+  BloomFilter filter(1 << 16, 7, /*seed=*/47);
+  const std::vector<uint64_t> items = ZipfItems(10000, 27);
+  filter.InsertBatch(items);
+  std::vector<uint64_t> queries = items;
+  for (size_t i = 0; i < 5000; ++i) queries.push_back(i * 0xABCDEF12345ull);
+  std::vector<uint8_t> batched(queries.size());
+  filter.MayContainBatch(queries, batched.data());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i] != 0, filter.MayContain(queries[i])) << i;
+  }
+}
+
+TEST(BatchEquivalence, BlockedBloomMayContainBatch) {
+  BlockedBloomFilter filter(1 << 16, 8, /*seed=*/53);
+  const std::vector<uint64_t> items = ZipfItems(10000, 28);
+  filter.InsertBatch(items);
+  std::vector<uint64_t> queries = items;
+  for (size_t i = 0; i < 5000; ++i) queries.push_back(i * 0xFEDCBA9877ull);
+  std::vector<uint8_t> batched(queries.size());
+  filter.MayContainBatch(queries, batched.data());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i] != 0, filter.MayContain(queries[i])) << i;
+  }
 }
 
 TEST(BatchEquivalence, BloomFilter) {

@@ -20,23 +20,40 @@
 //     # scalar reference table and once with the startup selection. The
 //     # ratio isolates the SIMD kernel layer's contribution (both sides
 //     # use the identical batch path).
+//   bench_e07_throughput --e07_concurrent_json=out.json
+//                        [--e07_concurrent_items=N]
+//     # concurrent-summary harness: (A) fixed-work writer ingest at
+//     # 1/2/4/8 writers through the wait-free local-buffer ConcurrentSummary
+//     # vs an embedded replica of the striped-lock design it replaced, and
+//     # (B) reader query throughput on a dedicated thread while 0/1/2/4/8
+//     # writers saturate ingest, with mean staleness sampled against an
+//     # exact written-items counter. Reader throughput is reported in both
+//     # wall time and thread CPU time; the CPU-time ratio is what CI gates,
+//     # so an oversubscribed runner can't fake a reader stall.
 //
 // Every JSON document embeds a "dispatch" object (level, cpu_features,
 // forced_scalar) so artifacts are attributable to the hardware they ran on.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "cardinality/hllpp.h"
 #include "cardinality/hyperloglog.h"
 #include "cardinality/kmv.h"
+#include "distributed/concurrent/concurrent_summary.h"
 #include "distributed/sharded_pipeline.h"
 #include "frequency/count_min.h"
 #include "frequency/count_sketch.h"
@@ -757,15 +774,330 @@ int RunThreadScaling(const std::string& json_path, size_t num_items) {
   return std::fclose(f) == 0 ? 0 : 1;
 }
 
+// ----------------- concurrent wait-free summary harness -----------------
+//
+// Two phases, both answering questions the unit tests can't:
+//
+//   Phase A (writer ingest): the same fixed item stream split evenly
+//   across 1/2/4/8 writer threads, pushed per-item through (a) the
+//   wait-free local-buffer ConcurrentSummary and (b) StripedLockSummary,
+//   an embedded replica of the lock-per-update striped design this PR
+//   replaced. The striped replica even gets its best case — one stripe
+//   per writer, so its locks are uncontended — and the buffered design
+//   must still win on the strength of batch-drained local sketches alone.
+//
+//   Phase B (reader under load): a dedicated reader thread runs a fixed
+//   number of wait-free queries while 0 (idle) / 1 / 2 / 4 / 8 writers
+//   saturate ingest with distinct items. Writers maintain an exact
+//   written-items counter so the reader can sample staleness: the
+//   fraction of written items not yet visible in Estimate(). Reader
+//   throughput is recorded against wall time and CLOCK_THREAD_CPUTIME_ID;
+//   the CPU-time ratio is the CI gate because on a small shared runner 9
+//   runnable threads oversubscribe the cores, and wall time then measures
+//   the scheduler, not the read path.
+
+// Replica of the striped-lock ConcurrentSummary that
+// src/distributed/concurrent/ replaced, kept verbatim-in-spirit as the
+// bench baseline: per-thread stripe selected by a first-touch round-robin
+// token, one mutex acquisition per update, merge-on-read snapshot.
+template <typename S>
+class StripedLockSummary {
+ public:
+  StripedLockSummary(const S& prototype, size_t num_stripes)
+      : stripes_(RoundUpPow2(num_stripes)) {
+    for (Stripe& stripe : stripes_) stripe.summary.emplace(prototype);
+  }
+
+  void Update(uint64_t item) {
+    Stripe& stripe = stripes_[StripeIndex()];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.summary->Update(item);
+  }
+
+  S Snapshot() const {
+    S merged = [&] {
+      std::lock_guard<std::mutex> lock(stripes_[0].mutex);
+      return *stripes_[0].summary;
+    }();
+    for (size_t i = 1; i < stripes_.size(); ++i) {
+      std::lock_guard<std::mutex> lock(stripes_[i].mutex);
+      (void)merged.Merge(*stripes_[i].summary);
+    }
+    return merged;
+  }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::optional<S> summary;
+  };
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t rounded = 1;
+    while (rounded < n) rounded <<= 1;
+    return rounded;
+  }
+
+  size_t StripeIndex() const {
+    static std::atomic<size_t> next_token{0};
+    thread_local const size_t token =
+        next_token.fetch_add(1, std::memory_order_relaxed);
+    return token & (stripes_.size() - 1);
+  }
+
+  std::vector<Stripe> stripes_;
+};
+
+struct ConcurrentWriterRow {
+  const char* sketch;
+  size_t writers;
+  double concurrent_writer_mops;
+  double striped_writer_mops;
+  double writer_speedup;  // concurrent / striped.
+};
+
+// Fixed total work: `items` split evenly across the writers, per-item
+// Update() on both designs (the contended path the rewrite targets; both
+// keep batch entry points, which phase B's writers exercise via the drain).
+// Each timed run ends with a Snapshot() so the concurrent side pays for
+// its exit-hook folds and final publish inside the measurement.
+template <typename S>
+void ConcurrentWriterScale(const char* name, const S& prototype,
+                           const std::vector<uint64_t>& items,
+                           std::vector<ConcurrentWriterRow>* rows) {
+  const double n = static_cast<double>(items.size());
+  for (const size_t writers :
+       {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const size_t per = items.size() / writers;
+    const auto run_writers = [&](auto& live) {
+      std::vector<std::thread> threads;
+      threads.reserve(writers);
+      for (size_t w = 0; w < writers; ++w) {
+        threads.emplace_back([&live, &items, per, writers, w] {
+          const size_t begin = w * per;
+          const size_t end =
+              w + 1 == writers ? items.size() : begin + per;
+          for (size_t i = begin; i < end; ++i) live.Update(items[i]);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    };
+    const double concurrent = BestSeconds([&] {
+      gems::ConcurrentSummary<S> live(prototype);
+      run_writers(live);
+      auto snapshot = live.Snapshot();
+      benchmark::DoNotOptimize(snapshot);
+    });
+    const double striped = BestSeconds([&] {
+      StripedLockSummary<S> live(prototype, writers);
+      run_writers(live);
+      S snapshot = live.Snapshot();
+      benchmark::DoNotOptimize(snapshot);
+    });
+    rows->push_back({name, writers, n / concurrent / 1e6,
+                     n / striped / 1e6, striped / concurrent});
+  }
+}
+
+struct ConcurrentReaderRow {
+  const char* sketch;
+  size_t writers;
+  double reader_mops;           // wall-clock queries/sec.
+  double reader_cpu_mops;       // thread-CPU-time queries/sec.
+  double reader_vs_idle;        // wall, vs this sketch's writers:0 row.
+  double reader_vs_idle_cpu;    // CPU time, vs writers:0 — the CI gate.
+  double staleness_frac_mean;   // mean (written - visible)/written, >= 0.
+};
+
+double ThreadCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// One sketch's reader-under-load sweep. `read(live)` is the wait-free
+// query under test and must return a double so the sum can't be
+// dead-code-eliminated. Writers push globally distinct items (per-writer
+// high bits, sequential low bits) so for HLL the exact written counter is
+// also the true cardinality and staleness is directly observable; the
+// counter only includes full 1024-item blocks, so it never runs ahead of
+// what the writer actually called Update() with.
+template <typename S, typename ReadFn>
+void ConcurrentReaderUnderLoad(const char* name, const S& prototype,
+                               ReadFn read, bool track_staleness,
+                               size_t reader_iters,
+                               std::vector<ConcurrentReaderRow>* rows) {
+  double idle_wall_mops = 0.0;
+  double idle_cpu_mops = 0.0;
+  for (const size_t writers :
+       {size_t{0}, size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    gems::ConcurrentSummary<S> live(prototype);
+    // Idle rows still read a populated sketch, not a freshly-zeroed one.
+    for (uint64_t i = 0; i < 4096; ++i) live.Update(~uint64_t{0} - i);
+    live.FlushLocal();
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> written{0};
+    std::vector<std::thread> threads;
+    threads.reserve(writers);
+    for (size_t w = 0; w < writers; ++w) {
+      threads.emplace_back([&live, &stop, &written, w] {
+        const uint64_t base = (w + 1) << 40;
+        uint64_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int k = 0; k < 1024; ++k) live.Update(base + i++);
+          written.fetch_add(1024, std::memory_order_relaxed);
+        }
+      });
+    }
+    if (writers > 0) {
+      // Let the first propagation land so staleness samples measure the
+      // steady state, not startup.
+      const uint64_t start_epoch = live.epoch();
+      while (live.epoch() == start_epoch) std::this_thread::yield();
+    }
+
+    double best_wall = 1e100;
+    double best_cpu = 1e100;
+    double staleness_sum = 0.0;
+    size_t staleness_samples = 0;
+    for (int r = 0; r < kReps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const double c0 = ThreadCpuSeconds();
+      double sum = 0.0;
+      for (size_t i = 0; i < reader_iters; ++i) {
+        sum += read(live);
+        if constexpr (gems::EstimableSummary<S>) {
+          if (track_staleness && writers > 0 && (i & 0xFFF) == 0) {
+            const double w = static_cast<double>(
+                written.load(std::memory_order_relaxed));
+            if (w > 0) {
+              const double lag = (w - live.Estimate()) / w;
+              staleness_sum += lag > 0 ? lag : 0.0;
+              ++staleness_samples;
+            }
+          }
+        }
+      }
+      benchmark::DoNotOptimize(sum);
+      const double cpu = ThreadCpuSeconds() - c0;
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      best_wall = std::min(best_wall, wall);
+      best_cpu = std::min(best_cpu, cpu);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : threads) t.join();
+
+    const double n = static_cast<double>(reader_iters);
+    const double wall_mops = n / best_wall / 1e6;
+    const double cpu_mops = n / best_cpu / 1e6;
+    if (writers == 0) {
+      idle_wall_mops = wall_mops;
+      idle_cpu_mops = cpu_mops;
+    }
+    rows->push_back(
+        {name, writers, wall_mops, cpu_mops, wall_mops / idle_wall_mops,
+         cpu_mops / idle_cpu_mops,
+         staleness_samples > 0 ? staleness_sum / staleness_samples : 0.0});
+  }
+}
+
+int RunConcurrentBench(const std::string& json_path, size_t num_items) {
+  const std::vector<uint64_t> items = gems::DistinctItems(num_items, 42);
+  const std::vector<uint64_t> zipf =
+      gems::ZipfGenerator(1 << 20, 1.1, 42).Take(num_items);
+
+  std::vector<ConcurrentWriterRow> writer_rows;
+  ConcurrentWriterScale("hyperloglog", gems::HyperLogLog(12, 1), items,
+                        &writer_rows);
+  ConcurrentWriterScale("countmin", gems::CountMinSketch(4096, 4, 1), zipf,
+                        &writer_rows);
+
+  std::vector<ConcurrentReaderRow> reader_rows;
+  // HLL readers take the cached-estimate path: one atomic load per query.
+  // This is the gated row — it must stay within 20% of idle (CPU time)
+  // with 8 writers saturating ingest.
+  ConcurrentReaderUnderLoad(
+      "hyperloglog", gems::HyperLogLog(12, 1),
+      [](const gems::ConcurrentSummary<gems::HyperLogLog>& live) {
+        return live.Estimate();
+      },
+      /*track_staleness=*/true, /*reader_iters=*/std::min(num_items * 16,
+                                                          size_t{1} << 25),
+      &reader_rows);
+  // Count-Min readers take the pinned-epoch Query path (point estimate of
+  // one probe key) — the heavier read that actually touches the published
+  // buffer. Informational: pin/unpin traffic is the cost being observed.
+  const uint64_t probe = zipf[0];
+  ConcurrentReaderUnderLoad(
+      "countmin", gems::CountMinSketch(4096, 4, 1),
+      [probe](const gems::ConcurrentSummary<gems::CountMinSketch>& live) {
+        return live.Query([probe](const gems::CountMinSketch& s) {
+          return static_cast<double>(s.EstimateCount(probe));
+        });
+      },
+      /*track_staleness=*/false, /*reader_iters=*/std::min(num_items * 2,
+                                                           size_t{1} << 22),
+      &reader_rows);
+
+  std::string json = "{\n  \"bench\": \"e07_concurrent\",\n";
+  json += "  \"items\": " + std::to_string(num_items) + ",\n";
+  json += "  \"dispatch\": " + gems::simd::DispatchJson() + ",\n";
+  json += "  \"writer_results\": [\n";
+  char line[320];
+  for (size_t i = 0; i < writer_rows.size(); ++i) {
+    const ConcurrentWriterRow& row = writer_rows[i];
+    std::snprintf(line, sizeof(line),
+                  "    {\"sketch\": \"%s\", \"writers\": %zu, "
+                  "\"concurrent_writer_mops\": %.2f, "
+                  "\"striped_writer_mops\": %.2f, "
+                  "\"writer_speedup\": %.2f}%s\n",
+                  row.sketch, row.writers, row.concurrent_writer_mops,
+                  row.striped_writer_mops, row.writer_speedup,
+                  i + 1 < writer_rows.size() ? "," : "");
+    json += line;
+  }
+  json += "  ],\n  \"reader_results\": [\n";
+  for (size_t i = 0; i < reader_rows.size(); ++i) {
+    const ConcurrentReaderRow& row = reader_rows[i];
+    std::snprintf(line, sizeof(line),
+                  "    {\"sketch\": \"%s\", \"writers\": %zu, "
+                  "\"reader_mops\": %.2f, \"reader_cpu_mops\": %.2f, "
+                  "\"reader_vs_idle\": %.3f, "
+                  "\"reader_vs_idle_cpu\": %.3f, "
+                  "\"staleness_frac_mean\": %.4f}%s\n",
+                  row.sketch, row.writers, row.reader_mops,
+                  row.reader_cpu_mops, row.reader_vs_idle,
+                  row.reader_vs_idle_cpu, row.staleness_frac_mean,
+                  i + 1 < reader_rows.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  std::FILE* f = std::fopen(json_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
   std::string scaling_json_path;
   std::string simd_json_path;
+  std::string concurrent_json_path;
   size_t num_items = 1 << 20;
   size_t scaling_items = 1 << 21;
   size_t simd_items = 1 << 20;
+  size_t concurrent_items = 1 << 21;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -787,9 +1119,20 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--e07_simd_items=", 0) == 0) {
       simd_items = std::strtoull(argv[i] + std::strlen("--e07_simd_items="),
                                  nullptr, 10);
+    } else if (arg.rfind("--e07_concurrent_json=", 0) == 0) {
+      concurrent_json_path =
+          std::string(arg.substr(std::strlen("--e07_concurrent_json=")));
+    } else if (arg.rfind("--e07_concurrent_items=", 0) == 0) {
+      concurrent_items = std::strtoull(
+          argv[i] + std::strlen("--e07_concurrent_items="), nullptr, 10);
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+  if (!concurrent_json_path.empty()) {
+    return RunConcurrentBench(
+        concurrent_json_path,
+        concurrent_items == 0 ? 1 << 21 : concurrent_items);
   }
   if (!simd_json_path.empty()) {
     return RunSimdComparison(simd_json_path,

@@ -80,6 +80,31 @@ concept BatchInsertableSummary =
       { s.InsertBatch(keys) };
     };
 
+/// A summary with a no-argument point estimate (the unified Estimate()
+/// surface of the cardinality / counting families). The concurrent
+/// wrapper caches this value atomically at each publication so its
+/// Estimate() is a single load.
+template <typename S>
+concept EstimableSummary = requires(const S& s) {
+  { s.Estimate() } -> std::convertible_to<double>;
+};
+
+/// The contract the engine (and the future gemsd server) expects of a
+/// concurrent, queryable-under-ingest summary wrapper: thread-safe item
+/// ingest, a way to force the calling thread's residual state visible
+/// (FlushLocal), wait-free point estimates, a monotone publication epoch
+/// usable as a staleness probe, and a consistent snapshot. Satisfied by
+/// ConcurrentSummary<S> whenever S itself is estimable.
+template <typename C>
+concept ConcurrentEstimableSummary =
+    requires(C c, const C& cc, uint64_t item) {
+      { c.Update(item) };
+      { cc.FlushLocal() };
+      { cc.Estimate() } -> std::convertible_to<double>;
+      { cc.epoch() } -> std::convertible_to<uint64_t>;
+      { cc.Snapshot() };
+    };
+
 /// A summary that serializes to bytes and back. Deserialize takes a
 /// borrowed span, so callers holding mmap'd or ring-buffer bytes never
 /// copy into a vector first.

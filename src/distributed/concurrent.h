@@ -1,134 +1,16 @@
 #ifndef GEMS_DISTRIBUTED_CONCURRENT_H_
 #define GEMS_DISTRIBUTED_CONCURRENT_H_
 
-#include <atomic>
-#include <mutex>
-#include <optional>
-#include <span>
-#include <thread>
-#include <vector>
-
-#include "common/check.h"
-#include "core/summary.h"
-
 /// \file
-/// Thread-safe wrapper for any mergeable summary, in the spirit of the
-/// concurrent DataSketches work (Rinberg et al., TOPC 2022) the paper
-/// cites: writers update striped local copies under per-stripe locks
-/// (contention-free for typical thread counts), and readers merge a
-/// snapshot. Mergeability is exactly what makes this sound: the striped
-/// copies are just an n-way partition of the stream.
+/// Forwarding header, kept so existing includes of
+/// "distributed/concurrent.h" keep working. The striped-mutex wrapper
+/// that used to live here was replaced by the wait-free
+/// local-buffer/propagator design in distributed/concurrent/ — same name,
+/// same core API surface (Update / UpdateBatch / InsertBatch / Snapshot),
+/// plus wait-free Estimate / EstimateWithBounds / Query / epoch.
 
-namespace gems {
-
-/// Striped concurrent wrapper around a mergeable summary S.
-/// S must be copyable; all stripes start as copies of the prototype, so
-/// they are merge-compatible by construction.
-template <typename S>
-  requires MergeableSummary<S>
-class ConcurrentSummary {
- public:
-  /// All stripes are clones of `prototype` (same seed/shape).
-  /// `num_stripes` = 0 picks the hardware concurrency; any value is
-  /// rounded up to a power of two and clamped to [1, kMaxStripes] so the
-  /// stripe selector can mask instead of divide.
-  explicit ConcurrentSummary(const S& prototype, size_t num_stripes = 0)
-      : stripes_(ResolveStripes(num_stripes)) {
-    for (Stripe& stripe : stripes_) stripe.summary.emplace(prototype);
-  }
-
-  ConcurrentSummary(const ConcurrentSummary&) = delete;
-  ConcurrentSummary& operator=(const ConcurrentSummary&) = delete;
-
-  /// Upper bound on the stripe count (a 256-way partition already exceeds
-  /// any machine this library targets).
-  static constexpr size_t kMaxStripes = 256;
-
-  size_t num_stripes() const { return stripes_.size(); }
-
-  /// Thread-safe update; forwards `args` to S::Update on this thread's
-  /// stripe.
-  template <typename... Args>
-  void Update(Args&&... args) {
-    Stripe& stripe = stripes_[StripeIndex()];
-    std::lock_guard<std::mutex> lock(stripe.mutex);
-    stripe.summary->Update(std::forward<Args>(args)...);
-  }
-
-  /// Thread-safe batch drain: acquires this thread's stripe lock once and
-  /// feeds the whole span through the summary's batch fast path. This is
-  /// the concurrent analogue of UpdateBatch — one lock round-trip per
-  /// batch instead of one per item.
-  void UpdateBatch(std::span<const uint64_t> items)
-    requires BatchItemSummary<S>
-  {
-    Stripe& stripe = stripes_[StripeIndex()];
-    std::lock_guard<std::mutex> lock(stripe.mutex);
-    stripe.summary->UpdateBatch(items);
-  }
-
-  /// Batch drain for membership filters (InsertBatch entry point).
-  void InsertBatch(std::span<const uint64_t> keys)
-    requires BatchInsertableSummary<S>
-  {
-    Stripe& stripe = stripes_[StripeIndex()];
-    std::lock_guard<std::mutex> lock(stripe.mutex);
-    stripe.summary->InsertBatch(keys);
-  }
-
-  /// Merged snapshot of all stripes (readers pay the merge; writers are
-  /// only briefly blocked one stripe at a time). Stripes are clones of one
-  /// prototype, so merges should always succeed — but a failure (e.g. a
-  /// summary whose Merge has data-dependent preconditions) is propagated
-  /// to the caller rather than aborting the process.
-  Result<S> Snapshot() const {
-    S merged = [&] {
-      std::lock_guard<std::mutex> lock(stripes_[0].mutex);
-      return *stripes_[0].summary;
-    }();
-    for (size_t i = 1; i < stripes_.size(); ++i) {
-      std::lock_guard<std::mutex> lock(stripes_[i].mutex);
-      Status s = merged.Merge(*stripes_[i].summary);
-      if (!s.ok()) return s;
-    }
-    return merged;
-  }
-
- private:
-  struct Stripe {
-    mutable std::mutex mutex;
-    std::optional<S> summary;  // Emplaced in the constructor.
-  };
-
-  static size_t ResolveStripes(size_t requested) {
-    size_t n = requested != 0
-                   ? requested
-                   : static_cast<size_t>(std::thread::hardware_concurrency());
-    if (n == 0) n = 1;  // hardware_concurrency may be unknown.
-    if (n > kMaxStripes) n = kMaxStripes;
-    size_t rounded = 1;
-    while (rounded < n) rounded <<= 1;
-    return rounded;
-  }
-
-  size_t StripeIndex() const {
-    // Round-robin stripe assignment: each thread draws one token from an
-    // atomic counter on its first touch and keeps it for life. Hashing the
-    // thread id (the previous scheme) could map several threads to one
-    // stripe while others sat idle; with sequential tokens, any k <=
-    // num_stripes() threads whose tokens are consecutive (the common case:
-    // a worker fleet spun up together) land on k distinct stripes, because
-    // consecutive integers are distinct under a power-of-two mask.
-    static std::atomic<size_t> next_token{0};
-    thread_local const size_t token =
-        next_token.fetch_add(1, std::memory_order_relaxed);
-    return token & (stripes_.size() - 1);
-  }
-
-  // Count-constructed once and never resized (Stripe is immovable).
-  std::vector<Stripe> stripes_;
-};
-
-}  // namespace gems
+#include "distributed/concurrent/concurrent_any.h"      // IWYU pragma: export
+#include "distributed/concurrent/concurrent_summary.h"  // IWYU pragma: export
+#include "distributed/concurrent/epoch.h"               // IWYU pragma: export
 
 #endif  // GEMS_DISTRIBUTED_CONCURRENT_H_

@@ -1,0 +1,104 @@
+#ifndef GEMS_DISTRIBUTED_CONCURRENT_CONCURRENT_ANY_H_
+#define GEMS_DISTRIBUTED_CONCURRENT_CONCURRENT_ANY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "core/registry.h"
+#include "distributed/concurrent/concurrent_summary.h"
+
+/// \file
+/// Type-erased concurrent wrapper: ConcurrentSummary over AnySketch, so
+/// the engine (and the future gemsd server) can stand up a live,
+/// queryable-under-ingest sketch knowing only its registry name. AnySketch
+/// is copy-on-write, which composes cleanly with the delta-fold design:
+/// publishing shares the global's representation with readers, and the
+/// next fold's mutation clones it first (EnsureUnique sees the shared
+/// count), so pinned readers always see an immutable version.
+
+namespace gems {
+
+/// A movable handle to a wait-free concurrent type-erased sketch.
+/// Construction validates the prototype up front, so the unchecked Update
+/// hot path can drop per-item Status plumbing.
+class ConcurrentAnySketch {
+ public:
+  using Options = ConcurrentSummary<AnySketch>::Options;
+
+  ConcurrentAnySketch() = default;
+  ConcurrentAnySketch(ConcurrentAnySketch&&) = default;
+  ConcurrentAnySketch& operator=(ConcurrentAnySketch&&) = default;
+
+  /// Wraps a concrete prototype handle. The prototype must be non-empty
+  /// and accept 64-bit item updates (the only update shape the type-erased
+  /// surface carries).
+  static Result<ConcurrentAnySketch> Make(AnySketch prototype,
+                                          Options options = Options{}) {
+    if (!prototype.has_value()) {
+      return Status::InvalidArgument(
+          "concurrent wrapper needs a non-empty prototype sketch");
+    }
+    // Probe the update shape on a throwaway copy so a sketch family with
+    // no Update(u64) (e.g. edge-sketches) fails here, not silently later.
+    AnySketch probe = prototype;
+    if (Status s = probe.Update(0); !s.ok()) return s;
+    ConcurrentAnySketch any;
+    any.prototype_type_ = prototype.type();
+    any.impl_ = std::make_unique<ConcurrentSummary<AnySketch>>(
+        prototype, options);
+    return any;
+  }
+
+  /// Builds the prototype from the registry by stable type name (e.g.
+  /// "hyperloglog"), with library-default parameters. Callers must have
+  /// populated the registry (RegisterBuiltinSketches) first.
+  static Result<ConcurrentAnySketch> MakeByName(const std::string& name,
+                                                Options options = Options{}) {
+    const SketchRegistry::Entry* entry =
+        SketchRegistry::Global().FindByName(name);
+    if (entry == nullptr || !entry->make_default) {
+      return Status::NotFound("no registered sketch type named '" + name +
+                              "' with a default factory");
+    }
+    return Make(entry->make_default(), options);
+  }
+
+  bool has_value() const { return impl_ != nullptr; }
+  SketchTypeId type() const { return prototype_type_; }
+
+  /// Thread-safe wait-free item update (buffered; see ConcurrentSummary).
+  void Update(uint64_t item) { impl_->Update(item); }
+
+  /// Thread-safe batch update through AnySketch's native batch dispatch.
+  void UpdateBatch(std::span<const uint64_t> items) {
+    impl_->UpdateBatch(items);
+  }
+
+  /// Wait-free one-line estimate of the published version.
+  std::string EstimateSummary() const {
+    return impl_->Query(
+        [](const AnySketch& s) { return s.EstimateSummary(); });
+  }
+
+  /// Consistent bounded-staleness snapshot (read-your-writes for the
+  /// calling thread); the returned handle is an independent COW copy.
+  Result<AnySketch> Snapshot() const { return impl_->Snapshot(); }
+
+  /// Publication version; monotone staleness probe.
+  uint64_t epoch() const { return impl_->epoch(); }
+
+  /// Folds and publishes the calling thread's residual state.
+  void FlushLocal() const { impl_->FlushLocal(); }
+
+ private:
+  std::unique_ptr<ConcurrentSummary<AnySketch>> impl_;
+  SketchTypeId prototype_type_{};
+};
+
+}  // namespace gems
+
+#endif  // GEMS_DISTRIBUTED_CONCURRENT_CONCURRENT_ANY_H_

@@ -1,0 +1,96 @@
+#ifndef GEMS_DISTRIBUTED_CONCURRENT_THREAD_SLOTS_H_
+#define GEMS_DISTRIBUTED_CONCURRENT_THREAD_SLOTS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+/// \file
+/// Per-thread slot registration for the concurrent wrapper: each writer
+/// thread binds itself to one slot of a ConcurrentSummary instance on
+/// first touch, and — the part the old striped design got wrong — the
+/// binding is *returned* when the thread exits. The exit hook folds the
+/// thread's residual local state into the shared global and frees the
+/// slot for reuse, so long-lived processes with thread churn neither leak
+/// slots nor lose buffered updates.
+///
+/// Lifetime rules: a binding holds a weak_ptr to the instance's shared
+/// state, so a thread outliving the summary simply skips the hook, and a
+/// summary outliving the thread gets the residual folded. Instance ids
+/// come from a process-wide monotone counter and are never reused, so a
+/// recycled heap address can never alias a stale binding.
+
+namespace gems {
+namespace concurrent_internal {
+
+/// One thread-to-instance binding. `slot` is borrowed memory inside the
+/// instance's shared state; it is only dereferenced while `state` is
+/// alive (callers lock the weak_ptr, or hold the shared_ptr themselves).
+struct TlsBinding {
+  uint64_t instance_id = 0;
+  std::weak_ptr<void> state;
+  void* slot = nullptr;
+  /// Called on thread exit with the (still alive) shared state and the
+  /// bound slot: folds residual local state and frees the slot.
+  void (*on_thread_exit)(const std::shared_ptr<void>& state,
+                         void* slot) = nullptr;
+};
+
+/// The calling thread's bindings, one entry per live ConcurrentSummary
+/// instance this thread has written to. Destroyed on thread exit, which
+/// runs every surviving instance's unbind hook.
+class TlsSlotRegistry {
+ public:
+  static TlsSlotRegistry& This() {
+    thread_local TlsSlotRegistry registry;
+    return registry;
+  }
+
+  /// The slot this thread bound for `instance_id`, or nullptr. Hot path:
+  /// a linear scan over a vector that almost always has one live entry.
+  void* Find(uint64_t instance_id) const {
+    for (const TlsBinding& binding : bindings_) {
+      if (binding.instance_id == instance_id) return binding.slot;
+    }
+    return nullptr;
+  }
+
+  /// Records a new binding. Entries whose instance has been destroyed are
+  /// pruned here, so churn through many short-lived summaries cannot grow
+  /// the list without bound.
+  void Bind(TlsBinding binding) {
+    bindings_.erase(
+        std::remove_if(bindings_.begin(), bindings_.end(),
+                       [](const TlsBinding& b) { return b.state.expired(); }),
+        bindings_.end());
+    bindings_.push_back(std::move(binding));
+  }
+
+  ~TlsSlotRegistry() {
+    for (TlsBinding& binding : bindings_) {
+      if (std::shared_ptr<void> state = binding.state.lock()) {
+        binding.on_thread_exit(state, binding.slot);
+      }
+    }
+  }
+
+  TlsSlotRegistry(const TlsSlotRegistry&) = delete;
+  TlsSlotRegistry& operator=(const TlsSlotRegistry&) = delete;
+
+ private:
+  TlsSlotRegistry() = default;
+  std::vector<TlsBinding> bindings_;
+};
+
+/// Process-wide unique id for each ConcurrentSummary instance.
+inline uint64_t NextInstanceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace concurrent_internal
+}  // namespace gems
+
+#endif  // GEMS_DISTRIBUTED_CONCURRENT_THREAD_SLOTS_H_

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "core/summary.h"
 #include "distributed/aggregation.h"
+#include "distributed/concurrent/concurrent_summary.h"
 #include "distributed/spsc_ring.h"
 #include "distributed/thread_pool.h"
 
@@ -124,11 +125,27 @@ class ShardedPipeline {
 
   size_t num_workers() const { return shards_.size(); }
 
+  /// Routes every worker's ingest into `live` instead of the private
+  /// shards, so the sketch is queryable (wait-free, bounded staleness)
+  /// *while* the pipeline saturates ingest — the serving-layer shape the
+  /// paper's impact stories describe. `live` must be built from a
+  /// merge-compatible prototype and outlive the pipeline; must be called
+  /// before the first Push. Finish() then returns live->Snapshot(), and
+  /// for partition-independent sketches the result is still byte-identical
+  /// to sequential ingest once quiesced.
+  void PublishTo(ConcurrentSummary<S>* live) {
+    GEMS_CHECK(live != nullptr);
+    GEMS_CHECK(!pushed_);
+    GEMS_CHECK(!finished_);
+    live_.store(live, std::memory_order_release);
+  }
+
   /// Feeds a span of items through the pipeline. Chunks go round-robin to
   /// the workers; blocks when the target ring is full. Single producer:
   /// Push must not be called concurrently with itself or Finish.
   void Push(std::span<const Item> items) {
     GEMS_CHECK(!finished_);
+    pushed_ = true;
     while (!items.empty()) {
       const size_t n = std::min(items.size(), options_.chunk_items);
       const Chunk chunk{items.data(), n};
@@ -151,6 +168,12 @@ class ShardedPipeline {
     finished_ = true;
     stop_.store(true, std::memory_order_release);
     drained_.Wait();
+    if (ConcurrentSummary<S>* live = live_.load(std::memory_order_acquire)) {
+      // Live mode: every worker flushed its residual into the concurrent
+      // global before signalling drained, so the published version is the
+      // complete stream; the private shards never saw an item.
+      return live->Snapshot();
+    }
     std::vector<S> leaves;
     leaves.reserve(shards_.size());
     for (std::unique_ptr<Shard>& shard : shards_) {
@@ -205,24 +228,53 @@ class ShardedPipeline {
     }
   }
 
+  /// Applies one chunk to the live concurrent global through its batched
+  /// (thread-local buffered) ingest paths — same dispatch as Apply.
+  static void ApplyLive(ConcurrentSummary<S>& live, const Chunk& chunk) {
+    const std::span<const Item> span(chunk.data, chunk.size);
+    if constexpr (BatchItemSummary<S>) {
+      live.UpdateBatch(span);
+    } else if constexpr (BatchInsertableSummary<S>) {
+      live.InsertBatch(span);
+    } else {
+      live.UpdateBatch(span);  // BatchValueSummary.
+    }
+  }
+
   void DrainLoop(size_t index) {
     Shard& shard = *shards_[index];
+    // The live pointer is re-checked until first seen non-null: PublishTo
+    // must precede the first Push, and the ring hand-off that delivered a
+    // chunk also ordered PublishTo's store before it — so no chunk can be
+    // applied to the private shard after a publish target was set.
+    ConcurrentSummary<S>* live = nullptr;
+    const auto apply = [&](const Chunk& chunk) {
+      if (live == nullptr) live = live_.load(std::memory_order_acquire);
+      if (live != nullptr) {
+        ApplyLive(*live, chunk);
+      } else {
+        Apply(shard.summary, chunk);
+      }
+    };
     Chunk chunk;
     int spins = 0;
     for (;;) {
       if (shard.ring.TryPop(&chunk)) {
         spins = 0;
-        Apply(shard.summary, chunk);
+        apply(chunk);
       } else if (stop_.load(std::memory_order_acquire)) {
         // Stop was requested after the last Push, so one more empty-check
         // after seeing the flag means the ring is drained for good.
         if (!shard.ring.TryPop(&chunk)) break;
         spins = 0;
-        Apply(shard.summary, chunk);
+        apply(chunk);
       } else {
         pipeline_internal::SpinBackoff(&spins);
       }
     }
+    // Fold this worker's buffered/local residual so Finish()'s Snapshot
+    // (sequenced after drained_.Wait()) sees the complete stream.
+    if (live != nullptr) live->FlushLocal();
   }
 
   Options options_;
@@ -230,7 +282,9 @@ class ShardedPipeline {
   std::vector<std::unique_ptr<Shard>> shards_;
   WaitGroup drained_;
   std::atomic<bool> stop_{false};
+  std::atomic<ConcurrentSummary<S>*> live_{nullptr};
   size_t next_shard_ = 0;
+  bool pushed_ = false;
   bool finished_ = false;
 };
 

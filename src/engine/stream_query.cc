@@ -64,6 +64,14 @@ StreamQuery& StreamQuery::AddFilter(
   return *this;
 }
 
+StreamQuery& StreamQuery::PublishDistinctTo(
+    ConcurrentSummary<HyperLogLog>* live) {
+  GEMS_CHECK(options_.aggregate == AggregateKind::kCountDistinct);
+  GEMS_CHECK(live != nullptr);
+  live_distinct_ = live;
+  return *this;
+}
+
 StreamQuery::GroupState& StreamQuery::StateFor(uint64_t group) {
   GroupState& state = groups_[group];
   switch (options_.aggregate) {
@@ -124,6 +132,7 @@ Status StreamQuery::Process(const StreamEvent& event) {
   switch (options_.aggregate) {
     case AggregateKind::kCountDistinct:
       state.distinct->Update(event.item);
+      if (live_distinct_ != nullptr) live_distinct_->Update(event.item);
       break;
     case AggregateKind::kTopK:
       state.top->Update(event.item, std::max<int64_t>(1, event.value));
@@ -161,6 +170,9 @@ Status StreamQuery::ProcessBatch(std::span<const StreamEvent> events) {
       if (Status s = AdvanceWindow(event); !s.ok()) return s;
       if (!PassesFilters(event)) continue;
       StateFor(event.group).distinct->UpdateHash(hashes[i]);
+      // The live global buffers raw items (it re-hashes on its own batched
+      // drain), so it takes the item, not the precomputed word.
+      if (live_distinct_ != nullptr) live_distinct_->Update(event.item);
     }
     events = events.subspan(n);
   }
@@ -244,6 +256,10 @@ Status StreamQuery::ProcessBatchParallel(std::span<const StreamEvent> events,
     GroupState* state = &StateFor(event.group);
     buckets[ShardOf(event.group, worker_mod)].push_back(
         {state, event.item, event.value});
+    // Mirrored on the routing (calling) thread, not the pool workers, so
+    // the live global sees one writer slot per query regardless of pool
+    // size; its own buffering keeps this off the routing hot path.
+    if (live_distinct_ != nullptr) live_distinct_->Update(event.item);
   }
   flush();
   return Status::Ok();
@@ -287,6 +303,10 @@ void StreamQuery::CloseWindow(uint64_t next_window_start) {
   closed_.push_back(std::move(result));
   groups_.clear();
   current_window_start_ = next_window_start;
+  // Window boundaries are the natural staleness bound for the live view:
+  // fold this thread's buffered residual so a reader is at most one open
+  // window behind the query.
+  if (live_distinct_ != nullptr) live_distinct_->FlushLocal();
 }
 
 std::vector<WindowResult> StreamQuery::Poll() {

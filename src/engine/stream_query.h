@@ -11,6 +11,7 @@
 
 #include "cardinality/hyperloglog.h"
 #include "common/status.h"
+#include "distributed/concurrent/concurrent_summary.h"
 #include "distributed/thread_pool.h"
 #include "frequency/space_saving.h"
 #include "quantiles/kll.h"
@@ -90,6 +91,16 @@ class StreamQuery {
   /// dropped. Returns *this for chaining.
   StreamQuery& AddFilter(std::function<bool(const StreamEvent&)> predicate);
 
+  /// Mirrors every accepted (post-filter) event's item into `live`, a
+  /// wait-free concurrent HLL that other threads can query while this
+  /// query ingests — the stream-wide live distinct count, across groups
+  /// and windows. Only valid for kCountDistinct queries; `live` should be
+  /// built with the query's precision and seed and must outlive the
+  /// query. Window closes flush the query thread's residual so a reader
+  /// is never more than one window plus one local buffer stale. Returns
+  /// *this for chaining.
+  StreamQuery& PublishDistinctTo(ConcurrentSummary<HyperLogLog>* live);
+
   /// Processes one event. Timestamps must be non-decreasing; an event in a
   /// later window closes the current one.
   Status Process(const StreamEvent& event);
@@ -158,6 +169,7 @@ class StreamQuery {
 
   Options options_;
   uint64_t seed_;
+  ConcurrentSummary<HyperLogLog>* live_distinct_ = nullptr;
   std::vector<std::function<bool(const StreamEvent&)>> filters_;
   uint64_t current_window_start_ = 0;
   bool window_initialized_ = false;

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <thread>
@@ -10,6 +11,8 @@
 #include "cardinality/hyperloglog.h"
 #include "cardinality/kmv.h"
 #include "common/numeric.h"
+#include "core/estimate.h"
+#include "core/registry.h"
 #include "distributed/aggregation.h"
 #include "distributed/concurrent.h"
 #include "distributed/sharded_pipeline.h"
@@ -169,14 +172,34 @@ TEST(MergeabilityTest, MisraGriesMergedKeepsGuarantee) {
 }
 
 // ------------------------------------------------------ Concurrent wrapper
+//
+// The wrapper under test is the wait-free local-buffer/propagator design:
+// per-thread buffered deltas folded into an epoch-published global. The
+// contracts pinned here: read-your-writes snapshots, residual folding on
+// thread exit, bounded-threads overflow correctness, wait-free reads, and
+// quiesced byte-identity with sequential ingest.
+
+static_assert(
+    ConcurrentEstimableSummary<ConcurrentSummary<HyperLogLog>>,
+    "the concurrent HLL wrapper must satisfy the engine-facing concept");
+static_assert(
+    !ConcurrentEstimableSummary<HyperLogLog>,
+    "a plain sketch (no FlushLocal/epoch) must not satisfy the concept");
+static_assert(
+    !ConcurrentEstimableSummary<ConcurrentSummary<CountMinSketch>>,
+    "no no-arg Estimate() on Count-Min, so no wait-free cached estimate");
 
 TEST(ConcurrentSummaryTest, SingleThreadMatchesPlain) {
+  // Snapshot() folds the calling thread's residual (read-your-writes), so
+  // a single-threaded run is byte-identical to a plain sketch — even with
+  // items still sitting in the local buffer.
   HyperLogLog plain(11, 5);
   ConcurrentSummary<HyperLogLog> concurrent(HyperLogLog(11, 5));
   for (uint64_t item : DistinctItems(50000, 6)) {
     plain.Update(item);
     concurrent.Update(item);
   }
+  EXPECT_EQ(concurrent.Snapshot().value().Serialize(), plain.Serialize());
   EXPECT_DOUBLE_EQ(concurrent.Snapshot().value().Count(), plain.Count());
 }
 
@@ -193,6 +216,7 @@ TEST(ConcurrentSummaryTest, MultiThreadedUpdatesAllLand) {
       }
     });
   }
+  // Joined threads ran their exit hooks, so every residual is folded.
   for (std::thread& thread : threads) thread.join();
   const double expected = kThreads * kPerThread;
   EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected, 0.06 * expected);
@@ -203,7 +227,8 @@ TEST(ConcurrentSummaryTest, SnapshotWhileWriting) {
   std::thread writer([&concurrent] {
     for (uint64_t item : DistinctItems(200000, 9)) concurrent.Update(item);
   });
-  // Concurrent snapshots must be monotone non-decreasing and never crash.
+  // Published versions are supersets of their predecessors, so concurrent
+  // snapshots must be monotone non-decreasing and never crash.
   double last = 0;
   int decreases = 0;
   for (int i = 0; i < 50; ++i) {
@@ -216,31 +241,41 @@ TEST(ConcurrentSummaryTest, SnapshotWhileWriting) {
   EXPECT_NEAR(concurrent.Snapshot().value().Count(), 200000.0, 0.07 * 200000);
 }
 
-TEST(ConcurrentSummaryTest, StripeCountRoundsUpToPowerOfTwo) {
+TEST(ConcurrentSummaryTest, OptionsResolveSlotsAndThresholds) {
   const HyperLogLog prototype(10, 1);
-  EXPECT_EQ(ConcurrentSummary<HyperLogLog>(prototype, 1).num_stripes(), 1u);
-  EXPECT_EQ(ConcurrentSummary<HyperLogLog>(prototype, 3).num_stripes(), 4u);
-  EXPECT_EQ(ConcurrentSummary<HyperLogLog>(prototype, 8).num_stripes(), 8u);
-  EXPECT_EQ(ConcurrentSummary<HyperLogLog>(prototype, 33).num_stripes(), 64u);
-  // 0 = auto: whatever the hardware picks, it must be a power of two in
-  // range.
-  const size_t auto_stripes =
-      ConcurrentSummary<HyperLogLog>(prototype).num_stripes();
-  EXPECT_GE(auto_stripes, 1u);
-  EXPECT_LE(auto_stripes, ConcurrentSummary<HyperLogLog>::kMaxStripes);
-  EXPECT_EQ(auto_stripes & (auto_stripes - 1), 0u);
+  // Explicit slot counts are honored exactly (tests and benches rely on
+  // forcing the overflow path with max_threads=1).
+  EXPECT_EQ(ConcurrentSummary<HyperLogLog>(prototype, {.max_threads = 1})
+                .max_threads(),
+            1u);
+  EXPECT_EQ(ConcurrentSummary<HyperLogLog>(prototype, {.max_threads = 3})
+                .max_threads(),
+            3u);
+  // 0 = auto: at least kMinSlots (room for thread churn), at most kMaxSlots.
+  const size_t auto_slots =
+      ConcurrentSummary<HyperLogLog>(prototype).max_threads();
+  EXPECT_GE(auto_slots, ConcurrentSummary<HyperLogLog>::kMinSlots);
+  EXPECT_LE(auto_slots, ConcurrentSummary<HyperLogLog>::kMaxSlots);
   // Oversized requests clamp to the maximum.
-  EXPECT_EQ(ConcurrentSummary<HyperLogLog>(prototype, 100000).num_stripes(),
-            ConcurrentSummary<HyperLogLog>::kMaxStripes);
+  EXPECT_EQ(
+      ConcurrentSummary<HyperLogLog>(prototype, {.max_threads = 100000})
+          .max_threads(),
+      ConcurrentSummary<HyperLogLog>::kMaxSlots);
+  // Derived thresholds: propagate defaults to the buffer size, the hard
+  // pending cap to 8x propagate.
+  const ConcurrentSummary<HyperLogLog> derived(prototype,
+                                               {.buffer_items = 512});
+  EXPECT_EQ(derived.options().propagate_items, 512u);
+  EXPECT_EQ(derived.options().max_pending_items, 8 * 512u);
 }
 
 TEST(ConcurrentSummaryTest, BatchDrainMatchesPerItem) {
-  // UpdateBatch through the wrapper must land the same state as per-item
-  // updates: with one stripe the merged snapshot is byte-comparable to a
-  // plain sketch fed the same stream.
+  // UpdateBatch through the wrapper must land the same state as a plain
+  // sketch fed the same stream: register-max is partition- and
+  // order-independent, so the folded global is byte-identical no matter
+  // how the drains interleaved with propagation.
   HyperLogLog plain(11, 5);
-  ConcurrentSummary<HyperLogLog> concurrent(HyperLogLog(11, 5),
-                                            /*num_stripes=*/1);
+  ConcurrentSummary<HyperLogLog> concurrent(HyperLogLog(11, 5));
   const auto items = DistinctItems(50000, 6);
   std::span<const uint64_t> span(items);
   for (size_t offset = 0; offset < span.size(); offset += 1000) {
@@ -269,6 +304,185 @@ TEST(ConcurrentSummaryTest, MultiThreadedBatchesAllLand) {
   for (std::thread& thread : threads) thread.join();
   const double expected = kThreads * kPerThread;
   EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected, 0.06 * expected);
+}
+
+TEST(ConcurrentSummaryTest, ThreadChurnRecyclesSlotsAndFoldsResiduals) {
+  // The satellite fix for the old design's first-touch token leak: an
+  // exiting thread must return its slot AND fold its residual buffered
+  // state. 50 short-lived threads against 2 slots — if slots leaked, later
+  // threads would still be correct (overflow path) but if residuals were
+  // dropped the final count would collapse, since 1000 items never fill
+  // the 256-item propagation threshold's 8x hard cap.
+  ConcurrentSummary<HyperLogLog> concurrent(
+      HyperLogLog(12, 21), {.buffer_items = 256, .max_threads = 2});
+  constexpr int kRounds = 50;
+  constexpr uint64_t kPerRound = 1000;
+  for (int round = 0; round < kRounds; ++round) {
+    std::thread worker([&concurrent, round] {
+      for (uint64_t item : DistinctItems(
+               kPerRound, 7000 + static_cast<uint64_t>(round))) {
+        concurrent.Update(item);
+      }
+    });
+    worker.join();
+  }
+  const double expected = kRounds * kPerRound;
+  EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected, 0.06 * expected);
+}
+
+TEST(ConcurrentSummaryTest, OverflowThreadsFallBackCorrectly) {
+  // One writer slot, two concurrent writers: whichever loses the slot race
+  // takes the locked overflow path on the global. Every item must land.
+  ConcurrentSummary<HyperLogLog> concurrent(
+      HyperLogLog(12, 22), {.buffer_items = 64, .max_threads = 1});
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&concurrent, t] {
+      for (uint64_t item :
+           DistinctItems(kPerThread, 8000 + static_cast<uint64_t>(t))) {
+        concurrent.Update(item);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double expected = 2 * kPerThread;
+  EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected, 0.07 * expected);
+}
+
+TEST(ConcurrentSummaryTest, EstimateAndBoundsAreWaitFreeViews) {
+  ConcurrentSummary<HyperLogLog> concurrent(HyperLogLog(12, 23));
+  const uint64_t epoch_before = concurrent.epoch();
+  for (uint64_t item : DistinctItems(100000, 24)) concurrent.Update(item);
+  concurrent.FlushLocal();
+  // Estimate() is the atomically cached value of the published version.
+  EXPECT_GT(concurrent.epoch(), epoch_before);
+  EXPECT_NEAR(concurrent.Estimate(), 100000.0, 0.05 * 100000);
+  const Estimate bounds = concurrent.EstimateWithBounds(0.95);
+  EXPECT_LE(bounds.lower, bounds.value);
+  EXPECT_GE(bounds.upper, bounds.value);
+  EXPECT_NEAR(bounds.value, concurrent.Estimate(), 1e-9);
+  // Query() runs arbitrary reads against the pinned published version.
+  const int precision =
+      concurrent.Query([](const HyperLogLog& s) { return s.precision(); });
+  EXPECT_EQ(precision, 12);
+}
+
+TEST(ConcurrentSummaryTest, QuiescedSnapshotBytesMatchSequentialHll) {
+  // The determinism satellite: once writers join (exit hooks fold every
+  // residual), the concurrent sketch's serialized bytes must equal a
+  // sequential sketch fed the same stream — register max is partition-
+  // independent, so any 4-way split of the items works.
+  const auto items = DistinctItems(120000, 25);
+  HyperLogLog sequential(12, 26);
+  sequential.UpdateBatch(items);
+  ConcurrentSummary<HyperLogLog> concurrent(HyperLogLog(12, 26),
+                                            {.buffer_items = 512});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&concurrent, &items, t] {
+      for (size_t i = t; i < items.size(); i += 4) {
+        concurrent.Update(items[i]);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(concurrent.Snapshot().value().Serialize(),
+            sequential.Serialize());
+}
+
+TEST(ConcurrentSummaryTest, QuiescedSnapshotBytesMatchSequentialCountMin) {
+  // Counter addition is partition-independent too; the delta-fold must
+  // not double-count (locals reset to the empty prototype after a fold).
+  const auto items = ZipfGenerator(50000, 1.2, 27).Take(200000);
+  CountMinSketch sequential(1024, 4, 28);
+  sequential.UpdateBatch(items);
+  ConcurrentSummary<CountMinSketch> concurrent(CountMinSketch(1024, 4, 28),
+                                               {.buffer_items = 512});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&concurrent, &items, t] {
+      for (size_t i = t; i < items.size(); i += 4) {
+        concurrent.Update(items[i]);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  auto snapshot = concurrent.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().Serialize(), sequential.Serialize());
+  // Point queries flow through Query() against the published version.
+  concurrent.FlushLocal();
+  for (uint64_t probe = 0; probe < 100; ++probe) {
+    const auto est = concurrent.Query(
+        [probe](const CountMinSketch& s) { return s.EstimateCount(probe); });
+    EXPECT_EQ(est, sequential.EstimateCount(probe));
+  }
+}
+
+TEST(ConcurrentSummaryTest, ValueSummariesBufferDoubles) {
+  // KLL exercises the double-buffered value path (Update(double),
+  // UpdateBatch(span<const double>)); every value must be counted.
+  ConcurrentSummary<KllSketch> concurrent(KllSketch(200, 29));
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(static_cast<double>(i));
+  for (double v : values) concurrent.Update(v);
+  concurrent.UpdateBatch(std::span<const double>(values));
+  auto snapshot = concurrent.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().Count(), 20000u);
+  EXPECT_NEAR(snapshot.value().Quantile(0.5), 5000.0, 500.0);
+}
+
+TEST(ConcurrentSummaryTest, BackgroundPublisherDecouplesPublishes) {
+  // With a cadenced background propagator, writers only fold; readers
+  // still converge, and a quiesced Snapshot catches up the publication.
+  ConcurrentSummary<HyperLogLog> concurrent(
+      HyperLogLog(12, 30),
+      {.buffer_items = 512,
+       .background_publisher = true,
+       .publish_interval = std::chrono::microseconds(100)});
+  constexpr uint64_t kItems = 100000;
+  std::thread writer([&concurrent] {
+    for (uint64_t item : DistinctItems(kItems, 31)) concurrent.Update(item);
+  });
+  writer.join();
+  EXPECT_NEAR(concurrent.Snapshot().value().Count(), kItems, 0.05 * kItems);
+  // The forced publish also refreshed the cached wait-free estimate.
+  EXPECT_NEAR(concurrent.Estimate(), kItems, 0.05 * kItems);
+}
+
+TEST(ConcurrentAnySketchTest, TypeErasedConcurrentMatchesSequential) {
+  RegisterBuiltinSketches();
+  auto live = ConcurrentAnySketch::MakeByName("hyperloglog");
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live.value().type(), SketchTypeId::kHyperLogLog);
+  // Sequential reference built from the same registry default prototype.
+  AnySketch sequential =
+      SketchRegistry::Global().FindByName("hyperloglog")->make_default();
+  const auto items = DistinctItems(80000, 32);
+  ASSERT_TRUE(sequential.UpdateBatch(items).ok());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&live, &items, t] {
+      std::span<const uint64_t> span(items);
+      for (size_t off = t * 1024; off < span.size(); off += 4 * 1024) {
+        live.value().UpdateBatch(
+            span.subspan(off, std::min<size_t>(1024, span.size() - off)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  auto snapshot = live.value().Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().Serialize(), sequential.Serialize());
+  EXPECT_EQ(live.value().EstimateSummary(), sequential.EstimateSummary());
+}
+
+TEST(ConcurrentAnySketchTest, RejectsEmptyAndUnknown) {
+  RegisterBuiltinSketches();
+  EXPECT_FALSE(ConcurrentAnySketch::Make(AnySketch()).ok());
+  EXPECT_FALSE(ConcurrentAnySketch::MakeByName("no-such-sketch").ok());
 }
 
 // ------------------------------------------------------------- Thread pool
@@ -554,7 +768,7 @@ TEST(ConcurrentSummaryTest, ConcurrentBatchesAndSnapshotsStress) {
       ASSERT_TRUE(snapshot.ok());
       const double now = snapshot.value().Count();
       // Near-monotone under concurrent writes (small estimator wobble at
-      // regime boundaries is allowed; a collapse would mean lost stripes).
+      // regime boundaries is allowed; a collapse would mean lost deltas).
       EXPECT_GE(now, last * 0.9);
       last = now;
     }
@@ -565,6 +779,96 @@ TEST(ConcurrentSummaryTest, ConcurrentBatchesAndSnapshotsStress) {
   const double expected = kWriters * kPerWriter;
   EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected,
               0.06 * expected);
+}
+
+TEST(ConcurrentSummaryTest, MixedReadersAndWritersStress) {
+  // The TSan target of the satellite: N writers and M readers running with
+  // no barrier, readers mixing every read-side entry point (Estimate,
+  // EstimateWithBounds, Query, epoch, Snapshot) against live ingest. The
+  // item volumes are kept moderate so the suite stays fast under TSan's
+  // ~10x slowdown; the interleavings, not the volume, are the test.
+  ConcurrentSummary<HyperLogLog> concurrent(HyperLogLog(12, 53),
+                                            {.buffer_items = 512});
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr uint64_t kPerWriter = 50000;
+  std::atomic<int> writers_done{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&concurrent, &writers_done, t] {
+      for (uint64_t item :
+           DistinctItems(kPerWriter, 6000 + static_cast<uint64_t>(t))) {
+        concurrent.Update(item);
+      }
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&concurrent, &writers_done, r] {
+      uint64_t last_epoch = 0;
+      double last_estimate = 0;
+      while (writers_done.load(std::memory_order_acquire) < kWriters) {
+        // Epochs are monotone per reader.
+        const uint64_t e = concurrent.epoch();
+        EXPECT_GE(e, last_epoch);
+        last_epoch = e;
+        const double estimate = concurrent.Estimate();
+        EXPECT_GE(estimate, 0.0);
+        last_estimate = std::max(last_estimate, estimate);
+        const Estimate bounds = concurrent.EstimateWithBounds(0.95);
+        EXPECT_LE(bounds.lower, bounds.upper);
+        if (r == 0) {
+          auto snapshot = concurrent.Snapshot();
+          ASSERT_TRUE(snapshot.ok());
+        } else {
+          const int precision = concurrent.Query(
+              [](const HyperLogLog& s) { return s.precision(); });
+          EXPECT_EQ(precision, 12);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double expected = kWriters * kPerWriter;
+  EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected,
+              0.06 * expected);
+}
+
+TEST(ShardedPipelineTest, PublishToServesLiveQueriesMidIngest) {
+  // Pipeline interop: workers route their chunks into a concurrent global
+  // that a reader thread queries wait-free mid-ingest; Finish() drains
+  // through the same global and must still be byte-identical to
+  // sequential ingest (workers flush residuals before signalling done).
+  const auto items = DistinctItems(200000, 61);
+  HyperLogLog sequential(12, 62);
+  sequential.UpdateBatch(items);
+  ConcurrentSummary<HyperLogLog> live(HyperLogLog(12, 62),
+                                      {.buffer_items = 1024});
+  ShardedPipeline<HyperLogLog> pipeline(HyperLogLog(12, 62),
+                                        {.num_workers = 4});
+  pipeline.PublishTo(&live);
+  std::atomic<bool> done{false};
+  std::atomic<int> decreases{0};
+  std::thread reader([&live, &done, &decreases] {
+    double last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const double now = live.Estimate();
+      if (now + 1e-9 < last) decreases.fetch_add(1, std::memory_order_relaxed);
+      last = now;
+    }
+  });
+  std::span<const uint64_t> span(items);
+  for (size_t off = 0; off < span.size(); off += 8192) {
+    pipeline.Push(span.subspan(off, std::min<size_t>(8192, span.size() - off)));
+  }
+  auto root = pipeline.Finish();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(decreases.load(), 0);
+  EXPECT_EQ(root.value().Serialize(), sequential.Serialize());
+  // The live global itself holds the complete stream too.
+  EXPECT_EQ(live.Snapshot().value().Serialize(), sequential.Serialize());
 }
 
 TEST(ShardOfTest, InvariantModOverloadMatchesPlain) {

@@ -406,6 +406,74 @@ TEST(StreamQueryTest, RestoreRejectsMismatchedOptionsAndCorruption) {
   EXPECT_EQ(victim.NumOpenGroups(), 1u);  // Still its own state.
 }
 
+TEST(StreamQueryTest, LiveDistinctPublishesUnderIngest) {
+  // The engine's concurrent hook: a wait-free ConcurrentSummary<HLL> that
+  // mirrors every accepted event's item across groups and windows, so
+  // another thread can read the stream-wide distinct count while the
+  // query ingests. Window closes flush the query thread's residual.
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  options.window_size = 500;
+  options.hll_precision = 12;
+  StreamQuery query(options, 77);
+  // Drop odd items: the live view must see accepted events only.
+  query.AddFilter([](const StreamEvent& e) { return e.item % 2 == 0; });
+  ConcurrentSummary<HyperLogLog> live(HyperLogLog(12, 77),
+                                      {.buffer_items = 512});
+  query.PublishDistinctTo(&live);
+
+  constexpr uint64_t kEvents = 20000;
+  std::vector<StreamEvent> events;
+  events.reserve(kEvents);
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    // 4 events per timestamp tick -> a window closes every 2000 events.
+    events.push_back(Event(i / 4, i % 8, i));
+  }
+  HyperLogLog sequential(12, 77);
+  for (const StreamEvent& e : events) {
+    if (e.item % 2 == 0) sequential.Update(e.item);
+  }
+
+  std::span<const StreamEvent> span(events);
+  ASSERT_TRUE(query.ProcessBatch(span.subspan(0, kEvents / 2)).ok());
+  // Mid-ingest: closed windows have flushed the live view, so a reader
+  // sees a bounded-staleness estimate that is already most of the stream.
+  EXPECT_GT(live.epoch(), 0u);
+  EXPECT_GT(live.Estimate(), 0.0);
+  for (size_t off = kEvents / 2; off < span.size(); off += 1000) {
+    ASSERT_TRUE(query.ProcessBatch(span.subspan(off, 1000)).ok());
+  }
+  query.Flush();
+
+  // Quiesced: the live view saw exactly the accepted items, in one
+  // thread, so it is byte-identical to the sequential reference.
+  EXPECT_EQ(live.Snapshot().value().Serialize(), sequential.Serialize());
+  EXPECT_NEAR(live.Estimate(), kEvents / 2.0, 0.05 * kEvents / 2.0);
+}
+
+TEST(StreamQueryTest, LiveDistinctMirrorsParallelRoutingThread) {
+  // ProcessBatchParallel mirrors items on the routing (calling) thread,
+  // not the pool workers — the live count must still cover every
+  // accepted event.
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  options.hll_precision = 12;
+  StreamQuery query(options, 78);
+  ConcurrentSummary<HyperLogLog> live(HyperLogLog(12, 78));
+  query.PublishDistinctTo(&live);
+  ThreadPool pool(4);
+  constexpr uint64_t kEvents = 20000;
+  std::vector<StreamEvent> events;
+  events.reserve(kEvents);
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    events.push_back(Event(1, i % 64, i));
+  }
+  ASSERT_TRUE(query.ProcessBatchParallel(events, pool).ok());
+  query.Flush();
+  live.FlushLocal();
+  EXPECT_NEAR(live.Estimate(), kEvents, 0.05 * kEvents);
+}
+
 TEST(ExponentialHistogramTest, ExactWhileSmall) {
   ExponentialHistogram eh(1000, 0.1);
   for (uint64_t t = 0; t < 5; ++t) eh.Add(t);

@@ -31,7 +31,7 @@ double MeasureRmse(MakeSketch make, uint64_t n, int trials) {
     for (uint64_t item : gems::DistinctItems(n, 7000 + t)) {
       sketch.Update(item);
     }
-    errors.push_back((sketch.Count() - static_cast<double>(n)) /
+    errors.push_back((sketch.Estimate() - static_cast<double>(n)) /
                      static_cast<double>(n));
   }
   return gems::Rms(errors);
@@ -79,8 +79,8 @@ int main() {
       }
       const double dn = static_cast<double>(n);
       raw_err.push_back((dense.RawCount() - dn) / dn);
-      corrected_err.push_back((dense.Count() - dn) / dn);
-      sparse_err.push_back((plus.Count() - dn) / dn);
+      corrected_err.push_back((dense.Estimate() - dn) / dn);
+      sparse_err.push_back((plus.Estimate() - dn) / dn);
     }
     std::printf("%8lu | %12.4f | %12.4f | %12.4f\n", (unsigned long)n,
                 gems::Rms(raw_err), gems::Rms(corrected_err),

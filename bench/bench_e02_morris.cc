@@ -25,7 +25,7 @@ int main() {
       for (int t = 0; t < kTrials; ++t) {
         gems::MorrisCounter counter(a, 31 * t + 7);
         counter.IncrementBy(n);
-        errors.push_back((counter.Count() - static_cast<double>(n)) /
+        errors.push_back((counter.Estimate() - static_cast<double>(n)) /
                          static_cast<double>(n));
         max_bits = std::max(max_bits, counter.RegisterBits());
       }
@@ -45,7 +45,7 @@ int main() {
     for (int t = 0; t < kTrials; ++t) {
       gems::MorrisEnsemble ensemble(replicas, 8.0, 100 + t);
       for (int i = 0; i < 100000; ++i) ensemble.Increment();
-      errors.push_back((ensemble.Count() - 100000.0) / 100000.0);
+      errors.push_back((ensemble.Estimate() - 100000.0) / 100000.0);
     }
     std::printf("%10d | %12.4f | %14.4f\n", replicas, gems::Rms(errors),
                 base_theory / std::sqrt(static_cast<double>(replicas)));

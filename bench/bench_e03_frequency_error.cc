@@ -81,13 +81,13 @@ int main() {
         cs.Update(item);
       }
       const auto cm_report = Measure(exact, [&](uint64_t item) {
-        return static_cast<double>(cm.EstimateCount(item));
+        return static_cast<double>(cm.Estimate(item));
       });
       const auto cu_report = Measure(exact, [&](uint64_t item) {
-        return static_cast<double>(cu.EstimateCount(item));
+        return static_cast<double>(cu.Estimate(item));
       });
       const auto cs_report = Measure(exact, [&](uint64_t item) {
-        return static_cast<double>(cs.EstimateCount(item));
+        return static_cast<double>(cs.Estimate(item));
       });
       const auto cmm_report = Measure(exact, [&](uint64_t item) {
         return static_cast<double>(cm.EstimateCountMeanMin(item));

@@ -230,9 +230,9 @@ int main(int argc, char** argv) {
       gems::AggregationStats stats;
       auto merged = gems::AggregateTree(std::move(leaves), 2, &stats);
       streamed_err.push_back(
-          gems::RelativeError(streamed.Count(), 500000.0));
+          gems::RelativeError(streamed.Estimate(), 500000.0));
       merged_err.push_back(
-          gems::RelativeError(merged.value().Count(), 500000.0));
+          gems::RelativeError(merged.value().Estimate(), 500000.0));
       if (t == 0) {
         std::printf("HLL p=12: tree depth %d, %zu merges, %zu bytes "
                     "communicated\n",
@@ -260,8 +260,8 @@ int main(int argc, char** argv) {
     auto merged = gems::AggregateTree(std::move(leaves), 4, nullptr);
     uint64_t diffs = 0;
     for (uint64_t probe = 0; probe < 10000; ++probe) {
-      if (merged.value().EstimateCount(probe) !=
-          streamed.EstimateCount(probe)) {
+      if (merged.value().Estimate(probe) !=
+          streamed.Estimate(probe)) {
         ++diffs;
       }
     }
@@ -325,7 +325,7 @@ int main(int argc, char** argv) {
     int64_t worst_undercount = 0;
     int violations = 0;
     for (const auto& [item, count] : exact.TopK(50)) {
-      const int64_t estimate = merged.value().EstimateCount(item);
+      const int64_t estimate = merged.value().Estimate(item);
       worst_undercount = std::max(worst_undercount, count - estimate);
       if (count - estimate > merged.value().ErrorBound()) ++violations;
     }

@@ -1036,7 +1036,7 @@ int RunConcurrentBench(const std::string& json_path, size_t num_items) {
       "countmin", gems::CountMinSketch(4096, 4, 1),
       [probe](const gems::ConcurrentSummary<gems::CountMinSketch>& live) {
         return live.Query([probe](const gems::CountMinSketch& s) {
-          return static_cast<double>(s.EstimateCount(probe));
+          return static_cast<double>(s.Estimate(probe));
         });
       },
       /*track_staleness=*/false, /*reader_iters=*/std::min(num_items * 2,

@@ -41,7 +41,7 @@ int main() {
     }
     for (auto& [campaign, sketch] : reach) {
       const double truth = static_cast<double>(exact[campaign].size());
-      const gems::Estimate estimate = sketch.CountEstimate(0.95);
+      const gems::Estimate estimate = sketch.EstimateWithBounds(0.95);
       reach_errors.push_back(gems::RelativeError(estimate.value, truth));
       if (estimate.Covers(truth)) ++covered;
       ++total;
@@ -81,12 +81,12 @@ int main() {
       if (event.campaign_id == 1) b.Update(event.user_id);
     }
     std::printf("%6u | %16.4f | %16.4f | %16.4f\n", k,
-                gems::RelativeError(gems::KmvSketch::Union(a, b).Count(),
+                gems::RelativeError(gems::KmvSketch::Union(a, b).Estimate(),
                                     truth_union),
                 gems::RelativeError(
-                    gems::KmvSketch::Intersect(a, b).Count(), truth_inter),
+                    gems::KmvSketch::Intersect(a, b).Estimate(), truth_inter),
                 gems::RelativeError(
-                    gems::KmvSketch::Difference(a, b).Count(), truth_diff));
+                    gems::KmvSketch::Difference(a, b).Estimate(), truth_diff));
   }
 
   // Demographic slicing: per (campaign 0, region) reach.
@@ -104,7 +104,7 @@ int main() {
   for (auto& [region, sketch] : slices) {
     const double truth = static_cast<double>(exact_slices[region].size());
     std::printf("%8u | %10.0f | %10.0f | %8.4f\n", region, truth,
-                sketch.Count(), gems::RelativeError(sketch.Count(), truth));
+                sketch.Estimate(), gems::RelativeError(sketch.Estimate(), truth));
   }
   return 0;
 }

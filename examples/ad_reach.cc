@@ -9,9 +9,7 @@
 #include <map>
 #include <set>
 
-#include "cardinality/hllpp.h"
-#include "cardinality/kmv.h"
-#include "workload/generators.h"
+#include "gems.h"
 
 int main() {
   using namespace gems;
@@ -47,13 +45,13 @@ int main() {
   std::printf("   campaign   exact     HLL++ estimate\n");
   for (auto& [campaign, sketch] : reach) {
     std::printf("   %8u  %7zu    %s\n", campaign, exact[campaign].size(),
-                sketch.CountEstimate(0.95).ToString().c_str());
+                sketch.EstimateWithBounds(0.95).ToString().c_str());
   }
 
   std::printf("\nslice and dice: campaign 0 reach by region\n");
   for (auto& [key, sketch] : sliced) {
     if (key.first != 0) continue;
-    std::printf("   region %u: ~%.0f users\n", key.second, sketch.Count());
+    std::printf("   region %u: ~%.0f users\n", key.second, sketch.Estimate());
   }
 
   // Set algebra over KMV/theta sketches: overlap and incremental reach.
@@ -66,11 +64,11 @@ int main() {
   std::printf("\ncross-campaign set algebra (KMV/theta sketches)\n");
   std::printf("   saw 0 AND 1:  exact %lu   estimate %.0f\n",
               (unsigned long)exact_both,
-              KmvSketch::Intersect(a, b).Count());
+              KmvSketch::Intersect(a, b).Estimate());
   std::printf("   saw 0 OR  1:  estimate %.0f\n",
-              KmvSketch::Union(a, b).Count());
+              KmvSketch::Union(a, b).Estimate());
   std::printf("   saw 0 NOT 1 (incremental reach of 0): estimate %.0f\n",
-              KmvSketch::Difference(a, b).Count());
+              KmvSketch::Difference(a, b).Estimate());
 
   // Mergeability: weekly reach = merge of daily sketches.
   HllPlusPlus week(14);
@@ -85,6 +83,6 @@ int main() {
   }
   std::printf("\nweekly reach of campaign 0 (7 merged daily sketches): "
               "~%.0f users\n",
-              week.Count());
+              week.Estimate());
   return 0;
 }

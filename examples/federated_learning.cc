@@ -8,8 +8,7 @@
 
 #include <cstdio>
 
-#include "ml/fetchsgd.h"
-#include "ml/linear_model.h"
+#include "gems.h"
 
 int main() {
   using namespace gems;

@@ -13,9 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "engine/exponential_histogram.h"
-#include "engine/stream_query.h"
-#include "workload/generators.h"
+#include "gems.h"
 
 int main() {
   using namespace gems;

@@ -13,9 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "hash/hash.h"
-#include "privacy/private_cms.h"
-#include "privacy/rappor.h"
+#include "gems.h"
 
 int main() {
   using namespace gems;

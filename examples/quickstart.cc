@@ -12,13 +12,7 @@
 #include <utility>
 #include <vector>
 
-#include "cardinality/hyperloglog.h"
-#include "frequency/count_min.h"
-#include "frequency/space_saving.h"
-#include "membership/bloom.h"
-#include "quantiles/kll.h"
-#include "workload/baselines.h"
-#include "workload/generators.h"
+#include "gems.h"
 
 int main() {
   using namespace gems;

@@ -10,9 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/random.h"
-#include "similarity/lsh.h"
-#include "similarity/simhash.h"
+#include "gems.h"
 
 int main() {
   using namespace gems;

@@ -25,15 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "cardinality/hllpp.h"
-#include "core/params.h"
-#include "core/registry.h"
-#include "frequency/space_saving.h"
-#include "hash/hash.h"
-#include "membership/bloom.h"
-#include "quantiles/tdigest.h"
-#include "simd/dispatch.h"
-#include "workload/generators.h"
+#include "gems.h"
 
 namespace {
 

@@ -46,7 +46,7 @@ double FlajoletMartin::Estimate() const {
 }
 
 gems::Estimate FlajoletMartin::EstimateWithBounds(double confidence) const {
-  const double n = Count();
+  const double n = Estimate();
   const double std_error = 0.78 / std::sqrt(num_bitmaps_) * n;
   return EstimateFromStdError(n, std_error, confidence);
 }

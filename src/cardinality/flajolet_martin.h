@@ -38,14 +38,6 @@ class FlajoletMartin {
   /// Estimate with the 0.78/sqrt(m) normal-approximation interval.
   gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
 
-  /// Deprecated alias for Estimate().
-  double Count() const { return Estimate(); }
-
-  /// Deprecated alias for EstimateWithBounds().
-  gems::Estimate CountEstimate(double confidence = 0.95) const {
-    return EstimateWithBounds(confidence);
-  }
-
   /// Bitwise-OR union; requires equal shape and seed.
   Status Merge(const FlajoletMartin& other);
 

@@ -194,7 +194,7 @@ double HllPlusPlus::Estimate() const {
   // counting below the empirical threshold; otherwise fall back to the
   // classic corrected estimator.
   const double threshold = LinearCountingThreshold(precision_);
-  if (threshold == 0) return dense_.Count();
+  if (threshold == 0) return dense_.Estimate();
   const double m = static_cast<double>(dense_.num_registers());
   const uint32_t zeros = dense_.NumZeroRegisters();
   if (zeros > 0) {

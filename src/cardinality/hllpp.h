@@ -69,14 +69,6 @@ class HllPlusPlus {
   /// representation's current standard-error model).
   gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
 
-  /// Deprecated alias for Estimate().
-  double Count() const { return Estimate(); }
-
-  /// Deprecated alias for EstimateWithBounds().
-  gems::Estimate CountEstimate(double confidence = 0.95) const {
-    return EstimateWithBounds(confidence);
-  }
-
   /// Merges `other` into this sketch; requires equal precision and seed.
   Status Merge(const HllPlusPlus& other);
 

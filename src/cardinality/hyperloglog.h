@@ -64,15 +64,6 @@ class HyperLogLog {
   /// Estimate with the 1.04/sqrt(m) normal-approximation interval.
   gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
 
-  /// Deprecated alias for Estimate(); will be removed one release after the
-  /// unified estimator surface.
-  double Count() const { return Estimate(); }
-
-  /// Deprecated alias for EstimateWithBounds().
-  gems::Estimate CountEstimate(double confidence = 0.95) const {
-    return EstimateWithBounds(confidence);
-  }
-
   /// Raw harmonic-mean estimate with no range correction (exposed for the
   /// E1 ablation of correction on/off).
   double RawCount() const;

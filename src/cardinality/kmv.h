@@ -34,14 +34,6 @@ class ThetaResult {
   /// Estimate with the binomial-sampling confidence interval.
   gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
 
-  /// Deprecated alias for Estimate().
-  double Count() const { return Estimate(); }
-
-  /// Deprecated alias for EstimateWithBounds().
-  gems::Estimate CountEstimate(double confidence = 0.95) const {
-    return EstimateWithBounds(confidence);
-  }
-
   double theta() const { return theta_; }
   const std::vector<uint64_t>& hashes() const { return hashes_; }
 
@@ -84,14 +76,6 @@ class KmvSketch {
 
   /// Estimate with the KMV standard error ~ 1/sqrt(k-2).
   gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
-
-  /// Deprecated alias for Estimate().
-  double Count() const { return Estimate(); }
-
-  /// Deprecated alias for EstimateWithBounds().
-  gems::Estimate CountEstimate(double confidence = 0.95) const {
-    return EstimateWithBounds(confidence);
-  }
 
   /// Union with another KMV sketch (same seed required, k may differ; the
   /// result keeps this sketch's k).

@@ -35,7 +35,7 @@ double LinearCounting::Estimate() const {
 
 gems::Estimate LinearCounting::EstimateWithBounds(double confidence) const {
   const double m = static_cast<double>(num_bits_);
-  const double n = Count();
+  const double n = Estimate();
   const double t = n / m;  // Load factor.
   // Asymptotic variance of the MLE: m(e^t - t - 1).
   const double variance = std::max(0.0, m * (std::exp(t) - t - 1.0));

@@ -40,14 +40,6 @@ class LinearCounting {
   /// eq. 4).
   gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
 
-  /// Deprecated alias for Estimate().
-  double Count() const { return Estimate(); }
-
-  /// Deprecated alias for EstimateWithBounds().
-  gems::Estimate CountEstimate(double confidence = 0.95) const {
-    return EstimateWithBounds(confidence);
-  }
-
   /// Bitwise-OR union; requires equal size and seed.
   Status Merge(const LinearCounting& other);
 

@@ -43,7 +43,7 @@ double LogLog::Estimate() const {
 }
 
 gems::Estimate LogLog::EstimateWithBounds(double confidence) const {
-  const double n = Count();
+  const double n = Estimate();
   const double std_error =
       1.30 / std::sqrt(static_cast<double>(registers_.size())) * n;
   return EstimateFromStdError(n, std_error, confidence);

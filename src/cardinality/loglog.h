@@ -38,14 +38,6 @@ class LogLog {
   /// Estimate with the 1.30/sqrt(m) normal-approximation interval.
   gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
 
-  /// Deprecated alias for Estimate().
-  double Count() const { return Estimate(); }
-
-  /// Deprecated alias for EstimateWithBounds().
-  gems::Estimate CountEstimate(double confidence = 0.95) const {
-    return EstimateWithBounds(confidence);
-  }
-
   /// Register-wise max; requires equal precision and seed.
   Status Merge(const LogLog& other);
 

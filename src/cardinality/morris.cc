@@ -27,7 +27,7 @@ double MorrisCounter::Estimate() const {
 }
 
 gems::Estimate MorrisCounter::EstimateWithBounds(double confidence) const {
-  const double n = Count();
+  const double n = Estimate();
   const double variance = std::max(0.0, n * (n - 1.0) / (2.0 * a_));
   return EstimateFromStdError(n, std::sqrt(variance), confidence);
 }
@@ -40,7 +40,7 @@ Status MorrisCounter::Merge(const MorrisCounter& other) {
   if (a_ != other.a_) {
     return Status::InvalidArgument("Morris merge requires equal a");
   }
-  const double combined = Count() + other.Count();
+  const double combined = Estimate() + other.Estimate();
   // Re-encode: c = log_{1+1/a}(1 + n/a), rounded probabilistically so the
   // estimator stays unbiased in expectation.
   const double exact_c = std::log1p(combined / a_) / std::log1p(1.0 / a_);
@@ -88,7 +88,7 @@ void MorrisEnsemble::Increment() {
 
 double MorrisEnsemble::Estimate() const {
   double sum = 0.0;
-  for (const MorrisCounter& c : counters_) sum += c.Count();
+  for (const MorrisCounter& c : counters_) sum += c.Estimate();
   return sum / static_cast<double>(counters_.size());
 }
 

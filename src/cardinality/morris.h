@@ -47,14 +47,6 @@ class MorrisCounter {
   /// known variance n(n-1)/(2a).
   gems::Estimate EstimateWithBounds(double confidence = 0.95) const;
 
-  /// Deprecated alias for Estimate().
-  double Count() const { return Estimate(); }
-
-  /// Deprecated alias for EstimateWithBounds().
-  gems::Estimate CountEstimate(double confidence = 0.95) const {
-    return EstimateWithBounds(confidence);
-  }
-
   /// Number of bits needed to store the register value.
   int RegisterBits() const;
 
@@ -84,9 +76,6 @@ class MorrisEnsemble {
 
   void Increment();
   double Estimate() const;
-
-  /// Deprecated alias for Estimate().
-  double Count() const { return Estimate(); }
 
  private:
   std::vector<MorrisCounter> counters_;

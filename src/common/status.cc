@@ -1,9 +1,8 @@
 #include "common/status.h"
 
 namespace gems {
-namespace {
 
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -19,15 +18,26 @@ const char* CodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kNotFound:
       return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
 
-}  // namespace
+StatusCode StatusCodeFromWire(uint8_t raw) {
+  if (raw > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return StatusCode::kCorruption;
+  }
+  return static_cast<StatusCode>(raw);
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!message_.empty()) {
     out += ": ";
     out += message_;

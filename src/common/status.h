@@ -1,6 +1,7 @@
 #ifndef GEMS_COMMON_STATUS_H_
 #define GEMS_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -10,15 +11,31 @@
 namespace gems {
 
 /// Error categories for recoverable failures (RocksDB-style Status codes).
-enum class StatusCode {
+///
+/// The numeric values are part of the gemsd wire protocol: response frames
+/// carry them verbatim as a u8 (see src/server/protocol.h). Append new
+/// codes at the end only; never renumber or reuse a value.
+enum class StatusCode : uint8_t {
   kOk = 0,
-  kInvalidArgument,
-  kCorruption,       // malformed serialized bytes
-  kOutOfRange,       // index / rank out of range
-  kUnimplemented,
-  kFailedPrecondition,
-  kNotFound,
+  kInvalidArgument = 1,
+  kCorruption = 2,        // malformed serialized bytes
+  kOutOfRange = 3,        // index / rank out of range
+  kUnimplemented = 4,
+  kFailedPrecondition = 5,
+  kNotFound = 6,
+  kAlreadyExists = 7,     // create of a key/entry that is already present
+  kResourceExhausted = 8, // a hard capacity limit was hit (frame, keyspace)
+  kUnavailable = 9,       // transient transport failure; retry may succeed
 };
+
+/// Stable PascalCase name for a status code ("NotFound", ...); "Unknown"
+/// for values this build does not know.
+const char* StatusCodeName(StatusCode code);
+
+/// Recovers a StatusCode from its wire byte. Values outside the known
+/// range decode as kCorruption: the frame itself is malformed, and
+/// kCorruption is never a lie about bytes we cannot interpret.
+StatusCode StatusCodeFromWire(uint8_t raw);
 
 /// Lightweight success-or-error value used instead of exceptions.
 ///
@@ -53,6 +70,22 @@ class Status {
   }
   static Status NotFound(std::string message) {
     return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+
+  /// Rebuilds a status from a (code, message) pair that crossed the wire.
+  /// An OK code yields Ok() regardless of the message.
+  static Status FromCode(StatusCode code, std::string message) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

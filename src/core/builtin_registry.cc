@@ -51,31 +51,31 @@ void RegisterAll(SketchRegistry& r) {
 
   must(RegisterSketchType<MorrisCounter>(
       r, SketchTypeId::kMorrisCounter,
-      [](const MorrisCounter& s) { return Fmt("count ~ %.0f", s.Count()); },
+      [](const MorrisCounter& s) { return Fmt("count ~ %.0f", s.Estimate()); },
       [] { return MorrisCounter(); }));
   must(RegisterSketchType<LinearCounting>(
       r, SketchTypeId::kLinearCounting,
-      [](const LinearCounting& s) { return Fmt("distinct ~ %.0f", s.Count()); },
+      [](const LinearCounting& s) { return Fmt("distinct ~ %.0f", s.Estimate()); },
       [] { return LinearCounting(1 << 16); }));
   must(RegisterSketchType<FlajoletMartin>(
       r, SketchTypeId::kFlajoletMartin,
-      [](const FlajoletMartin& s) { return Fmt("distinct ~ %.0f", s.Count()); },
+      [](const FlajoletMartin& s) { return Fmt("distinct ~ %.0f", s.Estimate()); },
       [] { return FlajoletMartin(64); }));
   must(RegisterSketchType<LogLog>(
       r, SketchTypeId::kLogLog,
-      [](const LogLog& s) { return Fmt("distinct ~ %.0f", s.Count()); },
+      [](const LogLog& s) { return Fmt("distinct ~ %.0f", s.Estimate()); },
       [] { return LogLog(12); }));
   must(RegisterSketchType<HyperLogLog>(
       r, SketchTypeId::kHyperLogLog,
-      [](const HyperLogLog& s) { return Fmt("distinct ~ %.0f", s.Count()); },
+      [](const HyperLogLog& s) { return Fmt("distinct ~ %.0f", s.Estimate()); },
       [] { return HyperLogLog(12); }));
   must(RegisterSketchType<HllPlusPlus>(
       r, SketchTypeId::kHllPlusPlus,
-      [](const HllPlusPlus& s) { return Fmt("distinct ~ %.0f", s.Count()); },
+      [](const HllPlusPlus& s) { return Fmt("distinct ~ %.0f", s.Estimate()); },
       [] { return HllPlusPlus(14); }));
   must(RegisterSketchType<KmvSketch>(
       r, SketchTypeId::kKmv,
-      [](const KmvSketch& s) { return Fmt("distinct ~ %.0f", s.Count()); },
+      [](const KmvSketch& s) { return Fmt("distinct ~ %.0f", s.Estimate()); },
       [] { return KmvSketch(1024); }));
 
   must(RegisterSketchType<BloomFilter>(

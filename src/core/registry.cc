@@ -62,6 +62,21 @@ std::string AnySketch::EstimateSummary() const {
   return impl_->EstimateSummary();
 }
 
+Result<gems::Estimate> AnySketch::EstimateWithBounds(double confidence) const {
+  if (!has_value()) {
+    return Status::FailedPrecondition("estimate on an empty AnySketch");
+  }
+  return impl_->EstimateWithBounds(confidence);
+}
+
+Result<gems::Estimate> AnySketch::EstimateItemWithBounds(
+    uint64_t item, double confidence) const {
+  if (!has_value()) {
+    return Status::FailedPrecondition("estimate on an empty AnySketch");
+  }
+  return impl_->EstimateItemWithBounds(item, confidence);
+}
+
 SketchRegistry& SketchRegistry::Global() {
   static SketchRegistry* registry = new SketchRegistry();
   return *registry;
@@ -107,7 +122,15 @@ Result<AnySketch> SketchRegistry::Deserialize(
 }
 
 Result<AnySketchView> SketchRegistry::Wrap(ByteSpan bytes) const {
-  Result<SketchView> view = SketchView::Wrap(bytes);
+  return WrapImpl(SketchView::Wrap(bytes));
+}
+
+Result<AnySketchView> SketchRegistry::WrapTrusted(ByteSpan bytes) const {
+  return WrapImpl(SketchView::WrapTrusted(bytes));
+}
+
+Result<AnySketchView> SketchRegistry::WrapImpl(
+    Result<SketchView> view) const {
   if (!view.ok()) return view.status();
   const Entry* entry = Find(view.value().type());
   if (entry == nullptr) {

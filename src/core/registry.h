@@ -109,6 +109,21 @@ class AnySketch {
   /// One-line human-readable summary of the sketch's current estimate.
   std::string EstimateSummary() const;
 
+  /// Typed whole-sketch estimate with a confidence interval — the machine
+  /// answer the gemsd QUERY path serves. Families with the unified
+  /// EstimateWithBounds(confidence) surface return the full interval;
+  /// families with only a point Estimate() return a degenerate interval
+  /// (lower == upper == value, confidence 0); families with no global
+  /// estimate (frequency sketches, filters) are kUnimplemented.
+  Result<gems::Estimate> EstimateWithBounds(double confidence = 0.95) const;
+
+  /// Typed per-item estimate for the frequency families
+  /// (`EstimateWithBounds(item, confidence)` or `Estimate(item)`), with
+  /// the same degenerate-interval fallback. kUnimplemented for families
+  /// without a per-item query.
+  Result<gems::Estimate> EstimateItemWithBounds(uint64_t item,
+                                                double confidence = 0.95) const;
+
   /// Borrowed pointer to the concrete sketch, or nullptr if this handle is
   /// empty or holds a different type. The handle keeps ownership.
   template <typename S>
@@ -127,6 +142,10 @@ class AnySketch {
     virtual std::vector<uint8_t> Serialize() const = 0;
     virtual void SerializeTo(ByteSink& sink) const = 0;
     virtual std::string EstimateSummary() const = 0;
+    virtual Result<gems::Estimate> EstimateWithBounds(
+        double confidence) const = 0;
+    virtual Result<gems::Estimate> EstimateItemWithBounds(
+        uint64_t item, double confidence) const = 0;
     virtual std::shared_ptr<Concept> Clone() const = 0;
     virtual const void* Raw(const void* type_key) const = 0;
   };
@@ -227,6 +246,31 @@ class AnySketch {
 
     std::string EstimateSummary() const override { return estimate(sketch); }
 
+    Result<gems::Estimate> EstimateWithBounds(
+        double confidence) const override {
+      if constexpr (BoundedPointEstimableSummary<S>) {
+        return sketch.EstimateWithBounds(confidence);
+      } else if constexpr (EstimableSummary<S>) {
+        const double value = static_cast<double>(sketch.Estimate());
+        return gems::Estimate{value, value, value, 0.0};
+      } else {
+        return Status::Unimplemented(
+            "sketch type has no whole-sketch estimate");
+      }
+    }
+
+    Result<gems::Estimate> EstimateItemWithBounds(
+        uint64_t item, double confidence) const override {
+      if constexpr (ItemBoundedEstimableSummary<S>) {
+        return sketch.EstimateWithBounds(item, confidence);
+      } else if constexpr (ItemEstimableSummary<S>) {
+        const double value = static_cast<double>(sketch.Estimate(item));
+        return gems::Estimate{value, value, value, 0.0};
+      } else {
+        return Status::Unimplemented("sketch type has no per-item estimate");
+      }
+    }
+
     std::shared_ptr<Concept> Clone() const override {
       return std::make_shared<Model<S>>(sketch, estimate);
     }
@@ -286,6 +330,13 @@ class SketchRegistry {
   /// is kCorruption, matching Deserialize.
   Result<AnySketchView> Wrap(ByteSpan bytes) const;
 
+  /// Checksum-skipping wrap for bytes this process (or a trusted peer on
+  /// the same failure domain) produced — the dispatch-by-tag analogue of
+  /// SketchView::WrapTrusted. All structural checks still run. The gemsd
+  /// MERGE fast path uses this for envelopes from trusted peers; bytes
+  /// from disk or an untrusted network hop should go through Wrap.
+  Result<AnySketchView> WrapTrusted(ByteSpan bytes) const;
+
   /// Finds a registered type by its stable name; nullptr if absent.
   const Entry* FindByName(const std::string& name) const;
 
@@ -293,6 +344,8 @@ class SketchRegistry {
   std::vector<SketchTypeId> RegisteredTypes() const;
 
  private:
+  Result<AnySketchView> WrapImpl(Result<SketchView> view) const;
+
   mutable std::mutex mutex_;
   std::map<SketchTypeId, Entry> entries_;
 };

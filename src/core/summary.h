@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/estimate.h"
 #include "core/io.h"
 #include "core/view.h"
 
@@ -88,6 +89,41 @@ template <typename S>
 concept EstimableSummary = requires(const S& s) {
   { s.Estimate() } -> std::convertible_to<double>;
 };
+
+/// A summary with the unified no-argument interval estimate
+/// (`EstimateWithBounds(confidence)` of the cardinality / counting
+/// families). Used by the concurrent wrapper and the type-erased query
+/// surface the gemsd server serves from.
+///
+/// The EstimableSummary conjunct is load-bearing, not redundant: a
+/// per-item `EstimateWithBounds(uint64_t item, double confidence = ...)`
+/// is also callable with a single double (the confidence converts to an
+/// item id), so the call expression alone would classify every frequency
+/// sketch as whole-sketch estimable and silently answer whole-sketch
+/// queries with the frequency of item 0. Requiring the no-argument
+/// `Estimate()` too pins this concept to families that genuinely have a
+/// whole-sketch figure.
+template <typename S>
+concept BoundedPointEstimableSummary =
+    EstimableSummary<S> &&
+    requires(const S& s, double confidence) {
+      { s.EstimateWithBounds(confidence) } -> std::same_as<gems::Estimate>;
+    };
+
+/// A summary with a per-item point estimate (the frequency families'
+/// `Estimate(item)` surface).
+template <typename S>
+concept ItemEstimableSummary = requires(const S& s, uint64_t item) {
+  { s.Estimate(item) } -> std::convertible_to<double>;
+};
+
+/// A summary with a per-item interval estimate
+/// (`EstimateWithBounds(item, confidence)`).
+template <typename S>
+concept ItemBoundedEstimableSummary =
+    requires(const S& s, uint64_t item, double confidence) {
+      { s.EstimateWithBounds(item, confidence) } -> std::same_as<gems::Estimate>;
+    };
 
 /// The contract the engine (and the future gemsd server) expects of a
 /// concurrent, queryable-under-ingest summary wrapper: thread-safe item

@@ -78,10 +78,77 @@ class ConcurrentAnySketch {
     impl_->UpdateBatch(items);
   }
 
+  /// Folds a batch straight into the global state under the fold mutex
+  /// and publishes before returning — the request-scoped ingest path for
+  /// servers fronting very many keys. The per-thread slot machinery binds
+  /// one TLS entry per (thread, instance) and its lookup is linear in the
+  /// instances a thread has touched, which is exactly wrong for a daemon
+  /// whose threads touch millions of keys; this path skips it entirely
+  /// while still going through the batched (SIMD-dispatched) UpdateBatch
+  /// fast path. Ack-visible: once this returns, every subsequent query on
+  /// any thread sees the items.
+  Status ApplyBatch(std::span<const uint64_t> items) {
+    return impl_->FoldExternal(
+        [&](AnySketch& global) { return global.UpdateBatch(items); });
+  }
+
   /// Wait-free one-line estimate of the published version.
   std::string EstimateSummary() const {
     return impl_->Query(
         [](const AnySketch& s) { return s.EstimateSummary(); });
+  }
+
+  /// Wait-free typed whole-sketch estimate with bounds, read from the
+  /// epoch-published version — never blocks or is blocked by ingest.
+  /// kUnimplemented for families without a global estimate.
+  Result<gems::Estimate> EstimateWithBounds(double confidence = 0.95) const {
+    return impl_->Query([&](const AnySketch& s) {
+      return s.EstimateWithBounds(confidence);
+    });
+  }
+
+  /// Wait-free typed per-item estimate (frequency families).
+  Result<gems::Estimate> EstimateItemWithBounds(
+      uint64_t item, double confidence = 0.95) const {
+    return impl_->Query([&](const AnySketch& s) {
+      return s.EstimateItemWithBounds(item, confidence);
+    });
+  }
+
+  /// Merges a wrapped serialized peer into the live state, zero-copy for
+  /// families with a view merge. Type mismatches and parameter-mismatched
+  /// merges surface as the sketch's own typed status; nothing is
+  /// published on failure. The view's bytes are only borrowed for the
+  /// duration of the call.
+  Status MergeFromView(const SketchView& view) {
+    if (view.type() != prototype_type_) {
+      return Status::InvalidArgument(
+          std::string("cannot merge sketch type ") + view.type_name() +
+          " into " + SketchTypeName(prototype_type_));
+    }
+    return impl_->FoldExternal(
+        [&](AnySketch& global) { return global.MergeFromView(view); });
+  }
+
+  /// Merges a materialized peer handle into the live state.
+  Status Merge(const AnySketch& other) {
+    return impl_->FoldExternal(
+        [&](AnySketch& global) { return global.Merge(other); });
+  }
+
+  /// Replaces the live state wholesale — the checkpoint-restore entry
+  /// point. `state` must be the same sketch type. Call before concurrent
+  /// writers start (on a freshly built instance); residual deltas from
+  /// earlier writers would otherwise fold into the replaced state.
+  Status Reset(AnySketch state) {
+    if (!state.has_value() || state.type() != prototype_type_) {
+      return Status::InvalidArgument(
+          "reset needs a non-empty sketch of the wrapped type");
+    }
+    return impl_->FoldExternal([&](AnySketch& global) {
+      global = std::move(state);
+      return Status::Ok();
+    });
   }
 
   /// Consistent bounded-staleness snapshot (read-your-writes for the

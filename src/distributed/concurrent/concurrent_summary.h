@@ -57,13 +57,6 @@
 
 namespace gems {
 
-/// A summary with the unified no-argument interval estimate.
-template <typename S>
-concept BoundedPointEstimableSummary =
-    requires(const S& s, double confidence) {
-      { s.EstimateWithBounds(confidence) } -> std::same_as<gems::Estimate>;
-    };
-
 /// Wait-free concurrent wrapper around a mergeable summary S. The old
 /// striped-lock API surface (Update, UpdateBatch, InsertBatch, Snapshot)
 /// is preserved; Estimate/EstimateWithBounds/Query/epoch are new.
@@ -247,6 +240,31 @@ class ConcurrentSummary {
   /// Publication version: advances once per propagation. Monotone; usable
   /// as a staleness probe ("has anything landed since I last looked").
   uint64_t epoch() const { return shared_->published.epoch(); }
+
+  /// Applies `fn(S&)` to the global under the fold mutex and republishes
+  /// on success — the entry point for folding *externally built* deltas
+  /// (a deserialized peer sketch, restored checkpoint state) into a live
+  /// summary, which is how the gemsd MERGE and RESTORE paths land. Unlike
+  /// writer folds, a failure here is the caller's to handle (e.g. a
+  /// parameter-mismatched merge): it is returned, never latched into the
+  /// summary's error state, and nothing is published.
+  template <typename Fn>
+  Status FoldExternal(Fn&& fn) {
+    Shared& sh = *shared_;
+    std::lock_guard<std::mutex> lock(sh.fold_mutex);
+    if (Status s = fn(sh.global); !s.ok()) return s;
+    sh.folds += 1;
+    // Force even under a background publisher: once the fold is acked the
+    // merged state must be visible to readers.
+    ForcePublish(sh);
+    return Status::Ok();
+  }
+
+  /// Folds a whole summary of the same shape into the global — the
+  /// concrete-type convenience over FoldExternal.
+  Status MergeDelta(const S& delta) {
+    return FoldExternal([&](S& global) { return global.Merge(delta); });
+  }
 
   /// Consistent snapshot (old API): folds the calling thread's residual
   /// state, then copies the published version under a pin. Never blocks

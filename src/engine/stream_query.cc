@@ -271,7 +271,7 @@ GroupAggregate StreamQuery::Snapshot(uint64_t group,
   aggregate.group = group;
   switch (options_.aggregate) {
     case AggregateKind::kCountDistinct:
-      aggregate.scalar = state.distinct->Count();
+      aggregate.scalar = state.distinct->Estimate();
       break;
     case AggregateKind::kTopK:
       for (const SpaceSaving::Entry& entry : state.top->TopK(options_.top_k)) {

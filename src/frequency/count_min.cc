@@ -67,7 +67,7 @@ void CountMinSketch::Update(uint64_t item, int64_t weight) {
   }
   // Conservative update: raise each counter only as far as needed so that
   // the post-update minimum reflects the new estimate.
-  uint64_t current = EstimateCount(item);
+  uint64_t current = Estimate(item);
   const uint64_t target = current + static_cast<uint64_t>(weight);
   for (uint32_t row = 0; row < depth_; ++row) {
     uint64_t& counter =
@@ -211,7 +211,7 @@ int64_t CountMinSketch::EstimateCountMeanMin(uint64_t item) const {
                    row_estimates.end());
   const double median = row_estimates[row_estimates.size() / 2];
   // Clamp into the always-valid Count-Min envelope [0, min-counter].
-  const double upper = static_cast<double>(EstimateCount(item));
+  const double upper = static_cast<double>(Estimate(item));
   return static_cast<int64_t>(std::clamp(median, 0.0, upper));
 }
 
@@ -349,7 +349,7 @@ CountMinHeavyHitters::CountMinHeavyHitters(uint32_t width, uint32_t depth,
 
 void CountMinHeavyHitters::Update(uint64_t item, int64_t weight) {
   sketch_.Update(item, weight);
-  const uint64_t estimate = sketch_.EstimateCount(item);
+  const uint64_t estimate = sketch_.Estimate(item);
 
   const auto found = index_.find(item);
   if (found != index_.end()) {

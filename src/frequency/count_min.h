@@ -78,7 +78,7 @@ class CountMinSketch {
 
   /// Count-mean-min estimator (Deng & Rafiei 2007): subtracts each row's
   /// expected collision noise (N - counter) / (width - 1) and takes the
-  /// median. Not one-sided like EstimateCount, but much more accurate for
+  /// median. Not one-sided like Estimate(item), but much more accurate for
   /// tail items on skewed streams; the E3 bench quantifies the trade.
   int64_t EstimateCountMeanMin(uint64_t item) const;
 
@@ -86,15 +86,6 @@ class CountMinSketch {
   /// [estimate - eps*N, estimate] where eps = e/width.
   gems::Estimate EstimateWithBounds(uint64_t item,
                                     double confidence = 0.95) const;
-
-  /// Deprecated alias for Estimate(item).
-  uint64_t EstimateCount(uint64_t item) const { return Estimate(item); }
-
-  /// Deprecated alias for EstimateWithBounds().
-  gems::Estimate CountEstimate(uint64_t item,
-                               double confidence = 0.95) const {
-    return EstimateWithBounds(item, confidence);
-  }
 
   /// Estimated inner product of the two frequency vectors (min over rows of
   /// the row dot products); both sketches must share shape and seed.

@@ -58,15 +58,6 @@ class CountSketch {
   gems::Estimate EstimateWithBounds(uint64_t item,
                                     double confidence = 0.95) const;
 
-  /// Deprecated alias for Estimate(item).
-  int64_t EstimateCount(uint64_t item) const { return Estimate(item); }
-
-  /// Deprecated alias for EstimateWithBounds().
-  gems::Estimate CountEstimate(uint64_t item,
-                               double confidence = 0.95) const {
-    return EstimateWithBounds(item, confidence);
-  }
-
   /// Estimate of the second frequency moment F2 (median over rows of the
   /// row's sum of squared counters) — each row is an AMS sketch.
   double EstimateF2() const;

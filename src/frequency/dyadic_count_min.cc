@@ -39,7 +39,7 @@ uint64_t DyadicCountMin::EstimateRangeSum(uint64_t lo, uint64_t hi) const {
     while (level > 0 && pos + ((uint64_t{1} << level) - 1) > end) {
       --level;
     }
-    sum += levels_[level].EstimateCount(pos >> level);
+    sum += levels_[level].Estimate(pos >> level);
     const uint64_t block = uint64_t{1} << level;
     if (pos + block < pos) break;  // Overflow guard at the top of range.
     pos += block;
@@ -56,7 +56,7 @@ uint64_t DyadicCountMin::EstimateQuantile(double q) const {
   uint64_t node = 0;    // Current node id at `level`.
   for (int level = universe_bits_ - 1; level >= 0; --level) {
     const uint64_t left_child = node << 1;
-    const uint64_t left_weight = levels_[level].EstimateCount(left_child);
+    const uint64_t left_weight = levels_[level].Estimate(left_child);
     if (prefix + left_weight >= target) {
       node = left_child;
     } else {

@@ -49,9 +49,6 @@ class MisraGries {
   gems::Estimate EstimateWithBounds(uint64_t item,
                                     double confidence = 0.95) const;
 
-  /// Deprecated alias for Estimate(item).
-  int64_t EstimateCount(uint64_t item) const { return Estimate(item); }
-
   /// Maximum undercount: total decremented weight so far (<= N/k).
   int64_t ErrorBound() const { return decrement_total_; }
 

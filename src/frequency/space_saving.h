@@ -67,9 +67,6 @@ class SpaceSaving {
   gems::Estimate EstimateWithBounds(uint64_t item,
                                     double confidence = 0.95) const;
 
-  /// Deprecated alias for Estimate(item).
-  int64_t EstimateCount(uint64_t item) const { return Estimate(item); }
-
   /// Guaranteed overestimation error for a tracked item (0 if untracked or
   /// never evicted anyone).
   int64_t ErrorOf(uint64_t item) const;

@@ -1,0 +1,256 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace gems {
+namespace server {
+
+namespace {
+
+Status Transport(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+}  // namespace
+
+Result<GemsdClient> GemsdClient::Connect(const std::string& host,
+                                         uint16_t port) {
+  GemsdClient client;
+  client.fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (client.fd_ < 0) return Transport("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable gemsd address '" + host +
+                                   "'");
+  }
+  if (::connect(client.fd_, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    return Transport("connect");
+  }
+  const int one = 1;
+  ::setsockopt(client.fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return client;
+}
+
+GemsdClient::GemsdClient(GemsdClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      send_buffer_(std::move(other.send_buffer_)) {}
+
+GemsdClient& GemsdClient::operator=(GemsdClient&& other) noexcept {
+  if (this != &other) {
+    CloseFd();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    send_buffer_ = std::move(other.send_buffer_);
+  }
+  return *this;
+}
+
+GemsdClient::~GemsdClient() { CloseFd(); }
+
+void GemsdClient::CloseFd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status GemsdClient::SendAll(const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseFd();
+    return Transport("send");
+  }
+  return Status::Ok();
+}
+
+Status GemsdClient::RecvFrame(std::vector<uint8_t>* frame, ByteSpan* body) {
+  frame->clear();
+  size_t need = 4;  // Length prefix first, then the body.
+  for (;;) {
+    const size_t have = frame->size();
+    if (have >= need) break;
+    frame->resize(need);
+    const ssize_t n = ::recv(fd_, frame->data() + have, need - have, 0);
+    if (n > 0) {
+      frame->resize(have + static_cast<size_t>(n));
+      if (frame->size() == 4 && need == 4) {
+        const uint32_t length = static_cast<uint32_t>((*frame)[0]) |
+                                static_cast<uint32_t>((*frame)[1]) << 8 |
+                                static_cast<uint32_t>((*frame)[2]) << 16 |
+                                static_cast<uint32_t>((*frame)[3]) << 24;
+        if (length == 0 || length > kDefaultMaxFrameBytes) {
+          CloseFd();
+          return Status::Corruption("invalid gemsd frame length from peer");
+        }
+        need = 4 + length;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseFd();
+    if (n == 0) {
+      return Status::Unavailable("gemsd connection closed by peer");
+    }
+    return Transport("recv");
+  }
+  *body = ByteSpan(frame->data() + 4, frame->size() - 4);
+  return Status::Ok();
+}
+
+Status GemsdClient::RoundTrip(Request& request, Response* response,
+                              std::vector<uint8_t>* frame) {
+  if (fd_ < 0) return Status::Unavailable("gemsd client not connected");
+  request.version = kProtocolVersion;
+  request.id = next_id_++;
+  send_buffer_.clear();
+  EncodeRequest(request, &send_buffer_);
+  if (Status s = SendAll(send_buffer_.data(), send_buffer_.size()); !s.ok()) {
+    return s;
+  }
+  ByteSpan body;
+  if (Status s = RecvFrame(frame, &body); !s.ok()) return s;
+  if (Status s = DecodeResponse(body, response); !s.ok()) {
+    CloseFd();
+    return s;
+  }
+  if (response->id != request.id) {
+    CloseFd();
+    return Status::Corruption("gemsd response id mismatch");
+  }
+  return Status::FromCode(response->code, response->message);
+}
+
+Status GemsdClient::Ping() {
+  Request request;
+  request.opcode = Opcode::kPing;
+  Response response;
+  std::vector<uint8_t> frame;
+  return RoundTrip(request, &response, &frame);
+}
+
+Status GemsdClient::Create(const std::string& key,
+                           const std::string& sketch_type) {
+  Request request;
+  request.opcode = Opcode::kCreate;
+  request.key = key;
+  request.sketch_type = sketch_type;
+  Response response;
+  std::vector<uint8_t> frame;
+  return RoundTrip(request, &response, &frame);
+}
+
+Status GemsdClient::Drop(const std::string& key) {
+  Request request;
+  request.opcode = Opcode::kDrop;
+  request.key = key;
+  Response response;
+  std::vector<uint8_t> frame;
+  return RoundTrip(request, &response, &frame);
+}
+
+Result<GemsdClient::ListResult> GemsdClient::List(const std::string& prefix,
+                                                  uint32_t limit) {
+  Request request;
+  request.opcode = Opcode::kList;
+  request.prefix = prefix;
+  request.limit = limit;
+  Response response;
+  std::vector<uint8_t> frame;
+  if (Status s = RoundTrip(request, &response, &frame); !s.ok()) return s;
+  ListResult result;
+  result.total = response.total_keys;
+  result.entries = std::move(response.entries);
+  return result;
+}
+
+Status GemsdClient::Update(const std::string& key,
+                           std::span<const uint64_t> items) {
+  Request request;
+  request.opcode = Opcode::kUpdate;
+  request.key = key;
+  request.items = items;
+  Response response;
+  std::vector<uint8_t> frame;
+  return RoundTrip(request, &response, &frame);
+}
+
+Status GemsdClient::Merge(const std::string& key, ByteSpan envelope,
+                          bool trusted) {
+  Request request;
+  request.opcode = Opcode::kMerge;
+  request.key = key;
+  request.blob = envelope;
+  if (trusted) request.flags |= kFlagTrustedMerge;
+  Response response;
+  std::vector<uint8_t> frame;
+  return RoundTrip(request, &response, &frame);
+}
+
+Result<QueryResult> GemsdClient::Query(const std::string& key,
+                                       double confidence) {
+  Request request;
+  request.opcode = Opcode::kQuery;
+  request.key = key;
+  request.confidence = confidence;
+  Response response;
+  std::vector<uint8_t> frame;
+  if (Status s = RoundTrip(request, &response, &frame); !s.ok()) return s;
+  return std::move(response.query);
+}
+
+Result<QueryResult> GemsdClient::QueryItem(const std::string& key,
+                                           uint64_t item,
+                                           double confidence) {
+  Request request;
+  request.opcode = Opcode::kQuery;
+  request.key = key;
+  request.has_item = true;
+  request.item = item;
+  request.confidence = confidence;
+  Response response;
+  std::vector<uint8_t> frame;
+  if (Status s = RoundTrip(request, &response, &frame); !s.ok()) return s;
+  return std::move(response.query);
+}
+
+Result<std::vector<uint8_t>> GemsdClient::Checkpoint() {
+  Request request;
+  request.opcode = Opcode::kCheckpoint;
+  Response response;
+  std::vector<uint8_t> frame;
+  if (Status s = RoundTrip(request, &response, &frame); !s.ok()) return s;
+  return std::vector<uint8_t>(response.blob.begin(), response.blob.end());
+}
+
+Status GemsdClient::Restore(ByteSpan image) {
+  Request request;
+  request.opcode = Opcode::kRestore;
+  request.blob = image;
+  Response response;
+  std::vector<uint8_t> frame;
+  return RoundTrip(request, &response, &frame);
+}
+
+}  // namespace server
+}  // namespace gems

@@ -1,0 +1,154 @@
+// gemsd_loadgen: closed-loop load generator for a running gemsd.
+//
+//   gemsd_loadgen [--host=127.0.0.1] [--port=7171] [--connections=8]
+//                 [--keys=10000] [--ops=100000] [--batch=64]
+//                 [--update-pct=90] [--type=hllpp]
+//
+// Pre-creates `keys` sketches named k000000.., then runs `connections`
+// client threads, each issuing `ops` requests: an UPDATE of `batch`
+// zipf-keyed items with probability update-pct, a QUERY otherwise.
+// Prints aggregate requests/s and client-observed latency percentiles.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "server/client.h"
+
+namespace {
+
+using gems::server::GemsdClient;
+
+uint64_t FlagU64(const char* arg, const char* name, uint64_t fallback) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return fallback;
+  return std::strtoull(arg + len, nullptr, 10);
+}
+
+std::string KeyName(uint64_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%08llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const size_t at = std::min(
+      sorted_us.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_us.size())));
+  return sorted_us[at];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7171;
+  size_t connections = 8;
+  uint64_t num_keys = 10000;
+  uint64_t ops_per_conn = 100000;
+  size_t batch = 64;
+  uint64_t update_pct = 90;
+  std::string sketch_type = "hllpp";
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--host=", 7) == 0) {
+      host = arg + 7;
+    } else if (std::strncmp(arg, "--type=", 7) == 0) {
+      sketch_type = arg + 7;
+    } else {
+      port = static_cast<uint16_t>(FlagU64(arg, "--port=", port));
+      connections = FlagU64(arg, "--connections=", connections);
+      num_keys = FlagU64(arg, "--keys=", num_keys);
+      ops_per_conn = FlagU64(arg, "--ops=", ops_per_conn);
+      batch = FlagU64(arg, "--batch=", batch);
+      update_pct = FlagU64(arg, "--update-pct=", update_pct);
+    }
+  }
+
+  // Create the key population over one connection; tolerate rerunning
+  // against a warm daemon (kAlreadyExists is fine).
+  {
+    gems::Result<GemsdClient> setup = GemsdClient::Connect(host, port);
+    if (!setup.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n",
+                   setup.status().ToString().c_str());
+      return 1;
+    }
+    for (uint64_t k = 0; k < num_keys; ++k) {
+      gems::Status s = setup.value().Create(KeyName(k), sketch_type);
+      if (!s.ok() && s.code() != gems::StatusCode::kAlreadyExists) {
+        std::fprintf(stderr, "loadgen: create %s: %s\n",
+                     KeyName(k).c_str(), s.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> latencies_us(connections);
+  std::vector<std::thread> workers;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      gems::Result<GemsdClient> client = GemsdClient::Connect(host, port);
+      if (!client.ok()) return;
+      gems::SplitMix64 rng(0x10ADull + c);
+      std::vector<uint64_t> items(batch);
+      std::vector<double>& lat = latencies_us[c];
+      lat.reserve(ops_per_conn);
+      for (uint64_t op = 0; op < ops_per_conn; ++op) {
+        // Zipf-ish skew: square a uniform draw so low key ids dominate.
+        const double u = static_cast<double>(rng.Next() >> 11) * 0x1p-53;
+        const uint64_t key_id =
+            static_cast<uint64_t>(u * u * static_cast<double>(num_keys));
+        const std::string key = KeyName(std::min(key_id, num_keys - 1));
+        const bool do_update = rng.Next() % 100 < update_pct;
+        const auto t0 = std::chrono::steady_clock::now();
+        gems::Status s;
+        if (do_update) {
+          for (uint64_t& item : items) item = rng.Next();
+          s = client.value().Update(key, items);
+        } else {
+          s = client.value().Query(key).status();
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!s.ok()) {
+          std::fprintf(stderr, "loadgen: %s\n", s.ToString().c_str());
+          return;
+        }
+        lat.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::vector<double> all_us;
+  for (const std::vector<double>& lat : latencies_us) {
+    all_us.insert(all_us.end(), lat.begin(), lat.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+  std::printf(
+      "loadgen: %zu conns x %llu ops (%zu-item batches, %llu%% update) "
+      "over %s:%u\n",
+      connections, static_cast<unsigned long long>(ops_per_conn), batch,
+      static_cast<unsigned long long>(update_pct), host.c_str(), port);
+  std::printf("  %.0f requests/s; latency p50 %.1f us, p99 %.1f us, "
+              "max %.1f us\n",
+              static_cast<double>(all_us.size()) / wall_s,
+              Percentile(all_us, 0.50), Percentile(all_us, 0.99),
+              all_us.empty() ? 0.0 : all_us.back());
+  return 0;
+}

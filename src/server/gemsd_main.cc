@@ -1,0 +1,80 @@
+// gemsd: the gems sketch daemon.
+//
+//   gemsd [--host=127.0.0.1] [--port=7171] [--threads=N] [--shards=N]
+//         [--max-keys=N]
+//
+// Serves the keyed-sketch protocol (see src/server/protocol.h) until
+// SIGINT/SIGTERM. Sketch types are the registry's built-ins; keys are
+// created over the wire (CREATE), so a fresh daemon starts empty — or
+// warm via RESTORE of a checkpoint image.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/registry.h"
+#include "server/server.h"
+
+namespace {
+
+uint64_t FlagU64(const char* arg, const char* name, uint64_t fallback) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return fallback;
+  return std::strtoull(arg + len, nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7171;
+  gems::server::ServerOptions server_options;
+  gems::server::KeyspaceOptions keyspace_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--host=", 7) == 0) {
+      host = arg + 7;
+    } else {
+      port = static_cast<uint16_t>(FlagU64(arg, "--port=", port));
+      server_options.num_threads =
+          FlagU64(arg, "--threads=", server_options.num_threads);
+      keyspace_options.num_shards =
+          FlagU64(arg, "--shards=", keyspace_options.num_shards);
+      keyspace_options.max_keys =
+          FlagU64(arg, "--max-keys=", keyspace_options.max_keys);
+    }
+  }
+  server_options.host = host;
+  server_options.port = port;
+
+  gems::RegisterBuiltinSketches();
+  gems::server::Keyspace keyspace(keyspace_options);
+  gems::server::Server server(&keyspace, server_options);
+
+  // Block the shutdown signals before starting the event loops so every
+  // thread inherits the mask and sigwait below is the only consumer.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  if (gems::Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "gemsd: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("gemsd listening on %s:%u (%zu threads, %zu shards)\n",
+              host.c_str(), server.port(), server_options.num_threads,
+              keyspace_options.num_shards);
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&mask, &sig);
+  std::printf("gemsd: signal %d, shutting down\n", sig);
+  server.Stop();
+  return 0;
+}

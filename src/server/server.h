@@ -1,0 +1,98 @@
+#ifndef GEMS_SERVER_SERVER_H_
+#define GEMS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "server/keyspace.h"
+#include "server/protocol.h"
+
+/// \file
+/// gemsd: the epoll-based TCP daemon fronting a Keyspace.
+///
+/// Threading model: `num_threads` event-loop threads, each with its own
+/// epoll instance. All of them watch the shared listening socket with
+/// EPOLLEXCLUSIVE, so the kernel wakes exactly one loop per incoming
+/// connection and the accepted connection stays pinned to that loop for
+/// its lifetime — no cross-thread connection state, no locks on the I/O
+/// path. Shared state is only the Keyspace, which is internally
+/// synchronized (sharded map locks + per-sketch concurrency contracts).
+///
+/// Each connection carries a growable read buffer and a pending-write
+/// buffer. Frames are split out of the read buffer zero-copy
+/// (SplitFrame borrows; UPDATE items and MERGE envelopes are consumed
+/// straight out of it), responses are encoded into the write buffer and
+/// flushed as far as the socket accepts, with EPOLLOUT armed only while
+/// a partial write is outstanding. Malformed frames (bad length prefix,
+/// undecodable body) close the connection; unknown-but-well-framed
+/// opcodes get a typed kUnimplemented response instead.
+
+namespace gems {
+namespace server {
+
+struct ServerOptions {
+  /// Listen address. The default binds loopback only; a daemon exposed
+  /// beyond localhost should sit behind its own transport security.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Event-loop thread count.
+  size_t num_threads = 2;
+  /// Per-frame body cap, enforced on read before buffering.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// listen(2) backlog.
+  int backlog = 128;
+};
+
+/// Executes one decoded request against the keyspace and fills the
+/// response. `arena` backs checkpoint payloads (cleared per call; the
+/// response's blob borrows it). Exposed so loopback tests and in-process
+/// benchmarks drive the exact dispatch the daemon runs.
+void HandleRequest(Keyspace& keyspace, const Request& request,
+                   Response* response, std::vector<uint8_t>* arena);
+
+/// The daemon. Start() binds, listens, and spawns the event loops;
+/// Stop() (or destruction) shuts them down and closes every connection.
+/// The keyspace is borrowed and must outlive the server.
+class Server {
+ public:
+  explicit Server(Keyspace* keyspace, ServerOptions options = ServerOptions{});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and starts serving. kUnavailable on socket errors (address in
+  /// use, permission); kFailedPrecondition if already started.
+  Status Start();
+
+  /// Stops the event loops, closes the listener and every connection.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (resolves ephemeral requests); 0 before Start().
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Loop;
+
+  void RunLoop(Loop& loop);
+
+  Keyspace* keyspace_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace server
+}  // namespace gems
+
+#endif  // GEMS_SERVER_SERVER_H_

@@ -34,7 +34,7 @@ static_assert(SerializableSummary<MorrisCounter>);
 
 TEST(MorrisTest, EmptyCountsZero) {
   MorrisCounter c(16, 1);
-  EXPECT_DOUBLE_EQ(c.Count(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Estimate(), 0.0);
   EXPECT_EQ(c.RegisterBits(), 1);
 }
 
@@ -42,7 +42,7 @@ TEST(MorrisTest, SmallCountsNearExact) {
   // With a = 256 the first ~hundred increments are nearly deterministic.
   MorrisCounter c(256, 2);
   for (int i = 0; i < 100; ++i) c.Increment();
-  EXPECT_NEAR(c.Count(), 100.0, 25.0);
+  EXPECT_NEAR(c.Estimate(), 100.0, 25.0);
 }
 
 TEST(MorrisTest, LargeCountWithinRelativeError) {
@@ -51,7 +51,7 @@ TEST(MorrisTest, LargeCountWithinRelativeError) {
   for (int trial = 0; trial < 20; ++trial) {
     MorrisCounter c(64, 100 + trial);
     c.IncrementBy(n);
-    errors.push_back((c.Count() - n) / static_cast<double>(n));
+    errors.push_back((c.Estimate() - n) / static_cast<double>(n));
   }
   // Mean relative error should be near zero (unbiased), RMS ~ 1/sqrt(2a).
   EXPECT_LT(std::abs(Mean(errors)), 0.08);
@@ -72,7 +72,7 @@ TEST(MorrisTest, ConfidenceIntervalCoversTruthUsually) {
   for (int t = 0; t < trials; ++t) {
     MorrisCounter c(128, 500 + t);
     c.IncrementBy(n);
-    if (c.CountEstimate(0.95).Covers(static_cast<double>(n))) ++covered;
+    if (c.EstimateWithBounds(0.95).Covers(static_cast<double>(n))) ++covered;
   }
   EXPECT_GE(covered, trials * 8 / 10);
 }
@@ -84,7 +84,7 @@ TEST(MorrisTest, MergeApproximatelyAdds) {
     a.IncrementBy(30000);
     b.IncrementBy(50000);
     ASSERT_TRUE(a.Merge(b).ok());
-    errors.push_back((a.Count() - 80000.0) / 80000.0);
+    errors.push_back((a.Estimate() - 80000.0) / 80000.0);
   }
   EXPECT_LT(std::abs(Mean(errors)), 0.05);
 }
@@ -100,7 +100,7 @@ TEST(MorrisTest, SerializeRoundTrip) {
   const auto bytes = c.Serialize();
   auto r = MorrisCounter::Deserialize(bytes);
   ASSERT_TRUE(r.ok());
-  EXPECT_DOUBLE_EQ(r.value().Count(), c.Count());
+  EXPECT_DOUBLE_EQ(r.value().Estimate(), c.Estimate());
 }
 
 TEST(MorrisTest, DeserializeGarbageFails) {
@@ -117,8 +117,8 @@ TEST(MorrisEnsembleTest, AveragingReducesError) {
       single.Increment();
       ensemble.Increment();
     }
-    single_errors.push_back(RelativeError(single.Count(), n));
-    ensemble_errors.push_back(RelativeError(ensemble.Count(), n));
+    single_errors.push_back(RelativeError(single.Estimate(), n));
+    ensemble_errors.push_back(RelativeError(ensemble.Estimate(), n));
   }
   EXPECT_LT(Rms(ensemble_errors), Rms(single_errors));
 }
@@ -127,14 +127,14 @@ TEST(MorrisEnsembleTest, AveragingReducesError) {
 
 TEST(LinearCountingTest, EmptyIsZero) {
   LinearCounting lc(1024, 0);
-  EXPECT_DOUBLE_EQ(lc.Count(), 0.0);
+  EXPECT_DOUBLE_EQ(lc.Estimate(), 0.0);
 }
 
 TEST(LinearCountingTest, AccurateAtLowLoad) {
   LinearCounting lc(1 << 14, 1);
   const auto items = DistinctItems(2000, 7);
   for (uint64_t item : items) lc.Update(item);
-  EXPECT_NEAR(lc.Count(), 2000.0, 100.0);
+  EXPECT_NEAR(lc.Estimate(), 2000.0, 100.0);
 }
 
 TEST(LinearCountingTest, DuplicatesDontInflate) {
@@ -142,14 +142,14 @@ TEST(LinearCountingTest, DuplicatesDontInflate) {
   for (int rep = 0; rep < 100; ++rep) {
     for (uint64_t i = 0; i < 100; ++i) lc.Update(i);
   }
-  EXPECT_NEAR(lc.Count(), 100.0, 15.0);
+  EXPECT_NEAR(lc.Estimate(), 100.0, 15.0);
 }
 
 TEST(LinearCountingTest, SaturationReturnsFiniteUpperBound) {
   LinearCounting lc(64, 3);
   for (uint64_t i = 0; i < 10000; ++i) lc.Update(i);
-  EXPECT_GT(lc.Count(), 64.0);
-  EXPECT_TRUE(std::isfinite(lc.Count()));
+  EXPECT_GT(lc.Estimate(), 64.0);
+  EXPECT_TRUE(std::isfinite(lc.Estimate()));
 }
 
 TEST(LinearCountingTest, MergeEqualsUnion) {
@@ -160,7 +160,7 @@ TEST(LinearCountingTest, MergeEqualsUnion) {
     (i % 2 == 0 ? a : b).Update(items[i]);
   }
   ASSERT_TRUE(a.Merge(b).ok());
-  EXPECT_DOUBLE_EQ(a.Count(), whole.Count());
+  EXPECT_DOUBLE_EQ(a.Estimate(), whole.Estimate());
 }
 
 TEST(LinearCountingTest, MergeRejectsMismatch) {
@@ -174,7 +174,7 @@ TEST(LinearCountingTest, SerializeRoundTrip) {
   for (uint64_t i = 0; i < 500; ++i) lc.Update(i);
   auto r = LinearCounting::Deserialize(lc.Serialize());
   ASSERT_TRUE(r.ok());
-  EXPECT_DOUBLE_EQ(r.value().Count(), lc.Count());
+  EXPECT_DOUBLE_EQ(r.value().Estimate(), lc.Estimate());
   EXPECT_EQ(r.value().NumBitsSet(), lc.NumBitsSet());
 }
 
@@ -186,7 +186,7 @@ TEST(FlajoletMartinTest, EstimateWithinExpectedError) {
   for (int t = 0; t < 15; ++t) {
     FlajoletMartin fm(256, t);
     for (uint64_t item : DistinctItems(n, 50 + t)) fm.Update(item);
-    errors.push_back((fm.Count() - n) / static_cast<double>(n));
+    errors.push_back((fm.Estimate() - n) / static_cast<double>(n));
   }
   // RMSE should be in the ballpark of 0.78/sqrt(256) ~ 0.049.
   EXPECT_LT(Rms(errors), 3 * 0.78 / std::sqrt(256.0));
@@ -196,11 +196,11 @@ TEST(FlajoletMartinTest, EstimateWithinExpectedError) {
 TEST(FlajoletMartinTest, DuplicatesAreIdempotent) {
   FlajoletMartin fm(64, 1);
   for (uint64_t i = 0; i < 1000; ++i) fm.Update(i);
-  const double once = fm.Count();
+  const double once = fm.Estimate();
   for (int rep = 0; rep < 10; ++rep) {
     for (uint64_t i = 0; i < 1000; ++i) fm.Update(i);
   }
-  EXPECT_DOUBLE_EQ(fm.Count(), once);
+  EXPECT_DOUBLE_EQ(fm.Estimate(), once);
 }
 
 TEST(FlajoletMartinTest, MergeEqualsUnion) {
@@ -211,7 +211,7 @@ TEST(FlajoletMartinTest, MergeEqualsUnion) {
     (i % 2 == 0 ? a : b).Update(items[i]);
   }
   ASSERT_TRUE(a.Merge(b).ok());
-  EXPECT_DOUBLE_EQ(a.Count(), whole.Count());
+  EXPECT_DOUBLE_EQ(a.Estimate(), whole.Estimate());
 }
 
 TEST(FlajoletMartinTest, RejectsNonPowerOfTwo) {
@@ -223,7 +223,7 @@ TEST(FlajoletMartinTest, SerializeRoundTrip) {
   for (uint64_t item : DistinctItems(5000, 4)) fm.Update(item);
   auto r = FlajoletMartin::Deserialize(fm.Serialize());
   ASSERT_TRUE(r.ok());
-  EXPECT_DOUBLE_EQ(r.value().Count(), fm.Count());
+  EXPECT_DOUBLE_EQ(r.value().Estimate(), fm.Estimate());
 }
 
 // ------------------------------------------------------------------ LogLog
@@ -234,7 +234,7 @@ TEST(LogLogTest, EstimateWithinExpectedError) {
   for (int t = 0; t < 15; ++t) {
     LogLog ll(10, t);  // m = 1024, std err ~ 1.30/32 ~ 4%.
     for (uint64_t item : DistinctItems(n, 60 + t)) ll.Update(item);
-    errors.push_back((ll.Count() - n) / static_cast<double>(n));
+    errors.push_back((ll.Estimate() - n) / static_cast<double>(n));
   }
   EXPECT_LT(Rms(errors), 3 * 1.30 / std::sqrt(1024.0));
   EXPECT_LT(std::abs(Mean(errors)), 0.05);
@@ -248,7 +248,7 @@ TEST(LogLogTest, MergeEqualsUnion) {
     (i % 3 == 0 ? a : b).Update(items[i]);
   }
   ASSERT_TRUE(a.Merge(b).ok());
-  EXPECT_DOUBLE_EQ(a.Count(), whole.Count());
+  EXPECT_DOUBLE_EQ(a.Estimate(), whole.Estimate());
 }
 
 TEST(LogLogTest, SerializeRoundTrip) {
@@ -256,14 +256,14 @@ TEST(LogLogTest, SerializeRoundTrip) {
   for (uint64_t item : DistinctItems(10000, 6)) ll.Update(item);
   auto r = LogLog::Deserialize(ll.Serialize());
   ASSERT_TRUE(r.ok());
-  EXPECT_DOUBLE_EQ(r.value().Count(), ll.Count());
+  EXPECT_DOUBLE_EQ(r.value().Estimate(), ll.Estimate());
 }
 
 // ------------------------------------------------------------- HyperLogLog
 
 TEST(HyperLogLogTest, EmptyIsZero) {
   HyperLogLog hll(12, 0);
-  EXPECT_DOUBLE_EQ(hll.Count(), 0.0);
+  EXPECT_DOUBLE_EQ(hll.Estimate(), 0.0);
 }
 
 TEST(HyperLogLogTest, EstimateWithinExpectedError) {
@@ -272,7 +272,7 @@ TEST(HyperLogLogTest, EstimateWithinExpectedError) {
   for (int t = 0; t < 15; ++t) {
     HyperLogLog hll(12, t);  // m = 4096, std err ~ 1.63%.
     for (uint64_t item : DistinctItems(n, 70 + t)) hll.Update(item);
-    errors.push_back((hll.Count() - n) / static_cast<double>(n));
+    errors.push_back((hll.Estimate() - n) / static_cast<double>(n));
   }
   EXPECT_LT(Rms(errors), 3 * 1.04 / std::sqrt(4096.0));
   EXPECT_LT(std::abs(Mean(errors)), 0.02);
@@ -282,7 +282,7 @@ TEST(HyperLogLogTest, SmallRangeCorrectionKicksIn) {
   // At n << m the raw estimator is biased; the corrected one is accurate.
   HyperLogLog hll(14, 3);  // m = 16384.
   for (uint64_t item : DistinctItems(100, 8)) hll.Update(item);
-  EXPECT_NEAR(hll.Count(), 100.0, 10.0);
+  EXPECT_NEAR(hll.Estimate(), 100.0, 10.0);
 }
 
 TEST(HyperLogLogTest, BeatsLogLogAtEqualSpace) {
@@ -295,8 +295,8 @@ TEST(HyperLogLogTest, BeatsLogLogAtEqualSpace) {
       hll.Update(item);
       ll.Update(item);
     }
-    hll_errors.push_back(RelativeError(hll.Count(), n));
-    ll_errors.push_back(RelativeError(ll.Count(), n));
+    hll_errors.push_back(RelativeError(hll.Estimate(), n));
+    ll_errors.push_back(RelativeError(ll.Estimate(), n));
   }
   EXPECT_LT(Rms(hll_errors), Rms(ll_errors));
 }
@@ -309,7 +309,7 @@ TEST(HyperLogLogTest, MergeEqualsUnionExactly) {
     (i % 2 == 0 ? a : b).Update(items[i]);
   }
   ASSERT_TRUE(a.Merge(b).ok());
-  EXPECT_DOUBLE_EQ(a.Count(), whole.Count());
+  EXPECT_DOUBLE_EQ(a.Estimate(), whole.Estimate());
 }
 
 TEST(HyperLogLogTest, MergeWithOverlapDoesNotDoubleCount) {
@@ -319,9 +319,9 @@ TEST(HyperLogLogTest, MergeWithOverlapDoesNotDoubleCount) {
     a.Update(item);
     b.Update(item);  // Identical contents.
   }
-  const double before = a.Count();
+  const double before = a.Estimate();
   ASSERT_TRUE(a.Merge(b).ok());
-  EXPECT_DOUBLE_EQ(a.Count(), before);
+  EXPECT_DOUBLE_EQ(a.Estimate(), before);
 }
 
 TEST(HyperLogLogTest, ConfidenceIntervalCoversTruthUsually) {
@@ -331,7 +331,7 @@ TEST(HyperLogLogTest, ConfidenceIntervalCoversTruthUsually) {
   for (int t = 0; t < trials; ++t) {
     HyperLogLog hll(10, 40 + t);
     for (uint64_t item : DistinctItems(n, 200 + t)) hll.Update(item);
-    if (hll.CountEstimate(0.95).Covers(static_cast<double>(n))) ++covered;
+    if (hll.EstimateWithBounds(0.95).Covers(static_cast<double>(n))) ++covered;
   }
   EXPECT_GE(covered, trials * 8 / 10);
 }
@@ -347,7 +347,7 @@ TEST(HyperLogLogTest, SerializeRoundTrip) {
   for (uint64_t item : DistinctItems(50000, 13)) hll.Update(item);
   auto r = HyperLogLog::Deserialize(hll.Serialize());
   ASSERT_TRUE(r.ok());
-  EXPECT_DOUBLE_EQ(r.value().Count(), hll.Count());
+  EXPECT_DOUBLE_EQ(r.value().Estimate(), hll.Estimate());
 }
 
 TEST(HyperLogLogTest, DeserializeRejectsBadPrecision) {
@@ -391,7 +391,7 @@ TEST(HllPlusPlusTest, SparseModeIsNearExactAtSmallN) {
   HllPlusPlus hpp(14, 1);
   for (uint64_t item : DistinctItems(1000, 21)) hpp.Update(item);
   ASSERT_TRUE(hpp.IsSparse());
-  EXPECT_NEAR(hpp.Count(), 1000.0, 20.0);
+  EXPECT_NEAR(hpp.Estimate(), 1000.0, 20.0);
 }
 
 TEST(HllPlusPlusTest, SparseBeatsDenseAtSmallN) {
@@ -405,8 +405,8 @@ TEST(HllPlusPlusTest, SparseBeatsDenseAtSmallN) {
       sparse.Update(item);
       dense.Update(item);
     }
-    sparse_errors.push_back(RelativeError(sparse.Count(), 300));
-    dense_errors.push_back(RelativeError(dense.Count(), 300));
+    sparse_errors.push_back(RelativeError(sparse.Estimate(), 300));
+    dense_errors.push_back(RelativeError(dense.Estimate(), 300));
   }
   EXPECT_LE(Rms(sparse_errors), Rms(dense_errors));
 }
@@ -416,7 +416,7 @@ TEST(HllPlusPlusTest, ConvertsToDenseAndStaysAccurate) {
   const uint64_t n = 100000;
   for (uint64_t item : DistinctItems(n, 22)) hpp.Update(item);
   EXPECT_FALSE(hpp.IsSparse());
-  EXPECT_NEAR(hpp.Count(), static_cast<double>(n), 0.15 * n);
+  EXPECT_NEAR(hpp.Estimate(), static_cast<double>(n), 0.15 * n);
 }
 
 TEST(HllPlusPlusTest, ConversionPreservesDenseEquivalence) {
@@ -429,7 +429,7 @@ TEST(HllPlusPlusTest, ConversionPreservesDenseEquivalence) {
     dense.Update(item);
   }
   hpp.ConvertToDense();
-  EXPECT_DOUBLE_EQ(hpp.Count(), dense.Count());
+  EXPECT_DOUBLE_EQ(hpp.Estimate(), dense.Estimate());
 }
 
 TEST(HllPlusPlusTest, MergeSparseSparse) {
@@ -440,7 +440,7 @@ TEST(HllPlusPlusTest, MergeSparseSparse) {
   }
   ASSERT_TRUE(a.Merge(b).ok());
   EXPECT_TRUE(a.IsSparse());
-  EXPECT_NEAR(a.Count(), 400.0, 15.0);
+  EXPECT_NEAR(a.Estimate(), 400.0, 15.0);
 }
 
 TEST(HllPlusPlusTest, MergeMixedModes) {
@@ -452,7 +452,7 @@ TEST(HllPlusPlusTest, MergeMixedModes) {
   ASSERT_FALSE(dense.IsSparse());
   ASSERT_TRUE(sparse.IsSparse());
   ASSERT_TRUE(dense.Merge(sparse).ok());
-  EXPECT_NEAR(dense.Count(), 50100.0, 0.15 * 50100.0);
+  EXPECT_NEAR(dense.Estimate(), 50100.0, 0.15 * 50100.0);
   // And the other direction: sparse absorbing dense converts itself.
   HllPlusPlus sparse2(10, 5);
   for (uint64_t item : small) sparse2.Update(item);
@@ -460,7 +460,7 @@ TEST(HllPlusPlusTest, MergeMixedModes) {
   for (uint64_t item : big) dense2.Update(item);
   ASSERT_TRUE(sparse2.Merge(dense2).ok());
   EXPECT_FALSE(sparse2.IsSparse());
-  EXPECT_NEAR(sparse2.Count(), 50100.0, 0.15 * 50100.0);
+  EXPECT_NEAR(sparse2.Estimate(), 50100.0, 0.15 * 50100.0);
 }
 
 TEST(HllPlusPlusTest, SerializeRoundTripSparse) {
@@ -470,7 +470,7 @@ TEST(HllPlusPlusTest, SerializeRoundTripSparse) {
   auto r = HllPlusPlus::Deserialize(hpp.Serialize());
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r.value().IsSparse());
-  EXPECT_DOUBLE_EQ(r.value().Count(), hpp.Count());
+  EXPECT_DOUBLE_EQ(r.value().Estimate(), hpp.Estimate());
 }
 
 TEST(HllPlusPlusTest, SerializeRoundTripDense) {
@@ -480,7 +480,7 @@ TEST(HllPlusPlusTest, SerializeRoundTripDense) {
   auto r = HllPlusPlus::Deserialize(hpp.Serialize());
   ASSERT_TRUE(r.ok());
   EXPECT_FALSE(r.value().IsSparse());
-  EXPECT_DOUBLE_EQ(r.value().Count(), hpp.Count());
+  EXPECT_DOUBLE_EQ(r.value().Estimate(), hpp.Estimate());
 }
 
 // -------------------------------------------------------------------- KMV
@@ -488,7 +488,7 @@ TEST(HllPlusPlusTest, SerializeRoundTripDense) {
 TEST(KmvTest, ExactBelowK) {
   KmvSketch kmv(100, 0);
   for (uint64_t i = 0; i < 50; ++i) kmv.Update(i);
-  EXPECT_DOUBLE_EQ(kmv.Count(), 50.0);
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 50.0);
   EXPECT_DOUBLE_EQ(kmv.Theta(), 1.0);
 }
 
@@ -498,7 +498,7 @@ TEST(KmvTest, EstimateWithinExpectedError) {
   for (int t = 0; t < 15; ++t) {
     KmvSketch kmv(1024, t);
     for (uint64_t item : DistinctItems(n, 400 + t)) kmv.Update(item);
-    errors.push_back((kmv.Count() - n) / static_cast<double>(n));
+    errors.push_back((kmv.Estimate() - n) / static_cast<double>(n));
   }
   EXPECT_LT(Rms(errors), 3.0 / std::sqrt(1022.0));
   EXPECT_LT(std::abs(Mean(errors)), 0.03);
@@ -507,13 +507,13 @@ TEST(KmvTest, EstimateWithinExpectedError) {
 TEST(KmvTest, DuplicatesAreIdempotent) {
   KmvSketch kmv(64, 1);
   for (uint64_t i = 0; i < 1000; ++i) kmv.Update(i);
-  const double once = kmv.Count();
+  const double once = kmv.Estimate();
   for (int rep = 0; rep < 5; ++rep) {
     for (uint64_t i = 0; i < 1000; ++i) kmv.Update(i);
   }
-  EXPECT_DOUBLE_EQ(kmv.Count(), once);
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), once);
   // And the estimate is within ~3 standard errors (n/sqrt(k-2)) of truth.
-  EXPECT_NEAR(kmv.Count(), 1000.0, 3 * 1000.0 / std::sqrt(62.0));
+  EXPECT_NEAR(kmv.Estimate(), 1000.0, 3 * 1000.0 / std::sqrt(62.0));
 }
 
 TEST(KmvTest, MergeEstimatesUnion) {
@@ -529,7 +529,7 @@ TEST(KmvTest, MergeEstimatesUnion) {
   for (uint64_t item : only_a) a.Update(item);
   for (uint64_t item : only_b) b.Update(item);
   ASSERT_TRUE(a.Merge(b).ok());
-  EXPECT_NEAR(a.Count(), 50000.0, 0.2 * 50000.0);
+  EXPECT_NEAR(a.Estimate(), 50000.0, 0.2 * 50000.0);
 }
 
 TEST(KmvTest, SetAlgebraMatchesGroundTruth) {
@@ -544,14 +544,14 @@ TEST(KmvTest, SetAlgebraMatchesGroundTruth) {
   for (uint64_t item : only_a) a.Update(item);
   for (uint64_t item : only_b) b.Update(item);
 
-  const double union_est = KmvSketch::Union(a, b).Count();
-  const double inter_est = KmvSketch::Intersect(a, b).Count();
-  const double diff_est = KmvSketch::Difference(a, b).Count();
+  const double union_est = KmvSketch::Union(a, b).Estimate();
+  const double inter_est = KmvSketch::Intersect(a, b).Estimate();
+  const double diff_est = KmvSketch::Difference(a, b).Estimate();
   EXPECT_NEAR(union_est, 60000.0, 6000.0);
   EXPECT_NEAR(inter_est, 20000.0, 4000.0);
   EXPECT_NEAR(diff_est, 30000.0, 5000.0);
   // Inclusion-exclusion approximately holds.
-  EXPECT_NEAR(union_est, a.Count() + b.Count() - inter_est,
+  EXPECT_NEAR(union_est, a.Estimate() + b.Estimate() - inter_est,
               0.15 * union_est);
 }
 
@@ -559,14 +559,14 @@ TEST(KmvTest, IntersectionOfDisjointSetsIsSmall) {
   KmvSketch a(512, 4), b(512, 4);
   for (uint64_t item : DistinctItems(50000, 44)) a.Update(item);
   for (uint64_t item : DistinctItems(50000, 45)) b.Update(item);
-  EXPECT_LT(KmvSketch::Intersect(a, b).Count(), 2000.0);
+  EXPECT_LT(KmvSketch::Intersect(a, b).Estimate(), 2000.0);
 }
 
 TEST(KmvTest, ThetaResultConfidenceInterval) {
   KmvSketch kmv(1024, 5);
   const uint64_t n = 100000;
   for (uint64_t item : DistinctItems(n, 46)) kmv.Update(item);
-  Estimate e = kmv.ToTheta().CountEstimate(0.95);
+  Estimate e = kmv.ToTheta().EstimateWithBounds(0.95);
   EXPECT_GT(e.upper, e.lower);
   EXPECT_TRUE(e.Covers(static_cast<double>(n)) ||
               RelativeError(e.value, static_cast<double>(n)) < 0.15);
@@ -582,7 +582,7 @@ TEST(KmvTest, SerializeRoundTrip) {
   for (uint64_t item : DistinctItems(10000, 47)) kmv.Update(item);
   auto r = KmvSketch::Deserialize(kmv.Serialize());
   ASSERT_TRUE(r.ok());
-  EXPECT_DOUBLE_EQ(r.value().Count(), kmv.Count());
+  EXPECT_DOUBLE_EQ(r.value().Estimate(), kmv.Estimate());
   EXPECT_EQ(r.value().NumRetained(), kmv.NumRetained());
 }
 
@@ -607,15 +607,15 @@ TEST_P(CardinalityAccuracySweep, RmseTracksTheory) {
     if (std::string(c.name) == "hll") {
       HyperLogLog s(c.log2_space, t);
       for (uint64_t item : items) s.Update(item);
-      estimate = s.Count();
+      estimate = s.Estimate();
     } else if (std::string(c.name) == "loglog") {
       LogLog s(c.log2_space, t);
       for (uint64_t item : items) s.Update(item);
-      estimate = s.Count();
+      estimate = s.Estimate();
     } else {
       KmvSketch s(1u << c.log2_space, t);
       for (uint64_t item : items) s.Update(item);
-      estimate = s.Count();
+      estimate = s.Estimate();
     }
     errors.push_back((estimate - n) / static_cast<double>(n));
   }

@@ -48,7 +48,7 @@ TEST(AggregateTreeTest, SingleLeafPassthrough) {
   for (uint64_t item : DistinctItems(1000, 2)) leaves[0].Update(item);
   auto root = AggregateTree(std::move(leaves));
   ASSERT_TRUE(root.ok());
-  EXPECT_NEAR(root.value().Count(), 1000.0, 150.0);
+  EXPECT_NEAR(root.value().Estimate(), 1000.0, 150.0);
 }
 
 TEST(AggregateTreeTest, EmptyLeavesRejected) {
@@ -96,7 +96,7 @@ TEST(MergeabilityTest, HllMergedEqualsStreamed) {
   auto merged = AggregateTree(std::move(leaves));
   ASSERT_TRUE(merged.ok());
   // Register-wise max is exact: merged must equal streamed exactly.
-  EXPECT_DOUBLE_EQ(merged.value().Count(), streamed.Count());
+  EXPECT_DOUBLE_EQ(merged.value().Estimate(), streamed.Estimate());
 }
 
 TEST(MergeabilityTest, CountMinMergedEqualsStreamed) {
@@ -112,8 +112,8 @@ TEST(MergeabilityTest, CountMinMergedEqualsStreamed) {
   auto merged = AggregateTree(std::move(leaves), 4, nullptr);
   ASSERT_TRUE(merged.ok());
   for (uint64_t probe = 0; probe < 200; ++probe) {
-    EXPECT_EQ(merged.value().EstimateCount(probe),
-              streamed.EstimateCount(probe));
+    EXPECT_EQ(merged.value().Estimate(probe),
+              streamed.Estimate(probe));
   }
 }
 
@@ -164,8 +164,8 @@ TEST(MergeabilityTest, MisraGriesMergedKeepsGuarantee) {
   ASSERT_TRUE(merged.ok());
   // Undercount bounded by N/k even after 16-way merge.
   for (const auto& [item, count] : exact.TopK(10)) {
-    EXPECT_LE(merged.value().EstimateCount(item), count);
-    EXPECT_GE(merged.value().EstimateCount(item) +
+    EXPECT_LE(merged.value().Estimate(item), count);
+    EXPECT_GE(merged.value().Estimate(item) +
                   merged.value().ErrorBound(),
               count);
   }
@@ -200,7 +200,7 @@ TEST(ConcurrentSummaryTest, SingleThreadMatchesPlain) {
     concurrent.Update(item);
   }
   EXPECT_EQ(concurrent.Snapshot().value().Serialize(), plain.Serialize());
-  EXPECT_DOUBLE_EQ(concurrent.Snapshot().value().Count(), plain.Count());
+  EXPECT_DOUBLE_EQ(concurrent.Snapshot().value().Estimate(), plain.Estimate());
 }
 
 TEST(ConcurrentSummaryTest, MultiThreadedUpdatesAllLand) {
@@ -219,7 +219,7 @@ TEST(ConcurrentSummaryTest, MultiThreadedUpdatesAllLand) {
   // Joined threads ran their exit hooks, so every residual is folded.
   for (std::thread& thread : threads) thread.join();
   const double expected = kThreads * kPerThread;
-  EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected, 0.06 * expected);
+  EXPECT_NEAR(concurrent.Snapshot().value().Estimate(), expected, 0.06 * expected);
 }
 
 TEST(ConcurrentSummaryTest, SnapshotWhileWriting) {
@@ -232,13 +232,13 @@ TEST(ConcurrentSummaryTest, SnapshotWhileWriting) {
   double last = 0;
   int decreases = 0;
   for (int i = 0; i < 50; ++i) {
-    const double now = concurrent.Snapshot().value().Count();
+    const double now = concurrent.Snapshot().value().Estimate();
     if (now + 1e-9 < last) ++decreases;
     last = now;
   }
   writer.join();
   EXPECT_EQ(decreases, 0);
-  EXPECT_NEAR(concurrent.Snapshot().value().Count(), 200000.0, 0.07 * 200000);
+  EXPECT_NEAR(concurrent.Snapshot().value().Estimate(), 200000.0, 0.07 * 200000);
 }
 
 TEST(ConcurrentSummaryTest, OptionsResolveSlotsAndThresholds) {
@@ -303,7 +303,7 @@ TEST(ConcurrentSummaryTest, MultiThreadedBatchesAllLand) {
   }
   for (std::thread& thread : threads) thread.join();
   const double expected = kThreads * kPerThread;
-  EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected, 0.06 * expected);
+  EXPECT_NEAR(concurrent.Snapshot().value().Estimate(), expected, 0.06 * expected);
 }
 
 TEST(ConcurrentSummaryTest, ThreadChurnRecyclesSlotsAndFoldsResiduals) {
@@ -327,7 +327,7 @@ TEST(ConcurrentSummaryTest, ThreadChurnRecyclesSlotsAndFoldsResiduals) {
     worker.join();
   }
   const double expected = kRounds * kPerRound;
-  EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected, 0.06 * expected);
+  EXPECT_NEAR(concurrent.Snapshot().value().Estimate(), expected, 0.06 * expected);
 }
 
 TEST(ConcurrentSummaryTest, OverflowThreadsFallBackCorrectly) {
@@ -347,7 +347,7 @@ TEST(ConcurrentSummaryTest, OverflowThreadsFallBackCorrectly) {
   }
   for (std::thread& thread : threads) thread.join();
   const double expected = 2 * kPerThread;
-  EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected, 0.07 * expected);
+  EXPECT_NEAR(concurrent.Snapshot().value().Estimate(), expected, 0.07 * expected);
 }
 
 TEST(ConcurrentSummaryTest, EstimateAndBoundsAreWaitFreeViews) {
@@ -415,8 +415,8 @@ TEST(ConcurrentSummaryTest, QuiescedSnapshotBytesMatchSequentialCountMin) {
   concurrent.FlushLocal();
   for (uint64_t probe = 0; probe < 100; ++probe) {
     const auto est = concurrent.Query(
-        [probe](const CountMinSketch& s) { return s.EstimateCount(probe); });
-    EXPECT_EQ(est, sequential.EstimateCount(probe));
+        [probe](const CountMinSketch& s) { return s.Estimate(probe); });
+    EXPECT_EQ(est, sequential.Estimate(probe));
   }
 }
 
@@ -447,7 +447,7 @@ TEST(ConcurrentSummaryTest, BackgroundPublisherDecouplesPublishes) {
     for (uint64_t item : DistinctItems(kItems, 31)) concurrent.Update(item);
   });
   writer.join();
-  EXPECT_NEAR(concurrent.Snapshot().value().Count(), kItems, 0.05 * kItems);
+  EXPECT_NEAR(concurrent.Snapshot().value().Estimate(), kItems, 0.05 * kItems);
   // The forced publish also refreshed the cached wait-free estimate.
   EXPECT_NEAR(concurrent.Estimate(), kItems, 0.05 * kItems);
 }
@@ -766,7 +766,7 @@ TEST(ConcurrentSummaryTest, ConcurrentBatchesAndSnapshotsStress) {
     while (writing.load(std::memory_order_acquire)) {
       auto snapshot = concurrent.Snapshot();
       ASSERT_TRUE(snapshot.ok());
-      const double now = snapshot.value().Count();
+      const double now = snapshot.value().Estimate();
       // Near-monotone under concurrent writes (small estimator wobble at
       // regime boundaries is allowed; a collapse would mean lost deltas).
       EXPECT_GE(now, last * 0.9);
@@ -777,7 +777,7 @@ TEST(ConcurrentSummaryTest, ConcurrentBatchesAndSnapshotsStress) {
   writing.store(false, std::memory_order_release);
   reader.join();
   const double expected = kWriters * kPerWriter;
-  EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected,
+  EXPECT_NEAR(concurrent.Snapshot().value().Estimate(), expected,
               0.06 * expected);
 }
 
@@ -830,7 +830,7 @@ TEST(ConcurrentSummaryTest, MixedReadersAndWritersStress) {
   }
   for (std::thread& thread : threads) thread.join();
   const double expected = kWriters * kPerWriter;
-  EXPECT_NEAR(concurrent.Snapshot().value().Count(), expected,
+  EXPECT_NEAR(concurrent.Snapshot().value().Estimate(), expected,
               0.06 * expected);
 }
 
@@ -890,7 +890,7 @@ TEST(MergeabilityTest, KmvMergedEqualsStreamed) {
   }
   auto merged = AggregateTree(std::move(leaves));
   ASSERT_TRUE(merged.ok());
-  EXPECT_DOUBLE_EQ(merged.value().Count(), streamed.Count());
+  EXPECT_DOUBLE_EQ(merged.value().Estimate(), streamed.Estimate());
 }
 
 }  // namespace

@@ -535,12 +535,12 @@ TEST(SlidingWindowTest, ExpiresOldPanes) {
   for (uint64_t i = 0; i < 1000; ++i) {
     window.Update(/*timestamp=*/50, i);  // All in pane 0.
   }
-  EXPECT_NEAR(window.WindowSummary().Count(), 1000.0, 60.0);
+  EXPECT_NEAR(window.WindowSummary().Estimate(), 1000.0, 60.0);
   // Jump far ahead: pane 0 expires; new items only.
   for (uint64_t i = 0; i < 100; ++i) {
     window.Update(/*timestamp=*/1000, 1000000 + i);
   }
-  EXPECT_NEAR(window.WindowSummary().Count(), 100.0, 15.0);
+  EXPECT_NEAR(window.WindowSummary().Estimate(), 100.0, 15.0);
   EXPECT_LE(window.NumLivePanes(), 4u);
 }
 
@@ -553,7 +553,7 @@ TEST(SlidingWindowTest, GradualSlideTracksRecentDistincts) {
     if (t >= 100 && t % 50 == 0) {
       // Steady state: ~1000 distinct items inside the window (100 units x
       // 10/unit), quantized by one pane (10%).
-      const double estimate = window.WindowSummary().Count();
+      const double estimate = window.WindowSummary().Estimate();
       EXPECT_NEAR(estimate, 1000.0, 200.0) << "t = " << t;
     }
   }
@@ -564,10 +564,10 @@ TEST(SlidingWindowTest, WorksWithCountMin) {
                                               5);
   // Heavy item appears only in the first pane.
   for (int i = 0; i < 100; ++i) window.Update(0, /*item=*/7, /*weight=*/1);
-  EXPECT_GE(window.WindowSummary().EstimateCount(7), 100u);
+  EXPECT_GE(window.WindowSummary().Estimate(7), 100u);
   // After the window slides past, its count drops to zero.
   window.Advance(1000);
-  EXPECT_EQ(window.WindowSummary().EstimateCount(7), 0u);
+  EXPECT_EQ(window.WindowSummary().Estimate(7), 0u);
 }
 
 TEST(SlidingWindowTest, PaneCountStaysBounded) {

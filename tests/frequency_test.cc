@@ -41,7 +41,7 @@ TEST(CountMinTest, NeverUnderestimates) {
     exact.Update(item);
   }
   for (const auto& [item, count] : exact.TopK(200)) {
-    EXPECT_GE(cm.EstimateCount(item), static_cast<uint64_t>(count));
+    EXPECT_GE(cm.Estimate(item), static_cast<uint64_t>(count));
   }
 }
 
@@ -62,7 +62,7 @@ TEST(CountMinTest, ErrorWithinL1Bound) {
   int checked = 0;
   for (const auto& [item, count] : exact.TopK(500)) {
     ++checked;
-    if (cm.EstimateCount(item) >
+    if (cm.Estimate(item) >
         static_cast<uint64_t>(count) + static_cast<uint64_t>(eps * n)) {
       ++violations;
     }
@@ -74,16 +74,16 @@ TEST(CountMinTest, ExactWhenNoCollisions) {
   CountMinSketch cm(4096, 4, 3);
   for (uint64_t item = 0; item < 10; ++item) cm.Update(item, item + 1);
   for (uint64_t item = 0; item < 10; ++item) {
-    EXPECT_EQ(cm.EstimateCount(item), item + 1);
+    EXPECT_EQ(cm.Estimate(item), item + 1);
   }
-  EXPECT_EQ(cm.EstimateCount(9999), 0u);
+  EXPECT_EQ(cm.Estimate(9999), 0u);
 }
 
 TEST(CountMinTest, WeightedUpdates) {
   CountMinSketch cm(1024, 4, 4);
   cm.Update(5, 1000);
   cm.Update(5, 234);
-  EXPECT_GE(cm.EstimateCount(5), 1234u);
+  EXPECT_GE(cm.Estimate(5), 1234u);
   EXPECT_EQ(cm.TotalWeight(), 1234);
 }
 
@@ -107,10 +107,10 @@ TEST(CountMinTest, ConservativeUpdateNeverWorse) {
   double plain_err = 0, cons_err = 0;
   int underestimates = 0;
   for (const auto& [item, count] : exact.TopK(300)) {
-    plain_err += static_cast<double>(plain.EstimateCount(item)) - count;
+    plain_err += static_cast<double>(plain.Estimate(item)) - count;
     cons_err +=
-        static_cast<double>(conservative.EstimateCount(item)) - count;
-    if (conservative.EstimateCount(item) < static_cast<uint64_t>(count)) {
+        static_cast<double>(conservative.Estimate(item)) - count;
+    if (conservative.Estimate(item) < static_cast<uint64_t>(count)) {
       ++underestimates;
     }
   }
@@ -118,7 +118,7 @@ TEST(CountMinTest, ConservativeUpdateNeverWorse) {
   EXPECT_EQ(underestimates, 0);  // Conservative update stays one-sided.
 }
 
-TEST(CountMinTest, CountEstimateIntervalContainsTruth) {
+TEST(CountMinTest, EstimateWithBoundsIntervalContainsTruth) {
   CountMinSketch cm(64, 4, 6);
   ExactFrequencies exact;
   ZipfGenerator zipf(1000, 1.0, 6);
@@ -128,7 +128,7 @@ TEST(CountMinTest, CountEstimateIntervalContainsTruth) {
     exact.Update(item);
   }
   for (const auto& [item, count] : exact.TopK(50)) {
-    Estimate e = cm.CountEstimate(item);
+    Estimate e = cm.EstimateWithBounds(item);
     EXPECT_LE(e.lower, static_cast<double>(count));
     EXPECT_GE(e.upper + 1e-9, static_cast<double>(count));
   }
@@ -170,7 +170,7 @@ TEST(CountMinTest, CountMeanMinBeatsMinOnTail) {
   for (size_t rank = 500; rank < top.size(); ++rank) {  // Tail items.
     const auto& [item, count] = top[rank];
     min_err +=
-        std::abs(static_cast<double>(cm.EstimateCount(item)) - count);
+        std::abs(static_cast<double>(cm.Estimate(item)) - count);
     cmm_err += std::abs(
         static_cast<double>(cm.EstimateCountMeanMin(item)) - count);
     ++counted;
@@ -186,7 +186,7 @@ TEST(CountMinTest, CountMeanMinStaysInEnvelope) {
   for (uint64_t item = 0; item < 200; ++item) {
     const int64_t cmm = cm.EstimateCountMeanMin(item);
     EXPECT_GE(cmm, 0);
-    EXPECT_LE(cmm, static_cast<int64_t>(cm.EstimateCount(item)));
+    EXPECT_LE(cmm, static_cast<int64_t>(cm.Estimate(item)));
   }
 }
 
@@ -200,7 +200,7 @@ TEST(CountMinTest, MergeEqualsSingleStream) {
   }
   ASSERT_TRUE(a.Merge(b).ok());
   for (uint64_t item = 0; item < 100; ++item) {
-    EXPECT_EQ(a.EstimateCount(item), whole.EstimateCount(item));
+    EXPECT_EQ(a.Estimate(item), whole.Estimate(item));
   }
   EXPECT_EQ(a.TotalWeight(), whole.TotalWeight());
 }
@@ -212,7 +212,7 @@ TEST(CountMinTest, SerializeRoundTrip) {
   auto r = CountMinSketch::Deserialize(cm.Serialize());
   ASSERT_TRUE(r.ok());
   for (uint64_t item = 0; item < 50; ++item) {
-    EXPECT_EQ(r.value().EstimateCount(item), cm.EstimateCount(item));
+    EXPECT_EQ(r.value().Estimate(item), cm.Estimate(item));
   }
 }
 
@@ -240,14 +240,14 @@ TEST(CountSketchTest, UnbiasedNearZeroForAbsent) {
   ZipfGenerator zipf(1000, 1.1, 13);
   for (int i = 0; i < 20000; ++i) cs.Update(zipf.Next());
   // An absent item should estimate near zero relative to N.
-  EXPECT_LT(std::abs(cs.EstimateCount(0xDEADBEEFCAFEULL)), 2000);
+  EXPECT_LT(std::abs(cs.Estimate(0xDEADBEEFCAFEULL)), 2000);
 }
 
 TEST(CountSketchTest, SupportsNegativeUpdatesExactCancellation) {
   CountSketch cs(256, 5, 14);
   cs.Update(7, 100);
   cs.Update(7, -100);
-  EXPECT_EQ(cs.EstimateCount(7), 0);
+  EXPECT_EQ(cs.Estimate(7), 0);
 }
 
 TEST(CountSketchTest, AccurateOnSkewedData) {
@@ -261,7 +261,7 @@ TEST(CountSketchTest, AccurateOnSkewedData) {
     exact.Update(item);
   }
   for (const auto& [item, count] : exact.TopK(20)) {
-    EXPECT_NEAR(static_cast<double>(cs.EstimateCount(item)),
+    EXPECT_NEAR(static_cast<double>(cs.Estimate(item)),
                 static_cast<double>(count), 0.15 * count + 50);
   }
 }
@@ -284,8 +284,8 @@ TEST(CountSketchTest, BeatsCountMinOnHighSkew) {
   const auto top = exact.TopK(500);
   for (size_t rank = 100; rank < top.size(); ++rank) {  // Mid-tail items.
     const auto& [item, count] = top[rank];
-    cs_err += std::abs(static_cast<double>(cs.EstimateCount(item)) - count);
-    cm_err += std::abs(static_cast<double>(cm.EstimateCount(item)) - count);
+    cs_err += std::abs(static_cast<double>(cs.Estimate(item)) - count);
+    cm_err += std::abs(static_cast<double>(cm.Estimate(item)) - count);
   }
   EXPECT_LT(cs_err, cm_err);
 }
@@ -312,7 +312,7 @@ TEST(CountSketchTest, MergeEqualsSingleStream) {
   }
   ASSERT_TRUE(a.Merge(b).ok());
   for (uint64_t item = 0; item < 100; ++item) {
-    EXPECT_EQ(a.EstimateCount(item), whole.EstimateCount(item));
+    EXPECT_EQ(a.Estimate(item), whole.Estimate(item));
   }
 }
 
@@ -322,8 +322,8 @@ TEST(CountSketchTest, SerializeRoundTrip) {
   cs.Update(2, -5);
   auto r = CountSketch::Deserialize(cs.Serialize());
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r.value().EstimateCount(1), cs.EstimateCount(1));
-  EXPECT_EQ(r.value().EstimateCount(2), cs.EstimateCount(2));
+  EXPECT_EQ(r.value().Estimate(1), cs.Estimate(1));
+  EXPECT_EQ(r.value().Estimate(2), cs.Estimate(2));
 }
 
 // ------------------------------------------------------------- MisraGries
@@ -355,7 +355,7 @@ TEST(MisraGriesTest, UndercountBoundedByNOverK) {
   }
   EXPECT_LE(mg.ErrorBound(), n / static_cast<int64_t>(k) + 1);
   for (const auto& [item, count] : exact.TopK(20)) {
-    EXPECT_GE(mg.EstimateCount(item) + mg.ErrorBound(), count);
+    EXPECT_GE(mg.Estimate(item) + mg.ErrorBound(), count);
   }
 }
 
@@ -380,8 +380,8 @@ TEST(MisraGriesTest, WeightedUpdates) {
   MisraGries mg(10);
   mg.Update(1, 100);
   mg.Update(2, 50);
-  EXPECT_EQ(mg.EstimateCount(1), 100);
-  EXPECT_EQ(mg.EstimateCount(2), 50);
+  EXPECT_EQ(mg.Estimate(1), 100);
+  EXPECT_EQ(mg.Estimate(2), 50);
   EXPECT_EQ(mg.TotalWeight(), 150);
 }
 
@@ -390,9 +390,9 @@ TEST(MisraGriesTest, EvictionPath) {
   mg.Update(1, 5);
   mg.Update(2, 3);
   mg.Update(3, 4);  // Decrements all by 3: {1:2, 3:1}.
-  EXPECT_EQ(mg.EstimateCount(1), 2);
-  EXPECT_EQ(mg.EstimateCount(2), 0);
-  EXPECT_EQ(mg.EstimateCount(3), 1);
+  EXPECT_EQ(mg.Estimate(1), 2);
+  EXPECT_EQ(mg.Estimate(2), 0);
+  EXPECT_EQ(mg.Estimate(3), 1);
   EXPECT_EQ(mg.ErrorBound(), 3);
 }
 
@@ -415,7 +415,7 @@ TEST(MisraGriesTest, MergePreservesGuarantees) {
     EXPECT_LE(count, exact.Count(item));
   }
   for (const auto& [item, count] : exact.TopK(10)) {
-    EXPECT_GE(a.EstimateCount(item) + a.ErrorBound(), count);
+    EXPECT_GE(a.Estimate(item) + a.ErrorBound(), count);
   }
 }
 

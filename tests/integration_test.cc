@@ -95,14 +95,14 @@ TEST(IntegrationTest, DistributedNetworkMonitoringPipeline) {
   ASSERT_TRUE(merged_sizes.ok());
 
   // Register/linear sketches: identical to single-stream state.
-  EXPECT_DOUBLE_EQ(merged_flows.value().Count(), reference_flows.Count());
-  EXPECT_NEAR(merged_flows.value().Count(),
+  EXPECT_DOUBLE_EQ(merged_flows.value().Estimate(), reference_flows.Estimate());
+  EXPECT_NEAR(merged_flows.value().Estimate(),
               static_cast<double>(exact_flows.Count()),
               0.05 * static_cast<double>(exact_flows.Count()));
   for (const auto& [dst, bytes] : exact_bytes.TopK(20)) {
-    EXPECT_EQ(merged_bytes.value().EstimateCount(dst),
-              reference_bytes.EstimateCount(dst));
-    EXPECT_GE(merged_bytes.value().EstimateCount(dst),
+    EXPECT_EQ(merged_bytes.value().Estimate(dst),
+              reference_bytes.Estimate(dst));
+    EXPECT_GE(merged_bytes.value().Estimate(dst),
               static_cast<uint64_t>(bytes));
   }
   // KLL: same guarantee class.
@@ -144,7 +144,7 @@ TEST(IntegrationTest, AdReachRegionalRollup) {
   }
 
   for (const auto& [campaign, truth] : exact) {
-    EXPECT_NEAR(headquarters.at(campaign).Count(),
+    EXPECT_NEAR(headquarters.at(campaign).Estimate(),
                 static_cast<double>(truth.size()),
                 0.1 * static_cast<double>(truth.size()));
   }
@@ -153,7 +153,7 @@ TEST(IntegrationTest, AdReachRegionalRollup) {
     if (exact[1].contains(user)) ++exact_overlap;
   }
   const double overlap =
-      KmvSketch::Intersect(headquarters.at(0), headquarters.at(1)).Count();
+      KmvSketch::Intersect(headquarters.at(0), headquarters.at(1)).Estimate();
   EXPECT_NEAR(overlap, static_cast<double>(exact_overlap),
               0.2 * static_cast<double>(exact_overlap) + 500);
 }
@@ -217,7 +217,7 @@ TEST(IntegrationTest, HllPlusPlusSparseSurvivesShippingAndMerging) {
   auto week = AggregateTree(std::move(days));
   ASSERT_TRUE(week.ok());
   EXPECT_TRUE(week.value().IsSparse());
-  EXPECT_NEAR(week.value().Count(), static_cast<double>(exact.Count()),
+  EXPECT_NEAR(week.value().Estimate(), static_cast<double>(exact.Count()),
               0.02 * static_cast<double>(exact.Count()));
 }
 

@@ -288,7 +288,7 @@ void CheckMonotone(S sketch, int steps) {
   UniformItemGenerator gen(1 << 30, 55);
   for (int step = 0; step < steps; ++step) {
     for (int i = 0; i < 100; ++i) sketch.Update(gen.Next());
-    const double now = sketch.Count();
+    const double now = sketch.Estimate();
     EXPECT_GE(now + 1e-9, last);
     last = now;
   }
@@ -323,9 +323,9 @@ TEST(IntervalProperty, AllEstimatorsOrdered) {
     ams.Update(item % 500);
   }
   for (const Estimate& e :
-       {hll.CountEstimate(0.95), kmv.CountEstimate(0.95),
-        morris.CountEstimate(0.95), lc.CountEstimate(0.95),
-        fm.CountEstimate(0.95), ams.F2Estimate(0.95)}) {
+       {hll.EstimateWithBounds(0.95), kmv.EstimateWithBounds(0.95),
+        morris.EstimateWithBounds(0.95), lc.EstimateWithBounds(0.95),
+        fm.EstimateWithBounds(0.95), ams.F2Estimate(0.95)}) {
     EXPECT_LE(e.lower, e.value);
     EXPECT_LE(e.value, e.upper);
     EXPECT_DOUBLE_EQ(e.confidence, 0.95);

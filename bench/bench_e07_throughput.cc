@@ -20,6 +20,12 @@
 //     # scalar reference table and once with the startup selection. The
 //     # ratio isolates the SIMD kernel layer's contribution (both sides
 //     # use the identical batch path).
+//   bench_e07_throughput --e07_layout_json=out.json [--e07_layout_items=N]
+//     # flat-vs-blocked counter-layout comparison for Count-Min and
+//     # CountSketch at LLC-busting widths: same zipf stream through both
+//     # layouts' batched ingest, plus a serialize->restore round trip of
+//     # the blocked sketch through the flat wire format (byte-identical
+//     # re-serialize + equal estimates). CI gates the countmin speedup.
 //   bench_e07_throughput --e07_concurrent_json=out.json
 //                        [--e07_concurrent_items=N]
 //     # concurrent-summary harness: (A) fixed-work writer ingest at
@@ -32,7 +38,9 @@
 //     # so an oversubscribed runner can't fake a reader stall.
 //
 // Every JSON document embeds a "dispatch" object (level, cpu_features,
-// forced_scalar) so artifacts are attributable to the hardware they ran on.
+// forced_scalar) and a "layout" object (prefetch enablement, hugepage
+// grant counters) so artifacts are attributable to the hardware and
+// memory-placement configuration they ran on.
 
 #include <benchmark/benchmark.h>
 
@@ -52,6 +60,8 @@
 
 #include "cardinality/hllpp.h"
 #include "cardinality/hyperloglog.h"
+#include "common/hugepage.h"
+#include "common/layout.h"
 #include "cardinality/kmv.h"
 #include "distributed/concurrent/concurrent_summary.h"
 #include "distributed/sharded_pipeline.h"
@@ -509,6 +519,7 @@ int RunBatchedComparison(const std::string& json_path, size_t num_items) {
   json += "  \"items\": " + std::to_string(num_items) + ",\n";
   json += "  \"chunk\": " + std::to_string(kChunk) + ",\n";
   json += "  \"dispatch\": " + gems::simd::DispatchJson() + ",\n";
+  json += "  \"layout\": " + gems::LayoutJson() + ",\n";
   json += "  \"results\": [\n";
   char line[256];
   for (size_t i = 0; i < results.size(); ++i) {
@@ -642,6 +653,7 @@ int RunSimdComparison(const std::string& json_path, size_t num_items) {
   json += "  \"items\": " + std::to_string(num_items) + ",\n";
   json += "  \"chunk\": " + std::to_string(kChunk) + ",\n";
   json += "  \"dispatch\": " + gems::simd::DispatchJson() + ",\n";
+  json += "  \"layout\": " + gems::LayoutJson() + ",\n";
   json += "  \"results\": [\n";
   char line[320];
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -668,19 +680,152 @@ int RunSimdComparison(const std::string& json_path, size_t num_items) {
   return std::fclose(f) == 0 ? 0 : 1;
 }
 
+// ----------------- flat vs blocked counter-layout harness -----------------
+//
+// The memory-layout claim in isolation: the same zipf stream through the
+// same sketch at an LLC-busting width, once in the classic flat row-major
+// layout (depth cache lines touched per item) and once in the blocked
+// layout (all depth counters in one 64-byte block — one line per item).
+// Both sides run the identical UpdateBatch entry point; only the layout
+// tag passed to the constructor differs. The round-trip leg then pushes
+// the blocked sketch through the flat wire format (serialize -> restore)
+// and checks byte-identical re-serialization plus equal estimates over a
+// probe sample, so the layout can never buy speed by changing answers.
+
+struct LayoutRow {
+  const char* sketch;
+  double flat_mops;
+  double blocked_mops;
+  double speedup;  // flat_seconds / blocked_seconds.
+  bool round_trip_ok;
+};
+
+template <typename Make, typename Est>
+auto CompareLayout(const char* name, Make make,
+                   const std::vector<uint64_t>& items, Est est) -> LayoutRow {
+  using S = decltype(make(gems::SketchLayout::kFlat));
+  const auto ingest = [&](S& sketch) {
+    std::span<const uint64_t> span(items);
+    for (size_t off = 0; off < span.size(); off += kChunk) {
+      sketch.UpdateBatch(
+          span.subspan(off, std::min(kChunk, span.size() - off)));
+    }
+    benchmark::DoNotOptimize(sketch);
+  };
+  const double flat = BestSeconds([&] {
+    S sketch = make(gems::SketchLayout::kFlat);
+    ingest(sketch);
+  });
+  const double blocked = BestSeconds([&] {
+    S sketch = make(gems::SketchLayout::kBlocked);
+    ingest(sketch);
+  });
+
+  S sketch = make(gems::SketchLayout::kBlocked);
+  ingest(sketch);
+  const std::vector<uint8_t> bytes = sketch.Serialize();
+  bool round_trip_ok = false;
+  if (auto restored = S::Deserialize(bytes); restored.ok()) {
+    round_trip_ok = restored.value().layout() == gems::SketchLayout::kBlocked &&
+                    restored.value().Serialize() == bytes;
+    for (size_t i = 0; round_trip_ok && i < 256; ++i) {
+      const uint64_t probe = items[(i * 8191) % items.size()];
+      round_trip_ok = est(restored.value(), probe) == est(sketch, probe);
+    }
+  }
+  const double n = static_cast<double>(items.size());
+  return LayoutRow{name, n / flat / 1e6, n / blocked / 1e6, flat / blocked,
+                   round_trip_ok};
+}
+
+int RunLayoutComparison(const std::string& json_path, size_t num_items) {
+  // Width 2^20 x depth 4 = 32 MiB of counters — far past the LLC, so the
+  // flat layout pays ~depth cache misses per item and blocked pays ~one.
+  // Depth 4 also fills the block exactly (2 columns x 4 rows x 8 bytes).
+  constexpr uint32_t kWidth = 1 << 20;
+  constexpr uint32_t kDepth = 4;
+  const std::vector<uint64_t> zipf =
+      gems::ZipfGenerator(1 << 20, 1.1, 42).Take(num_items);
+
+  std::vector<LayoutRow> rows;
+  rows.push_back(CompareLayout(
+      "countmin",
+      [&](gems::SketchLayout layout) {
+        return gems::CountMinSketch(kWidth, kDepth, /*seed=*/1,
+                                    /*conservative_update=*/false, layout);
+      },
+      zipf,
+      [](const gems::CountMinSketch& s, uint64_t item) {
+        return s.Estimate(item);
+      }));
+  rows.push_back(CompareLayout(
+      "countsketch",
+      [&](gems::SketchLayout layout) {
+        return gems::CountSketch(kWidth, kDepth, /*seed=*/1, layout);
+      },
+      zipf,
+      [](const gems::CountSketch& s, uint64_t item) {
+        return s.Estimate(item);
+      }));
+
+  std::string json = "{\n  \"bench\": \"e07_layout\",\n";
+  json += "  \"items\": " + std::to_string(num_items) + ",\n";
+  json += "  \"chunk\": " + std::to_string(kChunk) + ",\n";
+  json += "  \"width\": " + std::to_string(kWidth) + ",\n";
+  json += "  \"depth\": " + std::to_string(kDepth) + ",\n";
+  json += "  \"dispatch\": " + gems::simd::DispatchJson() + ",\n";
+  json += "  \"layout\": " + gems::LayoutJson() + ",\n";
+  json += "  \"results\": [\n";
+  char line[256];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const LayoutRow& row = rows[i];
+    std::snprintf(line, sizeof(line),
+                  "    {\"sketch\": \"%s\", \"flat_mops\": %.2f, "
+                  "\"blocked_mops\": %.2f, \"speedup\": %.2f, "
+                  "\"round_trip_ok\": %s}%s\n",
+                  row.sketch, row.flat_mops, row.blocked_mops, row.speedup,
+                  row.round_trip_ok ? "true" : "false",
+                  i + 1 < rows.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  std::FILE* f = std::fopen(json_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 ? 0 : 1;
+}
+
 // ------------------------- thread-scaling harness -------------------------
 //
 // Single-thread batched ingest (the PR 2 fast path) vs the ShardedPipeline
-// at 2/4/8 workers, for the four hot families. The pipeline's post-merge
-// estimate is cross-checked against the single-thread sketch so a scaling
-// number can never come from a wrong answer.
+// at power-of-two worker counts up to the hardware concurrency, for the
+// four hot families. Workers are pinned (first-touch shard placement +
+// affinity) and the achieved pin count is part of each row's provenance.
 
 struct ScalingRow {
   const char* sketch;
   size_t workers;
+  size_t pinned;  // workers the OS actually let us pin (0 for the baseline).
   double mops;
   double speedup;  // vs this sketch's 1-worker batched baseline.
 };
+
+// Power-of-two worker counts up to the hardware concurrency, always
+// including the hardware concurrency itself (so a 12-core box reports
+// 2/4/8/12 and CI's 2-core runner still reports 2).
+std::vector<size_t> ScalingWorkerCounts() {
+  const size_t hw =
+      std::max<size_t>(2, std::thread::hardware_concurrency());
+  std::vector<size_t> counts;
+  for (size_t w = 2; w < hw; w *= 2) counts.push_back(w);
+  counts.push_back(hw);
+  return counts;
+}
 
 template <typename S>
 void FeedChunk(S& sketch,
@@ -711,15 +856,20 @@ void ScaleSketch(
     }
     benchmark::DoNotOptimize(sketch);
   });
-  rows->push_back({name, 1, n / base / 1e6, 1.0});
+  rows->push_back({name, 1, 0, n / base / 1e6, 1.0});
 
-  for (const size_t workers : {size_t{2}, size_t{4}, size_t{8}}) {
+  for (const size_t workers : ScalingWorkerCounts()) {
     double best = 1e100;
+    size_t pinned = 0;
     for (int r = 0; r < kReps; ++r) {
-      // The pool spins up outside the timed region; Push + Finish is the
+      // The pool spins up (and the shards get their first-touch + pinned
+      // placement) outside the timed region; Push + Finish is the
       // steady-state cost a stream engine would pay.
-      gems::ShardedPipeline<S> pipeline(
-          prototype, {.num_workers = workers, .chunk_items = kChunk});
+      gems::ShardedPipeline<S> pipeline(prototype,
+                                        {.num_workers = workers,
+                                         .chunk_items = kChunk,
+                                         .pin_workers = true});
+      pinned = pipeline.pinned_workers();
       const auto t0 = std::chrono::steady_clock::now();
       pipeline.Push(span);
       auto root = pipeline.Finish();
@@ -727,7 +877,7 @@ void ScaleSketch(
       benchmark::DoNotOptimize(root);
       best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
     }
-    rows->push_back({name, workers, n / best / 1e6, base / best});
+    rows->push_back({name, workers, pinned, n / best / 1e6, base / best});
   }
 }
 
@@ -750,16 +900,21 @@ int RunThreadScaling(const std::string& json_path, size_t num_items) {
   std::string json = "{\n  \"bench\": \"e07_thread_scaling\",\n";
   json += "  \"items\": " + std::to_string(num_items) + ",\n";
   json += "  \"chunk\": " + std::to_string(kChunk) + ",\n";
+  json += "  \"hw_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"pin_workers\": true,\n";
   json += "  \"dispatch\": " + gems::simd::DispatchJson() + ",\n";
+  json += "  \"layout\": " + gems::LayoutJson() + ",\n";
   json += "  \"results\": [\n";
   char line[256];
   for (size_t i = 0; i < rows.size(); ++i) {
     const ScalingRow& row = rows[i];
     std::snprintf(line, sizeof(line),
                   "    {\"sketch\": \"%s\", \"workers\": %zu, "
-                  "\"mops\": %.2f, \"speedup\": %.2f}%s\n",
-                  row.sketch, row.workers, row.mops, row.speedup,
-                  i + 1 < rows.size() ? "," : "");
+                  "\"pinned_workers\": %zu, \"mops\": %.2f, "
+                  "\"speedup\": %.2f}%s\n",
+                  row.sketch, row.workers, row.pinned, row.mops,
+                  row.speedup, i + 1 < rows.size() ? "," : "");
     json += line;
   }
   json += "  ]\n}\n";
@@ -1046,6 +1201,7 @@ int RunConcurrentBench(const std::string& json_path, size_t num_items) {
   std::string json = "{\n  \"bench\": \"e07_concurrent\",\n";
   json += "  \"items\": " + std::to_string(num_items) + ",\n";
   json += "  \"dispatch\": " + gems::simd::DispatchJson() + ",\n";
+  json += "  \"layout\": " + gems::LayoutJson() + ",\n";
   json += "  \"writer_results\": [\n";
   char line[320];
   for (size_t i = 0; i < writer_rows.size(); ++i) {
@@ -1094,10 +1250,12 @@ int main(int argc, char** argv) {
   std::string scaling_json_path;
   std::string simd_json_path;
   std::string concurrent_json_path;
+  std::string layout_json_path;
   size_t num_items = 1 << 20;
   size_t scaling_items = 1 << 21;
   size_t simd_items = 1 << 20;
   size_t concurrent_items = 1 << 21;
+  size_t layout_items = 1 << 21;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -1125,9 +1283,19 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--e07_concurrent_items=", 0) == 0) {
       concurrent_items = std::strtoull(
           argv[i] + std::strlen("--e07_concurrent_items="), nullptr, 10);
+    } else if (arg.rfind("--e07_layout_json=", 0) == 0) {
+      layout_json_path =
+          std::string(arg.substr(std::strlen("--e07_layout_json=")));
+    } else if (arg.rfind("--e07_layout_items=", 0) == 0) {
+      layout_items = std::strtoull(
+          argv[i] + std::strlen("--e07_layout_items="), nullptr, 10);
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+  if (!layout_json_path.empty()) {
+    return RunLayoutComparison(layout_json_path,
+                               layout_items == 0 ? 1 << 21 : layout_items);
   }
   if (!concurrent_json_path.empty()) {
     return RunConcurrentBench(

@@ -5,6 +5,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/prefetch.h"
 #include "core/params.h"
 #include "core/wire.h"
 #include "hash/hash.h"
@@ -60,12 +61,34 @@ void HyperLogLog::UpdateHashes(std::span<const uint64_t> hashes) {
 }
 
 void HyperLogLog::UpdateBatch(std::span<const uint64_t> items) {
+  const uint64_t mixed_seed = Mix64(seed_ + 0x9E3779B97F4A7C15ULL);
+  const simd::SimdKernels& kernels = simd::Kernels();
+  // Once the register file outgrows the L2 cache, random register touches
+  // miss; split ingest into a two-phase hash-then-touch pass per chunk:
+  // materialize the chunk's hashes, prefetch their registers, then run the
+  // register max over lines already in flight. hll_ingest is defined as
+  // hll_update_hashes over the mixed hash words, so both paths are
+  // bit-identical.
+  constexpr size_t kPrefetchMinRegisters = size_t{1} << 17;
+  if (PrefetchEnabled() && registers_.size() >= kPrefetchMinRegisters) {
+    const int shift = 64 - precision_;
+    uint64_t hashes[256];
+    while (!items.empty()) {
+      const size_t n = std::min(items.size(), std::size(hashes));
+      kernels.mix64_batch(items.data(), n, mixed_seed, hashes);
+      for (size_t i = 0; i < n; ++i) {
+        PrefetchForWrite(&registers_[hashes[i] >> shift]);
+      }
+      kernels.hll_update_hashes(registers_.data(), precision_, hashes, n);
+      items = items.subspan(n);
+    }
+    return;
+  }
   // Fused ingest kernel: the hash words stay in vector registers between
   // the mixing pass and the register max instead of round-tripping through
   // a stack chunk. Bit-identical to per-item Update().
-  const uint64_t mixed_seed = Mix64(seed_ + 0x9E3779B97F4A7C15ULL);
-  simd::Kernels().hll_ingest(registers_.data(), precision_, items.data(),
-                             items.size(), mixed_seed);
+  kernels.hll_ingest(registers_.data(), precision_, items.data(),
+                     items.size(), mixed_seed);
 }
 
 double HyperLogLog::RawCount() const {

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/hugepage.h"
 #include "common/status.h"
 #include "core/estimate.h"
 #include "core/io.h"
@@ -83,7 +84,7 @@ class HyperLogLog {
   }
   uint32_t NumZeroRegisters() const;
   size_t MemoryBytes() const { return registers_.size(); }
-  const std::vector<uint8_t>& registers() const { return registers_; }
+  const HugeVector<uint8_t>& registers() const { return registers_; }
 
   /// The alpha_m bias-correction constant for m registers.
   static double Alpha(uint32_t m);
@@ -99,7 +100,10 @@ class HyperLogLog {
 
   int precision_;
   uint64_t seed_;
-  std::vector<uint8_t> registers_;
+  // Hugepage-backed above the allocator threshold (precision 18 tops out at
+  // 256 KiB, so today this always takes the aligned-heap fallback — the
+  // allocator seam is shared with the frequency family).
+  HugeVector<uint8_t> registers_;
 };
 
 }  // namespace gems

@@ -1,0 +1,31 @@
+#ifndef GEMS_COMMON_LAYOUT_H_
+#define GEMS_COMMON_LAYOUT_H_
+
+#include <cstdint>
+
+namespace gems {
+
+/// Counter-array layouts for the frequency sketches.
+///
+/// `kFlat` is the classic row-major matrix: row r is a contiguous run of
+/// `width` counters and an update touches `depth` distinct cache lines.
+/// `kBlocked` packs all `depth` counters for a key into one 64-byte block
+/// selected by a single hash (the layout BlockedBloom uses), so an update
+/// touches exactly one line. The wire format is always flat: blocked
+/// sketches serialize through a flat permutation, so checkpoints, MERGE
+/// envelopes, and `MergeFromView` are layout-agnostic on the wire.
+///
+/// The two layouts hash differently, so a flat and a blocked sketch are
+/// *not* mergeable with each other even at equal (width, depth, seed).
+enum class SketchLayout : uint8_t {
+  kFlat = 0,
+  kBlocked = 1,
+};
+
+inline const char* LayoutName(SketchLayout layout) {
+  return layout == SketchLayout::kBlocked ? "blocked" : "flat";
+}
+
+}  // namespace gems
+
+#endif  // GEMS_COMMON_LAYOUT_H_

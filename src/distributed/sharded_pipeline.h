@@ -11,6 +11,11 @@
 #include <type_traits>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/check.h"
 #include "common/status.h"
 #include "core/summary.h"
@@ -27,7 +32,11 @@
 /// (Rinberg et al.) productionized. Each worker thread owns one private,
 /// unsynchronized sketch shard and drains a bounded SPSC ring of
 /// pre-chunked item spans, so the hot path is exactly the existing
-/// UpdateBatch fast path — zero locks, zero shared cache lines. Finish()
+/// UpdateBatch fast path — zero locks, zero shared cache lines. Each
+/// shard is constructed *on its own worker thread*, so under Linux's
+/// default first-touch NUMA policy the counter pages land on the node
+/// that will hammer them; optional worker pinning keeps the thread (and
+/// the pages) there for the pipeline's lifetime. Finish()
 /// joins the shards with the parallel merge tree. Mergeability is what
 /// makes this exact: the shards are just an n-way partition of the stream,
 /// so for order-independent sketches (HLL, Count-Min, Bloom — register
@@ -48,6 +57,23 @@ inline void SpinBackoff(int* spins) {
   } else {
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
+}
+
+/// Pins the calling thread to `cpu` (mod the hardware concurrency).
+/// Returns true if the affinity call succeeded; always false on platforms
+/// without pthread affinity.
+inline bool PinCurrentThreadTo(size_t cpu) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu % hw), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
 }
 
 }  // namespace pipeline_internal
@@ -90,6 +116,15 @@ class ShardedPipeline {
     size_t chunk_items = 4096;
     /// Fanout of the parallel merge tree in Finish().
     int merge_fanout = 2;
+    /// Pins worker i to CPU (pin_offset + i) % hardware_concurrency. With
+    /// first-touch shard allocation this keeps each shard's counter pages
+    /// and the thread that owns them on the same NUMA node for the
+    /// pipeline's lifetime. Best-effort: unsupported platforms and denied
+    /// affinity calls are counted, not fatal (see pinned_workers()).
+    bool pin_workers = false;
+    /// First CPU index for pinning — lets two co-resident pipelines
+    /// interleave onto disjoint cores.
+    size_t pin_offset = 0;
   };
 
   explicit ShardedPipeline(const S& prototype, Options options = Options{})
@@ -99,18 +134,30 @@ class ShardedPipeline {
     GEMS_CHECK(options_.ring_capacity >= 1);
     GEMS_CHECK(options_.merge_fanout >= 2);
     const size_t workers = pool_.num_threads();
-    shards_.reserve(workers);
-    for (size_t i = 0; i < workers; ++i) {
-      shards_.push_back(
-          std::make_unique<Shard>(prototype, options_.ring_capacity));
-    }
+    shards_.resize(workers);
     drained_.Add(workers);
+    // First-touch placement: each worker task optionally pins itself, then
+    // constructs its own shard, so the shard's counter pages are first
+    // written by the thread (and thus allocated on the NUMA node) that will
+    // drain into them. The constructor blocks until every shard exists, so
+    // borrowing `prototype` and `ready` by reference is safe and Push()
+    // never races a null shard pointer.
+    WaitGroup ready;
+    ready.Add(workers);
     for (size_t i = 0; i < workers; ++i) {
-      pool_.Submit([this, i] {
+      pool_.Submit([this, i, &prototype, &ready] {
+        if (options_.pin_workers &&
+            pipeline_internal::PinCurrentThreadTo(options_.pin_offset + i)) {
+          pinned_count_.fetch_add(1, std::memory_order_relaxed);
+        }
+        shards_[i] =
+            std::make_unique<Shard>(prototype, options_.ring_capacity);
+        ready.Done();
         DrainLoop(i);
         drained_.Done();
       });
     }
+    ready.Wait();
   }
 
   ~ShardedPipeline() {
@@ -124,6 +171,15 @@ class ShardedPipeline {
   ShardedPipeline& operator=(const ShardedPipeline&) = delete;
 
   size_t num_workers() const { return shards_.size(); }
+
+  /// Workers that were successfully pinned to a CPU (0 unless
+  /// Options::pin_workers, and possibly fewer than num_workers() when the
+  /// platform rejects affinity calls — e.g. restricted cpusets).
+  size_t pinned_workers() const {
+    return pinned_count_.load(std::memory_order_relaxed);
+  }
+
+  const Options& options() const { return options_; }
 
   /// Routes every worker's ingest into `live` instead of the private
   /// shards, so the sketch is queryable (wait-free, bounded staleness)
@@ -281,6 +337,7 @@ class ShardedPipeline {
   ThreadPool pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
   WaitGroup drained_;
+  std::atomic<size_t> pinned_count_{0};
   std::atomic<bool> stop_{false};
   std::atomic<ConcurrentSummary<S>*> live_{nullptr};
   size_t next_shard_ = 0;

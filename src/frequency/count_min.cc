@@ -1,25 +1,57 @@
 #include "frequency/count_min.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
 #include "common/check.h"
+#include "common/prefetch.h"
 #include "core/params.h"
 #include "core/wire.h"
 #include "hash/hash.h"
 #include "hash/hashed_batch.h"
+#include "hash/murmur3.h"
 #include "simd/dispatch.h"
+#include "simd/internal.h"
 
 namespace gems {
+namespace {
+
+using simd::internal::CmBlockCol;
+using simd::internal::CmBlockedMinOne;
+using simd::internal::kCmBlockSlots;
+
+// Two-phase software prefetch in the flat batched loops only pays once a
+// row is big enough that its working set blows the caches — below this the
+// lines are resident anyway and the extra modulo pass is pure cost.
+constexpr size_t kPrefetchMinRowBytes = size_t{1} << 18;
+
+// Largest power-of-two column count per row that fits depth rows into one
+// 8-counter block (depth 1 -> 8, 2 -> 4, 3..4 -> 2, 5..8 -> 1).
+uint32_t BlockColsFor(uint32_t depth) {
+  uint32_t cols = 1;
+  while (cols * 2 * depth <= kCmBlockSlots) cols *= 2;
+  return cols;
+}
+
+}  // namespace
 
 CountMinSketch::CountMinSketch(uint32_t width, uint32_t depth, uint64_t seed,
-                               bool conservative_update)
+                               bool conservative_update, SketchLayout layout)
     : width_(width), depth_(depth), seed_(seed),
-      conservative_(conservative_update) {
+      conservative_(conservative_update), layout_(layout) {
   GEMS_CHECK(width >= 1);
   GEMS_CHECK(depth >= 1);
-  counters_.assign(static_cast<size_t>(width) * depth, 0);
+  if (layout_ == SketchLayout::kBlocked) {
+    GEMS_CHECK(depth <= static_cast<uint32_t>(kCmBlockSlots));
+    cols_ = BlockColsFor(depth);
+    num_blocks_ = (static_cast<uint64_t>(width) + cols_ - 1) / cols_;
+    width_ = static_cast<uint32_t>(num_blocks_ * cols_);
+    counters_.assign(num_blocks_ * kCmBlockSlots, 0);
+  } else {
+    counters_.assign(static_cast<size_t>(width) * depth, 0);
+  }
   row_seeds_.reserve(depth);
   for (uint32_t row = 0; row < depth; ++row) {
     row_seeds_.push_back(DeriveSeed(seed_, row));
@@ -58,6 +90,26 @@ uint64_t CountMinSketch::Bucket(uint32_t row, uint64_t item) const {
 void CountMinSketch::Update(uint64_t item, int64_t weight) {
   GEMS_CHECK(weight >= 0);
   total_ += weight;
+  if (layout_ == SketchLayout::kBlocked) {
+    const Hash128 h = Murmur3_128_U64(item, seed_);
+    uint64_t* const block = &counters_[(h.low % num_blocks_) * kCmBlockSlots];
+    if (!conservative_) {
+      simd::internal::CmBlockedAddOne(block, depth_, cols_, h.high,
+                                      static_cast<uint64_t>(weight));
+      return;
+    }
+    // Conservative raise inside the one block: estimate and raise both
+    // touch the same cache line, so the blocked layout keeps conservative
+    // updates cheap too.
+    const uint64_t target = CmBlockedMinOne(block, depth_, cols_, h.high) +
+                            static_cast<uint64_t>(weight);
+    const uint32_t col_mask = cols_ - 1;
+    for (uint32_t row = 0; row < depth_; ++row) {
+      uint64_t& counter = block[row * cols_ + CmBlockCol(h.high, row, col_mask)];
+      counter = std::max(counter, target);
+    }
+    return;
+  }
   if (!conservative_) {
     for (uint32_t row = 0; row < depth_; ++row) {
       counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)] +=
@@ -78,6 +130,13 @@ void CountMinSketch::Update(uint64_t item, int64_t weight) {
 
 void CountMinSketch::UpdateBatchConservative(
     std::span<const uint64_t> items) {
+  if (layout_ == SketchLayout::kBlocked) {
+    // Conservative + blocked stays per-item: both the estimate and the
+    // raise live in one cache line, so there is no cross-row hash walk to
+    // hoist.
+    for (uint64_t item : items) Update(item, 1);
+    return;
+  }
   // Conservative updates are order-dependent (each item must see the
   // counters its predecessors raised), so the counter pass stays
   // sequential — but the two Bucket() hash walks per item (Estimate, then
@@ -122,6 +181,17 @@ void CountMinSketch::UpdateBatch(std::span<const uint64_t> items) {
   }
   total_ += static_cast<int64_t>(items.size());
   const simd::SimdKernels& kernels = simd::Kernels();
+  if (layout_ == SketchLayout::kBlocked) {
+    // One fused kernel pass: hash once per item, prefetch the single block,
+    // update all depth_ rows inside it. Matches per-item Update() exactly.
+    kernels.cm_blocked_add(counters_.data(), num_blocks_, depth_, cols_,
+                           seed_, items.data(), items.size());
+    return;
+  }
+  const bool prefetch =
+      PrefetchEnabled() &&
+      static_cast<size_t>(width_) * sizeof(uint64_t) >= kPrefetchMinRowBytes;
+  const InvariantMod mod(width_);
   uint64_t hashes[256];
   while (!items.empty()) {
     const size_t n = std::min(items.size(), std::size(hashes));
@@ -132,8 +202,15 @@ void CountMinSketch::UpdateBatch(std::span<const uint64_t> items) {
     // exactly.
     for (uint32_t row = 0; row < depth_; ++row) {
       HashBatch(items.first(n), row_seeds_[row], hashes);
-      kernels.cm_row_add(counters_.data() + static_cast<size_t>(row) * width_,
-                         width_, hashes, n);
+      uint64_t* const row_ptr =
+          counters_.data() + static_cast<size_t>(row) * width_;
+      if (prefetch) {
+        // Two-phase touch: issue the chunk's target lines before the add
+        // pass so the row kernel's stores hit lines already in flight. The
+        // extra modulo pass is why this is gated on big rows.
+        for (size_t i = 0; i < n; ++i) PrefetchForWrite(row_ptr + mod(hashes[i]));
+      }
+      kernels.cm_row_add(row_ptr, width_, hashes, n);
     }
     items = items.subspan(n);
   }
@@ -147,6 +224,16 @@ void CountMinSketch::UpdateBatch(std::span<const uint64_t> items,
     return;
   }
   const simd::SimdKernels& kernels = simd::Kernels();
+  if (layout_ == SketchLayout::kBlocked) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      GEMS_CHECK(weights[i] >= 0);
+      total_ += weights[i];
+    }
+    kernels.cm_blocked_add_weighted(counters_.data(), num_blocks_, depth_,
+                                    cols_, seed_, items.data(), weights.data(),
+                                    items.size());
+    return;
+  }
   uint64_t hashes[256];
   size_t offset = 0;
   while (offset < items.size()) {
@@ -166,6 +253,11 @@ void CountMinSketch::UpdateBatch(std::span<const uint64_t> items,
 }
 
 uint64_t CountMinSketch::Estimate(uint64_t item) const {
+  if (layout_ == SketchLayout::kBlocked) {
+    const Hash128 h = Murmur3_128_U64(item, seed_);
+    return CmBlockedMinOne(&counters_[(h.low % num_blocks_) * kCmBlockSlots],
+                           depth_, cols_, h.high);
+  }
   uint64_t best = ~uint64_t{0};
   for (uint32_t row = 0; row < depth_; ++row) {
     best = std::min(
@@ -175,12 +267,33 @@ uint64_t CountMinSketch::Estimate(uint64_t item) const {
   return best;
 }
 
+void CountMinSketch::RowCounters(uint64_t item, uint64_t* out) const {
+  if (layout_ == SketchLayout::kBlocked) {
+    const Hash128 h = Murmur3_128_U64(item, seed_);
+    const uint64_t* const block =
+        &counters_[(h.low % num_blocks_) * kCmBlockSlots];
+    const uint32_t col_mask = cols_ - 1;
+    for (uint32_t row = 0; row < depth_; ++row) {
+      out[row] = block[row * cols_ + CmBlockCol(h.high, row, col_mask)];
+    }
+    return;
+  }
+  for (uint32_t row = 0; row < depth_; ++row) {
+    out[row] = counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)];
+  }
+}
+
 void CountMinSketch::EstimateBatch(std::span<const uint64_t> items,
                                    uint64_t* out) const {
   // Batched min-reduce point query: hash each chunk once per row, then fold
   // that row's counters into the running minima with the dispatched row-min
   // kernel (gathers under AVX2). out[i] == Estimate(items[i]) exactly.
   const simd::SimdKernels& kernels = simd::Kernels();
+  if (layout_ == SketchLayout::kBlocked) {
+    kernels.cm_blocked_min(counters_.data(), num_blocks_, depth_, cols_,
+                           seed_, items.data(), items.size(), out);
+    return;
+  }
   uint64_t hashes[256];
   size_t offset = 0;
   while (offset < items.size()) {
@@ -197,11 +310,12 @@ void CountMinSketch::EstimateBatch(std::span<const uint64_t> items,
 }
 
 int64_t CountMinSketch::EstimateCountMeanMin(uint64_t item) const {
+  std::vector<uint64_t> row_counters(depth_);
+  RowCounters(item, row_counters.data());
   std::vector<double> row_estimates;
   row_estimates.reserve(depth_);
   for (uint32_t row = 0; row < depth_; ++row) {
-    const double counter = static_cast<double>(
-        counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)]);
+    const double counter = static_cast<double>(row_counters[row]);
     const double noise = (static_cast<double>(total_) - counter) /
                          (static_cast<double>(width_) - 1.0);
     row_estimates.push_back(counter - noise);
@@ -230,11 +344,28 @@ gems::Estimate CountMinSketch::EstimateWithBounds(uint64_t item,
 Result<double> CountMinSketch::InnerProduct(
     const CountMinSketch& other) const {
   if (width_ != other.width_ || depth_ != other.depth_ ||
-      seed_ != other.seed_) {
+      seed_ != other.seed_ || layout_ != other.layout_) {
     return Status::InvalidArgument(
-        "CountMin inner product requires identical shape and seed");
+        "CountMin inner product requires identical shape, seed, and layout");
   }
   double best = std::numeric_limits<double>::infinity();
+  if (layout_ == SketchLayout::kBlocked) {
+    // Row r of the logical flat matrix is the union of every block's
+    // [r*cols_, (r+1)*cols_) slots; the dot product is index-set invariant,
+    // so walk those slots directly.
+    for (uint32_t row = 0; row < depth_; ++row) {
+      double dot = 0.0;
+      for (uint64_t b = 0; b < num_blocks_; ++b) {
+        const size_t base = b * kCmBlockSlots + row * cols_;
+        for (uint32_t j = 0; j < cols_; ++j) {
+          dot += static_cast<double>(counters_[base + j]) *
+                 static_cast<double>(other.counters_[base + j]);
+        }
+      }
+      best = std::min(best, dot);
+    }
+    return best;
+  }
   for (uint32_t row = 0; row < depth_; ++row) {
     double dot = 0.0;
     for (uint32_t col = 0; col < width_; ++col) {
@@ -249,10 +380,13 @@ Result<double> CountMinSketch::InnerProduct(
 
 Status CountMinSketch::Merge(const CountMinSketch& other) {
   if (width_ != other.width_ || depth_ != other.depth_ ||
-      seed_ != other.seed_) {
+      seed_ != other.seed_ || layout_ != other.layout_) {
     return Status::InvalidArgument(
-        "CountMin merge requires identical shape and seed");
+        "CountMin merge requires identical shape, seed, and layout");
   }
+  // Same layout means the storage arrays align element-for-element (blocked
+  // padding slots are zero on both sides), so the counter-wise sum is
+  // layout-agnostic.
   simd::Kernels().u64_add(counters_.data(), other.counters_.data(),
                           counters_.size());
   total_ += other.total_;
@@ -284,9 +418,37 @@ Status CountMinSketch::MergeFromView(const View<CountMinSketch>& view) {
     uint64_t counter;
     if (Status sv = r.GetVarint(&counter); !sv.ok()) return sv;
   }
-  if (width != width_ || depth != depth_ || seed != seed_) {
+  // Optional trailing layout byte: absent or 0 means flat, 1 means the
+  // peer was blocked (wire counters are flat-permuted either way).
+  SketchLayout wire_layout = SketchLayout::kFlat;
+  if (!r.AtEnd()) {
+    uint8_t layout_byte;
+    if (Status sl = r.GetU8(&layout_byte); !sl.ok()) return sl;
+    if (layout_byte > 1) {
+      return Status::Corruption("invalid CountMin layout byte");
+    }
+    wire_layout = static_cast<SketchLayout>(layout_byte);
+  }
+  if (width != width_ || depth != depth_ || seed != seed_ ||
+      wire_layout != layout_) {
     return Status::InvalidArgument(
-        "CountMin merge requires identical shape and seed");
+        "CountMin merge requires identical shape, seed, and layout");
+  }
+  if (layout_ == SketchLayout::kBlocked) {
+    // The wire walks the logical flat matrix row-major; flat column
+    // b*cols_+j of row r lives at slot b*8 + r*cols_ + j here.
+    const uint32_t col_shift = std::countr_zero(cols_);
+    const uint32_t col_mask = cols_ - 1;
+    for (uint32_t row = 0; row < depth_; ++row) {
+      for (uint32_t col = 0; col < width_; ++col) {
+        uint64_t counter;
+        if (Status sv = counters.GetVarint(&counter); !sv.ok()) return sv;
+        counters_[(static_cast<uint64_t>(col >> col_shift) * kCmBlockSlots) +
+                  row * cols_ + (col & col_mask)] += counter;
+      }
+    }
+    total_ += total;
+    return Status::Ok();
   }
   for (uint64_t& ours : counters_) {
     uint64_t counter;
@@ -312,6 +474,25 @@ void CountMinSketch::SerializeTo(ByteSink& sink) const {
   sink.PutU64(seed_);
   sink.PutU8(conservative_ ? 1 : 0);
   sink.PutI64(total_);
+  if (layout_ == SketchLayout::kBlocked) {
+    // Wire counters are always the logical flat matrix, row-major: flat
+    // column b*cols_+j of row r lives at slot b*8 + r*cols_ + j. A single
+    // trailing byte records the layout so Deserialize rebuilds a blocked
+    // sketch; flat sketches write nothing extra, keeping their wire bytes
+    // identical to every earlier release.
+    const uint32_t col_shift = std::countr_zero(cols_);
+    const uint32_t col_mask = cols_ - 1;
+    for (uint32_t row = 0; row < depth_; ++row) {
+      for (uint32_t col = 0; col < width_; ++col) {
+        sink.PutVarint(
+            counters_[(static_cast<uint64_t>(col >> col_shift) *
+                       kCmBlockSlots) +
+                      row * cols_ + (col & col_mask)]);
+      }
+    }
+    sink.PutU8(1);
+    return;
+  }
   for (uint64_t counter : counters_) sink.PutVarint(counter);
 }
 
@@ -338,7 +519,40 @@ Result<CountMinSketch> CountMinSketch::Deserialize(
   for (uint64_t& counter : sketch.counters_) {
     if (Status sv = r.GetVarint(&counter); !sv.ok()) return sv;
   }
-  return sketch;
+  // Optional trailing layout byte (see SerializeTo): absent or 0 is the
+  // flat fast path above; 1 re-permutes the flat counters into a blocked
+  // sketch.
+  if (r.AtEnd()) return sketch;
+  uint8_t layout_byte;
+  if (Status sl = r.GetU8(&layout_byte); !sl.ok()) return sl;
+  if (layout_byte == 0) return sketch;
+  if (layout_byte != 1) {
+    return Status::Corruption("invalid CountMin layout byte");
+  }
+  if (depth > 8) {
+    // The blocked ctor aborts past one block's worth of rows; surface the
+    // corrupt combination as a status instead.
+    return Status::Corruption("CountMin blocked depth exceeds block");
+  }
+  CountMinSketch blocked(width, depth, seed, conservative != 0,
+                         SketchLayout::kBlocked);
+  if (blocked.width_ != width) {
+    // A blocked sketch always serializes its rounded width, so a width
+    // that is not a multiple of the block columns cannot round-trip.
+    return Status::Corruption("CountMin blocked width not block-aligned");
+  }
+  blocked.total_ = total;
+  const uint32_t col_shift = std::countr_zero(blocked.cols_);
+  const uint32_t col_mask = blocked.cols_ - 1;
+  for (uint32_t row = 0; row < depth; ++row) {
+    for (uint32_t col = 0; col < width; ++col) {
+      blocked.counters_[(static_cast<uint64_t>(col >> col_shift) *
+                         kCmBlockSlots) +
+                        row * blocked.cols_ + (col & col_mask)] =
+          sketch.counters_[static_cast<size_t>(row) * width + col];
+    }
+  }
+  return blocked;
 }
 
 CountMinHeavyHitters::CountMinHeavyHitters(uint32_t width, uint32_t depth,

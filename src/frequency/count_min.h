@@ -6,6 +6,8 @@
 #include <span>
 #include <vector>
 
+#include "common/hugepage.h"
+#include "common/layout.h"
 #include "common/status.h"
 #include "core/estimate.h"
 #include "core/io.h"
@@ -34,8 +36,18 @@ class CountMinSketch {
   /// keeps the overestimate no worse and empirically much better, at the
   /// cost of losing mergeability of *in-flight* updates (merge itself
   /// remains valid: counters stay overestimates).
+  ///
+  /// `layout` selects the counter-array memory layout. kFlat is the classic
+  /// row-major matrix; kBlocked (depth <= 8) packs all depth counters for a
+  /// key into one cache-line 8-counter block chosen by a single hash, so an
+  /// update touches one line instead of depth. Blocked rounds `width` up to
+  /// a multiple of its per-row block columns; the wire format stays flat
+  /// (blocked sketches serialize through a flat permutation plus a trailing
+  /// layout byte). The two layouts hash differently — sketches merge only
+  /// with their own layout.
   CountMinSketch(uint32_t width, uint32_t depth, uint64_t seed = 0,
-                 bool conservative_update = false);
+                 bool conservative_update = false,
+                 SketchLayout layout = SketchLayout::kFlat);
 
   /// Dimensions a sketch for the standard (eps, delta) guarantee.
   static CountMinSketch ForGuarantee(double epsilon, double delta,
@@ -104,11 +116,17 @@ class CountMinSketch {
   uint64_t seed() const { return seed_; }
   int64_t TotalWeight() const { return total_; }
   bool conservative_update() const { return conservative_; }
+  SketchLayout layout() const { return layout_; }
+  /// Blocked-layout geometry (meaningful when layout() == kBlocked):
+  /// columns each row owns inside a block, and the block count.
+  uint32_t block_cols() const { return cols_; }
+  uint64_t num_blocks() const { return num_blocks_; }
   size_t MemoryBytes() const { return counters_.size() * sizeof(uint64_t); }
 
-  /// Raw counters (row-major) and the bucket function, exposed for
-  /// privacy-preserving releases that post-process the sketch.
-  const std::vector<uint64_t>& counters() const { return counters_; }
+  /// Raw counters (row-major for kFlat, block-major for kBlocked) and the
+  /// bucket function, exposed for privacy-preserving releases that
+  /// post-process the sketch. BucketOf is flat-layout only.
+  const HugeVector<uint64_t>& counters() const { return counters_; }
   uint64_t BucketOf(uint32_t row, uint64_t item) const {
     return Bucket(row, item);
   }
@@ -123,15 +141,28 @@ class CountMinSketch {
  private:
   uint64_t Bucket(uint32_t row, uint64_t item) const;
   void UpdateBatchConservative(std::span<const uint64_t> items);
+  /// Fills out[0..depth) with the counter each row holds for `item`,
+  /// layout-agnostic (the cold-path shared walk under EstimateCountMeanMin
+  /// and the conservative per-item update).
+  void RowCounters(uint64_t item, uint64_t* out) const;
 
   uint32_t width_;
   uint32_t depth_;
   uint64_t seed_;
   bool conservative_;
+  SketchLayout layout_;
+  // Blocked-layout geometry: each 8-counter block gives row r the `cols_`
+  // slots starting at r * cols_; num_blocks_ * cols_ == width_.
+  uint32_t cols_ = 0;
+  uint64_t num_blocks_ = 0;
   int64_t total_ = 0;
-  std::vector<uint64_t> counters_;  // depth_ rows of width_ counters.
+  // kFlat: depth_ rows of width_ counters, row-major. kBlocked:
+  // num_blocks_ cache-line blocks of 8 counters. Hugepage-backed above the
+  // allocator threshold, 64-byte aligned always (blocks never straddle
+  // lines).
+  HugeVector<uint64_t> counters_;
   // Per-row derived hash seeds (DeriveSeed(seed_, row)); computed in the
-  // constructor, never serialized.
+  // constructor, never serialized. Unused by kBlocked (single-hash probes).
   std::vector<uint64_t> row_seeds_;
 };
 

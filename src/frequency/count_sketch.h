@@ -5,6 +5,8 @@
 #include <span>
 #include <vector>
 
+#include "common/hugepage.h"
+#include "common/layout.h"
 #include "common/status.h"
 #include "core/estimate.h"
 #include "core/io.h"
@@ -30,7 +32,15 @@ class CountSketch {
   /// Wire-format type tag, for View<CountSketch> wrapping.
   static constexpr SketchTypeId kTypeId = SketchTypeId::kCountSketch;
 
-  CountSketch(uint32_t width, uint32_t depth, uint64_t seed = 0);
+  /// `layout` selects the counter-array memory layout: kFlat is the classic
+  /// row-major matrix with per-row Carter-Wegman hashes; kBlocked
+  /// (depth <= 8) packs all depth counters for a key into one cache-line
+  /// block chosen by a single Murmur3 hash, with row signs drawn from the
+  /// same hash's high bits. Blocked rounds `width` up to a multiple of its
+  /// per-row block columns; the wire format stays flat. The two layouts
+  /// hash differently — sketches merge only with their own layout.
+  CountSketch(uint32_t width, uint32_t depth, uint64_t seed = 0,
+              SketchLayout layout = SketchLayout::kFlat);
 
   CountSketch(const CountSketch&) = default;
   CountSketch& operator=(const CountSketch&) = default;
@@ -72,6 +82,7 @@ class CountSketch {
 
   uint32_t width() const { return width_; }
   uint32_t depth() const { return depth_; }
+  SketchLayout layout() const { return layout_; }
   size_t MemoryBytes() const { return counters_.size() * sizeof(int64_t); }
 
   std::vector<uint8_t> Serialize() const;
@@ -87,9 +98,17 @@ class CountSketch {
   uint32_t width_;
   uint32_t depth_;
   uint64_t seed_;
-  std::vector<KWiseHash> bucket_hashes_;  // 2-wise per row.
-  std::vector<KWiseHash> sign_hashes_;    // 4-wise per row.
-  std::vector<int64_t> counters_;         // depth_ rows of width_.
+  SketchLayout layout_;
+  // Blocked-layout geometry: each 8-counter block gives row r the `cols_`
+  // slots starting at r * cols_; num_blocks_ * cols_ == width_.
+  uint32_t cols_ = 0;
+  uint64_t num_blocks_ = 0;
+  std::vector<KWiseHash> bucket_hashes_;  // 2-wise per row (kFlat only).
+  std::vector<KWiseHash> sign_hashes_;    // 4-wise per row (kFlat only).
+  // kFlat: depth_ rows of width_, row-major. kBlocked: num_blocks_
+  // cache-line blocks of 8 counters. Hugepage-backed above the allocator
+  // threshold, 64-byte aligned always.
+  HugeVector<int64_t> counters_;
 };
 
 }  // namespace gems

@@ -38,6 +38,12 @@
 #include "core/view.h"
 #include "core/wire.h"
 
+// Memory layout and placement: counter-array layouts, hugepage-backed
+// storage, software-prefetch gating.
+#include "common/hugepage.h"
+#include "common/layout.h"
+#include "common/prefetch.h"
+
 // Summary concepts (MergeableSummary, EstimableSummary, ...).
 #include "core/summary.h"
 

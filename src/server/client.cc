@@ -141,6 +141,44 @@ Status GemsdClient::RoundTrip(Request& request, Response* response,
   return Status::FromCode(response->code, response->message);
 }
 
+Status GemsdClient::Pipeline(std::span<Request> requests,
+                             std::vector<Status>* statuses) {
+  statuses->clear();
+  if (requests.empty()) return Status::Ok();
+  if (fd_ < 0) return Status::Unavailable("gemsd client not connected");
+  // Phase 1: one contiguous send of every frame in the window. The ids are
+  // consecutive, so the in-order drain below can pair responses without a
+  // map.
+  send_buffer_.clear();
+  for (Request& request : requests) {
+    request.version = kProtocolVersion;
+    request.id = next_id_++;
+    EncodeRequest(request, &send_buffer_);
+  }
+  if (Status s = SendAll(send_buffer_.data(), send_buffer_.size()); !s.ok()) {
+    return s;
+  }
+  // Phase 2: drain exactly one response per request, in id order (the
+  // daemon serves one connection serially, so responses cannot reorder).
+  statuses->reserve(requests.size());
+  std::vector<uint8_t> frame;
+  for (const Request& request : requests) {
+    ByteSpan body;
+    if (Status s = RecvFrame(&frame, &body); !s.ok()) return s;
+    Response response;
+    if (Status s = DecodeResponse(body, &response); !s.ok()) {
+      CloseFd();
+      return s;
+    }
+    if (response.id != request.id) {
+      CloseFd();
+      return Status::Corruption("gemsd response id mismatch");
+    }
+    statuses->push_back(Status::FromCode(response.code, response.message));
+  }
+  return Status::Ok();
+}
+
 Status GemsdClient::Ping() {
   Request request;
   request.opcode = Opcode::kPing;

@@ -61,6 +61,19 @@ class GemsdClient {
   /// Batched ingest; once this returns Ok the items are query-visible.
   Status Update(const std::string& key, std::span<const uint64_t> items);
 
+  /// Pipelined round trips: encodes every request (ids assigned here),
+  /// ships them in ONE send, then drains the responses in id order — the
+  /// classic Redis-style pipelining that amortizes the network RTT over
+  /// the window instead of paying it per request. Per-request server
+  /// verdicts land in `statuses` (parallel to `requests`); the returned
+  /// Status covers the transport/protocol layer only and Ok does NOT mean
+  /// every request succeeded. On a transport or protocol failure the
+  /// connection is closed and `statuses` holds only the responses drained
+  /// so far. Response payloads (query values, blobs) are discarded —
+  /// pipeline mutating ops (Update/Merge/Create), not reads.
+  Status Pipeline(std::span<Request> requests,
+                  std::vector<Status>* statuses);
+
   /// Ships a serialized sketch envelope for merging into `key`. `trusted`
   /// requests the checksum-skipping structural-validation path — only for
   /// peers in the same failure domain.

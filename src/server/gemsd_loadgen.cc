@@ -2,11 +2,14 @@
 //
 //   gemsd_loadgen [--host=127.0.0.1] [--port=7171] [--connections=8]
 //                 [--keys=10000] [--ops=100000] [--batch=64]
-//                 [--update-pct=90] [--type=hllpp]
+//                 [--update-pct=90] [--type=hllpp] [--pipeline=1]
 //
 // Pre-creates `keys` sketches named k000000.., then runs `connections`
 // client threads, each issuing `ops` requests: an UPDATE of `batch`
 // zipf-keyed items with probability update-pct, a QUERY otherwise.
+// --pipeline=N > 1 ships requests in pipelined windows of N over each
+// connection (one send, N responses), amortizing the RTT; per-request
+// latency is then reported as window-time / N.
 // Prints aggregate requests/s and client-observed latency percentiles.
 
 #include <algorithm>
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
   uint64_t ops_per_conn = 100000;
   size_t batch = 64;
   uint64_t update_pct = 90;
+  size_t pipeline = 1;
   std::string sketch_type = "hllpp";
 
   for (int i = 1; i < argc; ++i) {
@@ -71,8 +75,10 @@ int main(int argc, char** argv) {
       ops_per_conn = FlagU64(arg, "--ops=", ops_per_conn);
       batch = FlagU64(arg, "--batch=", batch);
       update_pct = FlagU64(arg, "--update-pct=", update_pct);
+      pipeline = FlagU64(arg, "--pipeline=", pipeline);
     }
   }
+  if (pipeline == 0) pipeline = 1;
 
   // Create the key population over one connection; tolerate rerunning
   // against a warm daemon (kAlreadyExists is fine).
@@ -101,15 +107,60 @@ int main(int argc, char** argv) {
       gems::Result<GemsdClient> client = GemsdClient::Connect(host, port);
       if (!client.ok()) return;
       gems::SplitMix64 rng(0x10ADull + c);
-      std::vector<uint64_t> items(batch);
       std::vector<double>& lat = latencies_us[c];
       lat.reserve(ops_per_conn);
-      for (uint64_t op = 0; op < ops_per_conn; ++op) {
-        // Zipf-ish skew: square a uniform draw so low key ids dominate.
+      // Zipf-ish skew: square a uniform draw so low key ids dominate.
+      const auto draw_key = [&] {
         const double u = static_cast<double>(rng.Next() >> 11) * 0x1p-53;
         const uint64_t key_id =
             static_cast<uint64_t>(u * u * static_cast<double>(num_keys));
-        const std::string key = KeyName(std::min(key_id, num_keys - 1));
+        return KeyName(std::min(key_id, num_keys - 1));
+      };
+      if (pipeline > 1) {
+        // Pipelined mode: windows of `pipeline` requests, one send +
+        // in-order drain per window. Per-slot item storage must outlive
+        // the Pipeline call (requests borrow their item spans).
+        std::vector<std::vector<uint64_t>> window_items(
+            pipeline, std::vector<uint64_t>(batch));
+        std::vector<gems::server::Request> requests;
+        std::vector<gems::Status> statuses;
+        for (uint64_t op = 0; op < ops_per_conn;) {
+          const size_t window =
+              std::min<uint64_t>(pipeline, ops_per_conn - op);
+          requests.clear();
+          requests.resize(window);
+          for (size_t w = 0; w < window; ++w) {
+            gems::server::Request& request = requests[w];
+            request.key = draw_key();
+            if (rng.Next() % 100 < update_pct) {
+              for (uint64_t& item : window_items[w]) item = rng.Next();
+              request.opcode = gems::server::Opcode::kUpdate;
+              request.items = window_items[w];
+            } else {
+              request.opcode = gems::server::Opcode::kQuery;
+            }
+          }
+          const auto t0 = std::chrono::steady_clock::now();
+          gems::Status s = client.value().Pipeline(requests, &statuses);
+          const auto t1 = std::chrono::steady_clock::now();
+          for (const gems::Status& rs : statuses) {
+            if (!rs.ok()) s = rs;
+          }
+          if (!s.ok()) {
+            std::fprintf(stderr, "loadgen: %s\n", s.ToString().c_str());
+            return;
+          }
+          const double per_request_us =
+              std::chrono::duration<double, std::micro>(t1 - t0).count() /
+              static_cast<double>(window);
+          for (size_t w = 0; w < window; ++w) lat.push_back(per_request_us);
+          op += window;
+        }
+        return;
+      }
+      std::vector<uint64_t> items(batch);
+      for (uint64_t op = 0; op < ops_per_conn; ++op) {
+        const std::string key = draw_key();
         const bool do_update = rng.Next() % 100 < update_pct;
         const auto t0 = std::chrono::steady_clock::now();
         gems::Status s;
@@ -141,10 +192,11 @@ int main(int argc, char** argv) {
   }
   std::sort(all_us.begin(), all_us.end());
   std::printf(
-      "loadgen: %zu conns x %llu ops (%zu-item batches, %llu%% update) "
-      "over %s:%u\n",
+      "loadgen: %zu conns x %llu ops (%zu-item batches, %llu%% update, "
+      "pipeline %zu) over %s:%u\n",
       connections, static_cast<unsigned long long>(ops_per_conn), batch,
-      static_cast<unsigned long long>(update_pct), host.c_str(), port);
+      static_cast<unsigned long long>(update_pct), pipeline, host.c_str(),
+      port);
   std::printf("  %.0f requests/s; latency p50 %.1f us, p99 %.1f us, "
               "max %.1f us\n",
               static_cast<double>(all_us.size()) / wall_s,

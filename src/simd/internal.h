@@ -1,6 +1,7 @@
 #ifndef GEMS_SIMD_INTERNAL_H_
 #define GEMS_SIMD_INTERNAL_H_
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 
@@ -50,6 +51,63 @@ inline bool BlockedBloomTest(const uint64_t* block, int k,
     if (((block[bit >> 6] >> (bit & 63)) & 1) == 0) return false;
   }
   return true;
+}
+
+// Cache-line-blocked frequency-sketch tile schedule (matches the kBlocked
+// layout in CountMinSketch / CountSketch): a block is 8 x 64-bit counters
+// (one cache line); row r owns the `cols` consecutive slots starting at
+// r * cols, where cols is a power of two <= 8 / depth. One
+// Murmur3_128_U64(item, seed) drives everything: block = h.low % num_blocks,
+// and row r's sub-column is 3-bit slice r of h.high masked to cols - 1.
+// CountSketch signs come from bits 24+r of h.high, above every column slice
+// (depth <= 8 uses column bits 0..23 at most), so columns and signs never
+// share entropy.
+inline constexpr int kCmBlockSlots = 8;
+inline constexpr int kCmBlockColBits = 3;
+inline constexpr int kCsBlockSignShift = 24;
+
+inline uint32_t CmBlockCol(uint64_t probe_bits, uint32_t row,
+                           uint32_t col_mask) {
+  return static_cast<uint32_t>(probe_bits >> (kCmBlockColBits * row)) &
+         col_mask;
+}
+
+inline void CmBlockedAddOne(uint64_t* block, uint32_t depth, uint32_t cols,
+                            uint64_t probe_bits, uint64_t weight) {
+  const uint32_t col_mask = cols - 1;
+  for (uint32_t r = 0; r < depth; ++r) {
+    block[r * cols + CmBlockCol(probe_bits, r, col_mask)] += weight;
+  }
+}
+
+inline uint64_t CmBlockedMinOne(const uint64_t* block, uint32_t depth,
+                                uint32_t cols, uint64_t probe_bits) {
+  const uint32_t col_mask = cols - 1;
+  uint64_t best = ~uint64_t{0};
+  for (uint32_t r = 0; r < depth; ++r) {
+    best = std::min(best, block[r * cols + CmBlockCol(probe_bits, r, col_mask)]);
+  }
+  return best;
+}
+
+inline int64_t CsBlockSign(uint64_t probe_bits, uint32_t row) {
+  return ((probe_bits >> (kCsBlockSignShift + row)) & 1) ? int64_t{1}
+                                                         : int64_t{-1};
+}
+
+inline void CsBlockedAddOne(int64_t* block, uint32_t depth, uint32_t cols,
+                            uint64_t probe_bits, int64_t weight) {
+  const uint32_t col_mask = cols - 1;
+  // Sign application and accumulation both run in unsigned arithmetic:
+  // negating or adding at the extremes of int64 must wrap in two's
+  // complement (as the flat path's hardware vector adds do), not hit
+  // signed-overflow UB.
+  const uint64_t mag = static_cast<uint64_t>(weight);
+  for (uint32_t r = 0; r < depth; ++r) {
+    int64_t& slot = block[r * cols + CmBlockCol(probe_bits, r, col_mask)];
+    const uint64_t delta = CsBlockSign(probe_bits, r) > 0 ? mag : uint64_t{0} - mag;
+    slot = static_cast<int64_t>(static_cast<uint64_t>(slot) + delta);
+  }
 }
 
 }  // namespace gems::simd::internal

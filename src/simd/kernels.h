@@ -104,6 +104,36 @@ struct SimdKernels {
   /// (CountSketch/AMS F2 row evaluation feeding the median).
   double (*i64_sum_squares)(const int64_t* values, size_t n);
 
+  /// Cache-line-blocked Count-Min batch update, fused hash + block-select +
+  /// prefetch + probe (the kBlocked layout): one Murmur3_128_U64 per key,
+  /// block = h.low % num_blocks, then all `depth` row counters live in the
+  /// selected 8-slot block — row r owns slots [r*cols, (r+1)*cols) and its
+  /// sub-column is 3-bit slice r of h.high masked to cols-1. `cols` is a
+  /// power of two with cols * depth <= 8.
+  void (*cm_blocked_add)(uint64_t* slots, uint64_t num_blocks, uint32_t depth,
+                         uint32_t cols, uint64_t seed, const uint64_t* keys,
+                         size_t n);
+
+  /// Weighted variant: every touched slot gains weights[i] (as uint64).
+  void (*cm_blocked_add_weighted)(uint64_t* slots, uint64_t num_blocks,
+                                  uint32_t depth, uint32_t cols, uint64_t seed,
+                                  const uint64_t* keys, const int64_t* weights,
+                                  size_t n);
+
+  /// Blocked Count-Min batch point query with the same probe schedule:
+  /// out[i] = min over rows of the selected block's counters (written
+  /// directly — no caller seeding, unlike cm_row_min's row-fold contract).
+  void (*cm_blocked_min)(const uint64_t* slots, uint64_t num_blocks,
+                         uint32_t depth, uint32_t cols, uint64_t seed,
+                         const uint64_t* keys, size_t n, uint64_t* out);
+
+  /// Blocked CountSketch batch update: same block/column schedule over
+  /// int64 counters, sign for row r from bit 24+r of h.high (disjoint from
+  /// the column slices). `weights == nullptr` means unit weight.
+  void (*cs_blocked_add)(int64_t* slots, uint64_t num_blocks, uint32_t depth,
+                         uint32_t cols, uint64_t seed, const uint64_t* keys,
+                         const int64_t* weights, size_t n);
+
   // -------------------------------------------------- membership filters
 
   /// Kirsch-Mitzenmacher multi-probe insert for the flat Bloom filter:

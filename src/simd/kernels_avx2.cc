@@ -389,6 +389,113 @@ void CmRowMin(const uint64_t* row, uint64_t width, const uint64_t* hashes,
   }
 }
 
+using internal::CmBlockedAddOne;
+using internal::CmBlockedMinOne;
+using internal::CsBlockedAddOne;
+using internal::kCmBlockSlots;
+
+/// Hash + block-select phase shared by the blocked frequency kernels:
+/// 4-wide Murmur3 and vector modulo into the chunk-local blocks/probes
+/// arrays, scalar tail bit-identical by the shared InvariantMod contract.
+inline void CmHashBlocksChunk(const uint64_t* keys, size_t len, uint64_t seed,
+                              const VecMod& mod, uint64_t* blocks,
+                              uint64_t* probes) {
+  size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const __m256i key =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    __m256i lo, hi;
+    Murmur3x4(key, seed, &lo, &hi);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(blocks + i), mod(lo));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(probes + i), hi);
+  }
+  for (; i < len; ++i) {
+    const Hash128 h = Murmur3_128_U64(keys[i], seed);
+    blocks[i] = mod.scalar(h.low);
+    probes[i] = h.high;
+  }
+}
+
+void CmBlockedAdd(uint64_t* slots, uint64_t num_blocks, uint32_t depth,
+                  uint32_t cols, uint64_t seed, const uint64_t* keys,
+                  size_t n) {
+  const VecMod mod(num_blocks);
+  constexpr size_t kChunk = 64;
+  alignas(32) uint64_t blocks[kChunk];
+  alignas(32) uint64_t probes[kChunk];
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t len = std::min(kChunk, n - base);
+    CmHashBlocksChunk(keys + base, len, seed, mod, blocks, probes);
+    for (size_t i = 0; i < len; ++i) {
+      __builtin_prefetch(&slots[blocks[i] * kCmBlockSlots], 1);
+    }
+    for (size_t i = 0; i < len; ++i) {
+      CmBlockedAddOne(&slots[blocks[i] * kCmBlockSlots], depth, cols,
+                      probes[i], 1);
+    }
+  }
+}
+
+void CmBlockedAddWeighted(uint64_t* slots, uint64_t num_blocks, uint32_t depth,
+                          uint32_t cols, uint64_t seed, const uint64_t* keys,
+                          const int64_t* weights, size_t n) {
+  const VecMod mod(num_blocks);
+  constexpr size_t kChunk = 64;
+  alignas(32) uint64_t blocks[kChunk];
+  alignas(32) uint64_t probes[kChunk];
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t len = std::min(kChunk, n - base);
+    CmHashBlocksChunk(keys + base, len, seed, mod, blocks, probes);
+    for (size_t i = 0; i < len; ++i) {
+      __builtin_prefetch(&slots[blocks[i] * kCmBlockSlots], 1);
+    }
+    for (size_t i = 0; i < len; ++i) {
+      CmBlockedAddOne(&slots[blocks[i] * kCmBlockSlots], depth, cols,
+                      probes[i], static_cast<uint64_t>(weights[base + i]));
+    }
+  }
+}
+
+void CmBlockedMin(const uint64_t* slots, uint64_t num_blocks, uint32_t depth,
+                  uint32_t cols, uint64_t seed, const uint64_t* keys, size_t n,
+                  uint64_t* out) {
+  const VecMod mod(num_blocks);
+  constexpr size_t kChunk = 64;
+  alignas(32) uint64_t blocks[kChunk];
+  alignas(32) uint64_t probes[kChunk];
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t len = std::min(kChunk, n - base);
+    CmHashBlocksChunk(keys + base, len, seed, mod, blocks, probes);
+    for (size_t i = 0; i < len; ++i) {
+      __builtin_prefetch(&slots[blocks[i] * kCmBlockSlots], 0);
+    }
+    for (size_t i = 0; i < len; ++i) {
+      out[base + i] = CmBlockedMinOne(&slots[blocks[i] * kCmBlockSlots], depth,
+                                      cols, probes[i]);
+    }
+  }
+}
+
+void CsBlockedAdd(int64_t* slots, uint64_t num_blocks, uint32_t depth,
+                  uint32_t cols, uint64_t seed, const uint64_t* keys,
+                  const int64_t* weights, size_t n) {
+  const VecMod mod(num_blocks);
+  constexpr size_t kChunk = 64;
+  alignas(32) uint64_t blocks[kChunk];
+  alignas(32) uint64_t probes[kChunk];
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t len = std::min(kChunk, n - base);
+    CmHashBlocksChunk(keys + base, len, seed, mod, blocks, probes);
+    for (size_t i = 0; i < len; ++i) {
+      __builtin_prefetch(&slots[blocks[i] * kCmBlockSlots], 1);
+    }
+    for (size_t i = 0; i < len; ++i) {
+      CsBlockedAddOne(&slots[blocks[i] * kCmBlockSlots], depth, cols,
+                      probes[i], weights == nullptr ? 1 : weights[base + i]);
+    }
+  }
+}
+
 double I64SumSquares(const int64_t* values, size_t n) {
   // AVX2 has no packed int64->double conversion; convert lanes through the
   // scalar unit (identical rounding to the reference's cast) and keep the
@@ -614,6 +721,10 @@ const SimdKernels* Avx2Kernels() {
     t.cm_row_add_weighted = &CmRowAddWeighted;
     t.cm_row_min = &CmRowMin;
     t.i64_sum_squares = &I64SumSquares;
+    t.cm_blocked_add = &CmBlockedAdd;
+    t.cm_blocked_add_weighted = &CmBlockedAddWeighted;
+    t.cm_blocked_min = &CmBlockedMin;
+    t.cs_blocked_add = &CsBlockedAdd;
     t.bloom_insert = &BloomInsert;
     t.bloom_query = &BloomQuery;
     t.blocked_bloom_insert = &BlockedBloomInsert;

@@ -8,6 +8,8 @@
 
 #include "common/bits.h"
 #include "common/bytes.h"
+#include "common/hugepage.h"
+#include "common/layout.h"
 #include "common/numeric.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -356,6 +358,69 @@ TEST(NumericTest, RelativeError) {
   EXPECT_DOUBLE_EQ(RelativeError(90, 100), 0.1);
   // Small truth values are floored at 1 to avoid division blowups.
   EXPECT_DOUBLE_EQ(RelativeError(0.5, 0.0), 0.5);
+}
+
+// -------------------------------------------------------------- HugePage
+
+TEST(HugePageTest, SmallAllocationsTakeAlignedFallback) {
+  const HugePageStats before = GetHugePageStats();
+  {
+    HugeVector<uint64_t> v(1024, 7);  // 8 KiB — far below the threshold.
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 64, 0u)
+        << "small allocations must still be cache-line aligned";
+    EXPECT_EQ(v[0], 7u);
+    EXPECT_EQ(v[1023], 7u);
+  }
+  const HugePageStats after = GetHugePageStats();
+  EXPECT_GT(after.fallback_small, before.fallback_small);
+  // A small allocation never consumes a hugepage verdict.
+  EXPECT_EQ(after.granted + after.denied, before.granted + before.denied);
+}
+
+TEST(HugePageTest, LargeAllocationsRouteThroughMmap) {
+  const HugePageStats before = GetHugePageStats();
+  {
+    // 4 MiB — above the 2 MiB threshold, so on Linux this takes the
+    // mmap + MADV_HUGEPAGE path (granted or denied, but always counted);
+    // elsewhere it falls back and still works.
+    HugeVector<uint64_t> v(size_t{1} << 19, 3);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 64, 0u);
+    v[0] = 1;
+    v[v.size() - 1] = 2;
+    EXPECT_EQ(v[0], 1u);
+    EXPECT_EQ(v[v.size() - 1], 2u);
+  }
+  const HugePageStats after = GetHugePageStats();
+  if (HugePagesEnabled()) {
+    EXPECT_GT(after.granted + after.denied, before.granted + before.denied);
+  } else {
+    EXPECT_GT(after.fallback_small, before.fallback_small);
+  }
+}
+
+TEST(HugePageTest, VectorSemanticsSurviveGrowthAcrossThreshold) {
+  // Growing from tiny to huge crosses the allocator's routing boundary;
+  // the value contents must ride across intact.
+  HugeVector<uint64_t> v;
+  for (uint64_t i = 0; i < (uint64_t{1} << 19); ++i) v.push_back(i);
+  EXPECT_EQ(v[12345], 12345u);
+  EXPECT_EQ(v.back(), (uint64_t{1} << 19) - 1);
+  HugeVector<uint64_t> copy = v;
+  EXPECT_EQ(copy, v);
+}
+
+TEST(HugePageTest, LayoutJsonMentionsEveryProvenanceField) {
+  const std::string json = LayoutJson();
+  EXPECT_NE(json.find("\"prefetch\""), std::string::npos);
+  EXPECT_NE(json.find("\"hugepages_enabled\""), std::string::npos);
+  EXPECT_NE(json.find("\"hugepage_granted\""), std::string::npos);
+  EXPECT_NE(json.find("\"hugepage_denied\""), std::string::npos);
+  EXPECT_NE(json.find("\"hugepage_fallback_small\""), std::string::npos);
+}
+
+TEST(SketchLayoutTest, NamesAreStable) {
+  EXPECT_STREQ(LayoutName(SketchLayout::kFlat), "flat");
+  EXPECT_STREQ(LayoutName(SketchLayout::kBlocked), "blocked");
 }
 
 }  // namespace

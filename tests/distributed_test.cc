@@ -740,6 +740,68 @@ TEST(ShardedPipelineTest, DestructorWithoutFinishDoesNotHang) {
   // No Finish(): the destructor must stop and join the workers cleanly.
 }
 
+TEST(ShardedPipelineTest, PinnedWorkersMatchUnpinnedByteForByte) {
+  // Pinning and first-touch shard placement are pure placement hints: the
+  // merged root must be byte-identical to the unpinned pipeline and to
+  // sequential ingest.
+  const auto items = DistinctItems(150000, 53);
+  HyperLogLog sequential(12, 54);
+  sequential.UpdateBatch(items);
+  ShardedPipeline<HyperLogLog> pinned(
+      HyperLogLog(12, 54), {.num_workers = 4, .pin_workers = true});
+  // Best-effort: on a restricted cpuset some pins may fail, but never more
+  // than the worker count.
+  EXPECT_LE(pinned.pinned_workers(), pinned.num_workers());
+  pinned.Push(items);
+  auto pinned_root = pinned.Finish();
+  ASSERT_TRUE(pinned_root.ok());
+
+  ShardedPipeline<HyperLogLog> unpinned(HyperLogLog(12, 54),
+                                        {.num_workers = 4});
+  EXPECT_EQ(unpinned.pinned_workers(), 0u);
+  unpinned.Push(items);
+  auto unpinned_root = unpinned.Finish();
+  ASSERT_TRUE(unpinned_root.ok());
+
+  EXPECT_EQ(pinned_root.value().Serialize(), sequential.Serialize());
+  EXPECT_EQ(unpinned_root.value().Serialize(), sequential.Serialize());
+}
+
+TEST(ShardedPipelineTest, PinOffsetAndBackpressureStillExact) {
+  // A nonzero pin offset wraps modulo the hardware concurrency; combined
+  // with tiny rings (backpressure path) the result must stay exact.
+  const auto items = ZipfGenerator(50000, 1.2, 55).Take(120000);
+  CountMinSketch sequential(1024, 4, 56);
+  sequential.UpdateBatch(items);
+  ShardedPipeline<CountMinSketch> pipeline(CountMinSketch(1024, 4, 56),
+                                           {.num_workers = 3,
+                                            .ring_capacity = 2,
+                                            .chunk_items = 64,
+                                            .pin_workers = true,
+                                            .pin_offset = 1});
+  pipeline.Push(items);
+  auto root = pipeline.Finish();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value().Serialize(), sequential.Serialize());
+}
+
+TEST(ShardedPipelineTest, BlockedLayoutShardsMatchSequential) {
+  // The pipeline's shards inherit the prototype's blocked layout; counter
+  // sums stay partition-independent, so the merged root is byte-identical
+  // to sequential blocked ingest.
+  const auto items = ZipfGenerator(50000, 1.2, 57).Take(120000);
+  CountMinSketch prototype(1024, 4, 58, /*conservative_update=*/false,
+                           SketchLayout::kBlocked);
+  CountMinSketch sequential = prototype;
+  sequential.UpdateBatch(items);
+  ShardedPipeline<CountMinSketch> pipeline(prototype, {.num_workers = 4});
+  pipeline.Push(items);
+  auto root = pipeline.Finish();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value().layout(), SketchLayout::kBlocked);
+  EXPECT_EQ(root.value().Serialize(), sequential.Serialize());
+}
+
 // ----------------------------------------- Concurrent wrapper stress tests
 
 TEST(ConcurrentSummaryTest, ConcurrentBatchesAndSnapshotsStress) {

@@ -248,6 +248,108 @@ TEST_P(SimdParity, CsRowScatter) {
   }
 }
 
+// Blocked-layout geometries to sweep: (depth, cols) pairs covering every
+// legal fill of the 8-slot block, with both pow2 and non-pow2 block counts
+// so the modulo path is exercised.
+struct BlockedGeometry {
+  uint32_t depth;
+  uint32_t cols;
+};
+constexpr BlockedGeometry kBlockedGeometries[] = {
+    {1, 8}, {2, 4}, {4, 2}, {5, 1}, {8, 1}};
+constexpr uint64_t kBlockCounts[] = {7, 128, 1000};
+
+TEST_P(SimdParity, CmBlockedAdd) {
+  const SimdKernels& scalar = ScalarKernels();
+  const SimdKernels& active = *GetParam();
+  for (const BlockedGeometry& g : kBlockedGeometries) {
+    for (uint64_t blocks : kBlockCounts) {
+      for (size_t n : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                       size_t{65}, size_t{1000}}) {
+        const std::vector<uint64_t> keys = RandomU64(n, 1300 + n);
+        std::vector<uint64_t> want(blocks * 8, 0), got(blocks * 8, 0);
+        scalar.cm_blocked_add(want.data(), blocks, g.depth, g.cols, 77,
+                              keys.data(), n);
+        active.cm_blocked_add(got.data(), blocks, g.depth, g.cols, 77,
+                              keys.data(), n);
+        EXPECT_EQ(want, got)
+            << "d=" << g.depth << " b=" << blocks << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST_P(SimdParity, CmBlockedAddWeighted) {
+  const SimdKernels& scalar = ScalarKernels();
+  const SimdKernels& active = *GetParam();
+  for (const BlockedGeometry& g : kBlockedGeometries) {
+    for (uint64_t blocks : kBlockCounts) {
+      for (size_t n : {size_t{1}, size_t{65}, size_t{1000}}) {
+        const std::vector<uint64_t> keys = RandomU64(n, 1400 + n);
+        const std::vector<int64_t> weights = RandomI64(n, 1401 + n);
+        std::vector<uint64_t> want(blocks * 8, 0), got(blocks * 8, 0);
+        scalar.cm_blocked_add_weighted(want.data(), blocks, g.depth, g.cols,
+                                       78, keys.data(), weights.data(), n);
+        active.cm_blocked_add_weighted(got.data(), blocks, g.depth, g.cols,
+                                       78, keys.data(), weights.data(), n);
+        EXPECT_EQ(want, got)
+            << "d=" << g.depth << " b=" << blocks << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST_P(SimdParity, CmBlockedMin) {
+  const SimdKernels& scalar = ScalarKernels();
+  const SimdKernels& active = *GetParam();
+  for (const BlockedGeometry& g : kBlockedGeometries) {
+    for (uint64_t blocks : kBlockCounts) {
+      Rng rng(1500 + g.depth);
+      std::vector<uint64_t> slots(blocks * 8);
+      for (uint64_t& v : slots) v = rng.NextBounded(1 << 20);
+      for (size_t n : {size_t{0}, size_t{1}, size_t{65}, size_t{1000}}) {
+        const std::vector<uint64_t> keys = RandomU64(n, 1500 + n);
+        std::vector<uint64_t> want(n, ~uint64_t{0}), got(n, 0);
+        scalar.cm_blocked_min(slots.data(), blocks, g.depth, g.cols, 79,
+                              keys.data(), n, want.data());
+        active.cm_blocked_min(slots.data(), blocks, g.depth, g.cols, 79,
+                              keys.data(), n, got.data());
+        // Distinct initial fills prove out[] is written, not folded.
+        EXPECT_EQ(want, got)
+            << "d=" << g.depth << " b=" << blocks << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST_P(SimdParity, CsBlockedAdd) {
+  const SimdKernels& scalar = ScalarKernels();
+  const SimdKernels& active = *GetParam();
+  for (const BlockedGeometry& g : kBlockedGeometries) {
+    for (uint64_t blocks : kBlockCounts) {
+      for (size_t n : {size_t{0}, size_t{1}, size_t{65}, size_t{1000}}) {
+        const std::vector<uint64_t> keys = RandomU64(n, 1600 + n);
+        const std::vector<int64_t> weights = RandomI64(n, 1601 + n);
+        std::vector<int64_t> want(blocks * 8, 0), got(blocks * 8, 0);
+        // Unit-weight path (weights == nullptr).
+        scalar.cs_blocked_add(want.data(), blocks, g.depth, g.cols, 80,
+                              keys.data(), nullptr, n);
+        active.cs_blocked_add(got.data(), blocks, g.depth, g.cols, 80,
+                              keys.data(), nullptr, n);
+        EXPECT_EQ(want, got)
+            << "unit d=" << g.depth << " b=" << blocks << " n=" << n;
+        // Weighted path.
+        scalar.cs_blocked_add(want.data(), blocks, g.depth, g.cols, 80,
+                              keys.data(), weights.data(), n);
+        active.cs_blocked_add(got.data(), blocks, g.depth, g.cols, 80,
+                              keys.data(), weights.data(), n);
+        EXPECT_EQ(want, got)
+            << "weighted d=" << g.depth << " b=" << blocks << " n=" << n;
+      }
+    }
+  }
+}
+
 TEST_P(SimdParity, I64SumSquares) {
   const SimdKernels& scalar = ScalarKernels();
   const SimdKernels& active = *GetParam();

@@ -183,10 +183,22 @@ int RunSave(const std::string& kind, const std::string& path,
       ++lines;
     }
     bytes = filter.Serialize();
+  } else if (kind == "windowed") {
+    // Windowed distinct: the line number is the timestamp, so the sketch
+    // tracks distinct values over the trailing 10k lines (10 panes of
+    // 1000). The file round-trips through load/inspect/merge like any
+    // other envelope; merging requires matching window geometry.
+    gems::SlidingHyperLogLog sketch(12, /*pane_width=*/1000,
+                                    /*num_panes=*/10);
+    while (std::getline(in, line)) {
+      sketch.UpdateAt(lines, gems::Hash64(line, 0));
+      ++lines;
+    }
+    bytes = sketch.Serialize();
   } else {
     std::fprintf(stderr,
                  "unknown sketch kind \"%s\" "
-                 "(want distinct|topk|quantiles|member)\n",
+                 "(want distinct|topk|quantiles|member|windowed)\n",
                  kind.c_str());
     return 2;
   }
@@ -356,7 +368,8 @@ int main(int argc, char** argv) {
                "usage: sketch_tool <distinct|topk|quantiles|member "
                "[probe]|selftest|caps>  (input: one value per line on "
                "stdin)\n"
-               "       sketch_tool save <distinct|topk|quantiles|member> "
+               "       sketch_tool save "
+               "<distinct|topk|quantiles|member|windowed> "
                "<file>   (stdin -> sketch file)\n"
                "       sketch_tool load <file>\n"
                "       sketch_tool inspect <file>   (envelope metadata "

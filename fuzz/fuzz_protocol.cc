@@ -22,10 +22,15 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     (void)gems::server::SplitFrame(bytes, cap, &body, &consumed);
   }
 
-  // The input as a raw request body.
+  // The input as a raw request body. A successful decode may carry the
+  // windowed-CREATE tail (has_timed_params) or an UPDATE timestamp
+  // column; the re-encode fixpoint must hold for those shapes too.
   gems::server::Request request;
   std::vector<uint64_t> items_scratch;
-  if (gems::server::DecodeRequest(bytes, &request, &items_scratch).ok()) {
+  std::vector<uint64_t> timestamps_scratch;
+  if (gems::server::DecodeRequest(bytes, &request, &items_scratch,
+                                  &timestamps_scratch)
+          .ok()) {
     std::vector<uint8_t> reencoded;
     gems::server::EncodeRequest(request, &reencoded);
     gems::ByteSpan body;
@@ -37,8 +42,15 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
         consumed == reencoded.size()) {
       gems::server::Request again;
       std::vector<uint64_t> again_scratch;
-      if (!gems::server::DecodeRequest(body, &again, &again_scratch).ok()) {
+      std::vector<uint64_t> again_ts_scratch;
+      if (!gems::server::DecodeRequest(body, &again, &again_scratch,
+                                       &again_ts_scratch)
+               .ok()) {
         __builtin_trap();  // Encode of a decoded request must re-decode.
+      }
+      if (again.has_timed_params != request.has_timed_params ||
+          again.timestamps.size() != request.timestamps.size()) {
+        __builtin_trap();  // Timed tails must survive the round trip.
       }
     }
   }

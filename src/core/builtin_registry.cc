@@ -1,3 +1,4 @@
+#include <cmath>
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -27,6 +28,10 @@
 #include "sampling/l0_sampler.h"
 #include "sampling/reservoir.h"
 #include "similarity/minhash.h"
+#include "time/decayed_count_min.h"
+#include "time/exponential_histogram.h"
+#include "time/sliding_count_min.h"
+#include "time/sliding_hll.h"
 
 /// \file
 /// Registers every built-in serializable sketch with the global
@@ -42,6 +47,28 @@ std::string Fmt(const char* format, double value) {
   char buffer[96];
   std::snprintf(buffer, sizeof(buffer), format, value);
   return buffer;
+}
+
+constexpr uint32_t kMaxTimedPanes = 1u << 20;
+
+/// Shared validation for the window-geometry half of TimedSketchParams:
+/// zero fields fall back to the given defaults, a decay parameter on a
+/// windowed type is rejected, and the resolved geometry is range-checked.
+Status ResolveWindowParams(const TimedSketchParams& params,
+                           uint64_t default_pane_width,
+                           uint32_t default_num_panes, uint64_t* pane_width,
+                           uint32_t* num_panes) {
+  if (params.half_life != 0.0) {
+    return Status::InvalidArgument(
+        "half_life does not apply to a pane-windowed sketch");
+  }
+  *pane_width = params.pane_width != 0 ? params.pane_width
+                                       : default_pane_width;
+  *num_panes = params.num_panes != 0 ? params.num_panes : default_num_panes;
+  if (*num_panes > kMaxTimedPanes) {
+    return Status::InvalidArgument("num_panes too large");
+  }
+  return Status::Ok();
 }
 
 void RegisterAll(SketchRegistry& r) {
@@ -200,6 +227,86 @@ void RegisterAll(SketchRegistry& r) {
                    static_cast<double>(s.num_vertices()));
       },
       std::function<AgmSketch()>()));  // No sensible default vertex count.
+
+  // The time family: window/decay parameters flow in through make_timed
+  // (the gemsd CREATE path); make_default picks telemetry-flavored
+  // defaults (seconds-resolution clocks, minute panes).
+  must(RegisterSketchType<SlidingHyperLogLog>(
+      r, SketchTypeId::kSlidingHyperLogLog,
+      [](const SlidingHyperLogLog& s) {
+        return Fmt("windowed distinct ~ %.0f", s.Estimate()) +
+               Fmt(" over trailing %.0f time units",
+                   static_cast<double>(s.WindowSpan()));
+      },
+      [] { return SlidingHyperLogLog(12, 60, 10); },
+      [](const TimedSketchParams& params) -> Result<SlidingHyperLogLog> {
+        uint64_t pane_width = 0;
+        uint32_t num_panes = 0;
+        if (Status s = ResolveWindowParams(params, 60, 10, &pane_width,
+                                           &num_panes);
+            !s.ok()) {
+          return s;
+        }
+        return SlidingHyperLogLog(12, pane_width, num_panes);
+      }));
+  must(RegisterSketchType<SlidingCountMin>(
+      r, SketchTypeId::kSlidingCountMin,
+      [](const SlidingCountMin& s) {
+        return Fmt("windowed frequency table, window weight %.0f",
+                   static_cast<double>(s.TotalWeight()));
+      },
+      [] { return SlidingCountMin(2048, 4, 60, 10); },
+      [](const TimedSketchParams& params) -> Result<SlidingCountMin> {
+        uint64_t pane_width = 0;
+        uint32_t num_panes = 0;
+        if (Status s = ResolveWindowParams(params, 60, 10, &pane_width,
+                                           &num_panes);
+            !s.ok()) {
+          return s;
+        }
+        return SlidingCountMin(2048, 4, pane_width, num_panes);
+      }));
+  must(RegisterSketchType<DecayedCountMin>(
+      r, SketchTypeId::kDecayedCountMin,
+      [](const DecayedCountMin& s) {
+        return Fmt("decayed frequency table, decayed weight %.1f",
+                   s.TotalWeight());
+      },
+      [] { return DecayedCountMin(2048, 4, 300.0); },
+      [](const TimedSketchParams& params) -> Result<DecayedCountMin> {
+        if (params.pane_width != 0 || params.num_panes != 0) {
+          return Status::InvalidArgument(
+              "window geometry does not apply to a decayed sketch");
+        }
+        if (!std::isfinite(params.half_life) || params.half_life < 0.0) {
+          return Status::InvalidArgument("half_life must be finite and > 0");
+        }
+        const double half_life =
+            params.half_life != 0.0 ? params.half_life : 300.0;
+        return DecayedCountMin(2048, 4, half_life);
+      }));
+  must(RegisterSketchType<ExponentialHistogram>(
+      r, SketchTypeId::kExponentialHistogram,
+      [](const ExponentialHistogram& s) {
+        return Fmt("windowed event count ~ %.0f", s.Estimate()) +
+               Fmt(" over trailing %.0f time units",
+                   static_cast<double>(s.window()));
+      },
+      [] { return ExponentialHistogram(3600, 0.05); },
+      [](const TimedSketchParams& params) -> Result<ExponentialHistogram> {
+        // The single window knob rides pane_width; there are no panes.
+        if (params.num_panes != 0) {
+          return Status::InvalidArgument(
+              "num_panes does not apply to an exponential histogram");
+        }
+        if (params.half_life != 0.0) {
+          return Status::InvalidArgument(
+              "half_life does not apply to an exponential histogram");
+        }
+        const uint64_t window =
+            params.pane_width != 0 ? params.pane_width : 3600;
+        return ExponentialHistogram(window, 0.05);
+      }));
 }
 
 }  // namespace

@@ -18,6 +18,27 @@ Status AnySketch::UpdateBatch(std::span<const uint64_t> items) {
   return impl_->UpdateBatch(items);
 }
 
+Status AnySketch::UpdateBatchTimed(std::span<const uint64_t> timestamps,
+                                   std::span<const uint64_t> items) {
+  if (!has_value()) {
+    return Status::FailedPrecondition("update on an empty AnySketch");
+  }
+  if (timestamps.size() != items.size()) {
+    return Status::InvalidArgument(
+        "timestamp column must parallel the item column");
+  }
+  EnsureUnique();
+  return impl_->UpdateBatchTimed(timestamps, items);
+}
+
+Status AnySketch::Advance(uint64_t now) {
+  if (!has_value()) {
+    return Status::FailedPrecondition("advance on an empty AnySketch");
+  }
+  EnsureUnique();
+  return impl_->Advance(now);
+}
+
 Status AnySketch::Merge(const AnySketch& other) {
   if (!has_value() || !other.has_value()) {
     return Status::InvalidArgument("merge with an empty AnySketch");

@@ -46,6 +46,17 @@ concept IncrementableSummary = requires(S s) {
   { s.Increment() };
 };
 
+/// Construction parameters for the timed sketch family, carried through
+/// the registry's by-name factories and the gemsd CREATE path. Zero-valued
+/// fields mean "library default"; which fields a type consumes is up to its
+/// make_timed thunk (window types read pane_width/num_panes, decayed types
+/// read half_life).
+struct TimedSketchParams {
+  uint64_t pane_width = 0;
+  uint32_t num_panes = 0;
+  double half_life = 0.0;
+};
+
 /// Type-erased, copyable handle to a registered sketch instance.
 class AnySketch {
  public:
@@ -86,6 +97,18 @@ class AnySketch {
   /// to the per-item Update loop otherwise. Same status semantics as
   /// Update().
   Status UpdateBatch(std::span<const uint64_t> items);
+
+  /// Feeds a batch of timestamped items (parallel spans, sizes must
+  /// match). Timed sketches segment by pane / decay run; untimed sketches
+  /// ignore the timestamps and take the items through UpdateBatch — so a
+  /// mixed keyspace can be fed from one timestamped ingest path.
+  Status UpdateBatchTimed(std::span<const uint64_t> timestamps,
+                          std::span<const uint64_t> items);
+
+  /// Advances a timed sketch's clock without adding data (rotating panes,
+  /// decaying counts). kUnimplemented for sketches without a time
+  /// dimension.
+  Status Advance(uint64_t now);
 
   /// Merges another handle of the same sketch type into this one.
   /// Mismatched or empty handles are kInvalidArgument; sketch types
@@ -137,6 +160,9 @@ class AnySketch {
     virtual ~Concept() = default;
     virtual Status Update(uint64_t item) = 0;
     virtual Status UpdateBatch(std::span<const uint64_t> items) = 0;
+    virtual Status UpdateBatchTimed(std::span<const uint64_t> timestamps,
+                                    std::span<const uint64_t> items) = 0;
+    virtual Status Advance(uint64_t now) = 0;
     virtual Status MergeFrom(const Concept& other) = 0;
     virtual Status MergeFromView(const SketchView& view) = 0;
     virtual std::vector<uint8_t> Serialize() const = 0;
@@ -201,6 +227,32 @@ class AnySketch {
         }
       }
       return Status::Ok();
+    }
+
+    Status UpdateBatchTimed(std::span<const uint64_t> timestamps,
+                            std::span<const uint64_t> items) override {
+      if constexpr (BatchTimedItemSummary<S>) {
+        sketch.UpdateBatchTimed(timestamps, items);
+        return Status::Ok();
+      } else if constexpr (TimedItemSummary<S>) {
+        for (size_t i = 0; i < items.size(); ++i) {
+          sketch.UpdateAt(timestamps[i], items[i]);
+        }
+        return Status::Ok();
+      } else {
+        // Untimed sketch: the timestamps carry no meaning for it; take the
+        // items through the ordinary batch path.
+        return UpdateBatch(items);
+      }
+    }
+
+    Status Advance(uint64_t now) override {
+      if constexpr (TimedSummary<S>) {
+        sketch.Advance(now);
+        return Status::Ok();
+      } else {
+        return Status::Unimplemented("sketch type has no time dimension");
+      }
     }
 
     Status MergeFrom(const Concept& other) override {
@@ -306,6 +358,10 @@ class SketchRegistry {
     /// Constructs an empty sketch with library-default parameters, for
     /// consumers that build sketches by name (CLI, tests). May be null.
     std::function<AnySketch()> make_default;
+    /// Constructs an empty sketch from window/decay parameters (zero-valued
+    /// fields fall back to library defaults; invalid combinations are
+    /// kInvalidArgument). Null for sketches without a time dimension.
+    std::function<Result<AnySketch>(const TimedSketchParams&)> make_timed;
   };
 
   /// The process-wide registry. Built-in sketches are added by
@@ -395,9 +451,11 @@ class AnySketchView {
 /// Registers a concrete sketch type: its envelope deserializer, a
 /// default-parameter factory, and an estimate renderer.
 template <typename S>
-Status RegisterSketchType(SketchRegistry& registry, SketchTypeId id,
-                          std::function<std::string(const S&)> estimate,
-                          std::function<S()> make_default) {
+Status RegisterSketchType(
+    SketchRegistry& registry, SketchTypeId id,
+    std::function<std::string(const S&)> estimate,
+    std::function<S()> make_default,
+    std::function<Result<S>(const TimedSketchParams&)> make_timed = nullptr) {
   SketchRegistry::Entry entry;
   entry.name = SketchTypeName(id);
   entry.deserialize =
@@ -409,6 +467,15 @@ Status RegisterSketchType(SketchRegistry& registry, SketchTypeId id,
   if (make_default) {
     entry.make_default = [id, estimate, make_default]() {
       return AnySketch::Make<S>(id, estimate, make_default());
+    };
+  }
+  if (make_timed) {
+    entry.make_timed =
+        [id, estimate, make_timed](
+            const TimedSketchParams& params) -> Result<AnySketch> {
+      Result<S> made = make_timed(params);
+      if (!made.ok()) return made.status();
+      return AnySketch::Make<S>(id, estimate, std::move(made).value());
     };
   }
   return registry.Register(id, std::move(entry));

@@ -141,6 +141,36 @@ concept ConcurrentEstimableSummary =
       { cc.Snapshot() };
     };
 
+/// A summary that models time as a first-class dimension: its state is a
+/// function of a window or decay clock that can advance without data
+/// (rotating/expiring panes, decaying counts). Advancing with a timestamp
+/// earlier than the newest one seen must clamp, never abort — servers see
+/// unsorted input.
+template <typename S>
+concept TimedSummary = requires(S s, const S& cs, uint64_t timestamp) {
+  { s.Advance(timestamp) };
+  { cs.last_timestamp() } -> std::convertible_to<uint64_t>;
+};
+
+/// A timed summary over 64-bit items with an explicit per-update timestamp.
+template <typename S>
+concept TimedItemSummary =
+    TimedSummary<S> && requires(S s, uint64_t timestamp, uint64_t item) {
+      { s.UpdateAt(timestamp, item) };
+    };
+
+/// A timed summary with a batched timestamped ingest path: `timestamps`
+/// parallels `items`. The contract mirrors BatchItemSummary's: state must
+/// be byte-identical (after Serialize) to calling UpdateAt per item, in
+/// order.
+template <typename S>
+concept BatchTimedItemSummary =
+    TimedSummary<S> &&
+    requires(S s, std::span<const uint64_t> timestamps,
+             std::span<const uint64_t> items) {
+      { s.UpdateBatchTimed(timestamps, items) };
+    };
+
 /// A summary that serializes to bytes and back. Deserialize takes a
 /// borrowed span, so callers holding mmap'd or ring-buffer bytes never
 /// copy into a vector first.

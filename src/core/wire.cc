@@ -34,7 +34,7 @@ uint64_t LoadU64(const uint8_t* p) {
 
 bool IsKnownSketchTypeId(uint16_t raw) {
   return raw >= static_cast<uint16_t>(SketchTypeId::kMorrisCounter) &&
-         raw <= static_cast<uint16_t>(SketchTypeId::kDyadicCountMin);
+         raw <= static_cast<uint16_t>(SketchTypeId::kExponentialHistogram);
 }
 
 const char* SketchTypeName(SketchTypeId id) {
@@ -66,6 +66,10 @@ const char* SketchTypeName(SketchTypeId id) {
     case SketchTypeId::kSimHash: return "simhash";
     case SketchTypeId::kAgmSketch: return "agm";
     case SketchTypeId::kDyadicCountMin: return "dyadic_count_min";
+    case SketchTypeId::kSlidingHyperLogLog: return "sliding_hyperloglog";
+    case SketchTypeId::kSlidingCountMin: return "sliding_countmin";
+    case SketchTypeId::kDecayedCountMin: return "decayed_countmin";
+    case SketchTypeId::kExponentialHistogram: return "exponential_histogram";
   }
   return "unknown";
 }

@@ -65,6 +65,10 @@ enum class SketchTypeId : uint16_t {
   kSimHash = 25,
   kAgmSketch = 26,
   kDyadicCountMin = 27,
+  kSlidingHyperLogLog = 28,
+  kSlidingCountMin = 29,
+  kDecayedCountMin = 30,
+  kExponentialHistogram = 31,
 };
 
 /// Envelope constants. kWireVersion is the version this build writes;

@@ -67,6 +67,24 @@ class ConcurrentAnySketch {
     return Make(entry->make_default(), options);
   }
 
+  /// Builds the prototype from the registry by stable type name with
+  /// explicit window/decay parameters — the gemsd CREATE path for the time
+  /// family. kNotFound for names without a timed factory; parameter
+  /// validation surfaces as the factory's kInvalidArgument.
+  static Result<ConcurrentAnySketch> MakeTimedByName(
+      const std::string& name, const TimedSketchParams& params,
+      Options options = Options{}) {
+    const SketchRegistry::Entry* entry =
+        SketchRegistry::Global().FindByName(name);
+    if (entry == nullptr || !entry->make_timed) {
+      return Status::NotFound("no registered sketch type named '" + name +
+                              "' with a timed factory");
+    }
+    Result<AnySketch> made = entry->make_timed(params);
+    if (!made.ok()) return made.status();
+    return Make(std::move(made).value(), options);
+  }
+
   bool has_value() const { return impl_ != nullptr; }
   SketchTypeId type() const { return prototype_type_; }
 
@@ -90,6 +108,27 @@ class ConcurrentAnySketch {
   Status ApplyBatch(std::span<const uint64_t> items) {
     return impl_->FoldExternal(
         [&](AnySketch& global) { return global.UpdateBatch(items); });
+  }
+
+  /// Folds a timestamped batch into the global state and publishes — the
+  /// timed analogue of ApplyBatch. Pane rotation and decay happen inside
+  /// the fold, so the new epoch is published atomically: readers see
+  /// either the pre-rotation or post-rotation state, and Estimate() stays
+  /// one atomic load throughout. Untimed sketches ingest the items and
+  /// ignore the timestamps.
+  Status ApplyBatchTimed(std::span<const uint64_t> timestamps,
+                         std::span<const uint64_t> items) {
+    return impl_->FoldExternal([&](AnySketch& global) {
+      return global.UpdateBatchTimed(timestamps, items);
+    });
+  }
+
+  /// Advances a timed sketch's clock (rotating/expiring panes, decaying
+  /// counts) and publishes the result as a new epoch. kUnimplemented for
+  /// untimed sketches.
+  Status Advance(uint64_t now) {
+    return impl_->FoldExternal(
+        [&](AnySketch& global) { return global.Advance(now); });
   }
 
   /// Wait-free one-line estimate of the published version.

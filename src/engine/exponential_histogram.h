@@ -1,65 +1,13 @@
 #ifndef GEMS_ENGINE_EXPONENTIAL_HISTOGRAM_H_
 #define GEMS_ENGINE_EXPONENTIAL_HISTOGRAM_H_
 
-#include <cstdint>
-#include <deque>
-
-#include "common/check.h"
-
 /// \file
-/// Exponential histogram (Datar, Gionis, Indyk & Motwani 2002): counts the
-/// number of events in the last W time units of a stream within a
-/// (1 + eps) factor, using O((1/eps) log^2 W) bits — the canonical
-/// sliding-window sketch of the streaming era the paper surveys. Buckets
-/// of exponentially growing sizes are merged so that at most k = ceil(1/eps)
-/// buckets of each size exist; only the oldest bucket is uncertain.
+/// Compatibility shim: ExponentialHistogram was promoted into the time
+/// family (src/time/exponential_histogram.h), gaining wire serialization,
+/// a registry entry, and clamping (non-aborting) out-of-order handling.
+/// This header remains so engine-era includes keep compiling; new code
+/// should include time/exponential_histogram.h.
 
-namespace gems {
-
-/// Sliding-window event counter.
-class ExponentialHistogram {
- public:
-  /// Counts events in the trailing `window` time units with relative
-  /// error <= epsilon.
-  ExponentialHistogram(uint64_t window, double epsilon);
-
-  ExponentialHistogram(const ExponentialHistogram&) = default;
-  ExponentialHistogram& operator=(const ExponentialHistogram&) = default;
-  ExponentialHistogram(ExponentialHistogram&&) = default;
-  ExponentialHistogram& operator=(ExponentialHistogram&&) = default;
-
-  /// Records one event at `timestamp` (non-decreasing).
-  void Add(uint64_t timestamp);
-
-  /// Estimated number of events in (now - window, now]; `now` must be >=
-  /// the last Add timestamp.
-  uint64_t EstimateCount(uint64_t now) const;
-
-  /// Number of buckets currently held (space accounting).
-  size_t NumBuckets() const { return buckets_.size(); }
-
-  uint64_t window() const { return window_; }
-  double epsilon() const { return epsilon_; }
-
- private:
-  struct Bucket {
-    uint64_t timestamp;  // Most recent event folded into this bucket.
-    uint64_t size;       // Number of events (a power of two).
-  };
-
-  /// Drops buckets whose newest event has left the window.
-  void ExpireBefore(uint64_t now);
-  /// Restores the <= k buckets-per-size invariant by merging oldest pairs.
-  void Canonicalize();
-
-  uint64_t window_;
-  double epsilon_;
-  size_t max_per_size_;  // k = ceil(1/eps) (+1 transiently).
-  uint64_t last_timestamp_ = 0;
-  // Newest buckets at the front, oldest at the back.
-  std::deque<Bucket> buckets_;
-};
-
-}  // namespace gems
+#include "time/exponential_histogram.h"  // IWYU pragma: export
 
 #endif  // GEMS_ENGINE_EXPONENTIAL_HISTOGRAM_H_

@@ -1,88 +1,13 @@
 #ifndef GEMS_ENGINE_SLIDING_WINDOW_H_
 #define GEMS_ENGINE_SLIDING_WINDOW_H_
 
-#include <cstdint>
-#include <deque>
-#include <optional>
-
-#include "common/check.h"
-#include "core/summary.h"
-
 /// \file
-/// Pane-based sliding windows over any mergeable summary: the window is
-/// divided into fixed panes, each summarized independently; a query merges
-/// the live panes. This is mergeability put to work *inside* one stream —
-/// expired panes are dropped wholesale, giving sliding-window semantics
-/// that register sketches (which cannot "forget" individual items) could
-/// not otherwise offer. Window error adds one pane of time quantization.
+/// Compatibility shim: SlidingWindowSummary was promoted into the time
+/// family as PaneRing (src/time/pane_ring.h), which also fixes the
+/// out-of-order abort (late timestamps clamp into the current pane) and
+/// memoizes the window merge. This header remains so engine-era includes
+/// keep compiling; new code should include time/pane_ring.h.
 
-namespace gems {
-
-/// Sliding window of `num_panes` panes of `pane_width` time units over a
-/// mergeable summary S.
-template <typename S>
-  requires MergeableSummary<S>
-class SlidingWindowSummary {
- public:
-  /// Window covers num_panes * pane_width time units; all panes start as
-  /// copies of `prototype` (merge-compatible by construction).
-  SlidingWindowSummary(const S& prototype, uint64_t pane_width,
-                       size_t num_panes)
-      : prototype_(prototype),
-        pane_width_(pane_width),
-        num_panes_(num_panes) {
-    GEMS_CHECK(pane_width >= 1);
-    GEMS_CHECK(num_panes >= 1);
-  }
-
-  /// Feeds one timestamped update; forwards `args` to S::Update.
-  /// Timestamps must be non-decreasing.
-  template <typename... Args>
-  void Update(uint64_t timestamp, Args&&... args) {
-    Advance(timestamp);
-    panes_.back().summary.Update(std::forward<Args>(args)...);
-  }
-
-  /// Merged summary of every pane overlapping the window ending at the
-  /// most recent timestamp. Returns the prototype (empty) if no data.
-  S WindowSummary() const {
-    S merged = prototype_;
-    for (const Pane& pane : panes_) {
-      Status s = merged.Merge(pane.summary);
-      GEMS_CHECK(s.ok());
-    }
-    return merged;
-  }
-
-  /// Advances time, expiring panes older than the window.
-  void Advance(uint64_t timestamp) {
-    const uint64_t pane_id = timestamp / pane_width_;
-    if (panes_.empty() || pane_id > panes_.back().id) {
-      panes_.push_back(Pane{pane_id, prototype_});
-    }
-    GEMS_CHECK(pane_id >= panes_.back().id);  // Monotone time.
-    // Live panes are ids in (pane_id - num_panes, pane_id]: the current
-    // (partial) pane plus the num_panes - 1 full panes before it.
-    while (!panes_.empty() && panes_.front().id + num_panes_ <= pane_id) {
-      panes_.pop_front();
-    }
-  }
-
-  size_t NumLivePanes() const { return panes_.size(); }
-  uint64_t WindowSpan() const { return pane_width_ * num_panes_; }
-
- private:
-  struct Pane {
-    uint64_t id;
-    S summary;
-  };
-
-  S prototype_;
-  uint64_t pane_width_;
-  size_t num_panes_;
-  std::deque<Pane> panes_;
-};
-
-}  // namespace gems
+#include "time/pane_ring.h"  // IWYU pragma: export
 
 #endif  // GEMS_ENGINE_SLIDING_WINDOW_H_

@@ -22,13 +22,17 @@ namespace {
 /// damage to engine-level fields (sums, window bounds) is caught just as
 /// reliably as damage inside a sketch envelope.
 constexpr uint32_t kCheckpointMagic = 0x514D4547;  // "GEMQ" little-endian.
-constexpr uint8_t kCheckpointVersion = 1;
+/// Version 2 added the sliding-window fields (the `slide` option in the
+/// fingerprint and the kHasSliding presence bit); version-1 images are
+/// still restorable into non-sliding queries.
+constexpr uint8_t kCheckpointVersion = 2;
 constexpr uint64_t kCheckpointChecksumSeed = 0x474D5351;  // "QSMG".
 
 /// Presence bits for the per-group optional sketches.
 constexpr uint8_t kHasDistinct = 1;
 constexpr uint8_t kHasTop = 2;
 constexpr uint8_t kHasQuantiles = 4;
+constexpr uint8_t kHasSliding = 8;
 
 /// Restores one sketch envelope through the registry, downcasting to the
 /// concrete type the engine expects for this aggregate. The envelope is
@@ -76,7 +80,12 @@ StreamQuery::GroupState& StreamQuery::StateFor(uint64_t group) {
   GroupState& state = groups_[group];
   switch (options_.aggregate) {
     case AggregateKind::kCountDistinct:
-      if (!state.distinct.has_value()) {
+      if (options_.slide > 0) {
+        if (!state.sliding.has_value()) {
+          state.sliding.emplace(options_.hll_precision, options_.slide,
+                                options_.window_size / options_.slide, seed_);
+        }
+      } else if (!state.distinct.has_value()) {
         state.distinct.emplace(options_.hll_precision, seed_);
       }
       break;
@@ -99,6 +108,30 @@ StreamQuery::GroupState& StreamQuery::StateFor(uint64_t group) {
 Status StreamQuery::AdvanceWindow(const StreamEvent& event) {
   if (window_initialized_ && event.timestamp < last_timestamp_) {
     return Status::FailedPrecondition("timestamps must be non-decreasing");
+  }
+  if (options_.slide > 0) {
+    // Sliding mode: current_window_start_ tracks the newest slide
+    // boundary; a crossing emits the trailing window, and groups persist.
+    if (options_.window_size == 0 ||
+        options_.window_size % options_.slide != 0) {
+      return Status::InvalidArgument(
+          "sliding queries need window_size to be a nonzero multiple of "
+          "slide");
+    }
+    if (options_.aggregate != AggregateKind::kCountDistinct) {
+      return Status::Unimplemented(
+          "sliding windows are only supported for COUNT DISTINCT");
+    }
+    const uint64_t boundary =
+        event.timestamp / options_.slide * options_.slide;
+    if (!window_initialized_) {
+      window_initialized_ = true;
+      current_window_start_ = boundary;
+    } else if (boundary > current_window_start_) {
+      EmitSlidingWindow(boundary);
+    }
+    last_timestamp_ = event.timestamp;
+    return Status::Ok();
   }
   if (!window_initialized_) {
     window_initialized_ = true;
@@ -131,7 +164,11 @@ Status StreamQuery::Process(const StreamEvent& event) {
   GroupState& state = StateFor(event.group);
   switch (options_.aggregate) {
     case AggregateKind::kCountDistinct:
-      state.distinct->Update(event.item);
+      if (options_.slide > 0) {
+        state.sliding->UpdateAt(event.timestamp, event.item);
+      } else {
+        state.distinct->Update(event.item);
+      }
       if (live_distinct_ != nullptr) live_distinct_->Update(event.item);
       break;
     case AggregateKind::kTopK:
@@ -148,7 +185,10 @@ Status StreamQuery::Process(const StreamEvent& event) {
 }
 
 Status StreamQuery::ProcessBatch(std::span<const StreamEvent> events) {
-  if (options_.aggregate != AggregateKind::kCountDistinct) {
+  // Sliding mode routes per event (each update carries its timestamp into
+  // the group's pane ring, so there is no pane-oblivious hash-once path).
+  if (options_.aggregate != AggregateKind::kCountDistinct ||
+      options_.slide > 0) {
     for (const StreamEvent& event : events) {
       if (Status s = Process(event); !s.ok()) return s;
     }
@@ -182,7 +222,7 @@ Status StreamQuery::ProcessBatch(std::span<const StreamEvent> events) {
 Status StreamQuery::ProcessBatchParallel(std::span<const StreamEvent> events,
                                          ThreadPool& pool) {
   const size_t num_workers = pool.num_threads();
-  if (num_workers <= 1) return ProcessBatch(events);
+  if (num_workers <= 1 || options_.slide > 0) return ProcessBatch(events);
 
   // One routed update: the owning worker applies item/value to state.
   // Groups are partitioned across workers by hash, so two workers never
@@ -309,6 +349,29 @@ void StreamQuery::CloseWindow(uint64_t next_window_start) {
   if (live_distinct_ != nullptr) live_distinct_->FlushLocal();
 }
 
+void StreamQuery::EmitSlidingWindow(uint64_t boundary) {
+  WindowResult result;
+  result.window_start = boundary >= options_.window_size
+                            ? boundary - options_.window_size
+                            : 0;
+  result.window_end = boundary;
+  for (auto& [group, state] : groups_) {
+    // Advancing to the last instant before the boundary expires panes
+    // older than the window without opening the boundary's own pane; the
+    // memoized WindowSummary() then re-merges only if this group mutated
+    // since the last emission.
+    state.sliding->Advance(boundary - 1);
+    GroupAggregate aggregate;
+    aggregate.group = group;
+    aggregate.scalar = state.sliding->WindowSummary().Estimate();
+    result.groups.push_back(std::move(aggregate));
+  }
+  closed_.push_back(std::move(result));
+  current_window_start_ = boundary;
+  // Same staleness bound as tumbling closes for the live view.
+  if (live_distinct_ != nullptr) live_distinct_->FlushLocal();
+}
+
 std::vector<WindowResult> StreamQuery::Poll() {
   std::vector<WindowResult> out(closed_.begin(), closed_.end());
   closed_.clear();
@@ -317,8 +380,16 @@ std::vector<WindowResult> StreamQuery::Poll() {
 
 std::vector<WindowResult> StreamQuery::Flush() {
   if (window_initialized_ && !groups_.empty()) {
-    CloseWindow(current_window_start_ + std::max<uint64_t>(
-                                            options_.window_size, 1));
+    if (options_.slide > 0) {
+      // Emit the window ending at the next slide boundary (it covers
+      // every event seen); the group table persists, since a sliding
+      // query's window conceptually keeps moving.
+      EmitSlidingWindow((last_timestamp_ / options_.slide + 1) *
+                        options_.slide);
+    } else {
+      CloseWindow(current_window_start_ + std::max<uint64_t>(
+                                              options_.window_size, 1));
+    }
   }
   return Poll();
 }
@@ -333,6 +404,7 @@ std::vector<uint8_t> StreamQuery::SerializeState() const {
   // with an incompatible shape.
   w.PutU8(static_cast<uint8_t>(options_.aggregate));
   w.PutU64(options_.window_size);
+  w.PutU64(options_.slide);
   w.PutU8(static_cast<uint8_t>(options_.hll_precision));
   w.PutVarint(options_.top_k_capacity);
   w.PutVarint(options_.top_k);
@@ -352,9 +424,14 @@ std::vector<uint8_t> StreamQuery::SerializeState() const {
     if (state.distinct.has_value()) present |= kHasDistinct;
     if (state.top.has_value()) present |= kHasTop;
     if (state.quantiles.has_value()) present |= kHasQuantiles;
+    if (state.sliding.has_value()) present |= kHasSliding;
     w.PutU8(present);
     if (state.distinct.has_value()) {
       const std::vector<uint8_t> bytes = state.distinct->Serialize();
+      w.PutBytes(bytes.data(), bytes.size());
+    }
+    if (state.sliding.has_value()) {
+      const std::vector<uint8_t> bytes = state.sliding->Serialize();
       w.PutBytes(bytes.data(), bytes.size());
     }
     if (state.top.has_value()) {
@@ -414,22 +491,25 @@ Status StreamQuery::RestoreState(std::span<const uint8_t> bytes) {
     return Status::Corruption("stream query checkpoint: bad magic");
   }
   if (Status s = r.GetU8(&version); !s.ok()) return s;
-  if (version != kCheckpointVersion) {
+  if (version != 1 && version != kCheckpointVersion) {
     return Status::Corruption(
         "stream query checkpoint: unsupported version");
   }
   uint8_t aggregate, hll_precision;
-  uint64_t window_size, top_capacity, top_k, seed;
+  uint64_t window_size, slide = 0, top_capacity, top_k, seed;
   uint32_t kll_k;
   if (Status s = r.GetU8(&aggregate); !s.ok()) return s;
   if (Status s = r.GetU64(&window_size); !s.ok()) return s;
+  if (version >= 2) {
+    if (Status s = r.GetU64(&slide); !s.ok()) return s;
+  }
   if (Status s = r.GetU8(&hll_precision); !s.ok()) return s;
   if (Status s = r.GetVarint(&top_capacity); !s.ok()) return s;
   if (Status s = r.GetVarint(&top_k); !s.ok()) return s;
   if (Status s = r.GetU32(&kll_k); !s.ok()) return s;
   if (Status s = r.GetU64(&seed); !s.ok()) return s;
   if (aggregate != static_cast<uint8_t>(options_.aggregate) ||
-      window_size != options_.window_size ||
+      window_size != options_.window_size || slide != options_.slide ||
       hll_precision != static_cast<uint8_t>(options_.hll_precision) ||
       top_capacity != options_.top_k_capacity || top_k != options_.top_k ||
       kll_k != options_.kll_k || seed != seed_) {
@@ -455,12 +535,19 @@ Status StreamQuery::RestoreState(std::span<const uint8_t> bytes) {
     if (Status s = r.GetU64(&group); !s.ok()) return s;
     if (Status s = r.GetI64(&state.sum); !s.ok()) return s;
     if (Status s = r.GetU8(&present); !s.ok()) return s;
-    if ((present & ~(kHasDistinct | kHasTop | kHasQuantiles)) != 0) {
+    const uint8_t known = version >= 2
+                              ? kHasDistinct | kHasTop | kHasQuantiles |
+                                    kHasSliding
+                              : kHasDistinct | kHasTop | kHasQuantiles;
+    if ((present & ~known) != 0) {
       return Status::Corruption(
           "stream query checkpoint: unknown sketch presence bits");
     }
     if (present & kHasDistinct) {
       if (Status s = RestoreSketch(&r, &state.distinct); !s.ok()) return s;
+    }
+    if (present & kHasSliding) {
+      if (Status s = RestoreSketch(&r, &state.sliding); !s.ok()) return s;
     }
     if (present & kHasTop) {
       if (Status s = RestoreSketch(&r, &state.top); !s.ok()) return s;

@@ -15,6 +15,7 @@
 #include "distributed/thread_pool.h"
 #include "frequency/space_saving.h"
 #include "quantiles/kll.h"
+#include "time/sliding_hll.h"
 
 /// \file
 /// A miniature stream-query engine in the mold of the network-era systems
@@ -22,8 +23,9 @@
 /// GROUP BY aggregate queries over event streams, where each group's
 /// aggregate is a sketch rather than exact state — the "maintain huge
 /// numbers of sketches in parallel" workload the paper emphasizes.
-/// Supports filters, tumbling windows, and three sketch aggregates
-/// (COUNT DISTINCT via HLL, TOP-K via SpaceSaving, QUANTILES via KLL).
+/// Supports filters, tumbling windows, sliding windows (COUNT DISTINCT
+/// over a pane ring), and three sketch aggregates (COUNT DISTINCT via
+/// HLL, TOP-K via SpaceSaving, QUANTILES via KLL).
 
 namespace gems {
 
@@ -70,6 +72,13 @@ class StreamQuery {
     /// Tumbling window size in timestamp units; 0 = one unbounded window
     /// (results only via Flush()).
     uint64_t window_size = 0;
+    /// Sliding mode: when nonzero, a result covering the trailing
+    /// window_size units is emitted every `slide` units instead of the
+    /// window tumbling. Requires window_size > 0 with window_size a
+    /// multiple of slide, and (for now) aggregate == kCountDistinct —
+    /// each group's state becomes a SlidingHyperLogLog pane ring with
+    /// pane_width = slide, and groups persist across slide boundaries.
+    uint64_t slide = 0;
     /// HLL precision for kCountDistinct.
     int hll_precision = 12;
     /// SpaceSaving capacity and reported k for kTopK.
@@ -154,6 +163,7 @@ class StreamQuery {
  private:
   struct GroupState {
     std::optional<HyperLogLog> distinct;
+    std::optional<SlidingHyperLogLog> sliding;  // Sliding kCountDistinct.
     std::optional<SpaceSaving> top;
     std::optional<KllSketch> quantiles;
     int64_t sum = 0;
@@ -165,6 +175,9 @@ class StreamQuery {
   Status AdvanceWindow(const StreamEvent& event);
   bool PassesFilters(const StreamEvent& event) const;
   void CloseWindow(uint64_t next_window_start);
+  /// Sliding mode: emits the window ending at `boundary` (exclusive) over
+  /// every group's pane ring, without clearing the group table.
+  void EmitSlidingWindow(uint64_t boundary);
   GroupAggregate Snapshot(uint64_t group, const GroupState& state) const;
 
   Options options_;

@@ -116,9 +116,15 @@
 #include "ml/fetchsgd.h"
 #include "ml/linear_model.h"
 
+// Time dimension: pane-ring sliding windows, decayed counts, the
+// exponential histogram.
+#include "time/decayed_count_min.h"
+#include "time/exponential_histogram.h"
+#include "time/pane_ring.h"
+#include "time/sliding_count_min.h"
+#include "time/sliding_hll.h"
+
 // Streaming engine.
-#include "engine/exponential_histogram.h"
-#include "engine/sliding_window.h"
 #include "engine/stream_query.h"
 
 // Distributed: merge trees, pipelines, concurrent wrappers.

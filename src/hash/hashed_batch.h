@@ -88,24 +88,35 @@ class HashedBatch {
 
   /// Re-points the batch at new items, reusing the hash buffer's capacity
   /// (the engine calls this once per event chunk, steady-state
-  /// allocation-free).
+  /// allocation-free). Drops any attached timestamp column.
   void Reset(std::span<const uint64_t> items, uint64_t seed) {
     items_ = items;
     seed_ = seed;
+    timestamps_ = {};
     hashes_.resize(items.size());
     HashBatch(items, seed, hashes_.data());
+  }
+
+  /// Attaches a borrowed timestamp column paralleling items() (one
+  /// timestamp per item, same order). Timed sketches segment the batch by
+  /// pane with it; untimed consumers ignore it.
+  void AttachTimestamps(std::span<const uint64_t> timestamps) {
+    timestamps_ = timestamps;
   }
 
   uint64_t seed() const { return seed_; }
   size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
+  bool has_timestamps() const { return !timestamps_.empty(); }
 
   std::span<const uint64_t> items() const { return items_; }
   std::span<const uint64_t> hashes() const { return hashes_; }
+  std::span<const uint64_t> timestamps() const { return timestamps_; }
 
  private:
   uint64_t seed_ = 0;
   std::span<const uint64_t> items_;
+  std::span<const uint64_t> timestamps_;
   std::vector<uint64_t> hashes_;
 };
 

@@ -198,6 +198,23 @@ Status GemsdClient::Create(const std::string& key,
   return RoundTrip(request, &response, &frame);
 }
 
+Status GemsdClient::CreateTimed(const std::string& key,
+                                const std::string& sketch_type,
+                                uint64_t pane_width, uint32_t num_panes,
+                                double half_life) {
+  Request request;
+  request.opcode = Opcode::kCreate;
+  request.key = key;
+  request.sketch_type = sketch_type;
+  request.has_timed_params = true;
+  request.pane_width = pane_width;
+  request.num_panes = num_panes;
+  request.half_life = half_life;
+  Response response;
+  std::vector<uint8_t> frame;
+  return RoundTrip(request, &response, &frame);
+}
+
 Status GemsdClient::Drop(const std::string& key) {
   Request request;
   request.opcode = Opcode::kDrop;
@@ -228,6 +245,23 @@ Status GemsdClient::Update(const std::string& key,
   request.opcode = Opcode::kUpdate;
   request.key = key;
   request.items = items;
+  Response response;
+  std::vector<uint8_t> frame;
+  return RoundTrip(request, &response, &frame);
+}
+
+Status GemsdClient::UpdateTimed(const std::string& key,
+                                std::span<const uint64_t> items,
+                                std::span<const uint64_t> timestamps) {
+  if (timestamps.size() != items.size()) {
+    return Status::InvalidArgument(
+        "timestamp column must parallel the item column");
+  }
+  Request request;
+  request.opcode = Opcode::kUpdate;
+  request.key = key;
+  request.items = items;
+  request.timestamps = timestamps;
   Response response;
   std::vector<uint8_t> frame;
   return RoundTrip(request, &response, &frame);

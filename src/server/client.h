@@ -46,6 +46,13 @@ class GemsdClient {
   /// Creates `key` as a default-parameter sketch of the named type.
   Status Create(const std::string& key, const std::string& sketch_type);
 
+  /// Creates `key` with explicit window/decay parameters for the time
+  /// family (pane_width/num_panes for sliding types, half_life for the
+  /// decayed Count-Min; zero-valued fields fall back to library defaults).
+  Status CreateTimed(const std::string& key, const std::string& sketch_type,
+                     uint64_t pane_width, uint32_t num_panes,
+                     double half_life = 0.0);
+
   /// Drops `key`.
   Status Drop(const std::string& key);
 
@@ -60,6 +67,13 @@ class GemsdClient {
 
   /// Batched ingest; once this returns Ok the items are query-visible.
   Status Update(const std::string& key, std::span<const uint64_t> items);
+
+  /// Batched timestamped ingest: `timestamps[i]` is the event time of
+  /// `items[i]` (same length required). Timed sketch families advance
+  /// their window/decay clocks; untimed families ignore the column.
+  Status UpdateTimed(const std::string& key,
+                     std::span<const uint64_t> items,
+                     std::span<const uint64_t> timestamps);
 
   /// Pipelined round trips: encodes every request (ids assigned here),
   /// ships them in ONE send, then drains the responses in id order — the

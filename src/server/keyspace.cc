@@ -57,12 +57,18 @@ Keyspace::Shard& Keyspace::ShardFor(const std::string& key) {
 }
 
 Status Keyspace::Create(const std::string& key,
-                        const std::string& sketch_type) {
+                        const std::string& sketch_type,
+                        const TimedSketchParams& params) {
   if (key.empty()) {
     return Status::InvalidArgument("key must be non-empty");
   }
+  const bool timed = params.pane_width != 0 || params.num_panes != 0 ||
+                     params.half_life != 0.0;
   Result<ConcurrentAnySketch> sketch =
-      ConcurrentAnySketch::MakeByName(sketch_type, options_.sketch_options);
+      timed ? ConcurrentAnySketch::MakeTimedByName(sketch_type, params,
+                                                   options_.sketch_options)
+            : ConcurrentAnySketch::MakeByName(sketch_type,
+                                              options_.sketch_options);
   if (!sketch.ok()) return sketch.status();
   if (options_.max_keys != 0 && size() >= options_.max_keys) {
     return Status::ResourceExhausted(
@@ -89,12 +95,16 @@ Status Keyspace::Drop(const std::string& key) {
 }
 
 Status Keyspace::Update(const std::string& key,
-                        std::span<const uint64_t> items) {
+                        std::span<const uint64_t> items,
+                        std::span<const uint64_t> timestamps) {
   Shard& shard = ShardFor(key);
   std::shared_lock<std::shared_mutex> lock(shard.mutex);
   auto it = shard.keys.find(key);
   if (it == shard.keys.end()) {
     return Status::NotFound("no key '" + key + "'");
+  }
+  if (!timestamps.empty()) {
+    return it->second.ApplyBatchTimed(timestamps, items);
   }
   return it->second.ApplyBatch(items);
 }

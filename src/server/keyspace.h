@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "core/io.h"
+#include "core/registry.h"
 #include "distributed/concurrent/concurrent_any.h"
 #include "server/protocol.h"
 
@@ -63,17 +64,23 @@ class Keyspace {
   Keyspace(const Keyspace&) = delete;
   Keyspace& operator=(const Keyspace&) = delete;
 
-  /// Creates `key` holding a default-parameter sketch of the named
-  /// registered type. kAlreadyExists if the key is live, kNotFound for an
-  /// unknown type name, kResourceExhausted at the max_keys cap.
-  Status Create(const std::string& key, const std::string& sketch_type);
+  /// Creates `key` holding a sketch of the named registered type. An
+  /// all-default `params` builds the type's default prototype; any nonzero
+  /// window/decay field routes through the registry's timed factory
+  /// (kNotFound when the type has none, kInvalidArgument for parameters
+  /// the family rejects). kAlreadyExists if the key is live,
+  /// kResourceExhausted at the max_keys cap.
+  Status Create(const std::string& key, const std::string& sketch_type,
+                const TimedSketchParams& params = {});
 
   /// Removes `key`. kNotFound if absent.
   Status Drop(const std::string& key);
 
   /// Batched ingest into `key`; ack-visible on return. kNotFound if
-  /// absent.
-  Status Update(const std::string& key, std::span<const uint64_t> items);
+  /// absent. A non-empty `timestamps` column (paralleling `items`) routes
+  /// through the timed ingest path; untimed sketch families ignore it.
+  Status Update(const std::string& key, std::span<const uint64_t> items,
+                std::span<const uint64_t> timestamps = {});
 
   /// Fans a serialized sketch envelope into `key`'s live state, zero-copy
   /// for families with a view merge. `trusted` selects WrapTrusted

@@ -1,5 +1,7 @@
 #include "server/protocol.h"
 
+#include <cmath>
+
 
 namespace gems {
 namespace server {
@@ -92,6 +94,16 @@ void EncodeRequest(const Request& request, std::vector<uint8_t>* out) {
     case Opcode::kCreate:
       sink.PutString(request.key);
       sink.PutString(request.sketch_type);
+      // Window/decay parameters are a tail extension: absent entirely for
+      // an untimed create (byte-identical to the pre-time protocol, so an
+      // old daemon still serves it); readers treat an absent tail as "no
+      // timed params".
+      if (request.has_timed_params) {
+        sink.PutU8(1);
+        sink.PutU64(request.pane_width);
+        sink.PutU32(request.num_panes);
+        sink.PutDouble(request.half_life);
+      }
       break;
     case Opcode::kDrop:
       sink.PutString(request.key);
@@ -104,6 +116,12 @@ void EncodeRequest(const Request& request, std::vector<uint8_t>* out) {
       sink.PutString(request.key);
       sink.PutU32(static_cast<uint32_t>(request.items.size()));
       for (uint64_t item : request.items) sink.PutU64(item);
+      // Timestamp column, tail extension like kCreate's params: absent
+      // entirely for an untimed update.
+      if (!request.timestamps.empty()) {
+        sink.PutU8(1);
+        for (uint64_t timestamp : request.timestamps) sink.PutU64(timestamp);
+      }
       break;
     case Opcode::kMerge:
       sink.PutString(request.key);
@@ -125,9 +143,11 @@ void EncodeRequest(const Request& request, std::vector<uint8_t>* out) {
 }
 
 Status DecodeRequest(ByteSpan body, Request* out,
-                     std::vector<uint64_t>* items_scratch) {
+                     std::vector<uint64_t>* items_scratch,
+                     std::vector<uint64_t>* timestamps_scratch) {
   *out = Request{};
   items_scratch->clear();
+  timestamps_scratch->clear();
   ByteReader reader(body);
   uint8_t opcode_raw = 0;
   if (Status s = DecodeCommonHeader(reader, &out->version, &opcode_raw,
@@ -144,10 +164,27 @@ Status DecodeRequest(ByteSpan body, Request* out,
     case Opcode::kPing:
     case Opcode::kCheckpoint:
       break;
-    case Opcode::kCreate:
+    case Opcode::kCreate: {
       if (Status s = reader.GetString(&out->key); !s.ok()) return s;
       if (Status s = reader.GetString(&out->sketch_type); !s.ok()) return s;
+      if (reader.AtEnd()) break;  // Old-style frame: no timed params tail.
+      uint8_t has_params = 0;
+      if (Status s = reader.GetU8(&has_params); !s.ok()) return s;
+      if (has_params > 1) {
+        return Status::Corruption("create timed-params flag must be 0 or 1");
+      }
+      if (has_params != 0) {
+        out->has_timed_params = true;
+        if (Status s = reader.GetU64(&out->pane_width); !s.ok()) return s;
+        if (Status s = reader.GetU32(&out->num_panes); !s.ok()) return s;
+        if (Status s = reader.GetDouble(&out->half_life); !s.ok()) return s;
+        if (!std::isfinite(out->half_life) || out->half_life < 0.0) {
+          return Status::Corruption(
+              "create half_life must be finite and >= 0");
+        }
+      }
       break;
+    }
     case Opcode::kDrop:
       if (Status s = reader.GetString(&out->key); !s.ok()) return s;
       break;
@@ -167,6 +204,24 @@ Status DecodeRequest(ByteSpan body, Request* out,
         if (Status s = reader.GetU64(&(*items_scratch)[i]); !s.ok()) return s;
       }
       out->items = std::span<const uint64_t>(*items_scratch);
+      if (reader.AtEnd()) break;  // Old-style frame: no timestamp tail.
+      uint8_t has_timestamps = 0;
+      if (Status s = reader.GetU8(&has_timestamps); !s.ok()) return s;
+      if (has_timestamps > 1) {
+        return Status::Corruption("update timestamp flag must be 0 or 1");
+      }
+      if (has_timestamps != 0) {
+        if (static_cast<size_t>(count) * 8 > reader.remaining()) {
+          return Status::Corruption("update timestamp column exceeds frame");
+        }
+        timestamps_scratch->resize(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          if (Status s = reader.GetU64(&(*timestamps_scratch)[i]); !s.ok()) {
+            return s;
+          }
+        }
+        out->timestamps = std::span<const uint64_t>(*timestamps_scratch);
+      }
       break;
     }
     case Opcode::kMerge:

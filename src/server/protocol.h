@@ -101,8 +101,18 @@ struct Request {
   /// kList: key prefix filter and result cap (0 = server default).
   std::string prefix;
   uint32_t limit = 0;
+  /// kCreate: optional window/decay parameters for the time family
+  /// (encoded only when has_timed_params is set; zero-valued fields fall
+  /// back to library defaults).
+  bool has_timed_params = false;
+  uint64_t pane_width = 0;
+  uint32_t num_panes = 0;
+  double half_life = 0.0;
   /// kUpdate: the batch of 64-bit items.
   std::span<const uint64_t> items;
+  /// kUpdate: optional timestamp column paralleling `items` (empty when
+  /// the update is untimed).
+  std::span<const uint64_t> timestamps;
   /// kMerge: a serialized sketch envelope. kRestore: a checkpoint image.
   ByteSpan blob;
   /// kQuery: when has_item is set, a per-item (frequency) probe.
@@ -153,13 +163,15 @@ void EncodeRequest(const Request& request, std::vector<uint8_t>* out);
 
 /// Decodes a request body (the frame body, prefix already stripped).
 /// UPDATE items are unpacked into `*items_scratch` (cleared first) and
-/// `out->items` points into it; `out->blob` borrows `body`. Unknown
-/// opcodes decode the header then return kUnimplemented with `out->id`
-/// filled, so the server can still answer with a typed error frame;
-/// every other failure is kCorruption/kInvalidArgument and the caller
-/// should drop the connection.
+/// `out->items` points into it; a timestamp column, when present, is
+/// unpacked into `*timestamps_scratch` the same way; `out->blob` borrows
+/// `body`. Unknown opcodes decode the header then return kUnimplemented
+/// with `out->id` filled, so the server can still answer with a typed
+/// error frame; every other failure is kCorruption/kInvalidArgument and
+/// the caller should drop the connection.
 Status DecodeRequest(ByteSpan body, Request* out,
-                     std::vector<uint64_t>* items_scratch);
+                     std::vector<uint64_t>* items_scratch,
+                     std::vector<uint64_t>* timestamps_scratch);
 
 /// Appends one framed response to `out` (length prefix included).
 void EncodeResponse(const Response& response, std::vector<uint8_t>* out);

@@ -52,9 +52,11 @@ struct Connection {
   std::vector<uint8_t> write_buffer;
   size_t write_pos = 0;
   bool want_write = false;
-  /// Reused per-request scratch: decoded UPDATE items and checkpoint
-  /// payloads, so a busy connection allocates only on high-water growth.
+  /// Reused per-request scratch: decoded UPDATE items (plus an optional
+  /// timestamp column) and checkpoint payloads, so a busy connection
+  /// allocates only on high-water growth.
   std::vector<uint64_t> items_scratch;
+  std::vector<uint64_t> timestamps_scratch;
   std::vector<uint8_t> arena;
 };
 
@@ -80,9 +82,16 @@ void HandleRequest(Keyspace& keyspace, const Request& request,
   switch (request.opcode) {
     case Opcode::kPing:
       break;
-    case Opcode::kCreate:
-      status = keyspace.Create(request.key, request.sketch_type);
+    case Opcode::kCreate: {
+      TimedSketchParams params;
+      if (request.has_timed_params) {
+        params.pane_width = request.pane_width;
+        params.num_panes = request.num_panes;
+        params.half_life = request.half_life;
+      }
+      status = keyspace.Create(request.key, request.sketch_type, params);
       break;
+    }
     case Opcode::kDrop:
       status = keyspace.Drop(request.key);
       break;
@@ -94,7 +103,8 @@ void HandleRequest(Keyspace& keyspace, const Request& request,
       break;
     }
     case Opcode::kUpdate:
-      status = keyspace.Update(request.key, request.items);
+      status =
+          keyspace.Update(request.key, request.items, request.timestamps);
       break;
     case Opcode::kMerge:
       status = keyspace.Merge(request.key, request.blob,
@@ -288,8 +298,8 @@ void Server::RunLoop(Loop& loop) {
       }
       if (consumed == 0) break;  // Incomplete frame: wait for more bytes.
       Request request;
-      const Status decoded =
-          DecodeRequest(body, &request, &conn.items_scratch);
+      const Status decoded = DecodeRequest(
+          body, &request, &conn.items_scratch, &conn.timestamps_scratch);
       Response response;
       if (decoded.ok()) {
         HandleRequest(*keyspace_, request, &response, &conn.arena);

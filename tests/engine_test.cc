@@ -578,5 +578,156 @@ TEST(SlidingWindowTest, PaneCountStaysBounded) {
   }
 }
 
+TEST(SlidingStreamQueryTest, EmitsTrailingWindowAtEachSlideBoundary) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  options.window_size = 30;
+  options.slide = 10;
+  StreamQuery query(options, 7);
+  // 5 distinct items per 10-unit slide, all in group 0.
+  for (uint64_t t = 0; t < 60; ++t) {
+    ASSERT_TRUE(query.Process(Event(t, 0, t / 2)).ok());
+  }
+  const auto closed = query.Poll();
+  // Crossings at t = 10, 20, 30, 40, 50 emitted windows ending there.
+  ASSERT_EQ(closed.size(), 5u);
+  EXPECT_EQ(closed[0].window_start, 0u);
+  EXPECT_EQ(closed[0].window_end, 10u);
+  EXPECT_NEAR(closed[0].groups[0].scalar, 5.0, 1.0);
+  // Once the stream outruns the window, results cover [end - 30, end) and
+  // old slides' items have been expired from the pane ring.
+  EXPECT_EQ(closed[4].window_start, 20u);
+  EXPECT_EQ(closed[4].window_end, 50u);
+  EXPECT_NEAR(closed[4].groups[0].scalar, 15.0, 2.0);
+  // Groups persist across slides instead of tumbling away.
+  EXPECT_EQ(query.NumOpenGroups(), 1u);
+  // Flush emits one final window ending at the next boundary.
+  const auto last = query.Flush();
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].window_end, 60u);
+  EXPECT_NEAR(last[0].groups[0].scalar, 15.0, 2.0);
+}
+
+TEST(SlidingStreamQueryTest, TracksBruteForcePerGroupDistincts) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  options.window_size = 40;
+  options.slide = 8;
+  StreamQuery query(options, 11);
+  std::vector<StreamEvent> events;
+  uint64_t state = 99;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (uint64_t t = 0; t < 400; ++t) {
+    for (int i = 0; i < 3; ++i) {
+      events.push_back(Event(t, next() % 4, next() % 97));
+    }
+  }
+  for (const StreamEvent& event : events) {
+    ASSERT_TRUE(query.Process(event).ok());
+  }
+  const auto closed = query.Poll();
+  ASSERT_FALSE(closed.empty());
+  for (const WindowResult& window : closed) {
+    // Window covers whole panes: timestamps in [start, end).
+    std::unordered_map<uint64_t, std::set<uint64_t>> exact;
+    for (const StreamEvent& event : events) {
+      if (event.timestamp >= window.window_start &&
+          event.timestamp < window.window_end) {
+        exact[event.group].insert(event.item);
+      }
+    }
+    for (const GroupAggregate& aggregate : window.groups) {
+      const auto it = exact.find(aggregate.group);
+      const double truth =
+          it == exact.end() ? 0.0 : static_cast<double>(it->second.size());
+      EXPECT_NEAR(aggregate.scalar, truth, std::max(2.0, 0.15 * truth))
+          << "group " << aggregate.group << " window ["
+          << window.window_start << ", " << window.window_end << ")";
+    }
+  }
+}
+
+TEST(SlidingStreamQueryTest, ValidatesSlideGeometryAndAggregate) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  options.window_size = 10;
+  options.slide = 7;  // Not a divisor of window_size.
+  StreamQuery bad_geometry(options, 1);
+  EXPECT_EQ(bad_geometry.Process(Event(0, 0, 0)).code(),
+            StatusCode::kInvalidArgument);
+
+  options.window_size = 14;
+  options.aggregate = AggregateKind::kTopK;
+  StreamQuery bad_aggregate(options, 1);
+  EXPECT_EQ(bad_aggregate.Process(Event(0, 0, 0)).code(),
+            StatusCode::kUnimplemented);
+
+  // Sliding queries still enforce stream order.
+  options.aggregate = AggregateKind::kCountDistinct;
+  StreamQuery ordered(options, 1);
+  ASSERT_TRUE(ordered.Process(Event(50, 0, 0)).ok());
+  EXPECT_EQ(ordered.Process(Event(49, 0, 1)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SlidingStreamQueryTest, BatchIngestMatchesPerEventExactly) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  options.window_size = 20;
+  options.slide = 5;
+  std::vector<StreamEvent> events;
+  for (uint64_t t = 0; t < 100; ++t) {
+    events.push_back(Event(t, t % 3, (t * 17) % 41));
+  }
+  StreamQuery per_event(options, 13);
+  for (const StreamEvent& event : events) {
+    ASSERT_TRUE(per_event.Process(event).ok());
+  }
+  StreamQuery batched(options, 13);
+  ASSERT_TRUE(batched.ProcessBatch(events).ok());
+  EXPECT_EQ(batched.SerializeState(), per_event.SerializeState());
+}
+
+TEST(SlidingStreamQueryTest, CheckpointRoundTripsPaneRings) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  options.window_size = 30;
+  options.slide = 10;
+  StreamQuery query(options, 17);
+  for (uint64_t t = 0; t < 47; ++t) {
+    ASSERT_TRUE(query.Process(Event(t, t % 2, t * 3)).ok());
+  }
+  (void)query.Poll();
+  const std::vector<uint8_t> checkpoint = query.SerializeState();
+
+  StreamQuery restored(options, 17);
+  ASSERT_TRUE(restored.RestoreState(checkpoint).ok());
+  EXPECT_EQ(restored.SerializeState(), checkpoint);
+
+  // Both copies must agree bit-for-bit on the rest of the stream.
+  for (uint64_t t = 47; t < 80; ++t) {
+    const StreamEvent event = Event(t, t % 2, t * 3);
+    ASSERT_TRUE(query.Process(event).ok());
+    ASSERT_TRUE(restored.Process(event).ok());
+  }
+  EXPECT_EQ(restored.SerializeState(), query.SerializeState());
+  const auto expected = query.Flush();
+  const auto actual = restored.Flush();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].window_end, expected[i].window_end);
+    ASSERT_EQ(actual[i].groups.size(), expected[i].groups.size());
+    for (size_t g = 0; g < expected[i].groups.size(); ++g) {
+      EXPECT_DOUBLE_EQ(actual[i].groups[g].scalar,
+                       expected[i].groups[g].scalar);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gems

@@ -206,7 +206,8 @@ TEST_F(ProtocolTest, RequestCodecRoundTripsEveryOpcode) {
 
     Request decoded;
     std::vector<uint64_t> scratch;
-    ASSERT_TRUE(DecodeRequest(body, &decoded, &scratch).ok())
+    std::vector<uint64_t> ts_scratch;
+    ASSERT_TRUE(DecodeRequest(body, &decoded, &scratch, &ts_scratch).ok())
         << OpcodeName(original.opcode);
     EXPECT_EQ(decoded.opcode, original.opcode);
     EXPECT_EQ(decoded.id, original.id);
@@ -299,30 +300,34 @@ TEST_F(ProtocolTest, DecodeRejectsMalformedRequests) {
 
   Request out;
   std::vector<uint64_t> scratch;
+  std::vector<uint64_t> ts_scratch;
 
   // Truncation at every split point inside the body.
   for (size_t cut = 0; cut < body.size(); ++cut) {
-    EXPECT_FALSE(DecodeRequest(body.subspan(0, cut), &out, &scratch).ok())
+    EXPECT_FALSE(
+        DecodeRequest(body.subspan(0, cut), &out, &scratch, &ts_scratch).ok())
         << "cut at " << cut;
   }
 
   // Trailing garbage after a valid body.
   std::vector<uint8_t> padded(body.begin(), body.end());
   padded.push_back(0xAB);
-  EXPECT_EQ(DecodeRequest(ByteSpan(padded), &out, &scratch).code(),
+  EXPECT_EQ(DecodeRequest(ByteSpan(padded), &out, &scratch, &ts_scratch)
+                .code(),
             StatusCode::kCorruption);
 
   // Bad version byte.
   std::vector<uint8_t> bad_version(body.begin(), body.end());
   bad_version[0] = 99;
-  EXPECT_EQ(DecodeRequest(ByteSpan(bad_version), &out, &scratch).code(),
+  EXPECT_EQ(DecodeRequest(ByteSpan(bad_version), &out, &scratch, &ts_scratch)
+                .code(),
             StatusCode::kCorruption);
 
   // Unknown opcode: typed kUnimplemented with the id preserved, so the
   // server can answer instead of dropping the connection.
   std::vector<uint8_t> bad_opcode(body.begin(), body.end());
   bad_opcode[1] = 200;
-  Status s = DecodeRequest(ByteSpan(bad_opcode), &out, &scratch);
+  Status s = DecodeRequest(ByteSpan(bad_opcode), &out, &scratch, &ts_scratch);
   EXPECT_EQ(s.code(), StatusCode::kUnimplemented);
   EXPECT_EQ(out.id, 1u);
 
@@ -339,7 +344,7 @@ TEST_F(ProtocolTest, DecodeRejectsMalformedRequests) {
   lying_frame[count_at + 1] = 0xFF;
   EXPECT_EQ(DecodeRequest(
                 ByteSpan(lying_frame.data() + 4, lying_frame.size() - 4),
-                &out, &scratch)
+                &out, &scratch, &ts_scratch)
                 .code(),
             StatusCode::kCorruption);
 }
@@ -348,13 +353,14 @@ TEST_F(ProtocolTest, DecodeRejectsGarbageBytes) {
   SplitMix64 rng(3);
   Request out;
   std::vector<uint64_t> scratch;
+  std::vector<uint64_t> ts_scratch;
   Response response_out;
   for (int trial = 0; trial < 200; ++trial) {
     std::vector<uint8_t> garbage(1 + static_cast<size_t>(rng.Next() % 64));
     for (uint8_t& b : garbage) b = static_cast<uint8_t>(rng.Next());
     // Must never crash; almost always rejects (a random body is valid
     // only if it happens to spell a full well-formed request).
-    (void)DecodeRequest(ByteSpan(garbage), &out, &scratch);
+    (void)DecodeRequest(ByteSpan(garbage), &out, &scratch, &ts_scratch);
     (void)DecodeResponse(ByteSpan(garbage), &response_out);
   }
 }
@@ -845,6 +851,256 @@ TEST_F(LoopbackTest, MalformedFramesCloseConnectionOthersKeepServing) {
 
   // The well-behaved connection is unaffected.
   EXPECT_TRUE(good.value().Ping().ok());
+  server.Stop();
+}
+
+// --------------------------------------------------------- time family
+
+TEST_F(ProtocolTest, TimedCreateAndUpdateTailsRoundTrip) {
+  // CREATE carrying window/decay parameters.
+  Request create;
+  create.opcode = Opcode::kCreate;
+  create.id = 21;
+  create.key = "edges";
+  create.sketch_type = "sliding_hyperloglog";
+  create.has_timed_params = true;
+  create.pane_width = 60;
+  create.num_panes = 10;
+  create.half_life = 0.0;
+
+  // UPDATE carrying a parallel timestamp column.
+  const std::vector<uint64_t> items = Items(64, 2);
+  std::vector<uint64_t> timestamps;
+  for (uint64_t i = 0; i < items.size(); ++i) timestamps.push_back(i * 3);
+  Request update;
+  update.opcode = Opcode::kUpdate;
+  update.id = 22;
+  update.key = "edges";
+  update.items = items;
+  update.timestamps = timestamps;
+
+  for (const Request* original : {&create, &update}) {
+    std::vector<uint8_t> frame;
+    EncodeRequest(*original, &frame);
+    ByteSpan body;
+    size_t consumed = 0;
+    ASSERT_TRUE(SplitFrame(ByteSpan(frame), kDefaultMaxFrameBytes, &body,
+                           &consumed)
+                    .ok());
+    Request decoded;
+    std::vector<uint64_t> scratch, ts_scratch;
+    ASSERT_TRUE(DecodeRequest(body, &decoded, &scratch, &ts_scratch).ok());
+    EXPECT_EQ(decoded.has_timed_params, original->has_timed_params);
+    EXPECT_EQ(decoded.pane_width, original->pane_width);
+    EXPECT_EQ(decoded.num_panes, original->num_panes);
+    EXPECT_DOUBLE_EQ(decoded.half_life, original->half_life);
+    ASSERT_EQ(decoded.timestamps.size(), original->timestamps.size());
+    EXPECT_TRUE(std::equal(decoded.timestamps.begin(),
+                           decoded.timestamps.end(),
+                           original->timestamps.begin()));
+  }
+
+  // An untimed CREATE/UPDATE encodes with no tail at all, so the frame is
+  // byte-identical to the pre-time protocol: the last field is the item
+  // count + payload for UPDATE, the type string for CREATE.
+  Request plain;
+  plain.opcode = Opcode::kUpdate;
+  plain.id = 23;
+  plain.key = "edges";
+  plain.items = items;
+  std::vector<uint8_t> plain_frame;
+  EncodeRequest(plain, &plain_frame);
+  Request timed_empty = plain;
+  timed_empty.timestamps = {};  // Explicitly empty == absent.
+  std::vector<uint8_t> timed_frame;
+  EncodeRequest(timed_empty, &timed_frame);
+  EXPECT_EQ(plain_frame, timed_frame);
+
+  // Truncating inside the timestamp column is a decode error, not a
+  // silent fallback to the untimed shape.
+  std::vector<uint8_t> frame;
+  EncodeRequest(update, &frame);
+  ByteSpan body;
+  size_t consumed = 0;
+  ASSERT_TRUE(SplitFrame(ByteSpan(frame), kDefaultMaxFrameBytes, &body,
+                         &consumed)
+                  .ok());
+  Request decoded;
+  std::vector<uint64_t> scratch, ts_scratch;
+  EXPECT_FALSE(DecodeRequest(ByteSpan(body.data(), body.size() - 5),
+                             &decoded, &scratch, &ts_scratch)
+                   .ok());
+}
+
+TEST_F(KeyspaceTest, TimedCreateUpdateQueryLifecycle) {
+  Keyspace keyspace;
+  TimedSketchParams window;
+  window.pane_width = 10;
+  window.num_panes = 6;
+  ASSERT_TRUE(keyspace.Create("edges", "sliding_hyperloglog", window).ok());
+  TimedSketchParams decay;
+  decay.half_life = 100.0;
+  ASSERT_TRUE(keyspace.Create("flows", "decayed_countmin", decay).ok());
+
+  // Timed params on a family without a timed factory are NotFound.
+  EXPECT_EQ(keyspace.Create("bad", "hyperloglog", window).code(),
+            StatusCode::kNotFound);
+  // And invalid params surface the factory's typed error.
+  TimedSketchParams contradictory;
+  contradictory.pane_width = 10;
+  contradictory.half_life = 5.0;
+  EXPECT_EQ(
+      keyspace.Create("bad", "sliding_hyperloglog", contradictory).code(),
+      StatusCode::kInvalidArgument);
+
+  // 30 distinct items per 10-unit pane for 12 panes; only the trailing 6
+  // panes (60 units) are visible.
+  std::vector<uint64_t> items, timestamps;
+  for (uint64_t t = 0; t < 120; ++t) {
+    for (int i = 0; i < 3; ++i) {
+      timestamps.push_back(t);
+      items.push_back(t * 3 + i);
+    }
+  }
+  ASSERT_TRUE(keyspace.Update("edges", items, timestamps).ok());
+  Result<QueryResult> windowed = keyspace.Query("edges", false, 0, 0.95);
+  ASSERT_TRUE(windowed.ok());
+  ASSERT_TRUE(windowed.value().has_estimate);
+  EXPECT_NEAR(windowed.value().estimate.value, 180.0, 25.0);
+
+  // Decayed frequency: weight deposited at t=0 halves by t=100.
+  std::vector<uint64_t> sevens(64, 7);
+  std::vector<uint64_t> zeros(64, 0);
+  ASSERT_TRUE(keyspace.Update("flows", sevens, zeros).ok());
+  std::vector<uint64_t> late(1, 9);
+  std::vector<uint64_t> late_ts(1, 100);
+  ASSERT_TRUE(keyspace.Update("flows", late, late_ts).ok());
+  Result<QueryResult> decayed = keyspace.Query("flows", true, 7, 0.95);
+  ASSERT_TRUE(decayed.ok());
+  ASSERT_TRUE(decayed.value().has_estimate);
+  EXPECT_NEAR(decayed.value().estimate.value, 32.0, 0.5);
+
+  // A ragged timestamp column is rejected without mutating the key.
+  EXPECT_EQ(keyspace.Update("flows", sevens, late_ts).code(),
+            StatusCode::kInvalidArgument);
+  Result<QueryResult> unchanged = keyspace.Query("flows", true, 7, 0.95);
+  ASSERT_TRUE(unchanged.ok());
+  EXPECT_DOUBLE_EQ(unchanged.value().estimate.value,
+                   decayed.value().estimate.value);
+}
+
+TEST_F(KeyspaceTest, TimedCheckpointRestoreRoundTripsBytes) {
+  KeyspaceOptions options;
+  options.num_shards = 4;
+  Keyspace keyspace(options);
+  TimedSketchParams window;
+  window.pane_width = 5;
+  window.num_panes = 8;
+  ASSERT_TRUE(keyspace.Create("edges", "sliding_hyperloglog", window).ok());
+  ASSERT_TRUE(keyspace.Create("panes", "sliding_countmin", window).ok());
+  TimedSketchParams decay;
+  decay.half_life = 42.0;
+  ASSERT_TRUE(keyspace.Create("flows", "decayed_countmin", decay).ok());
+  ASSERT_TRUE(keyspace.Create("plain", "hyperloglog").ok());
+
+  const std::vector<uint64_t> items = Items(3000, 13);
+  std::vector<uint64_t> timestamps;
+  for (uint64_t i = 0; i < items.size(); ++i) timestamps.push_back(i / 50);
+  ASSERT_TRUE(keyspace.Update("edges", items, timestamps).ok());
+  ASSERT_TRUE(keyspace.Update("panes", items, timestamps).ok());
+  ASSERT_TRUE(keyspace.Update("flows", items, timestamps).ok());
+  ASSERT_TRUE(keyspace.Update("plain", items).ok());
+
+  std::vector<uint8_t> image;
+  ByteSink sink(&image);
+  ASSERT_TRUE(keyspace.Checkpoint(sink).ok());
+
+  Keyspace restored(options);
+  ASSERT_TRUE(restored.Restore(ByteSpan(image)).ok());
+  EXPECT_EQ(restored.size(), 4u);
+
+  // The restored pane rings and decay clocks checkpoint byte-identically,
+  // which covers ring geometry, pane ids, and the sketch payloads.
+  std::vector<uint8_t> image2;
+  ByteSink sink2(&image2);
+  ASSERT_TRUE(restored.Checkpoint(sink2).ok());
+  EXPECT_EQ(image, image2);
+
+  // The restored window keeps rolling: far-future updates expire it.
+  std::vector<uint64_t> fresh(1, 999);
+  std::vector<uint64_t> fresh_ts(1, 1'000'000);
+  ASSERT_TRUE(restored.Update("edges", fresh, fresh_ts).ok());
+  Result<QueryResult> rolled = restored.Query("edges", false, 0, 0.95);
+  ASSERT_TRUE(rolled.ok());
+  EXPECT_NEAR(rolled.value().estimate.value, 1.0, 0.5);
+}
+
+TEST_F(LoopbackTest, TimedSketchesEndToEndOverSockets) {
+  Keyspace keyspace;
+  Server server(&keyspace);
+  ASSERT_TRUE(server.Start().ok());
+  Result<GemsdClient> client =
+      GemsdClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  GemsdClient& c = client.value();
+
+  ASSERT_TRUE(
+      c.CreateTimed("edges", "sliding_hyperloglog", /*pane_width=*/10,
+                    /*num_panes=*/6)
+          .ok());
+  ASSERT_TRUE(c.CreateTimed("flows", "decayed_countmin", /*pane_width=*/0,
+                            /*num_panes=*/0, /*half_life=*/100.0)
+                  .ok());
+  EXPECT_EQ(c.CreateTimed("bad", "hyperloglog", 10, 6).code(),
+            StatusCode::kNotFound);
+
+  // The ragged-column guard trips client-side before any bytes move.
+  std::vector<uint64_t> ragged_items(8, 1);
+  std::vector<uint64_t> ragged_ts(3, 1);
+  EXPECT_EQ(c.UpdateTimed("edges", ragged_items, ragged_ts).code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<uint64_t> items, timestamps;
+  for (uint64_t t = 0; t < 120; ++t) {
+    for (int i = 0; i < 3; ++i) {
+      timestamps.push_back(t);
+      items.push_back(t * 3 + i);
+    }
+  }
+  ASSERT_TRUE(c.UpdateTimed("edges", items, timestamps).ok());
+  Result<QueryResult> windowed = c.Query("edges");
+  ASSERT_TRUE(windowed.ok());
+  ASSERT_TRUE(windowed.value().has_estimate);
+  // Trailing 60 of 120 time units at 3 fresh items per unit.
+  EXPECT_NEAR(windowed.value().estimate.value, 180.0, 25.0);
+
+  std::vector<uint64_t> sevens(64, 7), zeros(64, 0);
+  ASSERT_TRUE(c.UpdateTimed("flows", sevens, zeros).ok());
+  std::vector<uint64_t> nine(1, 9), at_100(1, 100);
+  ASSERT_TRUE(c.UpdateTimed("flows", nine, at_100).ok());
+  Result<QueryResult> decayed = c.QueryItem("flows", 7);
+  ASSERT_TRUE(decayed.ok());
+  EXPECT_NEAR(decayed.value().estimate.value, 32.0, 0.5);
+
+  // Full checkpoint/restore over the wire, byte-identical on re-export.
+  Result<std::vector<uint8_t>> image = c.Checkpoint();
+  ASSERT_TRUE(image.ok());
+  Keyspace other_keyspace;
+  Server other(&other_keyspace);
+  ASSERT_TRUE(other.Start().ok());
+  Result<GemsdClient> other_client =
+      GemsdClient::Connect("127.0.0.1", other.port());
+  ASSERT_TRUE(other_client.ok());
+  ASSERT_TRUE(other_client.value().Restore(ByteSpan(image.value())).ok());
+  Result<std::vector<uint8_t>> image2 = other_client.value().Checkpoint();
+  ASSERT_TRUE(image2.ok());
+  EXPECT_EQ(image.value(), image2.value());
+  Result<QueryResult> migrated = other_client.value().QueryItem("flows", 7);
+  ASSERT_TRUE(migrated.ok());
+  EXPECT_DOUBLE_EQ(migrated.value().estimate.value,
+                   decayed.value().estimate.value);
+
+  other.Stop();
   server.Stop();
 }
 

@@ -1,7 +1,6 @@
 #include "engine/stream_query.h"
 
 #include <algorithm>
-#include <map>
 #include <utility>
 
 #include "common/bytes.h"
@@ -23,9 +22,10 @@ namespace {
 /// reliably as damage inside a sketch envelope.
 constexpr uint32_t kCheckpointMagic = 0x514D4547;  // "GEMQ" little-endian.
 /// Version 2 added the sliding-window fields (the `slide` option in the
-/// fingerprint and the kHasSliding presence bit); version-1 images are
-/// still restorable into non-sliding queries.
-constexpr uint8_t kCheckpointVersion = 2;
+/// fingerprint and the kHasSliding presence bit); version 3 added sliding
+/// TOP-K and QUANTILES pane rings. Version-1 and -2 images are still
+/// restorable into queries without the newer state.
+constexpr uint8_t kCheckpointVersion = 3;
 constexpr uint64_t kCheckpointChecksumSeed = 0x474D5351;  // "QSMG".
 
 /// Presence bits for the per-group optional sketches.
@@ -33,6 +33,8 @@ constexpr uint8_t kHasDistinct = 1;
 constexpr uint8_t kHasTop = 2;
 constexpr uint8_t kHasQuantiles = 4;
 constexpr uint8_t kHasSliding = 8;
+constexpr uint8_t kHasSlidingTop = 16;
+constexpr uint8_t kHasSlidingQuantiles = 32;
 
 /// Restores one sketch envelope through the registry, downcasting to the
 /// concrete type the engine expects for this aggregate. The envelope is
@@ -54,7 +56,129 @@ Status RestoreSketch(ByteReader* reader, std::optional<S>* out) {
   return Status::Ok();
 }
 
+/// Serializes a pane ring as engine-level state: the ring clock, then each
+/// live pane as (pane id, standard wire envelope) — so a registry-aware
+/// reader can still inspect every sketch inside a checkpoint. The sliding
+/// COUNT DISTINCT state predates this helper and stays a single
+/// SlidingHyperLogLog envelope for v2 compatibility.
+template <typename S>
+void SerializeRing(ByteWriter& w, const PaneRing<S>& ring) {
+  w.PutU64(ring.last_timestamp());
+  w.PutVarint(ring.NumLivePanes());
+  ring.ForEachPane([&w](uint64_t id, const S& summary) {
+    w.PutU64(id);
+    const std::vector<uint8_t> bytes = summary.Serialize();
+    w.PutBytes(bytes.data(), bytes.size());
+  });
+}
+
+/// Restores a pane ring serialized by SerializeRing into a ring built from
+/// `prototype` with the query's pane geometry.
+template <typename S>
+Status RestoreRing(ByteReader* reader, const S& prototype, uint64_t pane_width,
+                   size_t num_panes, std::optional<PaneRing<S>>* out) {
+  uint64_t last_timestamp, count;
+  if (Status s = reader->GetU64(&last_timestamp); !s.ok()) return s;
+  if (Status s = reader->GetVarint(&count); !s.ok()) return s;
+  PaneRing<S> ring(prototype, pane_width, num_panes);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id;
+    std::span<const uint8_t> envelope;
+    if (Status s = reader->GetU64(&id); !s.ok()) return s;
+    if (Status s = reader->GetBytesView(&envelope); !s.ok()) return s;
+    Result<S> pane = S::Deserialize(envelope);
+    if (!pane.ok()) return pane.status();
+    if (Status s = ring.AppendPane(id, std::move(pane).value()); !s.ok()) {
+      return s;
+    }
+  }
+  // Restore the ring clock; AppendPane left it at zero.
+  if (ring.started()) ring.Advance(last_timestamp);
+  out->emplace(std::move(ring));
+  return Status::Ok();
+}
+
 }  // namespace
+
+namespace engine_detail {
+
+OptionKnobs RelevantKnobs(const StreamQuery::Options& options) {
+  OptionKnobs knobs;
+  switch (options.aggregate) {
+    case AggregateKind::kCountDistinct:
+      knobs.hll_precision = static_cast<uint8_t>(options.hll_precision);
+      break;
+    case AggregateKind::kTopK:
+      knobs.top_k_capacity = options.top_k_capacity;
+      knobs.top_k = options.top_k;
+      break;
+    case AggregateKind::kQuantiles:
+      knobs.kll_k = options.kll_k;
+      break;
+    case AggregateKind::kSum:
+      break;
+  }
+  return knobs;
+}
+
+void SerializeWindows(ByteWriter& w, const std::deque<WindowResult>& windows) {
+  w.PutVarint(windows.size());
+  for (const WindowResult& window : windows) {
+    w.PutU64(window.window_start);
+    w.PutU64(window.window_end);
+    w.PutVarint(window.groups.size());
+    for (const GroupAggregate& aggregate : window.groups) {
+      w.PutU64(aggregate.group);
+      w.PutDouble(aggregate.scalar);
+      w.PutVarint(aggregate.top_items.size());
+      for (const auto& [item, count] : aggregate.top_items) {
+        w.PutU64(item);
+        w.PutI64(count);
+      }
+      w.PutVarint(aggregate.quantiles.size());
+      for (double q : aggregate.quantiles) w.PutDouble(q);
+    }
+  }
+}
+
+Status DeserializeWindows(ByteReader& r, std::deque<WindowResult>* out) {
+  uint64_t num_windows;
+  if (Status s = r.GetVarint(&num_windows); !s.ok()) return s;
+  std::deque<WindowResult> windows;
+  for (uint64_t i = 0; i < num_windows; ++i) {
+    WindowResult window;
+    uint64_t num_window_groups;
+    if (Status s = r.GetU64(&window.window_start); !s.ok()) return s;
+    if (Status s = r.GetU64(&window.window_end); !s.ok()) return s;
+    if (Status s = r.GetVarint(&num_window_groups); !s.ok()) return s;
+    for (uint64_t g = 0; g < num_window_groups; ++g) {
+      GroupAggregate aggregate_row;
+      uint64_t num_top, num_quantiles;
+      if (Status s = r.GetU64(&aggregate_row.group); !s.ok()) return s;
+      if (Status s = r.GetDouble(&aggregate_row.scalar); !s.ok()) return s;
+      if (Status s = r.GetVarint(&num_top); !s.ok()) return s;
+      for (uint64_t t = 0; t < num_top; ++t) {
+        uint64_t item;
+        int64_t count;
+        if (Status s = r.GetU64(&item); !s.ok()) return s;
+        if (Status s = r.GetI64(&count); !s.ok()) return s;
+        aggregate_row.top_items.emplace_back(item, count);
+      }
+      if (Status s = r.GetVarint(&num_quantiles); !s.ok()) return s;
+      for (uint64_t q = 0; q < num_quantiles; ++q) {
+        double value;
+        if (Status s = r.GetDouble(&value); !s.ok()) return s;
+        aggregate_row.quantiles.push_back(value);
+      }
+      window.groups.push_back(std::move(aggregate_row));
+    }
+    windows.push_back(std::move(window));
+  }
+  *out = std::move(windows);
+  return Status::Ok();
+}
+
+}  // namespace engine_detail
 
 StreamQuery::StreamQuery(const Options& options, uint64_t seed)
     : options_(options), seed_(seed) {
@@ -78,24 +202,37 @@ StreamQuery& StreamQuery::PublishDistinctTo(
 
 StreamQuery::GroupState& StreamQuery::StateFor(uint64_t group) {
   GroupState& state = groups_[group];
+  const size_t num_panes =
+      options_.slide > 0 ? options_.window_size / options_.slide : 0;
   switch (options_.aggregate) {
     case AggregateKind::kCountDistinct:
       if (options_.slide > 0) {
         if (!state.sliding.has_value()) {
           state.sliding.emplace(options_.hll_precision, options_.slide,
-                                options_.window_size / options_.slide, seed_);
+                                num_panes, seed_);
         }
       } else if (!state.distinct.has_value()) {
         state.distinct.emplace(options_.hll_precision, seed_);
       }
       break;
     case AggregateKind::kTopK:
-      if (!state.top.has_value()) {
+      if (options_.slide > 0) {
+        if (!state.sliding_top.has_value()) {
+          state.sliding_top.emplace(SpaceSaving(options_.top_k_capacity),
+                                    options_.slide, num_panes);
+        }
+      } else if (!state.top.has_value()) {
         state.top.emplace(options_.top_k_capacity);
       }
       break;
     case AggregateKind::kQuantiles:
-      if (!state.quantiles.has_value()) {
+      if (options_.slide > 0) {
+        if (!state.sliding_quantiles.has_value()) {
+          state.sliding_quantiles.emplace(
+              KllSketch(options_.kll_k, Hash64(group, seed_)), options_.slide,
+              num_panes);
+        }
+      } else if (!state.quantiles.has_value()) {
         state.quantiles.emplace(options_.kll_k, Hash64(group, seed_));
       }
       break;
@@ -118,9 +255,10 @@ Status StreamQuery::AdvanceWindow(const StreamEvent& event) {
           "sliding queries need window_size to be a nonzero multiple of "
           "slide");
     }
-    if (options_.aggregate != AggregateKind::kCountDistinct) {
+    if (options_.aggregate == AggregateKind::kSum) {
       return Status::Unimplemented(
-          "sliding windows are only supported for COUNT DISTINCT");
+          "sliding windows need a sketch aggregate (COUNT DISTINCT, TOP-K, "
+          "or QUANTILES)");
     }
     const uint64_t boundary =
         event.timestamp / options_.slide * options_.slide;
@@ -157,30 +295,47 @@ bool StreamQuery::PassesFilters(const StreamEvent& event) const {
   return true;
 }
 
-Status StreamQuery::Process(const StreamEvent& event) {
-  if (Status s = AdvanceWindow(event); !s.ok()) return s;
-  if (!PassesFilters(event)) return Status::Ok();
-
+void StreamQuery::ApplyEvent(const StreamEvent& event, const uint64_t* hash) {
   GroupState& state = StateFor(event.group);
   switch (options_.aggregate) {
     case AggregateKind::kCountDistinct:
       if (options_.slide > 0) {
         state.sliding->UpdateAt(event.timestamp, event.item);
+      } else if (hash != nullptr) {
+        state.distinct->UpdateHash(*hash);
       } else {
         state.distinct->Update(event.item);
       }
+      // The live global buffers raw items (it re-hashes on its own batched
+      // drain), so it takes the item, not the precomputed word.
       if (live_distinct_ != nullptr) live_distinct_->Update(event.item);
       break;
     case AggregateKind::kTopK:
-      state.top->Update(event.item, std::max<int64_t>(1, event.value));
+      if (options_.slide > 0) {
+        state.sliding_top->Update(event.timestamp, event.item,
+                                  std::max<int64_t>(1, event.value));
+      } else {
+        state.top->Update(event.item, std::max<int64_t>(1, event.value));
+      }
       break;
     case AggregateKind::kQuantiles:
-      state.quantiles->Update(static_cast<double>(event.value));
+      if (options_.slide > 0) {
+        state.sliding_quantiles->Update(event.timestamp,
+                                        static_cast<double>(event.value));
+      } else {
+        state.quantiles->Update(static_cast<double>(event.value));
+      }
       break;
     case AggregateKind::kSum:
       state.sum += event.value;
       break;
   }
+}
+
+Status StreamQuery::Process(const StreamEvent& event) {
+  if (Status s = AdvanceWindow(event); !s.ok()) return s;
+  if (!PassesFilters(event)) return Status::Ok();
+  ApplyEvent(event, nullptr);
   return Status::Ok();
 }
 
@@ -209,12 +364,27 @@ Status StreamQuery::ProcessBatch(std::span<const StreamEvent> events) {
       const StreamEvent& event = events[i];
       if (Status s = AdvanceWindow(event); !s.ok()) return s;
       if (!PassesFilters(event)) continue;
-      StateFor(event.group).distinct->UpdateHash(hashes[i]);
-      // The live global buffers raw items (it re-hashes on its own batched
-      // drain), so it takes the item, not the precomputed word.
-      if (live_distinct_ != nullptr) live_distinct_->Update(event.item);
+      ApplyEvent(event, &hashes[i]);
     }
     events = events.subspan(n);
+  }
+  return Status::Ok();
+}
+
+Status StreamQuery::ProcessBatchPrehashed(std::span<const StreamEvent> events,
+                                          std::span<const uint64_t> hashes,
+                                          std::span<const uint8_t> accept) {
+  GEMS_CHECK(hashes.empty() || hashes.size() == events.size());
+  GEMS_CHECK(accept.empty() || accept.size() == events.size());
+  const bool use_hashes = !hashes.empty() &&
+                          options_.aggregate == AggregateKind::kCountDistinct &&
+                          options_.slide == 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const StreamEvent& event = events[i];
+    if (Status s = AdvanceWindow(event); !s.ok()) return s;
+    if (!accept.empty() && accept[i] == 0) continue;
+    if (!PassesFilters(event)) continue;
+    ApplyEvent(event, use_hashes ? &hashes[i] : nullptr);
   }
   return Status::Ok();
 }
@@ -224,12 +394,14 @@ Status StreamQuery::ProcessBatchParallel(std::span<const StreamEvent> events,
   const size_t num_workers = pool.num_threads();
   if (num_workers <= 1 || options_.slide > 0) return ProcessBatch(events);
 
-  // One routed update: the owning worker applies item/value to state.
-  // Groups are partitioned across workers by hash, so two workers never
-  // touch the same GroupState, and one group's updates stay in stream
-  // order — state ends up byte-identical to the sequential path.
+  // One routed update: the owning worker applies item/value to the group's
+  // state. Groups are partitioned across workers by hash, so two workers
+  // never touch the same GroupState, and one group's updates stay in
+  // stream order — state ends up byte-identical to the sequential path.
+  // Workers re-find the group at apply time (one flat-table probe) because
+  // routing keeps inserting groups, and an insert may rehash the table.
   struct Routed {
-    GroupState* state;
+    uint64_t group;
     uint64_t item;
     int64_t value;
   };
@@ -249,23 +421,26 @@ Status StreamQuery::ProcessBatchParallel(std::span<const StreamEvent> events,
           for (size_t i = 0; i < n; ++i) items[i] = bucket[off + i].item;
           HashBatch(std::span<const uint64_t>(items, n), seed_, hashes);
           for (size_t i = 0; i < n; ++i) {
-            bucket[off + i].state->distinct->UpdateHash(hashes[i]);
+            groups_.Find(bucket[off + i].group)->distinct->UpdateHash(
+                hashes[i]);
           }
         }
         break;
       }
       case AggregateKind::kTopK:
         for (const Routed& r : bucket) {
-          r.state->top->Update(r.item, std::max<int64_t>(1, r.value));
+          groups_.Find(r.group)->top->Update(r.item,
+                                             std::max<int64_t>(1, r.value));
         }
         break;
       case AggregateKind::kQuantiles:
         for (const Routed& r : bucket) {
-          r.state->quantiles->Update(static_cast<double>(r.value));
+          groups_.Find(r.group)->quantiles->Update(
+              static_cast<double>(r.value));
         }
         break;
       case AggregateKind::kSum:
-        for (const Routed& r : bucket) r.state->sum += r.value;
+        for (const Routed& r : bucket) groups_.Find(r.group)->sum += r.value;
         break;
     }
   };
@@ -282,8 +457,8 @@ Status StreamQuery::ProcessBatchParallel(std::span<const StreamEvent> events,
 
   for (const StreamEvent& event : events) {
     // Pending routed updates must land before their window closes under
-    // them: CloseWindow snapshots and clears the group table, which would
-    // invalidate the GroupState pointers the buckets hold.
+    // them: CloseWindow snapshots and clears the group table out from
+    // under the group ids the buckets hold.
     if (options_.window_size > 0 && window_initialized_ &&
         event.timestamp >= current_window_start_ + options_.window_size) {
       flush();
@@ -293,9 +468,9 @@ Status StreamQuery::ProcessBatchParallel(std::span<const StreamEvent> events,
       return s;
     }
     if (!PassesFilters(event)) continue;
-    GroupState* state = &StateFor(event.group);
+    StateFor(event.group);  // Materialize the group's sketch for apply.
     buckets[ShardOf(event.group, worker_mod)].push_back(
-        {state, event.item, event.value});
+        {event.group, event.item, event.value});
     // Mirrored on the routing (calling) thread, not the pool workers, so
     // the live global sees one writer slot per query regardless of pool
     // size; its own buffering keeps this off the routing hot path.
@@ -319,9 +494,11 @@ GroupAggregate StreamQuery::Snapshot(uint64_t group,
       }
       break;
     case AggregateKind::kQuantiles:
-      for (double q : options_.quantile_points) {
-        aggregate.quantiles.push_back(
-            state.quantiles->Count() == 0 ? 0.0 : state.quantiles->Quantile(q));
+      if (state.quantiles->Count() == 0) {
+        aggregate.quantiles.assign(options_.quantile_points.size(), 0.0);
+      } else {
+        aggregate.quantiles =
+            state.quantiles->Quantiles(options_.quantile_points);
       }
       break;
     case AggregateKind::kSum:
@@ -331,17 +508,33 @@ GroupAggregate StreamQuery::Snapshot(uint64_t group,
   return aggregate;
 }
 
+std::vector<std::pair<uint64_t, StreamQuery::GroupState*>>
+StreamQuery::SortedGroups() const {
+  std::vector<std::pair<uint64_t, GroupState*>> out;
+  out.reserve(groups_.size());
+  // The flat table iterates in hash order; every ordered consumer (window
+  // snapshots, checkpoints) funnels through this sort, which is what keeps
+  // results and SerializeState independent of group insertion order.
+  const_cast<FlatMap64<GroupState>&>(groups_).ForEach(
+      [&out](uint64_t group, GroupState& state) {
+        out.emplace_back(group, &state);
+      });
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 void StreamQuery::CloseWindow(uint64_t next_window_start) {
   WindowResult result;
   result.window_start = current_window_start_;
   result.window_end = options_.window_size == 0
                           ? last_timestamp_ + 1
                           : current_window_start_ + options_.window_size;
-  for (const auto& [group, state] : groups_) {
-    result.groups.push_back(Snapshot(group, state));
+  for (const auto& [group, state] : SortedGroups()) {
+    result.groups.push_back(Snapshot(group, *state));
   }
   closed_.push_back(std::move(result));
-  groups_.clear();
+  groups_.Clear();
   current_window_start_ = next_window_start;
   // Window boundaries are the natural staleness bound for the live view:
   // fold this thread's buffered residual so a reader is at most one open
@@ -355,15 +548,39 @@ void StreamQuery::EmitSlidingWindow(uint64_t boundary) {
                             ? boundary - options_.window_size
                             : 0;
   result.window_end = boundary;
-  for (auto& [group, state] : groups_) {
+  for (const auto& [group, state] : SortedGroups()) {
     // Advancing to the last instant before the boundary expires panes
     // older than the window without opening the boundary's own pane; the
     // memoized WindowSummary() then re-merges only if this group mutated
     // since the last emission.
-    state.sliding->Advance(boundary - 1);
     GroupAggregate aggregate;
     aggregate.group = group;
-    aggregate.scalar = state.sliding->WindowSummary().Estimate();
+    switch (options_.aggregate) {
+      case AggregateKind::kCountDistinct:
+        state->sliding->Advance(boundary - 1);
+        aggregate.scalar = state->sliding->WindowSummary().Estimate();
+        break;
+      case AggregateKind::kTopK: {
+        state->sliding_top->Advance(boundary - 1);
+        const SpaceSaving& window = state->sliding_top->WindowSummary();
+        for (const SpaceSaving::Entry& entry : window.TopK(options_.top_k)) {
+          aggregate.top_items.emplace_back(entry.item, entry.count);
+        }
+        break;
+      }
+      case AggregateKind::kQuantiles: {
+        state->sliding_quantiles->Advance(boundary - 1);
+        const KllSketch& window = state->sliding_quantiles->WindowSummary();
+        if (window.Count() == 0) {
+          aggregate.quantiles.assign(options_.quantile_points.size(), 0.0);
+        } else {
+          aggregate.quantiles = window.Quantiles(options_.quantile_points);
+        }
+        break;
+      }
+      case AggregateKind::kSum:
+        break;  // Unreachable: AdvanceWindow rejects sliding kSum.
+    }
     result.groups.push_back(std::move(aggregate));
   }
   closed_.push_back(std::move(result));
@@ -401,66 +618,62 @@ std::vector<uint8_t> StreamQuery::SerializeState() const {
   w.PutU32(kCheckpointMagic);
   w.PutU8(kCheckpointVersion);
   // Option fingerprint, so a checkpoint cannot be restored into a query
-  // with an incompatible shape.
+  // with an incompatible shape. Knobs the aggregate does not read are
+  // written as zero (engine_detail::RelevantKnobs), so queries that
+  // differ only in unused knobs produce byte-identical checkpoints.
+  const engine_detail::OptionKnobs knobs = engine_detail::RelevantKnobs(options_);
   w.PutU8(static_cast<uint8_t>(options_.aggregate));
   w.PutU64(options_.window_size);
   w.PutU64(options_.slide);
-  w.PutU8(static_cast<uint8_t>(options_.hll_precision));
-  w.PutVarint(options_.top_k_capacity);
-  w.PutVarint(options_.top_k);
-  w.PutU32(options_.kll_k);
+  w.PutU8(knobs.hll_precision);
+  w.PutVarint(knobs.top_k_capacity);
+  w.PutVarint(knobs.top_k);
+  w.PutU32(knobs.kll_k);
   w.PutU64(seed_);
   // Window bookkeeping.
   w.PutU8(window_initialized_ ? 1 : 0);
   w.PutU64(current_window_start_);
   w.PutU64(last_timestamp_);
-  // Open groups; each sketch is a standard wire envelope, so any
+  // Open groups, sorted by group id (the flat table's own order is
+  // insertion-dependent); each sketch is a standard wire envelope, so any
   // registry-aware reader can inspect a checkpoint's sketches.
   w.PutVarint(groups_.size());
-  for (const auto& [group, state] : groups_) {
+  for (const auto& [group, state] : SortedGroups()) {
     w.PutU64(group);
-    w.PutI64(state.sum);
+    w.PutI64(state->sum);
     uint8_t present = 0;
-    if (state.distinct.has_value()) present |= kHasDistinct;
-    if (state.top.has_value()) present |= kHasTop;
-    if (state.quantiles.has_value()) present |= kHasQuantiles;
-    if (state.sliding.has_value()) present |= kHasSliding;
+    if (state->distinct.has_value()) present |= kHasDistinct;
+    if (state->top.has_value()) present |= kHasTop;
+    if (state->quantiles.has_value()) present |= kHasQuantiles;
+    if (state->sliding.has_value()) present |= kHasSliding;
+    if (state->sliding_top.has_value()) present |= kHasSlidingTop;
+    if (state->sliding_quantiles.has_value()) present |= kHasSlidingQuantiles;
     w.PutU8(present);
-    if (state.distinct.has_value()) {
-      const std::vector<uint8_t> bytes = state.distinct->Serialize();
+    if (state->distinct.has_value()) {
+      const std::vector<uint8_t> bytes = state->distinct->Serialize();
       w.PutBytes(bytes.data(), bytes.size());
     }
-    if (state.sliding.has_value()) {
-      const std::vector<uint8_t> bytes = state.sliding->Serialize();
+    if (state->sliding.has_value()) {
+      const std::vector<uint8_t> bytes = state->sliding->Serialize();
       w.PutBytes(bytes.data(), bytes.size());
     }
-    if (state.top.has_value()) {
-      const std::vector<uint8_t> bytes = state.top->Serialize();
+    if (state->sliding_top.has_value()) {
+      SerializeRing(w, *state->sliding_top);
+    }
+    if (state->sliding_quantiles.has_value()) {
+      SerializeRing(w, *state->sliding_quantiles);
+    }
+    if (state->top.has_value()) {
+      const std::vector<uint8_t> bytes = state->top->Serialize();
       w.PutBytes(bytes.data(), bytes.size());
     }
-    if (state.quantiles.has_value()) {
-      const std::vector<uint8_t> bytes = state.quantiles->Serialize();
+    if (state->quantiles.has_value()) {
+      const std::vector<uint8_t> bytes = state->quantiles->Serialize();
       w.PutBytes(bytes.data(), bytes.size());
     }
   }
   // Closed-but-unpolled windows (already materialized results).
-  w.PutVarint(closed_.size());
-  for (const WindowResult& window : closed_) {
-    w.PutU64(window.window_start);
-    w.PutU64(window.window_end);
-    w.PutVarint(window.groups.size());
-    for (const GroupAggregate& aggregate : window.groups) {
-      w.PutU64(aggregate.group);
-      w.PutDouble(aggregate.scalar);
-      w.PutVarint(aggregate.top_items.size());
-      for (const auto& [item, count] : aggregate.top_items) {
-        w.PutU64(item);
-        w.PutI64(count);
-      }
-      w.PutVarint(aggregate.quantiles.size());
-      for (double q : aggregate.quantiles) w.PutDouble(q);
-    }
-  }
+  engine_detail::SerializeWindows(w, closed_);
   std::vector<uint8_t> body = std::move(w).TakeBytes();
   const uint64_t checksum =
       XxHash64(body.data(), body.size(), kCheckpointChecksumSeed);
@@ -491,7 +704,7 @@ Status StreamQuery::RestoreState(std::span<const uint8_t> bytes) {
     return Status::Corruption("stream query checkpoint: bad magic");
   }
   if (Status s = r.GetU8(&version); !s.ok()) return s;
-  if (version != 1 && version != kCheckpointVersion) {
+  if (version < 1 || version > kCheckpointVersion) {
     return Status::Corruption(
         "stream query checkpoint: unsupported version");
   }
@@ -508,11 +721,19 @@ Status StreamQuery::RestoreState(std::span<const uint8_t> bytes) {
   if (Status s = r.GetVarint(&top_k); !s.ok()) return s;
   if (Status s = r.GetU32(&kll_k); !s.ok()) return s;
   if (Status s = r.GetU64(&seed); !s.ok()) return s;
+  // Version 3 images carry aggregate-relevant knobs only (unused fields
+  // zeroed); version 1/2 images were written with the raw option values.
+  const engine_detail::OptionKnobs expected =
+      version >= 3
+          ? engine_detail::RelevantKnobs(options_)
+          : engine_detail::OptionKnobs{
+                static_cast<uint8_t>(options_.hll_precision),
+                options_.top_k_capacity, options_.top_k, options_.kll_k};
   if (aggregate != static_cast<uint8_t>(options_.aggregate) ||
       window_size != options_.window_size || slide != options_.slide ||
-      hll_precision != static_cast<uint8_t>(options_.hll_precision) ||
-      top_capacity != options_.top_k_capacity || top_k != options_.top_k ||
-      kll_k != options_.kll_k || seed != seed_) {
+      hll_precision != expected.hll_precision ||
+      top_capacity != expected.top_k_capacity || top_k != expected.top_k ||
+      kll_k != expected.kll_k || seed != seed_) {
     return Status::InvalidArgument(
         "stream query checkpoint was taken with different options or seed");
   }
@@ -527,7 +748,9 @@ Status StreamQuery::RestoreState(std::span<const uint8_t> bytes) {
   if (Status s = r.GetU64(&last_timestamp); !s.ok()) return s;
   if (Status s = r.GetVarint(&num_groups); !s.ok()) return s;
 
-  std::map<uint64_t, GroupState> groups;
+  const size_t ring_panes =
+      options_.slide > 0 ? options_.window_size / options_.slide : 0;
+  FlatMap64<GroupState> groups;
   for (uint64_t i = 0; i < num_groups; ++i) {
     uint64_t group;
     uint8_t present;
@@ -535,13 +758,28 @@ Status StreamQuery::RestoreState(std::span<const uint8_t> bytes) {
     if (Status s = r.GetU64(&group); !s.ok()) return s;
     if (Status s = r.GetI64(&state.sum); !s.ok()) return s;
     if (Status s = r.GetU8(&present); !s.ok()) return s;
-    const uint8_t known = version >= 2
-                              ? kHasDistinct | kHasTop | kHasQuantiles |
-                                    kHasSliding
-                              : kHasDistinct | kHasTop | kHasQuantiles;
+    uint8_t known = kHasDistinct | kHasTop | kHasQuantiles;
+    if (version >= 2) known |= kHasSliding;
+    if (version >= 3) known |= kHasSlidingTop | kHasSlidingQuantiles;
     if ((present & ~known) != 0) {
       return Status::Corruption(
           "stream query checkpoint: unknown sketch presence bits");
+    }
+    // Pane rings can only be rebuilt when the query's own options define
+    // their geometry; a ring bit without a matching sliding aggregate is a
+    // forged or damaged image (the fingerprint above already matched).
+    if ((present & kHasSlidingTop) != 0 &&
+        (options_.slide == 0 || options_.aggregate != AggregateKind::kTopK)) {
+      return Status::Corruption(
+          "stream query checkpoint: sliding TOP-K state in a non-sliding "
+          "query");
+    }
+    if ((present & kHasSlidingQuantiles) != 0 &&
+        (options_.slide == 0 ||
+         options_.aggregate != AggregateKind::kQuantiles)) {
+      return Status::Corruption(
+          "stream query checkpoint: sliding QUANTILES state in a "
+          "non-sliding query");
     }
     if (present & kHasDistinct) {
       if (Status s = RestoreSketch(&r, &state.distinct); !s.ok()) return s;
@@ -549,46 +787,34 @@ Status StreamQuery::RestoreState(std::span<const uint8_t> bytes) {
     if (present & kHasSliding) {
       if (Status s = RestoreSketch(&r, &state.sliding); !s.ok()) return s;
     }
+    if (present & kHasSlidingTop) {
+      if (Status s = RestoreRing(&r, SpaceSaving(options_.top_k_capacity),
+                                 options_.slide, ring_panes,
+                                 &state.sliding_top);
+          !s.ok()) {
+        return s;
+      }
+    }
+    if (present & kHasSlidingQuantiles) {
+      if (Status s = RestoreRing(
+              &r, KllSketch(options_.kll_k, Hash64(group, seed_)),
+              options_.slide, ring_panes, &state.sliding_quantiles);
+          !s.ok()) {
+        return s;
+      }
+    }
     if (present & kHasTop) {
       if (Status s = RestoreSketch(&r, &state.top); !s.ok()) return s;
     }
     if (present & kHasQuantiles) {
       if (Status s = RestoreSketch(&r, &state.quantiles); !s.ok()) return s;
     }
-    groups.emplace(group, std::move(state));
+    groups[group] = std::move(state);
   }
 
-  uint64_t num_closed;
-  if (Status s = r.GetVarint(&num_closed); !s.ok()) return s;
   std::deque<WindowResult> closed;
-  for (uint64_t i = 0; i < num_closed; ++i) {
-    WindowResult window;
-    uint64_t num_window_groups;
-    if (Status s = r.GetU64(&window.window_start); !s.ok()) return s;
-    if (Status s = r.GetU64(&window.window_end); !s.ok()) return s;
-    if (Status s = r.GetVarint(&num_window_groups); !s.ok()) return s;
-    for (uint64_t g = 0; g < num_window_groups; ++g) {
-      GroupAggregate aggregate_row;
-      uint64_t num_top, num_quantiles;
-      if (Status s = r.GetU64(&aggregate_row.group); !s.ok()) return s;
-      if (Status s = r.GetDouble(&aggregate_row.scalar); !s.ok()) return s;
-      if (Status s = r.GetVarint(&num_top); !s.ok()) return s;
-      for (uint64_t t = 0; t < num_top; ++t) {
-        uint64_t item;
-        int64_t count;
-        if (Status s = r.GetU64(&item); !s.ok()) return s;
-        if (Status s = r.GetI64(&count); !s.ok()) return s;
-        aggregate_row.top_items.emplace_back(item, count);
-      }
-      if (Status s = r.GetVarint(&num_quantiles); !s.ok()) return s;
-      for (uint64_t q = 0; q < num_quantiles; ++q) {
-        double value;
-        if (Status s = r.GetDouble(&value); !s.ok()) return s;
-        aggregate_row.quantiles.push_back(value);
-      }
-      window.groups.push_back(std::move(aggregate_row));
-    }
-    closed.push_back(std::move(window));
+  if (Status s = engine_detail::DeserializeWindows(r, &closed); !s.ok()) {
+    return s;
   }
   if (!r.AtEnd()) {
     return Status::Corruption("stream query checkpoint: trailing bytes");

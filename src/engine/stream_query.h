@@ -4,17 +4,19 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "cardinality/hyperloglog.h"
+#include "common/bytes.h"
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "distributed/concurrent/concurrent_summary.h"
 #include "distributed/thread_pool.h"
 #include "frequency/space_saving.h"
 #include "quantiles/kll.h"
+#include "time/pane_ring.h"
 #include "time/sliding_hll.h"
 
 /// \file
@@ -23,9 +25,11 @@
 /// GROUP BY aggregate queries over event streams, where each group's
 /// aggregate is a sketch rather than exact state — the "maintain huge
 /// numbers of sketches in parallel" workload the paper emphasizes.
-/// Supports filters, tumbling windows, sliding windows (COUNT DISTINCT
-/// over a pane ring), and three sketch aggregates (COUNT DISTINCT via
-/// HLL, TOP-K via SpaceSaving, QUANTILES via KLL).
+/// Supports filters, tumbling windows, sliding windows (COUNT DISTINCT,
+/// TOP-K, and QUANTILES over per-group pane rings), and three sketch
+/// aggregates (COUNT DISTINCT via HLL, TOP-K via SpaceSaving, QUANTILES
+/// via KLL). Many standing queries over one stream share a single ingest
+/// pass through MultiQueryEngine (engine/multi_query.h).
 
 namespace gems {
 
@@ -75,9 +79,10 @@ class StreamQuery {
     /// Sliding mode: when nonzero, a result covering the trailing
     /// window_size units is emitted every `slide` units instead of the
     /// window tumbling. Requires window_size > 0 with window_size a
-    /// multiple of slide, and (for now) aggregate == kCountDistinct —
-    /// each group's state becomes a SlidingHyperLogLog pane ring with
-    /// pane_width = slide, and groups persist across slide boundaries.
+    /// multiple of slide, and a sketch aggregate (kCountDistinct, kTopK,
+    /// or kQuantiles — kSum has no mergeable summary to put in a pane) —
+    /// each group's state becomes a pane ring with pane_width = slide,
+    /// and groups persist across slide boundaries.
     uint64_t slide = 0;
     /// HLL precision for kCountDistinct.
     int hll_precision = 12;
@@ -136,6 +141,26 @@ class StreamQuery {
   Status ProcessBatchParallel(std::span<const StreamEvent> events,
                               ThreadPool& pool);
 
+  /// Shared-ingest entry point used by MultiQueryEngine: processes a batch
+  /// whose item column has already been hashed once under this query's
+  /// seed, with filter decisions precomputed per event.
+  ///
+  ///  - `hashes`, when non-empty, parallels `events` with
+  ///    hashes[i] == Hash64(events[i].item, seed); non-sliding COUNT
+  ///    DISTINCT feeds the words straight into each group's HLL instead of
+  ///    re-hashing. Ignored (and may be empty) for other aggregates.
+  ///  - `accept`, when non-empty, parallels `events`; an event with
+  ///    accept[i] == 0 is dropped exactly as if a filter rejected it
+  ///    (after window advancement, like PassesFilters). Filters attached
+  ///    with AddFilter() still apply on top.
+  ///
+  /// Window, ordering, and error semantics are identical to
+  /// ProcessBatch(), and the resulting state is byte-identical
+  /// (SerializeState) to processing the same accepted events there.
+  Status ProcessBatchPrehashed(std::span<const StreamEvent> events,
+                               std::span<const uint64_t> hashes,
+                               std::span<const uint8_t> accept);
+
   /// Drains windows closed so far.
   std::vector<WindowResult> Poll();
 
@@ -164,6 +189,8 @@ class StreamQuery {
   struct GroupState {
     std::optional<HyperLogLog> distinct;
     std::optional<SlidingHyperLogLog> sliding;  // Sliding kCountDistinct.
+    std::optional<PaneRing<SpaceSaving>> sliding_top;       // Sliding kTopK.
+    std::optional<PaneRing<KllSketch>> sliding_quantiles;   // Sliding kQuantiles.
     std::optional<SpaceSaving> top;
     std::optional<KllSketch> quantiles;
     int64_t sum = 0;
@@ -174,11 +201,19 @@ class StreamQuery {
   /// updates last_timestamp_ for one event.
   Status AdvanceWindow(const StreamEvent& event);
   bool PassesFilters(const StreamEvent& event) const;
+  /// Applies one accepted event to its group's aggregate state. `hash`,
+  /// when non-null, is the event item's precomputed Hash64 under seed_
+  /// (non-sliding COUNT DISTINCT consumes it; other aggregates ignore it).
+  void ApplyEvent(const StreamEvent& event, const uint64_t* hash);
   void CloseWindow(uint64_t next_window_start);
   /// Sliding mode: emits the window ending at `boundary` (exclusive) over
   /// every group's pane ring, without clearing the group table.
   void EmitSlidingWindow(uint64_t boundary);
   GroupAggregate Snapshot(uint64_t group, const GroupState& state) const;
+  /// The open groups as (group id, state) pairs sorted by group id — the
+  /// flat table iterates in hash order, so ordered emission (window
+  /// snapshots, checkpoints) sorts here.
+  std::vector<std::pair<uint64_t, GroupState*>> SortedGroups() const;
 
   Options options_;
   uint64_t seed_;
@@ -187,9 +222,34 @@ class StreamQuery {
   uint64_t current_window_start_ = 0;
   bool window_initialized_ = false;
   uint64_t last_timestamp_ = 0;
-  std::map<uint64_t, GroupState> groups_;
+  FlatMap64<GroupState> groups_;
   std::deque<WindowResult> closed_;
 };
+
+namespace engine_detail {
+
+/// Serialization of materialized window results, shared between the
+/// StreamQuery checkpoint and the MultiQueryEngine's per-view result
+/// caches (multi_query.cc).
+void SerializeWindows(ByteWriter& w, const std::deque<WindowResult>& windows);
+Status DeserializeWindows(ByteReader& r, std::deque<WindowResult>* out);
+
+/// The sketch knobs that actually shape a query's state and results,
+/// with every knob the aggregate does not read zeroed out: a SUM query's
+/// kll_k setting, a COUNT DISTINCT query's top_k_capacity, and so on are
+/// canonicalized away. Checkpoint fingerprints (version 3+) and the
+/// MultiQueryEngine's state-dedup key are built from this, so two queries
+/// that differ only in unused knobs are byte-identical — and shareable.
+struct OptionKnobs {
+  uint8_t hll_precision = 0;
+  uint64_t top_k_capacity = 0;
+  uint64_t top_k = 0;
+  uint32_t kll_k = 0;
+};
+
+OptionKnobs RelevantKnobs(const StreamQuery::Options& options);
+
+}  // namespace engine_detail
 
 }  // namespace gems
 

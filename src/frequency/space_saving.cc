@@ -20,35 +20,39 @@ Result<SpaceSaving> SpaceSaving::ForThreshold(double phi) {
   return SpaceSaving(SpaceSavingCapacityFor(phi));
 }
 
-void SpaceSaving::Reinsert(uint64_t item, int64_t count, int64_t error) {
-  const auto heap_it = heap_.emplace(count, item);
-  items_[item] = Counter{count, error, heap_it};
+size_t SpaceSaving::FindSlot(uint64_t item) const {
+  size_t i = 0;
+  for (; i < slots_.size(); ++i) {
+    if (slots_[i].item == item) break;
+  }
+  return i;
 }
 
 void SpaceSaving::Update(uint64_t item, int64_t weight) {
   GEMS_CHECK(weight >= 1);
   total_ += weight;
 
-  const auto it = items_.find(item);
-  if (it != items_.end()) {
-    const int64_t new_count = it->second.count + weight;
-    const int64_t error = it->second.error;
-    heap_.erase(it->second.heap_it);
-    items_.erase(it);
-    Reinsert(item, new_count, error);
+  const size_t found = FindSlot(item);
+  if (found < slots_.size()) {
+    slots_[found].count += weight;
     return;
   }
-  if (items_.size() < capacity_) {
-    Reinsert(item, weight, 0);
+  if (slots_.size() < capacity_) {
+    slots_.push_back(Slot{item, weight, 0});
     return;
   }
-  // Evict the minimum; the newcomer inherits its count as error.
-  const auto weakest = heap_.begin();
-  const int64_t min_count = weakest->first;
-  const uint64_t evicted = weakest->second;
-  heap_.erase(weakest);
-  items_.erase(evicted);
-  Reinsert(item, min_count + weight, min_count);
+  // Evict the minimum (smallest item id among tied counts — see Update's
+  // contract); the newcomer inherits its count as error, in place.
+  size_t weakest = 0;
+  for (size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].count < slots_[weakest].count ||
+        (slots_[i].count == slots_[weakest].count &&
+         slots_[i].item < slots_[weakest].item)) {
+      weakest = i;
+    }
+  }
+  const int64_t min_count = slots_[weakest].count;
+  slots_[weakest] = Slot{item, min_count + weight, min_count};
 }
 
 void SpaceSaving::UpdateBatch(std::span<const uint64_t> items) {
@@ -77,19 +81,19 @@ void SpaceSaving::UpdateBatch(std::span<const uint64_t> items,
 }
 
 int64_t SpaceSaving::Estimate(uint64_t item) const {
-  const auto it = items_.find(item);
-  if (it != items_.end()) return it->second.count;
+  const size_t i = FindSlot(item);
+  if (i < slots_.size()) return slots_[i].count;
   return MinCount();
 }
 
 gems::Estimate SpaceSaving::EstimateWithBounds(uint64_t item,
                                                double confidence) const {
   gems::Estimate e;
-  const auto it = items_.find(item);
-  if (it != items_.end()) {
-    e.value = static_cast<double>(it->second.count);
+  const size_t i = FindSlot(item);
+  if (i < slots_.size()) {
+    e.value = static_cast<double>(slots_[i].count);
     e.upper = e.value;
-    e.lower = e.value - static_cast<double>(it->second.error);
+    e.lower = e.value - static_cast<double>(slots_[i].error);
   } else {
     e.value = static_cast<double>(MinCount());
     e.upper = e.value;
@@ -100,34 +104,36 @@ gems::Estimate SpaceSaving::EstimateWithBounds(uint64_t item,
 }
 
 int64_t SpaceSaving::ErrorOf(uint64_t item) const {
-  const auto it = items_.find(item);
-  return it == items_.end() ? MinCount() : it->second.error;
+  const size_t i = FindSlot(item);
+  return i < slots_.size() ? slots_[i].error : MinCount();
 }
 
 bool SpaceSaving::IsGuaranteedExact(uint64_t item) const {
-  const auto it = items_.find(item);
-  return it != items_.end() && it->second.error == 0;
+  const size_t i = FindSlot(item);
+  return i < slots_.size() && slots_[i].error == 0;
 }
 
 int64_t SpaceSaving::MinCount() const {
-  if (items_.size() < capacity_ || heap_.empty()) return 0;
-  return heap_.begin()->first;
+  if (slots_.size() < capacity_ || slots_.empty()) return 0;
+  int64_t min_count = slots_[0].count;
+  for (const Slot& slot : slots_) min_count = std::min(min_count, slot.count);
+  return min_count;
 }
 
 std::vector<uint64_t> SpaceSaving::HeavyHitterCandidates(double phi) const {
   const double threshold = phi * static_cast<double>(total_);
   std::vector<uint64_t> out;
-  for (const auto& [count, item] : heap_) {
-    if (static_cast<double>(count) >= threshold) out.push_back(item);
+  for (const Slot& slot : slots_) {
+    if (static_cast<double>(slot.count) >= threshold) out.push_back(slot.item);
   }
   return out;
 }
 
 std::vector<SpaceSaving::Entry> SpaceSaving::Entries() const {
   std::vector<Entry> out;
-  out.reserve(items_.size());
-  for (const auto& [item, counter] : items_) {
-    out.push_back(Entry{item, counter.count, counter.error});
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    out.push_back(Entry{slot.item, slot.count, slot.error});
   }
   // Canonical order: count desc, then item asc (stable across round trips).
   std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
@@ -149,37 +155,33 @@ Status SpaceSaving::Merge(const SpaceSaving& other) {
   }
   // Combine: items in both get summed counts and errors; items in only one
   // side could have appeared up to the other side's MinCount times unseen,
-  // which stays within the inherited-error accounting below.
-  struct Combined {
-    int64_t count;
-    int64_t error;
-  };
-  std::unordered_map<uint64_t, Combined> combined;
-  for (const auto& [item, counter] : items_) {
-    combined[item] = Combined{counter.count, counter.error};
-  }
-  for (const auto& [item, counter] : other.items_) {
-    auto [it, inserted] =
-        combined.emplace(item, Combined{counter.count, counter.error});
-    if (!inserted) {
-      it->second.count += counter.count;
-      it->second.error += counter.error;
+  // which stays within the inherited-error accounting below. Both tracked
+  // sets are small flat arrays: concatenate, sort by item, fold adjacent
+  // duplicates — no hashing, no node allocation.
+  std::vector<Slot> all;
+  all.reserve(slots_.size() + other.slots_.size());
+  all.insert(all.end(), slots_.begin(), slots_.end());
+  all.insert(all.end(), other.slots_.begin(), other.slots_.end());
+  std::sort(all.begin(), all.end(),
+            [](const Slot& a, const Slot& b) { return a.item < b.item; });
+  size_t out = 0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (out > 0 && all[out - 1].item == all[i].item) {
+      all[out - 1].count += all[i].count;
+      all[out - 1].error += all[i].error;
+    } else {
+      all[out++] = all[i];
     }
   }
+  all.resize(out);
   // Keep the `capacity_` largest by count; surviving items are unchanged
   // (their counts remain valid overestimates of their true totals).
-  std::vector<std::pair<uint64_t, Combined>> all(combined.begin(),
-                                                 combined.end());
-  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-    if (a.second.count != b.second.count)
-      return a.second.count > b.second.count;
-    return a.first < b.first;
+  std::sort(all.begin(), all.end(), [](const Slot& a, const Slot& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.item < b.item;
   });
   if (all.size() > capacity_) all.resize(capacity_);
-
-  items_.clear();
-  heap_.clear();
-  for (const auto& [item, c] : all) Reinsert(item, c.count, c.error);
+  slots_ = std::move(all);
   total_ += other.total_;
   return Status::Ok();
 }
@@ -201,7 +203,7 @@ void SpaceSaving::SerializeTo(ByteSink& sink) const {
   EnvelopeBuilder env(sink, kTypeId);
   sink.PutVarint(capacity_);
   sink.PutI64(total_);
-  sink.PutVarint(items_.size());
+  sink.PutVarint(slots_.size());
   // Canonical (entry) order so identical summaries serialize identically.
   for (const Entry& entry : Entries()) {
     sink.PutU64(entry.item);
@@ -225,6 +227,7 @@ Result<SpaceSaving> SpaceSaving::Deserialize(
   }
   SpaceSaving ss(capacity);
   ss.total_ = total;
+  ss.slots_.reserve(num_entries);
   for (uint64_t i = 0; i < num_entries; ++i) {
     uint64_t item;
     int64_t count, error;
@@ -234,7 +237,7 @@ Result<SpaceSaving> SpaceSaving::Deserialize(
     if (count <= 0 || error < 0 || error > count) {
       return Status::Corruption("invalid SpaceSaving entry");
     }
-    ss.Reinsert(item, count, error);
+    ss.slots_.push_back(Slot{item, count, error});
   }
   return ss;
 }

@@ -2,9 +2,7 @@
 #define GEMS_FREQUENCY_SPACE_SAVING_H_
 
 #include <cstdint>
-#include <map>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -24,6 +22,14 @@
 namespace gems {
 
 /// SpaceSaving summary tracking `capacity` items.
+///
+/// Storage is one flat unsorted vector of (item, count, error) slots.
+/// Practical capacities are small (tens to a few hundred — 1/phi), where a
+/// linear scan over a contiguous ~16-byte-per-slot array beats the classic
+/// hash-map-plus-heap layout: no per-node allocation, no pointer chasing,
+/// and copies/merges are plain memcpy-and-sort. Sliding-window pane rings
+/// copy and merge these summaries on every pane rotation, which is where
+/// the flat layout pays off most.
 class SpaceSaving {
  public:
   /// Wire-format type tag, for View<SpaceSaving> wrapping.
@@ -41,11 +47,15 @@ class SpaceSaving {
   SpaceSaving(SpaceSaving&&) = default;
   SpaceSaving& operator=(SpaceSaving&&) = default;
 
-  /// Adds `weight` (>= 1) occurrences of `item`.
+  /// Adds `weight` (>= 1) occurrences of `item`. On eviction, ties on the
+  /// minimum count break toward the smallest item id — a content-determined
+  /// rule, so two summaries holding the same logical state evolve
+  /// identically regardless of the order their slots were populated in
+  /// (e.g. one restored from a checkpoint, one that kept running).
   void Update(uint64_t item, int64_t weight = 1);
 
   /// Batched ingest: coalesces runs of equal adjacent items into one
-  /// weighted update, so hot items on skewed streams pay one map probe per
+  /// weighted update, so hot items on skewed streams pay one slot scan per
   /// run instead of one per occurrence. State is byte-identical to
   /// per-item Update() (a weight-r update is equivalent to r unit updates
   /// in every tracked/untracked/eviction case).
@@ -101,7 +111,7 @@ class SpaceSaving {
 
   int64_t TotalWeight() const { return total_; }
   size_t capacity() const { return capacity_; }
-  size_t NumTracked() const { return items_.size(); }
+  size_t NumTracked() const { return slots_.size(); }
   int64_t MinCount() const;
 
   std::vector<uint8_t> Serialize() const;
@@ -111,19 +121,18 @@ class SpaceSaving {
   static Result<SpaceSaving> Deserialize(std::span<const uint8_t> bytes);
 
  private:
-  struct Counter {
+  struct Slot {
+    uint64_t item;
     int64_t count;
     int64_t error;
-    std::multimap<int64_t, uint64_t>::iterator heap_it;
   };
 
-  void Reinsert(uint64_t item, int64_t count, int64_t error);
+  /// Index of `item`'s slot, or slots_.size() if untracked.
+  size_t FindSlot(uint64_t item) const;
 
   size_t capacity_;
   int64_t total_ = 0;
-  std::unordered_map<uint64_t, Counter> items_;
-  // Min-ordered count -> item for O(log k) eviction.
-  std::multimap<int64_t, uint64_t> heap_;
+  std::vector<Slot> slots_;
 };
 
 }  // namespace gems

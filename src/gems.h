@@ -78,8 +78,10 @@
 #include "quantiles/tdigest.h"
 
 // Hashing utilities and the runtime-dispatched kernel layer.
+#include "common/flat_map.h"
 #include "common/random.h"
 #include "hash/hash.h"
+#include "hash/hashed_batch.h"
 #include "simd/dispatch.h"
 
 // Sampling, moments, dimensionality reduction.
@@ -107,10 +109,12 @@
 #include "robust/adversary.h"
 #include "robust/robust_f2.h"
 
-// Workload tooling: generators, exact baselines, error metrics.
+// Workload tooling: generators, exact baselines, error metrics, and the
+// multi-query workload shared by the E17 bench and tests.
 #include "workload/baselines.h"
 #include "workload/generators.h"
 #include "workload/metrics.h"
+#include "workload/multi_query.h"
 
 // Sketch-gradient ML.
 #include "ml/fetchsgd.h"
@@ -124,7 +128,8 @@
 #include "time/sliding_count_min.h"
 #include "time/sliding_hll.h"
 
-// Streaming engine.
+// Streaming engine: single queries and shared-ingest multi-query.
+#include "engine/multi_query.h"
 #include "engine/stream_query.h"
 
 // Distributed: merge trees, pipelines, concurrent wrappers.

@@ -97,6 +97,19 @@ class HashedBatch {
     HashBatch(items, seed, hashes_.data());
   }
 
+  /// Gathers an item column out of structured rows (`proj(row)` yields the
+  /// uint64_t item) into an owned buffer, then hashes it like Reset. The
+  /// multi-query engine uses this to lift StreamEvent::item out of the
+  /// event chunk once, so one gather + one hash loop serve every standing
+  /// query. Both buffers reuse their capacity, so steady-state chunks are
+  /// allocation-free; items() stays valid until the next Reset*.
+  template <typename Row, typename Proj>
+  void ResetProjected(std::span<const Row> rows, Proj&& proj, uint64_t seed) {
+    owned_items_.resize(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) owned_items_[i] = proj(rows[i]);
+    Reset(owned_items_, seed);
+  }
+
   /// Attaches a borrowed timestamp column paralleling items() (one
   /// timestamp per item, same order). Timed sketches segment the batch by
   /// pane with it; untimed consumers ignore it.
@@ -118,6 +131,7 @@ class HashedBatch {
   std::span<const uint64_t> items_;
   std::span<const uint64_t> timestamps_;
   std::vector<uint64_t> hashes_;
+  std::vector<uint64_t> owned_items_;  // Backing store for ResetProjected.
 };
 
 }  // namespace gems

@@ -1,6 +1,7 @@
 #include "quantiles/kll.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/check.h"
@@ -92,9 +93,16 @@ uint64_t KllSketch::Rank(double value) const {
 }
 
 double KllSketch::Quantile(double q) const {
+  const std::array<double, 1> qs = {q};
+  return Quantiles(qs)[0];
+}
+
+std::vector<double> KllSketch::Quantiles(std::span<const double> qs) const {
   GEMS_CHECK(count_ > 0);
-  GEMS_CHECK(q >= 0.0 && q <= 1.0);
-  // Gather (value, weight) pairs, sort by value, walk the CDF.
+  // Gather (value, weight) pairs, sort by value, prefix-sum the weights —
+  // once for the whole point set — then binary-search each point's target
+  // rank. Per point this returns the first value whose cumulative weight
+  // reaches q * total, exactly the single-point CDF walk.
   std::vector<std::pair<double, uint64_t>> weighted;
   weighted.reserve(NumRetained());
   for (size_t level = 0; level < compactors_.size(); ++level) {
@@ -102,15 +110,29 @@ double KllSketch::Quantile(double q) const {
     for (double item : compactors_[level]) weighted.emplace_back(item, weight);
   }
   std::sort(weighted.begin(), weighted.end());
-  uint64_t total = 0;
-  for (const auto& [value, weight] : weighted) total += weight;
-  const double target = q * static_cast<double>(total);
   uint64_t cumulative = 0;
-  for (const auto& [value, weight] : weighted) {
+  for (auto& [value, weight] : weighted) {
     cumulative += weight;
-    if (static_cast<double>(cumulative) >= target) return value;
+    weight = cumulative;  // In place: weight becomes the cumulative rank.
   }
-  return weighted.back().first;
+  const uint64_t total = cumulative;
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    GEMS_CHECK(q >= 0.0 && q <= 1.0);
+    const double target = q * static_cast<double>(total);
+    size_t lo = 0, hi = weighted.size() - 1;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (static_cast<double>(weighted[mid].second) >= target) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    out.push_back(weighted[lo].first);
+  }
+  return out;
 }
 
 std::vector<double> KllSketch::Cdf(

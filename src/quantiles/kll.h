@@ -50,6 +50,13 @@ class KllSketch {
   /// Approximate value at quantile q in [0, 1]; requires >= 1 update.
   double Quantile(double q) const;
 
+  /// Batched Quantile: one answer per point, each identical to
+  /// Quantile(qs[i]), but the retained items are gathered and sorted once
+  /// for the whole set instead of once per point — the emission path for
+  /// windowed quantile queries asks for several points per group per
+  /// window close.
+  std::vector<double> Quantiles(std::span<const double> qs) const;
+
   /// Estimated number of inserted values <= `value`.
   uint64_t Rank(double value) const;
 

@@ -1,0 +1,127 @@
+#include "workload/multi_query.h"
+
+#include "common/check.h"
+#include "workload/generators.h"
+
+namespace gems {
+
+namespace {
+
+/// The group-skew pattern repeats on this period; long enough that every
+/// window sees the full skew profile, short enough to pre-draw cheaply.
+constexpr size_t kGroupSequenceLength = size_t{1} << 16;
+
+}  // namespace
+
+size_t MultiQueryWorkload::PaletteSize() { return 6; }
+
+std::function<bool(const StreamEvent&)> MultiQueryWorkload::PaletteFilter(
+    size_t index) {
+  GEMS_CHECK(index < PaletteSize());
+  switch (index) {
+    case 0:
+      return [](const StreamEvent& e) { return e.value % 2 == 0; };
+    case 1:
+      return [](const StreamEvent& e) { return e.item % 3 != 0; };
+    case 2:
+      return [](const StreamEvent& e) { return e.group % 4 < 2; };
+    case 3:
+      return [](const StreamEvent& e) { return e.value % 1000 < 750; };
+    case 4:
+      return [](const StreamEvent& e) { return e.item % 5 != 1; };
+    default:
+      return [](const StreamEvent& e) { return (e.group ^ e.item) % 2 == 0; };
+  }
+}
+
+MultiQueryWorkload::MultiQueryWorkload(const MultiQueryWorkloadOptions& options)
+    : options_(options), event_rng_(options.seed ^ 0x4556454E54ULL) {
+  GEMS_CHECK(options.num_queries >= 1);
+  GEMS_CHECK(options.num_groups >= 1);
+  GEMS_CHECK(options.universe >= 1);
+  GEMS_CHECK(options.events_per_tick >= 1);
+  // Sliding specs use slide = window_size / 4.
+  GEMS_CHECK(options.window_size >= 4 && options.window_size % 4 == 0);
+
+  Rng spec_rng(options.seed ^ 0x5351554552ULL);
+  size_t distinct = 0;
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    if (i > 0 && spec_rng.NextBernoulli(options.overlap)) {
+      // Duplicate: an exact copy of a uniformly chosen earlier query —
+      // the state-dedup opportunity the overlap factor dials.
+      specs_.push_back(specs_[spec_rng.NextBounded(i)]);
+      continue;
+    }
+    MultiQuerySpec spec;
+    spec.options.window_size = options.window_size;
+    switch (distinct % 7) {
+      case 0:
+        spec.options.aggregate = AggregateKind::kCountDistinct;
+        break;
+      case 1:
+        spec.options.aggregate = AggregateKind::kTopK;
+        break;
+      case 2:
+        spec.options.aggregate = AggregateKind::kQuantiles;
+        break;
+      case 3:
+        spec.options.aggregate = AggregateKind::kSum;
+        break;
+      case 4:
+        spec.options.aggregate = AggregateKind::kCountDistinct;
+        spec.options.slide = options.window_size / 4;
+        break;
+      case 5:
+        spec.options.aggregate = AggregateKind::kTopK;
+        spec.options.slide = options.window_size / 4;
+        break;
+      default:
+        spec.options.aggregate = AggregateKind::kQuantiles;
+        spec.options.slide = options.window_size / 4;
+        break;
+    }
+    // Parameter jitter draws each knob from a small set of realistic
+    // configurations — fleets of standing queries cluster on a handful of
+    // accuracy settings, so two "distinct" specs can still land on the
+    // same (aggregate, knobs, filters) bucket and share a physical query.
+    spec.options.hll_precision = 8 + static_cast<int>(distinct % 3);
+    spec.options.top_k_capacity = 64 + 8 * (distinct % 4);
+    spec.options.kll_k = 200 + 56 * static_cast<uint32_t>(distinct % 3);
+    // Every standing query carries at least one predicate (telemetry
+    // queries always select a slice); the engine evaluates each distinct
+    // palette predicate once per event no matter how many queries use it.
+    const size_t num_filters = 1 + distinct % 2;
+    for (size_t f = 0; f < num_filters; ++f) {
+      spec.filters.push_back(spec_rng.NextBounded(PaletteSize()));
+    }
+    specs_.push_back(std::move(spec));
+    ++distinct;
+  }
+
+  if (options.group_skew > 0.0 && options.num_groups > 1) {
+    ZipfGenerator zipf(options.num_groups, options.group_skew,
+                       options.seed ^ 0x47524F5550ULL);
+    group_sequence_ = zipf.Take(kGroupSequenceLength);
+  }
+}
+
+std::vector<StreamEvent> MultiQueryWorkload::GenerateEvents(size_t n) {
+  std::vector<StreamEvent> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    StreamEvent event;
+    event.timestamp = next_event_index_ / options_.events_per_tick;
+    if (group_sequence_.empty()) {
+      event.group = event_rng_.NextBounded(options_.num_groups);
+    } else {
+      event.group = group_sequence_[next_group_++ % group_sequence_.size()];
+    }
+    event.item = event_rng_.NextBounded(options_.universe);
+    event.value = 1 + static_cast<int64_t>(event_rng_.NextBounded(1000));
+    events.push_back(event);
+    ++next_event_index_;
+  }
+  return events;
+}
+
+}  // namespace gems

@@ -1,0 +1,87 @@
+#ifndef GEMS_WORKLOAD_MULTI_QUERY_H_
+#define GEMS_WORKLOAD_MULTI_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/stream_query.h"
+
+/// \file
+/// Deterministic multi-query workload generator: a population of standing
+/// queries with a configurable overlap factor (the fraction of queries that
+/// are exact duplicates of earlier ones — the state-dedup opportunity) and
+/// a group-skewed event stream to run them over. The E17 bench and the
+/// multi-query tests share this one source, so "256 queries at 50% overlap"
+/// means the same thing in both.
+///
+/// Filters come from a small canonical palette of pure functions of the
+/// event fields, addressed by index. Both sides of an equivalence check
+/// (MultiQueryEngine registration and independent StreamQuery::AddFilter)
+/// construct predicates from the same palette entries, so the accepted
+/// event sets are identical by construction.
+
+namespace gems {
+
+/// One standing query: engine options plus palette filter indices.
+struct MultiQuerySpec {
+  StreamQuery::Options options;
+  std::vector<size_t> filters;  // Indices into MultiQueryWorkload palette.
+};
+
+struct MultiQueryWorkloadOptions {
+  size_t num_queries = 64;
+  /// P(a query duplicates a uniformly chosen earlier query) — the expected
+  /// fraction of logical queries sharing physical state.
+  double overlap = 0.5;
+  size_t num_groups = 64;
+  /// Item universe per event (items drawn uniformly).
+  uint64_t universe = uint64_t{1} << 20;
+  /// Zipf exponent over group keys; 0 = uniform groups.
+  double group_skew = 1.1;
+  /// Tumbling window size queries are built with; sliding specs use
+  /// window_size with slide = window_size / 4.
+  uint64_t window_size = 1024;
+  /// Events per timestamp tick (so windows close every
+  /// window_size * events_per_tick events).
+  size_t events_per_tick = 8;
+  uint64_t seed = 1;
+};
+
+/// Deterministic generator for the query population and its event stream.
+class MultiQueryWorkload {
+ public:
+  explicit MultiQueryWorkload(const MultiQueryWorkloadOptions& options);
+
+  /// The generated query population. Specs cycle through every aggregate
+  /// kind (including sliding COUNT DISTINCT / TOP-K / QUANTILES) with
+  /// per-spec parameter jitter, so distinct specs never collide; duplicate
+  /// specs are exact copies of earlier ones.
+  const std::vector<MultiQuerySpec>& specs() const { return specs_; }
+
+  /// Number of canonical filter predicates.
+  static size_t PaletteSize();
+
+  /// The `index`-th canonical predicate (pure function of the event).
+  static std::function<bool(const StreamEvent&)> PaletteFilter(size_t index);
+
+  /// Generates the next `n` events: non-decreasing timestamps (advancing
+  /// one tick every events_per_tick events), Zipf-skewed groups, uniform
+  /// items, bounded values. Repeated calls continue the stream.
+  std::vector<StreamEvent> GenerateEvents(size_t n);
+
+  const MultiQueryWorkloadOptions& options() const { return options_; }
+
+ private:
+  MultiQueryWorkloadOptions options_;
+  std::vector<MultiQuerySpec> specs_;
+  Rng event_rng_;
+  std::vector<uint64_t> group_sequence_;  // Pre-drawn Zipf group keys.
+  size_t next_group_ = 0;
+  uint64_t next_event_index_ = 0;
+};
+
+}  // namespace gems
+
+#endif  // GEMS_WORKLOAD_MULTI_QUERY_H_

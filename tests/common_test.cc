@@ -13,6 +13,7 @@
 #include "common/numeric.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/flat_map.h"
 
 namespace gems {
 namespace {
@@ -421,6 +422,61 @@ TEST(HugePageTest, LayoutJsonMentionsEveryProvenanceField) {
 TEST(SketchLayoutTest, NamesAreStable) {
   EXPECT_STREQ(LayoutName(SketchLayout::kFlat), "flat");
   EXPECT_STREQ(LayoutName(SketchLayout::kBlocked), "blocked");
+}
+
+TEST(FlatMap64Test, InsertFindAndGrow) {
+  FlatMap64<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), nullptr);
+  // Push through several growth rounds; every key must stay findable with
+  // its own value.
+  for (uint64_t k = 0; k < 1000; ++k) {
+    map[k * 0x9E3779B97F4A7C15ULL] = static_cast<int>(k);
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    const int* value = map.Find(k * 0x9E3779B97F4A7C15ULL);
+    ASSERT_NE(value, nullptr) << k;
+    EXPECT_EQ(*value, static_cast<int>(k));
+  }
+  // operator[] on an existing key (0, inserted by the k=0 iteration)
+  // returns the same entry, not a new one.
+  map[0] = 7;
+  map[0] += 1;
+  EXPECT_EQ(map[0], 8);
+  EXPECT_EQ(map.size(), 1000u);
+}
+
+TEST(FlatMap64Test, ForEachVisitsEveryEntryOnceAndClearResets) {
+  FlatMap64<uint64_t> map;
+  for (uint64_t k = 1; k <= 300; ++k) map[k] = k * 2;
+  uint64_t visited = 0, key_sum = 0;
+  map.ForEach([&](uint64_t key, uint64_t& value) {
+    ++visited;
+    key_sum += key;
+    EXPECT_EQ(value, key * 2);
+  });
+  EXPECT_EQ(visited, 300u);
+  EXPECT_EQ(key_sum, 300u * 301u / 2);
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(1), nullptr);
+  map[5] = 9;  // Usable again after Clear.
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap64Test, ZeroKeyAndCollidingKeysCoexist) {
+  // Key 0 must behave like any other key (emptiness is tracked out of
+  // band, not via a sentinel key).
+  FlatMap64<int> map;
+  map[0] = 11;
+  // Keys crafted to collide in small tables exercise linear probing.
+  for (uint64_t k = 0; k < 64; ++k) map[k << 32] = static_cast<int>(k);
+  EXPECT_EQ(*map.Find(0), 0);  // Overwritten by the k=0 iteration.
+  for (uint64_t k = 1; k < 64; ++k) {
+    ASSERT_NE(map.Find(k << 32), nullptr) << k;
+    EXPECT_EQ(*map.Find(k << 32), static_cast<int>(k));
+  }
 }
 
 }  // namespace

@@ -662,7 +662,7 @@ TEST(SlidingStreamQueryTest, ValidatesSlideGeometryAndAggregate) {
             StatusCode::kInvalidArgument);
 
   options.window_size = 14;
-  options.aggregate = AggregateKind::kTopK;
+  options.aggregate = AggregateKind::kSum;
   StreamQuery bad_aggregate(options, 1);
   EXPECT_EQ(bad_aggregate.Process(Event(0, 0, 0)).code(),
             StatusCode::kUnimplemented);
@@ -726,6 +726,126 @@ TEST(SlidingStreamQueryTest, CheckpointRoundTripsPaneRings) {
       EXPECT_DOUBLE_EQ(actual[i].groups[g].scalar,
                        expected[i].groups[g].scalar);
     }
+  }
+}
+
+TEST(SlidingStreamQueryTest, TopKTracksTrailingWindow) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kTopK;
+  options.window_size = 40;
+  options.slide = 10;
+  options.top_k = 2;
+  StreamQuery query(options, 5);
+  // Item 7 is heavy only during [0, 20); item 9 is heavy from 40 on. A
+  // trailing 40-unit window must stop reporting 7 once it expires.
+  for (uint64_t t = 0; t < 20; ++t) {
+    ASSERT_TRUE(query.Process(Event(t, 0, 7, 50)).ok());
+    ASSERT_TRUE(query.Process(Event(t, 0, t + 100)).ok());
+  }
+  for (uint64_t t = 20; t < 100; ++t) {
+    ASSERT_TRUE(query.Process(Event(t, 0, t >= 40 ? 9 : t + 200,
+                                    t >= 40 ? 30 : 1)).ok());
+  }
+  const auto windows = query.Flush();
+  ASSERT_FALSE(windows.empty());
+  bool seven_led_early = false;
+  for (const WindowResult& window : windows) {
+    ASSERT_EQ(window.groups.size(), 1u);
+    const auto& top = window.groups[0].top_items;
+    ASSERT_FALSE(top.empty());
+    if (window.window_end <= 30 && top[0].first == 7) seven_led_early = true;
+    if (window.window_start >= 20) {
+      EXPECT_NE(top[0].first, 7u)
+          << "item 7 expired at t=20 but still leads window ["
+          << window.window_start << ", " << window.window_end << ")";
+    }
+  }
+  EXPECT_TRUE(seven_led_early);
+  const WindowResult& last = windows.back();
+  EXPECT_EQ(last.groups[0].top_items[0].first, 9u);
+}
+
+TEST(SlidingStreamQueryTest, QuantilesTrackTrailingWindow) {
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kQuantiles;
+  options.window_size = 20;
+  options.slide = 5;
+  options.quantile_points = {0.5};
+  StreamQuery query(options, 11);
+  // Values are ~100 before t=50 and ~1000 after; once the old panes
+  // expire, the sliding median must jump to the new regime.
+  for (uint64_t t = 0; t < 100; ++t) {
+    const int64_t value = t < 50 ? 100 + static_cast<int64_t>(t % 7)
+                                 : 1000 + static_cast<int64_t>(t % 7);
+    ASSERT_TRUE(query.Process(Event(t, 3, t, value)).ok());
+  }
+  const auto windows = query.Flush();
+  ASSERT_FALSE(windows.empty());
+  for (const WindowResult& window : windows) {
+    ASSERT_EQ(window.groups.size(), 1u);
+    ASSERT_EQ(window.groups[0].quantiles.size(), 1u);
+    const double median = window.groups[0].quantiles[0];
+    if (window.window_end <= 50) {
+      EXPECT_NEAR(median, 103.0, 10.0);
+    } else if (window.window_start >= 50) {
+      EXPECT_NEAR(median, 1003.0, 10.0);
+    }
+  }
+}
+
+TEST(SlidingStreamQueryTest, CheckpointRoundTripsTopKAndQuantileRings) {
+  for (const AggregateKind aggregate :
+       {AggregateKind::kTopK, AggregateKind::kQuantiles}) {
+    StreamQuery::Options options;
+    options.aggregate = aggregate;
+    options.window_size = 30;
+    options.slide = 10;
+    StreamQuery query(options, 23);
+    for (uint64_t t = 0; t < 47; ++t) {
+      ASSERT_TRUE(
+          query.Process(Event(t, t % 2, (t * 13) % 29, 1 + t % 5)).ok());
+    }
+    (void)query.Poll();
+    const std::vector<uint8_t> checkpoint = query.SerializeState();
+
+    StreamQuery restored(options, 23);
+    ASSERT_TRUE(restored.RestoreState(checkpoint).ok());
+    EXPECT_EQ(restored.SerializeState(), checkpoint);
+
+    for (uint64_t t = 47; t < 80; ++t) {
+      const StreamEvent event = Event(t, t % 2, (t * 13) % 29, 1 + t % 5);
+      ASSERT_TRUE(query.Process(event).ok());
+      ASSERT_TRUE(restored.Process(event).ok());
+    }
+    EXPECT_EQ(restored.SerializeState(), query.SerializeState());
+  }
+}
+
+TEST(StreamQueryTest, SerializedStateIndependentOfGroupArrivalOrder) {
+  // The GROUP-BY table is a hash table with insertion-dependent iteration
+  // order; sorted emission must make checkpoints and window results
+  // byte-identical no matter which group shows up first.
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  std::vector<StreamEvent> ascending, descending;
+  for (uint64_t g = 0; g < 40; ++g) {
+    ascending.push_back(Event(7, g, g * 31));
+    descending.push_back(Event(7, 39 - g, (39 - g) * 31));
+  }
+  StreamQuery forward(options, 3);
+  StreamQuery backward(options, 3);
+  ASSERT_TRUE(forward.ProcessBatch(ascending).ok());
+  ASSERT_TRUE(backward.ProcessBatch(descending).ok());
+  EXPECT_EQ(forward.SerializeState(), backward.SerializeState());
+
+  const auto lhs = forward.Flush();
+  const auto rhs = backward.Flush();
+  ASSERT_EQ(lhs.size(), 1u);
+  ASSERT_EQ(rhs.size(), 1u);
+  ASSERT_EQ(lhs[0].groups.size(), rhs[0].groups.size());
+  for (size_t g = 0; g < lhs[0].groups.size(); ++g) {
+    EXPECT_EQ(lhs[0].groups[g].group, rhs[0].groups[g].group);
+    EXPECT_DOUBLE_EQ(lhs[0].groups[g].scalar, rhs[0].groups[g].scalar);
   }
 }
 

@@ -1,0 +1,301 @@
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "distributed/thread_pool.h"
+#include "engine/multi_query.h"
+#include "engine/stream_query.h"
+#include "workload/multi_query.h"
+
+namespace gems {
+namespace {
+
+/// Registers the workload's whole filter palette plus every spec; palette
+/// index i becomes engine FilterId i, so specs map directly.
+void RegisterAll(MultiQueryEngine& engine,
+                 const std::vector<MultiQuerySpec>& specs) {
+  std::vector<MultiQueryEngine::FilterId> palette;
+  for (size_t i = 0; i < MultiQueryWorkload::PaletteSize(); ++i) {
+    palette.push_back(
+        engine.RegisterFilter(MultiQueryWorkload::PaletteFilter(i)));
+  }
+  for (const MultiQuerySpec& spec : specs) {
+    std::vector<MultiQueryEngine::FilterId> ids;
+    for (size_t f : spec.filters) ids.push_back(palette[f]);
+    engine.AddQuery(spec.options, ids);
+  }
+}
+
+/// The N-independent-queries baseline: one StreamQuery per spec with the
+/// same options, seed, and palette predicates.
+std::vector<StreamQuery> MakeIndependents(
+    const std::vector<MultiQuerySpec>& specs, uint64_t seed) {
+  std::vector<StreamQuery> queries;
+  queries.reserve(specs.size());
+  for (const MultiQuerySpec& spec : specs) {
+    StreamQuery query(spec.options, seed);
+    for (size_t f : spec.filters) {
+      query.AddFilter(MultiQueryWorkload::PaletteFilter(f));
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+/// Canonical bytes for a result list, so window equality checks are exact
+/// (including double bit patterns) rather than field-by-field EXPECTs.
+std::vector<uint8_t> WindowBytes(const std::vector<WindowResult>& windows) {
+  ByteWriter w;
+  engine_detail::SerializeWindows(
+      w, std::deque<WindowResult>(windows.begin(), windows.end()));
+  return std::move(w).TakeBytes();
+}
+
+TEST(MultiQueryEngineTest, Equivalence256QueriesAgainstIndependents) {
+  MultiQueryWorkloadOptions wopt;
+  wopt.num_queries = 256;
+  wopt.overlap = 0.5;
+  wopt.num_groups = 32;
+  wopt.window_size = 256;
+  wopt.events_per_tick = 4;
+  wopt.seed = 42;
+  MultiQueryWorkload workload(wopt);
+
+  const uint64_t seed = 99;
+  MultiQueryEngine engine(seed);
+  RegisterAll(engine, workload.specs());
+  ASSERT_EQ(engine.num_queries(), 256u);
+  // 50% overlap must actually deduplicate a sizable share of the state.
+  EXPECT_LT(engine.num_physical_queries(), engine.num_queries());
+
+  std::vector<StreamQuery> independents =
+      MakeIndependents(workload.specs(), seed);
+
+  // ~3.5 windows of events, in two batches to exercise chunk boundaries.
+  const std::vector<StreamEvent> first = workload.GenerateEvents(2000);
+  const std::vector<StreamEvent> second = workload.GenerateEvents(1600);
+  ASSERT_TRUE(engine.ProcessBatch(first).ok());
+  ASSERT_TRUE(engine.ProcessBatch(second).ok());
+  for (StreamQuery& query : independents) {
+    ASSERT_TRUE(query.ProcessBatch(first).ok());
+    ASSERT_TRUE(query.ProcessBatch(second).ok());
+  }
+
+  for (size_t qid = 0; qid < independents.size(); ++qid) {
+    EXPECT_EQ(WindowBytes(engine.Poll(qid)),
+              WindowBytes(independents[qid].Poll()))
+        << "results diverge for query " << qid;
+    EXPECT_EQ(engine.SerializeQueryState(qid),
+              independents[qid].SerializeState())
+        << "checkpoint diverges for query " << qid;
+  }
+
+  engine.Flush();
+  for (size_t qid = 0; qid < independents.size(); ++qid) {
+    EXPECT_EQ(WindowBytes(engine.Poll(qid)),
+              WindowBytes(independents[qid].Flush()))
+        << "flushed results diverge for query " << qid;
+  }
+}
+
+TEST(MultiQueryEngineTest, ParallelFanOutIsByteIdentical) {
+  MultiQueryWorkloadOptions wopt;
+  wopt.num_queries = 64;
+  wopt.overlap = 0.4;
+  wopt.num_groups = 48;
+  wopt.window_size = 256;
+  wopt.events_per_tick = 4;
+  wopt.seed = 7;
+  MultiQueryWorkload sequential_workload(wopt);
+  MultiQueryWorkload parallel_workload(wopt);
+
+  const uint64_t seed = 123;
+  MultiQueryEngine sequential(seed);
+  MultiQueryEngine parallel(seed);
+  RegisterAll(sequential, sequential_workload.specs());
+  RegisterAll(parallel, parallel_workload.specs());
+
+  ThreadPool pool(4);
+  for (int batch = 0; batch < 3; ++batch) {
+    const std::vector<StreamEvent> events =
+        sequential_workload.GenerateEvents(1500);
+    ASSERT_TRUE(sequential.ProcessBatch(events).ok());
+    ASSERT_TRUE(parallel.ProcessBatchParallel(events, pool).ok());
+  }
+
+  for (size_t qid = 0; qid < sequential.num_queries(); ++qid) {
+    EXPECT_EQ(parallel.SerializeQueryState(qid),
+              sequential.SerializeQueryState(qid))
+        << "parallel fan-out diverges for query " << qid;
+    EXPECT_EQ(WindowBytes(parallel.Poll(qid)),
+              WindowBytes(sequential.Poll(qid)));
+  }
+}
+
+TEST(MultiQueryEngineTest, DuplicateQueriesShareStateButPollIndependently) {
+  MultiQueryEngine engine(7);
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kCountDistinct;
+  options.window_size = 10;
+  const auto a = engine.AddQuery(options);
+  const auto b = engine.AddQuery(options);
+  EXPECT_EQ(engine.num_queries(), 2u);
+  EXPECT_EQ(engine.num_physical_queries(), 1u);
+
+  std::vector<StreamEvent> events;
+  for (uint64_t t = 0; t < 25; ++t) {
+    events.push_back(StreamEvent{t, t % 3, t * 11, 1});
+  }
+  ASSERT_TRUE(engine.ProcessBatch(events).ok());
+
+  // Both views see the same two closed windows, each exactly once.
+  const auto windows_a = engine.Poll(a);
+  ASSERT_EQ(windows_a.size(), 2u);
+  EXPECT_EQ(WindowBytes(engine.Poll(b)), WindowBytes(windows_a));
+  EXPECT_TRUE(engine.Poll(a).empty());
+  EXPECT_TRUE(engine.Poll(b).empty());
+
+  // A view that lags behind still gets every window when it catches up.
+  std::vector<StreamEvent> more;
+  for (uint64_t t = 25; t < 45; ++t) {
+    more.push_back(StreamEvent{t, t % 3, t * 11, 1});
+  }
+  ASSERT_TRUE(engine.ProcessBatch(more).ok());
+  ASSERT_EQ(engine.Poll(a).size(), 2u);
+  ASSERT_EQ(engine.Poll(b).size(), 2u);
+}
+
+TEST(MultiQueryEngineTest, QuantilePointsPreventStateSharing) {
+  // Two quantile queries over the same sketch parameters but different
+  // read points must not share a result view (the StreamQuery checkpoint
+  // fingerprint ignores quantile_points, but results differ).
+  MultiQueryEngine engine(1);
+  StreamQuery::Options options;
+  options.aggregate = AggregateKind::kQuantiles;
+  options.window_size = 10;
+  options.quantile_points = {0.5};
+  (void)engine.AddQuery(options);
+  options.quantile_points = {0.9};
+  (void)engine.AddQuery(options);
+  EXPECT_EQ(engine.num_physical_queries(), 2u);
+
+  // Same options but different filter sets must not share either.
+  MultiQueryEngine filtered(1);
+  const auto f =
+      filtered.RegisterFilter([](const StreamEvent& e) { return e.value > 0; });
+  StreamQuery::Options plain;
+  (void)filtered.AddQuery(plain);
+  const MultiQueryEngine::FilterId ids[] = {f};
+  (void)filtered.AddQuery(plain, ids);
+  EXPECT_EQ(filtered.num_physical_queries(), 2u);
+}
+
+TEST(MultiQueryEngineTest, EngineCheckpointRoundTrips) {
+  MultiQueryWorkloadOptions wopt;
+  wopt.num_queries = 48;
+  wopt.overlap = 0.5;
+  wopt.num_groups = 24;
+  wopt.window_size = 128;
+  wopt.events_per_tick = 4;
+  wopt.seed = 21;
+  MultiQueryWorkload workload(wopt);
+
+  MultiQueryEngine engine(55);
+  RegisterAll(engine, workload.specs());
+  const std::vector<StreamEvent> first = workload.GenerateEvents(1200);
+  ASSERT_TRUE(engine.ProcessBatch(first).ok());
+  // Let some cursors advance so the checkpoint carries nontrivial views.
+  (void)engine.Poll(0);
+  (void)engine.Poll(3);
+  const std::vector<uint8_t> checkpoint = engine.SerializeState();
+
+  MultiQueryEngine restored(55);
+  RegisterAll(restored, workload.specs());
+  ASSERT_TRUE(restored.RestoreState(checkpoint).ok());
+  EXPECT_EQ(restored.SerializeState(), checkpoint);
+
+  const std::vector<StreamEvent> second = workload.GenerateEvents(900);
+  ASSERT_TRUE(engine.ProcessBatch(second).ok());
+  ASSERT_TRUE(restored.ProcessBatch(second).ok());
+  engine.Flush();
+  restored.Flush();
+  for (size_t qid = 0; qid < engine.num_queries(); ++qid) {
+    EXPECT_EQ(restored.SerializeQueryState(qid),
+              engine.SerializeQueryState(qid));
+    EXPECT_EQ(WindowBytes(restored.Poll(qid)), WindowBytes(engine.Poll(qid)));
+  }
+}
+
+TEST(MultiQueryEngineTest, RestoreRejectsDamageAndMismatchedRegistration) {
+  MultiQueryWorkloadOptions wopt;
+  wopt.num_queries = 12;
+  wopt.overlap = 0.3;
+  wopt.window_size = 64;
+  wopt.seed = 5;
+  MultiQueryWorkload workload(wopt);
+  MultiQueryEngine engine(9);
+  RegisterAll(engine, workload.specs());
+  ASSERT_TRUE(engine.ProcessBatch(workload.GenerateEvents(600)).ok());
+  const std::vector<uint8_t> checkpoint = engine.SerializeState();
+
+  // The trailing whole-image checksum catches damage anywhere.
+  for (size_t i = 0; i < checkpoint.size();
+       i += 1 + checkpoint.size() / 64) {
+    std::vector<uint8_t> damaged = checkpoint;
+    damaged[i] ^= 0x40;
+    MultiQueryEngine victim(9);
+    RegisterAll(victim, workload.specs());
+    EXPECT_EQ(victim.RestoreState(damaged).code(), StatusCode::kCorruption)
+        << "flipped byte " << i;
+  }
+
+  // Fewer registered queries than the checkpoint expects.
+  MultiQueryEngine smaller(9);
+  std::vector<MultiQuerySpec> fewer(workload.specs().begin(),
+                                    workload.specs().end() - 1);
+  RegisterAll(smaller, fewer);
+  EXPECT_EQ(smaller.RestoreState(checkpoint).code(),
+            StatusCode::kInvalidArgument);
+
+  // Different seed.
+  MultiQueryEngine reseeded(10);
+  RegisterAll(reseeded, workload.specs());
+  EXPECT_EQ(reseeded.RestoreState(checkpoint).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MultiQueryWorkloadTest, DeterministicAndOverlapScales) {
+  MultiQueryWorkloadOptions wopt;
+  wopt.num_queries = 128;
+  wopt.overlap = 0.5;
+  wopt.seed = 77;
+  MultiQueryWorkload one(wopt);
+  MultiQueryWorkload two(wopt);
+  ASSERT_EQ(one.specs().size(), two.specs().size());
+  const std::vector<StreamEvent> e1 = one.GenerateEvents(500);
+  const std::vector<StreamEvent> e2 = two.GenerateEvents(500);
+  for (size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].timestamp, e2[i].timestamp);
+    EXPECT_EQ(e1[i].group, e2[i].group);
+    EXPECT_EQ(e1[i].item, e2[i].item);
+    EXPECT_EQ(e1[i].value, e2[i].value);
+  }
+
+  // Higher overlap → fewer physical queries.
+  MultiQueryEngine low_engine(1);
+  RegisterAll(low_engine, one.specs());
+  wopt.overlap = 0.9;
+  MultiQueryWorkload heavy(wopt);
+  MultiQueryEngine high_engine(1);
+  RegisterAll(high_engine, heavy.specs());
+  EXPECT_LT(high_engine.num_physical_queries(),
+            low_engine.num_physical_queries());
+}
+
+}  // namespace
+}  // namespace gems
